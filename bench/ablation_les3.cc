@@ -1,0 +1,135 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   (a) Roaring run-compression of the TGM (size + matched-count cost);
+//   (b) sorted initialization of the cascade vs training from a single
+//       root (paper Section 7.1, "Initialization");
+//   (c) training pairs per model (the paper's claim that 40 k samples
+//       suffice and more do not help, Section 7.1);
+//   (d) similarity measure (Jaccard / Dice / Cosine) through the same
+//       index, exercising the Theorem 3.1 generality.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/analogs.h"
+#include "embed/ptr.h"
+#include "l2p/cascade.h"
+#include "search/les3_index.h"
+#include "tgm/tgm.h"
+
+namespace les3 {
+namespace {
+
+SetDatabase BenchDb() {
+  const auto& spec = datagen::AnalogSpecByName("KOSARAK");
+  return datagen::GenerateAnalogSample(spec, 40000, 3);
+}
+
+void AblateCompression(const SetDatabase& db,
+                       const std::vector<GroupId>& assignment,
+                       uint32_t groups) {
+  TableReporter table({"variant", "tgm_bytes", "tgm", "matched_ms"});
+  auto query_ids = datagen::SampleQueryIds(db, 500, 5);
+  for (bool compress : {false, true}) {
+    tgm::Tgm index(db, assignment, groups);
+    if (compress) index.RunOptimize();
+    WallTimer timer;
+    std::vector<uint32_t> counts;
+    for (SetId qid : query_ids) index.MatchedCounts(db.set(qid), &counts);
+    double ms = timer.Millis() / static_cast<double>(query_ids.size());
+    table.Add(compress ? "roaring+run" : "roaring",
+              index.BitmapBytes(), HumanBytes(index.BitmapBytes()), ms);
+  }
+  bench::Emit(table, "Ablation (a): TGM run compression",
+              "ablation_compression.csv");
+}
+
+void AblateInitialization(const SetDatabase& db, uint32_t groups) {
+  TableReporter table({"init", "train_s", "models", "knn10_pe"});
+  auto query_ids = datagen::SampleQueryIds(db, 100, 5);
+  embed::PtrRepresentation ptr(db.num_tokens());
+  for (bool sorted_init : {true, false}) {
+    l2p::CascadeOptions opts = bench::BenchCascade(groups);
+    opts.use_sorted_init = sorted_init;
+    if (!sorted_init) opts.init_groups = 1;
+    l2p::CascadeResult cascade = TrainCascade(db, ptr, opts);
+    const auto& level = cascade.levels.back();
+    search::Les3Index index(db, level.assignment, level.num_groups);
+    auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+      search::QueryStats s;
+      index.Knn(q, 10, &s);
+      return s;
+    });
+    table.Add(sorted_init ? "sorted-128" : "single-root",
+              cascade.train_seconds,
+              static_cast<unsigned long long>(cascade.models_trained),
+              agg.avg_pe);
+  }
+  bench::Emit(table, "Ablation (b): cascade initialization",
+              "ablation_init.csv");
+}
+
+void AblatePairBudget(const SetDatabase& db, uint32_t groups) {
+  TableReporter table({"pairs_per_model", "train_s", "knn10_pe"});
+  auto query_ids = datagen::SampleQueryIds(db, 100, 5);
+  embed::PtrRepresentation ptr(db.num_tokens());
+  for (size_t pairs : {2500u, 10000u, 40000u}) {
+    l2p::CascadeOptions opts = bench::BenchCascade(groups);
+    opts.pairs_per_model = pairs;
+    l2p::CascadeResult cascade = TrainCascade(db, ptr, opts);
+    const auto& level = cascade.levels.back();
+    search::Les3Index index(db, level.assignment, level.num_groups);
+    auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+      search::QueryStats s;
+      index.Knn(q, 10, &s);
+      return s;
+    });
+    table.Add(static_cast<unsigned long long>(pairs),
+              cascade.train_seconds, agg.avg_pe);
+  }
+  bench::Emit(table, "Ablation (c): training pairs per model",
+              "ablation_pairs.csv");
+}
+
+void AblateMeasure(const SetDatabase& db,
+                   const std::vector<GroupId>& assignment, uint32_t groups) {
+  TableReporter table({"measure", "knn10_ms", "pe", "range0.7_ms"});
+  auto query_ids = datagen::SampleQueryIds(db, 100, 5);
+  for (auto measure : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+                       SimilarityMeasure::kCosine}) {
+    search::Les3Index index(db, assignment, groups, measure);
+    auto knn = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+      search::QueryStats s;
+      index.Knn(q, 10, &s);
+      return s;
+    });
+    auto range = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+      search::QueryStats s;
+      index.Range(q, 0.7, &s);
+      return s;
+    });
+    table.Add(ToString(measure), knn.avg_ms, knn.avg_pe, range.avg_ms);
+  }
+  bench::Emit(table, "Ablation (d): similarity measures",
+              "ablation_measures.csv");
+}
+
+}  // namespace
+}  // namespace les3
+
+int main() {
+  using namespace les3;
+  SetDatabase db = BenchDb();
+  const uint32_t groups = 400;
+  l2p::CascadeOptions opts = bench::BenchCascade(groups);
+  embed::PtrRepresentation ptr(db.num_tokens());
+  l2p::CascadeResult cascade = TrainCascade(db, ptr, opts);
+  const auto& level = cascade.levels.back();
+  std::printf("base cascade: %u groups in %.1fs\n", level.num_groups,
+              cascade.train_seconds);
+
+  AblateCompression(db, level.assignment, level.num_groups);
+  AblateInitialization(db, groups);
+  AblatePairBudget(db, groups);
+  AblateMeasure(db, level.assignment, level.num_groups);
+  return 0;
+}

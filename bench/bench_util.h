@@ -1,0 +1,92 @@
+// Shared helpers for the figure/table harnesses.
+//
+// Scale note: every bench runs on the scaled dataset analogs of
+// datagen/analogs.h (the paper's datasets cannot be shipped) with query
+// counts reduced from the paper's 10 k to keep the whole suite in the
+// minutes range. EXPERIMENTS.md records the mapping.
+
+#ifndef LES3_BENCH_BENCH_UTIL_H_
+#define LES3_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "datagen/generators.h"
+#include "l2p/cascade.h"
+#include "search/query_stats.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace bench {
+
+/// Cascade options used across benches: the paper's network (2x8 sigmoid
+/// MLP), batch 256, 3 epochs, Adam, sorted init into 128 groups;
+/// pairs-per-model reduced to 20 k (the paper observes more samples do not
+/// improve pruning, Section 7.1).
+inline l2p::CascadeOptions BenchCascade(uint32_t target_groups) {
+  l2p::CascadeOptions opts;
+  opts.init_groups = 128;
+  opts.target_groups = target_groups;
+  opts.min_group_size = 50;
+  opts.pairs_per_model = 20000;
+  opts.siamese.epochs = 3;
+  opts.siamese.batch_size = 256;
+  opts.num_threads = 0;  // hardware concurrency
+  opts.seed = 97;
+  return opts;
+}
+
+/// Group-count heuristic. The paper's rule of thumb is n ≈ 0.5% |D|
+/// (Section 7.5); on the scaled analogs the sweep of fig10 shows latency
+/// still improving slightly past that point, so the benches use 1% |D|.
+inline uint32_t DefaultGroups(size_t db_size) {
+  uint32_t n = static_cast<uint32_t>(db_size / 100);
+  return n < 16 ? 16 : n;
+}
+
+/// Aggregated timing over a query batch.
+struct QueryAggregate {
+  double avg_ms = 0.0;
+  double avg_pe = 0.0;
+  double avg_candidates = 0.0;
+};
+
+/// Runs `run(query)` for every query id and aggregates wall time and the
+/// stats the run reports.
+inline QueryAggregate RunQueries(
+    const SetDatabase& db, const std::vector<SetId>& query_ids,
+    const std::function<search::QueryStats(const SetRecord&)>& run) {
+  QueryAggregate agg;
+  if (query_ids.empty()) return agg;
+  WallTimer timer;
+  for (SetId qid : query_ids) {
+    search::QueryStats stats = run(db.set(qid));
+    agg.avg_pe += stats.pruning_efficiency;
+    agg.avg_candidates += static_cast<double>(stats.candidates_verified);
+  }
+  double n = static_cast<double>(query_ids.size());
+  agg.avg_ms = timer.Millis() / n;
+  agg.avg_pe /= n;
+  agg.avg_candidates /= n;
+  return agg;
+}
+
+/// Writes the CSV next to the binary's working directory and announces it.
+inline void Emit(const TableReporter& table, const std::string& title,
+                 const std::string& csv_name) {
+  table.Print(title);
+  Status st = table.WriteCsv(csv_name);
+  if (st.ok()) {
+    std::printf("  [csv] %s\n", csv_name.c_str());
+  } else {
+    std::printf("  [csv] failed: %s\n", st.ToString().c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace les3
+
+#endif  // LES3_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// Figure 10 — sensitivity to the number of groups n and the result size k.
+//
+// One cascade is trained to the largest n; every level snapshot yields a
+// TGM with a different group count, and each is queried with k in
+// {1, 10, 50, 100}.
+//
+// Expected shape (paper): latency falls as n grows, then flattens
+// (diminishing returns; best n ≈ 0.5% |D|), and grows with k.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/analogs.h"
+#include "embed/ptr.h"
+#include "l2p/cascade.h"
+#include "search/les3_index.h"
+
+int main() {
+  using namespace les3;
+  const auto& spec = datagen::AnalogSpecByName("KOSARAK");
+  SetDatabase db = datagen::GenerateAnalog(spec, 3);  // full analog (99 k)
+  auto query_ids = datagen::SampleQueryIds(db, 200, 5);
+
+  embed::PtrRepresentation ptr(db.num_tokens());
+  l2p::CascadeOptions opts = bench::BenchCascade(2048);
+  WallTimer train_timer;
+  l2p::CascadeResult cascade = TrainCascade(db, ptr, opts);
+  std::printf("cascade trained to %u groups in %.1fs (%llu models)\n",
+              cascade.levels.back().num_groups, train_timer.Seconds(),
+              static_cast<unsigned long long>(cascade.models_trained));
+
+  TableReporter table({"groups", "k", "knn_ms", "pe", "candidates"});
+  for (const auto& level : cascade.levels) {
+    search::Les3Index index(db, level.assignment, level.num_groups);
+    for (size_t k : {1u, 10u, 50u, 100u}) {
+      auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+        search::QueryStats s;
+        index.Knn(q, k, &s);
+        return s;
+      });
+      table.Add(level.num_groups, static_cast<unsigned long long>(k),
+                agg.avg_ms, agg.avg_pe, agg.avg_candidates);
+    }
+    std::printf("n=%u done\n", level.num_groups);
+  }
+  bench::Emit(table, "Figure 10: sensitivity to #groups and k (KOSARAK)",
+              "fig10_sensitivity.csv");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 11 — index size and construction time.
+//
+// For each memory-resident analog: LES3's TGM (with Roaring compression)
+// vs DualTrans (transform vectors + R-tree) vs InvIdx (posting lists).
+//
+// Expected shape (paper): the TGM is by far the smallest (up to 90% less);
+// LES3's construction time is dominated by (one-time) model training.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "baselines/dualtrans.h"
+#include "baselines/invidx.h"
+#include "datagen/analogs.h"
+#include "l2p/l2p.h"
+#include "search/les3_index.h"
+
+int main() {
+  using namespace les3;
+  TableReporter table({"dataset", "method", "index_bytes", "index",
+                       "build_s"});
+  for (const auto& spec : datagen::MemoryAnalogSpecs()) {
+    SetDatabase db = datagen::GenerateAnalog(spec, 3);
+    uint32_t groups = bench::DefaultGroups(db.size());
+
+    {
+      WallTimer timer;
+      l2p::L2PPartitioner l2p(bench::BenchCascade(groups));
+      auto part = l2p.Partition(db, groups);
+      search::Les3Index index(db, part.assignment, part.num_groups);
+      double build_s = timer.Seconds();
+      table.Add(spec.name, "LES3(TGM)", index.tgm().BitmapBytes(),
+                HumanBytes(index.tgm().BitmapBytes()), build_s);
+    }
+    {
+      WallTimer timer;
+      baselines::DualTrans dualtrans(&db);
+      table.Add(spec.name, "DualTrans", dualtrans.IndexBytes(),
+                HumanBytes(dualtrans.IndexBytes()), timer.Seconds());
+    }
+    {
+      WallTimer timer;
+      baselines::InvIdx invidx(&db);
+      table.Add(spec.name, "InvIdx", invidx.IndexBytes(),
+                HumanBytes(invidx.IndexBytes()), timer.Seconds());
+    }
+    std::printf("%s done\n", spec.name.c_str());
+  }
+  bench::Emit(table, "Figure 11: index size and construction time",
+              "fig11_index.csv");
+  return 0;
+}

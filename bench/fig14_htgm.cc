@@ -1,0 +1,77 @@
+// Figure 14 — TGM vs HTGM under a power-law similarity distribution.
+//
+// Synthetic databases of 20 k sets / 20 k tokens with pairwise similarity
+// shaped by α (paper Section 7.7); a cascade trained from a single root to
+// 256 groups provides the nested levels: TGM = level-8 partitioning alone,
+// HTGM = level-5 (32 groups) + level-8 (256 groups). We report the
+// HTGM/TGM cost ratios for index access (cells probed) and computation
+// (similarity evaluations), kNN k = 10.
+//
+// Expected shape (paper): ratios fall below 1 as α grows (most sets
+// dissimilar -> coarse level prunes aggressively); HTGM overhead dominates
+// at small α.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/generators.h"
+#include "embed/ptr.h"
+#include "l2p/cascade.h"
+#include "tgm/htgm.h"
+
+int main() {
+  using namespace les3;
+  TableReporter table({"alpha", "access_ratio", "compute_ratio",
+                       "tgm_cells", "htgm_cells"});
+  for (double alpha : {1.0, 2.0, 3.0, 4.0}) {
+    datagen::PowerLawSimOptions gen;
+    gen.num_sets = 20000;
+    gen.num_tokens = 20000;
+    gen.alpha = alpha;
+    gen.seed = 17;
+    SetDatabase db = datagen::GeneratePowerLawSimilarity(gen);
+
+    embed::PtrRepresentation ptr(db.num_tokens());
+    l2p::CascadeOptions opts = bench::BenchCascade(256);
+    opts.use_sorted_init = false;  // single root, 9 levels (paper setup)
+    opts.init_groups = 1;
+    opts.pairs_per_model = 6000;
+    opts.min_group_size = 20;
+    l2p::CascadeResult cascade = TrainCascade(db, ptr, opts);
+    // Level 5 -> 32 groups, final level -> 256 groups (paper's choices).
+    const auto* coarse = &cascade.levels.front();
+    for (const auto& level : cascade.levels) {
+      if (level.num_groups <= 32) coarse = &level;
+    }
+    const auto& fine = cascade.levels.back();
+
+    tgm::Htgm flat(db, {{fine.assignment, fine.num_groups}});
+    tgm::Htgm hier(db, {{coarse->assignment, coarse->num_groups},
+                        {fine.assignment, fine.num_groups}});
+
+    auto query_ids = datagen::SampleQueryIds(db, 60, 5);
+    tgm::HtgmQueryCost flat_cost, hier_cost;
+    for (SetId qid : query_ids) {
+      flat.Knn(db, db.set(qid), 10, SimilarityMeasure::kJaccard,
+               &flat_cost);
+      hier.Knn(db, db.set(qid), 10, SimilarityMeasure::kJaccard,
+               &hier_cost);
+      flat.Range(db, db.set(qid), 0.5, SimilarityMeasure::kJaccard,
+                 &flat_cost);
+      hier.Range(db, db.set(qid), 0.5, SimilarityMeasure::kJaccard,
+                 &hier_cost);
+    }
+    double access_ratio = static_cast<double>(hier_cost.cells_accessed) /
+                          static_cast<double>(flat_cost.cells_accessed);
+    double compute_ratio = static_cast<double>(hier_cost.sims_computed) /
+                           static_cast<double>(flat_cost.sims_computed);
+    table.Add(alpha, access_ratio, compute_ratio,
+              static_cast<unsigned long long>(flat_cost.cells_accessed),
+              static_cast<unsigned long long>(hier_cost.cells_accessed));
+    std::printf("alpha %.1f: access ratio %.3f compute ratio %.3f\n", alpha,
+                access_ratio, compute_ratio);
+  }
+  bench::Emit(table, "Figure 14: HTGM/TGM cost ratios vs alpha",
+              "fig14_htgm.csv");
+  return 0;
+}

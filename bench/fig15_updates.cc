@@ -1,0 +1,92 @@
+// Figure 15 — handling updates.
+//
+// Starting from a KOSARAK analog, insert batches of new sets through the
+// Section 6 update path under (1) a closed universe (tokens drawn from the
+// original universe) and (2) an open universe (half the tokens previously
+// unseen). After each batch, the kNN pruning efficiency is compared against
+// a from-scratch L2P rebuild on the union.
+//
+// Expected shape (paper): PE degrades gently with insert ratio (<= 8%),
+// open universe slightly worse than closed.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/analogs.h"
+#include "l2p/l2p.h"
+#include "search/les3_index.h"
+
+namespace les3 {
+namespace {
+
+double AveragePe(const search::Les3Index& index, const SetDatabase& db,
+                 const std::vector<SetId>& query_ids) {
+  double pe = 0;
+  for (SetId qid : query_ids) {
+    search::QueryStats stats;
+    index.Knn(db.set(qid), 10, &stats);
+    pe += stats.pruning_efficiency;
+  }
+  return pe / static_cast<double>(query_ids.size());
+}
+
+}  // namespace
+}  // namespace les3
+
+int main() {
+  using namespace les3;
+  const auto& spec = datagen::AnalogSpecByName("KOSARAK");
+  const uint32_t kBase = 40000;
+  SetDatabase base = datagen::GenerateAnalogSample(spec, kBase, 3);
+  uint32_t groups = bench::DefaultGroups(kBase);
+
+  TableReporter table(
+      {"universe", "insert_ratio", "pe_updated", "pe_rebuild",
+       "pe_drop_pct"});
+
+  for (bool open_universe : {false, true}) {
+    // New sets: same generator, fresh seed; in the open-universe case half
+    // of each set's tokens are shifted past the original universe.
+    SetDatabase incoming = datagen::GenerateAnalogSample(spec, kBase, 101);
+    const char* label = open_universe ? "open" : "closed";
+
+    // One base partitioning serves every insert ratio.
+    l2p::L2PPartitioner l2p(bench::BenchCascade(groups));
+    auto part = l2p.Partition(base, groups);
+    for (double ratio : {0.5, 1.0}) {
+      size_t insert_count = static_cast<size_t>(ratio * kBase);
+      // Updated index: copy the base partitioning, then stream inserts.
+      search::Les3Index updated(base, part.assignment, part.num_groups);
+      SetDatabase unioned = base;
+      for (size_t i = 0; i < insert_count; ++i) {
+        SetRecord s = incoming.set(static_cast<SetId>(i));
+        if (open_universe) {
+          // Make half the tokens previously unseen (paper protocol).
+          std::vector<TokenId> tokens = s.tokens();
+          for (size_t t = 0; t < tokens.size(); t += 2) {
+            tokens[t] += spec.num_tokens;  // outside the original universe
+          }
+          s = SetRecord::FromTokens(std::move(tokens));
+        }
+        updated.Insert(s);
+        unioned.AddSet(s);
+      }
+      // Rebuild from scratch on the union.
+      l2p::L2PPartitioner l2p2(bench::BenchCascade(groups));
+      auto part2 = l2p2.Partition(unioned, groups);
+      search::Les3Index rebuilt(unioned, part2.assignment,
+                                part2.num_groups);
+
+      auto query_ids = datagen::SampleQueryIds(unioned, 100, 7);
+      double pe_updated = AveragePe(updated, unioned, query_ids);
+      double pe_rebuilt = AveragePe(rebuilt, unioned, query_ids);
+      double drop_pct = (pe_rebuilt - pe_updated) / pe_rebuilt * 100.0;
+      table.Add(label, ratio, pe_updated, pe_rebuilt, drop_pct);
+      std::printf("%s ratio %.2f: pe %.4f vs rebuild %.4f (drop %.2f%%)\n",
+                  label, ratio, pe_updated, pe_rebuilt, drop_pct);
+    }
+  }
+  bench::Emit(table, "Figure 15: pruning efficiency under updates",
+              "fig15_updates.csv");
+  return 0;
+}

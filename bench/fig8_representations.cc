@@ -1,0 +1,100 @@
+// Figure 8 — PTR vs other set-representation techniques.
+//
+// On a sampled KOSARAK analog (the paper uses a 5% sample because PCA/MDS
+// cannot scale), each representation feeds the same L2P cascade; we report
+// the representation-construction time and the resulting query times for
+// kNN (k = 10) and range (δ = 0.7).
+//
+// Expected shape (paper): PTR builds 10-20000x faster than PCA/MDS with
+// similar-or-better search time; Binary Encoding and PTR-half search slower.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "datagen/analogs.h"
+#include "embed/binary_encoding.h"
+#include "embed/mds.h"
+#include "embed/pca.h"
+#include "embed/ptr.h"
+#include "l2p/cascade.h"
+#include "search/les3_index.h"
+
+int main() {
+  using namespace les3;
+  const auto& spec = datagen::AnalogSpecByName("KOSARAK");
+  // 5% of the analog (the paper samples 5% of KOSARAK).
+  SetDatabase db = datagen::GenerateAnalogSample(spec, spec.num_sets / 20, 3);
+  auto query_ids = datagen::SampleQueryIds(db, 200, 5);
+  const uint32_t kGroups = 32;
+
+  TableReporter table({"representation", "dim", "embed_ms", "knn10_ms",
+                       "range0.7_ms", "knn_pe"});
+
+  auto evaluate = [&](const embed::SetRepresentation& rep, double fit_ms) {
+    // Embedding cost: fit (PCA/MDS) + transform of the whole sample.
+    WallTimer embed_timer;
+    ml::Matrix reps = embed::EmbedDatabase(rep, db);
+    double embed_ms = fit_ms + embed_timer.Millis();
+
+    l2p::CascadeOptions opts = bench::BenchCascade(kGroups);
+    opts.init_groups = 8;
+    opts.min_group_size = 20;
+    l2p::CascadeResult cascade = TrainCascade(db, rep, opts);
+    const auto& final_level = cascade.levels.back();
+    search::Les3Index index(db, final_level.assignment,
+                            final_level.num_groups);
+
+    search::QueryStats stats;
+    double pe = 0;
+    auto knn = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+      search::QueryStats s;
+      index.Knn(q, 10, &s);
+      return s;
+    });
+    auto range = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+      search::QueryStats s;
+      index.Range(q, 0.7, &s);
+      return s;
+    });
+    (void)stats;
+    (void)pe;
+    table.Add(rep.name(), static_cast<unsigned long long>(rep.dim()),
+              embed_ms, knn.avg_ms, range.avg_ms, knn.avg_pe);
+    std::printf("%-10s embed %.1fms knn %.3fms range %.3fms\n",
+                rep.name().c_str(), embed_ms, knn.avg_ms, range.avg_ms);
+  };
+
+  {
+    embed::PtrRepresentation ptr(db.num_tokens());
+    evaluate(ptr, 0.0);
+  }
+  {
+    embed::PtrHalfRepresentation half(db.num_tokens());
+    evaluate(half, 0.0);
+  }
+  {
+    embed::BinaryEncoding binary(db.size());
+    evaluate(binary, 0.0);
+  }
+  {
+    WallTimer fit;
+    embed::PcaOptions popts;
+    popts.dim = 16;
+    embed::PcaRepresentation pca(db, popts);
+    evaluate(pca, fit.Millis());
+  }
+  {
+    WallTimer fit;
+    embed::MdsOptions mopts;
+    mopts.dim = 16;
+    mopts.num_landmarks = 64;
+    embed::MdsRepresentation mds(db, mopts);
+    evaluate(mds, fit.Millis());
+  }
+
+  bench::Emit(table,
+              "Figure 8: set representation techniques (sampled KOSARAK)",
+              "fig8_representations.csv");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks for the bitmap substrate (google-benchmark): Roaring
+// add/contains/intersection/iteration across density regimes, against the
+// dense BitVector.
+
+#include <benchmark/benchmark.h>
+
+#include "bitmap/bitvector.h"
+#include "bitmap/roaring.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace bitmap {
+namespace {
+
+std::vector<uint32_t> SortedRandom(size_t n, uint32_t universe,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<uint32_t>(rng.Uniform(universe)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void BM_RoaringAdd(benchmark::State& state) {
+  uint32_t universe = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Roaring r;
+    for (int i = 0; i < 10000; ++i) {
+      r.Add(static_cast<uint32_t>(rng.Uniform(universe)));
+    }
+    benchmark::DoNotOptimize(r.Cardinality());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_RoaringAdd)->Arg(1 << 14)->Arg(1 << 20)->Arg(1 << 28);
+
+void BM_RoaringContains(benchmark::State& state) {
+  uint32_t universe = static_cast<uint32_t>(state.range(0));
+  Roaring r = Roaring::FromSorted(SortedRandom(100000, universe, 2));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        r.Contains(static_cast<uint32_t>(rng.Uniform(universe))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoaringContains)->Arg(1 << 17)->Arg(1 << 24);
+
+void BM_RoaringAndCardinality(benchmark::State& state) {
+  uint32_t universe = static_cast<uint32_t>(state.range(0));
+  Roaring a = Roaring::FromSorted(SortedRandom(50000, universe, 4));
+  Roaring b = Roaring::FromSorted(SortedRandom(50000, universe, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndCardinality(b));
+  }
+}
+BENCHMARK(BM_RoaringAndCardinality)->Arg(1 << 17)->Arg(1 << 24);
+
+void BM_RoaringForEach(benchmark::State& state) {
+  Roaring r = Roaring::FromSorted(
+      SortedRandom(100000, static_cast<uint32_t>(state.range(0)), 6));
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    r.ForEach([&](uint32_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * r.Cardinality());
+}
+BENCHMARK(BM_RoaringForEach)->Arg(1 << 17)->Arg(1 << 24);
+
+void BM_RoaringRunOptimizedForEach(benchmark::State& state) {
+  // Dense consecutive values: run containers shine.
+  std::vector<uint32_t> values(100000);
+  for (uint32_t i = 0; i < values.size(); ++i) values[i] = i + 7;
+  Roaring r = Roaring::FromSorted(values);
+  r.RunOptimize();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    r.ForEach([&](uint32_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RoaringRunOptimizedForEach);
+
+void BM_BitVectorAndCount(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  BitVector a(bits), b(bits);
+  Rng rng(7);
+  for (size_t i = 0; i < bits / 4; ++i) {
+    a.Set(rng.Uniform(bits));
+    b.Set(rng.Uniform(bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndCount(b));
+  }
+}
+BENCHMARK(BM_BitVectorAndCount)->Arg(1 << 14)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace les3
+
+BENCHMARK_MAIN();

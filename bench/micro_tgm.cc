@@ -1,0 +1,106 @@
+// Micro-benchmarks for the query-path hot spots: TGM upper-bound
+// computation vs group count, PTR embedding throughput vs PCA/MDS, and
+// exact verification.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/generators.h"
+#include "embed/mds.h"
+#include "embed/pca.h"
+#include "embed/ptr.h"
+#include "tgm/tgm.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace {
+
+SetDatabase BenchDb() {
+  datagen::ZipfOptions opts;
+  opts.num_sets = 50000;
+  opts.num_tokens = 20000;
+  opts.avg_set_size = 10;
+  opts.seed = 3;
+  static SetDatabase db = datagen::GenerateZipf(opts);
+  return db;
+}
+
+void BM_TgmMatchedCounts(benchmark::State& state) {
+  SetDatabase db = BenchDb();
+  uint32_t groups = static_cast<uint32_t>(state.range(0));
+  Rng rng(5);
+  std::vector<GroupId> assignment(db.size());
+  for (auto& g : assignment) g = static_cast<GroupId>(rng.Uniform(groups));
+  tgm::Tgm index(db, assignment, groups);
+  index.RunOptimize();
+  std::vector<uint32_t> counts;
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.MatchedCounts(db.set(q++ % db.size()), &counts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TgmMatchedCounts)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PtrEmbed(benchmark::State& state) {
+  SetDatabase db = BenchDb();
+  embed::PtrRepresentation ptr(db.num_tokens());
+  std::vector<float> out(ptr.dim());
+  size_t i = 0;
+  for (auto _ : state) {
+    ptr.Embed(0, db.set(i++ % db.size()), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PtrEmbed);
+
+void BM_PcaEmbed(benchmark::State& state) {
+  SetDatabase db = BenchDb();
+  embed::PcaOptions opts;
+  opts.dim = 16;
+  opts.power_iterations = 4;
+  embed::PcaRepresentation pca(db, opts);
+  std::vector<float> out(pca.dim());
+  size_t i = 0;
+  for (auto _ : state) {
+    pca.Embed(0, db.set(i++ % db.size()), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcaEmbed);
+
+void BM_MdsEmbed(benchmark::State& state) {
+  SetDatabase db = BenchDb();
+  embed::MdsOptions opts;
+  opts.dim = 16;
+  opts.num_landmarks = 64;
+  embed::MdsRepresentation mds(db, opts);
+  std::vector<float> out(mds.dim());
+  size_t i = 0;
+  for (auto _ : state) {
+    mds.Embed(0, db.set(i++ % db.size()), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MdsEmbed);
+
+void BM_ExactVerification(benchmark::State& state) {
+  SetDatabase db = BenchDb();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Similarity(SimilarityMeasure::kJaccard,
+                                        db.set(i % db.size()),
+                                        db.set((i * 31 + 7) % db.size())));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactVerification);
+
+}  // namespace
+}  // namespace les3
+
+BENCHMARK_MAIN();

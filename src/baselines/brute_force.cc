@@ -1,0 +1,73 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/timer.h"
+
+namespace les3 {
+namespace baselines {
+namespace {
+
+void SortHits(std::vector<std::pair<SetId, double>>* hits) {
+  std::sort(hits->begin(), hits->end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+}
+
+}  // namespace
+
+std::vector<std::pair<SetId, double>> BruteForce::Knn(
+    const SetRecord& query, size_t k, search::QueryStats* stats) const {
+  WallTimer timer;
+  std::priority_queue<std::pair<double, SetId>,
+                      std::vector<std::pair<double, SetId>>, std::greater<>>
+      best;
+  for (SetId i = 0; i < db_->size(); ++i) {
+    double sim = Similarity(measure_, query, db_->set(i));
+    if (best.size() < k) {
+      best.push({sim, i});
+    } else if (sim > best.top().first) {
+      best.pop();
+      best.push({sim, i});
+    }
+  }
+  std::vector<std::pair<SetId, double>> out;
+  while (!best.empty()) {
+    out.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  SortHits(&out);
+  if (stats != nullptr) {
+    *stats = search::QueryStats();
+    stats->candidates_verified = db_->size();
+    stats->results = out.size();
+    stats->pruning_efficiency =
+        search::KnnPruningEfficiency(db_->size(), db_->size(), k);
+    stats->micros = timer.Micros();
+  }
+  return out;
+}
+
+std::vector<std::pair<SetId, double>> BruteForce::Range(
+    const SetRecord& query, double delta, search::QueryStats* stats) const {
+  WallTimer timer;
+  std::vector<std::pair<SetId, double>> out;
+  for (SetId i = 0; i < db_->size(); ++i) {
+    double sim = Similarity(measure_, query, db_->set(i));
+    if (sim >= delta) out.emplace_back(i, sim);
+  }
+  SortHits(&out);
+  if (stats != nullptr) {
+    *stats = search::QueryStats();
+    stats->candidates_verified = db_->size();
+    stats->results = out.size();
+    stats->pruning_efficiency =
+        search::RangePruningEfficiency(db_->size(), db_->size(), out.size());
+    stats->micros = timer.Micros();
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace les3

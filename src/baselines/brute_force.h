@@ -1,0 +1,41 @@
+// Brute-force set similarity search: verify everything. The completeness
+// baseline of Figures 12 and 13 — the paper shows it beating heavy indexes
+// at low thresholds / large k, which our benches reproduce.
+
+#ifndef LES3_BASELINES_BRUTE_FORCE_H_
+#define LES3_BASELINES_BRUTE_FORCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "search/query_stats.h"
+
+namespace les3 {
+namespace baselines {
+
+/// \brief Linear-scan searcher.
+class BruteForce {
+ public:
+  explicit BruteForce(const SetDatabase* db,
+                      SimilarityMeasure measure = SimilarityMeasure::kJaccard)
+      : db_(db), measure_(measure) {}
+
+  std::vector<std::pair<SetId, double>> Knn(
+      const SetRecord& query, size_t k,
+      search::QueryStats* stats = nullptr) const;
+
+  std::vector<std::pair<SetId, double>> Range(
+      const SetRecord& query, double delta,
+      search::QueryStats* stats = nullptr) const;
+
+ private:
+  const SetDatabase* db_;
+  SimilarityMeasure measure_;
+};
+
+}  // namespace baselines
+}  // namespace les3
+
+#endif  // LES3_BASELINES_BRUTE_FORCE_H_

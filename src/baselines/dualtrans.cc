@@ -1,0 +1,138 @@
+#include "baselines/dualtrans.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace baselines {
+
+DualTrans::DualTrans(const SetDatabase* db, DualTransOptions options)
+    : db_(db), options_(options) {
+  // Carve the token universe into `dims` buckets balanced by total token
+  // frequency (greedy longest-processing-time assignment).
+  std::vector<uint64_t> freq(db_->num_tokens(), 0);
+  for (SetId i = 0; i < db_->size(); ++i) {
+    for (TokenId t : db_->set(i).tokens()) ++freq[t];
+  }
+  std::vector<TokenId> order(db_->num_tokens());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](TokenId a, TokenId b) { return freq[a] > freq[b]; });
+  bucket_of_.assign(db_->num_tokens(), 0);
+  std::priority_queue<std::pair<uint64_t, uint32_t>,
+                      std::vector<std::pair<uint64_t, uint32_t>>,
+                      std::greater<>>
+      load;  // (current load, bucket)
+  for (uint32_t b = 0; b < options_.dims; ++b) load.push({0, b});
+  for (TokenId t : order) {
+    auto [l, b] = load.top();
+    load.pop();
+    bucket_of_[t] = b;
+    load.push({l + freq[t], b});
+  }
+
+  std::vector<std::vector<float>> vectors(db_->size());
+  for (SetId i = 0; i < db_->size(); ++i) {
+    vectors[i] = Transform(db_->set(i));
+  }
+  vector_bytes_ =
+      static_cast<uint64_t>(db_->size()) * options_.dims * sizeof(float);
+  rtree::RTree::Options topts;
+  topts.leaf_capacity = options_.leaf_capacity;
+  topts.fanout = options_.fanout;
+  tree_ = std::make_unique<rtree::RTree>(vectors, topts);
+}
+
+std::vector<float> DualTrans::Transform(const SetRecord& s) const {
+  std::vector<float> vec(options_.dims, 0.0f);
+  for (TokenId t : s.tokens()) {
+    if (t < bucket_of_.size()) vec[bucket_of_[t]] += 1.0f;
+  }
+  return vec;
+}
+
+double DualTrans::MbrUpperBound(const std::vector<float>& qvec,
+                                size_t query_size,
+                                const rtree::Mbr& mbr) const {
+  // Bucket-wise overlap cap and set-size range inside the box.
+  double overlap_ub = 0.0, size_lo = 0.0, size_hi = 0.0;
+  for (size_t d = 0; d < qvec.size(); ++d) {
+    overlap_ub += std::min(static_cast<double>(qvec[d]),
+                           static_cast<double>(mbr.hi[d]));
+    size_lo += mbr.lo[d];
+    size_hi += mbr.hi[d];
+  }
+  // The size s* maximizing the similarity is overlap_ub clamped to the
+  // feasible size range (similarity rises while s <= overlap and falls
+  // after, for all supported measures).
+  double s_star = std::clamp(overlap_ub, size_lo, size_hi);
+  double o = std::min(overlap_ub, s_star);
+  if (query_size == 0) return 1.0;
+  if (s_star <= 0.0 || o <= 0.0) return 0.0;
+  return SimilarityFromOverlap(options_.measure, static_cast<size_t>(o),
+                               query_size, static_cast<size_t>(s_star));
+}
+
+std::vector<std::pair<SetId, double>> DualTrans::Knn(
+    const SetRecord& query, size_t k, search::QueryStats* stats) const {
+  WallTimer timer;
+  std::vector<float> qvec = Transform(query);
+  uint64_t nodes = 0, scored = 0;
+  auto hits = tree_->TopK(
+      k,
+      [&](const rtree::Mbr& mbr) {
+        return MbrUpperBound(qvec, query.size(), mbr);
+      },
+      [&](uint32_t id) {
+        return Similarity(options_.measure, query, db_->set(id));
+      },
+      &nodes, &scored);
+  if (stats != nullptr) {
+    *stats = search::QueryStats();
+    stats->candidates_verified = scored;
+    stats->groups_visited = nodes;
+    stats->results = hits.size();
+    stats->pruning_efficiency =
+        search::KnnPruningEfficiency(db_->size(), scored, k);
+    stats->micros = timer.Micros();
+  }
+  return {hits.begin(), hits.end()};
+}
+
+std::vector<std::pair<SetId, double>> DualTrans::Range(
+    const SetRecord& query, double delta, search::QueryStats* stats) const {
+  WallTimer timer;
+  std::vector<float> qvec = Transform(query);
+  uint64_t nodes = 0, scored = 0;
+  auto hits = tree_->RangeSearch(
+      delta,
+      [&](const rtree::Mbr& mbr) {
+        return MbrUpperBound(qvec, query.size(), mbr);
+      },
+      [&](uint32_t id) {
+        return Similarity(options_.measure, query, db_->set(id));
+      },
+      &nodes, &scored);
+  if (stats != nullptr) {
+    *stats = search::QueryStats();
+    stats->candidates_verified = scored;
+    stats->groups_visited = nodes;
+    stats->results = hits.size();
+    stats->pruning_efficiency =
+        search::RangePruningEfficiency(db_->size(), scored, hits.size());
+    stats->micros = timer.Micros();
+  }
+  return {hits.begin(), hits.end()};
+}
+
+uint64_t DualTrans::IndexBytes() const {
+  return tree_->MemoryBytes() + vector_bytes_ +
+         bucket_of_.size() * sizeof(uint32_t);
+}
+
+}  // namespace baselines
+}  // namespace les3

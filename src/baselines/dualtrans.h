@@ -1,0 +1,73 @@
+// DualTrans: transformation-based tree search (after Zhang et al. [73], the
+// paper's tree-based comparator).
+//
+// Each set is transformed into a d-dimensional count vector — the token
+// universe is carved into d buckets balanced by total token frequency, and
+// vec[i] counts the set's tokens falling in bucket i — and the vectors are
+// organized in an R-tree. A node MBR yields a similarity upper bound for
+// every set inside (bucket-wise overlap can never exceed min(q_i, hi_i)),
+// so branch-and-bound search is exact. As the paper observes, small d
+// separates sets poorly and large d bloats the R-tree with overlapping
+// boxes; either way the index is much heavier than the TGM, which Figures
+// 11-13 quantify.
+
+#ifndef LES3_BASELINES_DUALTRANS_H_
+#define LES3_BASELINES_DUALTRANS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "rtree/rtree.h"
+#include "search/query_stats.h"
+
+namespace les3 {
+namespace baselines {
+
+struct DualTransOptions {
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  size_t dims = 16;          // transformation dimensionality (tunable d)
+  size_t leaf_capacity = 32;
+  size_t fanout = 8;
+};
+
+/// \brief Transformation + R-tree searcher.
+class DualTrans {
+ public:
+  DualTrans(const SetDatabase* db, DualTransOptions options = {});
+
+  std::vector<std::pair<SetId, double>> Knn(
+      const SetRecord& query, size_t k,
+      search::QueryStats* stats = nullptr) const;
+
+  std::vector<std::pair<SetId, double>> Range(
+      const SetRecord& query, double delta,
+      search::QueryStats* stats = nullptr) const;
+
+  /// Index footprint: R-tree + stored vectors + bucket map (Figure 11).
+  uint64_t IndexBytes() const;
+
+  const rtree::RTree& tree() const { return *tree_; }
+
+  /// Transforms a set into its bucket-count vector.
+  std::vector<float> Transform(const SetRecord& s) const;
+
+ private:
+  /// Similarity upper bound between the query vector and any set vector
+  /// inside `mbr` (see header comment).
+  double MbrUpperBound(const std::vector<float>& qvec, size_t query_size,
+                       const rtree::Mbr& mbr) const;
+
+  const SetDatabase* db_;
+  DualTransOptions options_;
+  std::vector<uint32_t> bucket_of_;  // token -> bucket
+  std::unique_ptr<rtree::RTree> tree_;
+  uint64_t vector_bytes_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace les3
+
+#endif  // LES3_BASELINES_DUALTRANS_H_

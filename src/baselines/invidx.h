@@ -1,0 +1,85 @@
+// InvIdx: inverted-index set similarity search with prefix and size filters
+// (after Wang et al. [67], the paper's state-of-the-art inverted-index
+// comparator).
+//
+// Tokens are globally ordered by ascending frequency (rarest first). For a
+// range query with threshold δ, any result must overlap Q in at least
+// α = ceil(δ |Q|) tokens, hence must contain one of the first
+// |Q| - α + 1 query tokens in that order (prefix filter); candidates are
+// the union of those postings, size-filtered to |S| in [δ|Q|, |Q|/δ], then
+// verified. kNN is answered by the paper's Section 7.6 adaptation: start at
+// δ = 1 and keep lowering it by a step z until the k-th best similarity
+// reaches δ.
+
+#ifndef LES3_BASELINES_INVIDX_H_
+#define LES3_BASELINES_INVIDX_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "search/query_stats.h"
+
+namespace les3 {
+namespace baselines {
+
+struct InvIdxOptions {
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  double knn_delta_step = 0.05;  // the z of Section 7.6, "tuned"
+};
+
+/// \brief Prefix-filtered inverted-index searcher.
+class InvIdx {
+ public:
+  InvIdx(const SetDatabase* db, InvIdxOptions options = {});
+
+  std::vector<std::pair<SetId, double>> Range(
+      const SetRecord& query, double delta,
+      search::QueryStats* stats = nullptr) const;
+
+  std::vector<std::pair<SetId, double>> Knn(
+      const SetRecord& query, size_t k,
+      search::QueryStats* stats = nullptr) const;
+
+  /// Index footprint: postings + token-rank table (Figure 11).
+  uint64_t IndexBytes() const;
+
+  /// Postings of `token` (ascending set id); empty when unknown.
+  const std::vector<SetId>& Postings(TokenId token) const;
+
+  /// Filter-step output for one range threshold: the candidate ids and the
+  /// prefix tokens whose postings were fetched (the disk layer charges I/O
+  /// for exactly these).
+  struct FilterResult {
+    std::vector<SetId> candidates;
+    std::vector<TokenId> prefix_tokens;
+  };
+  FilterResult RangeFilter(const SetRecord& query, double delta) const;
+
+ private:
+  /// Distinct query tokens in ascending global-frequency order, with their
+  /// multiplicities in the (multi)set query.
+  struct CanonicalQuery {
+    std::vector<TokenId> tokens;
+    std::vector<size_t> multiplicities;
+  };
+  CanonicalQuery Canonicalize(const SetRecord& query) const;
+
+  /// Range candidates under the prefix + size filters. Appends distinct set
+  /// ids to `out` and, when non-null, the prefix tokens to `prefix_out`.
+  void CollectCandidates(const CanonicalQuery& canonical, size_t query_size,
+                         double delta, std::vector<SetId>* out,
+                         std::vector<TokenId>* prefix_out = nullptr) const;
+
+  const SetDatabase* db_;
+  InvIdxOptions options_;
+  std::vector<std::vector<SetId>> postings_;  // per token
+  std::vector<uint32_t> frequency_;           // per token
+  std::vector<SetId> empty_;
+};
+
+}  // namespace baselines
+}  // namespace les3
+
+#endif  // LES3_BASELINES_INVIDX_H_

@@ -1,0 +1,33 @@
+#include "bitmap/bitvector.h"
+
+#include <algorithm>
+
+namespace les3 {
+namespace bitmap {
+
+void BitVector::Resize(uint64_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize((num_bits + 63) / 64, 0);
+  // Clear any stale bits past the new logical end.
+  if (num_bits & 63) {
+    words_.back() &= (1ULL << (num_bits & 63)) - 1;
+  }
+}
+
+uint64_t BitVector::Count() const {
+  uint64_t total = 0;
+  for (uint64_t w : words_) total += __builtin_popcountll(w);
+  return total;
+}
+
+uint64_t BitVector::AndCount(const BitVector& other) const {
+  uint64_t n = std::min(words_.size(), other.words_.size());
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += __builtin_popcountll(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+}  // namespace bitmap
+}  // namespace les3

@@ -1,0 +1,68 @@
+// A flat, uncompressed bit vector with fast population-count operations.
+//
+// Used for the dense row view of the token-group matrix and as the reference
+// point for the compressed Roaring representation (bitmap/roaring.h).
+
+#ifndef LES3_BITMAP_BITVECTOR_H_
+#define LES3_BITMAP_BITVECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace les3 {
+namespace bitmap {
+
+/// \brief Fixed-size dense bit vector.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `num_bits` zero bits.
+  explicit BitVector(uint64_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  uint64_t size() const { return num_bits_; }
+
+  void Set(uint64_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Clear(uint64_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Get(uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Resizes to `num_bits`, zero-filling any new bits.
+  void Resize(uint64_t num_bits);
+
+  /// Number of set bits.
+  uint64_t Count() const;
+
+  /// Number of positions set in both vectors (sizes may differ; the shorter
+  /// vector is treated as zero-padded).
+  uint64_t AndCount(const BitVector& other) const;
+
+  /// Calls fn(i) for every set bit i in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint64_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        uint64_t bit = bits & (~bits + 1);
+        fn((w << 6) + static_cast<uint64_t>(__builtin_ctzll(bits)));
+        bits ^= bit;
+      }
+    }
+  }
+
+  /// Heap bytes used by the word array.
+  uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  uint64_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace bitmap
+}  // namespace les3
+
+#endif  // LES3_BITMAP_BITVECTOR_H_

@@ -1,0 +1,324 @@
+#include "bitmap/roaring.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace bitmap {
+
+using internal::ArrayContainer;
+using internal::BitsetContainer;
+using internal::Container;
+using internal::kArrayMaxCardinality;
+using internal::RunContainer;
+
+namespace {
+
+uint32_t ContainerCardinality(const Container& c) {
+  if (const auto* a = std::get_if<ArrayContainer>(&c)) {
+    return static_cast<uint32_t>(a->values.size());
+  }
+  if (const auto* b = std::get_if<BitsetContainer>(&c)) {
+    return b->cardinality;
+  }
+  const auto& runs = std::get<RunContainer>(c).runs;
+  uint32_t total = 0;
+  for (const auto& r : runs) total += static_cast<uint32_t>(r.length) + 1;
+  return total;
+}
+
+bool ContainerContains(const Container& c, uint16_t low) {
+  if (const auto* a = std::get_if<ArrayContainer>(&c)) {
+    return std::binary_search(a->values.begin(), a->values.end(), low);
+  }
+  if (const auto* b = std::get_if<BitsetContainer>(&c)) {
+    return (b->words[low >> 6] >> (low & 63)) & 1ULL;
+  }
+  const auto& runs = std::get<RunContainer>(c).runs;
+  // First run whose start is > low, then check the previous one.
+  auto it = std::upper_bound(
+      runs.begin(), runs.end(), low,
+      [](uint16_t v, const RunContainer::Run& r) { return v < r.start; });
+  if (it == runs.begin()) return false;
+  --it;
+  return low <= static_cast<uint32_t>(it->start) + it->length;
+}
+
+BitsetContainer ArrayToBitset(const ArrayContainer& a) {
+  BitsetContainer b;
+  for (uint16_t v : a.values) b.words[v >> 6] |= (1ULL << (v & 63));
+  b.cardinality = static_cast<uint32_t>(a.values.size());
+  return b;
+}
+
+std::vector<uint16_t> ContainerToValues(const Container& c) {
+  std::vector<uint16_t> out;
+  out.reserve(ContainerCardinality(c));
+  internal::ForEachInContainer(
+      c, 0, [&](uint32_t v) { out.push_back(static_cast<uint16_t>(v)); });
+  return out;
+}
+
+uint32_t CountRuns(const std::vector<uint16_t>& sorted) {
+  if (sorted.empty()) return 0;
+  uint32_t runs = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1] + 1) ++runs;
+  }
+  return runs;
+}
+
+uint64_t ContainerBytes(const Container& c) {
+  if (const auto* a = std::get_if<ArrayContainer>(&c)) {
+    return a->values.size() * sizeof(uint16_t);
+  }
+  if (std::holds_alternative<BitsetContainer>(c)) {
+    return 1024 * sizeof(uint64_t);
+  }
+  return std::get<RunContainer>(c).runs.size() * sizeof(RunContainer::Run);
+}
+
+uint64_t AndArrayArray(const ArrayContainer& x, const ArrayContainer& y) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < x.values.size() && j < y.values.size()) {
+    if (x.values[i] < y.values[j]) {
+      ++i;
+    } else if (x.values[i] > y.values[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t AndBitsetBitset(const BitsetContainer& x, const BitsetContainer& y) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < 1024; ++w) {
+    count += __builtin_popcountll(x.words[w] & y.words[w]);
+  }
+  return count;
+}
+
+uint64_t AndGeneric(const Container& x, const Container& y) {
+  // Fast paths for the common pairings; anything involving a run container
+  // falls back to probing with the smaller side's values.
+  if (const auto* ax = std::get_if<ArrayContainer>(&x)) {
+    if (const auto* ay = std::get_if<ArrayContainer>(&y)) {
+      return AndArrayArray(*ax, *ay);
+    }
+    uint64_t count = 0;
+    for (uint16_t v : ax->values) count += ContainerContains(y, v);
+    return count;
+  }
+  if (std::holds_alternative<ArrayContainer>(y)) return AndGeneric(y, x);
+  if (const auto* bx = std::get_if<BitsetContainer>(&x)) {
+    if (const auto* by = std::get_if<BitsetContainer>(&y)) {
+      return AndBitsetBitset(*bx, *by);
+    }
+  }
+  // At least one run container: iterate the smaller cardinality side.
+  const Container& probe =
+      ContainerCardinality(x) <= ContainerCardinality(y) ? x : y;
+  const Container& other = (&probe == &x) ? y : x;
+  uint64_t count = 0;
+  internal::ForEachInContainer(probe, 0, [&](uint32_t v) {
+    count += ContainerContains(other, static_cast<uint16_t>(v));
+  });
+  return count;
+}
+
+}  // namespace
+
+Container* Roaring::FindContainer(uint16_t key) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return nullptr;
+  return &containers_[static_cast<size_t>(it - keys_.begin())];
+}
+
+const Container* Roaring::FindContainer(uint16_t key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return nullptr;
+  return &containers_[static_cast<size_t>(it - keys_.begin())];
+}
+
+Container& Roaring::GetOrCreateContainer(uint16_t key) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  size_t idx = static_cast<size_t>(it - keys_.begin());
+  if (it == keys_.end() || *it != key) {
+    keys_.insert(it, key);
+    containers_.insert(containers_.begin() + idx, ArrayContainer{});
+  }
+  return containers_[idx];
+}
+
+Roaring Roaring::FromSorted(const std::vector<uint32_t>& sorted_values) {
+  Roaring r;
+  size_t i = 0;
+  while (i < sorted_values.size()) {
+    uint16_t key = static_cast<uint16_t>(sorted_values[i] >> 16);
+    size_t j = i;
+    while (j < sorted_values.size() &&
+           static_cast<uint16_t>(sorted_values[j] >> 16) == key) {
+      ++j;
+    }
+    size_t count = j - i;
+    r.keys_.push_back(key);
+    if (count <= kArrayMaxCardinality) {
+      ArrayContainer a;
+      a.values.reserve(count);
+      for (size_t p = i; p < j; ++p) {
+        a.values.push_back(static_cast<uint16_t>(sorted_values[p] & 0xFFFF));
+      }
+      r.containers_.push_back(std::move(a));
+    } else {
+      BitsetContainer b;
+      for (size_t p = i; p < j; ++p) {
+        uint16_t low = static_cast<uint16_t>(sorted_values[p] & 0xFFFF);
+        b.words[low >> 6] |= (1ULL << (low & 63));
+      }
+      b.cardinality = static_cast<uint32_t>(count);
+      r.containers_.push_back(std::move(b));
+    }
+    i = j;
+  }
+  return r;
+}
+
+void Roaring::Add(uint32_t value) {
+  uint16_t key = static_cast<uint16_t>(value >> 16);
+  uint16_t low = static_cast<uint16_t>(value & 0xFFFF);
+  Container& c = GetOrCreateContainer(key);
+  if (auto* a = std::get_if<ArrayContainer>(&c)) {
+    auto it = std::lower_bound(a->values.begin(), a->values.end(), low);
+    if (it != a->values.end() && *it == low) return;
+    if (a->values.size() >= kArrayMaxCardinality) {
+      BitsetContainer b = ArrayToBitset(*a);
+      b.words[low >> 6] |= (1ULL << (low & 63));
+      ++b.cardinality;
+      c = std::move(b);
+      return;
+    }
+    a->values.insert(it, low);
+  } else if (auto* b = std::get_if<BitsetContainer>(&c)) {
+    uint64_t mask = 1ULL << (low & 63);
+    if (!(b->words[low >> 6] & mask)) {
+      b->words[low >> 6] |= mask;
+      ++b->cardinality;
+    }
+  } else {
+    auto& runs = std::get<RunContainer>(c).runs;
+    if (ContainerContains(c, low)) return;
+    // Insert a singleton run, merging with neighbours when adjacent.
+    auto it = std::lower_bound(
+        runs.begin(), runs.end(), low,
+        [](const RunContainer::Run& r, uint16_t v) { return r.start < v; });
+    bool merged = false;
+    if (it != runs.begin()) {
+      auto prev = it - 1;
+      if (static_cast<uint32_t>(prev->start) + prev->length + 1 == low) {
+        ++prev->length;
+        merged = true;
+        it = prev;
+      }
+    }
+    if (!merged && it != runs.end() && low + 1 == it->start) {
+      it->start = low;
+      ++it->length;
+      merged = true;
+    }
+    if (merged) {
+      // The grown run may now touch its successor.
+      auto next = it + 1;
+      if (next != runs.end() &&
+          static_cast<uint32_t>(it->start) + it->length + 1 == next->start) {
+        it->length = static_cast<uint16_t>(it->length + next->length + 1);
+        runs.erase(next);
+      }
+      return;
+    }
+    runs.insert(it, RunContainer::Run{low, 0});
+  }
+}
+
+bool Roaring::Contains(uint32_t value) const {
+  const Container* c = FindContainer(static_cast<uint16_t>(value >> 16));
+  if (c == nullptr) return false;
+  return ContainerContains(*c, static_cast<uint16_t>(value & 0xFFFF));
+}
+
+uint64_t Roaring::Cardinality() const {
+  uint64_t total = 0;
+  for (const auto& c : containers_) total += ContainerCardinality(c);
+  return total;
+}
+
+uint64_t Roaring::AndCardinality(const Roaring& other) const {
+  uint64_t total = 0;
+  size_t i = 0, j = 0;
+  while (i < keys_.size() && j < other.keys_.size()) {
+    if (keys_[i] < other.keys_[j]) {
+      ++i;
+    } else if (keys_[i] > other.keys_[j]) {
+      ++j;
+    } else {
+      total += AndGeneric(containers_[i], other.containers_[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+uint64_t Roaring::OrCardinality(const Roaring& other) const {
+  return Cardinality() + other.Cardinality() - AndCardinality(other);
+}
+
+size_t Roaring::RunOptimize() {
+  size_t converted = 0;
+  for (auto& c : containers_) {
+    if (std::holds_alternative<RunContainer>(c)) continue;
+    std::vector<uint16_t> values = ContainerToValues(c);
+    uint32_t num_runs = CountRuns(values);
+    uint64_t run_bytes = num_runs * sizeof(RunContainer::Run);
+    if (run_bytes < ContainerBytes(c)) {
+      RunContainer rc;
+      rc.runs.reserve(num_runs);
+      size_t i = 0;
+      while (i < values.size()) {
+        size_t j = i;
+        while (j + 1 < values.size() && values[j + 1] == values[j] + 1) ++j;
+        rc.runs.push_back(RunContainer::Run{
+            values[i], static_cast<uint16_t>(j - i)});
+        i = j + 1;
+      }
+      c = std::move(rc);
+      ++converted;
+    }
+  }
+  return converted;
+}
+
+uint64_t Roaring::MemoryBytes() const {
+  uint64_t total = keys_.size() * sizeof(uint16_t);
+  for (const auto& c : containers_) total += ContainerBytes(c);
+  return total;
+}
+
+bool Roaring::operator==(const Roaring& other) const {
+  return ToVector() == other.ToVector();
+}
+
+std::vector<uint32_t> Roaring::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Cardinality());
+  ForEach([&](uint32_t v) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace bitmap
+}  // namespace les3

@@ -1,0 +1,81 @@
+#include "core/database.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace les3 {
+
+namespace {
+constexpr uint32_t kMagic = 0x4C455333;  // "LES3"
+}
+
+SetId SetDatabase::AddSet(SetRecord set) {
+  if (!set.empty() && set.MaxToken() >= num_tokens_) {
+    num_tokens_ = set.MaxToken() + 1;
+  }
+  sets_.push_back(std::move(set));
+  return static_cast<SetId>(sets_.size() - 1);
+}
+
+uint64_t SetDatabase::TotalTokens() const {
+  uint64_t total = 0;
+  for (const auto& s : sets_) total += s.size();
+  return total;
+}
+
+Status SetDatabase::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  auto write_u32 = [&](uint32_t v) {
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+  };
+  bool ok = write_u32(kMagic) && write_u32(num_tokens_) &&
+            write_u32(static_cast<uint32_t>(sets_.size()));
+  for (const auto& s : sets_) {
+    if (!ok) break;
+    ok = write_u32(static_cast<uint32_t>(s.size()));
+    if (ok && !s.empty()) {
+      ok = std::fwrite(s.tokens().data(), sizeof(TokenId), s.size(), f) ==
+           s.size();
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<SetDatabase> SetDatabase::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  auto read_u32 = [&](uint32_t* v) {
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+  };
+  uint32_t magic = 0, num_tokens = 0, num_sets = 0;
+  if (!read_u32(&magic) || magic != kMagic || !read_u32(&num_tokens) ||
+      !read_u32(&num_sets)) {
+    std::fclose(f);
+    return Status::IOError("bad header: " + path);
+  }
+  SetDatabase db(num_tokens);
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    uint32_t n = 0;
+    if (!read_u32(&n)) {
+      std::fclose(f);
+      return Status::IOError("truncated set header: " + path);
+    }
+    std::vector<TokenId> tokens(n);
+    if (n > 0 && std::fread(tokens.data(), sizeof(TokenId), n, f) != n) {
+      std::fclose(f);
+      return Status::IOError("truncated set payload: " + path);
+    }
+    db.AddSet(SetRecord::FromSortedTokens(std::move(tokens)));
+  }
+  std::fclose(f);
+  // AddSet may have grown the universe if data disagreed with the header;
+  // keep the larger of the two.
+  if (db.num_tokens_ < num_tokens) db.num_tokens_ = num_tokens;
+  return db;
+}
+
+}  // namespace les3

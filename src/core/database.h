@@ -1,0 +1,55 @@
+// SetDatabase: the collection D of sets plus its token universe.
+
+#ifndef LES3_CORE_DATABASE_H_
+#define LES3_CORE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/set_record.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace les3 {
+
+/// \brief The database D: a dense array of SetRecords over a token universe
+/// [0, num_tokens).
+///
+/// The universe may grow (open-universe updates, Section 6 of the paper);
+/// AddSet extends it automatically when a set carries unseen token ids.
+class SetDatabase {
+ public:
+  SetDatabase() = default;
+
+  /// Creates an empty database whose universe is [0, num_tokens).
+  explicit SetDatabase(uint32_t num_tokens) : num_tokens_(num_tokens) {}
+
+  /// Appends a set and returns its id. Extends the token universe when the
+  /// set contains ids >= num_tokens().
+  SetId AddSet(SetRecord set);
+
+  size_t size() const { return sets_.size(); }
+  bool empty() const { return sets_.empty(); }
+
+  const SetRecord& set(SetId id) const { return sets_[id]; }
+  const std::vector<SetRecord>& sets() const { return sets_; }
+
+  /// Size of the token universe |T|.
+  uint32_t num_tokens() const { return num_tokens_; }
+
+  /// Total number of tokens over all sets (Σ|S|).
+  uint64_t TotalTokens() const;
+
+  /// Binary serialization (used to cache generated datasets and to feed the
+  /// disk-resident stores).
+  Status Save(const std::string& path) const;
+  static Result<SetDatabase> Load(const std::string& path);
+
+ private:
+  std::vector<SetRecord> sets_;
+  uint32_t num_tokens_ = 0;
+};
+
+}  // namespace les3
+
+#endif  // LES3_CORE_DATABASE_H_

@@ -1,0 +1,57 @@
+#include "core/set_record.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace les3 {
+
+SetRecord SetRecord::FromTokens(std::vector<TokenId> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  SetRecord r;
+  r.tokens_ = std::move(tokens);
+  return r;
+}
+
+SetRecord SetRecord::FromSortedTokens(std::vector<TokenId> tokens) {
+#ifndef NDEBUG
+  LES3_CHECK(std::is_sorted(tokens.begin(), tokens.end()));
+#endif
+  SetRecord r;
+  r.tokens_ = std::move(tokens);
+  return r;
+}
+
+bool SetRecord::Contains(TokenId t) const {
+  return std::binary_search(tokens_.begin(), tokens_.end(), t);
+}
+
+size_t SetRecord::OverlapSize(const SetRecord& a, const SetRecord& b) {
+  // Linear merge; counts duplicates with multiset semantics because equal
+  // elements are consumed pairwise.
+  size_t i = 0, j = 0, overlap = 0;
+  const auto& x = a.tokens_;
+  const auto& y = b.tokens_;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] < y[j]) {
+      ++i;
+    } else if (x[i] > y[j]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+size_t SetRecord::DistinctCount() const {
+  size_t count = 0;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (i == 0 || tokens_[i] != tokens_[i - 1]) ++count;
+  }
+  return count;
+}
+
+}  // namespace les3

@@ -1,0 +1,60 @@
+// SetRecord: one (multi)set of tokens, stored as a sorted token array.
+//
+// The paper's data model allows multisets; duplicates are kept, so the
+// multiset {A, A} is the sorted array [A, A]. Intersection size follows the
+// multiset convention (sum of minimum multiplicities).
+
+#ifndef LES3_CORE_SET_RECORD_H_
+#define LES3_CORE_SET_RECORD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace les3 {
+
+/// \brief A (multi)set of tokens with sorted storage.
+class SetRecord {
+ public:
+  SetRecord() = default;
+
+  /// Builds from arbitrary-order tokens; sorts, keeps duplicates.
+  static SetRecord FromTokens(std::vector<TokenId> tokens);
+
+  /// Builds from tokens already sorted ascending (checked in debug).
+  static SetRecord FromSortedTokens(std::vector<TokenId> tokens);
+
+  /// Number of tokens including duplicate multiplicity (the |S| of the
+  /// paper's similarity formulas).
+  size_t size() const { return tokens_.size(); }
+  bool empty() const { return tokens_.empty(); }
+
+  const std::vector<TokenId>& tokens() const { return tokens_; }
+
+  /// Whether the (multi)set contains at least one occurrence of `t`.
+  bool Contains(TokenId t) const;
+
+  /// Largest token id, or 0 for an empty set.
+  TokenId MaxToken() const { return tokens_.empty() ? 0 : tokens_.back(); }
+
+  /// Smallest token id, or 0 for an empty set.
+  TokenId MinToken() const { return tokens_.empty() ? 0 : tokens_.front(); }
+
+  /// Multiset intersection size: sum over tokens of min multiplicity.
+  static size_t OverlapSize(const SetRecord& a, const SetRecord& b);
+
+  /// Number of distinct tokens.
+  size_t DistinctCount() const;
+
+  bool operator==(const SetRecord& other) const {
+    return tokens_ == other.tokens_;
+  }
+
+ private:
+  std::vector<TokenId> tokens_;  // sorted ascending, duplicates allowed
+};
+
+}  // namespace les3
+
+#endif  // LES3_CORE_SET_RECORD_H_

@@ -1,0 +1,73 @@
+#include "core/similarity.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace les3 {
+
+std::string ToString(SimilarityMeasure m) {
+  switch (m) {
+    case SimilarityMeasure::kJaccard: return "jaccard";
+    case SimilarityMeasure::kDice: return "dice";
+    case SimilarityMeasure::kCosine: return "cosine";
+  }
+  return "unknown";
+}
+
+double SimilarityFromOverlap(SimilarityMeasure m, size_t overlap,
+                             size_t size_a, size_t size_b) {
+  if (size_a == 0 && size_b == 0) return 1.0;
+  if (size_a == 0 || size_b == 0) return 0.0;
+  double o = static_cast<double>(overlap);
+  double na = static_cast<double>(size_a);
+  double nb = static_cast<double>(size_b);
+  switch (m) {
+    case SimilarityMeasure::kJaccard:
+      return o / (na + nb - o);
+    case SimilarityMeasure::kDice:
+      return 2.0 * o / (na + nb);
+    case SimilarityMeasure::kCosine:
+      return o / std::sqrt(na * nb);
+  }
+  return 0.0;
+}
+
+double Similarity(SimilarityMeasure m, const SetRecord& a,
+                  const SetRecord& b) {
+  size_t overlap = SetRecord::OverlapSize(a, b);
+  return SimilarityFromOverlap(m, overlap, a.size(), b.size());
+}
+
+double GroupUpperBound(SimilarityMeasure m, size_t matched,
+                       size_t query_size) {
+  if (query_size == 0) return 1.0;
+  if (matched == 0) return 0.0;
+  LES3_CHECK_LE(matched, query_size);
+  double r = static_cast<double>(matched);
+  double q = static_cast<double>(query_size);
+  // Best case: the candidate set equals R = Q ∩ S with |R| = matched, so
+  // Sim(Q, R) is the bound (Theorem 3.1).
+  switch (m) {
+    case SimilarityMeasure::kJaccard:
+      return r / q;
+    case SimilarityMeasure::kDice:
+      return 2.0 * r / (q + r);
+    case SimilarityMeasure::kCosine:
+      return std::sqrt(r / q);
+  }
+  return 1.0;
+}
+
+size_t MinOverlapForThreshold(SimilarityMeasure m, size_t query_size,
+                              double threshold) {
+  if (threshold <= 0.0) return 0;
+  // GroupUpperBound is monotone non-decreasing in `matched` for all supported
+  // measures, so a linear scan (|Q| is small) finds the least sufficient r.
+  for (size_t r = 0; r <= query_size; ++r) {
+    if (GroupUpperBound(m, r, query_size) >= threshold) return r;
+  }
+  return query_size + 1;
+}
+
+}  // namespace les3

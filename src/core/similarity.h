@@ -1,0 +1,54 @@
+// Set similarity measures and the group upper bounds of Theorem 3.1.
+//
+// All supported measures satisfy the paper's TGM Applicability Property:
+//   (1) Sim(Q, Q ∩ S) >= Sim(Q, S), and
+//   (2) Sim(Q, R) is monotone in |R| for R ⊆ Q.
+// The group bound UB(Q, G) is therefore Sim(Q, R) where R is the best-case
+// intersection of size r = |{t in Q : some S in G contains t}|.
+
+#ifndef LES3_CORE_SIMILARITY_H_
+#define LES3_CORE_SIMILARITY_H_
+
+#include <string>
+
+#include "core/set_record.h"
+
+namespace les3 {
+
+/// Supported similarity measures. All satisfy the TGM Applicability Property
+/// (Theorem 3.1); the overlap coefficient does not and is deliberately
+/// absent.
+enum class SimilarityMeasure {
+  kJaccard,
+  kDice,
+  kCosine,
+};
+
+/// Human-readable measure name ("jaccard", ...).
+std::string ToString(SimilarityMeasure m);
+
+/// Similarity from precomputed overlap o = |A ∩ B| and sizes.
+/// Empty-vs-empty pairs are defined as similarity 1.
+double SimilarityFromOverlap(SimilarityMeasure m, size_t overlap,
+                             size_t size_a, size_t size_b);
+
+/// Exact similarity between two (multi)sets; O(|A| + |B|).
+double Similarity(SimilarityMeasure m, const SetRecord& a, const SetRecord& b);
+
+/// \brief Group upper bound of Equation (2) generalized per Theorem 3.1.
+///
+/// `matched` is the number of query tokens present somewhere in the group
+/// (counting query-side multiplicity), `query_size` is |Q|. The returned
+/// value upper-bounds Sim(Q, S) for every S in the group.
+double GroupUpperBound(SimilarityMeasure m, size_t matched, size_t query_size);
+
+/// \brief Least overlap a set of any size must have with Q so that
+/// Sim can still reach `threshold`; used by filters to prune on the matched
+/// token count. Returns the smallest integer r such that
+/// GroupUpperBound(m, r, |Q|) >= threshold (|Q|+1 if impossible).
+size_t MinOverlapForThreshold(SimilarityMeasure m, size_t query_size,
+                              double threshold);
+
+}  // namespace les3
+
+#endif  // LES3_CORE_SIMILARITY_H_

@@ -1,0 +1,37 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace les3 {
+
+DatasetStats ComputeStats(const SetDatabase& db) {
+  DatasetStats s;
+  s.num_sets = db.size();
+  s.num_tokens = db.num_tokens();
+  if (db.empty()) return s;
+  size_t min_size = std::numeric_limits<size_t>::max();
+  size_t max_size = 0;
+  uint64_t total = 0;
+  for (const auto& rec : db.sets()) {
+    min_size = std::min(min_size, rec.size());
+    max_size = std::max(max_size, rec.size());
+    total += rec.size();
+  }
+  s.min_set_size = min_size;
+  s.max_set_size = max_size;
+  s.avg_set_size = static_cast<double>(total) / static_cast<double>(db.size());
+  return s;
+}
+
+std::string DatasetStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "|D|=%llu sizes[min=%zu avg=%.1f max=%zu] |T|=%u",
+                static_cast<unsigned long long>(num_sets), min_set_size,
+                avg_set_size, max_set_size, num_tokens);
+  return buf;
+}
+
+}  // namespace les3

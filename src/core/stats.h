@@ -1,0 +1,28 @@
+// Dataset statistics in the shape of the paper's Table 2.
+
+#ifndef LES3_CORE_STATS_H_
+#define LES3_CORE_STATS_H_
+
+#include <string>
+
+#include "core/database.h"
+
+namespace les3 {
+
+/// Summary statistics of a database (the columns of Table 2).
+struct DatasetStats {
+  uint64_t num_sets = 0;
+  size_t max_set_size = 0;
+  size_t min_set_size = 0;
+  double avg_set_size = 0.0;
+  uint32_t num_tokens = 0;  // |T|
+
+  std::string ToString() const;
+};
+
+/// Scans the database once and fills a DatasetStats.
+DatasetStats ComputeStats(const SetDatabase& db);
+
+}  // namespace les3
+
+#endif  // LES3_CORE_STATS_H_

@@ -1,0 +1,64 @@
+#include "core/text_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+namespace les3 {
+
+Result<SetRecord> ParseSetLine(const std::string& line) {
+  std::vector<TokenId> tokens;
+  const char* p = line.c_str();
+  const char* end = p + line.size();
+  while (p < end) {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    if (p >= end) break;
+    char* next = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(p, &next, 10);
+    if (next == p || errno == ERANGE || v > 0xFFFFFFFFull) {
+      return Status::InvalidArgument("bad token id near: " +
+                                     std::string(p, std::min<size_t>(
+                                                        8, end - p)));
+    }
+    tokens.push_back(static_cast<TokenId>(v));
+    p = next;
+  }
+  return SetRecord::FromTokens(std::move(tokens));
+}
+
+Result<SetDatabase> LoadSetsFromText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  SetDatabase db;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    Result<SetRecord> record = ParseSetLine(line);
+    if (!record.ok()) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     record.status().message());
+    }
+    db.AddSet(std::move(record).ValueOrDie());
+  }
+  return db;
+}
+
+Status SaveSetsToText(const SetDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (const auto& s : db.sets()) {
+    bool first = true;
+    for (TokenId t : s.tokens()) {
+      if (!first) out << ' ';
+      first = false;
+      out << t;
+    }
+    out << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace les3

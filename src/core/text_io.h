@@ -1,0 +1,30 @@
+// Plain-text set database I/O: one set per line, whitespace-separated
+// non-negative integer token ids — the format the public set-similarity
+// benchmarks (KOSARAK et al.) ship in, so users can load the real datasets
+// into this library directly.
+
+#ifndef LES3_CORE_TEXT_IO_H_
+#define LES3_CORE_TEXT_IO_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace les3 {
+
+/// Parses a whitespace-separated token-id file into a database. Blank lines
+/// become empty sets; a line failing to parse yields InvalidArgument with
+/// its line number.
+Result<SetDatabase> LoadSetsFromText(const std::string& path);
+
+/// Writes `db` in the same format.
+Status SaveSetsToText(const SetDatabase& db, const std::string& path);
+
+/// Parses one line ("3 17 2") into a SetRecord; used by the CLI for query
+/// parsing too.
+Result<SetRecord> ParseSetLine(const std::string& line);
+
+}  // namespace les3
+
+#endif  // LES3_CORE_TEXT_IO_H_

@@ -1,0 +1,68 @@
+#include "core/tokenizer.h"
+
+#include <cctype>
+
+namespace les3 {
+
+TokenId Vocabulary::GetOrAdd(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(strings_.size());
+  ids_.emplace(token, id);
+  strings_.push_back(token);
+  return id;
+}
+
+TokenId Vocabulary::Find(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kInvalidToken : it->second;
+}
+
+std::vector<std::string> SplitWords(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::vector<std::string> QGrams(const std::string& text, size_t q) {
+  std::string padded;
+  padded.reserve(text.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  for (char c : text) {
+    padded.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  padded.append(q - 1, '$');
+  std::vector<std::string> out;
+  if (padded.size() < q) return out;
+  out.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    out.push_back(padded.substr(i, q));
+  }
+  return out;
+}
+
+SetRecord TokenizeWords(const std::string& text, Vocabulary* vocab) {
+  std::vector<TokenId> ids;
+  for (const auto& w : SplitWords(text)) ids.push_back(vocab->GetOrAdd(w));
+  return SetRecord::FromTokens(std::move(ids));
+}
+
+SetRecord TokenizeQGrams(const std::string& text, size_t q,
+                         Vocabulary* vocab) {
+  std::vector<TokenId> ids;
+  for (const auto& g : QGrams(text, q)) ids.push_back(vocab->GetOrAdd(g));
+  return SetRecord::FromTokens(std::move(ids));
+}
+
+}  // namespace les3

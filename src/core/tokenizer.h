@@ -1,0 +1,53 @@
+// String tokenization utilities for the data-cleaning example: strings are
+// turned into token sets (words or q-grams) over a growing vocabulary, which
+// is exactly how approximate string matching becomes set similarity search
+// (paper, Section 1).
+
+#ifndef LES3_CORE_TOKENIZER_H_
+#define LES3_CORE_TOKENIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/set_record.h"
+#include "core/types.h"
+
+namespace les3 {
+
+/// \brief Bidirectional string <-> TokenId mapping.
+class Vocabulary {
+ public:
+  /// Returns the id for `token`, assigning a fresh one on first sight.
+  TokenId GetOrAdd(const std::string& token);
+
+  /// Returns the id for `token` or kInvalidToken when unknown.
+  static constexpr TokenId kInvalidToken = static_cast<TokenId>(-1);
+  TokenId Find(const std::string& token) const;
+
+  const std::string& TokenString(TokenId id) const { return strings_[id]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(strings_.size()); }
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<std::string> strings_;
+};
+
+/// Splits on non-alphanumeric characters and lower-cases; empty tokens are
+/// dropped.
+std::vector<std::string> SplitWords(const std::string& text);
+
+/// Overlapping q-grams of the (lower-cased) string, padded with '#'/'$' at
+/// the edges so short strings still produce q grams.
+std::vector<std::string> QGrams(const std::string& text, size_t q);
+
+/// Tokenizes `text` into a SetRecord using `vocab` (words mode).
+SetRecord TokenizeWords(const std::string& text, Vocabulary* vocab);
+
+/// Tokenizes `text` into a SetRecord of q-gram tokens.
+SetRecord TokenizeQGrams(const std::string& text, size_t q, Vocabulary* vocab);
+
+}  // namespace les3
+
+#endif  // LES3_CORE_TOKENIZER_H_

@@ -1,0 +1,24 @@
+// Fundamental identifier types shared across all modules.
+
+#ifndef LES3_CORE_TYPES_H_
+#define LES3_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace les3 {
+
+/// Identifier of a token in the token universe T (dense, 0-based).
+using TokenId = uint32_t;
+
+/// Identifier of a set in the database D (dense, 0-based).
+using SetId = uint32_t;
+
+/// Identifier of a group produced by partitioning (dense, 0-based).
+using GroupId = uint32_t;
+
+/// Sentinel for "no group assigned".
+inline constexpr GroupId kInvalidGroup = static_cast<GroupId>(-1);
+
+}  // namespace les3
+
+#endif  // LES3_CORE_TYPES_H_

@@ -1,0 +1,43 @@
+#include "core/verify.h"
+
+namespace les3 {
+
+VerifyResult VerifyThreshold(SimilarityMeasure measure, const SetRecord& a,
+                             const SetRecord& b, double threshold) {
+  const auto& x = a.tokens();
+  const auto& y = b.tokens();
+  VerifyResult result;
+  if (threshold <= 0.0) {
+    result.similarity = Similarity(measure, a, b);
+    result.passed = true;
+    return result;
+  }
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < x.size() && j < y.size()) {
+    // Best-case final overlap if every remaining token matched.
+    size_t max_overlap =
+        overlap + std::min(x.size() - i, y.size() - j);
+    double best = SimilarityFromOverlap(measure, max_overlap, x.size(),
+                                        y.size());
+    if (best < threshold) {
+      result.similarity = best;  // valid upper bound
+      result.passed = false;
+      return result;
+    }
+    if (x[i] < y[j]) {
+      ++i;
+    } else if (x[i] > y[j]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  result.similarity =
+      SimilarityFromOverlap(measure, overlap, x.size(), y.size());
+  result.passed = result.similarity >= threshold;
+  return result;
+}
+
+}  // namespace les3

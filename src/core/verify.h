@@ -1,0 +1,34 @@
+// Threshold-aware verification with early termination.
+//
+// The verify step computes Sim(Q, S) only to compare it against a threshold
+// (the range δ or the current k-th best). Verification can stop as soon as
+// the remaining tokens cannot lift the overlap high enough: after consuming
+// a prefix of both sorted arrays with `o` matches so far, the final overlap
+// is at most o + min(remaining_a, remaining_b). This is the standard
+// optimization in set-similarity-join verifiers and cuts the dominant cost
+// of low-threshold queries.
+
+#ifndef LES3_CORE_VERIFY_H_
+#define LES3_CORE_VERIFY_H_
+
+#include "core/similarity.h"
+
+namespace les3 {
+
+/// Result of a threshold verification.
+struct VerifyResult {
+  bool passed = false;    // Sim(a, b) >= threshold
+  double similarity = 0;  // exact when passed; a valid upper bound when not
+};
+
+/// \brief Checks Sim(a, b) >= threshold, stopping early when impossible.
+///
+/// When the verification fails early, `similarity` holds an upper bound on
+/// the true similarity (sufficient for all callers, which discard failed
+/// candidates). When it passes, `similarity` is exact.
+VerifyResult VerifyThreshold(SimilarityMeasure measure, const SetRecord& a,
+                             const SetRecord& b, double threshold);
+
+}  // namespace les3
+
+#endif  // LES3_CORE_VERIFY_H_

@@ -1,0 +1,117 @@
+#include "datagen/analogs.h"
+
+#include "datagen/generators.h"
+#include "util/logging.h"
+
+namespace les3 {
+namespace datagen {
+namespace {
+
+std::vector<AnalogSpec> MakeSpecs() {
+  // name, paper |D|, paper |T|, avg, min, max(analog-clamped), |D| scale,
+  // analog |T|.
+  //
+  // Only |D| is scaled down. The token universe is kept at the paper's size
+  // (analog_tokens == paper |T|) for the memory-resident datasets: the TGM's
+  // pruning power depends on the fraction of the universe each group
+  // covers, and that fraction is only preserved when |T| stays put. For FS
+  // the tokens ARE the users, so the analog universe equals the analog
+  // |D|; for PMC a Heaps-law-style reduced vocabulary is used.
+  auto make = [](std::string name, uint64_t d, uint32_t t, double avg,
+                 size_t mn, size_t mx, uint32_t scale,
+                 uint32_t analog_tokens, size_t clamp_max, double zipf,
+                 bool disk) {
+    AnalogSpec s;
+    s.name = std::move(name);
+    s.paper_num_sets = d;
+    s.paper_num_tokens = t;
+    s.avg_set_size = avg;
+    s.min_set_size = mn;
+    s.max_set_size = std::min(mx, clamp_max);
+    s.scale = scale;
+    s.num_sets = static_cast<uint32_t>(d / scale);
+    s.num_tokens = analog_tokens == 0 ? s.num_sets : analog_tokens;
+    s.zipf_exponent = zipf;
+    // Real benchmark data is strongly co-occurrence structured (click
+    // sessions, friend lists, titles); latent clusters of ~200 sets drawing
+    // 80% of their tokens from a shared pool reproduce that while keeping
+    // the Zipfian marginals.
+    s.cluster_fraction = 0.8;
+    s.sets_per_cluster = 200;
+    // Half the sets are one-off records with no near-duplicates: their kNN
+    // neighbors are genuinely dissimilar, the regime where prefix-filter
+    // candidate sets explode (paper Section 7.6 discussion).
+    s.orphan_fraction = 0.5;
+    s.disk_scale = disk;
+    return s;
+  };
+  std::vector<AnalogSpec> specs;
+  specs.push_back(make("KOSARAK", 990002, 41270, 8.1, 1, 2498, 10, 41270,
+                       400, 1.1, false));
+  specs.push_back(make("LIVEJ", 3201202, 7489073, 35.1, 1, 300, 32, 7489073,
+                       300, 1.05, false));
+  specs.push_back(make("DBLP", 5875251, 3720067, 8.7, 2, 462, 48, 3720067,
+                       462, 1.2, false));
+  specs.push_back(make("AOL", 10154742, 3849555, 3.0, 1, 245, 64, 3849555,
+                       245, 1.2, false));
+  specs.push_back(make("FS", 65608366, 65608366, 27.5, 1, 3615, 256,
+                       /*analog_tokens=0 -> |D|*/ 0, 600, 1.05, true));
+  specs.push_back(make("PMC", 787220474, 22923401, 8.8, 1, 2597, 2048,
+                       1000000, 400, 1.2, true));
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<AnalogSpec>& AllAnalogSpecs() {
+  static const std::vector<AnalogSpec>* specs =
+      new std::vector<AnalogSpec>(MakeSpecs());
+  return *specs;
+}
+
+std::vector<AnalogSpec> MemoryAnalogSpecs() {
+  std::vector<AnalogSpec> out;
+  for (const auto& s : AllAnalogSpecs()) {
+    if (!s.disk_scale) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<AnalogSpec> DiskAnalogSpecs() {
+  std::vector<AnalogSpec> out;
+  for (const auto& s : AllAnalogSpecs()) {
+    if (s.disk_scale) out.push_back(s);
+  }
+  return out;
+}
+
+const AnalogSpec& AnalogSpecByName(const std::string& name) {
+  for (const auto& s : AllAnalogSpecs()) {
+    if (s.name == name) return s;
+  }
+  LES3_CHECK(false && "unknown analog dataset");
+  __builtin_unreachable();
+}
+
+SetDatabase GenerateAnalog(const AnalogSpec& spec, uint64_t seed) {
+  return GenerateAnalogSample(spec, spec.num_sets, seed);
+}
+
+SetDatabase GenerateAnalogSample(const AnalogSpec& spec, uint32_t num_sets,
+                                 uint64_t seed) {
+  ZipfOptions opts;
+  opts.num_sets = num_sets;
+  opts.num_tokens = spec.num_tokens;
+  opts.avg_set_size = spec.avg_set_size;
+  opts.min_set_size = spec.min_set_size;
+  opts.max_set_size = spec.max_set_size;
+  opts.zipf_exponent = spec.zipf_exponent;
+  opts.cluster_fraction = spec.cluster_fraction;
+  opts.sets_per_cluster = spec.sets_per_cluster;
+  opts.orphan_fraction = spec.orphan_fraction;
+  opts.seed = seed;
+  return GenerateZipf(opts);
+}
+
+}  // namespace datagen
+}  // namespace les3

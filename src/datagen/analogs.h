@@ -1,0 +1,60 @@
+// Scaled-down synthetic analogs of the paper's six benchmark datasets
+// (Table 2). We cannot ship KOSARAK/LIVEJ/DBLP/AOL/FS/PMC, so each analog
+// matches the published per-set statistics (avg/max/min set size, Zipfian
+// token popularity, |T|/|D| ratio) with |D| scaled down so the full bench
+// suite runs in minutes. The scale factor per dataset is recorded in the
+// spec and reported by the benches.
+
+#ifndef LES3_DATAGEN_ANALOGS_H_
+#define LES3_DATAGEN_ANALOGS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace les3 {
+namespace datagen {
+
+/// Specification of one dataset analog.
+struct AnalogSpec {
+  std::string name;          // e.g. "KOSARAK"
+  uint64_t paper_num_sets;   // |D| in Table 2
+  uint32_t paper_num_tokens; // |T| in Table 2
+  double avg_set_size;       // Table 2 Avg
+  size_t min_set_size;       // Table 2 Min
+  size_t max_set_size;       // Table 2 Max (clamped for the analog)
+  uint32_t scale;            // |D| divisor applied for the analog
+  uint32_t num_sets;         // analog |D| = paper_num_sets / scale
+  uint32_t num_tokens;       // analog |T| (scaled with the same factor)
+  double zipf_exponent;      // token popularity skew
+  double cluster_fraction;   // co-occurrence strength (see ZipfOptions)
+  uint32_t sets_per_cluster; // latent cluster size
+  double orphan_fraction;    // fraction of cluster-free sets
+  bool disk_scale;           // true for FS/PMC (used in the disk benches)
+};
+
+/// The six Table 2 datasets, in paper order.
+const std::vector<AnalogSpec>& AllAnalogSpecs();
+
+/// The four memory-resident datasets (KOSARAK, LIVEJ, DBLP, AOL).
+std::vector<AnalogSpec> MemoryAnalogSpecs();
+
+/// The two disk-scale datasets (FS, PMC).
+std::vector<AnalogSpec> DiskAnalogSpecs();
+
+/// Looks a spec up by name; aborts if unknown.
+const AnalogSpec& AnalogSpecByName(const std::string& name);
+
+/// Generates the analog database for `spec` (deterministic per seed).
+SetDatabase GenerateAnalog(const AnalogSpec& spec, uint64_t seed = 7);
+
+/// Convenience: a smaller version of the analog (num_sets overridden) for
+/// quick experiments such as the Figure 8 sampled-KOSARAK comparison.
+SetDatabase GenerateAnalogSample(const AnalogSpec& spec, uint32_t num_sets,
+                                 uint64_t seed = 7);
+
+}  // namespace datagen
+}  // namespace les3
+
+#endif  // LES3_DATAGEN_ANALOGS_H_

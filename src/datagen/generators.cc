@@ -1,0 +1,170 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/similarity.h"
+#include "datagen/zipf.h"
+#include "util/logging.h"
+
+namespace les3 {
+namespace datagen {
+namespace {
+
+/// Geometric set-size sampler with mean `avg` clamped to [min_size,
+/// max_size]. Real benchmarks have roughly geometric/log-normal size decay;
+/// geometric keeps the generator a one-liner and matches avg exactly enough.
+size_t SampleSize(double avg, size_t min_size, size_t max_size, Rng* rng) {
+  LES3_CHECK_GE(avg, 1.0);
+  if (min_size >= max_size) return min_size;
+  double mean_above = std::max(avg - static_cast<double>(min_size), 0.05);
+  double p = 1.0 / (1.0 + mean_above);
+  // Inverse-CDF geometric sample.
+  double u = rng->NextDouble();
+  double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  size_t size = min_size + static_cast<size_t>(std::max(0.0, g));
+  return std::min(size, max_size);
+}
+
+}  // namespace
+
+SetDatabase GenerateUniform(const UniformOptions& opts) {
+  LES3_CHECK_GT(opts.num_tokens, 0u);
+  Rng rng(opts.seed);
+  SetDatabase db(opts.num_tokens);
+  for (uint32_t i = 0; i < opts.num_sets; ++i) {
+    size_t size = SampleSize(opts.avg_set_size, 1, opts.num_tokens, &rng);
+    auto sample = rng.SampleWithoutReplacement(opts.num_tokens,
+                                               static_cast<uint32_t>(size));
+    db.AddSet(SetRecord::FromTokens(
+        std::vector<TokenId>(sample.begin(), sample.end())));
+  }
+  return db;
+}
+
+SetDatabase GenerateZipf(const ZipfOptions& opts) {
+  LES3_CHECK_GT(opts.num_tokens, 0u);
+  Rng rng(opts.seed);
+  ZipfSampler zipf(opts.num_tokens, opts.zipf_exponent);
+  SetDatabase db(opts.num_tokens);
+
+  // Latent-cluster core pools (empty when cluster_fraction == 0). Core
+  // tokens are uniform over the universe — the *distinctive* content of a
+  // cluster lives in the popularity tail, while the head tokens come from
+  // the global Zipf draws below, mirroring real corpora (a few items in
+  // half the sets + long-tail content that identifies near-duplicates).
+  const bool clustered = opts.cluster_fraction > 0.0;
+  const size_t core_size = static_cast<size_t>(
+      std::max(4.0, 1.5 * opts.avg_set_size));
+  std::vector<TokenId> core;  // pool of the current cluster
+  auto refresh_core = [&] {
+    core.clear();
+    for (size_t j = 0; j < core_size; ++j) {
+      core.push_back(static_cast<TokenId>(rng.Uniform(opts.num_tokens)));
+    }
+  };
+
+  std::unordered_set<TokenId> seen;
+  for (uint32_t i = 0; i < opts.num_sets; ++i) {
+    if (clustered && i % opts.sets_per_cluster == 0) refresh_core();
+    bool orphan = clustered && rng.Bernoulli(opts.orphan_fraction);
+    size_t size = SampleSize(opts.avg_set_size, opts.min_set_size,
+                             std::min<size_t>(opts.max_set_size,
+                                              opts.num_tokens),
+                             &rng);
+    seen.clear();
+    std::vector<TokenId> tokens;
+    tokens.reserve(size);
+    // Rejection keeps tokens distinct within a set; popular tokens still
+    // appear in many sets, which is the skew that matters.
+    size_t attempts = 0;
+    while (tokens.size() < size && attempts < size * 50 + 100) {
+      ++attempts;
+      TokenId t;
+      if (clustered && !orphan && rng.Bernoulli(opts.cluster_fraction)) {
+        t = core[rng.Uniform(core.size())];
+      } else {
+        t = static_cast<TokenId>(zipf.Sample(&rng));
+      }
+      if (seen.insert(t).second) tokens.push_back(t);
+    }
+    db.AddSet(SetRecord::FromTokens(std::move(tokens)));
+  }
+  return db;
+}
+
+SetDatabase GeneratePowerLawSimilarity(const PowerLawSimOptions& opts) {
+  LES3_CHECK_GE(opts.alpha, 1.0);
+  LES3_CHECK_GT(opts.sets_per_cluster, 0u);
+  Rng rng(opts.seed);
+  SetDatabase db(opts.num_tokens);
+  // P[sim = v] ~ v^-alpha: at alpha -> 1 the similarity mass sits high
+  // (most pairs similar), at large alpha it concentrates near zero (most
+  // pairs dissimilar). Realized by blending a GLOBAL token pool shared by
+  // every set (weight 1/alpha) with per-cluster pools (the rest): alpha = 1
+  // degenerates to one blob where any two sets overlap heavily; large alpha
+  // yields distinct islands with near-zero cross-cluster similarity.
+  const double global_fraction = 1.0 / opts.alpha;
+  const size_t avg = static_cast<size_t>(std::max(2.0, opts.avg_set_size));
+  const uint32_t pool = static_cast<uint32_t>(std::min<size_t>(
+      std::max<size_t>(4, avg + avg / 4), opts.num_tokens));
+  auto global_pool = rng.SampleWithoutReplacement(opts.num_tokens, pool);
+  uint32_t num_clusters =
+      (opts.num_sets + opts.sets_per_cluster - 1) / opts.sets_per_cluster;
+  uint32_t produced = 0;
+  for (uint32_t c = 0; c < num_clusters && produced < opts.num_sets; ++c) {
+    auto core = rng.SampleWithoutReplacement(opts.num_tokens, pool);
+    for (uint32_t m = 0; m < opts.sets_per_cluster && produced < opts.num_sets;
+         ++m, ++produced) {
+      size_t size = SampleSize(opts.avg_set_size, 2, opts.num_tokens, &rng);
+      std::unordered_set<TokenId> tokens;
+      for (size_t j = 0; j < size; ++j) {
+        double r = rng.NextDouble();
+        if (r < global_fraction) {
+          tokens.insert(global_pool[rng.Uniform(global_pool.size())]);
+        } else if (r < global_fraction + (1.0 - global_fraction) * 0.95) {
+          tokens.insert(core[rng.Uniform(core.size())]);
+        } else {
+          tokens.insert(static_cast<TokenId>(rng.Uniform(opts.num_tokens)));
+        }
+      }
+      db.AddSet(SetRecord::FromTokens(
+          std::vector<TokenId>(tokens.begin(), tokens.end())));
+    }
+  }
+  return db;
+}
+
+std::vector<SetId> SampleQueryIds(const SetDatabase& db, size_t count,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  count = std::min(count, db.size());
+  auto sample = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(db.size()), static_cast<uint32_t>(count));
+  return {sample.begin(), sample.end()};
+}
+
+std::vector<double> SimilarityHistogram(const SetDatabase& db, size_t pairs,
+                                        size_t bins, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> hist(bins, 0.0);
+  if (db.size() < 2) return hist;
+  for (size_t i = 0; i < pairs; ++i) {
+    SetId a = static_cast<SetId>(rng.Uniform(db.size()));
+    SetId b = static_cast<SetId>(rng.Uniform(db.size()));
+    if (a == b) {
+      --i;
+      continue;
+    }
+    double sim =
+        Similarity(SimilarityMeasure::kJaccard, db.set(a), db.set(b));
+    size_t bin = std::min(bins - 1, static_cast<size_t>(sim * bins));
+    hist[bin] += 1.0;
+  }
+  for (auto& h : hist) h /= static_cast<double>(pairs);
+  return hist;
+}
+
+}  // namespace datagen
+}  // namespace les3

@@ -1,0 +1,87 @@
+// Synthetic database generators.
+//
+// Three families, matching the paper's experimental needs:
+//   - uniform-token databases (the Section 4.1 analysis assumption),
+//   - Zipf-token databases (skewed token popularity, like real benchmarks),
+//   - power-law-similarity databases (the Figure 14 workload: the pairwise
+//     similarity distribution follows P[sim = v] ~ v^-alpha; larger alpha
+//     means most pairs are dissimilar).
+
+#ifndef LES3_DATAGEN_GENERATORS_H_
+#define LES3_DATAGEN_GENERATORS_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace datagen {
+
+/// Options for uniform-token generation (Definition 4.1's assumption: every
+/// token equally and independently likely).
+struct UniformOptions {
+  uint32_t num_sets = 10000;
+  uint32_t num_tokens = 1000;
+  double avg_set_size = 10.0;
+  uint64_t seed = 1;
+};
+
+SetDatabase GenerateUniform(const UniformOptions& opts);
+
+/// Options for Zipf-token generation. Real transactional/click/text data
+/// combines Zipfian token popularity with strong co-occurrence: sets from
+/// the same latent context share tokens. `cluster_fraction` > 0 adds that
+/// structure — each set belongs to a latent cluster and draws that fraction
+/// of its tokens from the cluster's core pool (itself Zipf-sampled, so
+/// marginal popularity stays skewed) — which is the structure partitioning
+/// indexes exploit.
+struct ZipfOptions {
+  uint32_t num_sets = 10000;
+  uint32_t num_tokens = 10000;
+  double avg_set_size = 10.0;
+  size_t min_set_size = 1;
+  size_t max_set_size = 1000;
+  double zipf_exponent = 1.0;  // token popularity skew
+  double cluster_fraction = 0.0;  // 0 = independent tokens
+  uint32_t sets_per_cluster = 256;
+  /// Fraction of "orphan" sets drawn purely from the global Zipf
+  /// distribution (no cluster membership). Real corpora mix duplicate-rich
+  /// regions with one-off records; orphan queries are the ones whose k-th
+  /// neighbor similarity is low, the regime that separates filter designs.
+  double orphan_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+SetDatabase GenerateZipf(const ZipfOptions& opts);
+
+/// Options for the power-law-similarity workload of Figure 14. Sets are
+/// organized in latent clusters; members draw a fraction 1/alpha of their
+/// tokens from the cluster core and the rest at random, so larger alpha
+/// pushes the pairwise-similarity mass toward zero (P[sim = v] ~ v^-alpha).
+struct PowerLawSimOptions {
+  uint32_t num_sets = 20000;
+  uint32_t num_tokens = 20000;
+  double avg_set_size = 12.0;
+  double alpha = 2.0;          // >= 1
+  uint32_t sets_per_cluster = 20;
+  uint64_t seed = 1;
+};
+
+SetDatabase GeneratePowerLawSimilarity(const PowerLawSimOptions& opts);
+
+/// Samples `count` query sets uniformly from the database (the paper's
+/// protocol: 10 k random sets per experiment, scaled down in our benches).
+std::vector<SetId> SampleQueryIds(const SetDatabase& db, size_t count,
+                                  uint64_t seed);
+
+/// Empirical distribution of pairwise similarities over `pairs` random
+/// pairs; returns histogram over [0, 1] with `bins` buckets (used to verify
+/// the Figure 14 workload really is power-law shaped).
+std::vector<double> SimilarityHistogram(const SetDatabase& db, size_t pairs,
+                                        size_t bins, uint64_t seed);
+
+}  // namespace datagen
+}  // namespace les3
+
+#endif  // LES3_DATAGEN_GENERATORS_H_

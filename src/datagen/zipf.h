@@ -1,0 +1,39 @@
+// Zipf-distributed token sampling.
+//
+// Real set-similarity benchmarks (KOSARAK, DBLP, AOL, ...) have strongly
+// skewed token popularity; the analogs in datagen/analogs.h sample token ids
+// from this distribution to reproduce that skew.
+
+#ifndef LES3_DATAGEN_ZIPF_H_
+#define LES3_DATAGEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace les3 {
+namespace datagen {
+
+/// \brief Samples values in [0, n) with P(i) ∝ 1 / (i + 1)^s.
+///
+/// Uses a precomputed CDF with binary search: O(n) setup, O(log n) per
+/// sample, and bit-exact determinism across platforms.
+class ZipfSampler {
+ public:
+  /// `n` must be > 0; `s` >= 0 (s = 0 is uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one value in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace datagen
+}  // namespace les3
+
+#endif  // LES3_DATAGEN_ZIPF_H_

@@ -1,0 +1,26 @@
+#include "embed/binary_encoding.h"
+
+#include <algorithm>
+
+namespace les3 {
+namespace embed {
+
+BinaryEncoding::BinaryEncoding(uint64_t num_sets) {
+  uint64_t n = std::max<uint64_t>(2, num_sets);
+  bits_ = 0;
+  uint64_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits_;
+  }
+}
+
+void BinaryEncoding::Embed(SetId id, const SetRecord& /*s*/,
+                           float* out) const {
+  for (size_t i = 0; i < bits_; ++i) {
+    out[i] = static_cast<float>((id >> i) & 1u);
+  }
+}
+
+}  // namespace embed
+}  // namespace les3

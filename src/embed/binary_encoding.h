@@ -1,0 +1,32 @@
+// Binary Encoding (Han et al., reference [28]): each set's ordinal id is
+// written in binary over ceil(log2 |D|) dimensions. It assigns unique codes
+// but ignores token composition entirely, so it cannot have the Set
+// Separation-Friendly Property — the paper's Figure 8 uses it as the
+// "content-blind" comparator.
+
+#ifndef LES3_EMBED_BINARY_ENCODING_H_
+#define LES3_EMBED_BINARY_ENCODING_H_
+
+#include "embed/representation.h"
+
+namespace les3 {
+namespace embed {
+
+/// \brief Content-blind binary id encoding.
+class BinaryEncoding : public SetRepresentation {
+ public:
+  /// `num_sets` fixes the code width.
+  explicit BinaryEncoding(uint64_t num_sets);
+
+  size_t dim() const override { return bits_; }
+  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  std::string name() const override { return "BinaryEnc"; }
+
+ private:
+  size_t bits_;
+};
+
+}  // namespace embed
+}  // namespace les3
+
+#endif  // LES3_EMBED_BINARY_ENCODING_H_

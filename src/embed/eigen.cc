@@ -1,0 +1,83 @@
+#include "embed/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace embed {
+
+EigenDecomposition JacobiEigen(const std::vector<double>& a, size_t n,
+                               double tol, size_t max_sweeps) {
+  LES3_CHECK_EQ(a.size(), n * n);
+  std::vector<double> m = a;  // working copy, symmetric
+  // v starts as identity; columns accumulate the rotations.
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_norm = [&] {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) s += m[i * n + j] * m[i * n + j];
+    }
+    return std::sqrt(s);
+  };
+
+  for (size_t sweep = 0; sweep < max_sweeps && off_norm() > tol; ++sweep) {
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = m[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = m[p * n + p];
+        double aqq = m[q * n + q];
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Rotate rows/cols p and q of m.
+        for (size_t k = 0; k < n; ++k) {
+          double mkp = m[k * n + p];
+          double mkq = m[k * n + q];
+          m[k * n + p] = c * mkp - s * mkq;
+          m[k * n + q] = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double mpk = m[p * n + k];
+          double mqk = m[q * n + k];
+          m[p * n + k] = c * mpk - s * mqk;
+          m[q * n + k] = s * mpk + c * mqk;
+        }
+        // Accumulate rotation into v (columns are eigenvectors).
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v[k * n + p];
+          double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return m[x * n + x] > m[y * n + y];
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.reserve(n);
+  out.eigenvectors.reserve(n);
+  for (size_t k : order) {
+    out.eigenvalues.push_back(m[k * n + k]);
+    std::vector<double> vec(n);
+    for (size_t i = 0; i < n; ++i) vec[i] = v[i * n + k];
+    out.eigenvectors.push_back(std::move(vec));
+  }
+  return out;
+}
+
+}  // namespace embed
+}  // namespace les3

@@ -1,0 +1,31 @@
+// Symmetric eigendecomposition via cyclic Jacobi rotations.
+//
+// Used by classical/landmark MDS (embed/mds.h). Sizes here are small (the
+// landmark count, <= a few hundred), where Jacobi is simple, robust, and
+// accurate.
+
+#ifndef LES3_EMBED_EIGEN_H_
+#define LES3_EMBED_EIGEN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace les3 {
+namespace embed {
+
+/// Result of a symmetric eigendecomposition, sorted by descending
+/// eigenvalue. eigenvectors[k] is the unit eigenvector for eigenvalues[k].
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+};
+
+/// \brief Full eigendecomposition of the symmetric n x n matrix `a`
+/// (row-major, only read). Converges to off-diagonal norm < tol.
+EigenDecomposition JacobiEigen(const std::vector<double>& a, size_t n,
+                               double tol = 1e-10, size_t max_sweeps = 64);
+
+}  // namespace embed
+}  // namespace les3
+
+#endif  // LES3_EMBED_EIGEN_H_

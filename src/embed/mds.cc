@@ -1,0 +1,88 @@
+#include "embed/mds.h"
+
+#include <cmath>
+
+#include "core/similarity.h"
+#include "embed/eigen.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace embed {
+
+MdsRepresentation::MdsRepresentation(const SetDatabase& db, MdsOptions opts) {
+  size_t m = std::min<size_t>(opts.num_landmarks, db.size());
+  LES3_CHECK_GT(m, 1u);
+  dim_ = std::min(opts.dim, m - 1);
+
+  Rng rng(opts.seed);
+  auto ids = rng.SampleWithoutReplacement(static_cast<uint32_t>(db.size()),
+                                          static_cast<uint32_t>(m));
+  landmarks_.reserve(m);
+  for (uint32_t id : ids) landmarks_.push_back(db.set(id));
+
+  // Squared Jaccard-distance matrix among landmarks.
+  std::vector<double> d2(m * m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      double dist = 1.0 - Similarity(SimilarityMeasure::kJaccard,
+                                     landmarks_[i], landmarks_[j]);
+      d2[i * m + j] = d2[j * m + i] = dist * dist;
+    }
+  }
+
+  // Double centering: B = -0.5 * J D2 J.
+  std::vector<double> row_mean(m, 0.0);
+  double grand_mean = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) row_mean[i] += d2[i * m + j];
+    row_mean[i] /= static_cast<double>(m);
+    grand_mean += row_mean[i];
+  }
+  grand_mean /= static_cast<double>(m);
+  std::vector<double> b(m * m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      b[i * m + j] =
+          -0.5 * (d2[i * m + j] - row_mean[i] - row_mean[j] + grand_mean);
+    }
+  }
+
+  EigenDecomposition eig = JacobiEigen(b, m);
+
+  pseudo_inverse_.clear();
+  for (size_t k = 0; k < dim_; ++k) {
+    double lambda = eig.eigenvalues[k];
+    std::vector<double> row(m, 0.0);
+    if (lambda > 1e-9) {
+      double inv_sqrt = 1.0 / std::sqrt(lambda);
+      for (size_t j = 0; j < m; ++j) {
+        row[j] = eig.eigenvectors[k][j] * inv_sqrt;
+      }
+    }
+    pseudo_inverse_.push_back(std::move(row));
+  }
+  mean_sq_dist_ = row_mean;
+}
+
+void MdsRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+                              float* out) const {
+  size_t m = landmarks_.size();
+  std::vector<double> delta(m);
+  for (size_t j = 0; j < m; ++j) {
+    double dist =
+        1.0 - Similarity(SimilarityMeasure::kJaccard, s, landmarks_[j]);
+    delta[j] = dist * dist;
+  }
+  // x_k = -0.5 * pinv_k . (delta - mean_sq_dist).
+  for (size_t k = 0; k < dim_; ++k) {
+    double acc = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      acc += pseudo_inverse_[k][j] * (delta[j] - mean_sq_dist_[j]);
+    }
+    out[k] = static_cast<float>(-0.5 * acc);
+  }
+}
+
+}  // namespace embed
+}  // namespace les3

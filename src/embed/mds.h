@@ -1,0 +1,43 @@
+// Landmark multidimensional scaling (De Silva & Tenenbaum, the paper's
+// reference [12]) over Jaccard distances: classical MDS on a landmark
+// sample, then distance-based triangulation of the remaining sets. The
+// representative non-linear embedding comparator of Figure 8 — and
+// deliberately expensive per set (one Jaccard evaluation per landmark),
+// which is the cost gap Figure 8 demonstrates.
+
+#ifndef LES3_EMBED_MDS_H_
+#define LES3_EMBED_MDS_H_
+
+#include "embed/representation.h"
+
+namespace les3 {
+namespace embed {
+
+struct MdsOptions {
+  size_t dim = 16;         // target dimensionality
+  size_t num_landmarks = 64;
+  uint64_t seed = 13;
+};
+
+/// \brief Landmark MDS representation.
+class MdsRepresentation : public SetRepresentation {
+ public:
+  /// Fits on `db`: samples landmarks, solves classical MDS among them.
+  MdsRepresentation(const SetDatabase& db, MdsOptions opts = {});
+
+  size_t dim() const override { return dim_; }
+  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  std::string name() const override { return "MDS"; }
+
+ private:
+  size_t dim_;
+  std::vector<SetRecord> landmarks_;
+  // Triangulation data: pseudo_inverse_[k][j] = v_kj / sqrt(lambda_k).
+  std::vector<std::vector<double>> pseudo_inverse_;
+  std::vector<double> mean_sq_dist_;  // per-landmark mean squared distance
+};
+
+}  // namespace embed
+}  // namespace les3
+
+#endif  // LES3_EMBED_MDS_H_

@@ -1,0 +1,137 @@
+#include "embed/pca.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace embed {
+namespace {
+
+/// Gram–Schmidt orthonormalization of `vs` in place.
+void Orthonormalize(std::vector<std::vector<double>>* vs) {
+  for (size_t k = 0; k < vs->size(); ++k) {
+    auto& v = (*vs)[k];
+    for (size_t j = 0; j < k; ++j) {
+      const auto& u = (*vs)[j];
+      double dot = 0.0;
+      for (size_t i = 0; i < v.size(); ++i) dot += v[i] * u[i];
+      for (size_t i = 0; i < v.size(); ++i) v[i] -= dot * u[i];
+    }
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate direction; reset to a unit basis vector to keep the
+      // basis full-rank.
+      std::fill(v.begin(), v.end(), 0.0);
+      v[k % v.size()] = 1.0;
+    } else {
+      for (double& x : v) x /= norm;
+    }
+  }
+}
+
+}  // namespace
+
+PcaRepresentation::PcaRepresentation(const SetDatabase& db, PcaOptions opts)
+    : opts_(opts), num_tokens_(db.num_tokens()) {
+  LES3_CHECK_GT(num_tokens_, 0u);
+  opts_.dim = std::min<size_t>(opts_.dim, num_tokens_);
+  const size_t d = opts_.dim;
+  const size_t n = db.size();
+  const double inv_n = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+
+  // Token occurrence mean over distinct membership.
+  mean_.assign(num_tokens_, 0.0);
+  for (const auto& s : db.sets()) {
+    TokenId prev = static_cast<TokenId>(-1);
+    for (TokenId t : s.tokens()) {
+      if (t != prev) mean_[t] += inv_n;
+      prev = t;
+    }
+  }
+
+  // Subspace iteration: V <- orth(C V), C = X^T X / n - mean mean^T.
+  Rng rng(opts_.seed);
+  components_.assign(d, std::vector<double>(num_tokens_));
+  for (auto& v : components_) {
+    for (auto& x : v) x = rng.NextGaussian();
+  }
+  Orthonormalize(&components_);
+
+  std::vector<double> proj(d);  // per-set projections x . v_k
+  for (size_t iter = 0; iter < opts_.power_iterations; ++iter) {
+    std::vector<std::vector<double>> next(d,
+                                          std::vector<double>(num_tokens_));
+    std::vector<double> mean_dot(d, 0.0);
+    for (size_t k = 0; k < d; ++k) {
+      const auto& v = components_[k];
+      for (uint32_t t = 0; t < num_tokens_; ++t) mean_dot[k] += mean_[t] * v[t];
+    }
+    for (const auto& s : db.sets()) {
+      std::fill(proj.begin(), proj.end(), 0.0);
+      TokenId prev = static_cast<TokenId>(-1);
+      for (TokenId t : s.tokens()) {
+        if (t == prev) continue;
+        prev = t;
+        for (size_t k = 0; k < d; ++k) proj[k] += components_[k][t];
+      }
+      prev = static_cast<TokenId>(-1);
+      for (TokenId t : s.tokens()) {
+        if (t == prev) continue;
+        prev = t;
+        for (size_t k = 0; k < d; ++k) next[k][t] += proj[k] * inv_n;
+      }
+    }
+    for (size_t k = 0; k < d; ++k) {
+      for (uint32_t t = 0; t < num_tokens_; ++t) {
+        next[k][t] -= mean_[t] * mean_dot[k];
+      }
+    }
+    components_ = std::move(next);
+    Orthonormalize(&components_);
+  }
+
+  // Rayleigh quotients as explained-variance proxies, and the embedding
+  // bias <v_k, mean>.
+  component_bias_.assign(d, 0.0);
+  scales_.assign(d, 0.0);
+  for (size_t k = 0; k < d; ++k) {
+    for (uint32_t t = 0; t < num_tokens_; ++t) {
+      component_bias_[k] += components_[k][t] * mean_[t];
+    }
+  }
+  // One more pass to estimate variance along each component.
+  for (const auto& s : db.sets()) {
+    std::fill(proj.begin(), proj.end(), 0.0);
+    TokenId prev = static_cast<TokenId>(-1);
+    for (TokenId t : s.tokens()) {
+      if (t == prev) continue;
+      prev = t;
+      for (size_t k = 0; k < d; ++k) proj[k] += components_[k][t];
+    }
+    for (size_t k = 0; k < d; ++k) {
+      double c = proj[k] - component_bias_[k];
+      scales_[k] += c * c * inv_n;
+    }
+  }
+}
+
+void PcaRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+                              float* out) const {
+  for (size_t k = 0; k < opts_.dim; ++k) {
+    double acc = -component_bias_[k];
+    TokenId prev = static_cast<TokenId>(-1);
+    for (TokenId t : s.tokens()) {
+      if (t == prev) continue;
+      prev = t;
+      if (t < num_tokens_) acc += components_[k][t];
+    }
+    out[k] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace embed
+}  // namespace les3

@@ -1,0 +1,47 @@
+// PCA over n-hot set vectors, fitted with subspace (orthogonal power)
+// iteration on the sparse data matrix — the |T| x |T| covariance is never
+// materialized, so fitting stays feasible for large token universes. Used as
+// the "linear embedding" comparator of Figure 8.
+
+#ifndef LES3_EMBED_PCA_H_
+#define LES3_EMBED_PCA_H_
+
+#include "embed/representation.h"
+
+namespace les3 {
+namespace embed {
+
+struct PcaOptions {
+  size_t dim = 16;             // target dimensionality
+  size_t power_iterations = 12;
+  uint64_t seed = 11;
+};
+
+/// \brief PCA projection of the n-hot (distinct-token) indicator vectors.
+class PcaRepresentation : public SetRepresentation {
+ public:
+  /// Fits the top-`opts.dim` principal components of `db`.
+  PcaRepresentation(const SetDatabase& db, PcaOptions opts = {});
+
+  size_t dim() const override { return opts_.dim; }
+  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  std::string name() const override { return "PCA"; }
+
+  /// Explained-variance proxies (Rayleigh quotients of the fitted
+  /// components), descending.
+  const std::vector<double>& component_scales() const { return scales_; }
+
+ private:
+  PcaOptions opts_;
+  uint32_t num_tokens_;
+  // components_[k] is the k-th principal direction, length |T|.
+  std::vector<std::vector<double>> components_;
+  std::vector<double> mean_;            // token occurrence frequencies
+  std::vector<double> component_bias_;  // precomputed <component_k, mean>
+  std::vector<double> scales_;
+};
+
+}  // namespace embed
+}  // namespace les3
+
+#endif  // LES3_EMBED_PCA_H_

@@ -1,0 +1,62 @@
+#include "embed/ptr.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace embed {
+namespace {
+
+size_t TreeHeight(uint32_t num_tokens) {
+  uint32_t n = std::max<uint32_t>(2, num_tokens);
+  size_t h = 0;
+  uint32_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace
+
+PtrRepresentation::PtrRepresentation(uint32_t num_tokens)
+    : num_tokens_(std::max<uint32_t>(2, num_tokens)),
+      height_(TreeHeight(num_tokens)) {}
+
+int PtrRepresentation::PathBit(TokenId token, size_t i) const {
+  LES3_CHECK_LT(i, height_);
+  // Leaf index bits, most significant first; a 0 bit descends left, and left
+  // edges are labeled 1 (Table 1: token A = id 0 has path 1,1).
+  uint32_t bit = (token >> (height_ - 1 - i)) & 1u;
+  return 1 - static_cast<int>(bit);
+}
+
+void PtrRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+                              float* out) const {
+  std::memset(out, 0, sizeof(float) * dim());
+  for (TokenId t : s.tokens()) {
+    LES3_CHECK_LT(t, num_tokens_);
+    for (size_t i = 0; i < height_; ++i) {
+      float bit = static_cast<float>(PathBit(t, i));
+      out[i] += bit;                    // positions [1, h]: the path
+      out[height_ + i] += 1.0f - bit;   // positions [h+1, 2h]: complement
+    }
+  }
+}
+
+void PtrHalfRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+                                  float* out) const {
+  size_t h = full_.height();
+  std::memset(out, 0, sizeof(float) * h);
+  for (TokenId t : s.tokens()) {
+    for (size_t i = 0; i < h; ++i) {
+      out[i] += static_cast<float>(full_.PathBit(t, i));
+    }
+  }
+}
+
+}  // namespace embed
+}  // namespace les3

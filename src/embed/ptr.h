@@ -1,0 +1,63 @@
+// PTR: Path-Table Representation (paper Section 5.3).
+//
+// Tokens are the leaves of a balanced binary tree of height h = ceil(log2
+// |T|); the edge to a left child is labeled 1, to a right child 0. The path
+// table stores each token's root-to-leaf path in positions [1, h] and its
+// complement in positions [h+1, 2h] (Equation 16); a set's representation is
+// the column-wise sum of its tokens' rows (Equation 17). The complement half
+// removes collisions such as Rep({A}) = Rep({B, C}) that the half table
+// suffers from, and the construction gives the Set Separation-Friendly
+// Property: all sets containing a token t lie on one side of an axis-aligned
+// hyperplane.
+//
+// The tree is implicit: token id bits ARE the path (bit = 0 means "left",
+// stored as path value 1), so no tree is materialized and embedding costs
+// O(|S| * h).
+
+#ifndef LES3_EMBED_PTR_H_
+#define LES3_EMBED_PTR_H_
+
+#include "embed/representation.h"
+
+namespace les3 {
+namespace embed {
+
+/// \brief Full path-table representation (dim = 2h).
+class PtrRepresentation : public SetRepresentation {
+ public:
+  /// `num_tokens` fixes the tree height; ids >= num_tokens are rejected.
+  explicit PtrRepresentation(uint32_t num_tokens);
+
+  size_t dim() const override { return 2 * height_; }
+  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  std::string name() const override { return "PTR"; }
+
+  /// Tree height h = ceil(log2 max(2, num_tokens)).
+  size_t height() const { return height_; }
+
+  /// Path bit of `token` at depth `i` in [0, h): 1 when the path goes left.
+  int PathBit(TokenId token, size_t i) const;
+
+ private:
+  uint32_t num_tokens_;
+  size_t height_;
+};
+
+/// \brief Half path-table variant (positions [1, h] only) used as the
+/// PTR-half comparator in Figure 8.
+class PtrHalfRepresentation : public SetRepresentation {
+ public:
+  explicit PtrHalfRepresentation(uint32_t num_tokens) : full_(num_tokens) {}
+
+  size_t dim() const override { return full_.height(); }
+  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  std::string name() const override { return "PTR-half"; }
+
+ private:
+  PtrRepresentation full_;
+};
+
+}  // namespace embed
+}  // namespace les3
+
+#endif  // LES3_EMBED_PTR_H_

@@ -1,0 +1,18 @@
+#include "embed/representation.h"
+
+namespace les3 {
+namespace embed {
+
+ml::Matrix EmbedDatabase(const SetRepresentation& rep, const SetDatabase& db,
+                         const std::vector<SetId>* subset) {
+  size_t count = subset ? subset->size() : db.size();
+  ml::Matrix out(count, rep.dim());
+  for (size_t i = 0; i < count; ++i) {
+    SetId id = subset ? (*subset)[i] : static_cast<SetId>(i);
+    rep.Embed(id, db.set(id), out.Row(i));
+  }
+  return out;
+}
+
+}  // namespace embed
+}  // namespace les3

@@ -1,0 +1,47 @@
+// Set-representation interface: maps a (multi)set to a fixed-length float
+// vector that the Siamese networks consume (paper Section 5.3).
+//
+// Implementations: PTR and PTR-half (embed/ptr.h), Binary Encoding
+// (embed/binary_encoding.h), PCA (embed/pca.h), Landmark MDS (embed/mds.h).
+
+#ifndef LES3_EMBED_REPRESENTATION_H_
+#define LES3_EMBED_REPRESENTATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/set_record.h"
+#include "core/types.h"
+#include "ml/matrix.h"
+
+namespace les3 {
+namespace embed {
+
+/// \brief Abstract set-to-vector encoder.
+class SetRepresentation {
+ public:
+  virtual ~SetRepresentation() = default;
+
+  /// Output dimensionality.
+  virtual size_t dim() const = 0;
+
+  /// Writes the representation of set `id` (whose record is `s`) into
+  /// `out[0..dim())`. PTR-style encoders ignore `id`; Binary Encoding uses
+  /// only `id`.
+  virtual void Embed(SetId id, const SetRecord& s, float* out) const = 0;
+
+  /// Short display name ("PTR", "PCA", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Embeds every set of `db` (or only `subset` when non-null, in order) into
+/// a (count x dim) matrix.
+ml::Matrix EmbedDatabase(const SetRepresentation& rep, const SetDatabase& db,
+                         const std::vector<SetId>* subset = nullptr);
+
+}  // namespace embed
+}  // namespace les3
+
+#endif  // LES3_EMBED_REPRESENTATION_H_

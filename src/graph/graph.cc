@@ -1,0 +1,56 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace graph {
+
+Graph Graph::FromEdges(uint32_t num_vertices,
+                       std::vector<std::pair<uint32_t, uint32_t>> edges) {
+  // Canonicalize, drop self-loops, dedup.
+  std::vector<std::pair<uint32_t, uint32_t>> canon;
+  canon.reserve(edges.size());
+  for (auto [a, b] : edges) {
+    if (a == b) continue;
+    LES3_CHECK_LT(a, num_vertices);
+    LES3_CHECK_LT(b, num_vertices);
+    canon.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  std::vector<uint32_t> degree(num_vertices, 0);
+  for (auto [a, b] : canon) {
+    ++degree[a];
+    ++degree[b];
+  }
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.neighbors_.resize(g.offsets_.back());
+  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [a, b] : canon) {
+    g.neighbors_[cursor[a]++] = b;
+    g.neighbors_[cursor[b]++] = a;
+  }
+  return g;
+}
+
+uint64_t CutSize(const Graph& g, const std::vector<uint32_t>& part) {
+  uint64_t cut = 0;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    for (const uint32_t* n = g.NeighborsBegin(v); n != g.NeighborsEnd(v);
+         ++n) {
+      if (*n > v && part[*n] != part[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace graph
+}  // namespace les3

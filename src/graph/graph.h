@@ -1,0 +1,54 @@
+// Undirected graph in CSR form, the input to the balanced partitioner
+// (graph/partition_fm.h) that backs PAR-G.
+
+#ifndef LES3_GRAPH_GRAPH_H_
+#define LES3_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace les3 {
+namespace graph {
+
+/// \brief Compressed-sparse-row undirected graph.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list; edges are deduplicated, self-loops dropped,
+  /// and both directions materialized.
+  static Graph FromEdges(uint32_t num_vertices,
+                         std::vector<std::pair<uint32_t, uint32_t>> edges);
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Neighbor range of vertex v.
+  const uint32_t* NeighborsBegin(uint32_t v) const {
+    return neighbors_.data() + offsets_[v];
+  }
+  const uint32_t* NeighborsEnd(uint32_t v) const {
+    return neighbors_.data() + offsets_[v + 1];
+  }
+  uint32_t Degree(uint32_t v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Heap bytes of the CSR arrays (PAR-G space accounting in Figure 9).
+  uint64_t MemoryBytes() const {
+    return offsets_.size() * sizeof(uint32_t) +
+           neighbors_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  uint32_t num_vertices_ = 0;
+  std::vector<uint32_t> offsets_;    // num_vertices + 1
+  std::vector<uint32_t> neighbors_;  // both directions
+};
+
+/// Number of edges whose endpoints land in different parts.
+uint64_t CutSize(const Graph& g, const std::vector<uint32_t>& part);
+
+}  // namespace graph
+}  // namespace les3
+
+#endif  // LES3_GRAPH_GRAPH_H_

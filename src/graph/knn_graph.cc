@@ -1,0 +1,98 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+
+namespace les3 {
+namespace graph {
+namespace {
+
+/// Inverted index over distinct tokens with an occurrence cap.
+std::vector<std::vector<SetId>> BuildPostings(const SetDatabase& db) {
+  std::vector<std::vector<SetId>> postings(db.num_tokens());
+  for (SetId i = 0; i < db.size(); ++i) {
+    TokenId prev = static_cast<TokenId>(-1);
+    for (TokenId t : db.set(i).tokens()) {
+      if (t == prev) continue;
+      prev = t;
+      postings[t].push_back(i);
+    }
+  }
+  return postings;
+}
+
+/// Calls fn(candidate_id, overlap_estimate) for every set sharing at least
+/// one sub-cap token with set `q`.
+template <typename Fn>
+void ForEachCandidate(const SetDatabase& db,
+                      const std::vector<std::vector<SetId>>& postings,
+                      SetId q, size_t max_token_frequency,
+                      std::vector<uint32_t>* counter,
+                      std::vector<SetId>* touched, Fn&& fn) {
+  touched->clear();
+  TokenId prev = static_cast<TokenId>(-1);
+  for (TokenId t : db.set(q).tokens()) {
+    if (t == prev) continue;
+    prev = t;
+    const auto& list = postings[t];
+    if (list.size() > max_token_frequency) continue;
+    for (SetId c : list) {
+      if (c == q) continue;
+      if ((*counter)[c] == 0) touched->push_back(c);
+      ++(*counter)[c];
+    }
+  }
+  for (SetId c : *touched) {
+    fn(c, (*counter)[c]);
+    (*counter)[c] = 0;
+  }
+}
+
+}  // namespace
+
+Graph BuildKnnGraph(const SetDatabase& db, const KnnGraphOptions& opts) {
+  auto postings = BuildPostings(db);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  std::vector<uint32_t> counter(db.size(), 0);
+  std::vector<SetId> touched;
+  std::vector<std::pair<double, SetId>> scored;
+  for (SetId q = 0; q < db.size(); ++q) {
+    scored.clear();
+    ForEachCandidate(db, postings, q, opts.max_token_frequency, &counter,
+                     &touched, [&](SetId c, uint32_t overlap) {
+                       double sim = SimilarityFromOverlap(
+                           opts.measure, overlap, db.set(q).size(),
+                           db.set(c).size());
+                       scored.emplace_back(sim, c);
+                     });
+    size_t k = std::min(opts.k, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (size_t i = 0; i < k; ++i) edges.emplace_back(q, scored[i].second);
+  }
+  return Graph::FromEdges(static_cast<uint32_t>(db.size()), std::move(edges));
+}
+
+Graph BuildRangeGraph(const SetDatabase& db, double delta,
+                      SimilarityMeasure measure,
+                      size_t max_token_frequency) {
+  auto postings = BuildPostings(db);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  std::vector<uint32_t> counter(db.size(), 0);
+  std::vector<SetId> touched;
+  for (SetId q = 0; q < db.size(); ++q) {
+    ForEachCandidate(db, postings, q, max_token_frequency, &counter, &touched,
+                     [&](SetId c, uint32_t overlap) {
+                       if (c < q) return;  // emit each pair once
+                       double sim = SimilarityFromOverlap(
+                           measure, overlap, db.set(q).size(),
+                           db.set(c).size());
+                       if (sim >= delta) edges.emplace_back(q, c);
+                     });
+  }
+  return Graph::FromEdges(static_cast<uint32_t>(db.size()), std::move(edges));
+}
+
+}  // namespace graph
+}  // namespace les3

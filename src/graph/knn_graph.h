@@ -1,0 +1,40 @@
+// kNN similarity-graph construction (step 1 of PAR-G, Section 4.3.1).
+//
+// For each set, the k most similar sets become its neighbors (or, for range
+// workloads, all sets within the threshold). Candidates are found through an
+// in-memory inverted index over tokens — the same trick the paper uses when
+// it "accelerates PAR-G's kNN graph construction with LES3" — with very
+// frequent tokens capped to keep the candidate lists tractable.
+
+#ifndef LES3_GRAPH_KNN_GRAPH_H_
+#define LES3_GRAPH_KNN_GRAPH_H_
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "graph/graph.h"
+
+namespace les3 {
+namespace graph {
+
+struct KnnGraphOptions {
+  size_t k = 10;
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  /// Tokens appearing in more than this many sets contribute no candidates
+  /// (they would otherwise connect nearly everything to everything). The
+  /// graph remains a good similarity graph because rare tokens carry nearly
+  /// all the similarity signal.
+  size_t max_token_frequency = 2000;
+};
+
+/// Builds the k-nearest-neighbor graph of `db`.
+Graph BuildKnnGraph(const SetDatabase& db, const KnnGraphOptions& opts);
+
+/// Builds the range similarity graph: edge (x, y) iff Sim(x, y) >= delta.
+Graph BuildRangeGraph(const SetDatabase& db, double delta,
+                      SimilarityMeasure measure,
+                      size_t max_token_frequency = 2000);
+
+}  // namespace graph
+}  // namespace les3
+
+#endif  // LES3_GRAPH_KNN_GRAPH_H_

@@ -1,0 +1,206 @@
+#include "graph/partition_fm.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace graph {
+namespace {
+
+/// One bisection task: the vertex subset `vertices` of `g` must be split
+/// into two sides with |side 0| ~= target_left.
+struct BisectTask {
+  std::vector<uint32_t> vertices;
+  uint32_t parts;       // number of final parts this subset still owes
+  uint32_t part_base;   // first part id assigned to this subset
+};
+
+/// Grows side 0 by BFS from a random seed until it holds `target_left`
+/// vertices; unreached vertices (disconnected pieces) are appended from a
+/// rotating cursor. Returns side[] indexed by position in `vertices`.
+std::vector<uint8_t> InitialBisect(const Graph& g,
+                                   const std::vector<uint32_t>& vertices,
+                                   size_t target_left, Rng* rng,
+                                   const std::vector<uint32_t>& local_id) {
+  std::vector<uint8_t> side(vertices.size(), 1);
+  if (target_left == 0) return side;
+  std::vector<uint8_t> visited(vertices.size(), 0);
+  size_t taken = 0;
+  size_t cursor = 0;
+  std::deque<uint32_t> frontier;  // local indices
+  while (taken < target_left) {
+    if (frontier.empty()) {
+      while (cursor < vertices.size() && visited[cursor]) ++cursor;
+      if (cursor == vertices.size()) break;
+      size_t pick = cursor;
+      if (taken == 0 && !vertices.empty()) {
+        // Random seed for the first region to decorrelate recursions.
+        size_t tries = 0;
+        do {
+          pick = rng->Uniform(vertices.size());
+        } while (visited[pick] && ++tries < 16);
+        if (visited[pick]) pick = cursor;
+      }
+      frontier.push_back(static_cast<uint32_t>(pick));
+      visited[pick] = 1;
+    }
+    uint32_t li = frontier.front();
+    frontier.pop_front();
+    side[li] = 0;
+    ++taken;
+    uint32_t v = vertices[li];
+    for (const uint32_t* n = g.NeighborsBegin(v); n != g.NeighborsEnd(v);
+         ++n) {
+      uint32_t ln = local_id[*n];
+      if (ln == std::numeric_limits<uint32_t>::max()) continue;  // outside
+      if (!visited[ln]) {
+        visited[ln] = 1;
+        frontier.push_back(ln);
+      }
+    }
+  }
+  return side;
+}
+
+/// One FM refinement pass with lazy priority queues. Returns true if the
+/// pass improved the cut.
+bool FmPass(const Graph& g, const std::vector<uint32_t>& vertices,
+            const std::vector<uint32_t>& local_id, std::vector<uint8_t>* side,
+            size_t min_left, size_t max_left) {
+  const size_t n = vertices.size();
+  std::vector<int64_t> gain(n, 0);
+  size_t left_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*side)[i] == 0) ++left_count;
+  }
+  auto compute_gain = [&](size_t i) {
+    uint32_t v = vertices[i];
+    int64_t gn = 0;
+    for (const uint32_t* nb = g.NeighborsBegin(v); nb != g.NeighborsEnd(v);
+         ++nb) {
+      uint32_t ln = local_id[*nb];
+      if (ln == std::numeric_limits<uint32_t>::max()) continue;
+      gn += ((*side)[ln] != (*side)[i]) ? 1 : -1;
+    }
+    return gn;
+  };
+  using Entry = std::pair<int64_t, uint32_t>;  // (gain, local index)
+  std::priority_queue<Entry> heap;
+  for (size_t i = 0; i < n; ++i) {
+    gain[i] = compute_gain(i);
+    heap.emplace(gain[i], static_cast<uint32_t>(i));
+  }
+  std::vector<uint8_t> locked(n, 0);
+  // Move sequence with running best prefix.
+  std::vector<uint32_t> moves;
+  int64_t best_total = 0, running = 0;
+  size_t best_prefix = 0;
+  while (!heap.empty()) {
+    auto [gv, li] = heap.top();
+    heap.pop();
+    if (locked[li] || gv != gain[li]) continue;  // stale entry
+    // Balance check for the prospective move.
+    size_t new_left = left_count + ((*side)[li] == 0 ? -1 : +1);
+    if (new_left < min_left || new_left > max_left) continue;
+    locked[li] = 1;
+    (*side)[li] ^= 1;
+    left_count = new_left;
+    running += gv;
+    moves.push_back(li);
+    if (running > best_total) {
+      best_total = running;
+      best_prefix = moves.size();
+    }
+    uint32_t v = vertices[li];
+    for (const uint32_t* nb = g.NeighborsBegin(v); nb != g.NeighborsEnd(v);
+         ++nb) {
+      uint32_t ln = local_id[*nb];
+      if (ln == std::numeric_limits<uint32_t>::max() || locked[ln]) continue;
+      gain[ln] = compute_gain(ln);
+      heap.emplace(gain[ln], ln);
+    }
+  }
+  // Roll back moves past the best prefix.
+  for (size_t i = moves.size(); i-- > best_prefix;) {
+    (*side)[moves[i]] ^= 1;
+  }
+  return best_total > 0;
+}
+
+}  // namespace
+
+std::vector<uint32_t> PartitionGraph(const Graph& g, uint32_t num_parts,
+                                     const FmOptions& opts) {
+  LES3_CHECK_GE(num_parts, 1u);
+  std::vector<uint32_t> part(g.num_vertices(), 0);
+  if (num_parts == 1) return part;
+  Rng rng(opts.seed);
+
+  std::vector<uint32_t> all(g.num_vertices());
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  std::deque<BisectTask> tasks;
+  tasks.push_back(BisectTask{std::move(all), num_parts, 0});
+
+  // Scratch: local id of each vertex within the current task (max() when the
+  // vertex is outside the task subset).
+  std::vector<uint32_t> local_id(g.num_vertices(),
+                                 std::numeric_limits<uint32_t>::max());
+
+  while (!tasks.empty()) {
+    BisectTask task = std::move(tasks.front());
+    tasks.pop_front();
+    if (task.parts == 1) {
+      for (uint32_t v : task.vertices) part[v] = task.part_base;
+      continue;
+    }
+    uint32_t left_parts = task.parts / 2;
+    uint32_t right_parts = task.parts - left_parts;
+    size_t target_left = task.vertices.size() *
+                         static_cast<size_t>(left_parts) / task.parts;
+    size_t slack = std::max<size_t>(
+        1, static_cast<size_t>(task.vertices.size() * opts.imbalance));
+    size_t min_left = target_left > slack ? target_left - slack : 0;
+    size_t max_left = std::min(task.vertices.size(), target_left + slack);
+    // Each side must keep at least one vertex per part it still owes
+    // (when enough vertices exist).
+    if (task.vertices.size() >= task.parts) {
+      min_left = std::max<size_t>(min_left, left_parts);
+      max_left = std::min(max_left, task.vertices.size() - right_parts);
+      if (min_left > max_left) min_left = max_left = target_left;
+    }
+
+    for (size_t i = 0; i < task.vertices.size(); ++i) {
+      local_id[task.vertices[i]] = static_cast<uint32_t>(i);
+    }
+    std::vector<uint8_t> side =
+        InitialBisect(g, task.vertices, target_left, &rng, local_id);
+    for (size_t pass = 0; pass < opts.refinement_passes; ++pass) {
+      if (!FmPass(g, task.vertices, local_id, &side, min_left, max_left)) {
+        break;
+      }
+    }
+    for (uint32_t v : task.vertices) {
+      local_id[v] = std::numeric_limits<uint32_t>::max();
+    }
+
+    BisectTask left, right;
+    left.parts = left_parts;
+    left.part_base = task.part_base;
+    right.parts = right_parts;
+    right.part_base = task.part_base + left_parts;
+    for (size_t i = 0; i < task.vertices.size(); ++i) {
+      (side[i] == 0 ? left : right).vertices.push_back(task.vertices[i]);
+    }
+    tasks.push_back(std::move(left));
+    tasks.push_back(std::move(right));
+  }
+  return part;
+}
+
+}  // namespace graph
+}  // namespace les3

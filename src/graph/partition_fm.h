@@ -1,0 +1,34 @@
+// Balanced k-way graph partitioning by recursive bisection with
+// Fiduccia–Mattheyses refinement — an open reimplementation of the contract
+// PAR-G gets from PaToH in the paper: balanced parts, small edge cut.
+
+#ifndef LES3_GRAPH_PARTITION_FM_H_
+#define LES3_GRAPH_PARTITION_FM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace les3 {
+namespace graph {
+
+struct FmOptions {
+  /// Allowed relative imbalance per bisection (0.02 = parts within ±2% of
+  /// their target).
+  double imbalance = 0.02;
+  /// FM refinement passes per bisection.
+  size_t refinement_passes = 6;
+  uint64_t seed = 17;
+};
+
+/// \brief Partitions `g` into `num_parts` balanced parts, minimizing the
+/// edge cut. Returns a per-vertex part id in [0, num_parts).
+std::vector<uint32_t> PartitionGraph(const Graph& g, uint32_t num_parts,
+                                     const FmOptions& opts = {});
+
+}  // namespace graph
+}  // namespace les3
+
+#endif  // LES3_GRAPH_PARTITION_FM_H_

@@ -1,0 +1,27 @@
+#include "l2p/l2p.h"
+
+#include "embed/ptr.h"
+#include "util/logging.h"
+
+namespace les3 {
+namespace l2p {
+
+partition::PartitionResult L2PPartitioner::Partition(const SetDatabase& db,
+                                                     uint32_t target_groups) {
+  CascadeOptions opts = options_;
+  opts.target_groups = target_groups;
+  embed::PtrRepresentation ptr(db.num_tokens());
+  last_cascade_ = TrainCascade(db, ptr, opts);
+  LES3_CHECK(!last_cascade_.levels.empty());
+
+  partition::PartitionResult result;
+  const CascadeLevel& final_level = last_cascade_.levels.back();
+  result.assignment = final_level.assignment;
+  result.num_groups = final_level.num_groups;
+  result.seconds = last_cascade_.train_seconds;
+  result.working_memory_bytes = last_cascade_.working_memory_bytes;
+  return result;
+}
+
+}  // namespace l2p
+}  // namespace les3

@@ -1,0 +1,42 @@
+// L2P as a drop-in Partitioner (the learned counterpart of PAR-C/D/A/G).
+//
+// Memory accounting note: following the paper's Section 7.4 argument, only
+// the model parameters and one mini-batch need to be resident during
+// training — PTR representations are recomputable on demand in O(|S| log|T|)
+// — so the reported working memory excludes the representation matrix this
+// implementation materializes purely as a speed optimization.
+
+#ifndef LES3_L2P_L2P_H_
+#define LES3_L2P_L2P_H_
+
+#include <memory>
+
+#include "l2p/cascade.h"
+#include "partition/partitioner.h"
+
+namespace les3 {
+namespace l2p {
+
+/// \brief Learning-based partitioner built on the Siamese cascade.
+class L2PPartitioner : public partition::Partitioner {
+ public:
+  explicit L2PPartitioner(CascadeOptions options = {})
+      : options_(options) {}
+
+  partition::PartitionResult Partition(const SetDatabase& db,
+                                       uint32_t target_groups) override;
+  std::string name() const override { return "L2P"; }
+
+  /// Full cascade of the last Partition call (feeds HTGM construction and
+  /// the Figure 7 training curves).
+  const CascadeResult& last_cascade() const { return last_cascade_; }
+
+ private:
+  CascadeOptions options_;
+  CascadeResult last_cascade_;
+};
+
+}  // namespace l2p
+}  // namespace les3
+
+#endif  // LES3_L2P_L2P_H_

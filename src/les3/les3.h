@@ -1,0 +1,56 @@
+// Umbrella header: the full public API of the LES3 library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   les3::SetDatabase db = ...;                       // load or generate
+//   les3::l2p::L2PPartitioner l2p;                    // learned partitioner
+//   auto part = l2p.Partition(db, /*target_groups=*/256);
+//   les3::search::Les3Index index(std::move(db), part.assignment,
+//                                 part.num_groups);
+//   auto top10 = index.Knn(query, 10);
+//   auto close = index.Range(query, 0.7);
+
+#ifndef LES3_LES3_H_
+#define LES3_LES3_H_
+
+#include "baselines/brute_force.h"
+#include "baselines/dualtrans.h"
+#include "baselines/invidx.h"
+#include "bitmap/bitvector.h"
+#include "bitmap/roaring.h"
+#include "core/database.h"
+#include "core/set_record.h"
+#include "core/similarity.h"
+#include "core/stats.h"
+#include "core/tokenizer.h"
+#include "core/types.h"
+#include "datagen/analogs.h"
+#include "datagen/generators.h"
+#include "embed/binary_encoding.h"
+#include "embed/mds.h"
+#include "embed/pca.h"
+#include "embed/ptr.h"
+#include "embed/representation.h"
+#include "l2p/cascade.h"
+#include "l2p/l2p.h"
+#include "partition/metrics.h"
+#include "partition/par_a.h"
+#include "partition/par_c.h"
+#include "partition/par_d.h"
+#include "partition/par_g.h"
+#include "partition/partitioner.h"
+#include "partition/sorted_init.h"
+#include "search/les3_index.h"
+#include "search/query_stats.h"
+#include "storage/disk.h"
+#include "storage/disk_search.h"
+#include "storage/disk_store.h"
+#include "tgm/htgm.h"
+#include "tgm/tgm.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+#endif  // LES3_LES3_H_

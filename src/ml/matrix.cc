@@ -1,0 +1,17 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace les3 {
+namespace ml {
+
+void Matrix::InitXavier(Rng* rng) {
+  // rows_ = fan_out, cols_ = fan_in.
+  float limit = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  for (auto& v : data_) {
+    v = (static_cast<float>(rng->NextDouble()) * 2.0f - 1.0f) * limit;
+  }
+}
+
+}  // namespace ml
+}  // namespace les3

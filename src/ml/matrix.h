@@ -1,0 +1,52 @@
+// A minimal dense row-major float matrix for the neural-network substrate.
+//
+// This is deliberately not a general linear-algebra library: the paper's
+// network is a 2x8 MLP, so all we need is storage, a few fills, and GEMM-ish
+// loops that the MLP implements inline.
+
+#ifndef LES3_ML_MATRIX_H_
+#define LES3_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace les3 {
+namespace ml {
+
+/// \brief Dense row-major matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Xavier/Glorot uniform initialization for a (fan_out x fan_in) weight.
+  void InitXavier(Rng* rng);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace ml
+}  // namespace les3
+
+#endif  // LES3_ML_MATRIX_H_

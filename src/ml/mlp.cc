@@ -1,0 +1,182 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace ml {
+namespace {
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)) {
+  LES3_CHECK_GE(layer_sizes_.size(), 2u);
+  Rng rng(seed);
+  size_t num_layers = layer_sizes_.size() - 1;
+  weights_.reserve(num_layers);
+  for (size_t l = 0; l < num_layers; ++l) {
+    Matrix w(layer_sizes_[l + 1], layer_sizes_[l]);
+    w.InitXavier(&rng);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(layer_sizes_[l + 1], 0.0f);
+    weight_grads_.emplace_back(layer_sizes_[l + 1], layer_sizes_[l]);
+    bias_grads_.emplace_back(layer_sizes_[l + 1], 0.0f);
+  }
+  activations_.resize(num_layers);
+}
+
+const Matrix& Mlp::Forward(const Matrix& input) {
+  LES3_CHECK_EQ(input.cols(), layer_sizes_.front());
+  size_t batch = input.rows();
+  const Matrix* prev = &input;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    const auto& b = biases_[l];
+    Matrix& act = activations_[l];
+    act = Matrix(batch, w.rows());
+    for (size_t i = 0; i < batch; ++i) {
+      const float* x = prev->Row(i);
+      float* out = act.Row(i);
+      for (size_t o = 0; o < w.rows(); ++o) {
+        const float* wr = w.Row(o);
+        float z = b[o];
+        for (size_t k = 0; k < w.cols(); ++k) z += wr[k] * x[k];
+        out[o] = Sigmoid(z);
+      }
+    }
+    prev = &act;
+  }
+  return activations_.back();
+}
+
+std::vector<float> Mlp::ForwardOne(const float* x) const {
+  std::vector<float> cur(x, x + layer_sizes_.front());
+  std::vector<float> next;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    const auto& b = biases_[l];
+    next.assign(w.rows(), 0.0f);
+    for (size_t o = 0; o < w.rows(); ++o) {
+      const float* wr = w.Row(o);
+      float z = b[o];
+      for (size_t k = 0; k < w.cols(); ++k) z += wr[k] * cur[k];
+      next[o] = Sigmoid(z);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& g : weight_grads_) g.Fill(0.0f);
+  for (auto& g : bias_grads_) std::fill(g.begin(), g.end(), 0.0f);
+}
+
+void Mlp::Backward(const Matrix& input, const Matrix& grad_output) {
+  size_t batch = input.rows();
+  LES3_CHECK_EQ(grad_output.rows(), batch);
+  LES3_CHECK_EQ(grad_output.cols(), layer_sizes_.back());
+  // delta for the current layer, (batch x width_l).
+  Matrix delta = grad_output;
+  for (size_t l = weights_.size(); l-- > 0;) {
+    const Matrix& act = activations_[l];
+    // Through the sigmoid: delta *= a * (1 - a).
+    for (size_t i = 0; i < batch; ++i) {
+      float* d = delta.Row(i);
+      const float* a = act.Row(i);
+      for (size_t o = 0; o < delta.cols(); ++o) {
+        d[o] *= a[o] * (1.0f - a[o]);
+      }
+    }
+    const Matrix& below = (l == 0) ? input : activations_[l - 1];
+    Matrix& wg = weight_grads_[l];
+    auto& bg = bias_grads_[l];
+    for (size_t i = 0; i < batch; ++i) {
+      const float* d = delta.Row(i);
+      const float* x = below.Row(i);
+      for (size_t o = 0; o < wg.rows(); ++o) {
+        float* wr = wg.Row(o);
+        float dv = d[o];
+        if (dv == 0.0f) continue;
+        for (size_t k = 0; k < wg.cols(); ++k) wr[k] += dv * x[k];
+        bg[o] += dv;
+      }
+    }
+    if (l == 0) break;
+    // Propagate: next_delta = delta . W_l  (batch x in_l).
+    const Matrix& w = weights_[l];
+    Matrix next_delta(batch, w.cols());
+    for (size_t i = 0; i < batch; ++i) {
+      const float* d = delta.Row(i);
+      float* nd = next_delta.Row(i);
+      for (size_t o = 0; o < w.rows(); ++o) {
+        float dv = d[o];
+        if (dv == 0.0f) continue;
+        const float* wr = w.Row(o);
+        for (size_t k = 0; k < w.cols(); ++k) nd[k] += dv * wr[k];
+      }
+    }
+    delta = std::move(next_delta);
+  }
+}
+
+std::vector<float*> Mlp::MutableParams() {
+  std::vector<float*> out;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Matrix& w = weights_[l];
+    for (size_t i = 0; i < w.size(); ++i) out.push_back(w.data() + i);
+    for (auto& b : biases_[l]) out.push_back(&b);
+  }
+  return out;
+}
+
+std::vector<float> Mlp::GradsFlat() const {
+  std::vector<float> out;
+  out.reserve(NumParams());
+  for (size_t l = 0; l < weight_grads_.size(); ++l) {
+    const Matrix& g = weight_grads_[l];
+    out.insert(out.end(), g.data(), g.data() + g.size());
+    out.insert(out.end(), bias_grads_[l].begin(), bias_grads_[l].end());
+  }
+  return out;
+}
+
+size_t Mlp::NumParams() const {
+  size_t total = 0;
+  for (size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    total += layer_sizes_[l] * layer_sizes_[l + 1] + layer_sizes_[l + 1];
+  }
+  return total;
+}
+
+std::vector<float> Mlp::ParamsFlat() const {
+  std::vector<float> out;
+  out.reserve(NumParams());
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    out.insert(out.end(), w.data(), w.data() + w.size());
+    out.insert(out.end(), biases_[l].begin(), biases_[l].end());
+  }
+  return out;
+}
+
+void Mlp::SetParamsFlat(const std::vector<float>& flat) {
+  LES3_CHECK_EQ(flat.size(), NumParams());
+  size_t pos = 0;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Matrix& w = weights_[l];
+    for (size_t i = 0; i < w.size(); ++i) w.data()[i] = flat[pos++];
+    for (auto& b : biases_[l]) b = flat[pos++];
+  }
+}
+
+uint64_t Mlp::MemoryBytes() const {
+  return static_cast<uint64_t>(NumParams()) * 2 * sizeof(float);
+}
+
+}  // namespace ml
+}  // namespace les3

@@ -1,0 +1,80 @@
+// Multi-layer perceptron with sigmoid activations and manual backprop.
+//
+// The paper's L2P network (Section 7.1) is an MLP with two hidden layers of
+// eight neurons, sigmoid activations, and a single sigmoid output neuron.
+// This class implements exactly that family (arbitrary layer widths), with
+// batch forward/backward passes and a flat parameter/gradient view that the
+// Adam optimizer (ml/adam.h) consumes.
+
+#ifndef LES3_ML_MLP_H_
+#define LES3_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace ml {
+
+/// \brief Sigmoid MLP with batch forward/backward.
+///
+/// Usage per mini-batch:
+///   const Matrix& out = net.Forward(batch);     // caches activations
+///   net.ZeroGrad();
+///   net.Backward(batch, dL_dOut);               // accumulates gradients
+///   adam.Step(net.MutableParams(), net.Grads());
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}; at least {in, out}.
+  Mlp(std::vector<size_t> layer_sizes, uint64_t seed);
+
+  /// Forward pass for a (batch x input_dim) matrix; returns a reference to
+  /// the cached (batch x output_dim) activations, valid until next call.
+  const Matrix& Forward(const Matrix& input);
+
+  /// Forward pass for a single example (no caching side effects relied on;
+  /// convenient for inference).
+  std::vector<float> ForwardOne(const float* x) const;
+
+  /// Zeroes accumulated gradients.
+  void ZeroGrad();
+
+  /// Backpropagates dL/dOutput (batch x output_dim) through the cached
+  /// activations of the preceding Forward(); accumulates into gradients.
+  void Backward(const Matrix& input, const Matrix& grad_output);
+
+  /// Flat views over all parameters / gradients (weights then biases per
+  /// layer, in layer order).
+  std::vector<float*> MutableParams();
+  std::vector<float> GradsFlat() const;
+  size_t NumParams() const;
+
+  /// Copies a flat parameter vector in/out (testing, checkpointing).
+  std::vector<float> ParamsFlat() const;
+  void SetParamsFlat(const std::vector<float>& flat);
+
+  /// Adds `grads` (flat) scaled by `scale` into a caller-held accumulator.
+  const std::vector<Matrix>& weights() const { return weights_; }
+
+  size_t input_dim() const { return layer_sizes_.front(); }
+  size_t output_dim() const { return layer_sizes_.back(); }
+
+  /// Heap bytes of parameters + optimizer-visible state (for the Figure 9
+  /// space accounting).
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<size_t> layer_sizes_;
+  std::vector<Matrix> weights_;        // [l]: (out_l x in_l)
+  std::vector<std::vector<float>> biases_;  // [l]: out_l
+  std::vector<Matrix> weight_grads_;
+  std::vector<std::vector<float>> bias_grads_;
+  std::vector<Matrix> activations_;    // [l]: post-sigmoid per layer
+};
+
+}  // namespace ml
+}  // namespace les3
+
+#endif  // LES3_ML_MLP_H_

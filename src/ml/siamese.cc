@@ -1,0 +1,74 @@
+#include "ml/siamese.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace ml {
+
+float SurrogateLoss(float ox, float oy, float dissimilarity) {
+  bool same_side = (ox >= 0.5f) == (oy >= 0.5f);
+  if (!same_side) return 0.0f;
+  return (0.5f - std::fabs(ox - oy)) * dissimilarity;
+}
+
+SiameseStats TrainSiamese(Mlp* net, const Matrix& representations,
+                          const std::vector<SiamesePair>& pairs,
+                          const SiameseOptions& options) {
+  LES3_CHECK_EQ(net->output_dim(), 1u);
+  SiameseStats stats;
+  if (pairs.empty()) return stats;
+  WallTimer timer;
+  Rng rng(options.seed);
+  Adam adam(net->NumParams(), options.adam);
+  const size_t dim = net->input_dim();
+  LES3_CHECK_EQ(representations.cols(), dim);
+
+  std::vector<uint32_t> order(pairs.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      size_t batch = std::min(options.batch_size, order.size() - start);
+      // Stack the pair members into one 2*batch forward pass so the cached
+      // activations cover both sides when we backprop.
+      Matrix input(2 * batch, dim);
+      for (size_t i = 0; i < batch; ++i) {
+        const SiamesePair& p = pairs[order[start + i]];
+        const float* ra = representations.Row(p.a);
+        const float* rb = representations.Row(p.b);
+        std::copy(ra, ra + dim, input.Row(i));
+        std::copy(rb, rb + dim, input.Row(batch + i));
+      }
+      const Matrix& out = net->Forward(input);
+      Matrix grad(2 * batch, 1);
+      float batch_loss = 0.0f;
+      const float inv_batch = 1.0f / static_cast<float>(batch);
+      for (size_t i = 0; i < batch; ++i) {
+        const SiamesePair& p = pairs[order[start + i]];
+        float ox = out.At(i, 0);
+        float oy = out.At(batch + i, 0);
+        batch_loss += SurrogateLoss(ox, oy, p.dissimilarity);
+        bool same_side = (ox >= 0.5f) == (oy >= 0.5f);
+        if (!same_side || p.dissimilarity == 0.0f) continue;
+        // d/dOx [ (0.5 - |Ox - Oy|) * d ] = -sign(Ox - Oy) * d.
+        float sign = (ox > oy) ? 1.0f : (ox < oy ? -1.0f : 0.0f);
+        grad.At(i, 0) = -sign * p.dissimilarity * inv_batch;
+        grad.At(batch + i, 0) = sign * p.dissimilarity * inv_batch;
+      }
+      net->ZeroGrad();
+      net->Backward(input, grad);
+      adam.Step(net->MutableParams(), net->GradsFlat());
+      stats.batch_losses.push_back(batch_loss * inv_batch);
+    }
+  }
+  stats.train_seconds = timer.Seconds();
+  return stats;
+}
+
+}  // namespace ml
+}  // namespace les3

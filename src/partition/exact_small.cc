@@ -1,0 +1,69 @@
+#include "partition/exact_small.h"
+
+#include <functional>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace partition {
+
+ExactPartition MinimizeGpoExact(const SetDatabase& db, uint32_t num_groups,
+                                SimilarityMeasure measure) {
+  const size_t n = db.size();
+  LES3_CHECK_GE(n, 1u);
+  LES3_CHECK_LE(n, 14u);
+  LES3_CHECK_GE(num_groups, 1u);
+  LES3_CHECK_LE(num_groups, n);
+
+  // Precompute the (ordered-pair) distance matrix.
+  std::vector<double> dist(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        dist[i * n + j] = 1.0 - Similarity(measure, db.set(i), db.set(j));
+      }
+    }
+  }
+
+  ExactPartition best;
+  best.gpo = std::numeric_limits<double>::max();
+  std::vector<GroupId> assignment(n, 0);
+
+  auto evaluate = [&] {
+    GroupId max_label = 0;
+    for (GroupId g : assignment) max_label = std::max(max_label, g);
+    if (max_label + 1 != num_groups) return;  // need exactly num_groups
+    double gpo = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (assignment[i] == assignment[j]) gpo += dist[i * n + j];
+      }
+    }
+    if (gpo < best.gpo) {
+      best.gpo = gpo;
+      best.assignment = assignment;
+      best.num_groups = num_groups;
+    }
+  };
+
+  // Restricted growth strings enumerate each set-partition once: position i
+  // may reuse any label seen so far or open the next fresh one.
+  std::function<void(size_t, GroupId)> enumerate = [&](size_t i,
+                                                       GroupId used) {
+    if (i == n) {
+      evaluate();
+      return;
+    }
+    GroupId limit = std::min<GroupId>(used, num_groups - 1);
+    for (GroupId g = 0; g <= limit; ++g) {
+      assignment[i] = g;
+      enumerate(i + 1, std::max<GroupId>(used, g + 1));
+    }
+  };
+  enumerate(1, 1);  // assignment[0] is pinned to label 0
+  return best;
+}
+
+}  // namespace partition
+}  // namespace les3

@@ -1,0 +1,35 @@
+// Exact GPO minimization for tiny inputs by exhaustive enumeration of
+// set-partitions (restricted growth strings). Minimizing GPO is NP-complete
+// (Theorem 4.4), so this is only feasible for |D| up to ~12 — enough to
+// validate the heuristics and the balance property of Theorem 4.2 in tests
+// and ablations.
+
+#ifndef LES3_PARTITION_EXACT_SMALL_H_
+#define LES3_PARTITION_EXACT_SMALL_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace partition {
+
+/// Result of exhaustive GPO minimization.
+struct ExactPartition {
+  std::vector<GroupId> assignment;
+  uint32_t num_groups = 0;
+  double gpo = 0.0;
+};
+
+/// \brief Finds the assignment of `db` into exactly `num_groups` non-empty
+/// groups minimizing GPO (Equation 13). Aborts if |D| > 14 (the search is
+/// O(num_groups^|D|)).
+ExactPartition MinimizeGpoExact(const SetDatabase& db, uint32_t num_groups,
+                                SimilarityMeasure measure);
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_EXACT_SMALL_H_

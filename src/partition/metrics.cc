@@ -1,0 +1,99 @@
+#include "partition/metrics.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "partition/partitioner.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace partition {
+
+double ExactGpo(const SetDatabase& db, const std::vector<GroupId>& assignment,
+                uint32_t num_groups, SimilarityMeasure measure) {
+  auto groups = GroupMembers(assignment, num_groups);
+  double total = 0.0;
+  for (const auto& members : groups) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        total += 2.0 * (1.0 - Similarity(measure, db.set(members[i]),
+                                         db.set(members[j])));
+      }
+    }
+  }
+  // Equation (13) sums over ordered pairs (Sx, Sy), hence the factor 2
+  // above; self-pairs contribute 0.
+  return total;
+}
+
+double EstimateGpo(const SetDatabase& db,
+                   const std::vector<GroupId>& assignment,
+                   uint32_t num_groups, SimilarityMeasure measure,
+                   size_t pairs_per_group, uint64_t seed) {
+  auto groups = GroupMembers(assignment, num_groups);
+  Rng rng(seed);
+  double total = 0.0;
+  for (const auto& members : groups) {
+    size_t n = members.size();
+    if (n < 2) continue;
+    uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1);  // ordered
+    uint64_t sample = std::min<uint64_t>(pairs_per_group, all_pairs / 2);
+    if (sample == 0) continue;
+    double acc = 0.0;
+    for (uint64_t s = 0; s < sample; ++s) {
+      size_t i = rng.Uniform(n);
+      size_t j = rng.Uniform(n - 1);
+      if (j >= i) ++j;
+      acc += 1.0 - Similarity(measure, db.set(members[i]), db.set(members[j]));
+    }
+    total += acc / static_cast<double>(sample) * static_cast<double>(all_pairs);
+  }
+  return total;
+}
+
+uint64_t UnionObjective(const SetDatabase& db,
+                        const std::vector<GroupId>& assignment,
+                        uint32_t num_groups) {
+  auto groups = GroupMembers(assignment, num_groups);
+  uint64_t total = 0;
+  std::unordered_set<TokenId> tokens;
+  for (const auto& members : groups) {
+    tokens.clear();
+    for (SetId id : members) {
+      for (TokenId t : db.set(id).tokens()) tokens.insert(t);
+    }
+    total += tokens.size();
+  }
+  return total;
+}
+
+BalanceStats ComputeBalance(const std::vector<GroupId>& assignment,
+                            uint32_t num_groups) {
+  BalanceStats stats;
+  if (num_groups == 0) return stats;
+  std::vector<size_t> sizes(num_groups, 0);
+  for (GroupId g : assignment) {
+    LES3_CHECK_LT(g, num_groups);
+    ++sizes[g];
+  }
+  stats.min_size = sizes[0];
+  stats.max_size = sizes[0];
+  double sum = 0.0;
+  for (size_t s : sizes) {
+    stats.min_size = std::min(stats.min_size, s);
+    stats.max_size = std::max(stats.max_size, s);
+    sum += static_cast<double>(s);
+  }
+  stats.mean_size = sum / num_groups;
+  double var = 0.0;
+  for (size_t s : sizes) {
+    double d = static_cast<double>(s) - stats.mean_size;
+    var += d * d;
+  }
+  stats.stddev = std::sqrt(var / num_groups);
+  return stats;
+}
+
+}  // namespace partition
+}  // namespace les3

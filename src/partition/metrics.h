@@ -1,0 +1,50 @@
+// Partition-quality metrics from Section 4: the general partitioning
+// objective GPO (Equation 13), the union-size objective U (Equation 10 /
+// Property 2), and balance statistics (Property 1).
+
+#ifndef LES3_PARTITION_METRICS_H_
+#define LES3_PARTITION_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace partition {
+
+/// Exact GPO = sum over groups of all intra-group pairwise distances
+/// (1 - Sim). Quadratic in group sizes — use on small inputs or via
+/// EstimateGpo below.
+double ExactGpo(const SetDatabase& db, const std::vector<GroupId>& assignment,
+                uint32_t num_groups, SimilarityMeasure measure);
+
+/// Sampled GPO estimate: per group, up to `pairs_per_group` random pairs,
+/// scaled to the full pair count (the paper's footnote-2 approximation).
+double EstimateGpo(const SetDatabase& db,
+                   const std::vector<GroupId>& assignment,
+                   uint32_t num_groups, SimilarityMeasure measure,
+                   size_t pairs_per_group, uint64_t seed);
+
+/// U = sum over groups of |union of member sets| (Equation 10).
+uint64_t UnionObjective(const SetDatabase& db,
+                        const std::vector<GroupId>& assignment,
+                        uint32_t num_groups);
+
+/// Group-size balance summary.
+struct BalanceStats {
+  size_t min_size = 0;
+  size_t max_size = 0;
+  double mean_size = 0.0;
+  double stddev = 0.0;
+};
+
+BalanceStats ComputeBalance(const std::vector<GroupId>& assignment,
+                            uint32_t num_groups);
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_METRICS_H_

@@ -1,0 +1,135 @@
+#include "partition/par_a.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace partition {
+namespace {
+
+struct Group {
+  std::vector<SetId> members;
+  double phi = 0.0;  // sampled intra-group pairwise distance sum (ordered/2)
+  bool alive = true;
+};
+
+/// Sampled mean distance between members of two groups.
+double MeanCrossDistance(const SetDatabase& db, const Group& a,
+                         const Group& b, SimilarityMeasure measure,
+                         size_t samples, Rng* rng) {
+  double acc = 0.0;
+  size_t count = std::max<size_t>(1, samples);
+  for (size_t i = 0; i < count; ++i) {
+    SetId x = a.members[rng->Uniform(a.members.size())];
+    SetId y = b.members[rng->Uniform(b.members.size())];
+    acc += 1.0 - Similarity(measure, db.set(x), db.set(y));
+  }
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+PartitionResult ParA::Partition(const SetDatabase& db,
+                                uint32_t target_groups) {
+  WallTimer timer;
+  Rng rng(opts_.seed);
+  const size_t n = db.size();
+  LES3_CHECK_GE(n, target_groups);
+
+  std::vector<Group> groups(n);
+  for (SetId i = 0; i < n; ++i) groups[i].members.push_back(i);
+  // Buckets of alive group ids by size for "smallest group first".
+  size_t alive = n;
+
+  // Index of alive groups; refreshed lazily when it drifts from reality.
+  std::vector<uint32_t> alive_ids(n);
+  for (uint32_t i = 0; i < n; ++i) alive_ids[i] = i;
+
+  while (alive > target_groups) {
+    // Find the smallest alive group (ties broken by id order after a lazy
+    // compaction of the alive list).
+    size_t best_pos = 0;
+    size_t best_size = std::numeric_limits<size_t>::max();
+    for (size_t p = 0; p < alive_ids.size(); ++p) {
+      const Group& g = groups[alive_ids[p]];
+      if (!g.alive) continue;
+      if (g.members.size() < best_size) {
+        best_size = g.members.size();
+        best_pos = p;
+        if (best_size == 1) break;
+      }
+    }
+    uint32_t g1 = alive_ids[best_pos];
+
+    // Probe a sample of partners; choose the one with the smallest mean
+    // cross distance (average linkage). Under sampled φ this follows the
+    // paper's min-φ(G1 ∪ G2) intent — the merge adds cross-pair mass
+    // proportional to that mean — while the smallest-group-first rule
+    // keeps sizes in check.
+    uint32_t best_partner = std::numeric_limits<uint32_t>::max();
+    double best_cross = std::numeric_limits<double>::max();
+    size_t probes = std::min<size_t>(opts_.max_candidate_groups, alive - 1);
+    for (size_t t = 0; t < probes * 3 && probes > 0; ++t) {
+      uint32_t g2 = alive_ids[rng.Uniform(alive_ids.size())];
+      if (g2 == g1 || !groups[g2].alive) continue;
+      double cross = MeanCrossDistance(db, groups[g1], groups[g2],
+                                       opts_.measure, opts_.sample_size, &rng);
+      if (cross < best_cross) {
+        best_cross = cross;
+        best_partner = g2;
+      }
+      if (--probes == 0) break;
+    }
+    if (best_partner == std::numeric_limits<uint32_t>::max()) {
+      // All probes hit dead groups; compact and retry.
+      std::vector<uint32_t> compacted;
+      for (uint32_t id : alive_ids) {
+        if (groups[id].alive) compacted.push_back(id);
+      }
+      alive_ids = std::move(compacted);
+      continue;
+    }
+
+    Group& a = groups[g1];
+    Group& b = groups[best_partner];
+    b.members.insert(b.members.end(), a.members.begin(), a.members.end());
+    b.phi = a.phi + b.phi +
+            best_cross * static_cast<double>(a.members.size()) *
+                static_cast<double>(b.members.size());
+    a.alive = false;
+    a.members.clear();
+    a.members.shrink_to_fit();
+    --alive;
+
+    // Periodic compaction keeps the candidate probing effective.
+    if (alive_ids.size() > 2 * alive) {
+      std::vector<uint32_t> compacted;
+      compacted.reserve(alive);
+      for (uint32_t id : alive_ids) {
+        if (groups[id].alive) compacted.push_back(id);
+      }
+      alive_ids = std::move(compacted);
+    }
+  }
+
+  PartitionResult result;
+  result.assignment.assign(n, 0);
+  uint32_t next_id = 0;
+  for (auto& g : groups) {
+    if (!g.alive) continue;
+    for (SetId s : g.members) result.assignment[s] = next_id;
+    ++next_id;
+  }
+  result.num_groups = next_id;
+  result.seconds = timer.Seconds();
+  result.working_memory_bytes =
+      n * (sizeof(GroupId) + sizeof(SetId)) + n * sizeof(Group);
+  return result;
+}
+
+}  // namespace partition
+}  // namespace les3

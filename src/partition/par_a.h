@@ -1,0 +1,41 @@
+// PAR-A: agglomerative (bottom-up) clustering (Section 4.3.4).
+//
+// Every set starts as its own group; merges continue until n groups remain.
+// Following the paper's simplification, the smaller operand of each merge is
+// always the currently smallest group, so only the partner needs searching —
+// done here over a random candidate sample with sampled cross-distances
+// (footnote 2), which keeps the quadratic-in-|D| exact algorithm tractable.
+
+#ifndef LES3_PARTITION_PAR_A_H_
+#define LES3_PARTITION_PAR_A_H_
+
+#include "core/similarity.h"
+#include "partition/partitioner.h"
+
+namespace les3 {
+namespace partition {
+
+struct ParAOptions {
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  size_t sample_size = 4;          // members sampled per group for φ
+  size_t max_candidate_groups = 64;  // partners probed per merge
+  uint64_t seed = 31;
+};
+
+/// \brief Agglomerative clustering partitioner.
+class ParA : public Partitioner {
+ public:
+  explicit ParA(ParAOptions opts = {}) : opts_(opts) {}
+
+  PartitionResult Partition(const SetDatabase& db,
+                            uint32_t target_groups) override;
+  std::string name() const override { return "PAR-A"; }
+
+ private:
+  ParAOptions opts_;
+};
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_PAR_A_H_

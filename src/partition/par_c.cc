@@ -1,0 +1,110 @@
+#include "partition/par_c.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace partition {
+namespace {
+
+/// Estimated distance sum d(S, G) = Σ_{x in G, x != S} (1 - Sim(S, x)),
+/// scaled up from `sample_size` random members.
+double EstimateDistanceSum(const SetDatabase& db, SetId s,
+                           const std::vector<SetId>& group, SetId skip,
+                           SimilarityMeasure measure, size_t sample_size,
+                           Rng* rng) {
+  size_t effective = group.size();
+  for (SetId m : group) {
+    if (m == skip) {
+      --effective;
+      break;
+    }
+  }
+  if (effective == 0) return 0.0;
+  size_t samples = std::min(sample_size, group.size());
+  double acc = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < samples * 2 && used < samples; ++i) {
+    SetId m = group[rng->Uniform(group.size())];
+    if (m == skip || m == s) continue;
+    acc += 1.0 - Similarity(measure, db.set(s), db.set(m));
+    ++used;
+  }
+  if (used == 0) return 0.0;
+  return acc / static_cast<double>(used) * static_cast<double>(effective);
+}
+
+}  // namespace
+
+PartitionResult ParC::Partition(const SetDatabase& db,
+                                uint32_t target_groups) {
+  WallTimer timer;
+  Rng rng(opts_.seed);
+  const size_t n = db.size();
+  PartitionResult result;
+  result.num_groups = target_groups;
+  result.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.assignment[i] = static_cast<GroupId>(rng.Uniform(target_groups));
+  }
+  auto groups = GroupMembers(result.assignment, target_groups);
+  // Position of each set inside its group vector, for O(1) removal.
+  std::vector<uint32_t> pos(n);
+  for (const auto& members : groups) {
+    for (uint32_t p = 0; p < members.size(); ++p) pos[members[p]] = p;
+  }
+  auto remove_from = [&](SetId s, GroupId g) {
+    auto& members = groups[g];
+    uint32_t p = pos[s];
+    members[p] = members.back();
+    pos[members[p]] = p;
+    members.pop_back();
+  };
+  auto add_to = [&](SetId s, GroupId g) {
+    pos[s] = static_cast<uint32_t>(groups[g].size());
+    groups[g].push_back(s);
+    result.assignment[s] = g;
+  };
+
+  std::vector<SetId> order(n);
+  for (SetId i = 0; i < n; ++i) order[i] = i;
+
+  for (size_t iter = 0; iter < opts_.max_iterations; ++iter) {
+    rng.Shuffle(&order);
+    size_t relocations = 0;
+    for (SetId s : order) {
+      GroupId gi = result.assignment[s];
+      double d_here = EstimateDistanceSum(db, s, groups[gi], s, opts_.measure,
+                                          opts_.sample_size, &rng);
+      size_t candidates =
+          std::min<size_t>(opts_.max_candidate_groups, target_groups);
+      for (size_t c = 0; c < candidates; ++c) {
+        GroupId gj = static_cast<GroupId>(rng.Uniform(target_groups));
+        if (gj == gi) continue;
+        double d_there =
+            EstimateDistanceSum(db, s, groups[gj], s, opts_.measure,
+                                opts_.sample_size, &rng);
+        // Δ(S, Gi, Gj) > 0 ⟺ d(S, Gj) < d(S, Gi \ S): first improvement.
+        if (d_there < d_here) {
+          remove_from(s, gi);
+          add_to(s, gj);
+          ++relocations;
+          break;
+        }
+      }
+    }
+    if (relocations == 0) break;
+  }
+
+  result.seconds = timer.Seconds();
+  // Working set: assignment + member lists + position index.
+  result.working_memory_bytes =
+      n * (sizeof(GroupId) + sizeof(SetId) + sizeof(uint32_t));
+  return result;
+}
+
+}  // namespace partition
+}  // namespace les3

@@ -1,0 +1,43 @@
+// PAR-C: centroid-style relocation partitioning (Section 4.3.2).
+//
+// Starts from a random assignment into n groups and repeatedly relocates a
+// set into the first group that lowers the (sampled) GPO — the paper's
+// "first-improvement" simplification, with group-distance sums φ
+// approximated on random member samples (paper footnote 2). Candidate
+// groups per relocation are additionally capped so a sweep stays
+// near-linear in |D|.
+
+#ifndef LES3_PARTITION_PAR_C_H_
+#define LES3_PARTITION_PAR_C_H_
+
+#include "core/similarity.h"
+#include "partition/partitioner.h"
+
+namespace les3 {
+namespace partition {
+
+struct ParCOptions {
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  size_t max_iterations = 4;      // full relocation sweeps
+  size_t sample_size = 8;         // members sampled to estimate d(S, G)
+  size_t max_candidate_groups = 48;  // groups probed per relocation attempt
+  uint64_t seed = 23;
+};
+
+/// \brief First-improvement relocation partitioner.
+class ParC : public Partitioner {
+ public:
+  explicit ParC(ParCOptions opts = {}) : opts_(opts) {}
+
+  PartitionResult Partition(const SetDatabase& db,
+                            uint32_t target_groups) override;
+  std::string name() const override { return "PAR-C"; }
+
+ private:
+  ParCOptions opts_;
+};
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_PAR_C_H_

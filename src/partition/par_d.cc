@@ -1,0 +1,132 @@
+#include "partition/par_d.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace partition {
+namespace {
+
+/// Sampled mean pairwise distance within `members`.
+double MeanPairDistance(const SetDatabase& db,
+                        const std::vector<SetId>& members,
+                        SimilarityMeasure measure, size_t samples, Rng* rng) {
+  if (members.size() < 2) return 0.0;
+  double acc = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    size_t a = rng->Uniform(members.size());
+    size_t b = rng->Uniform(members.size() - 1);
+    if (b >= a) ++b;
+    acc += 1.0 - Similarity(measure, db.set(members[a]), db.set(members[b]));
+    ++used;
+  }
+  return used ? acc / static_cast<double>(used) : 0.0;
+}
+
+/// Sampled mean distance from set `s` to `members`.
+double MeanDistanceTo(const SetDatabase& db, SetId s,
+                      const std::vector<SetId>& members,
+                      SimilarityMeasure measure, size_t samples, Rng* rng) {
+  if (members.empty()) return 0.0;
+  double acc = 0.0;
+  size_t count = std::min(samples, members.size());
+  for (size_t i = 0; i < count; ++i) {
+    SetId m = members[rng->Uniform(members.size())];
+    acc += 1.0 - Similarity(measure, db.set(s), db.set(m));
+  }
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+PartitionResult ParD::Partition(const SetDatabase& db,
+                                uint32_t target_groups) {
+  WallTimer timer;
+  Rng rng(opts_.seed);
+  const size_t n = db.size();
+
+  std::vector<std::vector<SetId>> groups;
+  groups.emplace_back();
+  groups[0].reserve(n);
+  for (SetId i = 0; i < n; ++i) groups[0].push_back(i);
+
+  // Max-heap of (sampled φ, group index); stale entries are skipped by
+  // comparing against a per-group version counter.
+  using Entry = std::pair<double, std::pair<uint32_t, uint32_t>>;
+  std::priority_queue<Entry> heap;
+  std::vector<uint32_t> version(1, 0);
+  auto push_group = [&](uint32_t g) {
+    const auto& members = groups[g];
+    double mean =
+        MeanPairDistance(db, members, opts_.measure, opts_.sample_size, &rng);
+    double phi = mean * static_cast<double>(members.size()) *
+                 static_cast<double>(members.size() > 0 ? members.size() - 1
+                                                        : 0);
+    heap.push({phi, {g, version[g]}});
+  };
+  push_group(0);
+
+  while (groups.size() < target_groups && !heap.empty()) {
+    auto [phi, gv] = heap.top();
+    heap.pop();
+    auto [g, ver] = gv;
+    if (ver != version[g]) continue;   // stale
+    if (groups[g].size() < 2) continue;  // cannot split further
+
+    // Seed the new group with a random member (paper simplification 3).
+    auto& old_members = groups[g];
+    size_t seed_pos = rng.Uniform(old_members.size());
+    SetId seed_set = old_members[seed_pos];
+    old_members[seed_pos] = old_members.back();
+    old_members.pop_back();
+    std::vector<SetId> fresh{seed_set};
+
+    // Move members that are closer to the new group than to the remainder.
+    std::vector<SetId> keep;
+    keep.reserve(old_members.size());
+    for (SetId s : old_members) {
+      double d_new = MeanDistanceTo(db, s, fresh, opts_.measure,
+                                    opts_.sample_size, &rng);
+      double d_old = MeanDistanceTo(db, s, keep.empty() ? old_members : keep,
+                                    opts_.measure, opts_.sample_size, &rng);
+      if (d_new < d_old) {
+        fresh.push_back(s);
+      } else {
+        keep.push_back(s);
+      }
+    }
+    if (keep.empty()) {
+      // Degenerate split; put half back to guarantee progress.
+      size_t half = fresh.size() / 2;
+      keep.assign(fresh.begin() + half, fresh.end());
+      fresh.resize(half);
+      if (fresh.empty()) fresh.push_back(keep.back()), keep.pop_back();
+    }
+    groups[g] = std::move(keep);
+    ++version[g];
+    groups.push_back(std::move(fresh));
+    version.push_back(0);
+    push_group(g);
+    push_group(static_cast<uint32_t>(groups.size() - 1));
+  }
+
+  PartitionResult result;
+  result.num_groups = static_cast<uint32_t>(groups.size());
+  result.assignment.assign(n, 0);
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    for (SetId s : groups[g]) result.assignment[s] = g;
+  }
+  result.seconds = timer.Seconds();
+  result.working_memory_bytes =
+      n * (sizeof(GroupId) + sizeof(SetId)) +
+      groups.size() * (sizeof(Entry) + sizeof(uint32_t));
+  return result;
+}
+
+}  // namespace partition
+}  // namespace les3

@@ -1,0 +1,39 @@
+// PAR-D: divisive (top-down) clustering (Section 4.3.3).
+//
+// Starts with all sets in one group and repeatedly splits the group with the
+// largest (sampled) φ: a random member seeds the new group (the paper's
+// simplification over argmax individual distance) and every other member
+// moves if that lowers the GPO, judged on sampled distance sums.
+
+#ifndef LES3_PARTITION_PAR_D_H_
+#define LES3_PARTITION_PAR_D_H_
+
+#include "core/similarity.h"
+#include "partition/partitioner.h"
+
+namespace les3 {
+namespace partition {
+
+struct ParDOptions {
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  size_t sample_size = 8;  // members sampled per distance-sum estimate
+  uint64_t seed = 29;
+};
+
+/// \brief Divisive clustering partitioner.
+class ParD : public Partitioner {
+ public:
+  explicit ParD(ParDOptions opts = {}) : opts_(opts) {}
+
+  PartitionResult Partition(const SetDatabase& db,
+                            uint32_t target_groups) override;
+  std::string name() const override { return "PAR-D"; }
+
+ private:
+  ParDOptions opts_;
+};
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_PAR_D_H_

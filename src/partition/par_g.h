@@ -1,0 +1,53 @@
+// PAR-G: graph-cut partitioning (Section 4.3.1, after Dong et al.).
+//
+// Builds the kNN (or range) similarity graph of the database, then cuts it
+// into n balanced parts with minimum crossing edges using the FM-based
+// partitioner in graph/partition_fm.h (standing in for PaToH). The method is
+// workload-specific: it takes the query k or δ as an input.
+
+#ifndef LES3_PARTITION_PAR_G_H_
+#define LES3_PARTITION_PAR_G_H_
+
+#include "core/similarity.h"
+#include "graph/knn_graph.h"
+#include "graph/partition_fm.h"
+#include "partition/partitioner.h"
+
+namespace les3 {
+namespace partition {
+
+struct ParGOptions {
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  /// Workload: kNN with this k (when range_delta < 0), else range with
+  /// threshold range_delta.
+  size_t knn_k = 10;
+  double range_delta = -1.0;
+  graph::FmOptions fm;
+  size_t max_token_frequency = 2000;
+  uint64_t seed = 37;
+};
+
+/// \brief Similarity-graph + balanced-cut partitioner.
+class ParG : public Partitioner {
+ public:
+  explicit ParG(ParGOptions opts = {}) : opts_(opts) {}
+
+  PartitionResult Partition(const SetDatabase& db,
+                            uint32_t target_groups) override;
+  std::string name() const override { return "PAR-G"; }
+
+  /// Statistics from the last run (graph size feeds the Figure 9 space
+  /// accounting).
+  uint64_t last_graph_bytes() const { return last_graph_bytes_; }
+  uint64_t last_cut_size() const { return last_cut_size_; }
+
+ private:
+  ParGOptions opts_;
+  uint64_t last_graph_bytes_ = 0;
+  uint64_t last_cut_size_ = 0;
+};
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_PAR_G_H_

@@ -1,0 +1,31 @@
+#include "partition/partitioner.h"
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace partition {
+
+std::vector<std::vector<SetId>> GroupMembers(
+    const std::vector<GroupId>& assignment, uint32_t num_groups) {
+  std::vector<std::vector<SetId>> groups(num_groups);
+  for (SetId i = 0; i < assignment.size(); ++i) {
+    LES3_CHECK_LT(assignment[i], num_groups);
+    groups[assignment[i]].push_back(i);
+  }
+  return groups;
+}
+
+uint32_t Compact(std::vector<GroupId>* assignment) {
+  std::vector<GroupId> remap;
+  constexpr GroupId kUnmapped = static_cast<GroupId>(-1);
+  uint32_t next = 0;
+  for (GroupId& g : *assignment) {
+    if (g >= remap.size()) remap.resize(g + 1, kUnmapped);
+    if (remap[g] == kUnmapped) remap[g] = next++;
+    g = remap[g];
+  }
+  return next;
+}
+
+}  // namespace partition
+}  // namespace les3

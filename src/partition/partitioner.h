@@ -1,0 +1,51 @@
+// Partitioner interface: everything that maps a database to n groups
+// (Section 4). Implementations: PAR-C, PAR-D, PAR-A, PAR-G (partition/) and
+// L2P (l2p/).
+
+#ifndef LES3_PARTITION_PARTITIONER_H_
+#define LES3_PARTITION_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace partition {
+
+/// Outcome of a partitioning run, including the cost accounting that
+/// Figure 9 compares (wall time, working-set bytes).
+struct PartitionResult {
+  std::vector<GroupId> assignment;  // one GroupId per set, dense in
+                                    // [0, num_groups)
+  uint32_t num_groups = 0;
+  double seconds = 0.0;             // end-to-end partitioning time
+  uint64_t working_memory_bytes = 0;  // peak auxiliary memory (documented
+                                      // analytic estimate per method)
+};
+
+/// \brief Base class for all partitioning strategies.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Partitions `db` into (at most) `target_groups` groups.
+  virtual PartitionResult Partition(const SetDatabase& db,
+                                    uint32_t target_groups) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Inverts an assignment into per-group member lists.
+std::vector<std::vector<SetId>> GroupMembers(
+    const std::vector<GroupId>& assignment, uint32_t num_groups);
+
+/// Renumbers group ids to a dense range [0, k) preserving first-appearance
+/// order; returns k.
+uint32_t Compact(std::vector<GroupId>* assignment);
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_PARTITIONER_H_

@@ -1,0 +1,31 @@
+#include "partition/sorted_init.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace partition {
+
+std::vector<GroupId> SortedInitialization(const SetDatabase& db,
+                                          uint32_t num_groups) {
+  LES3_CHECK_GT(num_groups, 0u);
+  const size_t n = db.size();
+  std::vector<SetId> order(n);
+  for (SetId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](SetId a, SetId b) {
+    TokenId ma = db.set(a).MinToken();
+    TokenId mb = db.set(b).MinToken();
+    if (ma != mb) return ma < mb;
+    return a < b;
+  });
+  std::vector<GroupId> assignment(n, 0);
+  for (size_t rank = 0; rank < n; ++rank) {
+    assignment[order[rank]] =
+        static_cast<GroupId>(rank * num_groups / std::max<size_t>(n, 1));
+  }
+  return assignment;
+}
+
+}  // namespace partition
+}  // namespace les3

@@ -1,0 +1,25 @@
+// Sorted initialization (paper Section 7.1, "Initialization"): sets are
+// sorted by their minimal token and cut into `num_groups` consecutive,
+// equal-sized runs. L2P starts its cascade from these groups instead of the
+// whole database, which removes the most expensive top levels.
+
+#ifndef LES3_PARTITION_SORTED_INIT_H_
+#define LES3_PARTITION_SORTED_INIT_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace partition {
+
+/// Assigns each set to one of `num_groups` groups of (near-)equal size by
+/// rank of (min token, set id).
+std::vector<GroupId> SortedInitialization(const SetDatabase& db,
+                                          uint32_t num_groups);
+
+}  // namespace partition
+}  // namespace les3
+
+#endif  // LES3_PARTITION_SORTED_INIT_H_

@@ -1,0 +1,166 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace rtree {
+
+RTree::RTree(const std::vector<std::vector<float>>& vectors, Options options)
+    : options_(options) {
+  num_entries_ = vectors.size();
+  if (vectors.empty()) {
+    Node root;
+    root.leaf = true;
+    nodes_.push_back(root);
+    root_ = 0;
+    return;
+  }
+  dim_ = vectors[0].size();
+  std::vector<uint32_t> ids(vectors.size());
+  for (uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  root_ = Build(vectors, &ids, 0, ids.size());
+}
+
+Mbr RTree::ComputeMbr(const std::vector<std::vector<float>>& vectors,
+                      const std::vector<uint32_t>& ids, size_t lo,
+                      size_t hi) const {
+  Mbr mbr;
+  mbr.lo.assign(dim_, std::numeric_limits<float>::max());
+  mbr.hi.assign(dim_, std::numeric_limits<float>::lowest());
+  for (size_t i = lo; i < hi; ++i) {
+    const auto& v = vectors[ids[i]];
+    for (size_t d = 0; d < dim_; ++d) {
+      mbr.lo[d] = std::min(mbr.lo[d], v[d]);
+      mbr.hi[d] = std::max(mbr.hi[d], v[d]);
+    }
+  }
+  return mbr;
+}
+
+uint32_t RTree::Build(const std::vector<std::vector<float>>& vectors,
+                      std::vector<uint32_t>* ids, size_t lo, size_t hi) {
+  size_t count = hi - lo;
+  Node node;
+  node.mbr = ComputeMbr(vectors, *ids, lo, hi);
+  if (count <= options_.leaf_capacity) {
+    node.leaf = true;
+    node.entries.assign(ids->begin() + lo, ids->begin() + hi);
+    nodes_.push_back(std::move(node));
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+  // Sort-tile: order this run along its widest dimension and cut it into
+  // `fanout` equal tiles.
+  size_t widest = 0;
+  float best_spread = -1.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    float spread = node.mbr.hi[d] - node.mbr.lo[d];
+    if (spread > best_spread) {
+      best_spread = spread;
+      widest = d;
+    }
+  }
+  std::sort(ids->begin() + lo, ids->begin() + hi,
+            [&](uint32_t a, uint32_t b) {
+              return vectors[a][widest] < vectors[b][widest];
+            });
+  size_t parts = std::min(options_.fanout, count);
+  std::vector<std::pair<size_t, size_t>> runs;
+  for (size_t p = 0; p < parts; ++p) {
+    size_t a = lo + count * p / parts;
+    size_t b = lo + count * (p + 1) / parts;
+    if (a < b) runs.emplace_back(a, b);
+  }
+  for (auto [a, b] : runs) {
+    node.children.push_back(Build(vectors, ids, a, b));
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+std::vector<std::pair<uint32_t, double>> RTree::TopK(
+    size_t k, const MbrScore& bound, const EntryScore& score,
+    uint64_t* nodes_visited, uint64_t* entries_scored) const {
+  using Frontier = std::pair<double, uint32_t>;
+  std::priority_queue<Frontier> frontier;
+  frontier.push({bound(nodes_[root_].mbr), root_});
+  std::priority_queue<std::pair<double, uint32_t>,
+                      std::vector<std::pair<double, uint32_t>>, std::greater<>>
+      best;
+  while (!frontier.empty()) {
+    auto [ub, node_id] = frontier.top();
+    frontier.pop();
+    if (best.size() >= k && ub <= best.top().first) break;
+    if (nodes_visited != nullptr) ++*nodes_visited;
+    const Node& node = nodes_[node_id];
+    if (node.leaf) {
+      for (uint32_t e : node.entries) {
+        double s = score(e);
+        if (entries_scored != nullptr) ++*entries_scored;
+        if (best.size() < k) {
+          best.push({s, e});
+        } else if (s > best.top().first) {
+          best.pop();
+          best.push({s, e});
+        }
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        frontier.push({bound(nodes_[child].mbr), child});
+      }
+    }
+  }
+  std::vector<std::pair<uint32_t, double>> out;
+  while (!best.empty()) {
+    out.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+std::vector<std::pair<uint32_t, double>> RTree::RangeSearch(
+    double threshold, const MbrScore& bound, const EntryScore& score,
+    uint64_t* nodes_visited, uint64_t* entries_scored) const {
+  std::vector<std::pair<uint32_t, double>> out;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    uint32_t node_id = stack.back();
+    stack.pop_back();
+    if (bound(nodes_[node_id].mbr) < threshold) continue;
+    if (nodes_visited != nullptr) ++*nodes_visited;
+    const Node& node = nodes_[node_id];
+    if (node.leaf) {
+      for (uint32_t e : node.entries) {
+        double s = score(e);
+        if (entries_scored != nullptr) ++*entries_scored;
+        if (s >= threshold) out.emplace_back(e, s);
+      }
+    } else {
+      for (uint32_t child : node.children) stack.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+uint64_t RTree::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += 2 * dim_ * sizeof(float);  // MBR
+    total += node.children.size() * sizeof(uint32_t);
+    total += node.entries.size() * sizeof(uint32_t);
+    total += sizeof(Node);
+  }
+  return total;
+}
+
+}  // namespace rtree
+}  // namespace les3

@@ -1,0 +1,96 @@
+// A d-dimensional R-tree over float vectors, bulk loaded sort-tile-recursive
+// style (cycling the widest dimension per level). Substrate for the
+// DualTrans baseline (baselines/dualtrans.h): entries are transformed set
+// vectors, and queries walk the tree best-first under a caller-supplied
+// upper-bound function evaluated on node MBRs.
+
+#ifndef LES3_RTREE_RTREE_H_
+#define LES3_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace les3 {
+namespace rtree {
+
+/// Axis-aligned bounding box in d dimensions.
+struct Mbr {
+  std::vector<float> lo;
+  std::vector<float> hi;
+};
+
+struct RTreeOptions {
+  size_t leaf_capacity = 32;
+  size_t fanout = 8;
+};
+
+/// \brief Bulk-loaded R-tree with best-first traversal.
+class RTree {
+ public:
+  using Options = RTreeOptions;
+
+  /// Bulk loads `vectors` (all the same dimension); entry i keeps id i.
+  RTree(const std::vector<std::vector<float>>& vectors, Options options = {});
+
+  size_t dim() const { return dim_; }
+  size_t num_entries() const { return num_entries_; }
+
+  /// Upper-bound score of a node MBR; must dominate Score of any entry
+  /// inside. Higher = more promising.
+  using MbrScore = std::function<double(const Mbr&)>;
+  /// Exact score of one entry id.
+  using EntryScore = std::function<double(uint32_t)>;
+
+  /// Best-first search: returns the k entries with the highest EntryScore,
+  /// sorted descending, provided MbrScore upper-bounds EntryScore. Counters
+  /// (may be null): nodes popped, entries scored.
+  std::vector<std::pair<uint32_t, double>> TopK(
+      size_t k, const MbrScore& bound, const EntryScore& score,
+      uint64_t* nodes_visited, uint64_t* entries_scored) const;
+
+  /// All entries whose EntryScore >= threshold, pruned by MbrScore.
+  std::vector<std::pair<uint32_t, double>> RangeSearch(
+      double threshold, const MbrScore& bound, const EntryScore& score,
+      uint64_t* nodes_visited, uint64_t* entries_scored) const;
+
+  /// Total bytes of nodes + MBRs + entry lists (Figure 11 accounting).
+  uint64_t MemoryBytes() const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Leaf node ids in [0, num_nodes()) — exposed so the disk layer can map
+  /// node visits to page reads.
+  bool IsLeaf(size_t node) const { return nodes_[node].leaf; }
+  const std::vector<uint32_t>& NodeEntries(size_t node) const {
+    return nodes_[node].entries;
+  }
+
+ private:
+  struct Node {
+    Mbr mbr;
+    bool leaf = false;
+    std::vector<uint32_t> children;  // node ids (internal)
+    std::vector<uint32_t> entries;   // entry ids (leaf)
+  };
+
+  /// Recursively packs `ids` (indices into vectors) into a subtree; returns
+  /// the root node id.
+  uint32_t Build(const std::vector<std::vector<float>>& vectors,
+                 std::vector<uint32_t>* ids, size_t lo, size_t hi);
+
+  Mbr ComputeMbr(const std::vector<std::vector<float>>& vectors,
+                 const std::vector<uint32_t>& ids, size_t lo, size_t hi) const;
+
+  size_t dim_ = 0;
+  size_t num_entries_ = 0;
+  Options options_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace rtree
+}  // namespace les3
+
+#endif  // LES3_RTREE_RTREE_H_

@@ -1,0 +1,31 @@
+#include "search/builder.h"
+
+#include "l2p/l2p.h"
+
+namespace les3 {
+namespace search {
+
+Result<Les3Index> BuildLes3Index(SetDatabase db,
+                                 const Les3BuildOptions& options) {
+  if (db.empty()) {
+    return Status::InvalidArgument("cannot index an empty database");
+  }
+  uint32_t groups = options.num_groups;
+  if (groups == 0) {
+    groups = static_cast<uint32_t>(db.size() / 200);
+    if (groups < 16) groups = 16;
+  }
+  if (groups > db.size()) groups = static_cast<uint32_t>(db.size());
+
+  l2p::CascadeOptions cascade = options.cascade;
+  cascade.target_groups = groups;
+  cascade.measure = options.measure;
+  if (cascade.init_groups > groups) cascade.init_groups = groups;
+  l2p::L2PPartitioner partitioner(cascade);
+  auto part = partitioner.Partition(db, groups);
+  return Les3Index(std::move(db), part.assignment, part.num_groups,
+                   options.measure);
+}
+
+}  // namespace search
+}  // namespace les3

@@ -1,0 +1,31 @@
+// One-call index construction: database in, LES3 index out, with the
+// paper's defaults (L2P partitioning over PTR, n ≈ 0.5% |D| groups).
+
+#ifndef LES3_SEARCH_BUILDER_H_
+#define LES3_SEARCH_BUILDER_H_
+
+#include "l2p/cascade.h"
+#include "search/les3_index.h"
+#include "util/status.h"
+
+namespace les3 {
+namespace search {
+
+struct Les3BuildOptions {
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  /// 0 means the paper's heuristic: max(16, |D| / 200) groups.
+  uint32_t num_groups = 0;
+  /// Training knobs; target_groups is overridden by num_groups.
+  l2p::CascadeOptions cascade;
+};
+
+/// \brief Partitions `db` with L2P and builds the search index.
+///
+/// Fails with InvalidArgument on an empty database.
+Result<Les3Index> BuildLes3Index(SetDatabase db,
+                                 const Les3BuildOptions& options = {});
+
+}  // namespace search
+}  // namespace les3
+
+#endif  // LES3_SEARCH_BUILDER_H_

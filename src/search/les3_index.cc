@@ -1,0 +1,132 @@
+#include "search/les3_index.h"
+
+#include "core/verify.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace search {
+namespace {
+
+void SortHits(std::vector<Hit>* hits) {
+  std::sort(hits->begin(), hits->end(), [](const Hit& a, const Hit& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+}
+
+}  // namespace
+
+Les3Index::Les3Index(SetDatabase db, const std::vector<GroupId>& assignment,
+                     uint32_t num_groups, SimilarityMeasure measure)
+    : db_(std::move(db)),
+      tgm_(db_, assignment, num_groups),
+      measure_(measure) {
+  tgm_.RunOptimize();
+}
+
+std::vector<Hit> Les3Index::Knn(const SetRecord& query, size_t k,
+                                QueryStats* stats) const {
+  WallTimer timer;
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats();
+
+  std::vector<uint32_t> counts;
+  stats->columns_scanned = tgm_.MatchedCounts(query, &counts);
+
+  // Groups in descending bound order; a max-heap lets us stop at the first
+  // bound not exceeding the running k-th best similarity.
+  using GroupEntry = std::pair<double, GroupId>;
+  std::priority_queue<GroupEntry> groups;
+  for (GroupId g = 0; g < counts.size(); ++g) {
+    if (tgm_.group_size(g) == 0) continue;
+    groups.push({GroupUpperBound(measure_, counts[g], query.size()), g});
+  }
+
+  std::priority_queue<std::pair<double, SetId>,
+                      std::vector<std::pair<double, SetId>>, std::greater<>>
+      best;  // min-heap on similarity
+  while (!groups.empty()) {
+    auto [ub, g] = groups.top();
+    groups.pop();
+    if (best.size() >= k && ub <= best.top().first) {
+      ++stats->groups_pruned;
+      stats->groups_pruned += groups.size();
+      break;
+    }
+    ++stats->groups_visited;
+    for (SetId s : tgm_.group_members(g)) {
+      ++stats->candidates_verified;
+      if (best.size() < k) {
+        best.push({Similarity(measure_, query, db_.set(s)), s});
+        continue;
+      }
+      // Early-terminating verification against the running k-th best.
+      VerifyResult v =
+          VerifyThreshold(measure_, query, db_.set(s), best.top().first);
+      if (v.passed && v.similarity > best.top().first) {
+        best.pop();
+        best.push({v.similarity, s});
+      }
+    }
+  }
+
+  std::vector<Hit> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  SortHits(&out);
+  stats->results = out.size();
+  stats->pruning_efficiency =
+      KnnPruningEfficiency(db_.size(), stats->candidates_verified, k);
+  stats->micros = timer.Micros();
+  return out;
+}
+
+std::vector<Hit> Les3Index::Range(const SetRecord& query, double delta,
+                                  QueryStats* stats) const {
+  WallTimer timer;
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats();
+
+  std::vector<uint32_t> counts;
+  stats->columns_scanned = tgm_.MatchedCounts(query, &counts);
+
+  std::vector<Hit> out;
+  for (GroupId g = 0; g < counts.size(); ++g) {
+    if (tgm_.group_size(g) == 0) continue;
+    double ub = GroupUpperBound(measure_, counts[g], query.size());
+    if (ub < delta) {
+      ++stats->groups_pruned;
+      continue;
+    }
+    ++stats->groups_visited;
+    for (SetId s : tgm_.group_members(g)) {
+      ++stats->candidates_verified;
+      VerifyResult v = VerifyThreshold(measure_, query, db_.set(s), delta);
+      if (v.passed) out.emplace_back(s, v.similarity);
+    }
+  }
+  SortHits(&out);
+  stats->results = out.size();
+  stats->pruning_efficiency = RangePruningEfficiency(
+      db_.size(), stats->candidates_verified, out.size());
+  stats->micros = timer.Micros();
+  return out;
+}
+
+SetId Les3Index::Insert(SetRecord set) {
+  SetId id = db_.AddSet(set);  // copy stays valid for the TGM update
+  tgm_.AddSet(id, db_.set(id), measure_);
+  return id;
+}
+
+}  // namespace search
+}  // namespace les3

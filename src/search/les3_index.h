@@ -1,0 +1,69 @@
+// The LES3 search engine: exact kNN and range set-similarity search over a
+// TGM-indexed, group-partitioned database (paper Sections 3 and 6).
+//
+// Query processing is group-at-a-time: the TGM yields an upper bound on the
+// similarity between the query and every set of each group in one pass;
+// groups are then visited in bound order (kNN) or bound-filtered (range),
+// and only surviving groups have their members verified with the exact
+// similarity. Results are exact for every measure satisfying the TGM
+// Applicability Property (Theorem 3.1).
+
+#ifndef LES3_SEARCH_LES3_INDEX_H_
+#define LES3_SEARCH_LES3_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "search/query_stats.h"
+#include "tgm/tgm.h"
+
+namespace les3 {
+namespace search {
+
+/// A scored hit: (set id, similarity).
+using Hit = std::pair<SetId, double>;
+
+/// \brief Exact set-similarity search index (LES3).
+///
+/// Owns the database; supports closed- and open-universe inserts
+/// (Section 6).
+class Les3Index {
+ public:
+  /// Builds from a database and a partitioning (from any Partitioner; the
+  /// paper's default is L2P).
+  Les3Index(SetDatabase db, const std::vector<GroupId>& assignment,
+            uint32_t num_groups,
+            SimilarityMeasure measure = SimilarityMeasure::kJaccard);
+
+  /// Exact kNN (Definition 2.1): the k most similar sets, sorted by
+  /// descending similarity (ties by ascending id).
+  std::vector<Hit> Knn(const SetRecord& query, size_t k,
+                       QueryStats* stats = nullptr) const;
+
+  /// Exact range search (Definition 2.2): all sets with Sim >= delta,
+  /// sorted by descending similarity.
+  std::vector<Hit> Range(const SetRecord& query, double delta,
+                         QueryStats* stats = nullptr) const;
+
+  /// Inserts a new set (tokens may be previously unseen); returns its id.
+  SetId Insert(SetRecord set);
+
+  const SetDatabase& db() const { return db_; }
+  const tgm::Tgm& tgm() const { return tgm_; }
+  SimilarityMeasure measure() const { return measure_; }
+
+  /// Index footprint (TGM bitmaps + group membership).
+  uint64_t IndexBytes() const { return tgm_.MemoryBytes(); }
+
+ private:
+  SetDatabase db_;
+  tgm::Tgm tgm_;
+  SimilarityMeasure measure_;
+};
+
+}  // namespace search
+}  // namespace les3
+
+#endif  // LES3_SEARCH_LES3_INDEX_H_

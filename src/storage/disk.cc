@@ -1,0 +1,47 @@
+#include "storage/disk.h"
+
+namespace les3 {
+namespace storage {
+
+DiskSimulator::DiskSimulator(DiskOptions options) : options_(options) {}
+
+void DiskSimulator::Read(uint64_t offset, uint64_t bytes) {
+  if (bytes == 0) return;
+  // Page-align the physical access.
+  uint64_t first_page = offset / options_.page_bytes;
+  uint64_t last_page = (offset + bytes - 1) / options_.page_bytes;
+  uint64_t pages = last_page - first_page + 1;
+  uint64_t physical = pages * options_.page_bytes;
+  if (offset != next_contiguous_offset_) ++seeks_;
+  next_contiguous_offset_ = offset + bytes;
+  bytes_read_ += physical;
+  pages_read_ += pages;
+}
+
+void DiskSimulator::RandomRead(uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t pages = (bytes + options_.page_bytes - 1) / options_.page_bytes;
+  ++seeks_;
+  next_contiguous_offset_ = UINT64_MAX;
+  bytes_read_ += pages * options_.page_bytes;
+  pages_read_ += pages;
+}
+
+void DiskSimulator::Reset() {
+  next_contiguous_offset_ = UINT64_MAX;
+  seeks_ = 0;
+  bytes_read_ = 0;
+  pages_read_ = 0;
+}
+
+double DiskSimulator::ElapsedMs() const {
+  double rotational_ms = 30000.0 / options_.rpm;  // half revolution
+  double seek_cost = static_cast<double>(seeks_) *
+                     (options_.avg_seek_ms + rotational_ms);
+  double transfer_ms = static_cast<double>(bytes_read_) /
+                       (options_.sequential_mb_per_s * 1e6) * 1e3;
+  return seek_cost + transfer_ms;
+}
+
+}  // namespace storage
+}  // namespace les3

@@ -1,0 +1,63 @@
+// Deterministic HDD cost model for the disk-based evaluation (Figure 13).
+//
+// The paper's testbed is a 5400-RPM HDD with ~80 MB/s sequential reads. We
+// cannot ship spinning rust, so the disk layer keeps the real data in memory
+// (queries exercise the same code paths) and charges every access to this
+// simulator: a seek whenever the read is not contiguous with the previous
+// one, half-revolution average rotational latency, and transfer time at the
+// sequential rate, with page-granular accounting. The simulated clock is the
+// I/O portion of the reported query latency.
+
+#ifndef LES3_STORAGE_DISK_H_
+#define LES3_STORAGE_DISK_H_
+
+#include <cstdint>
+
+namespace les3 {
+namespace storage {
+
+struct DiskOptions {
+  double avg_seek_ms = 9.0;        // 5400-RPM class average seek
+  double rpm = 5400.0;             // rotational latency = 30000/rpm ms avg
+  double sequential_mb_per_s = 80.0;
+  uint64_t page_bytes = 4096;
+};
+
+/// \brief Accumulates simulated I/O cost over page-granular reads.
+class DiskSimulator {
+ public:
+  explicit DiskSimulator(DiskOptions options = {});
+
+  /// Reads `bytes` starting at `offset`; contiguous with the previous read
+  /// end -> no seek, otherwise one seek + rotational latency is charged.
+  void Read(uint64_t offset, uint64_t bytes);
+
+  /// Reads `bytes` from an unpredictable position: always one seek plus the
+  /// page-rounded transfer (used for R-tree node fetches whose offsets are
+  /// not modeled individually).
+  void RandomRead(uint64_t bytes);
+
+  /// Resets the head state and counters (per-query accounting).
+  void Reset();
+
+  uint64_t seeks() const { return seeks_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t pages_read() const { return pages_read_; }
+
+  /// Simulated elapsed I/O time.
+  double ElapsedMs() const;
+
+  const DiskOptions& options() const { return options_; }
+
+ private:
+  DiskOptions options_;
+  uint64_t next_contiguous_offset_ = UINT64_MAX;
+  uint64_t seeks_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t pages_read_ = 0;
+};
+
+}  // namespace storage
+}  // namespace les3
+
+#endif  // LES3_STORAGE_DISK_H_

@@ -1,0 +1,57 @@
+#include "storage/disk_store.h"
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace storage {
+
+DiskLayout DiskLayout::IdOrdered(const SetDatabase& db) {
+  DiskLayout layout;
+  layout.set_extents_.resize(db.size());
+  uint64_t offset = 0;
+  for (SetId i = 0; i < db.size(); ++i) {
+    uint64_t bytes = SetBytes(db.set(i));
+    layout.set_extents_[i] = Extent{offset, bytes};
+    offset += bytes;
+  }
+  layout.total_bytes_ = offset;
+  return layout;
+}
+
+DiskLayout DiskLayout::GroupContiguous(const SetDatabase& db,
+                                       const std::vector<GroupId>& assignment,
+                                       uint32_t num_groups) {
+  LES3_CHECK_EQ(assignment.size(), db.size());
+  DiskLayout layout;
+  layout.set_extents_.resize(db.size());
+  layout.group_extents_.resize(num_groups);
+  // Two passes: bucket members, then lay groups out consecutively.
+  std::vector<std::vector<SetId>> members(num_groups);
+  for (SetId i = 0; i < db.size(); ++i) members[assignment[i]].push_back(i);
+  uint64_t offset = 0;
+  for (GroupId g = 0; g < num_groups; ++g) {
+    uint64_t start = offset;
+    for (SetId i : members[g]) {
+      uint64_t bytes = SetBytes(db.set(i));
+      layout.set_extents_[i] = Extent{offset, bytes};
+      offset += bytes;
+    }
+    layout.group_extents_[g] = Extent{start, offset - start};
+  }
+  layout.total_bytes_ = offset;
+  return layout;
+}
+
+PostingLayout::PostingLayout(const std::vector<uint64_t>& posting_lengths) {
+  extents_.resize(posting_lengths.size());
+  uint64_t offset = 0;
+  for (size_t t = 0; t < posting_lengths.size(); ++t) {
+    uint64_t bytes = posting_lengths[t] * sizeof(uint32_t);
+    extents_[t] = Extent{offset, bytes};
+    offset += bytes;
+  }
+  total_bytes_ = offset;
+}
+
+}  // namespace storage
+}  // namespace les3

@@ -1,0 +1,74 @@
+// On-disk layouts for the disk-based evaluation.
+//
+// Sets are serialized as (u32 count, u32 tokens...). Two layouts:
+//   - IdOrdered: sets laid out by id (brute force, InvIdx, DualTrans);
+//   - GroupContiguous: sets of a group stored back to back (LES3), which is
+//     the paper's design point: a surviving group costs one seek plus a
+//     sequential extent read.
+// The layout records extents only; the actual bytes stay in the in-memory
+// database while the DiskSimulator charges the accesses (see disk.h).
+
+#ifndef LES3_STORAGE_DISK_STORE_H_
+#define LES3_STORAGE_DISK_STORE_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace storage {
+
+/// A byte range on the simulated device.
+struct Extent {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+};
+
+/// \brief Extent map of a serialized database.
+class DiskLayout {
+ public:
+  /// Layout with sets in id order.
+  static DiskLayout IdOrdered(const SetDatabase& db);
+
+  /// Layout with each group's sets contiguous, groups in id order.
+  static DiskLayout GroupContiguous(const SetDatabase& db,
+                                    const std::vector<GroupId>& assignment,
+                                    uint32_t num_groups);
+
+  const Extent& set_extent(SetId id) const { return set_extents_[id]; }
+
+  /// Only for GroupContiguous layouts.
+  const Extent& group_extent(GroupId g) const { return group_extents_[g]; }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Serialized size of one set record.
+  static uint64_t SetBytes(const SetRecord& s) {
+    return sizeof(uint32_t) * (1 + s.size());
+  }
+
+ private:
+  std::vector<Extent> set_extents_;    // by set id
+  std::vector<Extent> group_extents_;  // by group id (group layout only)
+  uint64_t total_bytes_ = 0;
+};
+
+/// Extent map for posting lists (InvIdx on disk): postings stored token by
+/// token, 4 bytes per entry.
+class PostingLayout {
+ public:
+  PostingLayout(const std::vector<uint64_t>& posting_lengths);
+
+  const Extent& posting_extent(TokenId t) const { return extents_[t]; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<Extent> extents_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace les3
+
+#endif  // LES3_STORAGE_DISK_STORE_H_

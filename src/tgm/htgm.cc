@@ -1,0 +1,235 @@
+#include "tgm/htgm.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace tgm {
+
+Htgm::Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> specs) {
+  LES3_CHECK(!specs.empty());
+  levels_.resize(specs.size());
+  for (size_t l = 0; l < specs.size(); ++l) {
+    LES3_CHECK_EQ(specs[l].assignment.size(), db.size());
+    levels_[l].resize(specs[l].num_groups);
+  }
+  // Token row bitmaps, subtree counts, and leaf membership.
+  for (size_t l = 0; l < specs.size(); ++l) {
+    std::vector<std::vector<TokenId>> tokens(specs[l].num_groups);
+    for (SetId i = 0; i < db.size(); ++i) {
+      GroupId g = specs[l].assignment[i];
+      LES3_CHECK_LT(g, specs[l].num_groups);
+      auto& bucket = tokens[g];
+      for (TokenId t : db.set(i).tokens()) bucket.push_back(t);
+      ++levels_[l][g].count;
+      if (l + 1 == specs.size()) levels_[l][g].members.push_back(i);
+    }
+    for (uint32_t g = 0; g < specs[l].num_groups; ++g) {
+      auto& bucket = tokens[g];
+      std::sort(bucket.begin(), bucket.end());
+      bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+      levels_[l][g].tokens = bitmap::Roaring::FromSorted(
+          std::vector<uint32_t>(bucket.begin(), bucket.end()));
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  }
+  // Child links: a finer group hangs under the coarser group of any of its
+  // members (they must all agree — checked).
+  for (size_t l = 0; l + 1 < specs.size(); ++l) {
+    std::vector<GroupId> parent_of(specs[l + 1].num_groups, kInvalidGroup);
+    for (SetId i = 0; i < db.size(); ++i) {
+      GroupId child = specs[l + 1].assignment[i];
+      GroupId parent = specs[l].assignment[i];
+      if (parent_of[child] == kInvalidGroup) {
+        parent_of[child] = parent;
+        levels_[l][parent].children.push_back(child);
+      } else {
+        LES3_CHECK_EQ(parent_of[child], parent);  // levels must nest
+      }
+    }
+  }
+}
+
+uint32_t Htgm::Matched(const Node& node, const SetRecord& query,
+                       HtgmQueryCost* cost) const {
+  uint32_t matched = 0;
+  const auto& tokens = query.tokens();
+  size_t i = 0;
+  while (i < tokens.size()) {
+    TokenId t = tokens[i];
+    uint32_t multiplicity = 0;
+    while (i < tokens.size() && tokens[i] == t) {
+      ++multiplicity;
+      ++i;
+    }
+    ++cost->cells_accessed;
+    if (node.tokens.Contains(t)) matched += multiplicity;
+  }
+  ++cost->nodes_visited;
+  return matched;
+}
+
+std::vector<std::pair<SetId, double>> Htgm::Knn(const SetDatabase& db,
+                                                const SetRecord& query,
+                                                size_t k,
+                                                SimilarityMeasure measure,
+                                                HtgmQueryCost* cost) const {
+  HtgmQueryCost local;
+  if (cost == nullptr) cost = &local;
+  // Best-first over (ub, level, node). Leaves verify their members.
+  using Entry = std::pair<double, std::pair<uint32_t, uint32_t>>;
+  std::priority_queue<Entry> frontier;
+  for (uint32_t g = 0; g < levels_[0].size(); ++g) {
+    double ub = GroupUpperBound(measure, Matched(levels_[0][g], query, cost),
+                                query.size());
+    frontier.push({ub, {0, g}});
+  }
+  // Result min-heap of (sim, id).
+  std::priority_queue<std::pair<double, SetId>,
+                      std::vector<std::pair<double, SetId>>,
+                      std::greater<>>
+      best;
+  while (!frontier.empty()) {
+    auto [ub, ln] = frontier.top();
+    frontier.pop();
+    if (best.size() >= k && ub <= best.top().first) break;
+    auto [level, node_id] = ln;
+    const Node& node = levels_[level][node_id];
+    if (level + 1 == levels_.size()) {
+      for (SetId s : node.members) {
+        double sim = Similarity(measure, query, db.set(s));
+        ++cost->sims_computed;
+        if (best.size() < k) {
+          best.push({sim, s});
+        } else if (sim > best.top().first) {
+          best.pop();
+          best.push({sim, s});
+        }
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        double cub = GroupUpperBound(
+            measure, Matched(levels_[level + 1][child], query, cost),
+            query.size());
+        // A child's bound cannot exceed its parent's.
+        cub = std::min(cub, ub);
+        frontier.push({cub, {static_cast<uint32_t>(level + 1), child}});
+      }
+    }
+  }
+  std::vector<std::pair<SetId, double>> out;
+  while (!best.empty()) {
+    out.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<SetId, double>> Htgm::Range(const SetDatabase& db,
+                                                  const SetRecord& query,
+                                                  double delta,
+                                                  SimilarityMeasure measure,
+                                                  HtgmQueryCost* cost) const {
+  HtgmQueryCost local;
+  if (cost == nullptr) cost = &local;
+  std::vector<std::pair<SetId, double>> out;
+  // Level-order descent, pruning nodes whose bound is below delta.
+  std::vector<std::pair<uint32_t, uint32_t>> active;
+  for (uint32_t g = 0; g < levels_[0].size(); ++g) active.push_back({0, g});
+  while (!active.empty()) {
+    auto [level, node_id] = active.back();
+    active.pop_back();
+    const Node& node = levels_[level][node_id];
+    double ub = GroupUpperBound(measure, Matched(node, query, cost),
+                                query.size());
+    if (ub < delta) continue;
+    if (level + 1 == levels_.size()) {
+      for (SetId s : node.members) {
+        double sim = Similarity(measure, query, db.set(s));
+        ++cost->sims_computed;
+        if (sim >= delta) out.emplace_back(s, sim);
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        active.push_back({static_cast<uint32_t>(level + 1), child});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+GroupId Htgm::AddSet(SetId id, const SetRecord& set,
+                     SimilarityMeasure measure) {
+  HtgmQueryCost scratch;
+  // Pick the best root, then descend choosing the best child per level.
+  uint32_t current = 0;
+  {
+    double best_ub = -1.0;
+    for (uint32_t g = 0; g < levels_[0].size(); ++g) {
+      const Node& node = levels_[0][g];
+      double ub = GroupUpperBound(measure, Matched(node, set, &scratch),
+                                  set.size());
+      if (ub > best_ub ||
+          (ub == best_ub && node.count < levels_[0][current].count)) {
+        best_ub = ub;
+        current = g;
+      }
+    }
+  }
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    Node& node = levels_[l][current];
+    TokenId prev = static_cast<TokenId>(-1);
+    for (TokenId t : set.tokens()) {
+      if (t == prev) continue;
+      prev = t;
+      node.tokens.Add(t);
+    }
+    ++node.count;
+    LES3_CHECK(!node.children.empty());
+    uint32_t best_child = node.children.front();
+    double best_ub = -1.0;
+    for (uint32_t child : node.children) {
+      const Node& cn = levels_[l + 1][child];
+      double ub = GroupUpperBound(measure, Matched(cn, set, &scratch),
+                                  set.size());
+      if (ub > best_ub ||
+          (ub == best_ub && cn.count < levels_[l + 1][best_child].count)) {
+        best_ub = ub;
+        best_child = child;
+      }
+    }
+    current = best_child;
+  }
+  Node& leaf = levels_.back()[current];
+  TokenId prev = static_cast<TokenId>(-1);
+  for (TokenId t : set.tokens()) {
+    if (t == prev) continue;
+    prev = t;
+    leaf.tokens.Add(t);
+  }
+  ++leaf.count;
+  leaf.members.push_back(id);
+  return current;
+}
+
+uint64_t Htgm::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& level : levels_) {
+    for (const auto& node : level) {
+      total += node.tokens.MemoryBytes();
+      total += node.children.size() * sizeof(uint32_t);
+      total += node.members.size() * sizeof(SetId);
+    }
+  }
+  return total;
+}
+
+}  // namespace tgm
+}  // namespace les3

@@ -1,0 +1,94 @@
+// HTGM — hierarchical token-group matrix (paper Section 5.2).
+//
+// One TGM per cascade level, coarse to fine; a group pruned at a coarse
+// level removes all its descendants from consideration without touching
+// their (larger) matrices. Nodes store row bitmaps (the token set of the
+// group) and queries descend best-first, so the index access cost is
+// proportional to the nodes actually probed — the quantity the paper's
+// Figure 14 compares against the flat TGM.
+
+#ifndef LES3_TGM_HTGM_H_
+#define LES3_TGM_HTGM_H_
+
+#include <utility>
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "core/database.h"
+#include "core/similarity.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace tgm {
+
+/// One level of the hierarchy: a partitioning of the database. Levels must
+/// refine each other (every finer group nested in one coarser group), which
+/// cascade levels do by construction.
+struct HtgmLevelSpec {
+  std::vector<GroupId> assignment;
+  uint32_t num_groups = 0;
+};
+
+/// Query-cost counters for the Figure 14 comparison.
+struct HtgmQueryCost {
+  uint64_t nodes_visited = 0;
+  uint64_t cells_accessed = 0;  // (node, query-token) membership probes
+  uint64_t sims_computed = 0;   // exact similarity evaluations
+};
+
+/// \brief Hierarchical TGM over h >= 1 levels (h = 1 degenerates to a flat
+/// row-layout TGM, the baseline of Figure 14).
+class Htgm {
+ public:
+  /// `levels` are ordered coarse to fine; the finest level defines the
+  /// verification groups.
+  Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> levels);
+
+  /// Exact kNN via best-first descent over group upper bounds.
+  std::vector<std::pair<SetId, double>> Knn(const SetDatabase& db,
+                                            const SetRecord& query, size_t k,
+                                            SimilarityMeasure measure,
+                                            HtgmQueryCost* cost) const;
+
+  /// Exact range search.
+  std::vector<std::pair<SetId, double>> Range(const SetDatabase& db,
+                                              const SetRecord& query,
+                                              double delta,
+                                              SimilarityMeasure measure,
+                                              HtgmQueryCost* cost) const;
+
+  size_t num_levels() const { return levels_.size(); }
+  uint64_t MemoryBytes() const;
+
+  /// \brief Level-by-level insertion (paper Section 6): the new set is
+  /// routed down the hierarchy, at each level into the child with the
+  /// highest similarity upper bound (ties -> smallest subtree), and the
+  /// token bitmaps along the path absorb its tokens (previously unseen
+  /// tokens included). `id` must be the set's index in the database used
+  /// for searching. Returns the finest-level group it joined.
+  GroupId AddSet(SetId id, const SetRecord& set, SimilarityMeasure measure);
+
+  /// Number of sets under finest-level group `g`.
+  size_t GroupSize(GroupId g) const {
+    return levels_.back()[g].members.size();
+  }
+
+ private:
+  struct Node {
+    bitmap::Roaring tokens;          // distinct tokens of the group
+    std::vector<uint32_t> children;  // node ids in the next level
+    std::vector<SetId> members;      // only at the finest level
+    uint32_t count = 0;              // sets in the subtree
+  };
+
+  /// Matched-token count of `query` against node (level, idx).
+  uint32_t Matched(const Node& node, const SetRecord& query,
+                   HtgmQueryCost* cost) const;
+
+  std::vector<std::vector<Node>> levels_;  // coarse -> fine
+};
+
+}  // namespace tgm
+}  // namespace les3
+
+#endif  // LES3_TGM_HTGM_H_

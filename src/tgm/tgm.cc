@@ -1,0 +1,127 @@
+#include "tgm/tgm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace tgm {
+
+Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
+         uint32_t num_groups) {
+  LES3_CHECK_EQ(assignment.size(), db.size());
+  members_.resize(num_groups);
+  group_of_ = assignment;
+  for (SetId i = 0; i < db.size(); ++i) {
+    LES3_CHECK_LT(assignment[i], num_groups);
+    members_[assignment[i]].push_back(i);
+  }
+  // Build columns via per-token sorted group lists (bulk Roaring build).
+  std::vector<std::vector<GroupId>> token_groups(db.num_tokens());
+  for (SetId i = 0; i < db.size(); ++i) {
+    GroupId g = assignment[i];
+    TokenId prev = static_cast<TokenId>(-1);
+    for (TokenId t : db.set(i).tokens()) {
+      if (t == prev) continue;
+      prev = t;
+      token_groups[t].push_back(g);
+    }
+  }
+  columns_.reserve(db.num_tokens());
+  for (auto& groups : token_groups) {
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    columns_.push_back(bitmap::Roaring::FromSorted(
+        std::vector<uint32_t>(groups.begin(), groups.end())));
+    groups.clear();
+    groups.shrink_to_fit();
+  }
+}
+
+size_t Tgm::MatchedCounts(const SetRecord& query,
+                          std::vector<uint32_t>* counts) const {
+  counts->assign(num_groups(), 0);
+  size_t columns_visited = 0;
+  const auto& tokens = query.tokens();
+  size_t i = 0;
+  while (i < tokens.size()) {
+    TokenId t = tokens[i];
+    uint32_t multiplicity = 0;
+    while (i < tokens.size() && tokens[i] == t) {
+      ++multiplicity;
+      ++i;
+    }
+    if (t >= columns_.size()) continue;  // token outside T: M[*, t] = 0
+    const bitmap::Roaring& col = columns_[t];
+    if (col.Empty()) continue;
+    ++columns_visited;
+    col.ForEach([&](uint32_t g) { (*counts)[g] += multiplicity; });
+  }
+  return columns_visited;
+}
+
+size_t Tgm::UpperBounds(const SetRecord& query, SimilarityMeasure measure,
+                        std::vector<double>* ubs) const {
+  std::vector<uint32_t> counts;
+  size_t visited = MatchedCounts(query, &counts);
+  ubs->resize(counts.size());
+  for (size_t g = 0; g < counts.size(); ++g) {
+    (*ubs)[g] = GroupUpperBound(measure, counts[g], query.size());
+  }
+  return visited;
+}
+
+GroupId Tgm::AddSet(SetId id, const SetRecord& set,
+                    SimilarityMeasure measure) {
+  LES3_CHECK_EQ(id, group_of_.size());  // sets must be appended in order
+  // Stage 1 (Section 6): find the best group by UB over the known tokens;
+  // ties (and the all-new-tokens case) go to the smallest group.
+  std::vector<uint32_t> counts;
+  MatchedCounts(set, &counts);
+  GroupId best = 0;
+  double best_ub = -1.0;
+  for (GroupId g = 0; g < counts.size(); ++g) {
+    double ub = GroupUpperBound(measure, counts[g], set.size());
+    if (ub > best_ub ||
+        (ub == best_ub && members_[g].size() < members_[best].size())) {
+      best_ub = ub;
+      best = g;
+    }
+  }
+  // Stage 2: grow columns for unseen tokens and set M[best, t] = 1.
+  members_[best].push_back(id);
+  group_of_.push_back(best);
+  TokenId prev = static_cast<TokenId>(-1);
+  for (TokenId t : set.tokens()) {
+    if (t == prev) continue;
+    prev = t;
+    if (t >= columns_.size()) columns_.resize(t + 1);
+    columns_[t].Add(best);
+  }
+  return best;
+}
+
+void Tgm::RunOptimize() {
+  for (auto& col : columns_) col.RunOptimize();
+}
+
+uint64_t Tgm::BitmapBytes() const {
+  uint64_t total = 0;
+  for (const auto& col : columns_) total += col.MemoryBytes();
+  return total;
+}
+
+uint64_t Tgm::MemoryBytes() const {
+  uint64_t total = BitmapBytes();
+  total += group_of_.size() * sizeof(GroupId);
+  for (const auto& m : members_) total += m.size() * sizeof(SetId);
+  return total;
+}
+
+bool Tgm::Test(GroupId g, TokenId t) const {
+  if (t >= columns_.size()) return false;
+  return columns_[t].Contains(g);
+}
+
+}  // namespace tgm
+}  // namespace les3

@@ -1,0 +1,85 @@
+// TGM — the token-group matrix (paper Section 3).
+//
+// M[g, t] = 1 iff some set in group G_g contains token t. The matrix is
+// stored column-wise: one Roaring bitmap per token holding the groups that
+// contain it, which lets a query compute the matched-token count of every
+// group in one pass over its tokens (cost O(Σ_{t in Q} |column_t|), far
+// below O(n |Q|) for sparse data). Group membership lists are kept alongside
+// so the search layer can verify candidates group-at-a-time.
+//
+// Updates (paper Section 6): AddSet routes a new set to the group with the
+// highest similarity upper bound (ties -> smallest group) and extends the
+// matrix, growing new columns when previously unseen tokens appear.
+
+#ifndef LES3_TGM_TGM_H_
+#define LES3_TGM_TGM_H_
+
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "core/database.h"
+#include "core/similarity.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace tgm {
+
+/// \brief The token-group matrix plus group membership.
+class Tgm {
+ public:
+  /// Builds from a partitioning of `db` into `num_groups` groups.
+  Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
+      uint32_t num_groups);
+
+  uint32_t num_groups() const {
+    return static_cast<uint32_t>(members_.size());
+  }
+  uint32_t num_token_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+
+  const std::vector<SetId>& group_members(GroupId g) const {
+    return members_[g];
+  }
+  size_t group_size(GroupId g) const { return members_[g].size(); }
+
+  /// Group of a set (maintained across AddSet).
+  GroupId group_of(SetId id) const { return group_of_[id]; }
+
+  /// \brief Fills `counts[g]` with Σ_{t in Q} M[g, t] (query multiplicity
+  /// counted, per Equation 2/4). `counts` is resized to num_groups().
+  /// Returns the number of non-empty token columns visited.
+  size_t MatchedCounts(const SetRecord& query,
+                       std::vector<uint32_t>* counts) const;
+
+  /// \brief Similarity upper bounds UB(Q, G_g) for all groups.
+  /// Returns the number of token columns visited.
+  size_t UpperBounds(const SetRecord& query, SimilarityMeasure measure,
+                     std::vector<double>* ubs) const;
+
+  /// \brief Inserts a new set (already appended to the caller's database as
+  /// `id`) per Section 6; returns the chosen group.
+  GroupId AddSet(SetId id, const SetRecord& set, SimilarityMeasure measure);
+
+  /// Compresses columns with run encoding where beneficial.
+  void RunOptimize();
+
+  /// Bytes of the compressed bitmap columns (the "TGM size" of Figure 11).
+  uint64_t BitmapBytes() const;
+
+  /// BitmapBytes plus the group membership arrays.
+  uint64_t MemoryBytes() const;
+
+  /// Direct bit probe M[g, t] (test/debug; O(log) inside the column).
+  bool Test(GroupId g, TokenId t) const;
+
+ private:
+  std::vector<bitmap::Roaring> columns_;   // per token: groups containing it
+  std::vector<std::vector<SetId>> members_;
+  std::vector<GroupId> group_of_;
+};
+
+}  // namespace tgm
+}  // namespace les3
+
+#endif  // LES3_TGM_TGM_H_

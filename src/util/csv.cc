@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "util/logging.h"
+
+namespace les3 {
+
+TableReporter::TableReporter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableReporter::AddRow(std::vector<std::string> row) {
+  LES3_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableReporter::Format(double v) {
+  char buf[64];
+  if (v == 0) return "0";
+  double av = std::fabs(v);
+  if (av >= 1e6 || av < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  } else if (av >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+void TableReporter::Print(const std::string& title) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::cout << "  ";
+      std::cout << row[c];
+      for (size_t p = row[c].size(); p < widths[c]; ++p) std::cout << ' ';
+    }
+    std::cout << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::cout << "  " << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+Status TableReporter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace les3

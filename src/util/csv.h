@@ -1,0 +1,59 @@
+// CSV emission and aligned-table printing for the benchmark harnesses.
+//
+// Every bench binary prints a human-readable table (the paper's rows/series)
+// and mirrors it to a CSV file for downstream plotting.
+
+#ifndef LES3_UTIL_CSV_H_
+#define LES3_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace les3 {
+
+/// \brief Collects rows and renders them as an aligned console table and/or
+/// a CSV file.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> header);
+
+  /// Appends a row; the cell count must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary streamable cells.
+  template <typename... Ts>
+  void Add(const Ts&... cells) {
+    AddRow({Format(cells)...});
+  }
+
+  /// Prints an aligned table (with `title` above it) to stdout.
+  void Print(const std::string& title) const;
+
+  /// Writes the header + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  static std::string Format(const std::string& s) { return s; }
+  static std::string Format(const char* s) { return s; }
+  static std::string Format(double v);
+  static std::string Format(float v) { return Format(static_cast<double>(v)); }
+  static std::string Format(int v) { return std::to_string(v); }
+  static std::string Format(unsigned v) { return std::to_string(v); }
+  static std::string Format(long v) { return std::to_string(v); }
+  static std::string Format(unsigned long v) { return std::to_string(v); }
+  static std::string Format(long long v) { return std::to_string(v); }
+  static std::string Format(unsigned long long v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a byte count as a human-readable string ("12.3 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace les3
+
+#endif  // LES3_UTIL_CSV_H_

@@ -1,0 +1,66 @@
+// Invariant checking and lightweight logging.
+//
+// LES3_CHECK aborts on broken invariants (programming errors); recoverable
+// errors are reported through Status (see util/status.h).
+
+#ifndef LES3_UTIL_LOGGING_H_
+#define LES3_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace les3 {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "LES3_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace les3
+
+/// Aborts the process when `cond` does not hold. Enabled in all build types:
+/// an index that silently returns wrong candidates is worse than a crash.
+#define LES3_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::les3::internal::CheckFailed(__FILE__, __LINE__, #cond, "");       \
+    }                                                                     \
+  } while (0)
+
+#define LES3_CHECK_OP(op, a, b)                                           \
+  do {                                                                    \
+    auto _va = (a);                                                       \
+    auto _vb = (b);                                                       \
+    if (!(_va op _vb)) {                                                  \
+      std::ostringstream _oss;                                            \
+      _oss << "(" << _va << " vs " << _vb << ")";                         \
+      ::les3::internal::CheckFailed(__FILE__, __LINE__, #a " " #op " " #b, \
+                                    _oss.str());                          \
+    }                                                                     \
+  } while (0)
+
+#define LES3_CHECK_EQ(a, b) LES3_CHECK_OP(==, a, b)
+#define LES3_CHECK_NE(a, b) LES3_CHECK_OP(!=, a, b)
+#define LES3_CHECK_LT(a, b) LES3_CHECK_OP(<, a, b)
+#define LES3_CHECK_LE(a, b) LES3_CHECK_OP(<=, a, b)
+#define LES3_CHECK_GT(a, b) LES3_CHECK_OP(>, a, b)
+#define LES3_CHECK_GE(a, b) LES3_CHECK_OP(>=, a, b)
+
+/// Aborts when a Status-returning expression fails.
+#define LES3_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    ::les3::Status _st = (expr);                                           \
+    if (!_st.ok()) {                                                       \
+      ::les3::internal::CheckFailed(__FILE__, __LINE__, #expr,             \
+                                    _st.ToString());                       \
+    }                                                                      \
+  } while (0)
+
+#endif  // LES3_UTIL_LOGGING_H_

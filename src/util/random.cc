@@ -1,0 +1,95 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  LES3_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  LES3_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; discard the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  LES3_CHECK_LE(k, n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (static_cast<uint64_t>(k) * 3 >= n) {
+    // Dense case: partial Fisher–Yates over [0, n).
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      uint32_t j = i + static_cast<uint32_t>(Uniform(n - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    // Sparse case: rejection with a hash set.
+    std::unordered_set<uint32_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      uint32_t v = static_cast<uint32_t>(Uniform(n));
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace les3

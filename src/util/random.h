@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (generators, samplers, partitioner
+// initialization, network weights) take an explicit seed so every experiment
+// in bench/ is reproducible run-to-run.
+
+#ifndef LES3_UTIL_RANDOM_H_
+#define LES3_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace les3 {
+
+/// \brief xoshiro256** PRNG seeded via SplitMix64.
+///
+/// Fast, high-quality, and deterministic across platforms (unlike
+/// std::mt19937 paired with distribution objects, whose output is
+/// implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in arbitrary order.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Derives an independent child generator (for parallel workers).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace les3
+
+#endif  // LES3_UTIL_RANDOM_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helpers used by benches and build statistics.
+
+#ifndef LES3_UTIL_TIMER_H_
+#define LES3_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace les3 {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace les3
+
+#endif  // LES3_UTIL_TIMER_H_

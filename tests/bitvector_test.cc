@@ -1,0 +1,99 @@
+// Unit tests for bitmap/bitvector.h.
+
+#include "bitmap/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace les3 {
+namespace bitmap {
+namespace {
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector v(200);
+  EXPECT_EQ(v.size(), 200u);
+  EXPECT_FALSE(v.Get(63));
+  v.Set(63);
+  v.Set(64);
+  v.Set(199);
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(199));
+  EXPECT_FALSE(v.Get(0));
+  v.Clear(64);
+  EXPECT_FALSE(v.Get(64));
+}
+
+TEST(BitVectorTest, CountMatchesReference) {
+  Rng rng(1);
+  BitVector v(1000);
+  std::set<uint64_t> ref;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t p = rng.Uniform(1000);
+    v.Set(p);
+    ref.insert(p);
+  }
+  EXPECT_EQ(v.Count(), ref.size());
+}
+
+TEST(BitVectorTest, AndCountMatchesReference) {
+  Rng rng(2);
+  BitVector a(512), b(512);
+  std::set<uint64_t> ra, rb;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t p = rng.Uniform(512);
+    a.Set(p);
+    ra.insert(p);
+    uint64_t q = rng.Uniform(512);
+    b.Set(q);
+    rb.insert(q);
+  }
+  std::set<uint64_t> inter;
+  for (uint64_t p : ra) {
+    if (rb.count(p)) inter.insert(p);
+  }
+  EXPECT_EQ(a.AndCount(b), inter.size());
+}
+
+TEST(BitVectorTest, AndCountDifferentSizes) {
+  BitVector a(64), b(256);
+  a.Set(10);
+  b.Set(10);
+  b.Set(200);
+  EXPECT_EQ(a.AndCount(b), 1u);
+  EXPECT_EQ(b.AndCount(a), 1u);
+}
+
+TEST(BitVectorTest, ForEachAscending) {
+  BitVector v(300);
+  std::vector<uint64_t> expected{0, 5, 64, 65, 128, 299};
+  for (uint64_t p : expected) v.Set(p);
+  std::vector<uint64_t> got;
+  v.ForEach([&](uint64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BitVectorTest, ResizeZeroFillsAndTruncates) {
+  BitVector v(10);
+  v.Set(9);
+  v.Resize(100);
+  EXPECT_TRUE(v.Get(9));
+  EXPECT_FALSE(v.Get(50));
+  v.Set(99);
+  v.Resize(20);
+  EXPECT_TRUE(v.Get(9));
+  v.Resize(100);
+  EXPECT_FALSE(v.Get(99));  // truncation cleared it
+}
+
+TEST(BitVectorTest, MemoryBytes) {
+  BitVector v(65);
+  EXPECT_EQ(v.MemoryBytes(), 2 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace les3

@@ -1,0 +1,186 @@
+// Cross-engine consistency matrix: for every (data distribution ×
+// similarity measure), every engine — LES3, HTGM (1 and 2 levels), InvIdx,
+// DualTrans, and the disk-mode wrappers — must return the same answers as
+// brute force, for both query types. Each parameterized instance checks a
+// genuinely distinct configuration of the whole stack.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "baselines/dualtrans.h"
+#include "baselines/invidx.h"
+#include "datagen/generators.h"
+#include "search/les3_index.h"
+#include "storage/disk_search.h"
+#include "tgm/htgm.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace {
+
+struct ConsistencyParam {
+  const char* data;  // "uniform" | "zipf" | "clustered" | "powerlaw"
+  SimilarityMeasure measure;
+};
+
+std::string ParamName(
+    const ::testing::TestParamInfo<ConsistencyParam>& info) {
+  return std::string(info.param.data) + "_" + ToString(info.param.measure);
+}
+
+SetDatabase MakeData(const char* kind, uint64_t seed) {
+  if (std::string(kind) == "uniform") {
+    datagen::UniformOptions opts;
+    opts.num_sets = 400;
+    opts.num_tokens = 120;
+    opts.avg_set_size = 7;
+    opts.seed = seed;
+    return GenerateUniform(opts);
+  }
+  if (std::string(kind) == "zipf") {
+    datagen::ZipfOptions opts;
+    opts.num_sets = 400;
+    opts.num_tokens = 300;
+    opts.avg_set_size = 7;
+    opts.zipf_exponent = 1.1;
+    opts.seed = seed;
+    return GenerateZipf(opts);
+  }
+  if (std::string(kind) == "clustered") {
+    datagen::ZipfOptions opts;
+    opts.num_sets = 400;
+    opts.num_tokens = 500;
+    opts.avg_set_size = 8;
+    opts.cluster_fraction = 0.8;
+    opts.sets_per_cluster = 25;
+    opts.orphan_fraction = 0.3;
+    opts.seed = seed;
+    return GenerateZipf(opts);
+  }
+  datagen::PowerLawSimOptions opts;
+  opts.num_sets = 400;
+  opts.num_tokens = 500;
+  opts.alpha = 2.0;
+  opts.sets_per_cluster = 20;
+  opts.seed = seed;
+  return GeneratePowerLawSimilarity(opts);
+}
+
+class ConsistencyTest : public ::testing::TestWithParam<ConsistencyParam> {
+ protected:
+  void SetUp() override {
+    db_ = MakeData(GetParam().data, 11);
+    Rng rng(13);
+    assignment_.resize(db_.size());
+    for (auto& g : assignment_) g = static_cast<GroupId>(rng.Uniform(12));
+    // A second, nested fine level for the 2-level HTGM.
+    fine_.resize(db_.size());
+    for (SetId i = 0; i < db_.size(); ++i) {
+      fine_[i] = assignment_[i] * 2 + (i % 2);
+    }
+  }
+
+  void ExpectSimsEqual(const std::vector<std::pair<SetId, double>>& got,
+                       const std::vector<std::pair<SetId, double>>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i].second, want[i].second, 1e-12) << "rank " << i;
+    }
+  }
+
+  SetDatabase db_;
+  std::vector<GroupId> assignment_;
+  std::vector<GroupId> fine_;
+};
+
+TEST_P(ConsistencyTest, AllEnginesAgreeOnKnn) {
+  SimilarityMeasure m = GetParam().measure;
+  search::Les3Index les3(db_, assignment_, 12, m);
+  tgm::Htgm flat(db_, {{fine_, 24}});
+  tgm::Htgm hier(db_, {{assignment_, 12}, {fine_, 24}});
+  baselines::InvIdxOptions iopts;
+  iopts.measure = m;
+  baselines::InvIdx invidx(&db_, iopts);
+  baselines::DualTransOptions dopts;
+  dopts.measure = m;
+  baselines::DualTrans dualtrans(&db_, dopts);
+  storage::DiskLes3 disk_les3(&db_, assignment_, 12, m);
+  baselines::BruteForce brute(&db_, m);
+
+  Rng rng(17);
+  for (size_t k : {1u, 7u, 25u}) {
+    for (int q = 0; q < 8; ++q) {
+      const SetRecord& query =
+          db_.set(static_cast<SetId>(rng.Uniform(db_.size())));
+      auto want = brute.Knn(query, k);
+      ExpectSimsEqual(les3.Knn(query, k), want);
+      ExpectSimsEqual(flat.Knn(db_, query, k, m, nullptr), want);
+      ExpectSimsEqual(hier.Knn(db_, query, k, m, nullptr), want);
+      ExpectSimsEqual(invidx.Knn(query, k), want);
+      ExpectSimsEqual(dualtrans.Knn(query, k), want);
+      ExpectSimsEqual(disk_les3.Knn(query, k).hits, want);
+    }
+  }
+}
+
+TEST_P(ConsistencyTest, AllEnginesAgreeOnRange) {
+  SimilarityMeasure m = GetParam().measure;
+  search::Les3Index les3(db_, assignment_, 12, m);
+  tgm::Htgm hier(db_, {{assignment_, 12}, {fine_, 24}});
+  baselines::InvIdxOptions iopts;
+  iopts.measure = m;
+  baselines::InvIdx invidx(&db_, iopts);
+  baselines::DualTransOptions dopts;
+  dopts.measure = m;
+  baselines::DualTrans dualtrans(&db_, dopts);
+  storage::DiskInvIdx disk_invidx(&db_, iopts);
+  baselines::BruteForce brute(&db_, m);
+
+  Rng rng(19);
+  for (double delta : {0.25, 0.5, 0.8}) {
+    for (int q = 0; q < 8; ++q) {
+      const SetRecord& query =
+          db_.set(static_cast<SetId>(rng.Uniform(db_.size())));
+      auto want = brute.Range(query, delta);
+      ExpectSimsEqual(les3.Range(query, delta), want);
+      ExpectSimsEqual(hier.Range(db_, query, delta, m, nullptr), want);
+      ExpectSimsEqual(invidx.Range(query, delta), want);
+      ExpectSimsEqual(dualtrans.Range(query, delta), want);
+      ExpectSimsEqual(disk_invidx.Range(query, delta).hits, want);
+    }
+  }
+}
+
+TEST_P(ConsistencyTest, EnginesAreDeterministic) {
+  SimilarityMeasure m = GetParam().measure;
+  search::Les3Index a(db_, assignment_, 12, m);
+  search::Les3Index b(db_, assignment_, 12, m);
+  const SetRecord& query = db_.set(42);
+  auto ha = a.Knn(query, 9);
+  auto hb = b.Knn(query, 9);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_EQ(ha[i].first, hb[i].first);
+    EXPECT_EQ(ha[i].second, hb[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConsistencyTest,
+    ::testing::Values(
+        ConsistencyParam{"uniform", SimilarityMeasure::kJaccard},
+        ConsistencyParam{"uniform", SimilarityMeasure::kDice},
+        ConsistencyParam{"uniform", SimilarityMeasure::kCosine},
+        ConsistencyParam{"zipf", SimilarityMeasure::kJaccard},
+        ConsistencyParam{"zipf", SimilarityMeasure::kDice},
+        ConsistencyParam{"zipf", SimilarityMeasure::kCosine},
+        ConsistencyParam{"clustered", SimilarityMeasure::kJaccard},
+        ConsistencyParam{"clustered", SimilarityMeasure::kDice},
+        ConsistencyParam{"clustered", SimilarityMeasure::kCosine},
+        ConsistencyParam{"powerlaw", SimilarityMeasure::kJaccard},
+        ConsistencyParam{"powerlaw", SimilarityMeasure::kDice},
+        ConsistencyParam{"powerlaw", SimilarityMeasure::kCosine}),
+    ParamName);
+
+}  // namespace
+}  // namespace les3

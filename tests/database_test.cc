@@ -1,0 +1,84 @@
+// Tests for core/database.h and core/stats.h.
+
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/stats.h"
+
+namespace les3 {
+namespace {
+
+TEST(DatabaseTest, AddSetAssignsSequentialIds) {
+  SetDatabase db(10);
+  EXPECT_EQ(db.AddSet(SetRecord::FromTokens({1, 2})), 0u);
+  EXPECT_EQ(db.AddSet(SetRecord::FromTokens({3})), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.set(0).size(), 2u);
+}
+
+TEST(DatabaseTest, UniverseGrowsWithUnseenTokens) {
+  SetDatabase db(5);
+  EXPECT_EQ(db.num_tokens(), 5u);
+  db.AddSet(SetRecord::FromTokens({9}));
+  EXPECT_EQ(db.num_tokens(), 10u);
+  db.AddSet(SetRecord::FromTokens({2}));
+  EXPECT_EQ(db.num_tokens(), 10u);  // no shrink
+}
+
+TEST(DatabaseTest, TotalTokens) {
+  SetDatabase db(10);
+  db.AddSet(SetRecord::FromTokens({1, 2, 3}));
+  db.AddSet(SetRecord::FromTokens({1, 1}));
+  EXPECT_EQ(db.TotalTokens(), 5u);
+}
+
+TEST(DatabaseTest, SaveLoadRoundTrip) {
+  SetDatabase db(100);
+  db.AddSet(SetRecord::FromTokens({3, 1, 4}));
+  db.AddSet(SetRecord::FromTokens({}));
+  db.AddSet(SetRecord::FromTokens({99, 99}));
+  std::string path = ::testing::TempDir() + "/les3_db_test.bin";
+  ASSERT_TRUE(db.Save(path).ok());
+  auto loaded = SetDatabase::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  const SetDatabase& db2 = loaded.value();
+  ASSERT_EQ(db2.size(), db.size());
+  EXPECT_EQ(db2.num_tokens(), db.num_tokens());
+  for (SetId i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db2.set(i), db.set(i)) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, LoadMissingFileFails) {
+  auto r = SetDatabase::Load("/nonexistent/path/db.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(StatsTest, ComputeStatsMatchesHandCount) {
+  SetDatabase db(50);
+  db.AddSet(SetRecord::FromTokens({1}));
+  db.AddSet(SetRecord::FromTokens({1, 2, 3, 4}));
+  db.AddSet(SetRecord::FromTokens({5, 6, 7}));
+  DatasetStats s = ComputeStats(db);
+  EXPECT_EQ(s.num_sets, 3u);
+  EXPECT_EQ(s.min_set_size, 1u);
+  EXPECT_EQ(s.max_set_size, 4u);
+  EXPECT_NEAR(s.avg_set_size, 8.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.num_tokens, 50u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(StatsTest, EmptyDatabase) {
+  SetDatabase db(1);
+  DatasetStats s = ComputeStats(db);
+  EXPECT_EQ(s.num_sets, 0u);
+  EXPECT_EQ(s.avg_set_size, 0.0);
+}
+
+}  // namespace
+}  // namespace les3

@@ -1,0 +1,164 @@
+// Tests for datagen/: Zipf sampler, synthetic generators, dataset analogs.
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "core/stats.h"
+#include "datagen/analogs.h"
+#include "datagen/generators.h"
+#include "datagen/zipf.h"
+
+namespace les3 {
+namespace datagen {
+namespace {
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfSampler z(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(ZipfTest, SkewedWhenExponentLarge) {
+  ZipfSampler z(1000, 1.2);
+  Rng rng(2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[100] * 5);
+  EXPECT_GT(counts[0], 2000);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfSampler z(7, 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(&rng), 7u);
+}
+
+TEST(GeneratorsTest, UniformShapeAndDeterminism) {
+  UniformOptions opts;
+  opts.num_sets = 2000;
+  opts.num_tokens = 500;
+  opts.avg_set_size = 8.0;
+  opts.seed = 5;
+  SetDatabase db = GenerateUniform(opts);
+  EXPECT_EQ(db.size(), 2000u);
+  EXPECT_EQ(db.num_tokens(), 500u);
+  DatasetStats s = ComputeStats(db);
+  EXPECT_NEAR(s.avg_set_size, 8.0, 1.0);
+  EXPECT_GE(s.min_set_size, 1u);
+  // Deterministic per seed.
+  SetDatabase db2 = GenerateUniform(opts);
+  for (SetId i = 0; i < 100; ++i) EXPECT_EQ(db.set(i), db2.set(i));
+}
+
+TEST(GeneratorsTest, UniformTokensWithinUniverse) {
+  UniformOptions opts;
+  opts.num_sets = 500;
+  opts.num_tokens = 64;
+  SetDatabase db = GenerateUniform(opts);
+  for (const auto& s : db.sets()) {
+    for (TokenId t : s.tokens()) EXPECT_LT(t, 64u);
+  }
+}
+
+TEST(GeneratorsTest, ZipfPopularTokensDominate) {
+  ZipfOptions opts;
+  opts.num_sets = 3000;
+  opts.num_tokens = 2000;
+  opts.avg_set_size = 10.0;
+  opts.zipf_exponent = 1.0;
+  SetDatabase db = GenerateZipf(opts);
+  std::vector<int> freq(2000, 0);
+  for (const auto& s : db.sets()) {
+    for (TokenId t : s.tokens()) ++freq[t];
+  }
+  int head = 0, tail = 0;
+  for (int t = 0; t < 20; ++t) head += freq[t];
+  for (int t = 1000; t < 1020; ++t) tail += freq[t];
+  EXPECT_GT(head, tail * 10);
+}
+
+TEST(GeneratorsTest, ZipfRespectsSizeBounds) {
+  ZipfOptions opts;
+  opts.num_sets = 1000;
+  opts.num_tokens = 5000;
+  opts.min_set_size = 2;
+  opts.max_set_size = 30;
+  SetDatabase db = GenerateZipf(opts);
+  DatasetStats s = ComputeStats(db);
+  EXPECT_GE(s.min_set_size, 2u);
+  EXPECT_LE(s.max_set_size, 30u);
+}
+
+TEST(GeneratorsTest, PowerLawAlphaControlsSimilarityMass) {
+  PowerLawSimOptions lo;
+  lo.num_sets = 3000;
+  lo.num_tokens = 3000;
+  lo.alpha = 1.0;  // most intra-cluster pairs similar
+  PowerLawSimOptions hi = lo;
+  hi.alpha = 4.0;  // most pairs dissimilar
+  SetDatabase db_lo = GeneratePowerLawSimilarity(lo);
+  SetDatabase db_hi = GeneratePowerLawSimilarity(hi);
+  auto h_lo = SimilarityHistogram(db_lo, 20000, 10, 1);
+  auto h_hi = SimilarityHistogram(db_hi, 20000, 10, 1);
+  // Mass in the top half of the similarity range shrinks as alpha grows.
+  double top_lo = 0, top_hi = 0;
+  for (size_t b = 5; b < 10; ++b) {
+    top_lo += h_lo[b];
+    top_hi += h_hi[b];
+  }
+  EXPECT_GT(top_lo, top_hi * 2);
+}
+
+TEST(GeneratorsTest, SampleQueryIdsDistinctAndBounded) {
+  UniformOptions opts;
+  opts.num_sets = 300;
+  SetDatabase db = GenerateUniform(opts);
+  auto ids = SampleQueryIds(db, 50, 9);
+  EXPECT_EQ(ids.size(), 50u);
+  std::set<SetId> s(ids.begin(), ids.end());
+  EXPECT_EQ(s.size(), 50u);
+  for (SetId id : ids) EXPECT_LT(id, db.size());
+  // Requesting more than |D| clamps.
+  EXPECT_EQ(SampleQueryIds(db, 1000, 9).size(), 300u);
+}
+
+TEST(AnalogsTest, SixSpecsInPaperOrder) {
+  const auto& specs = AllAnalogSpecs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "KOSARAK");
+  EXPECT_EQ(specs[5].name, "PMC");
+  EXPECT_EQ(MemoryAnalogSpecs().size(), 4u);
+  EXPECT_EQ(DiskAnalogSpecs().size(), 2u);
+}
+
+TEST(AnalogsTest, SpecLookupByName) {
+  const auto& s = AnalogSpecByName("DBLP");
+  EXPECT_EQ(s.paper_num_sets, 5875251u);
+  EXPECT_EQ(s.min_set_size, 2u);
+}
+
+TEST(AnalogsTest, GeneratedStatisticsTrackTable2) {
+  // Spot-check KOSARAK: avg set size within 25% of the paper's 8.1 and the
+  // universe matches the scaled |T|.
+  const auto& spec = AnalogSpecByName("KOSARAK");
+  SetDatabase db = GenerateAnalogSample(spec, 20000);
+  DatasetStats s = ComputeStats(db);
+  EXPECT_EQ(s.num_sets, 20000u);
+  EXPECT_NEAR(s.avg_set_size, spec.avg_set_size, spec.avg_set_size * 0.25);
+  EXPECT_GE(s.min_set_size, spec.min_set_size);
+  EXPECT_LE(s.max_set_size, spec.max_set_size);
+  EXPECT_EQ(db.num_tokens(), spec.num_tokens);
+}
+
+TEST(AnalogsTest, DblpMinSizeTwo) {
+  const auto& spec = AnalogSpecByName("DBLP");
+  SetDatabase db = GenerateAnalogSample(spec, 5000);
+  DatasetStats s = ComputeStats(db);
+  EXPECT_GE(s.min_set_size, 2u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace les3

@@ -1,0 +1,200 @@
+// Tests for storage/: disk cost model, layouts, and disk-mode searchers
+// (exactness + the sequential-vs-random I/O ordering Figure 13 relies on).
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "storage/disk.h"
+#include "storage/disk_search.h"
+#include "storage/disk_store.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace storage {
+namespace {
+
+TEST(DiskSimulatorTest, SequentialReadsOneSeek) {
+  DiskSimulator sim;
+  sim.Read(0, 4096);
+  sim.Read(4096, 4096);
+  sim.Read(8192, 100);
+  EXPECT_EQ(sim.seeks(), 1u);
+  EXPECT_EQ(sim.pages_read(), 3u);
+}
+
+TEST(DiskSimulatorTest, ScatteredReadsSeekEach) {
+  DiskSimulator sim;
+  sim.Read(0, 100);
+  sim.Read(1 << 20, 100);
+  sim.Read(5 << 20, 100);
+  EXPECT_EQ(sim.seeks(), 3u);
+}
+
+TEST(DiskSimulatorTest, RandomReadAlwaysSeeks) {
+  DiskSimulator sim;
+  sim.RandomRead(100);
+  sim.RandomRead(100);
+  EXPECT_EQ(sim.seeks(), 2u);
+  EXPECT_EQ(sim.pages_read(), 2u);
+}
+
+TEST(DiskSimulatorTest, ElapsedMsDominatedBySeeksWhenRandom) {
+  DiskOptions opts;
+  DiskSimulator seq(opts), rnd(opts);
+  // Same bytes: 1000 pages sequential vs 1000 random pages.
+  seq.Read(0, 1000 * opts.page_bytes);
+  for (int i = 0; i < 1000; ++i) rnd.RandomRead(opts.page_bytes);
+  EXPECT_LT(seq.ElapsedMs() * 20, rnd.ElapsedMs());
+}
+
+TEST(DiskSimulatorTest, ResetClearsState) {
+  DiskSimulator sim;
+  sim.Read(0, 100);
+  sim.Reset();
+  EXPECT_EQ(sim.seeks(), 0u);
+  EXPECT_EQ(sim.bytes_read(), 0u);
+  EXPECT_DOUBLE_EQ(sim.ElapsedMs(), 0.0);
+}
+
+TEST(DiskLayoutTest, IdOrderedExtentsAreContiguous) {
+  SetDatabase db(10);
+  db.AddSet(SetRecord::FromTokens({1, 2}));
+  db.AddSet(SetRecord::FromTokens({3}));
+  DiskLayout layout = DiskLayout::IdOrdered(db);
+  EXPECT_EQ(layout.set_extent(0).offset, 0u);
+  EXPECT_EQ(layout.set_extent(0).bytes, 12u);  // 4 + 2*4
+  EXPECT_EQ(layout.set_extent(1).offset, 12u);
+  EXPECT_EQ(layout.total_bytes(), 20u);
+}
+
+TEST(DiskLayoutTest, GroupContiguousGroupsMembersTogether) {
+  SetDatabase db(10);
+  db.AddSet(SetRecord::FromTokens({1}));      // group 1
+  db.AddSet(SetRecord::FromTokens({2, 3}));   // group 0
+  db.AddSet(SetRecord::FromTokens({4}));      // group 1
+  DiskLayout layout = DiskLayout::GroupContiguous(db, {1, 0, 1}, 2);
+  // Group 0 first: set 1 at offset 0.
+  EXPECT_EQ(layout.set_extent(1).offset, 0u);
+  EXPECT_EQ(layout.group_extent(0).offset, 0u);
+  EXPECT_EQ(layout.group_extent(0).bytes, 12u);
+  EXPECT_EQ(layout.group_extent(1).offset, 12u);
+  EXPECT_EQ(layout.group_extent(1).bytes, 16u);
+  EXPECT_EQ(layout.total_bytes(), 28u);
+}
+
+TEST(PostingLayoutTest, OffsetsAccumulate) {
+  PostingLayout layout({3, 0, 2});
+  EXPECT_EQ(layout.posting_extent(0).bytes, 12u);
+  EXPECT_EQ(layout.posting_extent(1).bytes, 0u);
+  EXPECT_EQ(layout.posting_extent(2).offset, 12u);
+  EXPECT_EQ(layout.total_bytes(), 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk searchers: exactness + relative I/O behavior.
+
+struct DiskFixture {
+  SetDatabase db;
+  std::vector<GroupId> assignment;
+  uint32_t num_groups = 16;
+};
+
+DiskFixture MakeFixture(uint64_t seed) {
+  DiskFixture f;
+  datagen::ZipfOptions opts;
+  opts.num_sets = 600;
+  opts.num_tokens = 150;
+  opts.avg_set_size = 8;
+  opts.seed = seed;
+  f.db = datagen::GenerateZipf(opts);
+  Rng rng(seed + 1);
+  f.assignment.resize(f.db.size());
+  for (auto& g : f.assignment) {
+    g = static_cast<GroupId>(rng.Uniform(f.num_groups));
+  }
+  return f;
+}
+
+TEST(DiskSearchTest, AllMethodsAgreeWithMemoryBruteForce) {
+  DiskFixture f = MakeFixture(3);
+  auto measure = SimilarityMeasure::kJaccard;
+  DiskLes3 les3(&f.db, f.assignment, f.num_groups, measure);
+  DiskBruteForce brute(&f.db, measure);
+  DiskInvIdx invidx(&f.db, {});
+  DiskDualTrans dualtrans(&f.db, {});
+  baselines::BruteForce reference(&f.db, measure);
+  Rng rng(5);
+  for (int q = 0; q < 10; ++q) {
+    const SetRecord& query =
+        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    auto expected_knn = reference.Knn(query, 10);
+    auto check_knn = [&](const DiskQueryResult& r) {
+      ASSERT_EQ(r.hits.size(), expected_knn.size());
+      for (size_t i = 0; i < r.hits.size(); ++i) {
+        EXPECT_NEAR(r.hits[i].second, expected_knn[i].second, 1e-12);
+      }
+      EXPECT_GT(r.io_ms, 0.0);
+    };
+    check_knn(les3.Knn(query, 10));
+    check_knn(brute.Knn(query, 10));
+    check_knn(invidx.Knn(query, 10));
+    check_knn(dualtrans.Knn(query, 10));
+
+    auto expected_range = reference.Range(query, 0.6);
+    auto check_range = [&](const DiskQueryResult& r) {
+      ASSERT_EQ(r.hits.size(), expected_range.size());
+    };
+    check_range(les3.Range(query, 0.6));
+    check_range(brute.Range(query, 0.6));
+    check_range(invidx.Range(query, 0.6));
+    check_range(dualtrans.Range(query, 0.6));
+  }
+}
+
+TEST(DiskSearchTest, BruteForceIoIndependentOfQuery) {
+  DiskFixture f = MakeFixture(7);
+  DiskBruteForce brute(&f.db, SimilarityMeasure::kJaccard);
+  auto r1 = brute.Knn(f.db.set(0), 5);
+  auto r2 = brute.Knn(f.db.set(99), 50);
+  EXPECT_DOUBLE_EQ(r1.io_ms, r2.io_ms);
+  EXPECT_EQ(r1.seeks, 1u);
+}
+
+TEST(DiskSearchTest, Les3SkipsGroupsOnSelectiveQueries) {
+  // With cluster-aligned groups and a high threshold, LES3 must read fewer
+  // bytes than the full scan.
+  Rng rng(9);
+  SetDatabase db(320);
+  std::vector<GroupId> aligned;
+  for (uint32_t c = 0; c < 16; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      std::vector<TokenId> tokens;
+      for (int j = 0; j < 8; ++j) {
+        tokens.push_back(static_cast<TokenId>(20 * c + rng.Uniform(20)));
+      }
+      db.AddSet(SetRecord::FromTokens(std::move(tokens)));
+      aligned.push_back(c);
+    }
+  }
+  DiskLes3 les3(&db, aligned, 16, SimilarityMeasure::kJaccard);
+  DiskBruteForce brute(&db, SimilarityMeasure::kJaccard);
+  double les3_io = 0, brute_io = 0;
+  for (int q = 0; q < 20; ++q) {
+    const SetRecord& query = db.set(static_cast<SetId>(q * 31 % db.size()));
+    les3_io += les3.Range(query, 0.7).io_ms;
+    brute_io += brute.Range(query, 0.7).io_ms;
+  }
+  EXPECT_LT(les3_io, brute_io);
+}
+
+TEST(DiskSearchTest, InvIdxChargesPostingsAndCandidates) {
+  DiskFixture f = MakeFixture(11);
+  DiskInvIdx invidx(&f.db, {});
+  auto r = invidx.Range(f.db.set(0), 0.8);
+  EXPECT_GT(r.seeks, 0u);
+  EXPECT_GT(r.pages, 0u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace les3

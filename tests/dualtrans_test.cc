@@ -1,0 +1,123 @@
+// Exactness tests for the DualTrans baseline (transform + R-tree).
+
+#include "baselines/dualtrans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/brute_force.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace baselines {
+namespace {
+
+SetDatabase MakeDb(uint64_t seed, uint32_t num_sets = 500) {
+  datagen::ZipfOptions opts;
+  opts.num_sets = num_sets;
+  opts.num_tokens = 150;
+  opts.avg_set_size = 8;
+  opts.zipf_exponent = 0.8;
+  opts.seed = seed;
+  return datagen::GenerateZipf(opts);
+}
+
+TEST(DualTransTest, TransformSumsToSetSize) {
+  SetDatabase db = MakeDb(1, 100);
+  DualTrans dt(&db);
+  for (SetId i = 0; i < 50; ++i) {
+    auto vec = dt.Transform(db.set(i));
+    double sum = 0;
+    for (float v : vec) sum += v;
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(db.set(i).size()));
+  }
+}
+
+class DualTransMeasureTest
+    : public ::testing::TestWithParam<SimilarityMeasure> {};
+
+TEST_P(DualTransMeasureTest, KnnMatchesBruteForce) {
+  SetDatabase db = MakeDb(3);
+  DualTransOptions opts;
+  opts.measure = GetParam();
+  DualTrans index(&db, opts);
+  BruteForce brute(&db, GetParam());
+  Rng rng(4);
+  for (size_t k : {1u, 10u}) {
+    for (int q = 0; q < 15; ++q) {
+      const SetRecord& query =
+          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      auto got = index.Knn(query, k);
+      auto expected = brute.Knn(query, k);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].second, expected[i].second, 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(DualTransMeasureTest, RangeMatchesBruteForce) {
+  SetDatabase db = MakeDb(5);
+  DualTransOptions opts;
+  opts.measure = GetParam();
+  DualTrans index(&db, opts);
+  BruteForce brute(&db, GetParam());
+  Rng rng(6);
+  for (double delta : {0.4, 0.7, 0.9}) {
+    for (int q = 0; q < 15; ++q) {
+      const SetRecord& query =
+          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      auto got = index.Range(query, delta);
+      auto expected = brute.Range(query, delta);
+      ASSERT_EQ(got.size(), expected.size()) << delta;
+      std::set<SetId> g, e;
+      for (auto& h : got) g.insert(h.first);
+      for (auto& h : expected) e.insert(h.first);
+      EXPECT_EQ(g, e);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, DualTransMeasureTest,
+                         ::testing::Values(SimilarityMeasure::kJaccard,
+                                           SimilarityMeasure::kDice,
+                                           SimilarityMeasure::kCosine),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(DualTransTest, DimensionalityTunable) {
+  SetDatabase db = MakeDb(7, 300);
+  for (size_t dims : {4u, 16u, 64u}) {
+    DualTransOptions opts;
+    opts.dims = dims;
+    DualTrans index(&db, opts);
+    auto got = index.Knn(db.set(0), 5);
+    BruteForce brute(&db);
+    auto expected = brute.Knn(db.set(0), 5);
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, expected[i].second, 1e-12) << dims;
+    }
+  }
+}
+
+TEST(DualTransTest, IndexHeavierThanPostingsAlone) {
+  // The point of Figures 11-13: the tree + vectors are heavy.
+  SetDatabase db = MakeDb(9, 400);
+  DualTrans index(&db);
+  EXPECT_GT(index.IndexBytes(),
+            static_cast<uint64_t>(db.size()) * 16 * sizeof(float));
+}
+
+TEST(DualTransTest, PrunesOnEasyQueries) {
+  SetDatabase db = MakeDb(11, 800);
+  DualTrans index(&db);
+  search::QueryStats stats;
+  index.Range(db.set(0), 0.95, &stats);
+  EXPECT_LT(stats.candidates_verified, db.size());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace les3

@@ -1,0 +1,119 @@
+// Tests for the exhaustive GPO minimizer, used to empirically validate the
+// Section 4 theory: optimal partitions are balanced under the uniform token
+// distribution (Theorem 4.2) and the heuristics land near the optimum on
+// tiny instances.
+
+#include "partition/exact_small.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "partition/metrics.h"
+#include "partition/par_a.h"
+#include "partition/par_c.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace partition {
+namespace {
+
+TEST(ExactPartitionTest, TwoObviousClusters) {
+  // Two tight clusters of 3 identical-ish sets: the optimum must separate
+  // them with GPO 0.
+  SetDatabase db(20);
+  for (int i = 0; i < 3; ++i) db.AddSet(SetRecord::FromTokens({1, 2, 3}));
+  for (int i = 0; i < 3; ++i) db.AddSet(SetRecord::FromTokens({7, 8, 9}));
+  ExactPartition best =
+      MinimizeGpoExact(db, 2, SimilarityMeasure::kJaccard);
+  EXPECT_DOUBLE_EQ(best.gpo, 0.0);
+  EXPECT_EQ(best.assignment[0], best.assignment[1]);
+  EXPECT_EQ(best.assignment[1], best.assignment[2]);
+  EXPECT_EQ(best.assignment[3], best.assignment[4]);
+  EXPECT_NE(best.assignment[0], best.assignment[3]);
+}
+
+TEST(ExactPartitionTest, MatchesBruteGpoDefinition) {
+  datagen::UniformOptions opts;
+  opts.num_sets = 8;
+  opts.num_tokens = 12;
+  opts.avg_set_size = 4;
+  opts.seed = 3;
+  SetDatabase db = datagen::GenerateUniform(opts);
+  ExactPartition best =
+      MinimizeGpoExact(db, 3, SimilarityMeasure::kJaccard);
+  EXPECT_NEAR(best.gpo,
+              ExactGpo(db, best.assignment, best.num_groups,
+                       SimilarityMeasure::kJaccard),
+              1e-9);
+}
+
+TEST(ExactPartitionTest, Theorem42OptimalIsBalancedUnderUniformTokens) {
+  // Under (approximately) uniform token distribution, the GPO-optimal
+  // 2-partition should be balanced (group sizes differ by at most ~2 at
+  // this tiny scale). Checked over several random draws.
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    datagen::UniformOptions opts;
+    opts.num_sets = 10;
+    opts.num_tokens = 40;
+    opts.avg_set_size = 6;
+    opts.seed = seed;
+    SetDatabase db = datagen::GenerateUniform(opts);
+    ExactPartition best =
+        MinimizeGpoExact(db, 2, SimilarityMeasure::kJaccard);
+    BalanceStats balance = ComputeBalance(best.assignment, 2);
+    EXPECT_LE(balance.max_size - balance.min_size, 2u) << "seed " << seed;
+  }
+}
+
+TEST(ExactPartitionTest, HeuristicsWithinFactorOfOptimum) {
+  // PAR-C on a tiny clustered instance should come close to the optimum
+  // (within 2x GPO) — and never beat it, which would indicate a bug in one
+  // of the two.
+  Rng rng(7);
+  SetDatabase db(30);
+  for (uint32_t c = 0; c < 2; ++c) {
+    for (int i = 0; i < 6; ++i) {
+      std::vector<TokenId> tokens;
+      for (int j = 0; j < 5; ++j) {
+        tokens.push_back(static_cast<TokenId>(15 * c + rng.Uniform(10)));
+      }
+      db.AddSet(SetRecord::FromTokens(std::move(tokens)));
+    }
+  }
+  ExactPartition best =
+      MinimizeGpoExact(db, 2, SimilarityMeasure::kJaccard);
+  ParCOptions copts;
+  copts.sample_size = 12;  // exact-ish estimates at this scale
+  copts.max_iterations = 20;
+  ParC par_c(copts);
+  auto result = par_c.Partition(db, 2);
+  double heuristic_gpo = ExactGpo(db, result.assignment, result.num_groups,
+                                  SimilarityMeasure::kJaccard);
+  EXPECT_GE(heuristic_gpo + 1e-9, best.gpo);
+  EXPECT_LE(heuristic_gpo, best.gpo * 2.0 + 1e-9);
+}
+
+TEST(ExactPartitionTest, SingleGroupGpoIsTotalDistance) {
+  SetDatabase db(10);
+  db.AddSet(SetRecord::FromTokens({1}));
+  db.AddSet(SetRecord::FromTokens({2}));
+  db.AddSet(SetRecord::FromTokens({3}));
+  ExactPartition best =
+      MinimizeGpoExact(db, 1, SimilarityMeasure::kJaccard);
+  // All pairs disjoint: GPO = 6 ordered pairs * distance 1.
+  EXPECT_DOUBLE_EQ(best.gpo, 6.0);
+}
+
+TEST(ExactPartitionTest, NGroupsEqualsNSetsGivesZero) {
+  SetDatabase db(10);
+  for (int i = 0; i < 5; ++i) {
+    db.AddSet(SetRecord::FromTokens({static_cast<TokenId>(i)}));
+  }
+  ExactPartition best =
+      MinimizeGpoExact(db, 5, SimilarityMeasure::kJaccard);
+  EXPECT_DOUBLE_EQ(best.gpo, 0.0);
+}
+
+}  // namespace
+}  // namespace partition
+}  // namespace les3

@@ -1,0 +1,133 @@
+// Tests for graph/: CSR construction, kNN graph, FM balanced partitioning.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generators.h"
+#include "graph/graph.h"
+#include "graph/knn_graph.h"
+#include "graph/partition_fm.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace graph {
+namespace {
+
+TEST(GraphTest, FromEdgesDedupsAndSymmetrizes) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 0}, {2, 3}, {2, 2}, {0, 1}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);  // (0,1) and (2,3); self-loop dropped
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(*g.NeighborsBegin(0), 1u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(*g.NeighborsBegin(3), 2u);
+}
+
+TEST(GraphTest, CutSizeByHand) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<uint32_t> part{0, 0, 1, 1};
+  EXPECT_EQ(CutSize(g, part), 1u);  // only edge (1,2) crosses
+  std::vector<uint32_t> all_same{0, 0, 0, 0};
+  EXPECT_EQ(CutSize(g, all_same), 0u);
+}
+
+SetDatabase ClusteredDb(uint32_t clusters, uint32_t per_cluster,
+                        uint64_t seed) {
+  Rng rng(seed);
+  SetDatabase db(clusters * 30);
+  for (uint32_t c = 0; c < clusters; ++c) {
+    for (uint32_t i = 0; i < per_cluster; ++i) {
+      std::vector<TokenId> tokens;
+      for (int j = 0; j < 8; ++j) {
+        tokens.push_back(static_cast<TokenId>(30 * c + rng.Uniform(30)));
+      }
+      db.AddSet(SetRecord::FromTokens(std::move(tokens)));
+    }
+  }
+  return db;
+}
+
+TEST(KnnGraphTest, NeighborsAreMostlyIntraCluster) {
+  SetDatabase db = ClusteredDb(4, 50, 3);
+  KnnGraphOptions opts;
+  opts.k = 5;
+  Graph g = BuildKnnGraph(db, opts);
+  EXPECT_EQ(g.num_vertices(), db.size());
+  uint64_t intra = 0, total = 0;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    for (const uint32_t* n = g.NeighborsBegin(v); n != g.NeighborsEnd(v);
+         ++n) {
+      ++total;
+      if (*n / 50 == v / 50) ++intra;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(intra) / total, 0.9);
+}
+
+TEST(KnnGraphTest, RangeGraphEdgesRespectThreshold) {
+  SetDatabase db = ClusteredDb(2, 30, 5);
+  Graph g = BuildRangeGraph(db, 0.5, SimilarityMeasure::kJaccard);
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    for (const uint32_t* n = g.NeighborsBegin(v); n != g.NeighborsEnd(v);
+         ++n) {
+      EXPECT_GE(Similarity(SimilarityMeasure::kJaccard, db.set(v), db.set(*n)),
+                0.5);
+    }
+  }
+}
+
+TEST(FmPartitionTest, BalancedParts) {
+  SetDatabase db = ClusteredDb(4, 64, 7);
+  KnnGraphOptions kopts;
+  kopts.k = 6;
+  Graph g = BuildKnnGraph(db, kopts);
+  for (uint32_t parts : {2u, 4u, 8u}) {
+    auto assignment = PartitionGraph(g, parts);
+    std::vector<size_t> sizes(parts, 0);
+    for (uint32_t p : assignment) {
+      ASSERT_LT(p, parts);
+      ++sizes[p];
+    }
+    size_t target = db.size() / parts;
+    for (size_t s : sizes) {
+      EXPECT_NEAR(static_cast<double>(s), static_cast<double>(target),
+                  target * 0.25 + 2);
+    }
+  }
+}
+
+TEST(FmPartitionTest, CutBeatsRandomOnClusteredGraph) {
+  SetDatabase db = ClusteredDb(4, 64, 9);
+  KnnGraphOptions kopts;
+  kopts.k = 6;
+  Graph g = BuildKnnGraph(db, kopts);
+  auto fm = PartitionGraph(g, 4);
+  Rng rng(11);
+  std::vector<uint32_t> random(g.num_vertices());
+  for (auto& p : random) p = static_cast<uint32_t>(rng.Uniform(4));
+  EXPECT_LT(CutSize(g, fm), CutSize(g, random) / 2);
+}
+
+TEST(FmPartitionTest, SinglePartTrivial) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}});
+  auto assignment = PartitionGraph(g, 1);
+  for (uint32_t p : assignment) EXPECT_EQ(p, 0u);
+}
+
+TEST(FmPartitionTest, DisconnectedGraphStillCovered) {
+  // No edges at all: partitioning must still produce balanced parts.
+  Graph g = Graph::FromEdges(10, {});
+  auto assignment = PartitionGraph(g, 5);
+  std::vector<size_t> sizes(5, 0);
+  for (uint32_t p : assignment) {
+    ASSERT_LT(p, 5u);
+    ++sizes[p];
+  }
+  for (size_t s : sizes) EXPECT_EQ(s, 2u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace les3

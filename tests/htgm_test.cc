@@ -1,0 +1,132 @@
+// Tests for the hierarchical TGM: nesting validation, exactness vs brute
+// force, and the cost-accounting behavior behind Figure 14.
+
+#include "tgm/htgm.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace tgm {
+namespace {
+
+/// Clustered database plus nested two-level assignments: coarse = cluster,
+/// fine = cluster split in half.
+struct NestedFixture {
+  SetDatabase db;
+  HtgmLevelSpec coarse;
+  HtgmLevelSpec fine;
+};
+
+NestedFixture MakeNested(uint32_t clusters, uint32_t per_cluster,
+                         uint64_t seed) {
+  NestedFixture f;
+  Rng rng(seed);
+  f.db = SetDatabase(clusters * 25);
+  f.coarse.num_groups = clusters;
+  f.fine.num_groups = clusters * 2;
+  for (uint32_t c = 0; c < clusters; ++c) {
+    for (uint32_t i = 0; i < per_cluster; ++i) {
+      std::vector<TokenId> tokens;
+      for (int j = 0; j < 6; ++j) {
+        tokens.push_back(static_cast<TokenId>(25 * c + rng.Uniform(25)));
+      }
+      f.db.AddSet(SetRecord::FromTokens(std::move(tokens)));
+      f.coarse.assignment.push_back(c);
+      f.fine.assignment.push_back(2 * c + (i % 2));
+    }
+  }
+  return f;
+}
+
+TEST(HtgmTest, SingleLevelKnnMatchesBruteForce) {
+  NestedFixture f = MakeNested(6, 30, 1);
+  Htgm flat(f.db, {f.fine});
+  baselines::BruteForce brute(&f.db);
+  Rng rng(2);
+  for (int q = 0; q < 25; ++q) {
+    const SetRecord& query =
+        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    auto got = flat.Knn(f.db, query, 5, SimilarityMeasure::kJaccard, nullptr);
+    auto expected = brute.Knn(query, 5);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, expected[i].second, 1e-12);
+    }
+  }
+}
+
+TEST(HtgmTest, TwoLevelKnnAndRangeMatchBruteForce) {
+  NestedFixture f = MakeNested(6, 30, 3);
+  Htgm h(f.db, {f.coarse, f.fine});
+  EXPECT_EQ(h.num_levels(), 2u);
+  baselines::BruteForce brute(&f.db);
+  Rng rng(4);
+  for (int q = 0; q < 25; ++q) {
+    const SetRecord& query =
+        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    auto got = h.Knn(f.db, query, 7, SimilarityMeasure::kJaccard, nullptr);
+    auto expected = brute.Knn(query, 7);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, expected[i].second, 1e-12);
+    }
+    auto got_range =
+        h.Range(f.db, query, 0.6, SimilarityMeasure::kJaccard, nullptr);
+    auto expected_range = brute.Range(query, 0.6);
+    ASSERT_EQ(got_range.size(), expected_range.size());
+  }
+}
+
+TEST(HtgmTest, CoarsePruningSavesCellsOnDissimilarData) {
+  // With well-separated clusters, the 2-level HTGM should touch fewer
+  // (node, token) cells than the flat fine-level TGM.
+  NestedFixture f = MakeNested(16, 20, 5);
+  Htgm flat(f.db, {f.fine});
+  Htgm two(f.db, {f.coarse, f.fine});
+  Rng rng(6);
+  uint64_t flat_cells = 0, two_cells = 0;
+  for (int q = 0; q < 30; ++q) {
+    const SetRecord& query =
+        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    HtgmQueryCost cf, ct;
+    flat.Knn(f.db, query, 5, SimilarityMeasure::kJaccard, &cf);
+    two.Knn(f.db, query, 5, SimilarityMeasure::kJaccard, &ct);
+    flat_cells += cf.cells_accessed;
+    two_cells += ct.cells_accessed;
+  }
+  EXPECT_LT(two_cells, flat_cells);
+}
+
+TEST(HtgmTest, RejectsNonNestedLevels) {
+  NestedFixture f = MakeNested(2, 10, 7);
+  // Corrupt nesting: one fine group spans two coarse groups.
+  HtgmLevelSpec bad = f.fine;
+  bad.assignment[0] = 3;  // set 0 is in coarse group 0; group 3 belongs to
+                          // coarse group 1
+  EXPECT_DEATH(Htgm(f.db, {f.coarse, bad}), "parent_of");
+}
+
+TEST(HtgmTest, MemoryScalesWithLevels) {
+  NestedFixture f = MakeNested(4, 30, 9);
+  Htgm one(f.db, {f.fine});
+  Htgm two(f.db, {f.coarse, f.fine});
+  EXPECT_GT(two.MemoryBytes(), one.MemoryBytes());
+}
+
+TEST(HtgmTest, CostCountersPopulated) {
+  NestedFixture f = MakeNested(4, 20, 11);
+  Htgm h(f.db, {f.coarse, f.fine});
+  HtgmQueryCost cost;
+  h.Knn(f.db, f.db.set(0), 3, SimilarityMeasure::kJaccard, &cost);
+  EXPECT_GT(cost.nodes_visited, 0u);
+  EXPECT_GT(cost.cells_accessed, 0u);
+  EXPECT_GT(cost.sims_computed, 0u);
+}
+
+}  // namespace
+}  // namespace tgm
+}  // namespace les3

@@ -1,0 +1,123 @@
+// Tests for HTGM level-by-level insertion (Section 6).
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "datagen/generators.h"
+#include "tgm/htgm.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace tgm {
+namespace {
+
+struct NestedFixture {
+  SetDatabase db;
+  HtgmLevelSpec coarse;
+  HtgmLevelSpec fine;
+};
+
+NestedFixture MakeNested(uint32_t clusters, uint32_t per_cluster,
+                         uint64_t seed) {
+  NestedFixture f;
+  Rng rng(seed);
+  f.db = SetDatabase(clusters * 25);
+  f.coarse.num_groups = clusters;
+  f.fine.num_groups = clusters * 2;
+  for (uint32_t c = 0; c < clusters; ++c) {
+    for (uint32_t i = 0; i < per_cluster; ++i) {
+      std::vector<TokenId> tokens;
+      for (int j = 0; j < 6; ++j) {
+        tokens.push_back(static_cast<TokenId>(25 * c + rng.Uniform(25)));
+      }
+      f.db.AddSet(SetRecord::FromTokens(std::move(tokens)));
+      f.coarse.assignment.push_back(c);
+      f.fine.assignment.push_back(2 * c + (i % 2));
+    }
+  }
+  return f;
+}
+
+TEST(HtgmUpdateTest, InsertRoutesToMatchingCluster) {
+  NestedFixture f = MakeNested(4, 30, 1);
+  Htgm h(f.db, {f.coarse, f.fine});
+  // A set built from cluster 2's token range must land in one of cluster
+  // 2's fine groups (ids 4 or 5).
+  SetRecord s = SetRecord::FromTokens({50, 51, 52, 53});
+  SetId id = f.db.AddSet(s);
+  GroupId g = h.AddSet(id, f.db.set(id), SimilarityMeasure::kJaccard);
+  EXPECT_TRUE(g == 4 || g == 5) << g;
+}
+
+TEST(HtgmUpdateTest, InsertedSetIsFindable) {
+  NestedFixture f = MakeNested(4, 30, 3);
+  Htgm h(f.db, {f.coarse, f.fine});
+  SetRecord novel = SetRecord::FromTokens({10, 11, 12, 60, 61});
+  SetId id = f.db.AddSet(novel);
+  h.AddSet(id, f.db.set(id), SimilarityMeasure::kJaccard);
+  auto hits = h.Knn(f.db, novel, 1, SimilarityMeasure::kJaccard, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, id);
+  EXPECT_DOUBLE_EQ(hits[0].second, 1.0);
+}
+
+TEST(HtgmUpdateTest, OpenUniverseTokensSearchable) {
+  NestedFixture f = MakeNested(3, 20, 5);
+  Htgm h(f.db, {f.coarse, f.fine});
+  // Tokens 900+ were never seen at build time.
+  SetRecord novel = SetRecord::FromTokens({900, 901, 902});
+  SetId id = f.db.AddSet(novel);
+  h.AddSet(id, f.db.set(id), SimilarityMeasure::kJaccard);
+  auto hits = h.Knn(f.db, SetRecord::FromTokens({900, 901, 902}), 1,
+                    SimilarityMeasure::kJaccard, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, id);
+}
+
+TEST(HtgmUpdateTest, ExactAfterManyInserts) {
+  NestedFixture f = MakeNested(4, 25, 7);
+  Htgm h(f.db, {f.coarse, f.fine});
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<TokenId> tokens;
+    size_t size = 3 + rng.Uniform(5);
+    for (size_t t = 0; t < size; ++t) {
+      tokens.push_back(static_cast<TokenId>(rng.Uniform(120)));
+    }
+    SetRecord s = SetRecord::FromTokens(std::move(tokens));
+    SetId id = f.db.AddSet(s);
+    h.AddSet(id, f.db.set(id), SimilarityMeasure::kJaccard);
+  }
+  baselines::BruteForce brute(&f.db);
+  for (int q = 0; q < 15; ++q) {
+    const SetRecord& query =
+        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    auto got = h.Knn(f.db, query, 8, SimilarityMeasure::kJaccard, nullptr);
+    auto expected = brute.Knn(query, 8);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, expected[i].second, 1e-12);
+    }
+    auto got_range =
+        h.Range(f.db, query, 0.5, SimilarityMeasure::kJaccard, nullptr);
+    auto expected_range = brute.Range(query, 0.5);
+    EXPECT_EQ(got_range.size(), expected_range.size());
+  }
+}
+
+TEST(HtgmUpdateTest, SingleLevelInsertBehavesLikeFlatTgm) {
+  NestedFixture f = MakeNested(4, 20, 11);
+  Htgm flat(f.db, {f.fine});
+  SetRecord s = SetRecord::FromTokens({1, 2, 3});
+  SetId id = f.db.AddSet(s);
+  GroupId g = flat.AddSet(id, f.db.set(id), SimilarityMeasure::kJaccard);
+  EXPECT_LT(g, 8u);
+  EXPECT_GT(flat.GroupSize(g), 0u);
+  auto hits = flat.Knn(f.db, s, 1, SimilarityMeasure::kJaccard, nullptr);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].second, 1.0);
+}
+
+}  // namespace
+}  // namespace tgm
+}  // namespace les3

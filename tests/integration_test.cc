@@ -1,0 +1,188 @@
+// End-to-end integration tests: full LES3 pipeline (generate -> L2P ->
+// TGM -> search) checked for exactness and for the paper's qualitative
+// claims at small scale (learned partitioning prunes better than random,
+// updates degrade PE only mildly).
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "baselines/dualtrans.h"
+#include "baselines/invidx.h"
+#include "datagen/analogs.h"
+#include "datagen/generators.h"
+#include "l2p/l2p.h"
+#include "search/les3_index.h"
+#include "tgm/htgm.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace {
+
+l2p::CascadeOptions FastCascade(uint32_t init, uint32_t target) {
+  l2p::CascadeOptions opts;
+  opts.init_groups = init;
+  opts.target_groups = target;
+  opts.min_group_size = 10;
+  opts.pairs_per_model = 3000;
+  opts.num_threads = 4;
+  return opts;
+}
+
+TEST(IntegrationTest, FullPipelineExactOnAnalogSample) {
+  const auto& spec = datagen::AnalogSpecByName("KOSARAK");
+  SetDatabase db = datagen::GenerateAnalogSample(spec, 3000, 1);
+  SetDatabase db_copy = db;
+  l2p::L2PPartitioner l2p(FastCascade(8, 32));
+  auto part = l2p.Partition(db, 32);
+  search::Les3Index index(std::move(db_copy), part.assignment,
+                          part.num_groups);
+  baselines::BruteForce brute(&db);
+  auto queries = datagen::SampleQueryIds(db, 25, 2);
+  for (SetId qid : queries) {
+    const SetRecord& query = db.set(qid);
+    auto got = index.Knn(query, 10);
+    auto expected = brute.Knn(query, 10);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, expected[i].second, 1e-12);
+    }
+    auto got_range = index.Range(query, 0.5);
+    auto expected_range = brute.Range(query, 0.5);
+    EXPECT_EQ(got_range.size(), expected_range.size());
+  }
+}
+
+TEST(IntegrationTest, L2PPrunesBetterThanRandomPartitioning) {
+  datagen::PowerLawSimOptions gen;
+  gen.num_sets = 4000;
+  gen.num_tokens = 4000;
+  gen.alpha = 1.5;
+  gen.seed = 3;
+  SetDatabase db = datagen::GeneratePowerLawSimilarity(gen);
+  SetDatabase db1 = db, db2 = db;
+
+  l2p::L2PPartitioner l2p(FastCascade(8, 64));
+  auto learned = l2p.Partition(db, 64);
+  Rng rng(5);
+  std::vector<GroupId> random(db.size());
+  for (auto& g : random) g = static_cast<GroupId>(rng.Uniform(64));
+
+  search::Les3Index learned_index(std::move(db1), learned.assignment,
+                                  learned.num_groups);
+  search::Les3Index random_index(std::move(db2), random, 64);
+  auto queries = datagen::SampleQueryIds(db, 40, 7);
+  double learned_pe = 0, random_pe = 0;
+  for (SetId qid : queries) {
+    search::QueryStats sl, sr;
+    learned_index.Knn(db.set(qid), 10, &sl);
+    random_index.Knn(db.set(qid), 10, &sr);
+    learned_pe += sl.pruning_efficiency;
+    random_pe += sr.pruning_efficiency;
+  }
+  EXPECT_GT(learned_pe, random_pe);
+}
+
+TEST(IntegrationTest, TgmSmallerThanInvIdxAndDualTrans) {
+  // The Figure 11 shape at test scale: the compressed TGM is the smallest
+  // index.
+  const auto& spec = datagen::AnalogSpecByName("AOL");
+  SetDatabase db = datagen::GenerateAnalogSample(spec, 5000, 9);
+  SetDatabase db_copy = db;
+  l2p::L2PPartitioner l2p(FastCascade(8, 32));
+  auto part = l2p.Partition(db, 32);
+  search::Les3Index index(std::move(db_copy), part.assignment,
+                          part.num_groups);
+  baselines::InvIdx invidx(&db);
+  baselines::DualTrans dualtrans(&db);
+  EXPECT_LT(index.tgm().BitmapBytes(), invidx.IndexBytes());
+  EXPECT_LT(index.tgm().BitmapBytes(), dualtrans.IndexBytes());
+}
+
+TEST(IntegrationTest, UpdatesDegradePeOnlyMildly) {
+  // Figure 15 shape: insert 50% new sets (closed universe) and compare PE
+  // against a from-scratch rebuild; the drop should be bounded.
+  datagen::ZipfOptions gen;
+  gen.num_sets = 3000;
+  gen.num_tokens = 1000;
+  gen.avg_set_size = 8;
+  gen.seed = 11;
+  SetDatabase base = datagen::GenerateZipf(gen);
+  gen.seed = 13;
+  SetDatabase extra = datagen::GenerateZipf(gen);
+  const size_t insert_count = 1500;
+
+  // Index built on base, then updated incrementally.
+  SetDatabase base_copy = base;
+  l2p::L2PPartitioner l2p(FastCascade(8, 32));
+  auto part = l2p.Partition(base, 32);
+  search::Les3Index updated(std::move(base_copy), part.assignment,
+                            part.num_groups);
+  for (size_t i = 0; i < insert_count; ++i) {
+    updated.Insert(extra.set(static_cast<SetId>(i)));
+  }
+
+  // Rebuild from scratch on the union.
+  SetDatabase unioned = base;
+  for (size_t i = 0; i < insert_count; ++i) {
+    unioned.AddSet(extra.set(static_cast<SetId>(i)));
+  }
+  SetDatabase unioned_copy = unioned;
+  l2p::L2PPartitioner l2p2(FastCascade(8, 32));
+  auto part2 = l2p2.Partition(unioned, 32);
+  search::Les3Index rebuilt(std::move(unioned_copy), part2.assignment,
+                            part2.num_groups);
+
+  auto queries = datagen::SampleQueryIds(unioned, 30, 15);
+  double pe_updated = 0, pe_rebuilt = 0;
+  for (SetId qid : queries) {
+    search::QueryStats su, sr;
+    updated.Knn(unioned.set(qid), 10, &su);
+    rebuilt.Knn(unioned.set(qid), 10, &sr);
+    pe_updated += su.pruning_efficiency;
+    pe_rebuilt += sr.pruning_efficiency;
+  }
+  pe_updated /= queries.size();
+  pe_rebuilt /= queries.size();
+  // Results stay exact (spot check).
+  baselines::BruteForce brute(&unioned);
+  auto got = updated.Knn(unioned.set(queries[0]), 10);
+  auto expected = brute.Knn(unioned.set(queries[0]), 10);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].second, expected[i].second, 1e-12);
+  }
+  // PE decreases, but within a generous bound at this scale (paper: <= 8%
+  // at full scale).
+  EXPECT_LE(pe_rebuilt - pe_updated, 0.25);
+}
+
+TEST(IntegrationTest, HtgmFromCascadeLevelsIsExact) {
+  datagen::PowerLawSimOptions gen;
+  gen.num_sets = 2000;
+  gen.num_tokens = 2000;
+  gen.alpha = 3.0;
+  gen.seed = 17;
+  SetDatabase db = datagen::GeneratePowerLawSimilarity(gen);
+  l2p::L2PPartitioner l2p(FastCascade(4, 32));
+  auto part = l2p.Partition(db, 32);
+  const auto& levels = l2p.last_cascade().levels;
+  ASSERT_GE(levels.size(), 2u);
+  tgm::HtgmLevelSpec coarse{levels.front().assignment,
+                            levels.front().num_groups};
+  tgm::HtgmLevelSpec fine{levels.back().assignment,
+                          levels.back().num_groups};
+  tgm::Htgm htgm(db, {coarse, fine});
+  baselines::BruteForce brute(&db);
+  auto queries = datagen::SampleQueryIds(db, 20, 19);
+  for (SetId qid : queries) {
+    auto got = htgm.Knn(db, db.set(qid), 10, SimilarityMeasure::kJaccard,
+                        nullptr);
+    auto expected = brute.Knn(db.set(qid), 10);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, expected[i].second, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace les3

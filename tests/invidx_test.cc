@@ -1,0 +1,154 @@
+// Exactness and filter-correctness tests for the InvIdx baseline.
+
+#include "baselines/invidx.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/brute_force.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace baselines {
+namespace {
+
+SetDatabase MakeDb(uint64_t seed, uint32_t num_sets = 500) {
+  datagen::ZipfOptions opts;
+  opts.num_sets = num_sets;
+  opts.num_tokens = 120;
+  opts.avg_set_size = 7;
+  opts.zipf_exponent = 0.9;
+  opts.seed = seed;
+  return datagen::GenerateZipf(opts);
+}
+
+class InvIdxMeasureTest
+    : public ::testing::TestWithParam<SimilarityMeasure> {};
+
+TEST_P(InvIdxMeasureTest, RangeMatchesBruteForce) {
+  SetDatabase db = MakeDb(1);
+  InvIdxOptions opts;
+  opts.measure = GetParam();
+  InvIdx index(&db, opts);
+  BruteForce brute(&db, GetParam());
+  Rng rng(2);
+  for (double delta : {0.2, 0.5, 0.7, 0.95}) {
+    for (int q = 0; q < 15; ++q) {
+      const SetRecord& query =
+          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      auto got = index.Range(query, delta);
+      auto expected = brute.Range(query, delta);
+      ASSERT_EQ(got.size(), expected.size())
+          << ToString(GetParam()) << " delta " << delta;
+      std::set<SetId> g, e;
+      for (auto& h : got) g.insert(h.first);
+      for (auto& h : expected) e.insert(h.first);
+      EXPECT_EQ(g, e);
+    }
+  }
+}
+
+TEST_P(InvIdxMeasureTest, KnnMatchesBruteForce) {
+  SetDatabase db = MakeDb(3);
+  InvIdxOptions opts;
+  opts.measure = GetParam();
+  InvIdx index(&db, opts);
+  BruteForce brute(&db, GetParam());
+  Rng rng(4);
+  for (size_t k : {1u, 10u, 40u}) {
+    for (int q = 0; q < 10; ++q) {
+      const SetRecord& query =
+          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      auto got = index.Knn(query, k);
+      auto expected = brute.Knn(query, k);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].second, expected[i].second, 1e-12)
+            << "k=" << k << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, InvIdxMeasureTest,
+                         ::testing::Values(SimilarityMeasure::kJaccard,
+                                           SimilarityMeasure::kDice,
+                                           SimilarityMeasure::kCosine),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(InvIdxTest, FilterCandidatesCoverAllResults) {
+  // The prefix + size filter must never drop a true result (no false
+  // negatives in the filter step).
+  SetDatabase db = MakeDb(5);
+  InvIdx index(&db);
+  BruteForce brute(&db);
+  Rng rng(6);
+  for (double delta : {0.3, 0.6, 0.8}) {
+    for (int q = 0; q < 20; ++q) {
+      const SetRecord& query =
+          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      auto filter = index.RangeFilter(query, delta);
+      std::set<SetId> candidates(filter.candidates.begin(),
+                                 filter.candidates.end());
+      for (auto& hit : brute.Range(query, delta)) {
+        EXPECT_TRUE(candidates.count(hit.first))
+            << "missing result " << hit.first << " at delta " << delta;
+      }
+      EXPECT_FALSE(filter.prefix_tokens.empty());
+    }
+  }
+}
+
+TEST(InvIdxTest, HigherThresholdFewerCandidates) {
+  SetDatabase db = MakeDb(7);
+  InvIdx index(&db);
+  const SetRecord& query = db.set(11);
+  auto low = index.RangeFilter(query, 0.3);
+  auto high = index.RangeFilter(query, 0.9);
+  EXPECT_LE(high.candidates.size(), low.candidates.size());
+  EXPECT_LE(high.prefix_tokens.size(), low.prefix_tokens.size());
+}
+
+TEST(InvIdxTest, PostingsSortedAndComplete) {
+  SetDatabase db = MakeDb(9, 200);
+  InvIdx index(&db);
+  uint64_t total = 0;
+  for (TokenId t = 0; t < db.num_tokens(); ++t) {
+    const auto& p = index.Postings(t);
+    EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+    for (SetId s : p) EXPECT_TRUE(db.set(s).Contains(t));
+    total += p.size();
+  }
+  // Every distinct (set, token) membership appears exactly once.
+  uint64_t expected = 0;
+  for (const auto& s : db.sets()) expected += s.DistinctCount();
+  EXPECT_EQ(total, expected);
+}
+
+TEST(InvIdxTest, IndexBytesPositive) {
+  SetDatabase db = MakeDb(11, 100);
+  InvIdx index(&db);
+  EXPECT_GT(index.IndexBytes(), db.num_tokens() * sizeof(uint32_t));
+}
+
+TEST(InvIdxTest, MultisetQueriesExact) {
+  SetDatabase db(20);
+  db.AddSet(SetRecord::FromTokens({1, 1, 2}));
+  db.AddSet(SetRecord::FromTokens({1, 2}));
+  db.AddSet(SetRecord::FromTokens({3, 4}));
+  db.AddSet(SetRecord::FromTokens({1, 1}));
+  InvIdx index(&db);
+  BruteForce brute(&db);
+  SetRecord query = SetRecord::FromTokens({1, 1, 2});
+  for (double delta : {0.4, 0.6, 1.0}) {
+    auto got = index.Range(query, delta);
+    auto expected = brute.Range(query, delta);
+    ASSERT_EQ(got.size(), expected.size()) << delta;
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace les3

@@ -1,0 +1,227 @@
+// Tests for ml/: MLP forward/backward (gradient-checked), Adam, and the
+// Siamese trainer with the Equation-18 surrogate loss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/adam.h"
+#include "ml/matrix.h"
+#include "ml/mlp.h"
+#include "ml/siamese.h"
+
+namespace les3 {
+namespace ml {
+namespace {
+
+TEST(MatrixTest, Basics) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.Row(1)[2], 5.0f);
+  m.Fill(1.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+}
+
+TEST(MatrixTest, XavierInitWithinLimit) {
+  Rng rng(1);
+  Matrix m(8, 16);
+  m.InitXavier(&rng);
+  float limit = std::sqrt(6.0f / (8 + 16));
+  bool any_nonzero = false;
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), limit);
+    any_nonzero = any_nonzero || m.data()[i] != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(MlpTest, ForwardMatchesManualComputation) {
+  // 1-2-1 net with hand-set weights.
+  Mlp net({1, 2, 1}, 7);
+  // params: W1 (2x1), b1 (2), W2 (1x2), b2 (1).
+  net.SetParamsFlat({0.5f, -1.0f, 0.1f, 0.2f, 1.0f, 1.0f, -0.3f});
+  float x = 0.8f;
+  auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  float h1 = sigmoid(0.5f * x + 0.1f);
+  float h2 = sigmoid(-1.0f * x + 0.2f);
+  float out = sigmoid(h1 + h2 - 0.3f);
+  auto got = net.ForwardOne(&x);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(got[0], out, 1e-6);
+  // Batch forward agrees with single forward.
+  Matrix batch(1, 1);
+  batch.At(0, 0) = x;
+  EXPECT_NEAR(net.Forward(batch).At(0, 0), out, 1e-6);
+}
+
+TEST(MlpTest, GradientsMatchFiniteDifferences) {
+  // Loss = 0.5 * sum((O - target)^2) over a small batch; analytic gradients
+  // from Backward must match central finite differences.
+  Mlp net({3, 4, 2}, 11);
+  Rng rng(13);
+  const size_t batch = 5;
+  Matrix input(batch, 3);
+  Matrix target(batch, 2);
+  for (size_t i = 0; i < batch; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      input.At(i, j) = static_cast<float>(rng.NextGaussian());
+    }
+    for (size_t j = 0; j < 2; ++j) {
+      target.At(i, j) = static_cast<float>(rng.NextDouble());
+    }
+  }
+  auto loss_fn = [&](Mlp* m) {
+    const Matrix& out = m->Forward(input);
+    double loss = 0.0;
+    for (size_t i = 0; i < batch; ++i) {
+      for (size_t j = 0; j < 2; ++j) {
+        double d = out.At(i, j) - target.At(i, j);
+        loss += 0.5 * d * d;
+      }
+    }
+    return loss;
+  };
+  // Analytic gradient.
+  const Matrix& out = net.Forward(input);
+  Matrix grad_out(batch, 2);
+  for (size_t i = 0; i < batch; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      grad_out.At(i, j) = out.At(i, j) - target.At(i, j);
+    }
+  }
+  net.ZeroGrad();
+  net.Backward(input, grad_out);
+  std::vector<float> analytic = net.GradsFlat();
+  // Numeric gradient.
+  std::vector<float> params = net.ParamsFlat();
+  const double eps = 1e-3;
+  for (size_t p = 0; p < params.size(); ++p) {
+    std::vector<float> plus = params, minus = params;
+    plus[p] += static_cast<float>(eps);
+    minus[p] -= static_cast<float>(eps);
+    net.SetParamsFlat(plus);
+    double lp = loss_fn(&net);
+    net.SetParamsFlat(minus);
+    double lm = loss_fn(&net);
+    double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(analytic[p], numeric,
+                1e-2 * std::max(1.0, std::fabs(numeric)))
+        << "param " << p;
+  }
+}
+
+TEST(MlpTest, ParamRoundTrip) {
+  Mlp net({4, 8, 8, 1}, 3);
+  auto params = net.ParamsFlat();
+  EXPECT_EQ(params.size(), net.NumParams());
+  EXPECT_EQ(net.NumParams(), 4u * 8 + 8 + 8 * 8 + 8 + 8 + 1);
+  params[0] = 123.0f;
+  net.SetParamsFlat(params);
+  EXPECT_FLOAT_EQ(net.ParamsFlat()[0], 123.0f);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize f(x) = (x - 3)^2 with Adam on a single parameter.
+  float x = 0.0f;
+  AdamOptions opts;
+  opts.learning_rate = 0.1f;
+  Adam adam(1, opts);
+  std::vector<float*> params{&x};
+  for (int step = 0; step < 500; ++step) {
+    std::vector<float> grad{2.0f * (x - 3.0f)};
+    adam.Step(params, grad);
+  }
+  EXPECT_NEAR(x, 3.0f, 0.05f);
+  EXPECT_EQ(adam.step_count(), 500u);
+}
+
+TEST(SiameseTest, SurrogateLossValues) {
+  // Same side, maximally close outputs -> full weight.
+  EXPECT_FLOAT_EQ(SurrogateLoss(0.6f, 0.6f, 0.8f), 0.5f * 0.8f);
+  // Opposite sides -> zero.
+  EXPECT_FLOAT_EQ(SurrogateLoss(0.4f, 0.6f, 0.8f), 0.0f);
+  // Same side, far apart -> small weight.
+  EXPECT_NEAR(SurrogateLoss(0.5f, 0.9f, 1.0f), 0.1f, 1e-6);
+  // Similar pairs (dissim 0) cost nothing.
+  EXPECT_FLOAT_EQ(SurrogateLoss(0.6f, 0.6f, 0.0f), 0.0f);
+}
+
+TEST(SiameseTest, LearnsToSeparateTwoClusters) {
+  // Two well-separated point clouds; dissimilarity 1 across, 0 within.
+  Rng rng(17);
+  const size_t per_cluster = 40;
+  Matrix reps(2 * per_cluster, 2);
+  for (size_t i = 0; i < per_cluster; ++i) {
+    reps.At(i, 0) = static_cast<float>(rng.NextGaussian() * 0.2 - 2.0);
+    reps.At(i, 1) = static_cast<float>(rng.NextGaussian() * 0.2);
+    reps.At(per_cluster + i, 0) =
+        static_cast<float>(rng.NextGaussian() * 0.2 + 2.0);
+    reps.At(per_cluster + i, 1) = static_cast<float>(rng.NextGaussian() * 0.2);
+  }
+  std::vector<SiamesePair> pairs;
+  for (uint32_t i = 0; i < 2 * per_cluster; ++i) {
+    for (uint32_t j = i + 1; j < 2 * per_cluster; ++j) {
+      bool same = (i < per_cluster) == (j < per_cluster);
+      pairs.push_back({i, j, same ? 0.0f : 1.0f});
+    }
+  }
+  Mlp net({2, 8, 8, 1}, 19);
+  SiameseOptions opts;
+  opts.epochs = 20;
+  opts.batch_size = 64;
+  opts.seed = 23;
+  SiameseStats stats = TrainSiamese(&net, reps, pairs, opts);
+  EXPECT_FALSE(stats.batch_losses.empty());
+  // The split at 0.5 should separate the clusters (allow a couple strays).
+  size_t cluster0_left = 0, cluster1_left = 0;
+  for (size_t i = 0; i < per_cluster; ++i) {
+    if (net.ForwardOne(reps.Row(i))[0] < 0.5f) ++cluster0_left;
+    if (net.ForwardOne(reps.Row(per_cluster + i))[0] < 0.5f) {
+      ++cluster1_left;
+    }
+  }
+  bool separated = (cluster0_left >= per_cluster - 2 &&
+                    cluster1_left <= 2) ||
+                   (cluster0_left <= 2 && cluster1_left >= per_cluster - 2);
+  EXPECT_TRUE(separated) << cluster0_left << " vs " << cluster1_left;
+}
+
+TEST(SiameseTest, LossDecreasesOverTraining) {
+  Rng rng(29);
+  Matrix reps(60, 3);
+  for (size_t i = 0; i < reps.size(); ++i) {
+    reps.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  std::vector<SiamesePair> pairs;
+  for (uint32_t i = 0; i < 60; ++i) {
+    for (uint32_t j = i + 1; j < 60; ++j) {
+      pairs.push_back({i, j, static_cast<float>(rng.NextDouble())});
+    }
+  }
+  Mlp net({3, 8, 8, 1}, 31);
+  SiameseOptions opts;
+  opts.epochs = 10;
+  opts.batch_size = 128;
+  SiameseStats stats = TrainSiamese(&net, reps, pairs, opts);
+  ASSERT_GT(stats.batch_losses.size(), 10u);
+  double head = 0, tail = 0;
+  size_t n = stats.batch_losses.size();
+  for (size_t i = 0; i < 5; ++i) head += stats.batch_losses[i];
+  for (size_t i = n - 5; i < n; ++i) tail += stats.batch_losses[i];
+  EXPECT_LT(tail, head);
+}
+
+TEST(SiameseTest, EmptyPairsIsNoOp) {
+  Matrix reps(1, 2);
+  Mlp net({2, 4, 1}, 1);
+  auto before = net.ParamsFlat();
+  SiameseStats stats = TrainSiamese(&net, reps, {}, SiameseOptions{});
+  EXPECT_TRUE(stats.batch_losses.empty());
+  EXPECT_EQ(net.ParamsFlat(), before);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace les3

@@ -1,0 +1,182 @@
+// Tests for partition/: metrics (GPO, U, balance), sorted initialization,
+// and the four algorithmic partitioners PAR-C/D/A/G.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datagen/generators.h"
+#include "partition/metrics.h"
+#include "partition/par_a.h"
+#include "partition/par_c.h"
+#include "partition/par_d.h"
+#include "partition/par_g.h"
+#include "partition/partitioner.h"
+#include "partition/sorted_init.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace partition {
+namespace {
+
+SetDatabase ClusteredDb(uint32_t clusters, uint32_t per_cluster,
+                        uint64_t seed) {
+  Rng rng(seed);
+  SetDatabase db(clusters * 30);
+  for (uint32_t c = 0; c < clusters; ++c) {
+    for (uint32_t i = 0; i < per_cluster; ++i) {
+      std::vector<TokenId> tokens;
+      for (int j = 0; j < 8; ++j) {
+        tokens.push_back(static_cast<TokenId>(30 * c + rng.Uniform(30)));
+      }
+      db.AddSet(SetRecord::FromTokens(std::move(tokens)));
+    }
+  }
+  return db;
+}
+
+TEST(MetricsTest, ExactGpoByHand) {
+  SetDatabase db(10);
+  db.AddSet(SetRecord::FromTokens({1, 2}));   // set 0
+  db.AddSet(SetRecord::FromTokens({1, 2}));   // set 1, identical
+  db.AddSet(SetRecord::FromTokens({5, 6}));   // set 2, disjoint
+  // Groups {0,1} and {2}: intra distances = 2 * (1 - 1.0) = 0.
+  EXPECT_DOUBLE_EQ(ExactGpo(db, {0, 0, 1}, 2, SimilarityMeasure::kJaccard),
+                   0.0);
+  // Groups {0,2} and {1}: intra distance = 2 * (1 - 0) = 2.
+  EXPECT_DOUBLE_EQ(ExactGpo(db, {0, 1, 0}, 2, SimilarityMeasure::kJaccard),
+                   2.0);
+}
+
+TEST(MetricsTest, EstimateGpoTracksExact) {
+  SetDatabase db = ClusteredDb(3, 30, 1);
+  Rng rng(2);
+  std::vector<GroupId> assignment(db.size());
+  for (auto& g : assignment) g = static_cast<GroupId>(rng.Uniform(6));
+  double exact = ExactGpo(db, assignment, 6, SimilarityMeasure::kJaccard);
+  double est =
+      EstimateGpo(db, assignment, 6, SimilarityMeasure::kJaccard, 2000, 3);
+  EXPECT_NEAR(est, exact, exact * 0.15);
+}
+
+TEST(MetricsTest, UnionObjectiveByHand) {
+  SetDatabase db(10);
+  db.AddSet(SetRecord::FromTokens({1, 2}));
+  db.AddSet(SetRecord::FromTokens({2, 3}));
+  db.AddSet(SetRecord::FromTokens({7}));
+  EXPECT_EQ(UnionObjective(db, {0, 0, 1}, 2), 3u + 1u);
+  EXPECT_EQ(UnionObjective(db, {0, 1, 0}, 2), 3u + 2u);
+}
+
+TEST(MetricsTest, BalanceStats) {
+  BalanceStats b = ComputeBalance({0, 0, 0, 1}, 2);
+  EXPECT_EQ(b.min_size, 1u);
+  EXPECT_EQ(b.max_size, 3u);
+  EXPECT_DOUBLE_EQ(b.mean_size, 2.0);
+  EXPECT_DOUBLE_EQ(b.stddev, 1.0);
+}
+
+TEST(SortedInitTest, BalancedAndOrderedByMinToken) {
+  SetDatabase db = ClusteredDb(4, 25, 5);
+  auto assignment = SortedInitialization(db, 10);
+  BalanceStats b = ComputeBalance(assignment, 10);
+  EXPECT_EQ(b.min_size, 10u);
+  EXPECT_EQ(b.max_size, 10u);
+  // Sets with smaller min tokens get smaller (or equal) group ids.
+  for (SetId i = 0; i < db.size(); ++i) {
+    for (SetId j = 0; j < db.size(); ++j) {
+      if (db.set(i).MinToken() < db.set(j).MinToken()) {
+        EXPECT_LE(assignment[i], assignment[j]);
+      }
+    }
+  }
+}
+
+TEST(PartitionerUtilTest, GroupMembersInverts) {
+  auto groups = GroupMembers({2, 0, 2, 1}, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<SetId>{1}));
+  EXPECT_EQ(groups[1], (std::vector<SetId>{3}));
+  EXPECT_EQ(groups[2], (std::vector<SetId>{0, 2}));
+}
+
+TEST(PartitionerUtilTest, CompactRenumbersDensely) {
+  std::vector<GroupId> a{5, 9, 5, 2};
+  uint32_t n = Compact(&a);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(a, (std::vector<GroupId>{0, 1, 0, 2}));
+}
+
+class AlgorithmicPartitionerTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Partitioner> Make() const {
+    std::string name = GetParam();
+    if (name == "PAR-C") return std::make_unique<ParC>();
+    if (name == "PAR-D") return std::make_unique<ParD>();
+    if (name == "PAR-A") return std::make_unique<ParA>();
+    return std::make_unique<ParG>();
+  }
+};
+
+TEST_P(AlgorithmicPartitionerTest, ProducesValidPartition) {
+  SetDatabase db = ClusteredDb(4, 40, 7);
+  auto partitioner = Make();
+  PartitionResult result = partitioner->Partition(db, 8);
+  ASSERT_EQ(result.assignment.size(), db.size());
+  ASSERT_GE(result.num_groups, 1u);
+  ASSERT_LE(result.num_groups, 8u);
+  for (GroupId g : result.assignment) EXPECT_LT(g, result.num_groups);
+  EXPECT_GE(result.seconds, 0.0);
+  EXPECT_GT(result.working_memory_bytes, 0u);
+}
+
+TEST_P(AlgorithmicPartitionerTest, BeatsRandomGpoOnClusteredData) {
+  SetDatabase db = ClusteredDb(8, 25, 9);
+  auto partitioner = Make();
+  PartitionResult result = partitioner->Partition(db, 8);
+  double achieved = ExactGpo(db, result.assignment, result.num_groups,
+                             SimilarityMeasure::kJaccard);
+  Rng rng(11);
+  std::vector<GroupId> random(db.size());
+  for (auto& g : random) g = static_cast<GroupId>(rng.Uniform(8));
+  double baseline = ExactGpo(db, random, 8, SimilarityMeasure::kJaccard);
+  EXPECT_LT(achieved, baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmicPartitionerTest,
+                         ::testing::Values("PAR-C", "PAR-D", "PAR-A",
+                                           "PAR-G"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           n.erase(n.find('-'), 1);
+                           return n;
+                         });
+
+TEST(ParGTest, ReportsGraphStatistics) {
+  SetDatabase db = ClusteredDb(4, 30, 13);
+  ParG par_g;
+  PartitionResult result = par_g.Partition(db, 4);
+  EXPECT_GT(par_g.last_graph_bytes(), 0u);
+  EXPECT_EQ(result.num_groups, 4u);
+  // On 4 clean clusters the cut should be small relative to edges.
+  EXPECT_LT(par_g.last_cut_size(), db.size() * 5);
+}
+
+TEST(ParDTest, ReachesTargetGroups) {
+  SetDatabase db = ClusteredDb(2, 50, 15);
+  ParD par_d;
+  PartitionResult result = par_d.Partition(db, 16);
+  EXPECT_EQ(result.num_groups, 16u);
+}
+
+TEST(ParATest, MergesDownToTarget) {
+  SetDatabase db = ClusteredDb(2, 30, 17);
+  ParA par_a;
+  PartitionResult result = par_a.Partition(db, 12);
+  EXPECT_EQ(result.num_groups, 12u);
+}
+
+}  // namespace
+}  // namespace partition
+}  // namespace les3

@@ -1,0 +1,187 @@
+// Property tests for the Roaring bitmap against a std::set reference model,
+// across container-kind transitions (array <-> bitset <-> run).
+
+#include "bitmap/roaring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace les3 {
+namespace bitmap {
+namespace {
+
+std::vector<uint32_t> ToSortedVector(const std::set<uint32_t>& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(RoaringTest, EmptyBitmap) {
+  Roaring r;
+  EXPECT_TRUE(r.Empty());
+  EXPECT_EQ(r.Cardinality(), 0u);
+  EXPECT_FALSE(r.Contains(0));
+  EXPECT_EQ(r.ToVector().size(), 0u);
+}
+
+TEST(RoaringTest, AddAndContainsSmall) {
+  Roaring r;
+  r.Add(5);
+  r.Add(100000);
+  r.Add(5);  // duplicate
+  EXPECT_EQ(r.Cardinality(), 2u);
+  EXPECT_TRUE(r.Contains(5));
+  EXPECT_TRUE(r.Contains(100000));
+  EXPECT_FALSE(r.Contains(6));
+}
+
+TEST(RoaringTest, ArrayToBitsetTransition) {
+  Roaring r;
+  std::set<uint32_t> ref;
+  // Push one chunk past the 4096 array threshold.
+  for (uint32_t i = 0; i < 5000; ++i) {
+    r.Add(i * 3);
+    ref.insert(i * 3);
+  }
+  EXPECT_EQ(r.Cardinality(), ref.size());
+  EXPECT_EQ(r.ToVector(), ToSortedVector(ref));
+  for (uint32_t probe = 0; probe < 15000; ++probe) {
+    EXPECT_EQ(r.Contains(probe), ref.count(probe) > 0) << probe;
+  }
+}
+
+TEST(RoaringTest, FromSortedMatchesIncremental) {
+  Rng rng(3);
+  std::set<uint32_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    ref.insert(static_cast<uint32_t>(rng.Uniform(1u << 20)));
+  }
+  Roaring bulk = Roaring::FromSorted(ToSortedVector(ref));
+  Roaring inc;
+  for (uint32_t v : ref) inc.Add(v);
+  EXPECT_EQ(bulk, inc);
+  EXPECT_EQ(bulk.Cardinality(), ref.size());
+}
+
+TEST(RoaringTest, ForEachAscending) {
+  Rng rng(4);
+  std::set<uint32_t> ref;
+  for (int i = 0; i < 5000; ++i) {
+    ref.insert(static_cast<uint32_t>(rng.Uniform(1u << 24)));
+  }
+  Roaring r = Roaring::FromSorted(ToSortedVector(ref));
+  std::vector<uint32_t> got;
+  r.ForEach([&](uint32_t v) { got.push_back(v); });
+  EXPECT_EQ(got, ToSortedVector(ref));
+}
+
+TEST(RoaringTest, RunOptimizePreservesContent) {
+  Roaring r;
+  std::set<uint32_t> ref;
+  // Dense runs compress well.
+  for (uint32_t i = 1000; i < 9000; ++i) {
+    r.Add(i);
+    ref.insert(i);
+  }
+  uint64_t before = r.MemoryBytes();
+  size_t converted = r.RunOptimize();
+  EXPECT_GT(converted, 0u);
+  EXPECT_LT(r.MemoryBytes(), before);
+  EXPECT_EQ(r.ToVector(), ToSortedVector(ref));
+  for (uint32_t probe = 0; probe < 12000; ++probe) {
+    EXPECT_EQ(r.Contains(probe), ref.count(probe) > 0) << probe;
+  }
+}
+
+TEST(RoaringTest, AddIntoRunContainerMergesNeighbours) {
+  Roaring r;
+  for (uint32_t i = 0; i < 6000; ++i) r.Add(i * 2);  // no runs yet
+  for (uint32_t i = 10; i < 5000; ++i) r.Add(i);     // create dense region
+  r.RunOptimize();
+  std::set<uint32_t> ref;
+  r.ForEach([&](uint32_t v) { ref.insert(v); });
+  // Adds after run conversion must stay correct.
+  for (uint32_t v : {9u, 5001u, 10001u, 60000u, 5u}) {
+    r.Add(v);
+    ref.insert(v);
+    EXPECT_TRUE(r.Contains(v));
+  }
+  EXPECT_EQ(r.ToVector(), ToSortedVector(ref));
+}
+
+struct DensityParam {
+  uint32_t universe;
+  int inserts;
+};
+
+class RoaringDensityTest : public ::testing::TestWithParam<DensityParam> {};
+
+TEST_P(RoaringDensityTest, RandomOpsMatchReferenceModel) {
+  const auto& p = GetParam();
+  Rng rng(42 + p.universe);
+  Roaring r;
+  std::set<uint32_t> ref;
+  for (int i = 0; i < p.inserts; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(p.universe));
+    r.Add(v);
+    ref.insert(v);
+    if (i % 997 == 0) {
+      EXPECT_EQ(r.Cardinality(), ref.size());
+    }
+  }
+  EXPECT_EQ(r.ToVector(), ToSortedVector(ref));
+  // Membership spot checks.
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(p.universe));
+    EXPECT_EQ(r.Contains(v), ref.count(v) > 0);
+  }
+  // RunOptimize must be content-preserving at every density.
+  r.RunOptimize();
+  EXPECT_EQ(r.ToVector(), ToSortedVector(ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, RoaringDensityTest,
+    ::testing::Values(DensityParam{1u << 10, 3000},   // dense, runs
+                      DensityParam{1u << 16, 20000},  // bitset regime
+                      DensityParam{1u << 22, 20000},  // array regime
+                      DensityParam{1u << 31, 5000}),  // sparse, many chunks
+    [](const ::testing::TestParamInfo<DensityParam>& info) {
+      return "u" + std::to_string(info.param.universe >> 10) + "k_n" +
+             std::to_string(info.param.inserts);
+    });
+
+TEST(RoaringTest, AndCardinalityMatchesReference) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::set<uint32_t> ra, rb;
+    uint32_t universe = trial % 2 == 0 ? 5000 : (1u << 24);
+    for (int i = 0; i < 8000; ++i) {
+      ra.insert(static_cast<uint32_t>(rng.Uniform(universe)));
+      rb.insert(static_cast<uint32_t>(rng.Uniform(universe)));
+    }
+    Roaring a = Roaring::FromSorted(ToSortedVector(ra));
+    Roaring b = Roaring::FromSorted(ToSortedVector(rb));
+    if (trial % 3 == 0) {
+      a.RunOptimize();  // exercise run-vs-other intersections
+    }
+    uint64_t expected = 0;
+    for (uint32_t v : ra) expected += rb.count(v);
+    EXPECT_EQ(a.AndCardinality(b), expected);
+    EXPECT_EQ(b.AndCardinality(a), expected);
+    EXPECT_EQ(a.OrCardinality(b), ra.size() + rb.size() - expected);
+  }
+}
+
+TEST(RoaringTest, MemoryBytesSparseVsDense) {
+  // A sparse bitmap must use far less memory than its universe size.
+  Roaring sparse;
+  for (uint32_t i = 0; i < 100; ++i) sparse.Add(i * 1000000);
+  EXPECT_LT(sparse.MemoryBytes(), 100 * 16u);
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace les3

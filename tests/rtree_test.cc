@@ -1,0 +1,133 @@
+// Tests for the R-tree substrate: structure sanity and best-first search
+// correctness against a linear scan with an admissible bound.
+
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace les3 {
+namespace rtree {
+namespace {
+
+std::vector<std::vector<float>> RandomVectors(size_t n, size_t d,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out(n, std::vector<float>(d));
+  for (auto& v : out) {
+    for (auto& x : v) x = static_cast<float>(rng.NextDouble() * 100.0);
+  }
+  return out;
+}
+
+/// Score = negative L1 distance to `q`; bound = negative min L1 distance
+/// from `q` to the box (admissible: no point inside scores higher).
+double MinL1ToBox(const std::vector<float>& q, const Mbr& mbr) {
+  double d = 0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q[i] < mbr.lo[i]) {
+      d += mbr.lo[i] - q[i];
+    } else if (q[i] > mbr.hi[i]) {
+      d += q[i] - mbr.hi[i];
+    }
+  }
+  return d;
+}
+
+double L1(const std::vector<float>& a, const std::vector<float>& b) {
+  double d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+TEST(RTreeTest, TopKMatchesLinearScan) {
+  auto vectors = RandomVectors(800, 4, 1);
+  RTree tree(vectors);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> q(4);
+    for (auto& x : q) x = static_cast<float>(rng.NextDouble() * 100.0);
+    uint64_t nodes = 0, scored = 0;
+    auto got = tree.TopK(
+        10, [&](const Mbr& m) { return -MinL1ToBox(q, m); },
+        [&](uint32_t id) { return -L1(q, vectors[id]); }, &nodes, &scored);
+    // Reference: sort all by score.
+    std::vector<std::pair<double, uint32_t>> ref;
+    for (uint32_t i = 0; i < vectors.size(); ++i) {
+      ref.push_back({-L1(q, vectors[i]), i});
+    }
+    std::sort(ref.begin(), ref.end(), [](auto& a, auto& b) {
+      return a.first > b.first || (a.first == b.first && a.second < b.second);
+    });
+    ASSERT_EQ(got.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(got[i].second, ref[i].first, 1e-9) << "rank " << i;
+    }
+    // Pruning must actually happen on most queries.
+    EXPECT_LE(scored, vectors.size());
+  }
+}
+
+TEST(RTreeTest, RangeSearchMatchesLinearScan) {
+  auto vectors = RandomVectors(600, 3, 3);
+  RTree tree(vectors);
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<float> q(3);
+    for (auto& x : q) x = static_cast<float>(rng.NextDouble() * 100.0);
+    double threshold = -40.0;  // all points within L1 distance 40
+    auto got = tree.RangeSearch(
+        threshold, [&](const Mbr& m) { return -MinL1ToBox(q, m); },
+        [&](uint32_t id) { return -L1(q, vectors[id]); }, nullptr, nullptr);
+    size_t expected = 0;
+    for (const auto& v : vectors) {
+      if (-L1(q, v) >= threshold) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected);
+  }
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree({});
+  auto got = tree.TopK(
+      5, [](const Mbr&) { return 0.0; }, [](uint32_t) { return 0.0; },
+      nullptr, nullptr);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree({{1.0f, 2.0f}});
+  auto got = tree.TopK(
+      3, [](const Mbr&) { return 1.0; }, [](uint32_t) { return 0.5; },
+      nullptr, nullptr);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 0u);
+}
+
+TEST(RTreeTest, LeavesRespectCapacity) {
+  auto vectors = RandomVectors(1000, 2, 5);
+  RTree::Options opts;
+  opts.leaf_capacity = 16;
+  RTree tree(vectors, opts);
+  size_t total_entries = 0;
+  for (size_t n = 0; n < tree.num_nodes(); ++n) {
+    if (tree.IsLeaf(n)) {
+      EXPECT_LE(tree.NodeEntries(n).size(), 16u);
+      total_entries += tree.NodeEntries(n).size();
+    }
+  }
+  EXPECT_EQ(total_entries, 1000u);
+}
+
+TEST(RTreeTest, MemoryBytesPositive) {
+  auto vectors = RandomVectors(100, 4, 7);
+  RTree tree(vectors);
+  EXPECT_GT(tree.MemoryBytes(), 100 * 4u);
+}
+
+}  // namespace
+}  // namespace rtree
+}  // namespace les3

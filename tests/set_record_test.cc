@@ -1,0 +1,76 @@
+// Unit tests for core/set_record.h, including multiset semantics.
+
+#include "core/set_record.h"
+
+#include <gtest/gtest.h>
+
+namespace les3 {
+namespace {
+
+TEST(SetRecordTest, FromTokensSorts) {
+  SetRecord s = SetRecord::FromTokens({5, 1, 3, 1});
+  EXPECT_EQ(s.tokens(), (std::vector<TokenId>{1, 1, 3, 5}));
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.DistinctCount(), 3u);
+}
+
+TEST(SetRecordTest, EmptySet) {
+  SetRecord s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.DistinctCount(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(SetRecordTest, Contains) {
+  SetRecord s = SetRecord::FromTokens({2, 4, 8});
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(8));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(100));
+}
+
+TEST(SetRecordTest, MinMaxToken) {
+  SetRecord s = SetRecord::FromTokens({9, 2, 7});
+  EXPECT_EQ(s.MinToken(), 2u);
+  EXPECT_EQ(s.MaxToken(), 9u);
+}
+
+TEST(SetRecordTest, OverlapPlainSets) {
+  SetRecord a = SetRecord::FromTokens({1, 2, 3, 4});
+  SetRecord b = SetRecord::FromTokens({3, 4, 5});
+  EXPECT_EQ(SetRecord::OverlapSize(a, b), 2u);
+  EXPECT_EQ(SetRecord::OverlapSize(b, a), 2u);
+}
+
+TEST(SetRecordTest, OverlapDisjoint) {
+  SetRecord a = SetRecord::FromTokens({1, 2});
+  SetRecord b = SetRecord::FromTokens({3, 4});
+  EXPECT_EQ(SetRecord::OverlapSize(a, b), 0u);
+}
+
+TEST(SetRecordTest, OverlapMultisetMinMultiplicity) {
+  // {1,1,1,2} ∩ {1,1,3} = {1,1} under multiset semantics.
+  SetRecord a = SetRecord::FromTokens({1, 1, 1, 2});
+  SetRecord b = SetRecord::FromTokens({1, 1, 3});
+  EXPECT_EQ(SetRecord::OverlapSize(a, b), 2u);
+}
+
+TEST(SetRecordTest, OverlapWithSelfIsSize) {
+  SetRecord a = SetRecord::FromTokens({1, 1, 2, 9});
+  EXPECT_EQ(SetRecord::OverlapSize(a, a), a.size());
+}
+
+TEST(SetRecordTest, OverlapWithEmpty) {
+  SetRecord a = SetRecord::FromTokens({1, 2});
+  SetRecord e;
+  EXPECT_EQ(SetRecord::OverlapSize(a, e), 0u);
+}
+
+TEST(SetRecordTest, EqualityIsContentBased) {
+  EXPECT_EQ(SetRecord::FromTokens({3, 1}), SetRecord::FromTokens({1, 3}));
+  EXPECT_FALSE(SetRecord::FromTokens({1}) == SetRecord::FromTokens({1, 1}));
+}
+
+}  // namespace
+}  // namespace les3

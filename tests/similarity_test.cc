@@ -1,0 +1,152 @@
+// Tests for core/similarity.h: exact values, and the Theorem 3.1 upper
+// bound property checked as a randomized invariant across all measures.
+
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace les3 {
+namespace {
+
+TEST(SimilarityTest, JaccardKnownValues) {
+  SetRecord a = SetRecord::FromTokens({1, 2, 3});
+  SetRecord b = SetRecord::FromTokens({2, 3, 4, 5});
+  // overlap 2, union 5.
+  EXPECT_DOUBLE_EQ(Similarity(SimilarityMeasure::kJaccard, a, b), 0.4);
+  EXPECT_DOUBLE_EQ(Similarity(SimilarityMeasure::kJaccard, a, a), 1.0);
+}
+
+TEST(SimilarityTest, DiceKnownValues) {
+  SetRecord a = SetRecord::FromTokens({1, 2, 3});
+  SetRecord b = SetRecord::FromTokens({2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(Similarity(SimilarityMeasure::kDice, a, b), 4.0 / 7.0);
+}
+
+TEST(SimilarityTest, CosineKnownValues) {
+  SetRecord a = SetRecord::FromTokens({1, 2, 3});
+  SetRecord b = SetRecord::FromTokens({2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(Similarity(SimilarityMeasure::kCosine, a, b),
+                   2.0 / std::sqrt(12.0));
+}
+
+TEST(SimilarityTest, EmptySetConventions) {
+  SetRecord e1, e2;
+  SetRecord a = SetRecord::FromTokens({1});
+  for (auto m : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+                 SimilarityMeasure::kCosine}) {
+    EXPECT_DOUBLE_EQ(Similarity(m, e1, e2), 1.0) << ToString(m);
+    EXPECT_DOUBLE_EQ(Similarity(m, e1, a), 0.0) << ToString(m);
+  }
+}
+
+TEST(SimilarityTest, MultisetJaccard) {
+  // {A,A} vs {A}: overlap 1, |A∪B| = 2 + 1 - 1 = 2.
+  SetRecord aa = SetRecord::FromTokens({7, 7});
+  SetRecord a = SetRecord::FromTokens({7});
+  EXPECT_DOUBLE_EQ(Similarity(SimilarityMeasure::kJaccard, aa, a), 0.5);
+}
+
+TEST(SimilarityTest, PaperSection32Example) {
+  // Q = {t1,t2,t3}, Q∩S = {t1,t2}: Jaccard bound 2/3, cosine bound
+  // 2/sqrt(3*2) ≈ 0.816 (paper Section 3.2).
+  EXPECT_DOUBLE_EQ(GroupUpperBound(SimilarityMeasure::kJaccard, 2, 3),
+                   2.0 / 3.0);
+  EXPECT_NEAR(GroupUpperBound(SimilarityMeasure::kCosine, 2, 3),
+              2.0 / std::sqrt(6.0), 1e-12);
+}
+
+class MeasureTest : public ::testing::TestWithParam<SimilarityMeasure> {};
+
+TEST_P(MeasureTest, SymmetricAndBounded) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto make = [&] {
+      std::vector<TokenId> t;
+      size_t n = 1 + rng.Uniform(12);
+      for (size_t i = 0; i < n; ++i) {
+        t.push_back(static_cast<TokenId>(rng.Uniform(30)));
+      }
+      return SetRecord::FromTokens(std::move(t));
+    };
+    SetRecord a = make(), b = make();
+    double sab = Similarity(GetParam(), a, b);
+    double sba = Similarity(GetParam(), b, a);
+    EXPECT_DOUBLE_EQ(sab, sba);
+    EXPECT_GE(sab, 0.0);
+    EXPECT_LE(sab, 1.0);
+    EXPECT_DOUBLE_EQ(Similarity(GetParam(), a, a), 1.0);
+  }
+}
+
+TEST_P(MeasureTest, GroupUpperBoundDominatesMemberSimilarity) {
+  // The Theorem 3.1 invariant: for random Q and random groups, the bound
+  // computed from the matched-token count dominates every member's true
+  // similarity (multisets included).
+  Rng rng(22);
+  const uint32_t universe = 40;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto make = [&] {
+      std::vector<TokenId> t;
+      size_t n = 1 + rng.Uniform(10);
+      for (size_t i = 0; i < n; ++i) {
+        t.push_back(static_cast<TokenId>(rng.Uniform(universe)));
+      }
+      return SetRecord::FromTokens(std::move(t));
+    };
+    SetRecord q = make();
+    std::vector<SetRecord> group;
+    for (int i = 0; i < 6; ++i) group.push_back(make());
+    // matched = Σ_{t in Q} [some member contains t], multiplicity counted.
+    size_t matched = 0;
+    for (TokenId t : q.tokens()) {
+      bool present = false;
+      for (const auto& s : group) present = present || s.Contains(t);
+      if (present) ++matched;
+    }
+    double ub = GroupUpperBound(GetParam(), matched, q.size());
+    for (const auto& s : group) {
+      EXPECT_GE(ub + 1e-12, Similarity(GetParam(), q, s))
+          << ToString(GetParam());
+    }
+  }
+}
+
+TEST_P(MeasureTest, GroupUpperBoundMonotoneInMatched) {
+  for (size_t q = 1; q <= 20; ++q) {
+    for (size_t r = 1; r <= q; ++r) {
+      EXPECT_GE(GroupUpperBound(GetParam(), r, q),
+                GroupUpperBound(GetParam(), r - 1, q));
+    }
+    EXPECT_DOUBLE_EQ(GroupUpperBound(GetParam(), q, q), 1.0);
+    EXPECT_DOUBLE_EQ(GroupUpperBound(GetParam(), 0, q), 0.0);
+  }
+}
+
+TEST_P(MeasureTest, MinOverlapForThresholdIsLeastSufficient) {
+  for (size_t q : {1u, 3u, 7u, 20u}) {
+    for (double delta : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      size_t r = MinOverlapForThreshold(GetParam(), q, delta);
+      ASSERT_LE(r, q + 1);
+      if (r <= q) {
+        EXPECT_GE(GroupUpperBound(GetParam(), r, q), delta);
+      }
+      if (r > 0 && r <= q) {
+        EXPECT_LT(GroupUpperBound(GetParam(), r - 1, q), delta);
+      }
+    }
+    EXPECT_EQ(MinOverlapForThreshold(GetParam(), q, 0.0), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasureTest,
+                         ::testing::Values(SimilarityMeasure::kJaccard,
+                                           SimilarityMeasure::kDice,
+                                           SimilarityMeasure::kCosine),
+                         [](const auto& info) { return ToString(info.param); });
+
+}  // namespace
+}  // namespace les3

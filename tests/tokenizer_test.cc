@@ -1,0 +1,63 @@
+// Tests for core/tokenizer.h.
+
+#include "core/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace les3 {
+namespace {
+
+TEST(VocabularyTest, AssignsStableIds) {
+  Vocabulary v;
+  TokenId a = v.GetOrAdd("apple");
+  TokenId b = v.GetOrAdd("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.GetOrAdd("apple"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.TokenString(a), "apple");
+  EXPECT_EQ(v.Find("banana"), b);
+  EXPECT_EQ(v.Find("cherry"), Vocabulary::kInvalidToken);
+}
+
+TEST(TokenizerTest, SplitWordsLowercasesAndSplits) {
+  auto words = SplitWords("Hello, World!  42-fish");
+  EXPECT_EQ(words,
+            (std::vector<std::string>{"hello", "world", "42", "fish"}));
+}
+
+TEST(TokenizerTest, SplitWordsEmpty) {
+  EXPECT_TRUE(SplitWords("  ,,, ").empty());
+}
+
+TEST(TokenizerTest, QGramsPadded) {
+  auto grams = QGrams("ab", 3);
+  // padded: ##ab$$ -> ##a, #ab, ab$, b$$
+  EXPECT_EQ(grams, (std::vector<std::string>{"##a", "#ab", "ab$", "b$$"}));
+}
+
+TEST(TokenizerTest, QGramsSingleChar) {
+  auto grams = QGrams("x", 2);
+  EXPECT_EQ(grams, (std::vector<std::string>{"#x", "x$"}));
+}
+
+TEST(TokenizerTest, TokenizeWordsBuildsRecord) {
+  Vocabulary v;
+  SetRecord s = TokenizeWords("the cat and the hat", &v);
+  EXPECT_EQ(s.size(), 5u);        // multiset: "the" twice
+  EXPECT_EQ(s.DistinctCount(), 4u);
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(TokenizerTest, SimilarStringsShareQGrams) {
+  Vocabulary v;
+  SetRecord a = TokenizeQGrams("jonathan smith", 3, &v);
+  SetRecord b = TokenizeQGrams("jonathan smyth", 3, &v);
+  SetRecord c = TokenizeQGrams("completely different", 3, &v);
+  size_t ab = SetRecord::OverlapSize(a, b);
+  size_t ac = SetRecord::OverlapSize(a, c);
+  EXPECT_GT(ab, ac);
+  EXPECT_GT(ab, a.size() / 2);  // near-duplicates share most grams
+}
+
+}  // namespace
+}  // namespace les3

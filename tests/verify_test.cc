@@ -1,0 +1,151 @@
+// Tests for threshold verification with early termination, text I/O, and
+// the one-call index builder.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/text_io.h"
+#include "core/verify.h"
+#include "datagen/generators.h"
+#include "search/builder.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace {
+
+TEST(VerifyTest, ExactWhenPassing) {
+  SetRecord a = SetRecord::FromTokens({1, 2, 3, 4});
+  SetRecord b = SetRecord::FromTokens({2, 3, 4, 5});
+  // Jaccard = 3/5 = 0.6.
+  for (double delta : {0.1, 0.5, 0.6}) {
+    VerifyResult v =
+        VerifyThreshold(SimilarityMeasure::kJaccard, a, b, delta);
+    EXPECT_TRUE(v.passed) << delta;
+    EXPECT_DOUBLE_EQ(v.similarity, 0.6);
+  }
+}
+
+TEST(VerifyTest, UpperBoundWhenFailing) {
+  SetRecord a = SetRecord::FromTokens({1, 2, 3, 4});
+  SetRecord b = SetRecord::FromTokens({2, 3, 4, 5});
+  VerifyResult v = VerifyThreshold(SimilarityMeasure::kJaccard, a, b, 0.7);
+  EXPECT_FALSE(v.passed);
+  EXPECT_GE(v.similarity, 0.6);  // bound dominates the true similarity
+}
+
+TEST(VerifyTest, AgreesWithFullSimilarityRandomized) {
+  Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto make = [&] {
+      std::vector<TokenId> t;
+      size_t n = 1 + rng.Uniform(12);
+      for (size_t i = 0; i < n; ++i) {
+        t.push_back(static_cast<TokenId>(rng.Uniform(25)));
+      }
+      return SetRecord::FromTokens(std::move(t));
+    };
+    SetRecord a = make(), b = make();
+    double threshold = rng.NextDouble();
+    for (auto m : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+                   SimilarityMeasure::kCosine}) {
+      double exact = Similarity(m, a, b);
+      VerifyResult v = VerifyThreshold(m, a, b, threshold);
+      EXPECT_EQ(v.passed, exact >= threshold)
+          << ToString(m) << " thr " << threshold;
+      if (v.passed) {
+        EXPECT_NEAR(v.similarity, exact, 1e-12);
+      } else {
+        EXPECT_GE(v.similarity + 1e-12, exact);
+      }
+    }
+  }
+}
+
+TEST(VerifyTest, ZeroThresholdAlwaysPassesExactly) {
+  SetRecord a = SetRecord::FromTokens({1});
+  SetRecord b = SetRecord::FromTokens({2});
+  VerifyResult v = VerifyThreshold(SimilarityMeasure::kJaccard, a, b, 0.0);
+  EXPECT_TRUE(v.passed);
+  EXPECT_DOUBLE_EQ(v.similarity, 0.0);
+}
+
+TEST(TextIoTest, ParseSetLine) {
+  auto r = ParseSetLine("5 1  12\t3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().tokens(), (std::vector<TokenId>{1, 3, 5, 12}));
+  EXPECT_TRUE(ParseSetLine("").ok());
+  EXPECT_TRUE(ParseSetLine("   ").ok());
+  EXPECT_FALSE(ParseSetLine("1 x 2").ok());
+  EXPECT_FALSE(ParseSetLine("99999999999999999999").ok());
+}
+
+TEST(TextIoTest, SaveLoadRoundTrip) {
+  SetDatabase db(100);
+  db.AddSet(SetRecord::FromTokens({3, 1, 4}));
+  db.AddSet(SetRecord::FromTokens({}));
+  db.AddSet(SetRecord::FromTokens({42}));
+  std::string path = ::testing::TempDir() + "/les3_text_io.txt";
+  ASSERT_TRUE(SaveSetsToText(db, path).ok());
+  auto loaded = LoadSetsFromText(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 3u);
+  for (SetId i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.value().set(i), db.set(i)) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, LoadReportsLineNumberOnError) {
+  std::string path = ::testing::TempDir() + "/les3_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2\nbad line\n";
+  }
+  auto r = LoadSetsFromText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BuilderTest, EmptyDatabaseRejected) {
+  auto r = search::BuildLes3Index(SetDatabase(5));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, BuildsWorkingIndexWithDefaults) {
+  datagen::ZipfOptions gen;
+  gen.num_sets = 2000;
+  gen.num_tokens = 800;
+  gen.cluster_fraction = 0.7;
+  gen.sets_per_cluster = 40;
+  gen.seed = 7;
+  SetDatabase db = datagen::GenerateZipf(gen);
+  SetDatabase copy = db;
+  search::Les3BuildOptions options;
+  options.cascade.pairs_per_model = 2000;  // keep the test fast
+  auto index = search::BuildLes3Index(std::move(copy), options);
+  ASSERT_TRUE(index.ok());
+  auto hits = index.value().Knn(db.set(11), 5);
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_DOUBLE_EQ(hits[0].second, 1.0);  // the query is in the database
+  EXPECT_GT(index.value().tgm().num_groups(), 1u);
+}
+
+TEST(BuilderTest, RespectsExplicitGroupCount) {
+  datagen::UniformOptions gen;
+  gen.num_sets = 500;
+  gen.num_tokens = 200;
+  SetDatabase db = datagen::GenerateUniform(gen);
+  search::Les3BuildOptions options;
+  options.num_groups = 10;
+  options.cascade.pairs_per_model = 1000;
+  auto index = search::BuildLes3Index(std::move(db), options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().tgm().num_groups(), 10u);
+}
+
+}  // namespace
+}  // namespace les3
