@@ -1,4 +1,6 @@
-// Figure 12 — memory-based comparison against the baselines.
+// Figure 12 — memory-based comparison against the baselines, through the
+// unified SearchEngine API: every method is built by EngineBuilder over
+// one shared database and queried identically.
 //
 // For each memory analog: range queries over δ in {0.5..0.9} and kNN over
 // k in {1, 10, 50, 100}, for LES3, DualTrans, InvIdx, and brute force.
@@ -8,15 +10,11 @@
 // overtakes the heavy indexes at low δ / large k.
 
 #include <cstdio>
-#include <functional>
+#include <memory>
 
+#include "api/engine_builder.h"
 #include "bench_util.h"
-#include "baselines/brute_force.h"
-#include "baselines/dualtrans.h"
-#include "baselines/invidx.h"
 #include "datagen/analogs.h"
-#include "l2p/l2p.h"
-#include "search/les3_index.h"
 
 int main() {
   using namespace les3;
@@ -24,92 +22,41 @@ int main() {
   TableReporter knn_table({"dataset", "method", "k", "ms", "pe"});
   const std::vector<double> deltas{0.5, 0.6, 0.7, 0.8, 0.9};
   const std::vector<size_t> ks{1, 10, 50, 100};
+  // Display label -> EngineBuilder backend name.
+  const std::vector<std::pair<const char*, const char*>> methods{
+      {"LES3", "les3"},
+      {"DualTrans", "dualtrans"},
+      {"InvIdx", "invidx"},
+      {"BruteForce", "brute_force"},
+  };
 
   for (const auto& spec : datagen::MemoryAnalogSpecs()) {
-    SetDatabase db = datagen::GenerateAnalog(spec, 3);
-    auto query_ids = datagen::SampleQueryIds(db, 100, 5);
-    uint32_t groups = bench::DefaultGroups(db.size());
+    auto db = std::make_shared<SetDatabase>(datagen::GenerateAnalog(spec, 3));
+    auto query_ids = datagen::SampleQueryIds(*db, 100, 5);
+    uint32_t groups = bench::DefaultGroups(db->size());
 
-    l2p::L2PPartitioner l2p(bench::BenchCascade(groups));
-    auto part = l2p.Partition(db, groups);
-    search::Les3Index les3_index(db, part.assignment, part.num_groups);
-    baselines::DualTrans dualtrans(&db);
-    baselines::InvIdx invidx(&db);
-    baselines::BruteForce brute(&db);
-    std::printf("%s: indexes built\n", spec.name.c_str());
+    api::EngineOptions options;
+    options.num_groups = groups;
+    options.cascade = bench::BenchCascade(groups);
+    std::printf("%s: building engines\n", spec.name.c_str());
 
-    using RangeFn =
-        std::function<search::QueryStats(const SetRecord&, double)>;
-    using KnnFn = std::function<search::QueryStats(const SetRecord&, size_t)>;
-    struct Method {
-      const char* name;
-      RangeFn range;
-      KnnFn knn;
-    };
-    std::vector<Method> methods{
-        {"LES3",
-         [&](const SetRecord& q, double d) {
-           search::QueryStats s;
-           les3_index.Range(q, d, &s);
-           return s;
-         },
-         [&](const SetRecord& q, size_t k) {
-           search::QueryStats s;
-           les3_index.Knn(q, k, &s);
-           return s;
-         }},
-        {"DualTrans",
-         [&](const SetRecord& q, double d) {
-           search::QueryStats s;
-           dualtrans.Range(q, d, &s);
-           return s;
-         },
-         [&](const SetRecord& q, size_t k) {
-           search::QueryStats s;
-           dualtrans.Knn(q, k, &s);
-           return s;
-         }},
-        {"InvIdx",
-         [&](const SetRecord& q, double d) {
-           search::QueryStats s;
-           invidx.Range(q, d, &s);
-           return s;
-         },
-         [&](const SetRecord& q, size_t k) {
-           search::QueryStats s;
-           invidx.Knn(q, k, &s);
-           return s;
-         }},
-        {"BruteForce",
-         [&](const SetRecord& q, double d) {
-           search::QueryStats s;
-           brute.Range(q, d, &s);
-           return s;
-         },
-         [&](const SetRecord& q, size_t k) {
-           search::QueryStats s;
-           brute.Knn(q, k, &s);
-           return s;
-         }},
-    };
-
-    for (const auto& method : methods) {
+    for (const auto& [label, backend] : methods) {
+      auto engine =
+          api::EngineBuilder::Build(db, backend, options).ValueOrDie();
       for (double delta : deltas) {
-        auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
-          return method.range(q, delta);
+        auto agg = bench::RunQueries(*db, query_ids, [&](const SetRecord& q) {
+          return engine->Range(q, delta).stats;
         });
-        range_table.Add(spec.name, method.name, delta, agg.avg_ms,
-                        agg.avg_pe);
+        range_table.Add(spec.name, label, delta, agg.avg_ms, agg.avg_pe);
       }
       for (size_t k : ks) {
-        auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
-          return method.knn(q, k);
+        auto agg = bench::RunQueries(*db, query_ids, [&](const SetRecord& q) {
+          return engine->Knn(q, k).stats;
         });
-        knn_table.Add(spec.name, method.name,
-                      static_cast<unsigned long long>(k), agg.avg_ms,
-                      agg.avg_pe);
+        knn_table.Add(spec.name, label, static_cast<unsigned long long>(k),
+                      agg.avg_ms, agg.avg_pe);
       }
-      std::printf("  %s done\n", method.name);
+      std::printf("  %s done\n", label);
     }
   }
   bench::Emit(range_table, "Figure 12 (left): memory-based range queries",

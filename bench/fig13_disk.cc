@@ -1,21 +1,18 @@
-// Figure 13 — disk-based comparison on the FS and PMC analogs.
-//
-// All four methods run with data charged to the HDD cost model
-// (storage/disk.h): LES3 reads surviving groups as contiguous extents,
-// brute force scans sequentially, InvIdx fetches postings + random
-// candidate reads, DualTrans random-reads R-tree nodes + candidates.
-// Reported latency = simulated I/O + CPU.
+// Figure 13 — disk-based comparison on the FS and PMC analogs, through
+// the unified SearchEngine API: the disk_* backends charge every data
+// access to the HDD cost model (storage/disk.h) and report it in
+// QueryResult::io.
 //
 // Expected shape (paper): LES3 2-10x faster; DualTrans/InvIdx lose to the
 // sequential brute-force scan over wide parameter ranges because of random
 // I/O.
 
 #include <cstdio>
+#include <memory>
 
+#include "api/engine_builder.h"
 #include "bench_util.h"
 #include "datagen/analogs.h"
-#include "l2p/l2p.h"
-#include "storage/disk_search.h"
 
 int main() {
   using namespace les3;
@@ -25,33 +22,33 @@ int main() {
       {"dataset", "method", "k", "total_ms", "io_ms", "seeks"});
   const std::vector<double> deltas{0.5, 0.7, 0.9};
   const std::vector<size_t> ks{1, 10, 50, 100};
+  const std::vector<std::pair<const char*, const char*>> methods{
+      {"LES3", "disk_les3"},
+      {"BruteForce", "disk_brute_force"},
+      {"InvIdx", "disk_invidx"},
+      {"DualTrans", "disk_dualtrans"},
+  };
 
   for (const auto& spec : datagen::DiskAnalogSpecs()) {
-    SetDatabase db = datagen::GenerateAnalog(spec, 3);
-    auto query_ids = datagen::SampleQueryIds(db, 25, 5);
+    auto db = std::make_shared<SetDatabase>(datagen::GenerateAnalog(spec, 3));
+    auto query_ids = datagen::SampleQueryIds(*db, 25, 5);
     // Disk-optimal n is far smaller than memory-optimal n (the paper picks
     // n per setting for the shortest latency): each surviving group costs a
     // seek, so groups must be large enough that sequential transfer — not
     // seeking — dominates. 128 groups ≈ 200-700 KiB extents here.
-    uint32_t groups = 128;
-
-    l2p::L2PPartitioner l2p(bench::BenchCascade(groups));
-    auto part = l2p.Partition(db, groups);
-    storage::DiskLes3 les3_disk(&db, part.assignment, part.num_groups,
-                                SimilarityMeasure::kJaccard);
-    storage::DiskBruteForce brute(&db, SimilarityMeasure::kJaccard);
-    storage::DiskInvIdx invidx(&db, {});
-    storage::DiskDualTrans dualtrans(&db, {});
-    std::printf("%s (%zu sets): disk stores ready\n", spec.name.c_str(),
-                db.size());
+    api::EngineOptions options;
+    options.num_groups = 128;
+    options.cascade = bench::BenchCascade(options.num_groups);
+    std::printf("%s (%zu sets): building disk engines\n", spec.name.c_str(),
+                db->size());
 
     struct Agg {
       double total_ms = 0, io_ms = 0;
       uint64_t seeks = 0;
-      void Take(const storage::DiskQueryResult& r) {
+      void Take(const api::QueryResult& r) {
         total_ms += r.TotalMs();
-        io_ms += r.io_ms;
-        seeks += r.seeks;
+        io_ms += r.io->io_ms;
+        seeks += r.io->seeks;
       }
       void Row(TableReporter* t, const std::string& ds, const char* m,
                const std::string& param, size_t n) {
@@ -61,27 +58,25 @@ int main() {
       }
     };
 
-    auto run_all = [&](auto&& runner, const char* name) {
+    for (const auto& [label, backend] : methods) {
+      auto engine =
+          api::EngineBuilder::Build(db, backend, options).ValueOrDie();
       for (double delta : deltas) {
         Agg agg;
         for (SetId qid : query_ids) {
-          agg.Take(runner.Range(db.set(qid), delta));
+          agg.Take(engine->Range(db->set(qid), delta));
         }
-        agg.Row(&range_table, spec.name, name,
-                TableReporter::Format(delta), query_ids.size());
+        agg.Row(&range_table, spec.name, label, TableReporter::Format(delta),
+                query_ids.size());
       }
       for (size_t k : ks) {
         Agg agg;
-        for (SetId qid : query_ids) agg.Take(runner.Knn(db.set(qid), k));
-        agg.Row(&knn_table, spec.name, name, std::to_string(k),
+        for (SetId qid : query_ids) agg.Take(engine->Knn(db->set(qid), k));
+        agg.Row(&knn_table, spec.name, label, std::to_string(k),
                 query_ids.size());
       }
-      std::printf("  %s done\n", name);
-    };
-    run_all(les3_disk, "LES3");
-    run_all(brute, "BruteForce");
-    run_all(invidx, "InvIdx");
-    run_all(dualtrans, "DualTrans");
+      std::printf("  %s done\n", label);
+    }
   }
   bench::Emit(range_table, "Figure 13 (left): disk-based range queries",
               "fig13_range.csv");

@@ -1,8 +1,10 @@
 // Data cleaning: near-duplicate detection by approximate string matching —
 // the paper's opening motivation. Strings are tokenized into 3-grams, so
-// finding near-duplicate records becomes exact set similarity search.
+// finding near-duplicate records becomes exact set similarity search; the
+// whole probe workload runs as one RangeBatch over the engine's thread
+// pool.
 //
-//   $ ./build/examples/data_cleaning
+//   $ ./build/example_data_cleaning
 
 #include <cstdio>
 #include <string>
@@ -56,39 +58,46 @@ int main() {
 
   // Tokenize to 3-gram sets over a shared vocabulary.
   Vocabulary vocab;
-  SetDatabase db;
+  auto db = std::make_shared<SetDatabase>();
   for (const auto& r : records) {
-    db.AddSet(TokenizeQGrams(r, 3, &vocab));
+    db->AddSet(TokenizeQGrams(r, 3, &vocab));
   }
   std::printf("tokenized %zu records into %s\n", records.size(),
-              ComputeStats(db).ToString().c_str());
+              ComputeStats(*db).ToString().c_str());
 
-  // Partition with L2P and index.
-  l2p::CascadeOptions opts;
-  opts.init_groups = 32;
-  opts.target_groups = 64;
-  l2p::L2PPartitioner partitioner(opts);
-  auto part = partitioner.Partition(db, opts.target_groups);
-  search::Les3Index index(db, part.assignment, part.num_groups);
+  // Build the LES3 engine.
+  api::EngineOptions options;
+  options.num_groups = 64;
+  options.cascade.init_groups = 32;
+  auto engine =
+      api::EngineBuilder::Build(db, "les3", options).ValueOrDie();
+  std::printf("engine: %s\n", engine->Describe().c_str());
 
-  // Deduplicate: for a few probe records, find near-duplicates at Jaccard
-  // >= 0.55 on 3-grams.
-  size_t found_dups = 0;
-  double total_pe = 0;
+  // Deduplicate: for a batch of probe records, find near-duplicates at
+  // Jaccard >= 0.55 on 3-grams — one RangeBatch call.
   const size_t kProbes = 50;
+  std::vector<SetId> probe_ids;
+  std::vector<SetRecord> probes;
   for (size_t p = 0; p < kProbes; ++p) {
     SetId probe = static_cast<SetId>(rng.Uniform(records.size()));
-    search::QueryStats stats;
-    auto dups = index.Range(index.db().set(probe), 0.55, &stats);
-    total_pe += stats.pruning_efficiency;
+    probe_ids.push_back(probe);
+    probes.push_back(db->set(probe));
+  }
+  auto results = engine->RangeBatch(probes, 0.55);
+
+  size_t found_dups = 0;
+  double total_pe = 0;
+  for (size_t p = 0; p < kProbes; ++p) {
+    total_pe += results[p].stats.pruning_efficiency;
     if (p < 3) {
-      std::printf("\nnear-duplicates of \"%s\":\n", records[probe].c_str());
-      for (const auto& [id, sim] : dups) {
-        if (id == probe) continue;
+      std::printf("\nnear-duplicates of \"%s\":\n",
+                  records[probe_ids[p]].c_str());
+      for (const auto& [id, sim] : results[p].hits) {
+        if (id == probe_ids[p]) continue;
         std::printf("  %.3f  \"%s\"\n", sim, records[id].c_str());
       }
     }
-    found_dups += dups.size() > 1 ? dups.size() - 1 : 0;
+    found_dups += results[p].hits.size() > 1 ? results[p].hits.size() - 1 : 0;
   }
   std::printf(
       "\n%zu probes: %zu near-duplicates found, mean pruning efficiency "

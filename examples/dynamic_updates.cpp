@@ -1,9 +1,9 @@
 // Streaming inserts with an evolving token universe (paper Section 6):
-// the index absorbs new sets — including sets whose tokens were never seen
-// at build time — without retraining, and pruning efficiency is tracked
-// online.
+// the engine absorbs new sets — including sets whose tokens were never
+// seen at build time — without retraining, and pruning efficiency is
+// tracked online through the unified Insert / Knn interface.
 //
-//   $ ./build/examples/dynamic_updates
+//   $ ./build/example_dynamic_updates
 
 #include <cstdio>
 
@@ -17,17 +17,15 @@ int main() {
   gen.num_tokens = 8000;
   gen.avg_set_size = 9;
   gen.seed = 5;
-  SetDatabase db = datagen::GenerateZipf(gen);
 
-  l2p::CascadeOptions opts;
-  opts.init_groups = 64;
-  opts.target_groups = 100;
-  l2p::L2PPartitioner partitioner(opts);
-  auto part = partitioner.Partition(db, opts.target_groups);
-  search::Les3Index index(db, part.assignment, part.num_groups);
-  std::printf("built index on %zu sets, %u groups, %u token columns\n",
-              index.db().size(), index.tgm().num_groups(),
-              index.tgm().num_token_columns());
+  api::EngineOptions options;
+  options.num_groups = 100;
+  options.cascade.init_groups = 64;
+  auto engine =
+      api::EngineBuilder::Build(datagen::GenerateZipf(gen), "les3", options)
+          .ValueOrDie();
+  std::printf("built %s on %zu sets\n", engine->Describe().c_str(),
+              engine->db().size());
 
   // Stream 10k inserts; every other batch introduces brand-new tokens
   // (ids beyond the original universe).
@@ -36,15 +34,13 @@ int main() {
     double pe = 0;
     const int kProbes = 50;
     for (int i = 0; i < kProbes; ++i) {
-      SetId q = static_cast<SetId>(rng.Uniform(index.db().size()));
-      search::QueryStats stats;
-      index.Knn(index.db().set(q), 10, &stats);
-      pe += stats.pruning_efficiency;
+      SetId q = static_cast<SetId>(rng.Uniform(engine->db().size()));
+      pe += engine->Knn(engine->db().set(q), 10).stats.pruning_efficiency;
     }
     return pe / kProbes;
   };
 
-  std::printf("\nbatch  inserted  new-token?  |T| columns  avg PE\n");
+  std::printf("\nbatch  inserted  new-token?  |T|    avg PE\n");
   for (int batch = 0; batch < 5; ++batch) {
     bool open_universe = batch % 2 == 1;
     for (int i = 0; i < 2000; ++i) {
@@ -57,17 +53,22 @@ int main() {
         }
         tokens.push_back(tok);
       }
-      index.Insert(SetRecord::FromTokens(std::move(tokens)));
+      auto id = engine->Insert(SetRecord::FromTokens(std::move(tokens)));
+      if (!id.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n",
+                     id.status().ToString().c_str());
+        return 1;
+      }
     }
-    std::printf("%5d  %8zu  %9s  %11u  %.4f\n", batch,
-                index.db().size(), open_universe ? "yes" : "no",
-                index.tgm().num_token_columns(), measure_pe());
+    std::printf("%5d  %8zu  %9s  %5u  %.4f\n", batch, engine->db().size(),
+                open_universe ? "yes" : "no", engine->db().num_tokens(),
+                measure_pe());
   }
 
   // The newly inserted sets are immediately searchable.
-  const SetRecord& last = index.db().set(index.db().size() - 1);
-  auto hits = index.Knn(last, 3);
+  const SetRecord& last = engine->db().set(engine->db().size() - 1);
+  auto hits = engine->Knn(last, 3);
   std::printf("\nlast inserted set: top hit similarity %.3f (self)\n",
-              hits.empty() ? 0.0 : hits[0].second);
+              hits.hits.empty() ? 0.0 : hits.hits[0].second);
   return 0;
 }

@@ -1,7 +1,8 @@
-// Quickstart: generate a database, learn a partitioning with L2P, build the
-// LES3 index, and run kNN + range queries.
+// Quickstart: generate a database, build a search engine through the
+// unified API, and run kNN + range queries. Switching backend is a
+// one-string change — every backend answers the same queries exactly.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/example_quickstart
 
 #include <cstdio>
 
@@ -17,52 +18,57 @@ int main() {
   gen.num_tokens = 10000;
   gen.avg_set_size = 10;
   gen.seed = 42;
-  SetDatabase db = datagen::GenerateZipf(gen);
-  std::printf("database: %s\n", ComputeStats(db).ToString().c_str());
+  auto db = std::make_shared<SetDatabase>(datagen::GenerateZipf(gen));
+  std::printf("database: %s\n", ComputeStats(*db).ToString().c_str());
 
-  // 2. Learn the partitioning with L2P (cascade of Siamese networks over
-  //    PTR representations). n ≈ 0.5% of |D| groups is the paper's sweet
-  //    spot.
-  l2p::CascadeOptions opts;
-  opts.init_groups = 64;
-  opts.target_groups = 128;
-  l2p::L2PPartitioner partitioner(opts);
-  auto part = partitioner.Partition(db, opts.target_groups);
-  std::printf("L2P: %u groups in %.2fs (%llu models trained)\n",
-              part.num_groups, part.seconds,
-              static_cast<unsigned long long>(
-                  partitioner.last_cascade().models_trained));
+  // 2. Build the LES3 engine (L2P partitioning + TGM index behind the
+  //    scenes). n ≈ 0.5% of |D| groups is the paper's sweet spot.
+  api::EngineOptions options;
+  options.num_groups = 128;
+  options.cascade.init_groups = 64;
+  auto built = api::EngineBuilder::Build(db, "les3", options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(built).ValueOrDie();
+  std::printf("engine: %s, index %s\n", engine->Describe().c_str(),
+              HumanBytes(engine->IndexBytes()).c_str());
 
-  // 3. Build the index (TGM + group-at-a-time search engine).
-  search::Les3Index index(db, part.assignment, part.num_groups,
-                          SimilarityMeasure::kJaccard);
-  std::printf("TGM size: %s (compressed bitmaps)\n",
-              HumanBytes(index.tgm().BitmapBytes()).c_str());
-
-  // 4. Query: top-5 most similar sets to set #7, then all sets within
+  // 3. Query: top-5 most similar sets to set #7, then all sets within
   //    Jaccard 0.6.
-  const SetRecord& query = db.set(7);
-  search::QueryStats stats;
-  auto top5 = index.Knn(query, 5, &stats);
+  const SetRecord& query = db->set(7);
+  auto top5 = engine->Knn(query, 5);
   std::printf("\nkNN(k=5) results (PE %.4f, %llu candidates verified):\n",
-              stats.pruning_efficiency,
-              static_cast<unsigned long long>(stats.candidates_verified));
-  for (const auto& [id, sim] : top5) {
+              top5.stats.pruning_efficiency,
+              static_cast<unsigned long long>(
+                  top5.stats.candidates_verified));
+  for (const auto& [id, sim] : top5.hits) {
     std::printf("  set %-6u similarity %.4f\n", id, sim);
   }
 
-  auto close = index.Range(query, 0.6, &stats);
-  std::printf("\nrange(delta=0.6): %zu results (PE %.4f)\n", close.size(),
-              stats.pruning_efficiency);
+  auto close = engine->Range(query, 0.6);
+  std::printf("\nrange(delta=0.6): %zu results (PE %.4f)\n",
+              close.hits.size(), close.stats.pruning_efficiency);
 
-  // 5. Results are exact: verify against a brute-force scan.
-  baselines::BruteForce brute(&index.db());
-  auto expected = brute.Knn(query, 5);
-  bool exact = true;
-  for (size_t i = 0; i < top5.size(); ++i) {
-    exact = exact && top5[i].second == expected[i].second;
+  // 4. Results are exact: a brute-force engine over the same (shared, not
+  //    copied) database must agree.
+  auto brute = api::EngineBuilder::Build(db, "brute_force", options);
+  auto expected = brute.value()->Knn(query, 5);
+  bool exact = top5.hits.size() == expected.hits.size();
+  for (size_t i = 0; exact && i < top5.hits.size(); ++i) {
+    exact = top5.hits[i].second == expected.hits[i].second;
   }
   std::printf("\nexactness check vs brute force: %s\n",
               exact ? "PASS" : "FAIL");
+
+  // 5. Multi-query workloads parallelize for free with the batch entry
+  //    points: results are identical to sequential Knn calls.
+  std::vector<SetRecord> queries;
+  for (SetId qid = 0; qid < 64; ++qid) queries.push_back(db->set(qid * 100));
+  auto batch = engine->KnnBatch(queries, 5);
+  std::printf("KnnBatch answered %zu queries, first PE %.4f\n", batch.size(),
+              batch[0].stats.pruning_efficiency);
   return exact ? 0 : 1;
 }

@@ -1,9 +1,10 @@
 // Digital-trace analysis on a social network (the paper's FS workload):
 // each user is a set whose tokens are their friends; "who is most similar
 // to user X" is a kNN set-similarity query. Demonstrates cosine similarity
-// (TGM applicability beyond Jaccard) and the disk-resident mode.
+// (TGM applicability beyond Jaccard) and the disk-resident backends — all
+// four engines here share one owned database through the unified API.
 //
-//   $ ./build/examples/social_network
+//   $ ./build/example_social_network
 
 #include <cstdio>
 
@@ -21,42 +22,43 @@ int main() {
   gen.alpha = 1.6;
   gen.sets_per_cluster = 60;
   gen.seed = 99;
-  SetDatabase db = datagen::GeneratePowerLawSimilarity(gen);
-  std::printf("friend sets: %s\n", ComputeStats(db).ToString().c_str());
-
-  l2p::CascadeOptions opts;
-  opts.init_groups = 64;
-  opts.target_groups = 150;  // ~0.5% of |D|
-  l2p::L2PPartitioner partitioner(opts);
-  auto part = partitioner.Partition(db, opts.target_groups);
+  auto db = std::make_shared<SetDatabase>(
+      datagen::GeneratePowerLawSimilarity(gen));
+  std::printf("friend sets: %s\n", ComputeStats(*db).ToString().c_str());
 
   // Cosine similarity: also satisfies the TGM Applicability Property.
-  search::Les3Index index(db, part.assignment, part.num_groups,
-                          SimilarityMeasure::kCosine);
+  api::EngineOptions options;
+  options.measure = SimilarityMeasure::kCosine;
+  options.num_groups = 150;  // ~0.5% of |D|
+  options.cascade.init_groups = 64;
+  auto engine = api::EngineBuilder::Build(db, "les3", options).ValueOrDie();
 
   SetId user = 1234;
-  search::QueryStats stats;
-  auto similar = index.Knn(db.set(user), 5, &stats);
+  auto similar = engine->Knn(db->set(user), 5);
   std::printf("\nusers with the most similar friend circles to user %u "
               "(cosine):\n", user);
-  for (const auto& [id, sim] : similar) {
+  for (const auto& [id, sim] : similar.hits) {
     if (id == user) continue;
     std::printf("  user %-6u cosine %.4f\n", id, sim);
   }
   std::printf("pruning efficiency %.4f (%llu of %zu sets verified)\n",
-              stats.pruning_efficiency,
-              static_cast<unsigned long long>(stats.candidates_verified),
-              db.size());
+              similar.stats.pruning_efficiency,
+              static_cast<unsigned long long>(
+                  similar.stats.candidates_verified),
+              db->size());
 
-  // Disk-resident variant: groups laid out contiguously; simulated 5400-RPM
-  // HDD. Compare against a sequential full scan.
-  storage::DiskLes3 on_disk(&db, part.assignment, part.num_groups,
-                            SimilarityMeasure::kCosine);
-  storage::DiskBruteForce scan(&db, SimilarityMeasure::kCosine);
-  auto r1 = on_disk.Knn(db.set(user), 5);
-  auto r2 = scan.Knn(db.set(user), 5);
+  // Disk-resident variants: same database (shared, not copied), groups
+  // laid out contiguously on a simulated 5400-RPM HDD. Compare against a
+  // sequential full scan.
+  auto on_disk = api::EngineBuilder::Build(db, "disk_les3", options)
+                     .ValueOrDie();
+  auto scan = api::EngineBuilder::Build(db, "disk_brute_force", options)
+                  .ValueOrDie();
+  auto r1 = on_disk->Knn(db->set(user), 5);
+  auto r2 = scan->Knn(db->set(user), 5);
   std::printf("\ndisk mode: LES3 %.1fms I/O (%llu seeks) vs full scan "
               "%.1fms I/O\n",
-              r1.io_ms, static_cast<unsigned long long>(r1.seeks), r2.io_ms);
+              r1.io->io_ms, static_cast<unsigned long long>(r1.io->seeks),
+              r2.io->io_ms);
   return 0;
 }

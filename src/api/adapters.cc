@@ -1,0 +1,235 @@
+// SearchEngine adapters over the seven concrete searchers (plus disk brute
+// force). Two class templates cover the common shapes — memory indexes
+// answering (query, x, QueryStats*) and disk indexes answering with a
+// DiskQueryResult — so each backend is one instantiation plus a describe
+// string. Every adapter shares the one owned SetDatabase it is built
+// over — the baselines hold a raw pointer into it, the LES3 index holds
+// the shared_ptr itself.
+
+#include "api/adapters.h"
+
+#include <utility>
+
+#include "baselines/brute_force.h"
+#include "baselines/dualtrans.h"
+#include "baselines/invidx.h"
+#include "search/builder.h"
+#include "search/les3_index.h"
+#include "storage/disk_search.h"
+
+namespace les3 {
+namespace api {
+namespace internal {
+namespace {
+
+QueryResult FromHits(std::vector<Hit> hits, const search::QueryStats& stats) {
+  QueryResult result;
+  result.hits = std::move(hits);
+  result.stats = stats;
+  return result;
+}
+
+QueryResult FromDisk(storage::DiskQueryResult r) {
+  QueryResult result;
+  result.hits = std::move(r.hits);
+  result.stats = r.stats;
+  result.io = DiskIoStats{r.io_ms, r.seeks, r.pages};
+  return result;
+}
+
+std::string DescribeMeasure(const EngineOptions& options) {
+  return "measure=" + ToString(options.measure);
+}
+
+baselines::InvIdxOptions InvIdxFrom(const EngineOptions& options) {
+  baselines::InvIdxOptions o = options.invidx;
+  o.measure = options.measure;
+  return o;
+}
+
+baselines::DualTransOptions DualTransFrom(const EngineOptions& options) {
+  baselines::DualTransOptions o = options.dualtrans;
+  o.measure = options.measure;
+  return o;
+}
+
+/// Index footprint; the scan baselines keep no index at all.
+uint64_t IndexBytesOf(const baselines::BruteForce&) { return 0; }
+uint64_t IndexBytesOf(const storage::DiskBruteForce&) { return 0; }
+template <typename Index>
+uint64_t IndexBytesOf(const Index& index) {
+  return index.IndexBytes();
+}
+
+/// Adapter for memory-resident indexes: Knn/Range(query, x, QueryStats*).
+template <typename Index>
+class MemoryEngine : public SearchEngine {
+ public:
+  MemoryEngine(std::shared_ptr<SetDatabase> db, Index index,
+               std::string describe, const EngineOptions& options)
+      : SearchEngine(options.num_threads),
+        db_(std::move(db)),
+        index_(std::move(index)),
+        describe_(std::move(describe)) {}
+
+  QueryResult Knn(const SetRecord& query, size_t k) const override {
+    search::QueryStats stats;
+    auto hits = index_.Knn(query, k, &stats);
+    return FromHits(std::move(hits), stats);
+  }
+
+  QueryResult Range(const SetRecord& query, double delta) const override {
+    search::QueryStats stats;
+    auto hits = index_.Range(query, delta, &stats);
+    return FromHits(std::move(hits), stats);
+  }
+
+  uint64_t IndexBytes() const override { return IndexBytesOf(index_); }
+  std::string Describe() const override { return describe_; }
+  const SetDatabase& db() const override { return *db_; }
+
+ protected:
+  std::shared_ptr<SetDatabase> db_;
+  Index index_;
+  std::string describe_;
+};
+
+/// Adapter for disk-resident indexes: Knn/Range return DiskQueryResult.
+/// Inserts stay unsupported: the on-disk layouts are computed at build
+/// time.
+template <typename Index>
+class DiskEngine : public SearchEngine {
+ public:
+  DiskEngine(std::shared_ptr<SetDatabase> db, Index index,
+             std::string describe, const EngineOptions& options)
+      : SearchEngine(options.num_threads),
+        db_(std::move(db)),
+        index_(std::move(index)),
+        describe_(std::move(describe)) {}
+
+  QueryResult Knn(const SetRecord& query, size_t k) const override {
+    return FromDisk(index_.Knn(query, k));
+  }
+
+  QueryResult Range(const SetRecord& query, double delta) const override {
+    return FromDisk(index_.Range(query, delta));
+  }
+
+  uint64_t IndexBytes() const override { return IndexBytesOf(index_); }
+  std::string Describe() const override { return describe_; }
+  const SetDatabase& db() const override { return *db_; }
+
+ private:
+  std::shared_ptr<SetDatabase> db_;
+  Index index_;
+  std::string describe_;
+};
+
+/// LES3 absorbs inserts (Section 6); the index shares the adapter's db.
+class Les3Engine : public MemoryEngine<search::Les3Index> {
+ public:
+  using MemoryEngine::MemoryEngine;
+
+  Result<SetId> Insert(SetRecord set) override {
+    return index_.Insert(std::move(set));
+  }
+};
+
+/// A scan has no index to maintain, so inserts are just appends.
+class BruteForceEngine : public MemoryEngine<baselines::BruteForce> {
+ public:
+  using MemoryEngine::MemoryEngine;
+
+  Result<SetId> Insert(SetRecord set) override {
+    return db_->AddSet(std::move(set));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SearchEngine> MakeLes3Engine(std::shared_ptr<SetDatabase> db,
+                                             const EngineOptions& options) {
+  uint32_t groups = search::ResolveNumGroups(*db, options.num_groups);
+  auto part =
+      search::PartitionWithL2P(*db, groups, options.measure, options.cascade);
+  search::Les3Index index(db, part.assignment, part.num_groups,
+                          options.measure);
+  return std::make_unique<Les3Engine>(
+      std::move(db), std::move(index),
+      "les3(" + DescribeMeasure(options) +
+          ", groups=" + std::to_string(part.num_groups) + ")",
+      options);
+}
+
+std::unique_ptr<SearchEngine> MakeBruteForceEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  baselines::BruteForce scan(db.get(), options.measure);
+  return std::make_unique<BruteForceEngine>(
+      std::move(db), std::move(scan),
+      "brute_force(" + DescribeMeasure(options) + ")", options);
+}
+
+std::unique_ptr<SearchEngine> MakeInvIdxEngine(std::shared_ptr<SetDatabase> db,
+                                               const EngineOptions& options) {
+  baselines::InvIdx index(db.get(), InvIdxFrom(options));
+  return std::make_unique<MemoryEngine<baselines::InvIdx>>(
+      std::move(db), std::move(index),
+      "invidx(" + DescribeMeasure(options) + ", knn_delta_step=" +
+          std::to_string(options.invidx.knn_delta_step) + ")",
+      options);
+}
+
+std::unique_ptr<SearchEngine> MakeDualTransEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  baselines::DualTrans index(db.get(), DualTransFrom(options));
+  return std::make_unique<MemoryEngine<baselines::DualTrans>>(
+      std::move(db), std::move(index),
+      "dualtrans(" + DescribeMeasure(options) +
+          ", dims=" + std::to_string(options.dualtrans.dims) + ")",
+      options);
+}
+
+std::unique_ptr<SearchEngine> MakeDiskLes3Engine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  uint32_t groups = search::ResolveNumGroups(*db, options.num_groups);
+  auto part =
+      search::PartitionWithL2P(*db, groups, options.measure, options.cascade);
+  storage::DiskLes3 index(db.get(), part.assignment, part.num_groups,
+                          options.measure, options.disk);
+  return std::make_unique<DiskEngine<storage::DiskLes3>>(
+      std::move(db), std::move(index),
+      "disk_les3(" + DescribeMeasure(options) +
+          ", groups=" + std::to_string(part.num_groups) + ")",
+      options);
+}
+
+std::unique_ptr<SearchEngine> MakeDiskBruteForceEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  storage::DiskBruteForce index(db.get(), options.measure, options.disk);
+  return std::make_unique<DiskEngine<storage::DiskBruteForce>>(
+      std::move(db), std::move(index),
+      "disk_brute_force(" + DescribeMeasure(options) + ")", options);
+}
+
+std::unique_ptr<SearchEngine> MakeDiskInvIdxEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  storage::DiskInvIdx index(db.get(), InvIdxFrom(options), options.disk);
+  return std::make_unique<DiskEngine<storage::DiskInvIdx>>(
+      std::move(db), std::move(index),
+      "disk_invidx(" + DescribeMeasure(options) + ")", options);
+}
+
+std::unique_ptr<SearchEngine> MakeDiskDualTransEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  storage::DiskDualTrans index(db.get(), DualTransFrom(options),
+                               options.disk);
+  return std::make_unique<DiskEngine<storage::DiskDualTrans>>(
+      std::move(db), std::move(index),
+      "disk_dualtrans(" + DescribeMeasure(options) +
+          ", dims=" + std::to_string(options.dualtrans.dims) + ")",
+      options);
+}
+
+}  // namespace internal
+}  // namespace api
+}  // namespace les3

@@ -1,0 +1,39 @@
+// Per-backend SearchEngine factories. Internal to the api layer — callers
+// go through EngineBuilder, which validates options and dispatches here.
+// Every factory shares the one owned database it is handed; no backend
+// copies the sets.
+
+#ifndef LES3_API_ADAPTERS_H_
+#define LES3_API_ADAPTERS_H_
+
+#include <memory>
+
+#include "api/engine_options.h"
+#include "api/search_engine.h"
+
+namespace les3 {
+namespace api {
+namespace internal {
+
+std::unique_ptr<SearchEngine> MakeLes3Engine(std::shared_ptr<SetDatabase> db,
+                                             const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeBruteForceEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeInvIdxEngine(std::shared_ptr<SetDatabase> db,
+                                               const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeDualTransEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeDiskLes3Engine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeDiskBruteForceEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeDiskInvIdxEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeDiskDualTransEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+
+}  // namespace internal
+}  // namespace api
+}  // namespace les3
+
+#endif  // LES3_API_ADAPTERS_H_

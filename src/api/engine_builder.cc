@@ -1,0 +1,84 @@
+#include "api/engine_builder.h"
+
+#include <utility>
+
+#include "api/adapters.h"
+
+namespace les3 {
+namespace api {
+namespace {
+
+Status ValidateOptions(const SetDatabase& db, const EngineOptions& options) {
+  if (db.empty()) {
+    return Status::InvalidArgument("cannot build " + ToString(options.backend) +
+                                   " over an empty database");
+  }
+  // Knobs are only validated for the backend that consumes them
+  // (EngineOptions documents irrelevant fields as ignored).
+  if ((options.backend == Backend::kInvIdx ||
+       options.backend == Backend::kDiskInvIdx) &&
+      options.invidx.knn_delta_step <= 0.0) {
+    return Status::InvalidArgument("invidx.knn_delta_step must be positive");
+  }
+  if ((options.backend == Backend::kDualTrans ||
+       options.backend == Backend::kDiskDualTrans) &&
+      options.dualtrans.dims == 0) {
+    return Status::InvalidArgument("dualtrans.dims must be positive");
+  }
+  if (IsDiskBackend(options.backend) && options.disk.page_bytes == 0) {
+    return Status::InvalidArgument("disk.page_bytes must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SearchEngine>> EngineBuilder::Build(
+    SetDatabase db, const EngineOptions& options) {
+  return Build(std::make_shared<SetDatabase>(std::move(db)), options);
+}
+
+Result<std::unique_ptr<SearchEngine>> EngineBuilder::Build(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("database must be non-null");
+  }
+  LES3_RETURN_NOT_OK(ValidateOptions(*db, options));
+  switch (options.backend) {
+    case Backend::kLes3:
+      return internal::MakeLes3Engine(std::move(db), options);
+    case Backend::kBruteForce:
+      return internal::MakeBruteForceEngine(std::move(db), options);
+    case Backend::kInvIdx:
+      return internal::MakeInvIdxEngine(std::move(db), options);
+    case Backend::kDualTrans:
+      return internal::MakeDualTransEngine(std::move(db), options);
+    case Backend::kDiskLes3:
+      return internal::MakeDiskLes3Engine(std::move(db), options);
+    case Backend::kDiskBruteForce:
+      return internal::MakeDiskBruteForceEngine(std::move(db), options);
+    case Backend::kDiskInvIdx:
+      return internal::MakeDiskInvIdxEngine(std::move(db), options);
+    case Backend::kDiskDualTrans:
+      return internal::MakeDiskDualTransEngine(std::move(db), options);
+  }
+  return Status::Internal("unhandled backend enum value");
+}
+
+Result<std::unique_ptr<SearchEngine>> EngineBuilder::Build(
+    SetDatabase db, const std::string& backend, EngineOptions options) {
+  return Build(std::make_shared<SetDatabase>(std::move(db)), backend,
+               std::move(options));
+}
+
+Result<std::unique_ptr<SearchEngine>> EngineBuilder::Build(
+    std::shared_ptr<SetDatabase> db, const std::string& backend,
+    EngineOptions options) {
+  auto parsed = ParseBackend(backend);
+  if (!parsed.ok()) return parsed.status();
+  options.backend = parsed.value();
+  return Build(std::move(db), options);
+}
+
+}  // namespace api
+}  // namespace les3

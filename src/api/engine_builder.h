@@ -1,0 +1,54 @@
+// EngineBuilder: the one entry point that turns a database plus options
+// into any searcher the repo ships.
+//
+//   auto engine = les3::api::EngineBuilder::Build(std::move(db), "les3");
+//   if (!engine.ok()) { ... }
+//   auto top10 = engine.value()->Knn(query, 10);
+//
+// Build validates the options, runs whatever construction the backend
+// needs (L2P training for les3/disk_les3, posting lists for invidx, ...),
+// and returns the engine behind the SearchEngine interface. The overloads
+// taking a shared_ptr let several engines search one owned database —
+// the parity tests and comparison benches build every backend that way.
+
+#ifndef LES3_API_ENGINE_BUILDER_H_
+#define LES3_API_ENGINE_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "api/engine_options.h"
+#include "api/search_engine.h"
+#include "core/database.h"
+#include "util/status.h"
+
+namespace les3 {
+namespace api {
+
+class EngineBuilder {
+ public:
+  /// Builds the backend selected by `options.backend`, taking ownership of
+  /// `db`. InvalidArgument on an empty database or bad knobs.
+  static Result<std::unique_ptr<SearchEngine>> Build(
+      SetDatabase db, const EngineOptions& options = {});
+
+  /// Same, over a database shared with other engines. `db` must be
+  /// non-null; treat it as read-only while any sibling engine exists
+  /// (Insert through one engine does not rebuild the others' indexes).
+  static Result<std::unique_ptr<SearchEngine>> Build(
+      std::shared_ptr<SetDatabase> db, const EngineOptions& options = {});
+
+  /// By-name construction: `backend` is a canonical name from
+  /// BackendNames(); remaining knobs come from `options`.
+  static Result<std::unique_ptr<SearchEngine>> Build(
+      SetDatabase db, const std::string& backend,
+      EngineOptions options = {});
+  static Result<std::unique_ptr<SearchEngine>> Build(
+      std::shared_ptr<SetDatabase> db, const std::string& backend,
+      EngineOptions options = {});
+};
+
+}  // namespace api
+}  // namespace les3
+
+#endif  // LES3_API_ENGINE_BUILDER_H_

@@ -1,0 +1,46 @@
+#include "api/engine_options.h"
+
+namespace les3 {
+namespace api {
+namespace {
+
+// Index == static_cast<size_t>(Backend); keep in enum order.
+const char* const kBackendNames[] = {
+    "les3",      "brute_force",      "invidx",      "dualtrans",
+    "disk_les3", "disk_brute_force", "disk_invidx", "disk_dualtrans",
+};
+
+constexpr size_t kNumBackends =
+    sizeof(kBackendNames) / sizeof(kBackendNames[0]);
+
+}  // namespace
+
+std::string ToString(Backend backend) {
+  return kBackendNames[static_cast<size_t>(backend)];
+}
+
+Result<Backend> ParseBackend(const std::string& name) {
+  for (size_t i = 0; i < kNumBackends; ++i) {
+    if (name == kBackendNames[i]) return static_cast<Backend>(i);
+  }
+  std::string known;
+  for (const auto& n : BackendNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::InvalidArgument("unknown backend \"" + name +
+                                 "\" (known: " + known + ")");
+}
+
+const std::vector<std::string>& BackendNames() {
+  static const std::vector<std::string> names(kBackendNames,
+                                              kBackendNames + kNumBackends);
+  return names;
+}
+
+bool IsDiskBackend(Backend backend) {
+  return static_cast<size_t>(backend) >= static_cast<size_t>(Backend::kDiskLes3);
+}
+
+}  // namespace api
+}  // namespace les3

@@ -1,0 +1,83 @@
+// Backend selection and construction knobs for the unified SearchEngine
+// API. One EngineOptions struct configures every searcher the repo ships —
+// LES3, the baselines, and the disk-resident variants — so callers switch
+// backend by changing one field (or one string, via ParseBackend).
+
+#ifndef LES3_API_ENGINE_OPTIONS_H_
+#define LES3_API_ENGINE_OPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/dualtrans.h"
+#include "baselines/invidx.h"
+#include "core/similarity.h"
+#include "l2p/cascade.h"
+#include "storage/disk.h"
+#include "util/status.h"
+
+namespace les3 {
+namespace api {
+
+/// Every searcher constructible through EngineBuilder. The memory-resident
+/// four run entirely in RAM; the disk_ variants run the same algorithms
+/// while charging data accesses to the HDD cost model of storage/disk.h.
+enum class Backend {
+  kLes3,
+  kBruteForce,
+  kInvIdx,
+  kDualTrans,
+  kDiskLes3,
+  kDiskBruteForce,
+  kDiskInvIdx,
+  kDiskDualTrans,
+};
+
+/// Canonical backend name ("les3", "brute_force", "invidx", "dualtrans",
+/// "disk_les3", "disk_brute_force", "disk_invidx", "disk_dualtrans").
+std::string ToString(Backend backend);
+
+/// Parses a canonical backend name; InvalidArgument on anything else.
+Result<Backend> ParseBackend(const std::string& name);
+
+/// All canonical backend names, in enum order.
+const std::vector<std::string>& BackendNames();
+
+/// Whether queries on this backend report DiskIoStats.
+bool IsDiskBackend(Backend backend);
+
+/// \brief Construction knobs for any backend.
+///
+/// Fields irrelevant to the chosen backend are ignored; the `measure`
+/// field always wins over the measure embedded in the per-backend option
+/// structs.
+struct EngineOptions {
+  Backend backend = Backend::kLes3;
+
+  /// Similarity measure shared by index construction and queries.
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+
+  /// LES3 group count; 0 means the paper's heuristic max(16, |D| / 200).
+  uint32_t num_groups = 0;
+
+  /// L2P training knobs (les3 / disk_les3); target_groups and measure are
+  /// overridden from `num_groups` and `measure`.
+  l2p::CascadeOptions cascade;
+
+  /// Inverted-index knobs (invidx / disk_invidx).
+  baselines::InvIdxOptions invidx;
+
+  /// Transformation-tree knobs (dualtrans / disk_dualtrans).
+  baselines::DualTransOptions dualtrans;
+
+  /// HDD cost model (disk_* backends).
+  storage::DiskOptions disk;
+
+  /// Worker threads for KnnBatch / RangeBatch; 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+}  // namespace api
+}  // namespace les3
+
+#endif  // LES3_API_ENGINE_OPTIONS_H_

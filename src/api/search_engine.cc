@@ -1,0 +1,35 @@
+#include "api/search_engine.h"
+
+namespace les3 {
+namespace api {
+
+ThreadPool& SearchEngine::pool() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(batch_threads_);
+  return *pool_;
+}
+
+std::vector<QueryResult> SearchEngine::KnnBatch(
+    const std::vector<SetRecord>& queries, size_t k) const {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+  pool().ParallelFor(queries.size(),
+                     [&](size_t i) { results[i] = Knn(queries[i], k); });
+  return results;
+}
+
+std::vector<QueryResult> SearchEngine::RangeBatch(
+    const std::vector<SetRecord>& queries, double delta) const {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+  pool().ParallelFor(queries.size(),
+                     [&](size_t i) { results[i] = Range(queries[i], delta); });
+  return results;
+}
+
+Result<SetId> SearchEngine::Insert(SetRecord) {
+  return Status::NotSupported(Describe() + " does not support inserts");
+}
+
+}  // namespace api
+}  // namespace les3

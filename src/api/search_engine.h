@@ -1,0 +1,117 @@
+// The unified query interface over every searcher in the repo.
+//
+// All backends — LES3 (the paper's method), the comparison baselines of
+// Figures 11-13, and the disk-resident variants — answer the same exact
+// kNN / range queries; only their pruning strategy and cost profile differ.
+// SearchEngine makes that interchangeability explicit: one polymorphic
+// interface returning one QueryResult, so benches, examples, tools, and
+// future scale work (sharding, caching, async) are written once against
+// the interface instead of once per backend. Engines are obtained from
+// EngineBuilder (api/engine_builder.h).
+//
+// Thread-safety: Knn/Range are const and safe to call concurrently;
+// KnnBatch/RangeBatch exploit that via util/thread_pool.h. Insert is NOT
+// safe concurrently with queries on the same engine.
+
+#ifndef LES3_API_SEARCH_ENGINE_H_
+#define LES3_API_SEARCH_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/set_record.h"
+#include "core/types.h"
+#include "search/query_stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace les3 {
+namespace api {
+
+/// Simulated I/O accounting of one query on a disk-resident backend
+/// (storage/disk.h cost model).
+struct DiskIoStats {
+  double io_ms = 0.0;
+  uint64_t seeks = 0;
+  uint64_t pages = 0;
+};
+
+/// \brief Outcome of one query, identical in shape across all backends.
+struct QueryResult {
+  std::vector<Hit> hits;      // descending similarity, ties by ascending id
+  search::QueryStats stats;   // candidates / PE / CPU micros
+  std::optional<DiskIoStats> io;  // engaged only on disk backends
+
+  /// End-to-end latency: CPU time plus simulated I/O time (if any) — the
+  /// quantity Figures 12 and 13 report.
+  double TotalMs() const {
+    return stats.micros / 1000.0 + (io ? io->io_ms : 0.0);
+  }
+};
+
+/// \brief Abstract exact set-similarity searcher.
+///
+/// Implementations adapt one concrete backend (api/adapters.cc). The base
+/// class provides thread-pooled batch queries on top of the virtual
+/// single-query entry points; backends with a smarter multi-query plan may
+/// override the batch methods.
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  /// Exact kNN (Definition 2.1): the k most similar sets.
+  virtual QueryResult Knn(const SetRecord& query, size_t k) const = 0;
+
+  /// Exact range search (Definition 2.2): all sets with Sim >= delta.
+  virtual QueryResult Range(const SetRecord& query, double delta) const = 0;
+
+  /// Answers every query independently across the engine's thread pool.
+  /// results[i] is exactly what Knn(queries[i], k) returns.
+  virtual std::vector<QueryResult> KnnBatch(
+      const std::vector<SetRecord>& queries, size_t k) const;
+
+  /// Batch counterpart of Range; results[i] == Range(queries[i], delta).
+  virtual std::vector<QueryResult> RangeBatch(
+      const std::vector<SetRecord>& queries, double delta) const;
+
+  /// Inserts a set into the database and index, returning its id. Backends
+  /// whose index cannot absorb inserts return NotSupported. Mutates the
+  /// database shared with any sibling engines built over it.
+  virtual Result<SetId> Insert(SetRecord set);
+
+  /// Index footprint in bytes (Figure 11's metric); 0 for index-free
+  /// backends such as brute force.
+  virtual uint64_t IndexBytes() const = 0;
+
+  /// One-line human-readable description: backend name + active knobs.
+  virtual std::string Describe() const = 0;
+
+  /// The database this engine searches.
+  virtual const SetDatabase& db() const = 0;
+
+ protected:
+  /// `batch_threads` sizes the lazily created batch pool (0 = hardware
+  /// concurrency).
+  explicit SearchEngine(size_t batch_threads = 0)
+      : batch_threads_(batch_threads) {}
+
+ private:
+  /// The batch pool, created on first batch query.
+  ThreadPool& pool() const;
+
+  size_t batch_threads_;
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace api
+}  // namespace les3
+
+#endif  // LES3_API_SEARCH_ENGINE_H_

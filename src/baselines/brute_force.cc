@@ -7,17 +7,7 @@
 
 namespace les3 {
 namespace baselines {
-namespace {
-
-void SortHits(std::vector<std::pair<SetId, double>>* hits) {
-  std::sort(hits->begin(), hits->end(), [](const auto& a, const auto& b) {
-    return a.second > b.second || (a.second == b.second && a.first < b.first);
-  });
-}
-
-}  // namespace
-
-std::vector<std::pair<SetId, double>> BruteForce::Knn(
+std::vector<Hit> BruteForce::Knn(
     const SetRecord& query, size_t k, search::QueryStats* stats) const {
   WallTimer timer;
   std::priority_queue<std::pair<double, SetId>,
@@ -32,7 +22,7 @@ std::vector<std::pair<SetId, double>> BruteForce::Knn(
       best.push({sim, i});
     }
   }
-  std::vector<std::pair<SetId, double>> out;
+  std::vector<Hit> out;
   while (!best.empty()) {
     out.emplace_back(best.top().second, best.top().first);
     best.pop();
@@ -49,10 +39,10 @@ std::vector<std::pair<SetId, double>> BruteForce::Knn(
   return out;
 }
 
-std::vector<std::pair<SetId, double>> BruteForce::Range(
+std::vector<Hit> BruteForce::Range(
     const SetRecord& query, double delta, search::QueryStats* stats) const {
   WallTimer timer;
-  std::vector<std::pair<SetId, double>> out;
+  std::vector<Hit> out;
   for (SetId i = 0; i < db_->size(); ++i) {
     double sim = Similarity(measure_, query, db_->set(i));
     if (sim >= delta) out.emplace_back(i, sim);

@@ -22,11 +22,11 @@ class BruteForce {
                       SimilarityMeasure measure = SimilarityMeasure::kJaccard)
       : db_(db), measure_(measure) {}
 
-  std::vector<std::pair<SetId, double>> Knn(
+  std::vector<Hit> Knn(
       const SetRecord& query, size_t k,
       search::QueryStats* stats = nullptr) const;
 
-  std::vector<std::pair<SetId, double>> Range(
+  std::vector<Hit> Range(
       const SetRecord& query, double delta,
       search::QueryStats* stats = nullptr) const;
 

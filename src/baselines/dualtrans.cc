@@ -77,7 +77,7 @@ double DualTrans::MbrUpperBound(const std::vector<float>& qvec,
                                query_size, static_cast<size_t>(s_star));
 }
 
-std::vector<std::pair<SetId, double>> DualTrans::Knn(
+std::vector<Hit> DualTrans::Knn(
     const SetRecord& query, size_t k, search::QueryStats* stats) const {
   WallTimer timer;
   std::vector<float> qvec = Transform(query);
@@ -103,7 +103,7 @@ std::vector<std::pair<SetId, double>> DualTrans::Knn(
   return {hits.begin(), hits.end()};
 }
 
-std::vector<std::pair<SetId, double>> DualTrans::Range(
+std::vector<Hit> DualTrans::Range(
     const SetRecord& query, double delta, search::QueryStats* stats) const {
   WallTimer timer;
   std::vector<float> qvec = Transform(query);

@@ -38,11 +38,11 @@ class DualTrans {
  public:
   DualTrans(const SetDatabase* db, DualTransOptions options = {});
 
-  std::vector<std::pair<SetId, double>> Knn(
+  std::vector<Hit> Knn(
       const SetRecord& query, size_t k,
       search::QueryStats* stats = nullptr) const;
 
-  std::vector<std::pair<SetId, double>> Range(
+  std::vector<Hit> Range(
       const SetRecord& query, double delta,
       search::QueryStats* stats = nullptr) const;
 

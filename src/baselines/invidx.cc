@@ -12,12 +12,6 @@ namespace les3 {
 namespace baselines {
 namespace {
 
-void SortHits(std::vector<std::pair<SetId, double>>* hits) {
-  std::sort(hits->begin(), hits->end(), [](const auto& a, const auto& b) {
-    return a.second > b.second || (a.second == b.second && a.first < b.first);
-  });
-}
-
 /// Highest similarity any set of size `s` can reach against a query of size
 /// `q` (overlap maxed at min(q, s)); used as the size filter.
 double MaxSimForSize(SimilarityMeasure m, size_t q, size_t s) {
@@ -135,13 +129,13 @@ void InvIdx::CollectCandidates(const CanonicalQuery& cq, size_t query_size,
   }
 }
 
-std::vector<std::pair<SetId, double>> InvIdx::Range(
+std::vector<Hit> InvIdx::Range(
     const SetRecord& query, double delta, search::QueryStats* stats) const {
   WallTimer timer;
   CanonicalQuery canonical = Canonicalize(query);
   std::vector<SetId> candidates;
   CollectCandidates(canonical, query.size(), delta, &candidates);
-  std::vector<std::pair<SetId, double>> out;
+  std::vector<Hit> out;
   for (SetId c : candidates) {
     VerifyResult v =
         VerifyThreshold(options_.measure, query, db_->set(c), delta);
@@ -159,7 +153,7 @@ std::vector<std::pair<SetId, double>> InvIdx::Range(
   return out;
 }
 
-std::vector<std::pair<SetId, double>> InvIdx::Knn(
+std::vector<Hit> InvIdx::Knn(
     const SetRecord& query, size_t k, search::QueryStats* stats) const {
   WallTimer timer;
   CanonicalQuery canonical = Canonicalize(query);
@@ -192,7 +186,7 @@ std::vector<std::pair<SetId, double>> InvIdx::Knn(
     delta -= options_.knn_delta_step;
     if (delta < 0.0) delta = 0.0;
   }
-  std::vector<std::pair<SetId, double>> out;
+  std::vector<Hit> out;
   while (!best.empty()) {
     out.emplace_back(best.top().second, best.top().first);
     best.pop();

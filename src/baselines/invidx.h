@@ -34,11 +34,11 @@ class InvIdx {
  public:
   InvIdx(const SetDatabase* db, InvIdxOptions options = {});
 
-  std::vector<std::pair<SetId, double>> Range(
+  std::vector<Hit> Range(
       const SetRecord& query, double delta,
       search::QueryStats* stats = nullptr) const;
 
-  std::vector<std::pair<SetId, double>> Knn(
+  std::vector<Hit> Knn(
       const SetRecord& query, size_t k,
       search::QueryStats* stats = nullptr) const;
 

@@ -3,7 +3,10 @@
 #ifndef LES3_CORE_TYPES_H_
 #define LES3_CORE_TYPES_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace les3 {
 
@@ -18,6 +21,22 @@ using GroupId = uint32_t;
 
 /// Sentinel for "no group assigned".
 inline constexpr GroupId kInvalidGroup = static_cast<GroupId>(-1);
+
+/// A scored hit: (set id, similarity). Every searcher — LES3, the
+/// baselines, and the disk variants — returns hits of this one type.
+using Hit = std::pair<SetId, double>;
+
+/// The canonical result order every searcher returns: descending
+/// similarity, ties by ascending id.
+struct HitOrder {
+  bool operator()(const Hit& a, const Hit& b) const {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  }
+};
+
+inline void SortHits(std::vector<Hit>* hits) {
+  std::sort(hits->begin(), hits->end(), HitOrder{});
+}
 
 }  // namespace les3
 

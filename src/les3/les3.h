@@ -1,18 +1,24 @@
 // Umbrella header: the full public API of the LES3 library.
 //
-// Typical usage (see examples/quickstart.cpp):
+// Typical usage goes through the unified engine API (see
+// examples/quickstart.cpp): EngineBuilder constructs any backend — LES3,
+// the baselines, or the disk-resident variants — behind one SearchEngine
+// interface.
 //
-//   les3::SetDatabase db = ...;                       // load or generate
-//   les3::l2p::L2PPartitioner l2p;                    // learned partitioner
-//   auto part = l2p.Partition(db, /*target_groups=*/256);
-//   les3::search::Les3Index index(std::move(db), part.assignment,
-//                                 part.num_groups);
-//   auto top10 = index.Knn(query, 10);
-//   auto close = index.Range(query, 0.7);
+//   les3::SetDatabase db = ...;  // load or generate
+//   auto engine = les3::api::EngineBuilder::Build(std::move(db), "les3");
+//   auto top10 = engine.value()->Knn(query, 10);
+//   auto close = engine.value()->Range(query, 0.7);
+//
+// The concrete classes (search::Les3Index, baselines::*, storage::Disk*)
+// remain available for callers that need backend-specific internals.
 
 #ifndef LES3_LES3_H_
 #define LES3_LES3_H_
 
+#include "api/engine_builder.h"
+#include "api/engine_options.h"
+#include "api/search_engine.h"
 #include "baselines/brute_force.h"
 #include "baselines/dualtrans.h"
 #include "baselines/invidx.h"

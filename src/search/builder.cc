@@ -5,24 +5,34 @@
 namespace les3 {
 namespace search {
 
-Result<Les3Index> BuildLes3Index(SetDatabase db,
-                                 const Les3BuildOptions& options) {
-  if (db.empty()) {
-    return Status::InvalidArgument("cannot index an empty database");
-  }
-  uint32_t groups = options.num_groups;
+uint32_t ResolveNumGroups(const SetDatabase& db, uint32_t requested) {
+  uint32_t groups = requested;
   if (groups == 0) {
     groups = static_cast<uint32_t>(db.size() / 200);
     if (groups < 16) groups = 16;
   }
   if (groups > db.size()) groups = static_cast<uint32_t>(db.size());
+  return groups;
+}
 
-  l2p::CascadeOptions cascade = options.cascade;
+partition::PartitionResult PartitionWithL2P(const SetDatabase& db,
+                                            uint32_t groups,
+                                            SimilarityMeasure measure,
+                                            l2p::CascadeOptions cascade) {
   cascade.target_groups = groups;
-  cascade.measure = options.measure;
+  cascade.measure = measure;
   if (cascade.init_groups > groups) cascade.init_groups = groups;
   l2p::L2PPartitioner partitioner(cascade);
-  auto part = partitioner.Partition(db, groups);
+  return partitioner.Partition(db, groups);
+}
+
+Result<Les3Index> BuildLes3Index(SetDatabase db,
+                                 const Les3BuildOptions& options) {
+  if (db.empty()) {
+    return Status::InvalidArgument("cannot index an empty database");
+  }
+  uint32_t groups = ResolveNumGroups(db, options.num_groups);
+  auto part = PartitionWithL2P(db, groups, options.measure, options.cascade);
   return Les3Index(std::move(db), part.assignment, part.num_groups,
                    options.measure);
 }

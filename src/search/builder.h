@@ -5,11 +5,23 @@
 #define LES3_SEARCH_BUILDER_H_
 
 #include "l2p/cascade.h"
+#include "partition/partitioner.h"
 #include "search/les3_index.h"
 #include "util/status.h"
 
 namespace les3 {
 namespace search {
+
+/// The paper's group-count heuristic: `requested` if non-zero, else
+/// max(16, |D| / 200); always clamped to |D|.
+uint32_t ResolveNumGroups(const SetDatabase& db, uint32_t requested);
+
+/// Runs L2P over `db` with `cascade` knobs aligned to the resolved group
+/// count and measure (shared by BuildLes3Index and the api/ adapters).
+partition::PartitionResult PartitionWithL2P(const SetDatabase& db,
+                                            uint32_t groups,
+                                            SimilarityMeasure measure,
+                                            l2p::CascadeOptions cascade);
 
 struct Les3BuildOptions {
   SimilarityMeasure measure = SimilarityMeasure::kJaccard;

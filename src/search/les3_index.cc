@@ -10,20 +10,16 @@
 
 namespace les3 {
 namespace search {
-namespace {
-
-void SortHits(std::vector<Hit>* hits) {
-  std::sort(hits->begin(), hits->end(), [](const Hit& a, const Hit& b) {
-    return a.second > b.second || (a.second == b.second && a.first < b.first);
-  });
-}
-
-}  // namespace
-
 Les3Index::Les3Index(SetDatabase db, const std::vector<GroupId>& assignment,
                      uint32_t num_groups, SimilarityMeasure measure)
+    : Les3Index(std::make_shared<SetDatabase>(std::move(db)), assignment,
+                num_groups, measure) {}
+
+Les3Index::Les3Index(std::shared_ptr<SetDatabase> db,
+                     const std::vector<GroupId>& assignment,
+                     uint32_t num_groups, SimilarityMeasure measure)
     : db_(std::move(db)),
-      tgm_(db_, assignment, num_groups),
+      tgm_(*db_, assignment, num_groups),
       measure_(measure) {
   tgm_.RunOptimize();
 }
@@ -62,12 +58,12 @@ std::vector<Hit> Les3Index::Knn(const SetRecord& query, size_t k,
     for (SetId s : tgm_.group_members(g)) {
       ++stats->candidates_verified;
       if (best.size() < k) {
-        best.push({Similarity(measure_, query, db_.set(s)), s});
+        best.push({Similarity(measure_, query, db_->set(s)), s});
         continue;
       }
       // Early-terminating verification against the running k-th best.
       VerifyResult v =
-          VerifyThreshold(measure_, query, db_.set(s), best.top().first);
+          VerifyThreshold(measure_, query, db_->set(s), best.top().first);
       if (v.passed && v.similarity > best.top().first) {
         best.pop();
         best.push({v.similarity, s});
@@ -84,7 +80,7 @@ std::vector<Hit> Les3Index::Knn(const SetRecord& query, size_t k,
   SortHits(&out);
   stats->results = out.size();
   stats->pruning_efficiency =
-      KnnPruningEfficiency(db_.size(), stats->candidates_verified, k);
+      KnnPruningEfficiency(db_->size(), stats->candidates_verified, k);
   stats->micros = timer.Micros();
   return out;
 }
@@ -110,21 +106,21 @@ std::vector<Hit> Les3Index::Range(const SetRecord& query, double delta,
     ++stats->groups_visited;
     for (SetId s : tgm_.group_members(g)) {
       ++stats->candidates_verified;
-      VerifyResult v = VerifyThreshold(measure_, query, db_.set(s), delta);
+      VerifyResult v = VerifyThreshold(measure_, query, db_->set(s), delta);
       if (v.passed) out.emplace_back(s, v.similarity);
     }
   }
   SortHits(&out);
   stats->results = out.size();
   stats->pruning_efficiency = RangePruningEfficiency(
-      db_.size(), stats->candidates_verified, out.size());
+      db_->size(), stats->candidates_verified, out.size());
   stats->micros = timer.Micros();
   return out;
 }
 
 SetId Les3Index::Insert(SetRecord set) {
-  SetId id = db_.AddSet(set);  // copy stays valid for the TGM update
-  tgm_.AddSet(id, db_.set(id), measure_);
+  SetId id = db_->AddSet(set);  // copy stays valid for the TGM update
+  tgm_.AddSet(id, db_->set(id), measure_);
   return id;
 }
 

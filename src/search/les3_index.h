@@ -11,30 +11,37 @@
 #ifndef LES3_SEARCH_LES3_INDEX_H_
 #define LES3_SEARCH_LES3_INDEX_H_
 
-#include <utility>
+#include <memory>
 #include <vector>
 
 #include "core/database.h"
 #include "core/similarity.h"
+#include "core/types.h"
 #include "search/query_stats.h"
 #include "tgm/tgm.h"
 
 namespace les3 {
 namespace search {
 
-/// A scored hit: (set id, similarity).
-using Hit = std::pair<SetId, double>;
+/// The shared scored-hit type (see core/types.h).
+using les3::Hit;
 
 /// \brief Exact set-similarity search index (LES3).
 ///
-/// Owns the database; supports closed- and open-universe inserts
-/// (Section 6).
+/// Holds a shared reference to the database; supports closed- and
+/// open-universe inserts (Section 6).
 class Les3Index {
  public:
   /// Builds from a database and a partitioning (from any Partitioner; the
-  /// paper's default is L2P).
+  /// paper's default is L2P). Takes sole ownership of `db`.
   Les3Index(SetDatabase db, const std::vector<GroupId>& assignment,
             uint32_t num_groups,
+            SimilarityMeasure measure = SimilarityMeasure::kJaccard);
+
+  /// Same, over a database shared with other searchers (the api/ adapters
+  /// build every backend over one owned copy). `db` must be non-null.
+  Les3Index(std::shared_ptr<SetDatabase> db,
+            const std::vector<GroupId>& assignment, uint32_t num_groups,
             SimilarityMeasure measure = SimilarityMeasure::kJaccard);
 
   /// Exact kNN (Definition 2.1): the k most similar sets, sorted by
@@ -50,7 +57,8 @@ class Les3Index {
   /// Inserts a new set (tokens may be previously unseen); returns its id.
   SetId Insert(SetRecord set);
 
-  const SetDatabase& db() const { return db_; }
+  const SetDatabase& db() const { return *db_; }
+  const std::shared_ptr<SetDatabase>& shared_db() const { return db_; }
   const tgm::Tgm& tgm() const { return tgm_; }
   SimilarityMeasure measure() const { return measure_; }
 
@@ -58,7 +66,7 @@ class Les3Index {
   uint64_t IndexBytes() const { return tgm_.MemoryBytes(); }
 
  private:
-  SetDatabase db_;
+  std::shared_ptr<SetDatabase> db_;
   tgm::Tgm tgm_;
   SimilarityMeasure measure_;
 };

@@ -9,12 +9,6 @@ namespace les3 {
 namespace storage {
 namespace {
 
-void SortHits(std::vector<std::pair<SetId, double>>* hits) {
-  std::sort(hits->begin(), hits->end(), [](const auto& a, const auto& b) {
-    return a.second > b.second || (a.second == b.second && a.first < b.first);
-  });
-}
-
 void FillDiskCounters(const DiskSimulator& sim, DiskQueryResult* result) {
   result->io_ms = sim.ElapsedMs();
   result->seeks = sim.seeks();
@@ -258,7 +252,7 @@ DiskDualTrans::DiskDualTrans(const SetDatabase* db,
       disk_(disk) {}
 
 DiskQueryResult DiskDualTrans::Charge(
-    std::vector<std::pair<SetId, double>> hits,
+    std::vector<Hit> hits,
     const search::QueryStats& stats) const {
   DiskQueryResult result;
   result.hits = std::move(hits);

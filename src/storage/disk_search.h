@@ -32,7 +32,7 @@ namespace storage {
 
 /// Query outcome in disk mode.
 struct DiskQueryResult {
-  std::vector<std::pair<SetId, double>> hits;
+  std::vector<Hit> hits;
   search::QueryStats stats;  // candidates / PE / CPU micros
   double io_ms = 0.0;        // simulated I/O time
   uint64_t seeks = 0;
@@ -113,7 +113,7 @@ class DiskDualTrans {
   uint64_t IndexBytes() const { return index_.IndexBytes(); }
 
  private:
-  DiskQueryResult Charge(std::vector<std::pair<SetId, double>> hits,
+  DiskQueryResult Charge(std::vector<Hit> hits,
                          const search::QueryStats& stats) const;
 
   const SetDatabase* db_;

@@ -72,7 +72,7 @@ uint32_t Htgm::Matched(const Node& node, const SetRecord& query,
   return matched;
 }
 
-std::vector<std::pair<SetId, double>> Htgm::Knn(const SetDatabase& db,
+std::vector<Hit> Htgm::Knn(const SetDatabase& db,
                                                 const SetRecord& query,
                                                 size_t k,
                                                 SimilarityMeasure measure,
@@ -120,7 +120,7 @@ std::vector<std::pair<SetId, double>> Htgm::Knn(const SetDatabase& db,
       }
     }
   }
-  std::vector<std::pair<SetId, double>> out;
+  std::vector<Hit> out;
   while (!best.empty()) {
     out.emplace_back(best.top().second, best.top().first);
     best.pop();
@@ -129,14 +129,14 @@ std::vector<std::pair<SetId, double>> Htgm::Knn(const SetDatabase& db,
   return out;
 }
 
-std::vector<std::pair<SetId, double>> Htgm::Range(const SetDatabase& db,
+std::vector<Hit> Htgm::Range(const SetDatabase& db,
                                                   const SetRecord& query,
                                                   double delta,
                                                   SimilarityMeasure measure,
                                                   HtgmQueryCost* cost) const {
   HtgmQueryCost local;
   if (cost == nullptr) cost = &local;
-  std::vector<std::pair<SetId, double>> out;
+  std::vector<Hit> out;
   // Level-order descent, pruning nodes whose bound is below delta.
   std::vector<std::pair<uint32_t, uint32_t>> active;
   for (uint32_t g = 0; g < levels_[0].size(); ++g) active.push_back({0, g});
@@ -159,9 +159,7 @@ std::vector<std::pair<SetId, double>> Htgm::Range(const SetDatabase& db,
       }
     }
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second || (a.second == b.second && a.first < b.first);
-  });
+  SortHits(&out);
   return out;
 }
 

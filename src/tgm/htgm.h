@@ -45,13 +45,13 @@ class Htgm {
   Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> levels);
 
   /// Exact kNN via best-first descent over group upper bounds.
-  std::vector<std::pair<SetId, double>> Knn(const SetDatabase& db,
+  std::vector<Hit> Knn(const SetDatabase& db,
                                             const SetRecord& query, size_t k,
                                             SimilarityMeasure measure,
                                             HtgmQueryCost* cost) const;
 
   /// Exact range search.
-  std::vector<std::pair<SetId, double>> Range(const SetDatabase& db,
+  std::vector<Hit> Range(const SetDatabase& db,
                                               const SetRecord& query,
                                               double delta,
                                               SimilarityMeasure measure,

@@ -1,0 +1,273 @@
+// Tests for the unified SearchEngine API: every backend built by
+// EngineBuilder must return identical exact results for the same queries
+// (the paper's methods differ in cost, never in answers), batch queries
+// must equal their sequential counterparts, and the builder must reject
+// bad configurations.
+
+#include "api/engine_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "api/engine_options.h"
+#include "api/search_engine.h"
+#include "datagen/generators.h"
+
+namespace les3 {
+namespace api {
+namespace {
+
+std::shared_ptr<SetDatabase> MakeDb(uint64_t seed, uint32_t num_sets = 400,
+                                    uint32_t num_tokens = 120) {
+  datagen::ZipfOptions opts;
+  opts.num_sets = num_sets;
+  opts.num_tokens = num_tokens;
+  opts.avg_set_size = 8;
+  opts.zipf_exponent = 0.8;
+  opts.seed = seed;
+  return std::make_shared<SetDatabase>(datagen::GenerateZipf(opts));
+}
+
+/// Cheap construction knobs so all eight backends build in milliseconds.
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.num_groups = 24;
+  options.cascade.init_groups = 16;
+  options.cascade.min_group_size = 10;
+  options.cascade.pairs_per_model = 2000;
+  options.cascade.seed = 7;
+  return options;
+}
+
+std::unique_ptr<SearchEngine> MustBuild(std::shared_ptr<SetDatabase> db,
+                                        const std::string& backend,
+                                        EngineOptions options) {
+  auto engine = EngineBuilder::Build(std::move(db), backend, options);
+  EXPECT_TRUE(engine.ok()) << backend << ": " << engine.status().ToString();
+  return std::move(engine).ValueOrDie();
+}
+
+/// Hits must agree exactly: same ids, same similarities, same order.
+void ExpectSameHits(const std::vector<Hit>& expected,
+                    const std::vector<Hit>& actual,
+                    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].first, actual[i].first) << label << " rank " << i;
+    EXPECT_DOUBLE_EQ(expected[i].second, actual[i].second)
+        << label << " rank " << i;
+  }
+}
+
+/// kNN ties at the boundary may legitimately resolve to different ids;
+/// the similarity sequence is still uniquely determined.
+void ExpectSameSimilarities(const std::vector<Hit>& expected,
+                            const std::vector<Hit>& actual,
+                            const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(expected[i].second, actual[i].second)
+        << label << " rank " << i;
+  }
+}
+
+class ApiParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeDb(11);
+    for (const auto& name : BackendNames()) {
+      engines_[name] = MustBuild(db_, name, FastOptions());
+    }
+  }
+
+  std::shared_ptr<SetDatabase> db_;
+  std::map<std::string, std::unique_ptr<SearchEngine>> engines_;
+};
+
+TEST_F(ApiParityTest, AllBackendsConstructibleByName) {
+  ASSERT_EQ(BackendNames().size(), 8u);
+  for (const auto& name : BackendNames()) {
+    ASSERT_NE(engines_[name], nullptr) << name;
+    EXPECT_EQ(engines_[name]->Describe().rfind(name + "(", 0), 0u)
+        << engines_[name]->Describe();
+    EXPECT_EQ(&engines_[name]->db(), db_.get()) << name << " copied the db";
+  }
+}
+
+TEST_F(ApiParityTest, RangeResultsIdenticalAcrossBackends) {
+  const auto& reference = engines_["brute_force"];
+  for (SetId qid : {0u, 7u, 50u, 123u, 250u, 399u}) {
+    const SetRecord& query = db_->set(qid);
+    for (double delta : {0.5, 0.8}) {
+      auto expected = reference->Range(query, delta);
+      EXPECT_GT(expected.hits.size(), 0u);  // the query set itself
+      for (const auto& [name, engine] : engines_) {
+        auto actual = engine->Range(query, delta);
+        ExpectSameHits(expected.hits, actual.hits,
+                       name + " range q=" + std::to_string(qid) +
+                           " delta=" + std::to_string(delta));
+      }
+    }
+  }
+}
+
+TEST_F(ApiParityTest, KnnResultsIdenticalAcrossBackends) {
+  const auto& reference = engines_["brute_force"];
+  for (SetId qid : {0u, 7u, 50u, 123u, 250u, 399u}) {
+    const SetRecord& query = db_->set(qid);
+    for (size_t k : {1u, 10u}) {
+      auto expected = reference->Knn(query, k);
+      ASSERT_EQ(expected.hits.size(), k);
+      for (const auto& [name, engine] : engines_) {
+        auto actual = engine->Knn(query, k);
+        ExpectSameSimilarities(expected.hits, actual.hits,
+                               name + " knn q=" + std::to_string(qid) +
+                                   " k=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST_F(ApiParityTest, StatsAndIoAccountingFilled) {
+  const SetRecord& query = db_->set(3);
+  for (const auto& [name, engine] : engines_) {
+    auto result = engine->Knn(query, 5);
+    EXPECT_GT(result.stats.candidates_verified, 0u) << name;
+    EXPECT_EQ(result.stats.results, result.hits.size()) << name;
+    EXPECT_GT(result.stats.pruning_efficiency, 0.0) << name;
+    auto parsed = ParseBackend(name);
+    ASSERT_TRUE(parsed.ok());
+    if (IsDiskBackend(parsed.value())) {
+      ASSERT_TRUE(result.io.has_value()) << name;
+      EXPECT_GT(result.io->io_ms, 0.0) << name;
+      EXPECT_GT(result.io->pages, 0u) << name;
+      EXPECT_GE(result.TotalMs(), result.io->io_ms) << name;
+    } else {
+      EXPECT_FALSE(result.io.has_value()) << name;
+    }
+  }
+}
+
+TEST_F(ApiParityTest, IndexBytesReflectBackend) {
+  EXPECT_GT(engines_["les3"]->IndexBytes(), 0u);
+  EXPECT_GT(engines_["invidx"]->IndexBytes(), 0u);
+  EXPECT_GT(engines_["dualtrans"]->IndexBytes(), 0u);
+  EXPECT_EQ(engines_["brute_force"]->IndexBytes(), 0u);
+  EXPECT_EQ(engines_["disk_brute_force"]->IndexBytes(), 0u);
+}
+
+TEST(ApiBatchTest, KnnBatchMatchesSequentialKnn) {
+  auto db = MakeDb(23);
+  EngineOptions options = FastOptions();
+  options.num_threads = 4;
+  for (const std::string& name : {"les3", "brute_force", "disk_invidx"}) {
+    auto engine = MustBuild(db, name, options);
+    std::vector<SetRecord> queries;
+    for (SetId qid = 0; qid < 32; ++qid) queries.push_back(db->set(qid * 7));
+    auto batch = engine->KnnBatch(queries, 10);
+    ASSERT_EQ(batch.size(), queries.size()) << name;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto sequential = engine->Knn(queries[i], 10);
+      ExpectSameHits(sequential.hits, batch[i].hits,
+                     name + " batch query " + std::to_string(i));
+    }
+  }
+}
+
+TEST(ApiBatchTest, RangeBatchMatchesSequentialRange) {
+  auto db = MakeDb(29);
+  EngineOptions options = FastOptions();
+  options.num_threads = 4;
+  auto engine = MustBuild(db, "les3", options);
+  std::vector<SetRecord> queries;
+  for (SetId qid = 0; qid < 24; ++qid) queries.push_back(db->set(qid * 11));
+  auto batch = engine->RangeBatch(queries, 0.6);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = engine->Range(queries[i], 0.6);
+    ExpectSameHits(sequential.hits, batch[i].hits,
+                   "batch query " + std::to_string(i));
+  }
+}
+
+TEST(ApiBatchTest, EmptyBatchIsEmpty) {
+  auto engine = MustBuild(MakeDb(31), "brute_force", {});
+  EXPECT_TRUE(engine->KnnBatch({}, 5).empty());
+  EXPECT_TRUE(engine->RangeBatch({}, 0.5).empty());
+}
+
+TEST(ApiInsertTest, InsertableBackendsAbsorbSets) {
+  for (const std::string& name : {"les3", "brute_force"}) {
+    auto engine = MustBuild(MakeDb(37), name, FastOptions());
+    size_t before = engine->db().size();
+    SetRecord novel = SetRecord::FromTokens({1, 2, 3, 500, 501});
+    auto id = engine->Insert(novel);
+    ASSERT_TRUE(id.ok()) << name << ": " << id.status().ToString();
+    EXPECT_EQ(id.value(), before);
+    auto top = engine->Knn(novel, 1);
+    ASSERT_EQ(top.hits.size(), 1u) << name;
+    EXPECT_EQ(top.hits[0].first, id.value()) << name;
+    EXPECT_DOUBLE_EQ(top.hits[0].second, 1.0) << name;
+  }
+}
+
+TEST(ApiInsertTest, StaticBackendsRejectInserts) {
+  for (const std::string& name :
+       {"invidx", "dualtrans", "disk_les3", "disk_brute_force", "disk_invidx",
+        "disk_dualtrans"}) {
+    auto engine = MustBuild(MakeDb(41), name, FastOptions());
+    auto id = engine->Insert(SetRecord::FromTokens({1, 2, 3}));
+    ASSERT_FALSE(id.ok()) << name;
+    EXPECT_EQ(id.status().code(), StatusCode::kNotSupported) << name;
+  }
+}
+
+TEST(EngineBuilderTest, RejectsUnknownBackend) {
+  auto engine = EngineBuilder::Build(MakeDb(43), "les4", {});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, RejectsEmptyDatabase) {
+  auto engine = EngineBuilder::Build(SetDatabase(), EngineOptions{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, RejectsNullDatabase) {
+  auto engine =
+      EngineBuilder::Build(std::shared_ptr<SetDatabase>(), EngineOptions{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, RejectsBadKnobs) {
+  EngineOptions options;
+  options.backend = Backend::kInvIdx;
+  options.invidx.knn_delta_step = 0.0;
+  EXPECT_FALSE(EngineBuilder::Build(MakeDb(47), options).ok());
+
+  options = EngineOptions();
+  options.backend = Backend::kDualTrans;
+  options.dualtrans.dims = 0;
+  EXPECT_FALSE(EngineBuilder::Build(MakeDb(47), options).ok());
+
+  // Knobs irrelevant to the chosen backend are ignored, as documented.
+  options.backend = Backend::kBruteForce;
+  options.invidx.knn_delta_step = 0.0;
+  EXPECT_TRUE(EngineBuilder::Build(MakeDb(47), options).ok());
+}
+
+TEST(EngineBuilderTest, BackendNameRoundTrip) {
+  for (const auto& name : BackendNames()) {
+    auto parsed = ParseBackend(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(ToString(parsed.value()), name);
+  }
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace les3

@@ -1,21 +1,24 @@
-// les3_cli — command-line set similarity search over text datasets.
+// les3_cli — command-line set similarity search over text datasets,
+// through the unified SearchEngine API: any backend by name.
 //
-//   les3_cli stats  <sets.txt>
-//   les3_cli knn    <sets.txt> <k>     "<query tokens>" [groups] [measure]
-//   les3_cli range  <sets.txt> <delta> "<query tokens>" [groups] [measure]
+//   les3_cli stats    <sets.txt>
+//   les3_cli backends
+//   les3_cli knn      <sets.txt> <k>     "<query tokens>" [backend] [measure] [groups]
+//   les3_cli range    <sets.txt> <delta> "<query tokens>" [backend] [measure] [groups]
 //
 // <sets.txt>: one set per line, whitespace-separated integer token ids —
 // the format the public benchmarks (KOSARAK, DBLP, ...) ship in.
-// [groups]: number of L2P groups (default: the 0.5% |D| heuristic).
+// [backend]: any name from `les3_cli backends` (default: les3).
 // [measure]: jaccard (default) | dice | cosine.
+// [groups]:  number of L2P groups (default: the 0.5% |D| heuristic).
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "api/engine_builder.h"
 #include "core/stats.h"
 #include "core/text_io.h"
-#include "search/builder.h"
 #include "util/timer.h"
 
 namespace {
@@ -25,11 +28,12 @@ using namespace les3;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  les3_cli stats <sets.txt>\n"
-               "  les3_cli knn   <sets.txt> <k>     \"<query>\" [groups] "
-               "[jaccard|dice|cosine]\n"
-               "  les3_cli range <sets.txt> <delta> \"<query>\" [groups] "
-               "[jaccard|dice|cosine]\n");
+               "  les3_cli stats    <sets.txt>\n"
+               "  les3_cli backends\n"
+               "  les3_cli knn      <sets.txt> <k>     \"<query>\" [backend] "
+               "[jaccard|dice|cosine] [groups]\n"
+               "  les3_cli range    <sets.txt> <delta> \"<query>\" [backend] "
+               "[jaccard|dice|cosine] [groups]\n");
   return 2;
 }
 
@@ -52,8 +56,8 @@ int RunQuery(int argc, char** argv, bool knn) {
     std::fprintf(stderr, "error: %s\n", query.status().ToString().c_str());
     return 1;
   }
-  search::Les3BuildOptions options;
-  if (argc > 5) options.num_groups = static_cast<uint32_t>(atoi(argv[5]));
+  std::string backend = argc > 5 ? argv[5] : "les3";
+  api::EngineOptions options;
   if (argc > 6) {
     auto measure = ParseMeasure(argv[6]);
     if (!measure.ok()) {
@@ -63,41 +67,58 @@ int RunQuery(int argc, char** argv, bool knn) {
     }
     options.measure = measure.value();
   }
+  if (argc > 7) options.num_groups = static_cast<uint32_t>(atoi(argv[7]));
+
   std::fprintf(stderr, "indexing %zu sets...\n", db.value().size());
   WallTimer build_timer;
-  auto index = BuildLes3Index(std::move(db).ValueOrDie(), options);
-  if (!index.ok()) {
-    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+  auto engine = api::EngineBuilder::Build(std::move(db).ValueOrDie(), backend,
+                                          options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "built in %.2fs (TGM %llu bytes)\n",
-               build_timer.Seconds(),
-               static_cast<unsigned long long>(index.value().IndexBytes()));
+  std::fprintf(stderr, "built %s in %.2fs (index %llu bytes)\n",
+               engine.value()->Describe().c_str(), build_timer.Seconds(),
+               static_cast<unsigned long long>(engine.value()->IndexBytes()));
 
-  search::QueryStats stats;
-  std::vector<search::Hit> hits;
+  api::QueryResult result;
   if (knn) {
     size_t k = static_cast<size_t>(atoll(argv[3]));
-    hits = index.value().Knn(query.value(), k, &stats);
+    result = engine.value()->Knn(query.value(), k);
   } else {
     double delta = atof(argv[3]);
-    hits = index.value().Range(query.value(), delta, &stats);
+    result = engine.value()->Range(query.value(), delta);
   }
-  for (const auto& [id, sim] : hits) {
+  for (const auto& [id, sim] : result.hits) {
     std::printf("%u\t%.6f\n", id, sim);
   }
   std::fprintf(stderr,
                "%zu results in %.2fms (PE %.4f, %llu candidates)\n",
-               hits.size(), stats.micros / 1000.0, stats.pruning_efficiency,
-               static_cast<unsigned long long>(stats.candidates_verified));
+               result.hits.size(), result.TotalMs(),
+               result.stats.pruning_efficiency,
+               static_cast<unsigned long long>(
+                   result.stats.candidates_verified));
+  if (result.io) {
+    std::fprintf(stderr, "simulated I/O: %.2fms, %llu seeks, %llu pages\n",
+                 result.io->io_ms,
+                 static_cast<unsigned long long>(result.io->seeks),
+                 static_cast<unsigned long long>(result.io->pages));
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   std::string command = argv[1];
+  if (command == "backends") {
+    for (const auto& name : api::BackendNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (argc < 3) return Usage();
   if (command == "stats") {
     auto db = les3::LoadSetsFromText(argv[2]);
     if (!db.ok()) {
