@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bitmap/bitvector.h"
+#include "bitmap/kernels.h"
 #include "bitmap/roaring.h"
 #include "util/random.h"
 
@@ -86,6 +87,73 @@ void BM_RoaringRunOptimizedForEach(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoaringRunOptimizedForEach);
+
+/// Accumulation kernels vs the ForEach baseline, per container regime.
+/// Args: (universe, cardinality, run_optimize). Small universes with high
+/// cardinality exercise bitsets/runs; large universes exercise arrays.
+void AccumulateSetup(benchmark::State& state, Roaring* r) {
+  uint32_t universe = static_cast<uint32_t>(state.range(0));
+  size_t cardinality = static_cast<size_t>(state.range(1));
+  std::vector<uint32_t> values;
+  if (cardinality >= universe) {  // contiguous: run containers
+    values.resize(universe);
+    for (uint32_t i = 0; i < universe; ++i) values[i] = i;
+  } else {
+    values = SortedRandom(cardinality, universe, 8);
+  }
+  *r = Roaring::FromSorted(values);
+  if (state.range(2) != 0) r->RunOptimize();
+}
+
+void BM_RoaringAccumulateInto(benchmark::State& state) {
+  Roaring r;
+  AccumulateSetup(state, &r);
+  std::vector<uint32_t> counts;
+  GroupCountAccumulator acc(static_cast<uint32_t>(state.range(0)), &counts);
+  for (auto _ : state) {
+    acc.Reset(static_cast<uint32_t>(state.range(0)), &counts);
+    r.AccumulateInto(acc, 2);
+    acc.Finish();
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * r.Cardinality());
+}
+
+void BM_RoaringAccumulateForEach(benchmark::State& state) {
+  Roaring r;
+  AccumulateSetup(state, &r);
+  std::vector<uint32_t> counts;
+  for (auto _ : state) {
+    counts.assign(static_cast<size_t>(state.range(0)), 0);
+    r.ForEach([&](uint32_t v) { counts[v] += 2; });
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * r.Cardinality());
+}
+
+#define LES3_ACCUMULATE_ARGS                                              \
+  ArgNames({"universe", "card", "runopt"})                                \
+      ->Args({1 << 12, 1 << 12, 1})   /* one full run container */        \
+      ->Args({1 << 16, 40000, 0})     /* bitset container */              \
+      ->Args({1 << 16, 2000, 0})      /* array container */               \
+      ->Args({1 << 20, 50000, 0})     /* arrays across many chunks */
+BENCHMARK(BM_RoaringAccumulateInto)->LES3_ACCUMULATE_ARGS;
+BENCHMARK(BM_RoaringAccumulateForEach)->LES3_ACCUMULATE_ARGS;
+
+void BM_BitVectorAccumulateInto(benchmark::State& state) {
+  size_t bits = static_cast<size_t>(state.range(0));
+  BitVector v(bits);
+  Rng rng(9);
+  for (size_t i = 0; i < bits / 4; ++i) v.Set(rng.Uniform(bits));
+  std::vector<uint32_t> counts;
+  for (auto _ : state) {
+    counts.assign(bits, 0);
+    v.AccumulateInto(counts.data(), 2);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * v.Count());
+}
+BENCHMARK(BM_BitVectorAccumulateInto)->Arg(1 << 12)->Arg(1 << 16);
 
 void BM_BitVectorAndCount(benchmark::State& state) {
   size_t bits = static_cast<size_t>(state.range(0));

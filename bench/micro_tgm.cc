@@ -14,7 +14,7 @@
 namespace les3 {
 namespace {
 
-SetDatabase BenchDb() {
+const SetDatabase& BenchDb() {
   datagen::ZipfOptions opts;
   opts.num_sets = 50000;
   opts.num_tokens = 20000;
@@ -24,26 +24,73 @@ SetDatabase BenchDb() {
   return db;
 }
 
-void BM_TgmMatchedCounts(benchmark::State& state) {
-  SetDatabase db = BenchDb();
+/// Dense regime: strong clustering + a fat Zipf head, so most head-token
+/// columns cover nearly every group and run-encode after RunOptimize —
+/// the corpus shape where the batched kernels shine.
+const SetDatabase& DenseBenchDb() {
+  datagen::ZipfOptions opts;
+  opts.num_sets = 50000;
+  opts.num_tokens = 5000;
+  opts.avg_set_size = 10;
+  opts.zipf_exponent = 1.1;
+  opts.cluster_fraction = 0.7;
+  opts.seed = 4;
+  static SetDatabase db = datagen::GenerateZipf(opts);
+  return db;
+}
+
+/// Args: (num_groups, corpus: 0 sparse Zipf | 1 dense clustered,
+/// backend: 0 roaring | 1 bitvector). `kernel` selects the batched
+/// AccumulateInto path vs the per-bit ForEach baseline it replaced.
+void TgmMatchedCountsBench(benchmark::State& state, bool kernel) {
+  const SetDatabase& db = state.range(1) == 0 ? BenchDb() : DenseBenchDb();
   uint32_t groups = static_cast<uint32_t>(state.range(0));
+  auto backend = state.range(2) == 0 ? bitmap::BitmapBackend::kRoaring
+                                     : bitmap::BitmapBackend::kBitVector;
   Rng rng(5);
   std::vector<GroupId> assignment(db.size());
   for (auto& g : assignment) g = static_cast<GroupId>(rng.Uniform(groups));
-  tgm::Tgm index(db, assignment, groups);
+  tgm::Tgm index(db, assignment, groups, backend);
   index.RunOptimize();
   std::vector<uint32_t> counts;
   size_t q = 0;
   for (auto _ : state) {
+    const SetRecord& query = db.set(q++ % db.size());
     benchmark::DoNotOptimize(
-        index.MatchedCounts(db.set(q++ % db.size()), &counts));
+        kernel ? index.MatchedCounts(query, &counts)
+               : index.MatchedCountsReference(query, &counts));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TgmMatchedCounts)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TgmMatchedCounts(benchmark::State& state) {
+  TgmMatchedCountsBench(state, /*kernel=*/true);
+}
+void BM_TgmMatchedCountsForEach(benchmark::State& state) {
+  TgmMatchedCountsBench(state, /*kernel=*/false);
+}
+BENCHMARK(BM_TgmMatchedCounts)
+    ->ArgNames({"groups", "corpus", "backend"})
+    ->Args({64, 0, 0})
+    ->Args({256, 0, 0})
+    ->Args({1024, 0, 0})
+    ->Args({4096, 0, 0})
+    ->Args({256, 1, 0})
+    ->Args({1024, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({1024, 1, 1});
+BENCHMARK(BM_TgmMatchedCountsForEach)
+    ->ArgNames({"groups", "corpus", "backend"})
+    ->Args({256, 0, 0})
+    ->Args({1024, 0, 0})
+    ->Args({4096, 0, 0})
+    ->Args({256, 1, 0})
+    ->Args({1024, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({1024, 1, 1});
 
 void BM_PtrEmbed(benchmark::State& state) {
-  SetDatabase db = BenchDb();
+  const SetDatabase& db = BenchDb();
   embed::PtrRepresentation ptr(db.num_tokens());
   std::vector<float> out(ptr.dim());
   size_t i = 0;
@@ -56,7 +103,7 @@ void BM_PtrEmbed(benchmark::State& state) {
 BENCHMARK(BM_PtrEmbed);
 
 void BM_PcaEmbed(benchmark::State& state) {
-  SetDatabase db = BenchDb();
+  const SetDatabase& db = BenchDb();
   embed::PcaOptions opts;
   opts.dim = 16;
   opts.power_iterations = 4;
@@ -72,7 +119,7 @@ void BM_PcaEmbed(benchmark::State& state) {
 BENCHMARK(BM_PcaEmbed);
 
 void BM_MdsEmbed(benchmark::State& state) {
-  SetDatabase db = BenchDb();
+  const SetDatabase& db = BenchDb();
   embed::MdsOptions opts;
   opts.dim = 16;
   opts.num_landmarks = 64;
@@ -88,7 +135,7 @@ void BM_MdsEmbed(benchmark::State& state) {
 BENCHMARK(BM_MdsEmbed);
 
 void BM_ExactVerification(benchmark::State& state) {
-  SetDatabase db = BenchDb();
+  const SetDatabase& db = BenchDb();
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(Similarity(SimilarityMeasure::kJaccard,

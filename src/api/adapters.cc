@@ -153,11 +153,12 @@ std::unique_ptr<SearchEngine> MakeLes3Engine(std::shared_ptr<SetDatabase> db,
   auto part =
       search::PartitionWithL2P(*db, groups, options.measure, options.cascade);
   search::Les3Index index(db, part.assignment, part.num_groups,
-                          options.measure);
+                          options.measure, options.bitmap_backend);
   return std::make_unique<Les3Engine>(
       std::move(db), std::move(index),
       "les3(" + DescribeMeasure(options) +
-          ", groups=" + std::to_string(part.num_groups) + ")",
+          ", groups=" + std::to_string(part.num_groups) +
+          ", bitmap=" + bitmap::ToString(options.bitmap_backend) + ")",
       options);
 }
 
@@ -195,11 +196,13 @@ std::unique_ptr<SearchEngine> MakeDiskLes3Engine(
   auto part =
       search::PartitionWithL2P(*db, groups, options.measure, options.cascade);
   storage::DiskLes3 index(db.get(), part.assignment, part.num_groups,
-                          options.measure, options.disk);
+                          options.measure, options.disk,
+                          options.bitmap_backend);
   return std::make_unique<DiskEngine<storage::DiskLes3>>(
       std::move(db), std::move(index),
       "disk_les3(" + DescribeMeasure(options) +
-          ", groups=" + std::to_string(part.num_groups) + ")",
+          ", groups=" + std::to_string(part.num_groups) +
+          ", bitmap=" + bitmap::ToString(options.bitmap_backend) + ")",
       options);
 }
 

@@ -11,6 +11,7 @@
 
 #include "baselines/dualtrans.h"
 #include "baselines/invidx.h"
+#include "bitmap/bitmap_column.h"
 #include "core/similarity.h"
 #include "l2p/cascade.h"
 #include "storage/disk.h"
@@ -59,6 +60,11 @@ struct EngineOptions {
 
   /// LES3 group count; 0 means the paper's heuristic max(16, |D| / 200).
   uint32_t num_groups = 0;
+
+  /// TGM column representation (les3 / disk_les3): compressed Roaring
+  /// containers (default) or flat BitVector rows. Reported by Describe()
+  /// and reflected in IndexBytes().
+  bitmap::BitmapBackend bitmap_backend = bitmap::BitmapBackend::kRoaring;
 
   /// L2P training knobs (les3 / disk_les3); target_groups and measure are
   /// overridden from `num_groups` and `measure`.

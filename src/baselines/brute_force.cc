@@ -10,24 +10,11 @@ namespace baselines {
 std::vector<Hit> BruteForce::Knn(
     const SetRecord& query, size_t k, search::QueryStats* stats) const {
   WallTimer timer;
-  std::priority_queue<std::pair<double, SetId>,
-                      std::vector<std::pair<double, SetId>>, std::greater<>>
-      best;
+  TopKHits best(k);
   for (SetId i = 0; i < db_->size(); ++i) {
-    double sim = Similarity(measure_, query, db_->set(i));
-    if (best.size() < k) {
-      best.push({sim, i});
-    } else if (sim > best.top().first) {
-      best.pop();
-      best.push({sim, i});
-    }
+    best.Offer(i, Similarity(measure_, query, db_->set(i)));
   }
-  std::vector<Hit> out;
-  while (!best.empty()) {
-    out.emplace_back(best.top().second, best.top().first);
-    best.pop();
-  }
-  SortHits(&out);
+  std::vector<Hit> out = best.Take();
   if (stats != nullptr) {
     *stats = search::QueryStats();
     stats->candidates_verified = db_->size();

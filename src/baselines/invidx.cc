@@ -158,9 +158,7 @@ std::vector<Hit> InvIdx::Knn(
   WallTimer timer;
   CanonicalQuery canonical = Canonicalize(query);
   std::vector<uint8_t> verified(db_->size(), 0);
-  std::priority_queue<std::pair<double, SetId>,
-                      std::vector<std::pair<double, SetId>>, std::greater<>>
-      best;
+  TopKHits best(k);
   uint64_t total_verified = 0;
   double delta = 1.0;
   for (;;) {
@@ -170,28 +168,20 @@ std::vector<Hit> InvIdx::Knn(
       if (verified[c]) continue;
       verified[c] = 1;
       ++total_verified;
-      double sim = Similarity(options_.measure, query, db_->set(c));
-      if (best.size() < k) {
-        best.push({sim, c});
-      } else if (sim > best.top().first) {
-        best.pop();
-        best.push({sim, c});
-      }
+      best.Offer(c, Similarity(options_.measure, query, db_->set(c)));
     }
+    // Every set with similarity >= delta was in this pass's candidate set,
+    // so anything still unseen is strictly below the k-th best — ties
+    // included — once the k-th best reaches delta.
     if (best.size() >= std::min<size_t>(k, db_->size()) &&
-        !best.empty() && best.top().first >= delta) {
-      break;  // nothing outside the candidate set can beat the k-th best
+        best.size() > 0 && best.WorstSimilarity() >= delta) {
+      break;
     }
     if (delta <= 0.0) break;  // the δ = 0 pass saw every set
     delta -= options_.knn_delta_step;
     if (delta < 0.0) delta = 0.0;
   }
-  std::vector<Hit> out;
-  while (!best.empty()) {
-    out.emplace_back(best.top().second, best.top().first);
-    best.pop();
-  }
-  SortHits(&out);
+  std::vector<Hit> out = best.Take();
   if (stats != nullptr) {
     *stats = search::QueryStats();
     stats->candidates_verified = total_verified;

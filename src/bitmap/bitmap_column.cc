@@ -1,0 +1,60 @@
+#include "bitmap/bitmap_column.h"
+
+namespace les3 {
+namespace bitmap {
+
+std::string ToString(BitmapBackend backend) {
+  return backend == BitmapBackend::kRoaring ? "roaring" : "bitvector";
+}
+
+Result<BitmapBackend> ParseBitmapBackend(const std::string& name) {
+  if (name == "roaring") return BitmapBackend::kRoaring;
+  if (name == "bitvector") return BitmapBackend::kBitVector;
+  return Status::InvalidArgument("unknown bitmap backend \"" + name +
+                                 "\" (known: roaring, bitvector)");
+}
+
+BitmapColumn BitmapColumn::FromSorted(
+    BitmapBackend backend, const std::vector<uint32_t>& sorted_values) {
+  BitmapColumn col(backend);
+  if (auto* r = std::get_if<Roaring>(&col.rep_)) {
+    *r = Roaring::FromSorted(sorted_values);
+  } else {
+    Dense& d = std::get<Dense>(col.rep_);
+    if (!sorted_values.empty()) {
+      d.bits.Resize(static_cast<uint64_t>(sorted_values.back()) + 1);
+      for (uint32_t v : sorted_values) d.bits.Set(v);
+    }
+    d.cardinality = sorted_values.size();
+  }
+  return col;
+}
+
+void BitmapColumn::Add(uint32_t value) {
+  if (auto* r = std::get_if<Roaring>(&rep_)) {
+    r->Add(value);
+    return;
+  }
+  Dense& d = std::get<Dense>(rep_);
+  if (value >= d.bits.size()) d.bits.Resize(static_cast<uint64_t>(value) + 1);
+  if (!d.bits.Get(value)) {
+    d.bits.Set(value);
+    ++d.cardinality;
+  }
+}
+
+bool BitmapColumn::Contains(uint32_t value) const {
+  if (const auto* r = std::get_if<Roaring>(&rep_)) return r->Contains(value);
+  const Dense& d = std::get<Dense>(rep_);
+  return value < d.bits.size() && d.bits.Get(value);
+}
+
+std::vector<uint32_t> BitmapColumn::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Cardinality());
+  ForEach([&](uint32_t v) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace bitmap
+}  // namespace les3

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bitmap/kernels.h"
+
 namespace les3 {
 namespace bitmap {
 
@@ -25,6 +27,21 @@ uint64_t BitVector::AndCount(const BitVector& other) const {
   uint64_t total = 0;
   for (uint64_t i = 0; i < n; ++i) {
     total += __builtin_popcountll(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+void BitVector::AccumulateInto(uint32_t* counts, uint32_t weight) const {
+  AccumulateWords(words_.data(), words_.size(), /*base=*/0, counts, weight);
+}
+
+uint64_t BitVector::WeightedIntersect(
+    const std::pair<uint32_t, uint32_t>* probes, size_t n) const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (probes[i].first < num_bits_ && Get(probes[i].first)) {
+      total += probes[i].second;
+    }
   }
   return total;
 }

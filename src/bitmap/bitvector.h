@@ -6,7 +6,9 @@
 #ifndef LES3_BITMAP_BITVECTOR_H_
 #define LES3_BITMAP_BITVECTOR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace les3 {
@@ -38,6 +40,16 @@ class BitVector {
   /// Number of positions set in both vectors (sizes may differ; the shorter
   /// vector is treated as zero-padded).
   uint64_t AndCount(const BitVector& other) const;
+
+  /// \brief Batched accumulation kernel: adds `weight` to `counts[i]` for
+  /// every set bit i, scanning word-at-a-time (the dense counterpart of
+  /// Roaring::AccumulateInto). `counts` must have at least size() entries.
+  void AccumulateInto(uint32_t* counts, uint32_t weight) const;
+
+  /// Sum of weights of the (position, weight) probes whose bit is set.
+  /// Positions at or beyond size() read as zero.
+  uint64_t WeightedIntersect(const std::pair<uint32_t, uint32_t>* probes,
+                             size_t n) const;
 
   /// Calls fn(i) for every set bit i in ascending order.
   template <typename Fn>

@@ -1,0 +1,121 @@
+// Batched accumulation kernels for the TGM candidate-generation pass.
+//
+// The hot loop of a query adds a per-token weight into a group-counter
+// array for every group present in that token's bitmap column (Equation
+// 2/4). Walking each column bit-by-bit through ForEach wastes the
+// container structure Roaring maintains; GroupCountAccumulator instead
+// lets each container kind use its natural batch shape:
+//
+//   - array containers bulk-add into the counter array,
+//   - bitset containers scan words and add per set bit (no per-value
+//     callback, no re-derived base offsets),
+//   - run containers record (start, end, weight) into a difference array
+//     in O(1) per run; one prefix-sum pass at Finish() folds every run of
+//     every column into the counters at once.
+//
+// The difference array uses unsigned wrap-around arithmetic: the prefix
+// sums are exact modulo 2^32 and every true counter fits in uint32, so the
+// folded values are exact.
+
+#ifndef LES3_BITMAP_KERNELS_H_
+#define LES3_BITMAP_KERNELS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace les3 {
+namespace bitmap {
+
+/// \brief Word-scan accumulation kernel shared by the dense BitVector and
+/// the Roaring bitset container: adds `weight` to `counts[base + i]` for
+/// every set bit i of `words[0 .. num_words)`. One pass over the words,
+/// direct adds, no per-value callback.
+inline void AccumulateWords(const uint64_t* words, size_t num_words,
+                            uint32_t base, uint32_t* counts,
+                            uint32_t weight) {
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t bits = words[w];
+    if (bits == 0) continue;
+    uint32_t word_base = base + (static_cast<uint32_t>(w) << 6);
+    do {
+      counts[word_base + static_cast<uint32_t>(__builtin_ctzll(bits))] +=
+          weight;
+      bits &= bits - 1;
+    } while (bits);
+  }
+}
+
+/// \brief Weighted group-counter array with an O(1)-per-run side channel.
+///
+/// Usage: construct (or Reset) over the target counter vector, stream any
+/// number of columns through the AccumulateInto kernels, then call
+/// Finish() exactly once before reading the counters.
+class GroupCountAccumulator {
+ public:
+  /// An unbound accumulator; call Reset before use. Default-constructible
+  /// so call sites can keep one thread_local instance and amortize the
+  /// difference-array allocation across queries.
+  GroupCountAccumulator() = default;
+
+  /// Binds the accumulator to `counts`, resizing it to `num_groups` zeros.
+  /// `counts` must outlive the accumulator.
+  GroupCountAccumulator(uint32_t num_groups, std::vector<uint32_t>* counts) {
+    Reset(num_groups, counts);
+  }
+
+  void Reset(uint32_t num_groups, std::vector<uint32_t>* counts) {
+    counts_ = counts;
+    counts_->assign(num_groups, 0);
+    // The difference array is kept all-zero between uses (Finish re-zeroes
+    // the entries it folds), so resets normally never re-clear it. A prior
+    // binding abandoned after AddRange without Finish() would leak its
+    // deltas into this use, so discard any it left behind.
+    if (has_ranges_) std::fill(diff_.begin(), diff_.end(), 0);
+    if (diff_.size() < static_cast<size_t>(num_groups) + 1) {
+      diff_.resize(static_cast<size_t>(num_groups) + 1, 0);
+    }
+    num_groups_ = num_groups;
+    has_ranges_ = false;
+  }
+
+  uint32_t num_groups() const { return num_groups_; }
+
+  /// Direct per-group adds (array and bitset kernels write here).
+  uint32_t* counts() { return counts_->data(); }
+
+  /// Adds `weight` to every group in [first, last] inclusive, in O(1).
+  void AddRange(uint32_t first, uint32_t last, uint32_t weight) {
+    diff_[first] += weight;
+    diff_[last + 1] -= weight;  // unsigned wrap-around is intentional
+    has_ranges_ = true;
+  }
+
+  /// Folds the pending ranges into the counter array, re-zeroing the
+  /// difference array as it goes. Call once per Reset, before reading the
+  /// counters.
+  void Finish() {
+    if (!has_ranges_) return;
+    uint32_t running = 0;
+    uint32_t* c = counts_->data();
+    for (uint32_t g = 0; g < num_groups_; ++g) {
+      running += diff_[g];
+      diff_[g] = 0;
+      c[g] += running;
+    }
+    diff_[num_groups_] = 0;  // AddRange(.., num_groups - 1, ..) writes here
+    has_ranges_ = false;
+  }
+
+ private:
+  std::vector<uint32_t>* counts_ = nullptr;
+  std::vector<uint32_t> diff_;  // num_groups + 1 entries
+  uint32_t num_groups_ = 0;
+  bool has_ranges_ = false;
+};
+
+}  // namespace bitmap
+}  // namespace les3
+
+#endif  // LES3_BITMAP_KERNELS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bitmap/kernels.h"
 #include "util/logging.h"
 
 namespace les3 {
@@ -276,6 +277,75 @@ uint64_t Roaring::AndCardinality(const Roaring& other) const {
 
 uint64_t Roaring::OrCardinality(const Roaring& other) const {
   return Cardinality() + other.Cardinality() - AndCardinality(other);
+}
+
+namespace {
+
+/// Container dispatch shared by both AccumulateInto overloads; only the
+/// run-container sink differs (difference array vs direct adds), supplied
+/// as run_fn(base, run).
+template <typename RunFn>
+void AccumulateContainers(const std::vector<uint16_t>& keys,
+                          const std::vector<Container>& containers,
+                          uint32_t* counts, uint32_t weight, RunFn&& run_fn) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint32_t base = static_cast<uint32_t>(keys[i]) << 16;
+    const Container& c = containers[i];
+    if (const auto* a = std::get_if<ArrayContainer>(&c)) {
+      for (uint16_t v : a->values) counts[base + v] += weight;
+    } else if (const auto* b = std::get_if<BitsetContainer>(&c)) {
+      AccumulateWords(b->words.data(), b->words.size(), base, counts, weight);
+    } else {
+      for (const auto& r : std::get<RunContainer>(c).runs) run_fn(base, r);
+    }
+  }
+}
+
+}  // namespace
+
+void Roaring::AccumulateInto(GroupCountAccumulator& acc,
+                             uint32_t weight) const {
+  AccumulateContainers(keys_, containers_, acc.counts(), weight,
+                       [&](uint32_t base, const RunContainer::Run& r) {
+                         acc.AddRange(base + r.start,
+                                      base + r.start + r.length, weight);
+                       });
+}
+
+void Roaring::AccumulateInto(uint32_t* counts, uint32_t weight) const {
+  AccumulateContainers(
+      keys_, containers_, counts, weight,
+      [&](uint32_t base, const RunContainer::Run& r) {
+        // Counted loop, not `v <= last`: a run ending at value 0xFFFFFFFF
+        // would wrap the inclusive bound and never terminate.
+        uint32_t v = base + r.start;
+        for (uint32_t n = r.length;; --n) {
+          counts[v++] += weight;
+          if (n == 0) break;
+        }
+      });
+}
+
+uint64_t Roaring::WeightedIntersect(
+    const std::pair<uint32_t, uint32_t>* probes, size_t n) const {
+  uint64_t total = 0;
+  const Container* container = nullptr;
+  uint32_t current_key = 0;
+  bool have_key = false;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t key = probes[i].first >> 16;
+    if (!have_key || key != current_key) {
+      container = FindContainer(static_cast<uint16_t>(key));
+      current_key = key;
+      have_key = true;
+    }
+    if (container != nullptr &&
+        ContainerContains(*container,
+                          static_cast<uint16_t>(probes[i].first & 0xFFFF))) {
+      total += probes[i].second;
+    }
+  }
+  return total;
 }
 
 size_t Roaring::RunOptimize() {

@@ -16,11 +16,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <variant>
 #include <vector>
 
 namespace les3 {
 namespace bitmap {
+
+class GroupCountAccumulator;
 
 namespace internal {
 
@@ -68,6 +71,24 @@ class Roaring {
 
   /// |this AND other|.
   uint64_t AndCardinality(const Roaring& other) const;
+
+  /// \brief Batched accumulation kernel: adds `weight` to `acc` for every
+  /// value in this bitmap, container-at-a-time (see bitmap/kernels.h).
+  /// Array containers bulk-add, bitset containers scan words, run
+  /// containers post difference-array ranges in O(runs). Every value must
+  /// be < acc.num_groups().
+  void AccumulateInto(GroupCountAccumulator& acc, uint32_t weight) const;
+
+  /// Same kernel writing directly into a counter array (`counts` must have
+  /// at least max-value+1 entries); runs add per element. Prefer the
+  /// accumulator overload when folding several columns.
+  void AccumulateInto(uint32_t* counts, uint32_t weight) const;
+
+  /// \brief Sum of weights of the (value, weight) probes contained in this
+  /// bitmap. `probes` must be sorted ascending by value; the kernel
+  /// resolves each 64K chunk's container once instead of per probe.
+  uint64_t WeightedIntersect(
+      const std::pair<uint32_t, uint32_t>* probes, size_t n) const;
 
   /// |this OR other|.
   uint64_t OrCardinality(const Roaring& other) const;

@@ -11,6 +11,7 @@ std::string ToString(SimilarityMeasure m) {
     case SimilarityMeasure::kJaccard: return "jaccard";
     case SimilarityMeasure::kDice: return "dice";
     case SimilarityMeasure::kCosine: return "cosine";
+    case SimilarityMeasure::kContainment: return "containment";
   }
   return "unknown";
 }
@@ -29,6 +30,8 @@ double SimilarityFromOverlap(SimilarityMeasure m, size_t overlap,
       return 2.0 * o / (na + nb);
     case SimilarityMeasure::kCosine:
       return o / std::sqrt(na * nb);
+    case SimilarityMeasure::kContainment:
+      return o / na;
   }
   return 0.0;
 }
@@ -44,19 +47,14 @@ double GroupUpperBound(SimilarityMeasure m, size_t matched,
   if (query_size == 0) return 1.0;
   if (matched == 0) return 0.0;
   LES3_CHECK_LE(matched, query_size);
-  double r = static_cast<double>(matched);
-  double q = static_cast<double>(query_size);
   // Best case: the candidate set equals R = Q ∩ S with |R| = matched, so
-  // Sim(Q, R) is the bound (Theorem 3.1).
-  switch (m) {
-    case SimilarityMeasure::kJaccard:
-      return r / q;
-    case SimilarityMeasure::kDice:
-      return 2.0 * r / (q + r);
-    case SimilarityMeasure::kCosine:
-      return std::sqrt(r / q);
-  }
-  return 1.0;
+  // Sim(Q, R) is the bound (Theorem 3.1). Deliberately evaluated through
+  // SimilarityFromOverlap — the same expression the verifiers use — so a
+  // candidate that attains the bound produces the bit-identical double
+  // (e.g. cosine as r / sqrt(q * r), never the differently-rounded
+  // sqrt(r / q)) and >= / tie comparisons against exact similarities are
+  // floating-point safe.
+  return SimilarityFromOverlap(m, matched, query_size, matched);
 }
 
 size_t MinOverlapForThreshold(SimilarityMeasure m, size_t query_size,

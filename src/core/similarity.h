@@ -18,10 +18,17 @@ namespace les3 {
 /// Supported similarity measures. All satisfy the TGM Applicability Property
 /// (Theorem 3.1); the overlap coefficient does not and is deliberately
 /// absent.
+///
+/// kContainment is asymmetric — Sim(A, B) = |A ∩ B| / |A|, the fraction of
+/// the FIRST argument covered by the second. Every searcher passes the
+/// query first, so it answers "which sets cover my query best". It
+/// satisfies the Applicability Property on the query side: Sim(Q, Q ∩ S) =
+/// Sim(Q, S), and Sim(Q, R) = |R| / |Q| is monotone in |R| for R ⊆ Q.
 enum class SimilarityMeasure {
   kJaccard,
   kDice,
   kCosine,
+  kContainment,
 };
 
 /// Human-readable measure name ("jaccard", ...).

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <queue>
 #include <utility>
 #include <vector>
 
@@ -37,6 +39,68 @@ struct HitOrder {
 inline void SortHits(std::vector<Hit>* hits) {
   std::sort(hits->begin(), hits->end(), HitOrder{});
 }
+
+/// \brief Bounded top-k accumulator under the canonical HitOrder.
+///
+/// Keeps the k best hits seen so far, resolving similarity ties toward the
+/// smaller id — so the retained set (not just its order) is a deterministic
+/// function of the offered hits, independent of offer order. Every kNN
+/// searcher funnels candidates through this one type, which is what lets
+/// the differential tests demand exact agreement with brute force,
+/// tie-handling included.
+class TopKHits {
+ public:
+  explicit TopKHits(size_t k) : k_(k) {}
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() >= k_; }
+
+  /// The weakest retained hit under HitOrder; only valid when full().
+  const Hit& worst() const { return heap_.top(); }
+
+  /// Least similarity a new hit needs to possibly displace the current
+  /// worst (it still loses the tie unless its id is smaller). +infinity
+  /// when k == 0 (nothing can ever be retained), so `full() &&
+  /// ub < WorstSimilarity()` terminates searches immediately.
+  double WorstSimilarity() const {
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : heap_.top().second;
+  }
+
+  /// Inserts if `hit` beats the current worst under HitOrder (always
+  /// inserts while not full). Returns true when retained.
+  bool Offer(const Hit& hit) {
+    if (heap_.size() < k_) {
+      heap_.push(hit);
+      return true;
+    }
+    if (k_ == 0 || !HitOrder{}(hit, heap_.top())) return false;
+    heap_.pop();
+    heap_.push(hit);
+    return true;
+  }
+  bool Offer(SetId id, double similarity) { return Offer(Hit{id, similarity}); }
+
+  /// Drains into a vector sorted by HitOrder; the accumulator is empty
+  /// afterwards.
+  std::vector<Hit> Take() {
+    std::vector<Hit> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  // HitOrder as the comparator makes "better" mean "lower priority", so
+  // the heap top is always the weakest retained hit.
+  std::priority_queue<Hit, std::vector<Hit>, HitOrder> heap_;
+  size_t k_;
+};
 
 }  // namespace les3
 

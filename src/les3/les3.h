@@ -22,7 +22,9 @@
 #include "baselines/brute_force.h"
 #include "baselines/dualtrans.h"
 #include "baselines/invidx.h"
+#include "bitmap/bitmap_column.h"
 #include "bitmap/bitvector.h"
+#include "bitmap/kernels.h"
 #include "bitmap/roaring.h"
 #include "core/database.h"
 #include "core/set_record.h"

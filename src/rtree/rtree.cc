@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "core/types.h"
 #include "util/logging.h"
 
 namespace les3 {
@@ -87,25 +88,19 @@ std::vector<std::pair<uint32_t, double>> RTree::TopK(
   using Frontier = std::pair<double, uint32_t>;
   std::priority_queue<Frontier> frontier;
   frontier.push({bound(nodes_[root_].mbr), root_});
-  std::priority_queue<std::pair<double, uint32_t>,
-                      std::vector<std::pair<double, uint32_t>>, std::greater<>>
-      best;
+  TopKHits best(k);
   while (!frontier.empty()) {
     auto [ub, node_id] = frontier.top();
     frontier.pop();
-    if (best.size() >= k && ub <= best.top().first) break;
+    // Strict comparison: a node tying the k-th score may still hold an
+    // equal-score entry with a smaller id (HitOrder tie-handling).
+    if (best.full() && ub < best.WorstSimilarity()) break;
     if (nodes_visited != nullptr) ++*nodes_visited;
     const Node& node = nodes_[node_id];
     if (node.leaf) {
       for (uint32_t e : node.entries) {
-        double s = score(e);
         if (entries_scored != nullptr) ++*entries_scored;
-        if (best.size() < k) {
-          best.push({s, e});
-        } else if (s > best.top().first) {
-          best.pop();
-          best.push({s, e});
-        }
+        best.Offer(e, score(e));
       }
     } else {
       for (uint32_t child : node.children) {
@@ -113,15 +108,7 @@ std::vector<std::pair<uint32_t, double>> RTree::TopK(
       }
     }
   }
-  std::vector<std::pair<uint32_t, double>> out;
-  while (!best.empty()) {
-    out.emplace_back(best.top().second, best.top().first);
-    best.pop();
-  }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second || (a.second == b.second && a.first < b.first);
-  });
-  return out;
+  return best.Take();
 }
 
 std::vector<std::pair<uint32_t, double>> RTree::RangeSearch(

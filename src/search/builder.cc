@@ -34,7 +34,7 @@ Result<Les3Index> BuildLes3Index(SetDatabase db,
   uint32_t groups = ResolveNumGroups(db, options.num_groups);
   auto part = PartitionWithL2P(db, groups, options.measure, options.cascade);
   return Les3Index(std::move(db), part.assignment, part.num_groups,
-                   options.measure);
+                   options.measure, options.bitmap_backend);
 }
 
 }  // namespace search

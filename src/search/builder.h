@@ -29,6 +29,8 @@ struct Les3BuildOptions {
   uint32_t num_groups = 0;
   /// Training knobs; target_groups is overridden by num_groups.
   l2p::CascadeOptions cascade;
+  /// Storage representation of the TGM columns.
+  bitmap::BitmapBackend bitmap_backend = bitmap::BitmapBackend::kRoaring;
 };
 
 /// \brief Partitions `db` with L2P and builds the search index.

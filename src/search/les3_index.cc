@@ -11,15 +11,17 @@
 namespace les3 {
 namespace search {
 Les3Index::Les3Index(SetDatabase db, const std::vector<GroupId>& assignment,
-                     uint32_t num_groups, SimilarityMeasure measure)
+                     uint32_t num_groups, SimilarityMeasure measure,
+                     bitmap::BitmapBackend bitmap_backend)
     : Les3Index(std::make_shared<SetDatabase>(std::move(db)), assignment,
-                num_groups, measure) {}
+                num_groups, measure, bitmap_backend) {}
 
 Les3Index::Les3Index(std::shared_ptr<SetDatabase> db,
                      const std::vector<GroupId>& assignment,
-                     uint32_t num_groups, SimilarityMeasure measure)
+                     uint32_t num_groups, SimilarityMeasure measure,
+                     bitmap::BitmapBackend bitmap_backend)
     : db_(std::move(db)),
-      tgm_(*db_, assignment, num_groups),
+      tgm_(*db_, assignment, num_groups, bitmap_backend),
       measure_(measure) {
   tgm_.RunOptimize();
 }
@@ -30,54 +32,54 @@ std::vector<Hit> Les3Index::Knn(const SetRecord& query, size_t k,
   QueryStats local;
   if (stats == nullptr) stats = &local;
   *stats = QueryStats();
+  if (k == 0) return {};
 
+  // A group with matched count 0 shares no token with the query, so every
+  // member has similarity exactly 0; such groups skip the bound heap
+  // entirely and only backfill the result when it underflows k. The empty
+  // query is the one exception (all counts are 0, yet empty sets have
+  // similarity 1), so it keeps every group as a candidate.
+  uint32_t min_count = query.size() == 0 ? 0 : 1;
   std::vector<uint32_t> counts;
-  stats->columns_scanned = tgm_.MatchedCounts(query, &counts);
+  std::vector<GroupId> candidates;
+  stats->columns_scanned =
+      tgm_.MatchedCandidates(query, min_count, &counts, &candidates);
 
   // Groups in descending bound order; a max-heap lets us stop at the first
-  // bound not exceeding the running k-th best similarity.
+  // bound strictly below the running k-th best similarity (an equal bound
+  // may still yield an equal-similarity hit with a smaller id).
   using GroupEntry = std::pair<double, GroupId>;
   std::priority_queue<GroupEntry> groups;
-  for (GroupId g = 0; g < counts.size(); ++g) {
+  for (GroupId g : candidates) {
     if (tgm_.group_size(g) == 0) continue;
     groups.push({GroupUpperBound(measure_, counts[g], query.size()), g});
   }
 
-  std::priority_queue<std::pair<double, SetId>,
-                      std::vector<std::pair<double, SetId>>, std::greater<>>
-      best;  // min-heap on similarity
+  TopKHits best(k);
   while (!groups.empty()) {
     auto [ub, g] = groups.top();
     groups.pop();
-    if (best.size() >= k && ub <= best.top().first) {
-      ++stats->groups_pruned;
-      stats->groups_pruned += groups.size();
-      break;
-    }
+    if (best.full() && ub < best.WorstSimilarity()) break;
     ++stats->groups_visited;
     for (SetId s : tgm_.group_members(g)) {
       ++stats->candidates_verified;
-      if (best.size() < k) {
-        best.push({Similarity(measure_, query, db_->set(s)), s});
+      if (!best.full()) {
+        best.Offer(s, Similarity(measure_, query, db_->set(s)));
         continue;
       }
-      // Early-terminating verification against the running k-th best.
+      // Early-terminating verification against the running k-th best; a
+      // candidate tying the k-th similarity still wins on a smaller id,
+      // which Offer resolves under HitOrder.
       VerifyResult v =
-          VerifyThreshold(measure_, query, db_->set(s), best.top().first);
-      if (v.passed && v.similarity > best.top().first) {
-        best.pop();
-        best.push({v.similarity, s});
-      }
+          VerifyThreshold(measure_, query, db_->set(s), best.WorstSimilarity());
+      if (v.passed) best.Offer(s, v.similarity);
     }
   }
 
-  std::vector<Hit> out;
-  out.reserve(best.size());
-  while (!best.empty()) {
-    out.emplace_back(best.top().second, best.top().first);
-    best.pop();
-  }
-  SortHits(&out);
+  tgm_.BackfillZeroCountGroups(counts, min_count, &best);
+
+  std::vector<Hit> out = best.Take();
+  stats->groups_pruned = tgm_.num_nonempty_groups() - stats->groups_visited;
   stats->results = out.size();
   stats->pruning_efficiency =
       KnnPruningEfficiency(db_->size(), stats->candidates_verified, k);
@@ -92,17 +94,25 @@ std::vector<Hit> Les3Index::Range(const SetRecord& query, double delta,
   if (stats == nullptr) stats = &local;
   *stats = QueryStats();
 
+  // Least matched count any δ-result's group must reach; the TGM prunes
+  // groups below it during candidate generation (and short-circuits the
+  // whole scan when the query cannot attain it).
+  size_t min_count = MinOverlapForThreshold(measure_, query.size(), delta);
   std::vector<uint32_t> counts;
-  stats->columns_scanned = tgm_.MatchedCounts(query, &counts);
+  std::vector<GroupId> candidates;
+  if (min_count > query.size()) {
+    // The threshold is unreachable even by an identical set.
+    stats->micros = timer.Micros();
+    return {};
+  }
+  stats->columns_scanned = tgm_.MatchedCandidates(
+      query, static_cast<uint32_t>(min_count), &counts, &candidates);
 
   std::vector<Hit> out;
-  for (GroupId g = 0; g < counts.size(); ++g) {
+  for (GroupId g : candidates) {
     if (tgm_.group_size(g) == 0) continue;
-    double ub = GroupUpperBound(measure_, counts[g], query.size());
-    if (ub < delta) {
-      ++stats->groups_pruned;
-      continue;
-    }
+    // counts[g] >= min_count already implies UB(Q, G_g) >= delta
+    // (GroupUpperBound is monotone in the matched count).
     ++stats->groups_visited;
     for (SetId s : tgm_.group_members(g)) {
       ++stats->candidates_verified;
@@ -111,6 +121,7 @@ std::vector<Hit> Les3Index::Range(const SetRecord& query, double delta,
     }
   }
   SortHits(&out);
+  stats->groups_pruned = tgm_.num_nonempty_groups() - stats->groups_visited;
   stats->results = out.size();
   stats->pruning_efficiency = RangePruningEfficiency(
       db_->size(), stats->candidates_verified, out.size());

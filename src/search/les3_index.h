@@ -33,16 +33,21 @@ using les3::Hit;
 class Les3Index {
  public:
   /// Builds from a database and a partitioning (from any Partitioner; the
-  /// paper's default is L2P). Takes sole ownership of `db`.
+  /// paper's default is L2P). Takes sole ownership of `db`. TGM columns
+  /// are stored in `bitmap_backend` representation.
   Les3Index(SetDatabase db, const std::vector<GroupId>& assignment,
             uint32_t num_groups,
-            SimilarityMeasure measure = SimilarityMeasure::kJaccard);
+            SimilarityMeasure measure = SimilarityMeasure::kJaccard,
+            bitmap::BitmapBackend bitmap_backend =
+                bitmap::BitmapBackend::kRoaring);
 
   /// Same, over a database shared with other searchers (the api/ adapters
   /// build every backend over one owned copy). `db` must be non-null.
   Les3Index(std::shared_ptr<SetDatabase> db,
             const std::vector<GroupId>& assignment, uint32_t num_groups,
-            SimilarityMeasure measure = SimilarityMeasure::kJaccard);
+            SimilarityMeasure measure = SimilarityMeasure::kJaccard,
+            bitmap::BitmapBackend bitmap_backend =
+                bitmap::BitmapBackend::kRoaring);
 
   /// Exact kNN (Definition 2.1): the k most similar sets, sorted by
   /// descending similarity (ties by ascending id).
@@ -61,6 +66,9 @@ class Les3Index {
   const std::shared_ptr<SetDatabase>& shared_db() const { return db_; }
   const tgm::Tgm& tgm() const { return tgm_; }
   SimilarityMeasure measure() const { return measure_; }
+  bitmap::BitmapBackend bitmap_backend() const {
+    return tgm_.bitmap_backend();
+  }
 
   /// Index footprint (TGM bitmaps + group membership).
   uint64_t IndexBytes() const { return tgm_.MemoryBytes(); }

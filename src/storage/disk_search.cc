@@ -23,9 +23,9 @@ void FillDiskCounters(const DiskSimulator& sim, DiskQueryResult* result) {
 DiskLes3::DiskLes3(const SetDatabase* db,
                    const std::vector<GroupId>& assignment,
                    uint32_t num_groups, SimilarityMeasure measure,
-                   DiskOptions disk)
+                   DiskOptions disk, bitmap::BitmapBackend bitmap_backend)
     : db_(db),
-      tgm_(*db, assignment, num_groups),
+      tgm_(*db, assignment, num_groups, bitmap_backend),
       measure_(measure),
       layout_(DiskLayout::GroupContiguous(*db, assignment, num_groups)),
       disk_(disk) {
@@ -37,39 +37,37 @@ DiskQueryResult DiskLes3::Knn(const SetRecord& query, size_t k) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
 
+  // As in Les3Index::Knn: zero-count groups share no token with the query,
+  // so their members' similarities are exactly 0 — known without fetching
+  // anything from disk. They skip the bound heap (and the extent reads)
+  // and only backfill the result when it underflows k or ties at 0.
+  uint32_t min_count = query.size() == 0 ? 0 : 1;
   std::vector<uint32_t> counts;
-  result.stats.columns_scanned = tgm_.MatchedCounts(query, &counts);
+  std::vector<GroupId> candidates;
+  result.stats.columns_scanned =
+      tgm_.MatchedCandidates(query, min_count, &counts, &candidates);
   std::priority_queue<std::pair<double, GroupId>> groups;
-  for (GroupId g = 0; g < counts.size(); ++g) {
+  for (GroupId g : candidates) {
     if (tgm_.group_size(g) == 0) continue;
     groups.push({GroupUpperBound(measure_, counts[g], query.size()), g});
   }
-  std::priority_queue<std::pair<double, SetId>,
-                      std::vector<std::pair<double, SetId>>, std::greater<>>
-      best;
+  TopKHits best(k);
   while (!groups.empty()) {
     auto [ub, g] = groups.top();
     groups.pop();
-    if (best.size() >= k && ub <= best.top().first) break;
+    // Strictly-lower bounds only: an equal bound may still yield an
+    // equal-similarity hit with a smaller id (HitOrder tie-handling).
+    if (best.full() && ub < best.WorstSimilarity()) break;
     ++result.stats.groups_visited;
     const Extent& extent = layout_.group_extent(g);
     sim.Read(extent.offset, extent.bytes);  // one seek + sequential extent
     for (SetId s : tgm_.group_members(g)) {
-      double simval = Similarity(measure_, query, db_->set(s));
       ++result.stats.candidates_verified;
-      if (best.size() < k) {
-        best.push({simval, s});
-      } else if (simval > best.top().first) {
-        best.pop();
-        best.push({simval, s});
-      }
+      best.Offer(s, Similarity(measure_, query, db_->set(s)));
     }
   }
-  while (!best.empty()) {
-    result.hits.emplace_back(best.top().second, best.top().first);
-    best.pop();
-  }
-  SortHits(&result.hits);
+  tgm_.BackfillZeroCountGroups(counts, min_count, &best);
+  result.hits = best.Take();
   result.stats.results = result.hits.size();
   result.stats.pruning_efficiency = search::KnnPruningEfficiency(
       db_->size(), result.stats.candidates_verified, k);
@@ -83,12 +81,22 @@ DiskQueryResult DiskLes3::Range(const SetRecord& query, double delta) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
 
+  // As in Les3Index::Range: the TGM prunes groups below the least matched
+  // count any δ-result's group must reach (counts[g] >= min_count implies
+  // UB(Q, G_g) >= delta by monotonicity), and the whole scan short-circuits
+  // when the threshold is unreachable even by an identical set.
+  size_t min_count = MinOverlapForThreshold(measure_, query.size(), delta);
+  if (min_count > query.size()) {
+    result.stats.micros = timer.Micros();
+    FillDiskCounters(sim, &result);
+    return result;
+  }
   std::vector<uint32_t> counts;
-  result.stats.columns_scanned = tgm_.MatchedCounts(query, &counts);
-  for (GroupId g = 0; g < counts.size(); ++g) {
+  std::vector<GroupId> candidates;
+  result.stats.columns_scanned = tgm_.MatchedCandidates(
+      query, static_cast<uint32_t>(min_count), &counts, &candidates);
+  for (GroupId g : candidates) {
     if (tgm_.group_size(g) == 0) continue;
-    double ub = GroupUpperBound(measure_, counts[g], query.size());
-    if (ub < delta) continue;
     ++result.stats.groups_visited;
     const Extent& extent = layout_.group_extent(g);
     sim.Read(extent.offset, extent.bytes);
@@ -156,6 +164,9 @@ DiskInvIdx::DiskInvIdx(const SetDatabase* db,
 void DiskInvIdx::ChargeFilter(const baselines::InvIdx::FilterResult& filter,
                               DiskSimulator* sim) const {
   for (TokenId t : filter.prefix_tokens) {
+    // Query tokens outside the indexed universe have no posting list on
+    // disk, hence nothing to read.
+    if (t >= db_->num_tokens()) continue;
     const Extent& e = posting_layout_->posting_extent(t);
     sim->Read(e.offset, e.bytes);
   }
@@ -194,9 +205,7 @@ DiskQueryResult DiskInvIdx::Knn(const SetRecord& query, size_t k) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
   std::vector<uint8_t> verified(db_->size(), 0);
-  std::priority_queue<std::pair<double, SetId>,
-                      std::vector<std::pair<double, SetId>>, std::greater<>>
-      best;
+  TopKHits best(k);
   double delta = 1.0;
   for (;;) {
     auto filter = index_.RangeFilter(query, delta);
@@ -212,26 +221,18 @@ DiskQueryResult DiskInvIdx::Knn(const SetRecord& query, size_t k) const {
     for (SetId c : fresh.candidates) {
       verified[c] = 1;
       ++result.stats.candidates_verified;
-      double simval = Similarity(options_.measure, query, db_->set(c));
-      if (best.size() < k) {
-        best.push({simval, c});
-      } else if (simval > best.top().first) {
-        best.pop();
-        best.push({simval, c});
-      }
+      best.Offer(c, Similarity(options_.measure, query, db_->set(c)));
     }
-    if (best.size() >= std::min<size_t>(k, db_->size()) && !best.empty() &&
-        best.top().first >= delta) {
+    // Unseen sets are strictly below delta (they missed the candidate
+    // set), so ties with the k-th best are impossible once it reaches it.
+    if (best.size() >= std::min<size_t>(k, db_->size()) && best.size() > 0 &&
+        best.WorstSimilarity() >= delta) {
       break;
     }
     if (delta <= 0.0) break;
     delta = std::max(0.0, delta - options_.knn_delta_step);
   }
-  while (!best.empty()) {
-    result.hits.emplace_back(best.top().second, best.top().first);
-    best.pop();
-  }
-  SortHits(&result.hits);
+  result.hits = best.Take();
   result.stats.results = result.hits.size();
   result.stats.pruning_efficiency = search::KnnPruningEfficiency(
       db_->size(), result.stats.candidates_verified, k);

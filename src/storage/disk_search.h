@@ -46,7 +46,9 @@ class DiskLes3 {
  public:
   DiskLes3(const SetDatabase* db, const std::vector<GroupId>& assignment,
            uint32_t num_groups, SimilarityMeasure measure,
-           DiskOptions disk = {});
+           DiskOptions disk = {},
+           bitmap::BitmapBackend bitmap_backend =
+               bitmap::BitmapBackend::kRoaring);
 
   DiskQueryResult Knn(const SetRecord& query, size_t k) const;
   DiskQueryResult Range(const SetRecord& query, double delta) const;

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <queue>
 
+#include "tgm/tgm.h"
 #include "util/logging.h"
 
 namespace les3 {
 namespace tgm {
 
-Htgm::Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> specs) {
+Htgm::Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> specs,
+           bitmap::BitmapBackend bitmap_backend)
+    : bitmap_backend_(bitmap_backend) {
   LES3_CHECK(!specs.empty());
   levels_.resize(specs.size());
   for (size_t l = 0; l < specs.size(); ++l) {
@@ -30,7 +33,8 @@ Htgm::Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> specs) {
       auto& bucket = tokens[g];
       std::sort(bucket.begin(), bucket.end());
       bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
-      levels_[l][g].tokens = bitmap::Roaring::FromSorted(
+      levels_[l][g].tokens = bitmap::BitmapColumn::FromSorted(
+          bitmap_backend_,
           std::vector<uint32_t>(bucket.begin(), bucket.end()));
       bucket.clear();
       bucket.shrink_to_fit();
@@ -53,23 +57,20 @@ Htgm::Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> specs) {
   }
 }
 
-uint32_t Htgm::Matched(const Node& node, const SetRecord& query,
+Htgm::WeightedQuery Htgm::Canonicalize(const SetRecord& query) {
+  WeightedQuery out;
+  ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
+    out.emplace_back(t, m);
+  });
+  return out;
+}
+
+uint32_t Htgm::Matched(const Node& node, const WeightedQuery& query,
                        HtgmQueryCost* cost) const {
-  uint32_t matched = 0;
-  const auto& tokens = query.tokens();
-  size_t i = 0;
-  while (i < tokens.size()) {
-    TokenId t = tokens[i];
-    uint32_t multiplicity = 0;
-    while (i < tokens.size() && tokens[i] == t) {
-      ++multiplicity;
-      ++i;
-    }
-    ++cost->cells_accessed;
-    if (node.tokens.Contains(t)) matched += multiplicity;
-  }
+  cost->cells_accessed += query.size();
   ++cost->nodes_visited;
-  return matched;
+  return static_cast<uint32_t>(
+      node.tokens.WeightedIntersect(query.data(), query.size()));
 }
 
 std::vector<Hit> Htgm::Knn(const SetDatabase& db,
@@ -79,40 +80,35 @@ std::vector<Hit> Htgm::Knn(const SetDatabase& db,
                                                 HtgmQueryCost* cost) const {
   HtgmQueryCost local;
   if (cost == nullptr) cost = &local;
+  WeightedQuery wq = Canonicalize(query);
   // Best-first over (ub, level, node). Leaves verify their members.
   using Entry = std::pair<double, std::pair<uint32_t, uint32_t>>;
   std::priority_queue<Entry> frontier;
   for (uint32_t g = 0; g < levels_[0].size(); ++g) {
-    double ub = GroupUpperBound(measure, Matched(levels_[0][g], query, cost),
+    double ub = GroupUpperBound(measure, Matched(levels_[0][g], wq, cost),
                                 query.size());
     frontier.push({ub, {0, g}});
   }
-  // Result min-heap of (sim, id).
-  std::priority_queue<std::pair<double, SetId>,
-                      std::vector<std::pair<double, SetId>>,
-                      std::greater<>>
-      best;
+  TopKHits best(k);
   while (!frontier.empty()) {
     auto [ub, ln] = frontier.top();
     frontier.pop();
-    if (best.size() >= k && ub <= best.top().first) break;
+    // A node whose bound ties the k-th similarity may still hold an
+    // equal-similarity, smaller-id hit, so only strictly lower bounds stop
+    // the descent (exact tie-handling under HitOrder).
+    if (best.full() && ub < best.WorstSimilarity()) break;
     auto [level, node_id] = ln;
     const Node& node = levels_[level][node_id];
     if (level + 1 == levels_.size()) {
       for (SetId s : node.members) {
         double sim = Similarity(measure, query, db.set(s));
         ++cost->sims_computed;
-        if (best.size() < k) {
-          best.push({sim, s});
-        } else if (sim > best.top().first) {
-          best.pop();
-          best.push({sim, s});
-        }
+        best.Offer(s, sim);
       }
     } else {
       for (uint32_t child : node.children) {
         double cub = GroupUpperBound(
-            measure, Matched(levels_[level + 1][child], query, cost),
+            measure, Matched(levels_[level + 1][child], wq, cost),
             query.size());
         // A child's bound cannot exceed its parent's.
         cub = std::min(cub, ub);
@@ -120,13 +116,7 @@ std::vector<Hit> Htgm::Knn(const SetDatabase& db,
       }
     }
   }
-  std::vector<Hit> out;
-  while (!best.empty()) {
-    out.emplace_back(best.top().second, best.top().first);
-    best.pop();
-  }
-  std::reverse(out.begin(), out.end());
-  return out;
+  return best.Take();
 }
 
 std::vector<Hit> Htgm::Range(const SetDatabase& db,
@@ -136,6 +126,7 @@ std::vector<Hit> Htgm::Range(const SetDatabase& db,
                                                   HtgmQueryCost* cost) const {
   HtgmQueryCost local;
   if (cost == nullptr) cost = &local;
+  WeightedQuery wq = Canonicalize(query);
   std::vector<Hit> out;
   // Level-order descent, pruning nodes whose bound is below delta.
   std::vector<std::pair<uint32_t, uint32_t>> active;
@@ -144,7 +135,7 @@ std::vector<Hit> Htgm::Range(const SetDatabase& db,
     auto [level, node_id] = active.back();
     active.pop_back();
     const Node& node = levels_[level][node_id];
-    double ub = GroupUpperBound(measure, Matched(node, query, cost),
+    double ub = GroupUpperBound(measure, Matched(node, wq, cost),
                                 query.size());
     if (ub < delta) continue;
     if (level + 1 == levels_.size()) {
@@ -166,13 +157,14 @@ std::vector<Hit> Htgm::Range(const SetDatabase& db,
 GroupId Htgm::AddSet(SetId id, const SetRecord& set,
                      SimilarityMeasure measure) {
   HtgmQueryCost scratch;
+  WeightedQuery ws = Canonicalize(set);
   // Pick the best root, then descend choosing the best child per level.
   uint32_t current = 0;
   {
     double best_ub = -1.0;
     for (uint32_t g = 0; g < levels_[0].size(); ++g) {
       const Node& node = levels_[0][g];
-      double ub = GroupUpperBound(measure, Matched(node, set, &scratch),
+      double ub = GroupUpperBound(measure, Matched(node, ws, &scratch),
                                   set.size());
       if (ub > best_ub ||
           (ub == best_ub && node.count < levels_[0][current].count)) {
@@ -183,19 +175,14 @@ GroupId Htgm::AddSet(SetId id, const SetRecord& set,
   }
   for (size_t l = 0; l + 1 < levels_.size(); ++l) {
     Node& node = levels_[l][current];
-    TokenId prev = static_cast<TokenId>(-1);
-    for (TokenId t : set.tokens()) {
-      if (t == prev) continue;
-      prev = t;
-      node.tokens.Add(t);
-    }
+    for (const auto& tw : ws) node.tokens.Add(tw.first);
     ++node.count;
     LES3_CHECK(!node.children.empty());
     uint32_t best_child = node.children.front();
     double best_ub = -1.0;
     for (uint32_t child : node.children) {
       const Node& cn = levels_[l + 1][child];
-      double ub = GroupUpperBound(measure, Matched(cn, set, &scratch),
+      double ub = GroupUpperBound(measure, Matched(cn, ws, &scratch),
                                   set.size());
       if (ub > best_ub ||
           (ub == best_ub && cn.count < levels_[l + 1][best_child].count)) {
@@ -206,12 +193,7 @@ GroupId Htgm::AddSet(SetId id, const SetRecord& set,
     current = best_child;
   }
   Node& leaf = levels_.back()[current];
-  TokenId prev = static_cast<TokenId>(-1);
-  for (TokenId t : set.tokens()) {
-    if (t == prev) continue;
-    prev = t;
-    leaf.tokens.Add(t);
-  }
+  for (const auto& tw : ws) leaf.tokens.Add(tw.first);
   ++leaf.count;
   leaf.members.push_back(id);
   return current;

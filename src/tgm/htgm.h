@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "bitmap/roaring.h"
+#include "bitmap/bitmap_column.h"
 #include "core/database.h"
 #include "core/similarity.h"
 #include "core/types.h"
@@ -41,8 +41,10 @@ struct HtgmQueryCost {
 class Htgm {
  public:
   /// `levels` are ordered coarse to fine; the finest level defines the
-  /// verification groups.
-  Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> levels);
+  /// verification groups. Node token bitmaps use `bitmap_backend`.
+  Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> levels,
+       bitmap::BitmapBackend bitmap_backend =
+           bitmap::BitmapBackend::kRoaring);
 
   /// Exact kNN via best-first descent over group upper bounds.
   std::vector<Hit> Knn(const SetDatabase& db,
@@ -75,16 +77,23 @@ class Htgm {
 
  private:
   struct Node {
-    bitmap::Roaring tokens;          // distinct tokens of the group
+    bitmap::BitmapColumn tokens;     // distinct tokens of the group
     std::vector<uint32_t> children;  // node ids in the next level
     std::vector<SetId> members;      // only at the finest level
     uint32_t count = 0;              // sets in the subtree
   };
 
-  /// Matched-token count of `query` against node (level, idx).
-  uint32_t Matched(const Node& node, const SetRecord& query,
+  /// A query canonicalized once per traversal: (unique token,
+  /// multiplicity) pairs in ascending token order, so every node probe is
+  /// one batched WeightedIntersect instead of a re-deduplicating scan.
+  using WeightedQuery = std::vector<std::pair<uint32_t, uint32_t>>;
+  static WeightedQuery Canonicalize(const SetRecord& query);
+
+  /// Matched-token count of the canonicalized query against a node.
+  uint32_t Matched(const Node& node, const WeightedQuery& query,
                    HtgmQueryCost* cost) const;
 
+  bitmap::BitmapBackend bitmap_backend_;
   std::vector<std::vector<Node>> levels_;  // coarse -> fine
 };
 

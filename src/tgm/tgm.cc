@@ -2,13 +2,15 @@
 
 #include <algorithm>
 
+#include "bitmap/kernels.h"
 #include "util/logging.h"
 
 namespace les3 {
 namespace tgm {
 
 Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
-         uint32_t num_groups) {
+         uint32_t num_groups, bitmap::BitmapBackend bitmap_backend)
+    : bitmap_backend_(bitmap_backend) {
   LES3_CHECK_EQ(assignment.size(), db.size());
   members_.resize(num_groups);
   group_of_ = assignment;
@@ -16,7 +18,8 @@ Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
     LES3_CHECK_LT(assignment[i], num_groups);
     members_[assignment[i]].push_back(i);
   }
-  // Build columns via per-token sorted group lists (bulk Roaring build).
+  for (const auto& m : members_) nonempty_groups_ += !m.empty();
+  // Build columns via per-token sorted group lists (bulk build).
   std::vector<std::vector<GroupId>> token_groups(db.num_tokens());
   for (SetId i = 0; i < db.size(); ++i) {
     GroupId g = assignment[i];
@@ -31,8 +34,8 @@ Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
   for (auto& groups : token_groups) {
     std::sort(groups.begin(), groups.end());
     groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
-    columns_.push_back(bitmap::Roaring::FromSorted(
-        std::vector<uint32_t>(groups.begin(), groups.end())));
+    columns_.push_back(bitmap::BitmapColumn::FromSorted(
+        bitmap_backend_, std::vector<uint32_t>(groups.begin(), groups.end())));
     groups.clear();
     groups.shrink_to_fit();
   }
@@ -40,23 +43,72 @@ Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
 
 size_t Tgm::MatchedCounts(const SetRecord& query,
                           std::vector<uint32_t>* counts) const {
+  // One accumulator per thread: its difference array is all-zero between
+  // uses and carries no index-specific state, so reusing it only saves the
+  // per-query allocation (batch queries run on a thread pool, so this must
+  // not be a member of the const Tgm).
+  static thread_local bitmap::GroupCountAccumulator acc;
+  acc.Reset(num_groups(), counts);
+  size_t columns_visited = 0;
+  ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
+    if (t >= columns_.size()) return;  // token outside T: M[*, t] = 0
+    const bitmap::BitmapColumn& col = columns_[t];
+    if (col.Empty()) return;
+    ++columns_visited;
+    col.AccumulateInto(acc, m);
+  });
+  acc.Finish();
+  return columns_visited;
+}
+
+size_t Tgm::MatchedCandidates(const SetRecord& query, uint32_t min_count,
+                              std::vector<uint32_t>* counts,
+                              std::vector<GroupId>* candidates) const {
+  candidates->clear();
+  // Short-circuit: if even a group containing every query token cannot
+  // attain min_count, no column scan can produce a candidate.
+  if (min_count > 0) {
+    uint32_t attainable = 0;
+    ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
+      if (t < columns_.size() && !columns_[t].Empty()) attainable += m;
+    });
+    if (attainable < min_count) {
+      counts->assign(num_groups(), 0);
+      return 0;
+    }
+  }
+  size_t visited = MatchedCounts(query, counts);
+  // Harvest: groups below min_count can no longer reach the bound (all
+  // columns are folded in), so they are pruned without ever computing an
+  // upper bound or entering the search frontier.
+  candidates->reserve(counts->size());
+  for (GroupId g = 0; g < counts->size(); ++g) {
+    if ((*counts)[g] >= min_count) candidates->push_back(g);
+  }
+  return visited;
+}
+
+void Tgm::BackfillZeroCountGroups(const std::vector<uint32_t>& counts,
+                                  uint32_t min_count, TopKHits* best) const {
+  if (min_count == 0) return;  // nothing was pruned
+  if (best->full() && best->WorstSimilarity() > 0.0) return;
+  for (GroupId g = 0; g < counts.size(); ++g) {
+    if (counts[g] != 0 || members_[g].empty()) continue;
+    for (SetId s : members_[g]) best->Offer(s, 0.0);
+  }
+}
+
+size_t Tgm::MatchedCountsReference(const SetRecord& query,
+                                   std::vector<uint32_t>* counts) const {
   counts->assign(num_groups(), 0);
   size_t columns_visited = 0;
-  const auto& tokens = query.tokens();
-  size_t i = 0;
-  while (i < tokens.size()) {
-    TokenId t = tokens[i];
-    uint32_t multiplicity = 0;
-    while (i < tokens.size() && tokens[i] == t) {
-      ++multiplicity;
-      ++i;
-    }
-    if (t >= columns_.size()) continue;  // token outside T: M[*, t] = 0
-    const bitmap::Roaring& col = columns_[t];
-    if (col.Empty()) continue;
+  ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
+    if (t >= columns_.size()) return;
+    const bitmap::BitmapColumn& col = columns_[t];
+    if (col.Empty()) return;
     ++columns_visited;
-    col.ForEach([&](uint32_t g) { (*counts)[g] += multiplicity; });
-  }
+    col.ForEach([&](uint32_t g) { (*counts)[g] += m; });
+  });
   return columns_visited;
 }
 
@@ -89,13 +141,16 @@ GroupId Tgm::AddSet(SetId id, const SetRecord& set,
     }
   }
   // Stage 2: grow columns for unseen tokens and set M[best, t] = 1.
+  if (members_[best].empty()) ++nonempty_groups_;
   members_[best].push_back(id);
   group_of_.push_back(best);
   TokenId prev = static_cast<TokenId>(-1);
   for (TokenId t : set.tokens()) {
     if (t == prev) continue;
     prev = t;
-    if (t >= columns_.size()) columns_.resize(t + 1);
+    if (t >= columns_.size()) {
+      columns_.resize(t + 1, bitmap::BitmapColumn(bitmap_backend_));
+    }
     columns_[t].Add(best);
   }
   return best;

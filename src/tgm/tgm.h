@@ -1,11 +1,15 @@
 // TGM — the token-group matrix (paper Section 3).
 //
 // M[g, t] = 1 iff some set in group G_g contains token t. The matrix is
-// stored column-wise: one Roaring bitmap per token holding the groups that
-// contain it, which lets a query compute the matched-token count of every
-// group in one pass over its tokens (cost O(Σ_{t in Q} |column_t|), far
-// below O(n |Q|) for sparse data). Group membership lists are kept alongside
-// so the search layer can verify candidates group-at-a-time.
+// stored column-wise: one bitmap per token holding the groups that contain
+// it, which lets a query compute the matched-token count of every group in
+// one pass over its tokens (cost O(Σ_{t in Q} |column_t|), far below
+// O(n |Q|) for sparse data). Columns live behind BitmapColumn, so one index
+// can choose compressed Roaring storage or flat BitVector rows; either way
+// the query pass runs the container-aware batch kernels of
+// bitmap/kernels.h rather than per-bit iteration. Group membership lists
+// are kept alongside so the search layer can verify candidates
+// group-at-a-time.
 //
 // Updates (paper Section 6): AddSet routes a new set to the group with the
 // highest similarity upper bound (ties -> smallest group) and extends the
@@ -16,7 +20,7 @@
 
 #include <vector>
 
-#include "bitmap/roaring.h"
+#include "bitmap/bitmap_column.h"
 #include "core/database.h"
 #include "core/similarity.h"
 #include "core/types.h"
@@ -24,12 +28,32 @@
 namespace les3 {
 namespace tgm {
 
+/// Calls fn(token, multiplicity) for every distinct token of the sorted
+/// token list `tokens`, ascending. The one query-canonicalization loop
+/// shared by the Tgm count kernels (including the differential reference)
+/// and Htgm::Canonicalize.
+template <typename Tokens, typename Fn>
+void ForEachTokenMultiplicity(const Tokens& tokens, Fn&& fn) {
+  size_t i = 0;
+  while (i < tokens.size()) {
+    TokenId t = tokens[i];
+    uint32_t multiplicity = 0;
+    while (i < tokens.size() && tokens[i] == t) {
+      ++multiplicity;
+      ++i;
+    }
+    fn(t, multiplicity);
+  }
+}
+
 /// \brief The token-group matrix plus group membership.
 class Tgm {
  public:
-  /// Builds from a partitioning of `db` into `num_groups` groups.
+  /// Builds from a partitioning of `db` into `num_groups` groups, storing
+  /// columns in the chosen bitmap representation.
   Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
-      uint32_t num_groups);
+      uint32_t num_groups,
+      bitmap::BitmapBackend bitmap_backend = bitmap::BitmapBackend::kRoaring);
 
   uint32_t num_groups() const {
     return static_cast<uint32_t>(members_.size());
@@ -37,20 +61,53 @@ class Tgm {
   uint32_t num_token_columns() const {
     return static_cast<uint32_t>(columns_.size());
   }
+  bitmap::BitmapBackend bitmap_backend() const { return bitmap_backend_; }
 
   const std::vector<SetId>& group_members(GroupId g) const {
     return members_[g];
   }
   size_t group_size(GroupId g) const { return members_[g].size(); }
 
+  /// Number of groups with at least one member (maintained across AddSet,
+  /// so the search layer's pruning stats need no per-query group scan).
+  uint32_t num_nonempty_groups() const { return nonempty_groups_; }
+
   /// Group of a set (maintained across AddSet).
   GroupId group_of(SetId id) const { return group_of_[id]; }
 
   /// \brief Fills `counts[g]` with Σ_{t in Q} M[g, t] (query multiplicity
-  /// counted, per Equation 2/4). `counts` is resized to num_groups().
-  /// Returns the number of non-empty token columns visited.
+  /// counted, per Equation 2/4), fusing all query-token columns into the
+  /// one counter array through the batched kernels. `counts` is resized to
+  /// num_groups(). Returns the number of non-empty token columns visited.
   size_t MatchedCounts(const SetRecord& query,
                        std::vector<uint32_t>* counts) const;
+
+  /// \brief Threshold-aware MatchedCounts: additionally fills `candidates`
+  /// with the groups whose count reached `min_count` (ascending GroupId).
+  /// Short-circuits without touching any column when even a group matching
+  /// every query token could not reach `min_count` — i.e. when the total
+  /// attainable count (summed multiplicity of query tokens with non-empty
+  /// columns) falls below it — and skips hopeless groups during the
+  /// harvest. With min_count == 0 every group is a candidate.
+  size_t MatchedCandidates(const SetRecord& query, uint32_t min_count,
+                           std::vector<uint32_t>* counts,
+                           std::vector<GroupId>* candidates) const;
+
+  /// \brief kNN backfill for the zero-count groups MatchedCandidates
+  /// pruned: their members all have similarity exactly 0, so they are only
+  /// offered (at similarity 0) when the result underflowed k, or when
+  /// similarity-0 hits made the cut and a smaller id might exist among
+  /// them (HitOrder tie-handling). No-op when min_count == 0 — nothing was
+  /// pruned. Shared by Les3Index::Knn and DiskLes3::Knn so the subtle
+  /// tie rule lives in one place.
+  void BackfillZeroCountGroups(const std::vector<uint32_t>& counts,
+                               uint32_t min_count, TopKHits* best) const;
+
+  /// \brief Reference per-bit implementation of MatchedCounts (the
+  /// pre-kernel ForEach loop). Kept as the differential baseline for the
+  /// property tests and the micro benches; not used on the query path.
+  size_t MatchedCountsReference(const SetRecord& query,
+                                std::vector<uint32_t>* counts) const;
 
   /// \brief Similarity upper bounds UB(Q, G_g) for all groups.
   /// Returns the number of token columns visited.
@@ -61,10 +118,11 @@ class Tgm {
   /// `id`) per Section 6; returns the chosen group.
   GroupId AddSet(SetId id, const SetRecord& set, SimilarityMeasure measure);
 
-  /// Compresses columns with run encoding where beneficial.
+  /// Compresses columns with run encoding where beneficial (Roaring
+  /// backend only; the dense backend is already fixed-shape).
   void RunOptimize();
 
-  /// Bytes of the compressed bitmap columns (the "TGM size" of Figure 11).
+  /// Bytes of the bitmap columns (the "TGM size" of Figure 11).
   uint64_t BitmapBytes() const;
 
   /// BitmapBytes plus the group membership arrays.
@@ -74,9 +132,11 @@ class Tgm {
   bool Test(GroupId g, TokenId t) const;
 
  private:
-  std::vector<bitmap::Roaring> columns_;   // per token: groups containing it
+  bitmap::BitmapBackend bitmap_backend_;
+  std::vector<bitmap::BitmapColumn> columns_;  // per token: groups with it
   std::vector<std::vector<SetId>> members_;
   std::vector<GroupId> group_of_;
+  uint32_t nonempty_groups_ = 0;
 };
 
 }  // namespace tgm

@@ -1,0 +1,205 @@
+// Differential tests for the batched accumulation kernels and the
+// pluggable BitmapColumn: every container-aware fast path must produce
+// exactly what the per-bit ForEach reference produces, for every container
+// kind and both backends.
+
+#include "bitmap/bitmap_column.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bitmap/kernels.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace bitmap {
+namespace {
+
+constexpr uint32_t kUniverse = 3000;  // one chunk, bitset-capable
+
+/// Value layouts that force each Roaring container kind within kUniverse.
+std::vector<uint32_t> ArrayValues() {
+  std::vector<uint32_t> v;
+  for (uint32_t i = 0; i < 200; ++i) v.push_back(i * 13 % kUniverse);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<uint32_t> DenseValues() {
+  // > 4096 would leave the chunk; instead spread over several chunks so at
+  // least one becomes a bitset: use a wider universe for the bitset case.
+  std::vector<uint32_t> v;
+  for (uint32_t i = 0; i < 5000; ++i) v.push_back(i * 2);  // 0..9998, sparse
+  return v;
+}
+
+std::vector<uint32_t> RunValues() {
+  std::vector<uint32_t> v;
+  for (uint32_t i = 100; i < 900; ++i) v.push_back(i);
+  for (uint32_t i = 1500; i < 2800; ++i) v.push_back(i);
+  return v;
+}
+
+/// Reference accumulation through ForEach.
+std::vector<uint32_t> ReferenceCounts(const BitmapColumn& col,
+                                      uint32_t num_groups, uint32_t weight,
+                                      std::vector<uint32_t> base = {}) {
+  base.resize(num_groups, 0);
+  col.ForEach([&](uint32_t v) { base[v] += weight; });
+  return base;
+}
+
+class BitmapColumnBackendTest
+    : public ::testing::TestWithParam<BitmapBackend> {};
+
+TEST_P(BitmapColumnBackendTest, AccumulateMatchesForEachPerKind) {
+  for (const auto& values : {ArrayValues(), DenseValues(), RunValues()}) {
+    uint32_t n = values.back() + 1;
+    BitmapColumn col = BitmapColumn::FromSorted(GetParam(), values);
+    if (GetParam() == BitmapBackend::kRoaring) col.RunOptimize();
+    // Accumulator path (runs go through the difference array).
+    std::vector<uint32_t> counts;
+    GroupCountAccumulator acc(n, &counts);
+    col.AccumulateInto(acc, 3);
+    acc.Finish();
+    EXPECT_EQ(counts, ReferenceCounts(col, n, 3));
+    // Direct-array path.
+    std::vector<uint32_t> direct(n, 0);
+    col.AccumulateInto(direct.data(), 3);
+    EXPECT_EQ(direct, ReferenceCounts(col, n, 3));
+  }
+}
+
+TEST_P(BitmapColumnBackendTest, AccumulatorFusesManyColumns) {
+  Rng rng(17);
+  std::vector<BitmapColumn> cols;
+  std::vector<uint32_t> weights;
+  std::vector<uint32_t> expected(kUniverse, 0);
+  for (int c = 0; c < 20; ++c) {
+    std::set<uint32_t> vals;
+    size_t card = 1 + rng.Uniform(400);
+    // Mix point sets and contiguous blocks so RunOptimize produces a mix
+    // of container kinds across the columns.
+    if (c % 3 == 0) {
+      uint32_t start = static_cast<uint32_t>(rng.Uniform(kUniverse - 500));
+      for (uint32_t i = 0; i < 400; ++i) vals.insert(start + i);
+    } else {
+      for (size_t i = 0; i < card; ++i) {
+        vals.insert(static_cast<uint32_t>(rng.Uniform(kUniverse)));
+      }
+    }
+    uint32_t w = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    BitmapColumn col = BitmapColumn::FromSorted(
+        GetParam(), std::vector<uint32_t>(vals.begin(), vals.end()));
+    if (c % 2 == 0) col.RunOptimize();
+    for (uint32_t v : vals) expected[v] += w;
+    cols.push_back(std::move(col));
+    weights.push_back(w);
+  }
+  std::vector<uint32_t> counts;
+  GroupCountAccumulator acc(kUniverse, &counts);
+  for (size_t c = 0; c < cols.size(); ++c) {
+    cols[c].AccumulateInto(acc, weights[c]);
+  }
+  acc.Finish();
+  EXPECT_EQ(counts, expected);
+}
+
+TEST_P(BitmapColumnBackendTest, BasicOpsMatchReferenceModel) {
+  Rng rng(23);
+  BitmapColumn col(GetParam());
+  std::set<uint32_t> ref;
+  for (int i = 0; i < 4000; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 16));
+    col.Add(v);
+    ref.insert(v);
+  }
+  EXPECT_EQ(col.Cardinality(), ref.size());
+  EXPECT_FALSE(col.Empty());
+  EXPECT_EQ(col.ToVector(), std::vector<uint32_t>(ref.begin(), ref.end()));
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 16));
+    EXPECT_EQ(col.Contains(v), ref.count(v) > 0);
+  }
+  col.RunOptimize();
+  EXPECT_EQ(col.ToVector(), std::vector<uint32_t>(ref.begin(), ref.end()));
+}
+
+TEST_P(BitmapColumnBackendTest, WeightedIntersectMatchesContains) {
+  Rng rng(29);
+  BitmapColumn col(GetParam());
+  std::set<uint32_t> ref;
+  for (int i = 0; i < 3000; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 18));
+    col.Add(v);
+    ref.insert(v);
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> probes;
+  uint64_t expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 18));
+    uint32_t w = 1 + static_cast<uint32_t>(rng.Uniform(5));
+    probes.emplace_back(v, w);
+  }
+  std::sort(probes.begin(), probes.end());
+  for (const auto& [v, w] : probes) {
+    if (ref.count(v)) expected += w;
+  }
+  EXPECT_EQ(col.WeightedIntersect(probes.data(), probes.size()), expected);
+}
+
+TEST_P(BitmapColumnBackendTest, EmptyColumn) {
+  BitmapColumn col(GetParam());
+  EXPECT_TRUE(col.Empty());
+  EXPECT_EQ(col.Cardinality(), 0u);
+  EXPECT_FALSE(col.Contains(0));
+  std::vector<uint32_t> counts;
+  GroupCountAccumulator acc(16, &counts);
+  col.AccumulateInto(acc, 2);
+  acc.Finish();
+  EXPECT_EQ(counts, std::vector<uint32_t>(16, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BitmapColumnBackendTest,
+                         ::testing::Values(BitmapBackend::kRoaring,
+                                           BitmapBackend::kBitVector),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(GroupCountAccumulatorTest, RangesFoldExactly) {
+  std::vector<uint32_t> counts;
+  GroupCountAccumulator acc(10, &counts);
+  acc.counts()[2] += 5;
+  acc.AddRange(0, 3, 2);
+  acc.AddRange(3, 9, 1);
+  acc.AddRange(9, 9, 7);
+  acc.Finish();
+  EXPECT_EQ(counts,
+            (std::vector<uint32_t>{2, 2, 7, 3, 1, 1, 1, 1, 1, 8}));
+}
+
+TEST(GroupCountAccumulatorTest, ResetClearsState) {
+  std::vector<uint32_t> counts;
+  GroupCountAccumulator acc(4, &counts);
+  acc.AddRange(0, 3, 9);
+  acc.Finish();
+  acc.Reset(6, &counts);
+  acc.Finish();
+  EXPECT_EQ(counts, std::vector<uint32_t>(6, 0));
+}
+
+TEST(BitmapBackendTest, ParseRoundTrips) {
+  for (BitmapBackend b :
+       {BitmapBackend::kRoaring, BitmapBackend::kBitVector}) {
+    auto parsed = ParseBitmapBackend(ToString(b));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), b);
+  }
+  EXPECT_FALSE(ParseBitmapBackend("ewah").ok());
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace les3

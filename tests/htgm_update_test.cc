@@ -105,6 +105,49 @@ TEST(HtgmUpdateTest, ExactAfterManyInserts) {
   }
 }
 
+TEST(HtgmUpdateTest, BitVectorBackendMatchesRoaringAndBruteForce) {
+  // The dense node-bitmap backend must answer identically through builds,
+  // inserts (including open-universe tokens), and both query kinds.
+  NestedFixture f = MakeNested(4, 25, 13);
+  Htgm roaring(f.db, {f.coarse, f.fine}, bitmap::BitmapBackend::kRoaring);
+  Htgm dense(f.db, {f.coarse, f.fine}, bitmap::BitmapBackend::kBitVector);
+  Rng rng(15);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<TokenId> tokens;
+    size_t size = 3 + rng.Uniform(5);
+    uint32_t universe = (i % 10 == 0) ? 150 + i : 100;  // some unseen tokens
+    for (size_t t = 0; t < size; ++t) {
+      tokens.push_back(static_cast<TokenId>(rng.Uniform(universe)));
+    }
+    SetRecord s = SetRecord::FromTokens(std::move(tokens));
+    SetId id = f.db.AddSet(s);
+    GroupId gr = roaring.AddSet(id, f.db.set(id), SimilarityMeasure::kJaccard);
+    GroupId gd = dense.AddSet(id, f.db.set(id), SimilarityMeasure::kJaccard);
+    EXPECT_EQ(gr, gd);
+  }
+  baselines::BruteForce brute(&f.db);
+  for (int q = 0; q < 10; ++q) {
+    const SetRecord& query =
+        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    auto expected = brute.Knn(query, 6);
+    for (const Htgm* h : {&roaring, &dense}) {
+      auto got = h->Knn(f.db, query, 6, SimilarityMeasure::kJaccard, nullptr);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, expected[i].first);
+        EXPECT_DOUBLE_EQ(got[i].second, expected[i].second);
+      }
+      auto got_range =
+          h->Range(f.db, query, 0.4, SimilarityMeasure::kJaccard, nullptr);
+      auto expected_range = brute.Range(query, 0.4);
+      ASSERT_EQ(got_range.size(), expected_range.size());
+      for (size_t i = 0; i < got_range.size(); ++i) {
+        EXPECT_EQ(got_range[i].first, expected_range[i].first);
+      }
+    }
+  }
+}
+
 TEST(HtgmUpdateTest, SingleLevelInsertBehavesLikeFlatTgm) {
   NestedFixture f = MakeNested(4, 20, 11);
   Htgm flat(f.db, {f.fine});

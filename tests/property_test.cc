@@ -1,0 +1,238 @@
+// Differential property-test suite: every EngineBuilder backend — and both
+// TGM bitmap backends — must agree EXACTLY with brute force on randomized
+// corpora, for kNN and range queries, across similarity measures,
+// including tie-handling: since every searcher resolves similarity ties
+// toward the smaller id (HitOrder), the full hit sequence (ids,
+// similarities, order) is a deterministic function of the query, and any
+// kernel or pruning bug that changes an answer fails the diff.
+//
+// The default run sweeps a small matrix (seconds). Set
+// LES3_PROPERTY_SWEEP=full for the extended sweep across more corpus
+// regimes, measures, seeds, and query loads — CMake registers that as the
+// `property_sweep` ctest entry behind the "slow" label.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine_builder.h"
+#include "api/engine_options.h"
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace api {
+namespace {
+
+bool FullSweep() {
+  const char* env = std::getenv("LES3_PROPERTY_SWEEP");
+  return env != nullptr && std::string(env) == "full";
+}
+
+// ---------------------------------------------------------------------------
+// Corpus regimes: token-skew x set-length.
+
+struct Regime {
+  std::string name;
+  SetDatabase db;
+};
+
+SetDatabase UniformDb(uint32_t sets, uint32_t tokens, double avg,
+                      uint64_t seed) {
+  datagen::UniformOptions o;
+  o.num_sets = sets;
+  o.num_tokens = tokens;
+  o.avg_set_size = avg;
+  o.seed = seed;
+  return datagen::GenerateUniform(o);
+}
+
+SetDatabase ZipfDb(uint32_t sets, uint32_t tokens, double avg, double skew,
+                   double cluster, uint64_t seed) {
+  datagen::ZipfOptions o;
+  o.num_sets = sets;
+  o.num_tokens = tokens;
+  o.avg_set_size = avg;
+  o.zipf_exponent = skew;
+  o.cluster_fraction = cluster;
+  o.sets_per_cluster = 64;
+  o.seed = seed;
+  return datagen::GenerateZipf(o);
+}
+
+std::vector<Regime> MakeRegimes() {
+  std::vector<Regime> regimes;
+  // Dense small universe with short sets: maximal similarity collisions,
+  // the regime that stresses tie-handling.
+  regimes.push_back({"uniform_short", UniformDb(300, 50, 4.0, 21)});
+  // Skewed token popularity, medium sets: the Zipf-head columns become
+  // run/bitset containers, stressing the batched kernels.
+  regimes.push_back({"zipf_mid", ZipfDb(350, 400, 10.0, 1.0, 0.0, 22)});
+  if (FullSweep()) {
+    regimes.push_back(
+        {"zipf_clustered_long", ZipfDb(400, 800, 24.0, 0.8, 0.6, 23)});
+    regimes.push_back({"uniform_long", UniformDb(250, 600, 30.0, 24)});
+    regimes.push_back({"zipf_skewed", ZipfDb(500, 300, 8.0, 1.3, 0.2, 25)});
+  }
+  return regimes;
+}
+
+std::vector<SimilarityMeasure> MakeMeasures() {
+  std::vector<SimilarityMeasure> measures = {SimilarityMeasure::kJaccard,
+                                             SimilarityMeasure::kContainment};
+  if (FullSweep()) {
+    measures.push_back(SimilarityMeasure::kDice);
+    measures.push_back(SimilarityMeasure::kCosine);
+  }
+  return measures;
+}
+
+// ---------------------------------------------------------------------------
+// Query loads: sampled sets, perturbations, and adversarial edges.
+
+std::vector<SetRecord> MakeQueries(const SetDatabase& db, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SetRecord> queries;
+  size_t sampled = FullSweep() ? 8 : 4;
+  for (SetId id : datagen::SampleQueryIds(db, sampled, seed)) {
+    queries.push_back(db.set(id));
+  }
+  uint32_t universe = db.num_tokens();
+  // Random probe sets, including tokens absent from the database.
+  for (int i = 0; i < (FullSweep() ? 4 : 2); ++i) {
+    std::vector<TokenId> tokens;
+    size_t n = 1 + rng.Uniform(12);
+    for (size_t j = 0; j < n; ++j) {
+      tokens.push_back(static_cast<TokenId>(rng.Uniform(universe + 20)));
+    }
+    queries.push_back(SetRecord::FromTokens(std::move(tokens)));
+  }
+  // Edges: empty query, singleton, duplicate tokens, all-unseen tokens.
+  queries.push_back(SetRecord::FromTokens({}));
+  queries.push_back(SetRecord::FromTokens({0}));
+  queries.push_back(SetRecord::FromTokens({1, 1, 1, 2, 2}));
+  queries.push_back(
+      SetRecord::FromTokens({universe + 1, universe + 2, universe + 3}));
+  return queries;
+}
+
+// ---------------------------------------------------------------------------
+// Engine matrix and the exact diff.
+
+EngineOptions FastOptions(SimilarityMeasure measure) {
+  EngineOptions options;
+  options.measure = measure;
+  options.num_groups = 20;
+  options.cascade.init_groups = 12;
+  options.cascade.min_group_size = 8;
+  options.cascade.pairs_per_model = 1500;
+  options.cascade.seed = 13;
+  return options;
+}
+
+struct EngineUnderTest {
+  std::string label;
+  std::unique_ptr<SearchEngine> engine;
+};
+
+std::vector<EngineUnderTest> MakeEngines(std::shared_ptr<SetDatabase> db,
+                                         SimilarityMeasure measure) {
+  std::vector<EngineUnderTest> engines;
+  for (const std::string& name : BackendNames()) {
+    if (name == "brute_force") continue;  // the reference
+    EngineOptions options = FastOptions(measure);
+    auto built = EngineBuilder::Build(db, name, options);
+    EXPECT_TRUE(built.ok()) << name << ": " << built.status().ToString();
+    engines.push_back({name, std::move(built).ValueOrDie()});
+    // The LES3 backends additionally run under the dense bitmap backend.
+    if (name == "les3" || name == "disk_les3") {
+      options.bitmap_backend = bitmap::BitmapBackend::kBitVector;
+      auto dense = EngineBuilder::Build(db, name, options);
+      EXPECT_TRUE(dense.ok()) << name << ": " << dense.status().ToString();
+      engines.push_back({name + "+bitvector", std::move(dense).ValueOrDie()});
+    }
+  }
+  return engines;
+}
+
+/// Exact agreement: same ids, same similarities, same order — no tie
+/// tolerance.
+void ExpectExactHits(const std::vector<Hit>& expected,
+                     const std::vector<Hit>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].first, actual[i].first) << label << " rank " << i;
+    EXPECT_DOUBLE_EQ(expected[i].second, actual[i].second)
+        << label << " rank " << i;
+  }
+}
+
+TEST(PropertyTest, AllBackendsMatchBruteForceExactly) {
+  std::vector<size_t> ks = FullSweep() ? std::vector<size_t>{1, 3, 10, 50}
+                                       : std::vector<size_t>{1, 3, 10};
+  std::vector<double> deltas = FullSweep()
+                                   ? std::vector<double>{0.2, 0.5, 2.0 / 3.0,
+                                                         0.8, 1.0}
+                                   : std::vector<double>{0.25, 0.5, 0.8};
+  for (auto& regime : MakeRegimes()) {
+    auto db = std::make_shared<SetDatabase>(std::move(regime.db));
+    auto queries = MakeQueries(*db, 31);
+    for (SimilarityMeasure measure : MakeMeasures()) {
+      auto reference =
+          EngineBuilder::Build(db, "brute_force", FastOptions(measure));
+      ASSERT_TRUE(reference.ok());
+      auto engines = MakeEngines(db, measure);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const SetRecord& q = queries[qi];
+        for (size_t k : ks) {
+          auto expected = reference.value()->Knn(q, k);
+          for (const auto& e : engines) {
+            ExpectExactHits(expected.hits, e.engine->Knn(q, k).hits,
+                            regime.name + "/" + ToString(measure) + "/" +
+                                e.label + "/knn k=" + std::to_string(k) +
+                                " q=" + std::to_string(qi));
+          }
+        }
+        for (double delta : deltas) {
+          auto expected = reference.value()->Range(q, delta);
+          for (const auto& e : engines) {
+            ExpectExactHits(expected.hits, e.engine->Range(q, delta).hits,
+                            regime.name + "/" + ToString(measure) + "/" +
+                                e.label + "/range d=" + std::to_string(delta) +
+                                " q=" + std::to_string(qi));
+          }
+        }
+      }
+    }
+  }
+}
+
+/// k larger than the database must return everything, in HitOrder, on
+/// every backend (the all-ties tail is where ordering bugs hide).
+TEST(PropertyTest, OverlongKnnReturnsWholeDatabaseInOrder) {
+  auto db = std::make_shared<SetDatabase>(UniformDb(120, 40, 4.0, 41));
+  auto queries = MakeQueries(*db, 42);
+  for (SimilarityMeasure measure : MakeMeasures()) {
+    auto reference =
+        EngineBuilder::Build(db, "brute_force", FastOptions(measure));
+    ASSERT_TRUE(reference.ok());
+    auto engines = MakeEngines(db, measure);
+    for (const SetRecord& q : queries) {
+      auto expected = reference.value()->Knn(q, db->size() + 10);
+      ASSERT_EQ(expected.hits.size(), db->size());
+      for (const auto& e : engines) {
+        ExpectExactHits(expected.hits,
+                        e.engine->Knn(q, db->size() + 10).hits,
+                        e.label + "/overlong " + ToString(measure));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace les3

@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "bitmap/kernels.h"
 #include "util/random.h"
 
 namespace les3 {
@@ -173,6 +174,150 @@ TEST(RoaringTest, AndCardinalityMatchesReference) {
     EXPECT_EQ(b.AndCardinality(a), expected);
     EXPECT_EQ(a.OrCardinality(b), ra.size() + rb.size() - expected);
   }
+}
+
+// --------------------------------------------------------------------------
+// Container-boundary behavior. Container kinds are not directly
+// observable; MemoryBytes pins them down exactly: an array costs
+// 2 bytes/value, a bitset a flat 8192, a run 4 bytes/run (+2 bytes/chunk
+// key either way).
+
+TEST(RoaringTest, ArrayHoldsExactlyAtThreshold) {
+  // 4096 values in one chunk: still an array, 2 bytes each.
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 4096; ++i) values.push_back(i * 3);
+  Roaring r = Roaring::FromSorted(values);
+  EXPECT_EQ(r.MemoryBytes(), 2u + 4096 * 2u);
+  EXPECT_EQ(r.Cardinality(), 4096u);
+}
+
+TEST(RoaringTest, AddPromotesToBitsetPastThreshold) {
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 4096; ++i) values.push_back(i * 3);
+  Roaring r = Roaring::FromSorted(values);
+  r.Add(1);  // 4097th value: array must promote to bitset
+  EXPECT_EQ(r.MemoryBytes(), 2u + 1024 * 8u);
+  EXPECT_EQ(r.Cardinality(), 4097u);
+  EXPECT_TRUE(r.Contains(1));
+  EXPECT_TRUE(r.Contains(4095 * 3));
+  // Re-adding an existing value at the boundary must NOT promote.
+  Roaring s = Roaring::FromSorted(values);
+  s.Add(0);
+  EXPECT_EQ(s.MemoryBytes(), 2u + 4096 * 2u);
+  EXPECT_EQ(s.Cardinality(), 4096u);
+}
+
+TEST(RoaringTest, FromSortedPicksBitsetPastThreshold) {
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 4097; ++i) values.push_back(i * 3);
+  Roaring r = Roaring::FromSorted(values);
+  EXPECT_EQ(r.MemoryBytes(), 2u + 1024 * 8u);
+  EXPECT_EQ(r.ToVector(), values);
+}
+
+TEST(RoaringTest, RunOptimizeDemotesBitsetAndRoundTrips) {
+  // A full interval of 5000 values builds as a bitset; RunOptimize must
+  // demote it to a single run and preserve content exactly.
+  std::vector<uint32_t> values;
+  for (uint32_t i = 1000; i < 6000; ++i) values.push_back(i);
+  Roaring r = Roaring::FromSorted(values);
+  EXPECT_EQ(r.MemoryBytes(), 2u + 1024 * 8u);
+  EXPECT_EQ(r.RunOptimize(), 1u);
+  EXPECT_EQ(r.MemoryBytes(), 2u + 4u);  // one run
+  EXPECT_EQ(r.ToVector(), values);
+  // A second RunOptimize is a no-op on an already-run container.
+  EXPECT_EQ(r.RunOptimize(), 0u);
+  EXPECT_EQ(r.ToVector(), values);
+}
+
+TEST(RoaringTest, RunOptimizeKeepsIncompressibleContainers) {
+  // Isolated even values have as many runs as values; run encoding would
+  // be 2x the array, so the container must stay an array.
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 100; ++i) values.push_back(i * 2);
+  Roaring r = Roaring::FromSorted(values);
+  uint64_t before = r.MemoryBytes();
+  EXPECT_EQ(r.RunOptimize(), 0u);
+  EXPECT_EQ(r.MemoryBytes(), before);
+}
+
+// --------------------------------------------------------------------------
+// AndCardinality and AccumulateInto across all container-kind pairs.
+
+/// Builds one single-chunk bitmap of the requested kind (verified via
+/// MemoryBytes) together with its reference contents.
+struct KindFixture {
+  Roaring bitmap;
+  std::set<uint32_t> ref;
+};
+
+KindFixture MakeKind(int kind, uint64_t seed) {
+  KindFixture f;
+  Rng rng(seed);
+  std::vector<uint32_t> values;
+  switch (kind) {
+    case 0:  // array: sparse random, below threshold
+      for (int i = 0; i < 2000; ++i) {
+        f.ref.insert(static_cast<uint32_t>(rng.Uniform(1u << 16)));
+      }
+      f.bitmap = Roaring::FromSorted({f.ref.begin(), f.ref.end()});
+      break;
+    case 1:  // bitset: dense random, above threshold, incompressible
+      for (int i = 0; i < 20000; ++i) {
+        f.ref.insert(static_cast<uint32_t>(rng.Uniform(1u << 16)));
+      }
+      f.bitmap = Roaring::FromSorted({f.ref.begin(), f.ref.end()});
+      break;
+    default:  // run: a few long intervals, then RunOptimize
+      for (int block = 0; block < 4; ++block) {
+        uint32_t start = static_cast<uint32_t>(rng.Uniform(50000));
+        for (uint32_t i = 0; i < 3000; ++i) f.ref.insert(start + i);
+      }
+      f.bitmap = Roaring::FromSorted({f.ref.begin(), f.ref.end()});
+      f.bitmap.RunOptimize();
+      EXPECT_EQ(f.bitmap.MemoryBytes() % 4, 2u);  // 2-byte key + 4-byte runs
+      break;
+  }
+  return f;
+}
+
+TEST(RoaringTest, AndCardinalityAcrossAllNineKindPairs) {
+  for (int ka = 0; ka < 3; ++ka) {
+    for (int kb = 0; kb < 3; ++kb) {
+      KindFixture a = MakeKind(ka, 100 + ka);
+      KindFixture b = MakeKind(kb, 200 + kb);
+      uint64_t expected = 0;
+      for (uint32_t v : a.ref) expected += b.ref.count(v);
+      EXPECT_EQ(a.bitmap.AndCardinality(b.bitmap), expected)
+          << "kinds " << ka << " x " << kb;
+      EXPECT_EQ(b.bitmap.AndCardinality(a.bitmap), expected)
+          << "kinds " << kb << " x " << ka;
+    }
+  }
+}
+
+TEST(RoaringTest, AccumulateIntoAcrossAllKinds) {
+  // Fuse one column of each kind with distinct weights; the accumulator
+  // must agree with a scalar reference regardless of which kernels fire.
+  std::vector<uint32_t> expected(1u << 16, 0);
+  std::vector<KindFixture> fixtures;
+  for (int kind = 0; kind < 3; ++kind) {
+    fixtures.push_back(MakeKind(kind, 300 + kind));
+    for (uint32_t v : fixtures.back().ref) expected[v] += kind + 1;
+  }
+  std::vector<uint32_t> counts;
+  GroupCountAccumulator acc(1u << 16, &counts);
+  for (int kind = 0; kind < 3; ++kind) {
+    fixtures[kind].bitmap.AccumulateInto(acc, kind + 1);
+  }
+  acc.Finish();
+  EXPECT_EQ(counts, expected);
+  // The direct-array kernel must agree as well.
+  std::vector<uint32_t> direct(1u << 16, 0);
+  for (int kind = 0; kind < 3; ++kind) {
+    fixtures[kind].bitmap.AccumulateInto(direct.data(), kind + 1);
+  }
+  EXPECT_EQ(direct, expected);
 }
 
 TEST(RoaringTest, MemoryBytesSparseVsDense) {

@@ -3,14 +3,16 @@
 //
 //   les3_cli stats    <sets.txt>
 //   les3_cli backends
-//   les3_cli knn      <sets.txt> <k>     "<query tokens>" [backend] [measure] [groups]
-//   les3_cli range    <sets.txt> <delta> "<query tokens>" [backend] [measure] [groups]
+//   les3_cli knn      <sets.txt> <k>     "<query tokens>" [backend] [measure] [groups] [bitmap]
+//   les3_cli range    <sets.txt> <delta> "<query tokens>" [backend] [measure] [groups] [bitmap]
 //
 // <sets.txt>: one set per line, whitespace-separated integer token ids —
 // the format the public benchmarks (KOSARAK, DBLP, ...) ship in.
 // [backend]: any name from `les3_cli backends` (default: les3).
-// [measure]: jaccard (default) | dice | cosine.
+// [measure]: jaccard (default) | dice | cosine | containment.
 // [groups]:  number of L2P groups (default: the 0.5% |D| heuristic).
+// [bitmap]:  TGM column representation, roaring (default) | bitvector
+//            (les3 / disk_les3 only; see the README trade-off notes).
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,9 +33,11 @@ int Usage() {
                "  les3_cli stats    <sets.txt>\n"
                "  les3_cli backends\n"
                "  les3_cli knn      <sets.txt> <k>     \"<query>\" [backend] "
-               "[jaccard|dice|cosine] [groups]\n"
+               "[jaccard|dice|cosine|containment] [groups] "
+               "[roaring|bitvector]\n"
                "  les3_cli range    <sets.txt> <delta> \"<query>\" [backend] "
-               "[jaccard|dice|cosine] [groups]\n");
+               "[jaccard|dice|cosine|containment] [groups] "
+               "[roaring|bitvector]\n");
   return 2;
 }
 
@@ -41,6 +45,7 @@ Result<SimilarityMeasure> ParseMeasure(const std::string& name) {
   if (name == "jaccard") return SimilarityMeasure::kJaccard;
   if (name == "dice") return SimilarityMeasure::kDice;
   if (name == "cosine") return SimilarityMeasure::kCosine;
+  if (name == "containment") return SimilarityMeasure::kContainment;
   return Status::InvalidArgument("unknown measure: " + name);
 }
 
@@ -68,6 +73,14 @@ int RunQuery(int argc, char** argv, bool knn) {
     options.measure = measure.value();
   }
   if (argc > 7) options.num_groups = static_cast<uint32_t>(atoi(argv[7]));
+  if (argc > 8) {
+    auto bitmap = bitmap::ParseBitmapBackend(argv[8]);
+    if (!bitmap.ok()) {
+      std::fprintf(stderr, "error: %s\n", bitmap.status().ToString().c_str());
+      return 1;
+    }
+    options.bitmap_backend = bitmap.value();
+  }
 
   std::fprintf(stderr, "indexing %zu sets...\n", db.value().size());
   WallTimer build_timer;
