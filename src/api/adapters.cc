@@ -41,6 +41,21 @@ std::string DescribeMeasure(const EngineOptions& options) {
   return "measure=" + ToString(options.measure);
 }
 
+/// Shared describe tail for the les3-family engines: group count, bitmap
+/// backend, persisted-model count, and snapshot provenance.
+std::string DescribeLes3(SimilarityMeasure measure, uint32_t groups,
+                         bitmap::BitmapBackend bitmap_backend,
+                         size_t num_models, bool from_snapshot) {
+  std::string s = "measure=" + ToString(measure) +
+                  ", groups=" + std::to_string(groups) +
+                  ", bitmap=" + bitmap::ToString(bitmap_backend);
+  if (num_models > 0) s += ", l2p_models=" + std::to_string(num_models);
+  if (from_snapshot) {
+    s += ", snapshot=v" + std::to_string(persist::kSnapshotVersion);
+  }
+  return s;
+}
+
 baselines::InvIdxOptions InvIdxFrom(const EngineOptions& options) {
   baselines::InvIdxOptions o = options.invidx;
   o.measure = options.measure;
@@ -119,20 +134,66 @@ class DiskEngine : public SearchEngine {
   std::string Describe() const override { return describe_; }
   const SetDatabase& db() const override { return *db_; }
 
- private:
+ protected:
   std::shared_ptr<SetDatabase> db_;
   Index index_;
   std::string describe_;
 };
 
-/// LES3 absorbs inserts (Section 6); the index shares the adapter's db.
+/// LES3 absorbs inserts (Section 6) and persists as a snapshot; the index
+/// shares the adapter's db. `l2p_models` is the trained-partitioner
+/// snapshot carried for Save() — nothing on the query/insert path reads
+/// it (Section 6 routes inserts through the TGM), so an engine without
+/// persisted weights behaves identically.
 class Les3Engine : public MemoryEngine<search::Les3Index> {
  public:
-  using MemoryEngine::MemoryEngine;
+  Les3Engine(std::shared_ptr<SetDatabase> db, search::Les3Index index,
+             std::string describe, const EngineOptions& options,
+             std::vector<l2p::CascadeModelSnapshot> l2p_models)
+      : MemoryEngine(std::move(db), std::move(index), std::move(describe),
+                     options),
+        l2p_models_(std::move(l2p_models)) {}
 
   Result<SetId> Insert(SetRecord set) override {
     return index_.Insert(std::move(set));
   }
+
+  Status Save(const std::string& path) const override {
+    persist::SnapshotMeta meta;
+    meta.backend = "les3";
+    meta.measure = index_.measure();
+    meta.bitmap_backend = index_.bitmap_backend();
+    return persist::SaveSnapshot(path, meta, *db_, index_.tgm(),
+                                 l2p_models_);
+  }
+
+ private:
+  std::vector<l2p::CascadeModelSnapshot> l2p_models_;
+};
+
+/// Disk-resident LES3 persists through the same snapshot format (the
+/// GroupContiguous layout is regenerated from the assignment on reload,
+/// so only the matrix travels).
+class DiskLes3Engine : public DiskEngine<storage::DiskLes3> {
+ public:
+  DiskLes3Engine(std::shared_ptr<SetDatabase> db, storage::DiskLes3 index,
+                 std::string describe, const EngineOptions& options,
+                 std::vector<l2p::CascadeModelSnapshot> l2p_models)
+      : DiskEngine(std::move(db), std::move(index), std::move(describe),
+                   options),
+        l2p_models_(std::move(l2p_models)) {}
+
+  Status Save(const std::string& path) const override {
+    persist::SnapshotMeta meta;
+    meta.backend = "disk_les3";
+    meta.measure = index_.measure();
+    meta.bitmap_backend = index_.tgm().bitmap_backend();
+    return persist::SaveSnapshot(path, meta, *db_, index_.tgm(),
+                                 l2p_models_);
+  }
+
+ private:
+  std::vector<l2p::CascadeModelSnapshot> l2p_models_;
 };
 
 /// A scan has no index to maintain, so inserts are just appends.
@@ -150,16 +211,22 @@ class BruteForceEngine : public MemoryEngine<baselines::BruteForce> {
 std::unique_ptr<SearchEngine> MakeLes3Engine(std::shared_ptr<SetDatabase> db,
                                              const EngineOptions& options) {
   uint32_t groups = search::ResolveNumGroups(*db, options.num_groups);
-  auto part =
-      search::PartitionWithL2P(*db, groups, options.measure, options.cascade);
+  l2p::CascadeOptions cascade = options.cascade;
+  cascade.keep_models = options.keep_l2p_models;
+  l2p::CascadeResult cascade_result;
+  auto part = search::PartitionWithL2P(
+      *db, groups, options.measure, cascade,
+      options.keep_l2p_models ? &cascade_result : nullptr);
   search::Les3Index index(db, part.assignment, part.num_groups,
                           options.measure, options.bitmap_backend);
   return std::make_unique<Les3Engine>(
       std::move(db), std::move(index),
-      "les3(" + DescribeMeasure(options) +
-          ", groups=" + std::to_string(part.num_groups) +
-          ", bitmap=" + bitmap::ToString(options.bitmap_backend) + ")",
-      options);
+      "les3(" + DescribeLes3(options.measure, part.num_groups,
+                             options.bitmap_backend,
+                             cascade_result.models.size(),
+                             /*from_snapshot=*/false) +
+          ")",
+      options, std::move(cascade_result.models));
 }
 
 std::unique_ptr<SearchEngine> MakeBruteForceEngine(
@@ -193,17 +260,47 @@ std::unique_ptr<SearchEngine> MakeDualTransEngine(
 std::unique_ptr<SearchEngine> MakeDiskLes3Engine(
     std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
   uint32_t groups = search::ResolveNumGroups(*db, options.num_groups);
-  auto part =
-      search::PartitionWithL2P(*db, groups, options.measure, options.cascade);
+  l2p::CascadeOptions cascade = options.cascade;
+  cascade.keep_models = options.keep_l2p_models;
+  l2p::CascadeResult cascade_result;
+  auto part = search::PartitionWithL2P(
+      *db, groups, options.measure, cascade,
+      options.keep_l2p_models ? &cascade_result : nullptr);
   storage::DiskLes3 index(db.get(), part.assignment, part.num_groups,
                           options.measure, options.disk,
                           options.bitmap_backend);
-  return std::make_unique<DiskEngine<storage::DiskLes3>>(
+  return std::make_unique<DiskLes3Engine>(
       std::move(db), std::move(index),
-      "disk_les3(" + DescribeMeasure(options) +
-          ", groups=" + std::to_string(part.num_groups) +
-          ", bitmap=" + bitmap::ToString(options.bitmap_backend) + ")",
-      options);
+      "disk_les3(" + DescribeLes3(options.measure, part.num_groups,
+                                  options.bitmap_backend,
+                                  cascade_result.models.size(),
+                                  /*from_snapshot=*/false) +
+          ")",
+      options, std::move(cascade_result.models));
+}
+
+std::unique_ptr<SearchEngine> OpenSnapshotEngine(
+    persist::LoadedSnapshot snapshot, const std::string& backend,
+    const OpenOptions& options) {
+  EngineOptions engine_options;
+  engine_options.num_threads = options.num_threads;
+  std::string describe_tail =
+      DescribeLes3(snapshot.meta.measure, snapshot.tgm.num_groups(),
+                   snapshot.meta.bitmap_backend, snapshot.models.size(),
+                   /*from_snapshot=*/true);
+  if (backend == "disk_les3") {
+    storage::DiskLes3 index(snapshot.db.get(), std::move(snapshot.tgm),
+                            snapshot.meta.measure, options.disk);
+    return std::make_unique<DiskLes3Engine>(
+        std::move(snapshot.db), std::move(index),
+        "disk_les3(" + describe_tail + ")", engine_options,
+        std::move(snapshot.models));
+  }
+  search::Les3Index index(snapshot.db, std::move(snapshot.tgm),
+                          snapshot.meta.measure);
+  return std::make_unique<Les3Engine>(
+      std::move(snapshot.db), std::move(index), "les3(" + describe_tail + ")",
+      engine_options, std::move(snapshot.models));
 }
 
 std::unique_ptr<SearchEngine> MakeDiskBruteForceEngine(

@@ -10,6 +10,7 @@
 
 #include "api/engine_options.h"
 #include "api/search_engine.h"
+#include "persist/snapshot.h"
 
 namespace les3 {
 namespace api {
@@ -31,6 +32,13 @@ std::unique_ptr<SearchEngine> MakeDiskInvIdxEngine(
     std::shared_ptr<SetDatabase> db, const EngineOptions& options);
 std::unique_ptr<SearchEngine> MakeDiskDualTransEngine(
     std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+
+/// Reconstructs a les3 or disk_les3 engine from a decoded snapshot —
+/// zero partitioning/training work. `backend` must be "les3" or
+/// "disk_les3" (EngineBuilder::Open resolves the default beforehand).
+std::unique_ptr<SearchEngine> OpenSnapshotEngine(
+    persist::LoadedSnapshot snapshot, const std::string& backend,
+    const OpenOptions& options);
 
 }  // namespace internal
 }  // namespace api

@@ -80,5 +80,26 @@ Result<std::unique_ptr<SearchEngine>> EngineBuilder::Build(
   return Build(std::move(db), options);
 }
 
+Result<std::unique_ptr<SearchEngine>> EngineBuilder::Open(
+    const std::string& path, const OpenOptions& options) {
+  auto snapshot = persist::LoadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  // The snapshot content is shared by the les3 family; an explicit backend
+  // may reopen it memory- or disk-resident, anything else is a caller bug.
+  std::string backend =
+      options.backend.empty() ? snapshot.value().meta.backend
+                              : options.backend;
+  if (backend != "les3" && backend != "disk_les3") {
+    return Status::InvalidArgument(
+        "snapshots hold a les3-family index; cannot open as \"" + backend +
+        "\" (use \"les3\", \"disk_les3\", or leave the backend empty)");
+  }
+  if (options.disk.page_bytes == 0) {
+    return Status::InvalidArgument("disk.page_bytes must be positive");
+  }
+  return internal::OpenSnapshotEngine(std::move(snapshot).ValueOrDie(),
+                                      backend, options);
+}
+
 }  // namespace api
 }  // namespace les3

@@ -46,6 +46,17 @@ class EngineBuilder {
   static Result<std::unique_ptr<SearchEngine>> Build(
       std::shared_ptr<SetDatabase> db, const std::string& backend,
       EngineOptions options = {});
+
+  /// \brief Reopens a snapshot written by SearchEngine::Save.
+  ///
+  /// Runs zero partitioning/training work: the database, assignment, TGM
+  /// columns, and (if persisted) L2P weights come straight off the file,
+  /// and the reloaded engine answers every query exactly as the engine
+  /// that was saved (the save/load differential property tests hold both
+  /// to that). Describe() reflects the snapshot provenance. Malformed or
+  /// corrupted files return a Status — never a crash.
+  static Result<std::unique_ptr<SearchEngine>> Open(
+      const std::string& path, const OpenOptions& options = {});
 };
 
 }  // namespace api

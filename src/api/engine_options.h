@@ -70,6 +70,13 @@ struct EngineOptions {
   /// overridden from `num_groups` and `measure`.
   l2p::CascadeOptions cascade;
 
+  /// Retain the trained L2P cascade weights in the engine so Save()
+  /// persists them (les3 / disk_les3). Costs memory proportional to the
+  /// model count; queries and inserts never read them (Section 6 routes
+  /// inserts through the TGM), so this is purely about making the learned
+  /// partitioner part of the snapshot artifact.
+  bool keep_l2p_models = false;
+
   /// Inverted-index knobs (invidx / disk_invidx).
   baselines::InvIdxOptions invidx;
 
@@ -77,6 +84,25 @@ struct EngineOptions {
   baselines::DualTransOptions dualtrans;
 
   /// HDD cost model (disk_* backends).
+  storage::DiskOptions disk;
+
+  /// Worker threads for KnnBatch / RangeBatch; 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// \brief Knobs for EngineBuilder::Open — reloading a saved snapshot.
+///
+/// Opening bypasses partitioning and training entirely: the engine is
+/// reconstructed from the persisted assignment and TGM columns, so only
+/// runtime knobs (not construction knobs) apply here.
+struct OpenOptions {
+  /// Backend to reopen as: "" uses the backend recorded in the snapshot;
+  /// "les3" / "disk_les3" reopen the same index memory- or disk-resident
+  /// (the two share one snapshot content). Anything else is
+  /// InvalidArgument.
+  std::string backend;
+
+  /// HDD cost model when reopening as disk_les3.
   storage::DiskOptions disk;
 
   /// Worker threads for KnnBatch / RangeBatch; 0 = hardware concurrency.

@@ -31,5 +31,9 @@ Result<SetId> SearchEngine::Insert(SetRecord) {
   return Status::NotSupported(Describe() + " does not support inserts");
 }
 
+Status SearchEngine::Save(const std::string&) const {
+  return Status::NotSupported(Describe() + " does not support snapshots");
+}
+
 }  // namespace api
 }  // namespace les3

@@ -86,6 +86,13 @@ class SearchEngine {
   /// database shared with any sibling engines built over it.
   virtual Result<SetId> Insert(SetRecord set);
 
+  /// Persists the built index as a versioned snapshot
+  /// (docs/snapshot_format.md) that EngineBuilder::Open reloads without
+  /// any partitioning or training work. Supported by the les3-family
+  /// backends (les3, disk_les3); others return NotSupported. Not safe
+  /// concurrently with Insert on the same engine.
+  virtual Status Save(const std::string& path) const;
+
   /// Index footprint in bytes (Figure 11's metric); 0 for index-free
   /// backends such as brute force.
   virtual uint64_t IndexBytes() const = 0;

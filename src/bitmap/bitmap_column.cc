@@ -1,5 +1,7 @@
 #include "bitmap/bitmap_column.h"
 
+#include "persist/bytes.h"
+
 namespace les3 {
 namespace bitmap {
 
@@ -47,6 +49,50 @@ bool BitmapColumn::Contains(uint32_t value) const {
   if (const auto* r = std::get_if<Roaring>(&rep_)) return r->Contains(value);
   const Dense& d = std::get<Dense>(rep_);
   return value < d.bits.size() && d.bits.Get(value);
+}
+
+void BitmapColumn::Serialize(persist::ByteWriter* writer) const {
+  if (const auto* r = std::get_if<Roaring>(&rep_)) {
+    writer->WriteU8(static_cast<uint8_t>(BitmapBackend::kRoaring));
+    r->Serialize(writer);
+    return;
+  }
+  const Dense& d = std::get<Dense>(rep_);
+  writer->WriteU8(static_cast<uint8_t>(BitmapBackend::kBitVector));
+  writer->WriteU64(d.cardinality);
+  d.bits.Serialize(writer);
+}
+
+Result<BitmapColumn> BitmapColumn::Deserialize(persist::ByteReader* reader,
+                                               uint32_t universe_bound) {
+  uint8_t tag = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU8(&tag));
+  if (tag == static_cast<uint8_t>(BitmapBackend::kRoaring)) {
+    auto roaring = Roaring::Deserialize(reader, universe_bound);
+    if (!roaring.ok()) return roaring.status();
+    BitmapColumn col(BitmapBackend::kRoaring);
+    std::get<Roaring>(col.rep_) = std::move(roaring).ValueOrDie();
+    return col;
+  }
+  if (tag == static_cast<uint8_t>(BitmapBackend::kBitVector)) {
+    uint64_t cardinality = 0;
+    LES3_RETURN_NOT_OK(reader->ReadU64(&cardinality));
+    auto bits = BitVector::Deserialize(reader, universe_bound);
+    if (!bits.ok()) return bits.status();
+    BitmapColumn col(BitmapBackend::kBitVector);
+    Dense& d = std::get<Dense>(col.rep_);
+    d.bits = std::move(bits).ValueOrDie();
+    // Empty() and Cardinality() trust this counter; verify it against the
+    // actual bits before anything downstream does.
+    if (d.bits.Count() != cardinality) {
+      return Status::InvalidArgument(
+          "dense column cardinality does not match its popcount");
+    }
+    d.cardinality = cardinality;
+    return col;
+  }
+  return Status::InvalidArgument("unknown bitmap column backend tag " +
+                                 std::to_string(tag));
 }
 
 std::vector<uint32_t> BitmapColumn::ToVector() const {

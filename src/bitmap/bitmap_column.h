@@ -129,6 +129,18 @@ class BitmapColumn {
   /// All values, ascending (test/debug helper).
   std::vector<uint32_t> ToVector() const;
 
+  /// Serializes a backend tag plus the active representation's exact state
+  /// (docs/snapshot_format.md); re-serializing a deserialized column is
+  /// byte-identical.
+  void Serialize(persist::ByteWriter* writer) const;
+
+  /// Bounds-checked inverse: validates the representation invariants and
+  /// rejects any stored value >= `universe_bound` (the group count), so a
+  /// corrupted column can never drive the accumulation kernels out of the
+  /// counter array.
+  static Result<BitmapColumn> Deserialize(persist::ByteReader* reader,
+                                          uint32_t universe_bound);
+
  private:
   // BitVector has no cardinality counter of its own, so the dense
   // alternative carries one (Count() would be a full word scan).

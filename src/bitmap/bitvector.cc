@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitmap/kernels.h"
+#include "persist/bytes.h"
 
 namespace les3 {
 namespace bitmap {
@@ -33,6 +34,33 @@ uint64_t BitVector::AndCount(const BitVector& other) const {
 
 void BitVector::AccumulateInto(uint32_t* counts, uint32_t weight) const {
   AccumulateWords(words_.data(), words_.size(), /*base=*/0, counts, weight);
+}
+
+void BitVector::Serialize(persist::ByteWriter* writer) const {
+  writer->WriteU64(num_bits_);
+  for (uint64_t w : words_) writer->WriteU64(w);
+}
+
+Result<BitVector> BitVector::Deserialize(persist::ByteReader* reader,
+                                         uint64_t max_bits) {
+  uint64_t num_bits = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU64(&num_bits));
+  if (num_bits > max_bits) {
+    return Status::OutOfRange("bit vector size " + std::to_string(num_bits) +
+                              " exceeds universe bound " +
+                              std::to_string(max_bits));
+  }
+  BitVector bits(num_bits);
+  for (auto& w : bits.words_) LES3_RETURN_NOT_OK(reader->ReadU64(&w));
+  // Stray bits past the logical end would leak into the whole-word kernels
+  // (and, for positions >= the group universe, into out-of-range counter
+  // writes), so they are structural corruption.
+  if ((num_bits & 63) != 0 &&
+      (bits.words_.back() & ~((1ULL << (num_bits & 63)) - 1)) != 0) {
+    return Status::InvalidArgument(
+        "bit vector has bits set past its logical size");
+  }
+  return bits;
 }
 
 uint64_t BitVector::WeightedIntersect(

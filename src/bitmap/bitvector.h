@@ -11,7 +11,15 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace les3 {
+
+namespace persist {
+class ByteWriter;
+class ByteReader;
+}  // namespace persist
+
 namespace bitmap {
 
 /// \brief Fixed-size dense bit vector.
@@ -68,6 +76,15 @@ class BitVector {
   uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
 
   const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Serializes num_bits + the word array (docs/snapshot_format.md).
+  void Serialize(persist::ByteWriter* writer) const;
+
+  /// Bounds-checked inverse. Rejects num_bits > `max_bits` and any set bit
+  /// at or beyond num_bits (stray trailing bits would corrupt the word-scan
+  /// kernels, which visit whole words).
+  static Result<BitVector> Deserialize(persist::ByteReader* reader,
+                                       uint64_t max_bits);
 
  private:
   uint64_t num_bits_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitmap/kernels.h"
+#include "persist/bytes.h"
 #include "util/logging.h"
 
 namespace les3 {
@@ -388,6 +389,146 @@ std::vector<uint32_t> Roaring::ToVector() const {
   out.reserve(Cardinality());
   ForEach([&](uint32_t v) { out.push_back(v); });
   return out;
+}
+
+namespace {
+
+// Container kind tags in the serialized form (docs/snapshot_format.md).
+constexpr uint8_t kArrayTag = 0;
+constexpr uint8_t kBitsetTag = 1;
+constexpr uint8_t kRunTag = 2;
+
+}  // namespace
+
+void Roaring::Serialize(persist::ByteWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(keys_.size()));
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    writer->WriteU16(keys_[i]);
+    const Container& c = containers_[i];
+    if (const auto* a = std::get_if<ArrayContainer>(&c)) {
+      writer->WriteU8(kArrayTag);
+      writer->WriteU32(static_cast<uint32_t>(a->values.size()));
+      for (uint16_t v : a->values) writer->WriteU16(v);
+    } else if (const auto* b = std::get_if<BitsetContainer>(&c)) {
+      writer->WriteU8(kBitsetTag);
+      writer->WriteU32(b->cardinality);
+      for (uint64_t w : b->words) writer->WriteU64(w);
+    } else {
+      const auto& runs = std::get<RunContainer>(c).runs;
+      writer->WriteU8(kRunTag);
+      writer->WriteU32(static_cast<uint32_t>(runs.size()));
+      for (const auto& r : runs) {
+        writer->WriteU16(r.start);
+        writer->WriteU16(r.length);
+      }
+    }
+  }
+}
+
+Result<Roaring> Roaring::Deserialize(persist::ByteReader* reader,
+                                     uint32_t universe_bound) {
+  uint32_t num_containers = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU32(&num_containers));
+  if (num_containers > 65536) {
+    return Status::InvalidArgument("roaring bitmap claims " +
+                                   std::to_string(num_containers) +
+                                   " containers (max 65536)");
+  }
+  Roaring r;
+  r.keys_.reserve(num_containers);
+  r.containers_.reserve(num_containers);
+  uint32_t prev_key = 0;
+  for (uint32_t i = 0; i < num_containers; ++i) {
+    uint16_t key = 0;
+    uint8_t tag = 0;
+    LES3_RETURN_NOT_OK(reader->ReadU16(&key));
+    LES3_RETURN_NOT_OK(reader->ReadU8(&tag));
+    if (i > 0 && key <= prev_key) {
+      return Status::InvalidArgument(
+          "roaring container keys not strictly ascending");
+    }
+    prev_key = key;
+    uint32_t base = static_cast<uint32_t>(key) << 16;
+    uint32_t max_low = 0;  // highest low-16 value present in this container
+    if (tag == kArrayTag) {
+      uint32_t count = 0;
+      LES3_RETURN_NOT_OK(reader->ReadU32(&count));
+      // Strictly ascending uint16 values bound the count at 65536; checking
+      // first also caps the allocation below at the container maximum.
+      if (count == 0 || count > 65536) {
+        return Status::InvalidArgument("array container count " +
+                                       std::to_string(count) +
+                                       " outside [1, 65536]");
+      }
+      ArrayContainer a;
+      a.values.resize(count);
+      for (uint32_t j = 0; j < count; ++j) {
+        LES3_RETURN_NOT_OK(reader->ReadU16(&a.values[j]));
+        if (j > 0 && a.values[j] <= a.values[j - 1]) {
+          return Status::InvalidArgument(
+              "array container values not strictly ascending");
+        }
+      }
+      max_low = a.values.back();
+      r.containers_.push_back(std::move(a));
+    } else if (tag == kBitsetTag) {
+      BitsetContainer b;
+      LES3_RETURN_NOT_OK(reader->ReadU32(&b.cardinality));
+      uint64_t popcount = 0;
+      for (uint32_t w = 0; w < 1024; ++w) {
+        LES3_RETURN_NOT_OK(reader->ReadU64(&b.words[w]));
+        popcount += __builtin_popcountll(b.words[w]);
+        if (b.words[w] != 0) {
+          max_low = (w << 6) + (63 - __builtin_clzll(b.words[w]));
+        }
+      }
+      // The kernels and cardinality accounting trust this counter; a
+      // mismatch is corruption, not a tolerable inconsistency.
+      if (popcount == 0 || popcount != b.cardinality) {
+        return Status::InvalidArgument(
+            "bitset container cardinality does not match its popcount");
+      }
+      r.containers_.push_back(std::move(b));
+    } else if (tag == kRunTag) {
+      uint32_t num_runs = 0;
+      LES3_RETURN_NOT_OK(reader->ReadU32(&num_runs));
+      if (num_runs == 0 || num_runs > 32768) {
+        return Status::InvalidArgument("run container run count " +
+                                       std::to_string(num_runs) +
+                                       " outside [1, 32768]");
+      }
+      RunContainer rc;
+      rc.runs.resize(num_runs);
+      int64_t prev_end = -2;  // runs must be sorted and non-adjacent
+      for (uint32_t j = 0; j < num_runs; ++j) {
+        LES3_RETURN_NOT_OK(reader->ReadU16(&rc.runs[j].start));
+        LES3_RETURN_NOT_OK(reader->ReadU16(&rc.runs[j].length));
+        int64_t start = rc.runs[j].start;
+        int64_t end = start + rc.runs[j].length;
+        if (start <= prev_end + 1) {
+          return Status::InvalidArgument(
+              "run container runs overlap, touch, or are unsorted");
+        }
+        if (end > 65535) {
+          return Status::InvalidArgument("run exceeds the container range");
+        }
+        prev_end = end;
+      }
+      max_low = static_cast<uint32_t>(prev_end);
+      r.containers_.push_back(std::move(rc));
+    } else {
+      return Status::InvalidArgument("unknown roaring container tag " +
+                                     std::to_string(tag));
+    }
+    r.keys_.push_back(key);
+    // One bound check per container: base | max_low is its largest value.
+    if ((base | max_low) >= universe_bound) {
+      return Status::OutOfRange(
+          "bitmap value " + std::to_string(base | max_low) +
+          " exceeds universe bound " + std::to_string(universe_bound));
+    }
+  }
+  return r;
 }
 
 }  // namespace bitmap

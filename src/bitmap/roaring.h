@@ -20,7 +20,15 @@
 #include <variant>
 #include <vector>
 
+#include "util/status.h"
+
 namespace les3 {
+
+namespace persist {
+class ByteWriter;
+class ByteReader;
+}  // namespace persist
+
 namespace bitmap {
 
 class GroupCountAccumulator;
@@ -109,6 +117,19 @@ class Roaring {
 
   /// All values, ascending (test/debug helper).
   std::vector<uint32_t> ToVector() const;
+
+  /// \brief Serializes the exact container state — keys, kinds (array /
+  /// bitset / run), payloads — so a reloaded bitmap is byte-identical on
+  /// re-serialization (see docs/snapshot_format.md).
+  void Serialize(persist::ByteWriter* writer) const;
+
+  /// Bounds-checked inverse. Validates every structural invariant the
+  /// kernels rely on (keys and array values strictly ascending, bitset
+  /// cardinality matching its popcount, runs sorted / non-overlapping /
+  /// non-adjacent) and rejects any value >= `universe_bound` — corrupted
+  /// input yields a Status, never an out-of-range kernel write.
+  static Result<Roaring> Deserialize(persist::ByteReader* reader,
+                                     uint32_t universe_bound);
 
  private:
   internal::Container* FindContainer(uint16_t key);

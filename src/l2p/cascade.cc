@@ -21,6 +21,7 @@ struct SplitOutcome {
   std::vector<SetId> right;
   ml::SiameseStats stats;
   uint64_t param_bytes = 0;
+  CascadeModelSnapshot model;  // filled only under options.keep_models
 };
 
 SplitOutcome SplitGroup(const SetDatabase& db, const ml::Matrix& reps,
@@ -65,6 +66,7 @@ SplitOutcome SplitGroup(const SetDatabase& db, const ml::Matrix& reps,
     outputs[i] = net.ForwardOne(reps.Row(members[i]))[0];
   }
   auto route = [&](float threshold) {
+    outcome.model.threshold = threshold;
     outcome.left.clear();
     outcome.right.clear();
     for (size_t i = 0; i < n; ++i) {
@@ -83,10 +85,17 @@ SplitOutcome SplitGroup(const SetDatabase& db, const ml::Matrix& reps,
     float median = sorted[n / 2];
     route(median);
     if (outcome.left.empty() || outcome.right.empty()) {
-      // All outputs identical: arbitrary even split keeps progress.
+      // All outputs identical: arbitrary even split keeps progress. The
+      // threshold cannot reproduce this routing, and the model snapshot
+      // says so.
+      outcome.model.routed_by_threshold = false;
       outcome.left.assign(members.begin(), members.begin() + n / 2);
       outcome.right.assign(members.begin() + n / 2, members.end());
     }
+  }
+  if (options.keep_models) {
+    outcome.model.layer_sizes.assign(layer_sizes.begin(), layer_sizes.end());
+    outcome.model.params = net.ParamsFlat();
   }
   return outcome;
 }
@@ -154,7 +163,7 @@ CascadeResult TrainCascade(const SetDatabase& db,
     // Apply splits: side 0 keeps the old id, side 1 gets a fresh id.
     uint32_t next_id = num_groups;
     for (size_t i = 0; i < to_split.size(); ++i) {
-      const SplitOutcome& oc = outcomes[i];
+      SplitOutcome& oc = outcomes[i];
       for (SetId s : oc.right) assignment[s] = next_id;
       ++next_id;
       result.models_trained += 1;
@@ -162,6 +171,11 @@ CascadeResult TrainCascade(const SetDatabase& db,
       if (result.first_model_losses.empty() &&
           !oc.stats.batch_losses.empty()) {
         result.first_model_losses = oc.stats.batch_losses;
+      }
+      if (options.keep_models) {
+        oc.model.level = static_cast<uint32_t>(result.levels.size());
+        oc.model.group = to_split[i];
+        result.models.push_back(std::move(oc.model));
       }
     }
     num_groups = next_id;

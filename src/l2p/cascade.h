@@ -45,6 +45,28 @@ struct CascadeOptions {
   /// fraction of the group, split at the median output instead.
   double min_side_fraction = 0.05;
   uint64_t seed = 41;
+  /// Retain a CascadeModelSnapshot per trained model in the result, so the
+  /// learned partitioner can be persisted alongside the index
+  /// (persist/snapshot.h). Off by default: the snapshots cost memory and
+  /// nothing on the query path reads them.
+  bool keep_models = false;
+};
+
+/// \brief Portable snapshot of one trained split model: enough to persist
+/// and restore the learned partitioner without retraining.
+struct CascadeModelSnapshot {
+  uint32_t level = 0;       // cascade level the split ran at (1-based;
+                            // level 0 is the sorted initialization)
+  GroupId group = 0;        // group id split at that level
+  float threshold = 0.5f;   // routing threshold actually used (0.5, or the
+                            // median output after a degenerate split)
+  /// Whether `output < threshold` reproduces the recorded split. False
+  /// only in the all-outputs-identical fallback, where members were split
+  /// positionally — replaying the threshold there would not recreate the
+  /// persisted assignment (which is always authoritative either way).
+  bool routed_by_threshold = true;
+  std::vector<uint32_t> layer_sizes;  // {input, hidden..., 1}
+  std::vector<float> params;          // Mlp::ParamsFlat() layout
 };
 
 /// Per-level snapshot of the hierarchy.
@@ -62,6 +84,9 @@ struct CascadeResult {
   uint64_t working_memory_bytes = 0; // params + one mini-batch + pair buffer
   /// Loss curve of the first trained model (Figure 7a).
   std::vector<float> first_model_losses;
+  /// One snapshot per trained model, in training order; filled only when
+  /// CascadeOptions::keep_models is set.
+  std::vector<CascadeModelSnapshot> models;
 };
 
 /// Trains the cascade for `db` using representations from `rep`.

@@ -10,6 +10,7 @@
 #define LES3_L2P_L2P_H_
 
 #include <memory>
+#include <utility>
 
 #include "l2p/cascade.h"
 #include "partition/partitioner.h"
@@ -30,6 +31,12 @@ class L2PPartitioner : public partition::Partitioner {
   /// Full cascade of the last Partition call (feeds HTGM construction and
   /// the Figure 7 training curves).
   const CascadeResult& last_cascade() const { return last_cascade_; }
+
+  /// Moves the last cascade out (per-level assignments plus any retained
+  /// model snapshots can be large; callers that outlive the partitioner
+  /// take them instead of copying). The partitioner's retained cascade is
+  /// empty afterwards.
+  CascadeResult TakeCascade() { return std::move(last_cascade_); }
 
  private:
   CascadeOptions options_;

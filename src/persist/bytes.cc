@@ -1,0 +1,159 @@
+#include "persist/bytes.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace persist {
+
+namespace {
+
+const uint32_t* Crc32Table() {
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::WriteU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::WriteU32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v >> 16));
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  WriteU32(static_cast<uint32_t>(v));
+  WriteU32(static_cast<uint32_t>(v >> 32));
+}
+
+void ByteWriter::WriteF32(float v) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "float must be 32-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU32(bits);
+}
+
+void ByteWriter::WriteBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  WriteBytes(s.data(), s.size());
+}
+
+void ByteWriter::PatchU32(size_t pos, uint32_t v) {
+  LES3_CHECK_LE(pos + 4, buf_.size());
+  buf_[pos] = static_cast<uint8_t>(v);
+  buf_[pos + 1] = static_cast<uint8_t>(v >> 8);
+  buf_[pos + 2] = static_cast<uint8_t>(v >> 16);
+  buf_[pos + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+Status ByteReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) return Status::OutOfRange("byte stream underflow");
+  *v = data_[pos_++];
+  return Status::OK();
+}
+
+Status ByteReader::ReadU16(uint16_t* v) {
+  if (remaining() < 2) return Status::OutOfRange("byte stream underflow");
+  *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return Status::OutOfRange("byte stream underflow");
+  *v = static_cast<uint32_t>(data_[pos_]) |
+       (static_cast<uint32_t>(data_[pos_ + 1]) << 8) |
+       (static_cast<uint32_t>(data_[pos_ + 2]) << 16) |
+       (static_cast<uint32_t>(data_[pos_ + 3]) << 24);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return Status::OutOfRange("byte stream underflow");
+  uint32_t lo = 0, hi = 0;
+  LES3_RETURN_NOT_OK(ReadU32(&lo));
+  LES3_RETURN_NOT_OK(ReadU32(&hi));
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return Status::OK();
+}
+
+Status ByteReader::ReadF32(float* v) {
+  uint32_t bits = 0;
+  LES3_RETURN_NOT_OK(ReadU32(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::ReadBytes(void* out, size_t n) {
+  if (remaining() < n) return Status::OutOfRange("byte stream underflow");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadString(std::string* s, size_t max_len) {
+  uint32_t len = 0;
+  size_t saved = pos_;
+  LES3_RETURN_NOT_OK(ReadU32(&len));
+  if (len > max_len) {
+    pos_ = saved;
+    return Status::OutOfRange("string length " + std::to_string(len) +
+                              " exceeds limit " + std::to_string(max_len));
+  }
+  if (remaining() < len) {
+    pos_ = saved;
+    return Status::OutOfRange("byte stream underflow");
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) return Status::OutOfRange("byte stream underflow");
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadSpan(const uint8_t** out, size_t n) {
+  if (remaining() < n) return Status::OutOfRange("byte stream underflow");
+  *out = data_ + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace les3

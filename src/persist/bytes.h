@@ -1,0 +1,92 @@
+// Byte-level primitives for the snapshot subsystem: a little-endian
+// ByteWriter, a bounds-checked ByteReader, and CRC32.
+//
+// Every multi-byte integer is encoded little-endian explicitly (not via
+// memcpy of host representation), so snapshot bytes are identical across
+// platforms. The reader is the only way snapshot bytes enter the process:
+// every Read* checks the remaining length first and returns a Status on
+// underflow — malformed input can produce errors, never out-of-bounds
+// reads (the corruption tests run this under ASan+UBSan).
+
+#ifndef LES3_PERSIST_BYTES_H_
+#define LES3_PERSIST_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace les3 {
+namespace persist {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `n` bytes. Chainable via
+/// `seed` (pass the previous return value to continue a running checksum).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// \brief Append-only little-endian encoder backing one snapshot buffer.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  /// Floats are stored as the little-endian bytes of their IEEE-754 bit
+  /// pattern.
+  void WriteF32(float v);
+  void WriteBytes(const void* data, size_t n);
+  /// u32 length followed by the raw bytes.
+  void WriteString(const std::string& s);
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& data() const { return buf_; }
+
+  /// Overwrites 4 bytes at `pos` (patching a length/checksum slot written
+  /// earlier); `pos + 4` must not exceed size().
+  void PatchU32(size_t pos, uint32_t v);
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Bounds-checked little-endian decoder over a borrowed buffer.
+///
+/// The buffer must outlive the reader. All methods return OutOfRange once
+/// the requested bytes exceed what remains; the cursor does not advance on
+/// failure.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU16(uint16_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadF32(float* v);
+  Status ReadBytes(void* out, size_t n);
+  /// Reads a u32 length then that many bytes; rejects lengths above
+  /// `max_len` before touching the payload (no attacker-sized allocations).
+  Status ReadString(std::string* s, size_t max_len = 4096);
+  Status Skip(size_t n);
+
+  /// Borrowed view of the next `n` bytes; advances the cursor.
+  Status ReadSpan(const uint8_t** out, size_t n);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace persist
+}  // namespace les3
+
+#endif  // LES3_PERSIST_BYTES_H_

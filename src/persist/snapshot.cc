@@ -1,0 +1,463 @@
+#include "persist/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace les3 {
+namespace persist {
+
+namespace {
+
+// Hard ceilings on claimed element counts, checked against the actual
+// remaining payload bytes before any allocation: a corrupted count can
+// never make the loader allocate more than the (already CRC-verified)
+// chunk could possibly hold.
+constexpr size_t kMaxBackendNameLen = 64;
+
+void BeginChunk(ChunkType type, ByteWriter* out, size_t* payload_start) {
+  out->WriteU32(static_cast<uint32_t>(type));
+  out->WriteU64(0);  // payload length, patched in EndChunk
+  *payload_start = out->size();
+}
+
+void EndChunk(ByteWriter* out, size_t payload_start) {
+  size_t payload_len = out->size() - payload_start;
+  // Patch the u64 length (low word first; snapshots stay far below 4 GiB
+  // per chunk but the format field is 64-bit).
+  out->PatchU32(payload_start - 8, static_cast<uint32_t>(payload_len));
+  out->PatchU32(payload_start - 4, static_cast<uint32_t>(
+                                       static_cast<uint64_t>(payload_len) >>
+                                       32));
+  out->WriteU32(
+      Crc32(out->data().data() + payload_start, payload_len));
+}
+
+void EncodeMeta(const SnapshotMeta& meta, ByteWriter* out) {
+  out->WriteString(meta.backend);
+  out->WriteU8(static_cast<uint8_t>(meta.measure));
+  out->WriteU8(static_cast<uint8_t>(meta.bitmap_backend));
+  out->WriteU32(meta.num_groups);
+  out->WriteU64(meta.num_sets);
+  out->WriteU32(meta.num_tokens);
+}
+
+void EncodeDatabase(const SetDatabase& db, ByteWriter* out) {
+  out->WriteU32(db.num_tokens());
+  out->WriteU32(static_cast<uint32_t>(db.size()));
+  for (const auto& s : db.sets()) {
+    out->WriteU32(static_cast<uint32_t>(s.size()));
+    for (TokenId t : s.tokens()) out->WriteU32(t);
+  }
+}
+
+void EncodePartition(const tgm::Tgm& tgm, ByteWriter* out) {
+  out->WriteU32(tgm.num_groups());
+  const auto& assignment = tgm.group_assignment();
+  out->WriteU32(static_cast<uint32_t>(assignment.size()));
+  for (GroupId g : assignment) out->WriteU32(g);
+}
+
+void EncodeModels(const std::vector<l2p::CascadeModelSnapshot>& models,
+                  ByteWriter* out) {
+  out->WriteU32(static_cast<uint32_t>(models.size()));
+  for (const auto& m : models) {
+    out->WriteU32(m.level);
+    out->WriteU32(m.group);
+    out->WriteF32(m.threshold);
+    out->WriteU8(m.routed_by_threshold ? 1 : 0);
+    out->WriteU32(static_cast<uint32_t>(m.layer_sizes.size()));
+    for (uint32_t s : m.layer_sizes) out->WriteU32(s);
+    out->WriteU32(static_cast<uint32_t>(m.params.size()));
+    for (float p : m.params) out->WriteF32(p);
+  }
+}
+
+Status DecodeMeta(ByteReader* reader, SnapshotMeta* meta) {
+  LES3_RETURN_NOT_OK(reader->ReadString(&meta->backend, kMaxBackendNameLen));
+  uint8_t measure = 0, bitmap_backend = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU8(&measure));
+  LES3_RETURN_NOT_OK(reader->ReadU8(&bitmap_backend));
+  if (measure > static_cast<uint8_t>(SimilarityMeasure::kContainment)) {
+    return Status::InvalidArgument("unknown similarity measure tag " +
+                                   std::to_string(measure));
+  }
+  if (bitmap_backend >
+      static_cast<uint8_t>(bitmap::BitmapBackend::kBitVector)) {
+    return Status::InvalidArgument("unknown bitmap backend tag " +
+                                   std::to_string(bitmap_backend));
+  }
+  meta->measure = static_cast<SimilarityMeasure>(measure);
+  meta->bitmap_backend = static_cast<bitmap::BitmapBackend>(bitmap_backend);
+  LES3_RETURN_NOT_OK(reader->ReadU32(&meta->num_groups));
+  LES3_RETURN_NOT_OK(reader->ReadU64(&meta->num_sets));
+  LES3_RETURN_NOT_OK(reader->ReadU32(&meta->num_tokens));
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in META chunk");
+  }
+  return Status::OK();
+}
+
+Status DecodeDatabase(ByteReader* reader, SetDatabase* db) {
+  uint32_t num_tokens = 0, num_sets = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU32(&num_tokens));
+  LES3_RETURN_NOT_OK(reader->ReadU32(&num_sets));
+  // Each set costs at least 4 bytes (its length field).
+  if (num_sets > reader->remaining() / 4) {
+    return Status::OutOfRange("set count " + std::to_string(num_sets) +
+                              " exceeds what the chunk can hold");
+  }
+  *db = SetDatabase(num_tokens);
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    uint32_t len = 0;
+    LES3_RETURN_NOT_OK(reader->ReadU32(&len));
+    if (len > reader->remaining() / 4) {
+      return Status::OutOfRange("set " + std::to_string(i) + " length " +
+                                std::to_string(len) +
+                                " exceeds what the chunk can hold");
+    }
+    std::vector<TokenId> tokens(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      LES3_RETURN_NOT_OK(reader->ReadU32(&tokens[j]));
+      // Sorted storage is the SetRecord invariant every similarity kernel
+      // assumes; token ids must also stay inside the declared universe.
+      if (j > 0 && tokens[j] < tokens[j - 1]) {
+        return Status::InvalidArgument("set " + std::to_string(i) +
+                                       " tokens not sorted ascending");
+      }
+      if (tokens[j] >= num_tokens) {
+        return Status::OutOfRange("set " + std::to_string(i) + " token " +
+                                  std::to_string(tokens[j]) +
+                                  " outside the declared universe of " +
+                                  std::to_string(num_tokens));
+      }
+    }
+    db->AddSet(SetRecord::FromSortedTokens(std::move(tokens)));
+  }
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in DB chunk");
+  }
+  return Status::OK();
+}
+
+Status DecodePartition(ByteReader* reader, uint32_t* num_groups,
+                       std::vector<GroupId>* assignment) {
+  uint32_t num_sets = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU32(num_groups));
+  LES3_RETURN_NOT_OK(reader->ReadU32(&num_sets));
+  if (num_sets > reader->remaining() / 4) {
+    return Status::OutOfRange("assignment count " + std::to_string(num_sets) +
+                              " exceeds what the chunk can hold");
+  }
+  assignment->resize(num_sets);
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    LES3_RETURN_NOT_OK(reader->ReadU32(&(*assignment)[i]));
+    // Range-checked again (against num_groups) in Tgm::Deserialize.
+  }
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in PART chunk");
+  }
+  return Status::OK();
+}
+
+Status DecodeModels(ByteReader* reader,
+                    std::vector<l2p::CascadeModelSnapshot>* models) {
+  uint32_t num_models = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU32(&num_models));
+  if (num_models > reader->remaining() / 16) {
+    return Status::OutOfRange("model count " + std::to_string(num_models) +
+                              " exceeds what the chunk can hold");
+  }
+  models->resize(num_models);
+  for (auto& m : *models) {
+    LES3_RETURN_NOT_OK(reader->ReadU32(&m.level));
+    LES3_RETURN_NOT_OK(reader->ReadU32(&m.group));
+    LES3_RETURN_NOT_OK(reader->ReadF32(&m.threshold));
+    uint8_t routed = 0;
+    LES3_RETURN_NOT_OK(reader->ReadU8(&routed));
+    if (routed > 1) {
+      return Status::InvalidArgument("model routing flag must be 0 or 1");
+    }
+    m.routed_by_threshold = routed != 0;
+    uint32_t num_layers = 0;
+    LES3_RETURN_NOT_OK(reader->ReadU32(&num_layers));
+    if (num_layers < 2 || num_layers > reader->remaining() / 4) {
+      return Status::InvalidArgument("model layer count " +
+                                     std::to_string(num_layers) +
+                                     " invalid");
+    }
+    m.layer_sizes.resize(num_layers);
+    uint64_t expected_params = 0;
+    for (uint32_t l = 0; l < num_layers; ++l) {
+      LES3_RETURN_NOT_OK(reader->ReadU32(&m.layer_sizes[l]));
+      if (m.layer_sizes[l] == 0 || m.layer_sizes[l] > (1u << 20)) {
+        return Status::InvalidArgument("model layer size " +
+                                       std::to_string(m.layer_sizes[l]) +
+                                       " invalid");
+      }
+      if (l > 0) {
+        // Weights (in x out) plus biases (out) per layer transition.
+        expected_params += static_cast<uint64_t>(m.layer_sizes[l - 1] + 1) *
+                           m.layer_sizes[l];
+      }
+    }
+    uint32_t num_params = 0;
+    LES3_RETURN_NOT_OK(reader->ReadU32(&num_params));
+    if (num_params != expected_params ||
+        num_params > reader->remaining() / 4) {
+      return Status::InvalidArgument(
+          "model parameter count " + std::to_string(num_params) +
+          " does not match its layer sizes");
+    }
+    m.params.resize(num_params);
+    for (uint32_t p = 0; p < num_params; ++p) {
+      LES3_RETURN_NOT_OK(reader->ReadF32(&m.params[p]));
+    }
+  }
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in L2P chunk");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
+                    const tgm::Tgm& tgm,
+                    const std::vector<l2p::CascadeModelSnapshot>& models,
+                    ByteWriter* out) {
+  out->WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out->WriteU32(kSnapshotVersion);
+  out->WriteU32(0);  // flags, reserved
+
+  SnapshotMeta filled = meta;
+  filled.num_groups = tgm.num_groups();
+  filled.num_sets = db.size();
+  filled.num_tokens = db.num_tokens();
+
+  size_t start = 0;
+  BeginChunk(ChunkType::kMeta, out, &start);
+  EncodeMeta(filled, out);
+  EndChunk(out, start);
+
+  BeginChunk(ChunkType::kDatabase, out, &start);
+  EncodeDatabase(db, out);
+  EndChunk(out, start);
+
+  BeginChunk(ChunkType::kPartition, out, &start);
+  EncodePartition(tgm, out);
+  EndChunk(out, start);
+
+  BeginChunk(ChunkType::kTgmColumns, out, &start);
+  tgm.SerializeColumns(out);
+  EndChunk(out, start);
+
+  if (!models.empty()) {
+    BeginChunk(ChunkType::kL2pModels, out, &start);
+    EncodeModels(models, out);
+    EndChunk(out, start);
+  }
+
+  BeginChunk(ChunkType::kEnd, out, &start);
+  EndChunk(out, start);
+}
+
+Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size) {
+  ByteReader reader(data, size);
+  char magic[sizeof(kSnapshotMagic)];
+  LES3_RETURN_NOT_OK(reader.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "not a LES3 snapshot (bad magic; expected \"LES3SNAP\")");
+  }
+  uint32_t version = 0, flags = 0;
+  LES3_RETURN_NOT_OK(reader.ReadU32(&version));
+  LES3_RETURN_NOT_OK(reader.ReadU32(&flags));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        "; re-save the index with a matching build)");
+  }
+  if (flags != 0) {
+    return Status::InvalidArgument("unsupported snapshot flags");
+  }
+
+  LoadedSnapshot snapshot;
+  bool have_meta = false, have_db = false, have_partition = false,
+       have_columns = false, have_models = false, have_end = false;
+  SetDatabase db;
+  uint32_t num_groups = 0;
+  // TGMC needs the partition; stash its payload until both are seen.
+  const uint8_t* columns_payload = nullptr;
+  size_t columns_len = 0;
+
+  while (!have_end) {
+    uint32_t type = 0;
+    uint64_t payload_len = 0;
+    if (reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "snapshot ends without an END chunk (truncated?)");
+    }
+    LES3_RETURN_NOT_OK(reader.ReadU32(&type));
+    LES3_RETURN_NOT_OK(reader.ReadU64(&payload_len));
+    // The payload plus its 4-byte checksum must fit in what remains; an
+    // oversized length field is rejected here, before any use.
+    if (payload_len > reader.remaining() ||
+        reader.remaining() - payload_len < 4) {
+      return Status::OutOfRange("chunk length " +
+                                std::to_string(payload_len) +
+                                " exceeds the file size");
+    }
+    const uint8_t* payload = nullptr;
+    LES3_RETURN_NOT_OK(reader.ReadSpan(&payload, payload_len));
+    uint32_t stored_crc = 0;
+    LES3_RETURN_NOT_OK(reader.ReadU32(&stored_crc));
+    if (Crc32(payload, payload_len) != stored_crc) {
+      return Status::IOError("checksum mismatch in chunk type " +
+                             std::to_string(type) + " (corrupted snapshot)");
+    }
+    ByteReader chunk(payload, payload_len);
+    auto mark_once = [&](bool* seen, const char* name) -> Status {
+      if (*seen) {
+        return Status::InvalidArgument(std::string("duplicate ") + name +
+                                       " chunk");
+      }
+      *seen = true;
+      return Status::OK();
+    };
+    switch (static_cast<ChunkType>(type)) {
+      case ChunkType::kMeta:
+        LES3_RETURN_NOT_OK(mark_once(&have_meta, "META"));
+        LES3_RETURN_NOT_OK(DecodeMeta(&chunk, &snapshot.meta));
+        break;
+      case ChunkType::kDatabase:
+        LES3_RETURN_NOT_OK(mark_once(&have_db, "DB"));
+        LES3_RETURN_NOT_OK(DecodeDatabase(&chunk, &db));
+        break;
+      case ChunkType::kPartition:
+        LES3_RETURN_NOT_OK(mark_once(&have_partition, "PART"));
+        LES3_RETURN_NOT_OK(
+            DecodePartition(&chunk, &num_groups, &snapshot.assignment));
+        break;
+      case ChunkType::kTgmColumns:
+        LES3_RETURN_NOT_OK(mark_once(&have_columns, "TGMC"));
+        columns_payload = payload;
+        columns_len = payload_len;
+        break;
+      case ChunkType::kL2pModels:
+        LES3_RETURN_NOT_OK(mark_once(&have_models, "L2P"));
+        LES3_RETURN_NOT_OK(DecodeModels(&chunk, &snapshot.models));
+        break;
+      case ChunkType::kEnd:
+        if (payload_len != 0) {
+          return Status::InvalidArgument("END chunk must be empty");
+        }
+        have_end = true;
+        break;
+      default:
+        // Unknown chunks are an error, not skippable: format changes bump
+        // the version, so an unknown type here is corruption.
+        return Status::InvalidArgument("unknown chunk type " +
+                                       std::to_string(type));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after the END chunk");
+  }
+  if (!have_meta || !have_db || !have_partition || !have_columns) {
+    return Status::InvalidArgument(
+        "snapshot is missing a required chunk (META, DB, PART, TGMC)");
+  }
+
+  // Cross-chunk consistency. META's shape fields are redundant with the
+  // payload chunks by construction; a disagreement means the file was
+  // stitched together or corrupted in a way the per-chunk CRCs cannot see.
+  if (snapshot.meta.backend != "les3" && snapshot.meta.backend != "disk_les3") {
+    return Status::InvalidArgument("snapshot backend \"" +
+                                   snapshot.meta.backend +
+                                   "\" is not a les3-family engine");
+  }
+  if (db.empty()) {
+    return Status::InvalidArgument("snapshot contains an empty database");
+  }
+  if (snapshot.meta.num_sets != db.size() ||
+      snapshot.meta.num_tokens != db.num_tokens()) {
+    return Status::InvalidArgument(
+        "META shape disagrees with the DB chunk");
+  }
+  if (snapshot.meta.num_groups != num_groups ||
+      snapshot.assignment.size() != db.size()) {
+    return Status::InvalidArgument(
+        "META/PART shape disagrees with the DB chunk");
+  }
+
+  ByteReader columns(columns_payload, columns_len);
+  auto tgm = tgm::Tgm::Deserialize(snapshot.assignment, num_groups, &columns);
+  if (!tgm.ok()) {
+    return Status::FromCode(tgm.status().code(),
+                            "TGMC chunk: " + tgm.status().message());
+  }
+  if (!columns.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in TGMC chunk");
+  }
+  snapshot.tgm = std::move(tgm).ValueOrDie();
+  if (snapshot.tgm.bitmap_backend() != snapshot.meta.bitmap_backend) {
+    return Status::InvalidArgument(
+        "META bitmap backend disagrees with the TGMC chunk");
+  }
+  if (snapshot.tgm.num_token_columns() > db.num_tokens()) {
+    return Status::InvalidArgument(
+        "TGMC chunk has more columns than the token universe");
+  }
+  snapshot.db = std::make_shared<SetDatabase>(std::move(db));
+  return snapshot;
+}
+
+Status SaveSnapshot(const std::string& path, const SnapshotMeta& meta,
+                    const SetDatabase& db, const tgm::Tgm& tgm,
+                    const std::vector<l2p::CascadeModelSnapshot>& models) {
+  ByteWriter writer;
+  EncodeSnapshot(meta, db, tgm, models, &writer);
+  return WriteFileBytes(path, writer.data());
+}
+
+Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  LES3_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+  auto snapshot = DecodeSnapshot(bytes.data(), bytes.size());
+  if (!snapshot.ok()) {
+    return Status::FromCode(snapshot.status().code(),
+                            path + ": " + snapshot.status().message());
+  }
+  return snapshot;
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  out->clear();
+  uint8_t buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IOError("read failed: " + path);
+  return Status::OK();
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace les3

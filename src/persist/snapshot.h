@@ -1,0 +1,114 @@
+// Versioned index snapshots: save a built LES3 index to one file and
+// reload it without any partitioning or training work.
+//
+// LES3's construction cost is dominated by learning the partitioning
+// (paper Figure 7), so the learned index must be a deployable artifact: a
+// process restart reopens the snapshot in milliseconds instead of
+// retraining for minutes. The file carries everything a les3-family engine
+// needs — the set database, the partition assignment, the TGM bitmap
+// columns in their exact container state (either bitmap backend), the
+// similarity measure, and optionally the trained L2P cascade weights — in
+// a chunked, checksummed, versioned binary format specified in
+// docs/snapshot_format.md.
+//
+// Robustness contract: LoadSnapshot never trusts the input. Every read is
+// bounds-checked (persist/bytes.h), every chunk payload is CRC-verified
+// before parsing, and every structural invariant the query kernels rely on
+// (group ids < num_groups, sorted tokens, bitmap container shape) is
+// re-validated — truncation, bit flips, bad headers, and oversized chunk
+// lengths all come back as a Status, never a crash or an out-of-bounds
+// access. The corruption tests run this promise under ASan+UBSan.
+//
+// Callers normally go through the api layer (SearchEngine::Save /
+// EngineBuilder::Open); this header is the format implementation.
+
+#ifndef LES3_PERSIST_SNAPSHOT_H_
+#define LES3_PERSIST_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmap/bitmap_column.h"
+#include "core/database.h"
+#include "persist/bytes.h"
+#include "core/similarity.h"
+#include "l2p/cascade.h"
+#include "tgm/tgm.h"
+#include "util/status.h"
+
+namespace les3 {
+namespace persist {
+
+/// File magic: the first 8 bytes of every snapshot.
+inline constexpr char kSnapshotMagic[8] = {'L', 'E', 'S', '3',
+                                           'S', 'N', 'A', 'P'};
+
+/// Current format version. Bump on ANY layout change; readers reject files
+/// written by a different version with an explicit error (no silent
+/// best-effort parsing of future formats).
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Chunk identifiers (docs/snapshot_format.md).
+enum class ChunkType : uint32_t {
+  kEnd = 0,         // terminator, empty payload, required last
+  kMeta = 1,        // backend name, measure, bitmap backend, shape
+  kDatabase = 2,    // the set database
+  kPartition = 3,   // num_groups + per-set assignment
+  kTgmColumns = 4,  // TGM bitmap columns, exact container state
+  kL2pModels = 5,   // optional: trained cascade MLP weights
+};
+
+/// \brief Engine-level facts stored in the META chunk.
+struct SnapshotMeta {
+  std::string backend;  // "les3" or "disk_les3"
+  SimilarityMeasure measure = SimilarityMeasure::kJaccard;
+  bitmap::BitmapBackend bitmap_backend = bitmap::BitmapBackend::kRoaring;
+  uint32_t num_groups = 0;
+  uint64_t num_sets = 0;
+  uint32_t num_tokens = 0;
+};
+
+/// \brief Everything LoadSnapshot reconstructs; feeds the api layer's
+/// snapshot engines directly (no partitioning or training involved).
+struct LoadedSnapshot {
+  SnapshotMeta meta;
+  std::shared_ptr<SetDatabase> db;
+  std::vector<GroupId> assignment;  // per set; what the PART chunk held
+  tgm::Tgm tgm;                     // columns + membership, ready to query
+  std::vector<l2p::CascadeModelSnapshot> models;  // empty if not persisted
+};
+
+/// Serializes one snapshot into `out` (exposed separately from the file
+/// writer so tests can inspect and corrupt the byte stream directly).
+/// `meta.num_sets` / `num_tokens` / `num_groups` are filled from `db` and
+/// `tgm`; callers set backend / measure / bitmap_backend.
+void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
+                    const tgm::Tgm& tgm,
+                    const std::vector<l2p::CascadeModelSnapshot>& models,
+                    ByteWriter* out);
+
+/// Parses and fully validates a snapshot byte buffer.
+Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size);
+
+/// EncodeSnapshot + atomic-ish file write (write then rename would need a
+/// temp dir policy; this writes directly and reports IO errors).
+Status SaveSnapshot(const std::string& path, const SnapshotMeta& meta,
+                    const SetDatabase& db, const tgm::Tgm& tgm,
+                    const std::vector<l2p::CascadeModelSnapshot>& models);
+
+/// Reads the file and decodes it; all failure modes return a Status.
+Result<LoadedSnapshot> LoadSnapshot(const std::string& path);
+
+/// Reads a whole file into `out` (shared by LoadSnapshot and the tests
+/// that corrupt snapshot bytes). IOError on open/read failure.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Writes `bytes` to `path`; IOError on failure.
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+
+}  // namespace persist
+}  // namespace les3
+
+#endif  // LES3_PERSIST_SNAPSHOT_H_

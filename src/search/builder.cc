@@ -15,15 +15,16 @@ uint32_t ResolveNumGroups(const SetDatabase& db, uint32_t requested) {
   return groups;
 }
 
-partition::PartitionResult PartitionWithL2P(const SetDatabase& db,
-                                            uint32_t groups,
-                                            SimilarityMeasure measure,
-                                            l2p::CascadeOptions cascade) {
+partition::PartitionResult PartitionWithL2P(
+    const SetDatabase& db, uint32_t groups, SimilarityMeasure measure,
+    l2p::CascadeOptions cascade, l2p::CascadeResult* out_cascade) {
   cascade.target_groups = groups;
   cascade.measure = measure;
   if (cascade.init_groups > groups) cascade.init_groups = groups;
   l2p::L2PPartitioner partitioner(cascade);
-  return partitioner.Partition(db, groups);
+  partition::PartitionResult result = partitioner.Partition(db, groups);
+  if (out_cascade != nullptr) *out_cascade = partitioner.TakeCascade();
+  return result;
 }
 
 Result<Les3Index> BuildLes3Index(SetDatabase db,

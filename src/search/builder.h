@@ -18,10 +18,12 @@ uint32_t ResolveNumGroups(const SetDatabase& db, uint32_t requested);
 
 /// Runs L2P over `db` with `cascade` knobs aligned to the resolved group
 /// count and measure (shared by BuildLes3Index and the api/ adapters).
-partition::PartitionResult PartitionWithL2P(const SetDatabase& db,
-                                            uint32_t groups,
-                                            SimilarityMeasure measure,
-                                            l2p::CascadeOptions cascade);
+/// When `out_cascade` is non-null it receives the full cascade result —
+/// including the trained model snapshots if cascade.keep_models is set —
+/// so the caller can persist the learned partitioner.
+partition::PartitionResult PartitionWithL2P(
+    const SetDatabase& db, uint32_t groups, SimilarityMeasure measure,
+    l2p::CascadeOptions cascade, l2p::CascadeResult* out_cascade = nullptr);
 
 struct Les3BuildOptions {
   SimilarityMeasure measure = SimilarityMeasure::kJaccard;

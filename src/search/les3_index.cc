@@ -26,6 +26,10 @@ Les3Index::Les3Index(std::shared_ptr<SetDatabase> db,
   tgm_.RunOptimize();
 }
 
+Les3Index::Les3Index(std::shared_ptr<SetDatabase> db, tgm::Tgm tgm,
+                     SimilarityMeasure measure)
+    : db_(std::move(db)), tgm_(std::move(tgm)), measure_(measure) {}
+
 std::vector<Hit> Les3Index::Knn(const SetRecord& query, size_t k,
                                 QueryStats* stats) const {
   WallTimer timer;

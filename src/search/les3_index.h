@@ -49,6 +49,13 @@ class Les3Index {
             bitmap::BitmapBackend bitmap_backend =
                 bitmap::BitmapBackend::kRoaring);
 
+  /// Adopts an already-built matrix (a snapshot reload,
+  /// persist/snapshot.h): no partitioning, no training, no RunOptimize —
+  /// the matrix is used exactly as deserialized, so a reloaded index
+  /// answers queries identically to the index that was saved.
+  Les3Index(std::shared_ptr<SetDatabase> db, tgm::Tgm tgm,
+            SimilarityMeasure measure);
+
   /// Exact kNN (Definition 2.1): the k most similar sets, sorted by
   /// descending similarity (ties by ascending id).
   std::vector<Hit> Knn(const SetRecord& query, size_t k,

@@ -32,6 +32,15 @@ DiskLes3::DiskLes3(const SetDatabase* db,
   tgm_.RunOptimize();
 }
 
+DiskLes3::DiskLes3(const SetDatabase* db, tgm::Tgm tgm,
+                   SimilarityMeasure measure, DiskOptions disk)
+    : db_(db),
+      tgm_(std::move(tgm)),
+      measure_(measure),
+      layout_(DiskLayout::GroupContiguous(*db, tgm_.group_assignment(),
+                                          tgm_.num_groups())),
+      disk_(disk) {}
+
 DiskQueryResult DiskLes3::Knn(const SetRecord& query, size_t k) const {
   WallTimer timer;
   DiskQueryResult result;

@@ -50,10 +50,21 @@ class DiskLes3 {
            bitmap::BitmapBackend bitmap_backend =
                bitmap::BitmapBackend::kRoaring);
 
+  /// Adopts an already-built matrix (a snapshot reload): no partitioning
+  /// or training work, and the GroupContiguous layout is regenerated from
+  /// the matrix's own assignment — identical to the layout the original
+  /// build produced from the same partitioning.
+  DiskLes3(const SetDatabase* db, tgm::Tgm tgm, SimilarityMeasure measure,
+           DiskOptions disk = {});
+
   DiskQueryResult Knn(const SetRecord& query, size_t k) const;
   DiskQueryResult Range(const SetRecord& query, double delta) const;
 
   uint64_t IndexBytes() const { return tgm_.MemoryBytes(); }
+
+  /// The matrix and measure (what SearchEngine::Save persists).
+  const tgm::Tgm& tgm() const { return tgm_; }
+  SimilarityMeasure measure() const { return measure_; }
 
  private:
   const SetDatabase* db_;

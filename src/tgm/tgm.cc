@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitmap/kernels.h"
+#include "persist/bytes.h"
 #include "util/logging.h"
 
 namespace les3 {
@@ -176,6 +177,72 @@ uint64_t Tgm::MemoryBytes() const {
 bool Tgm::Test(GroupId g, TokenId t) const {
   if (t >= columns_.size()) return false;
   return columns_[t].Contains(g);
+}
+
+void Tgm::SerializeColumns(persist::ByteWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(bitmap_backend_));
+  writer->WriteU32(static_cast<uint32_t>(columns_.size()));
+  for (const auto& col : columns_) col.Serialize(writer);
+}
+
+Result<Tgm> Tgm::Deserialize(const std::vector<GroupId>& assignment,
+                             uint32_t num_groups,
+                             persist::ByteReader* reader) {
+  if (num_groups == 0) {
+    return Status::InvalidArgument("snapshot partition has zero groups");
+  }
+  // Partitionings are dense (every group id appears), so a legitimate
+  // snapshot always has num_groups <= |assignment|; checking it first also
+  // caps the membership allocation below against attacker-sized counts.
+  if (num_groups > assignment.size()) {
+    return Status::OutOfRange("group count " + std::to_string(num_groups) +
+                              " exceeds the set count " +
+                              std::to_string(assignment.size()));
+  }
+  Tgm tgm;
+  tgm.members_.resize(num_groups);
+  tgm.group_of_ = assignment;
+  for (SetId i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] >= num_groups) {
+      return Status::OutOfRange(
+          "assignment entry " + std::to_string(assignment[i]) +
+          " exceeds group count " + std::to_string(num_groups));
+    }
+    tgm.members_[assignment[i]].push_back(i);
+  }
+  for (const auto& m : tgm.members_) tgm.nonempty_groups_ += !m.empty();
+
+  uint8_t backend_tag = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU8(&backend_tag));
+  if (backend_tag > static_cast<uint8_t>(bitmap::BitmapBackend::kBitVector)) {
+    return Status::InvalidArgument("unknown TGM bitmap backend tag " +
+                                   std::to_string(backend_tag));
+  }
+  tgm.bitmap_backend_ = static_cast<bitmap::BitmapBackend>(backend_tag);
+  uint32_t num_columns = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU32(&num_columns));
+  // A serialized column is at least 5 bytes (tag + count), so a count the
+  // remaining bytes cannot hold is corruption — reject before reserving.
+  if (num_columns > reader->remaining() / 5) {
+    return Status::OutOfRange("column count " + std::to_string(num_columns) +
+                              " exceeds what the chunk can hold");
+  }
+  tgm.columns_.reserve(num_columns);
+  for (uint32_t t = 0; t < num_columns; ++t) {
+    auto col = bitmap::BitmapColumn::Deserialize(reader, num_groups);
+    if (!col.ok()) {
+      return Status::FromCode(col.status().code(),
+                              "column " + std::to_string(t) + ": " +
+                                  col.status().message());
+    }
+    if (col.value().backend() != tgm.bitmap_backend_) {
+      return Status::InvalidArgument(
+          "column " + std::to_string(t) +
+          " backend does not match the matrix backend");
+    }
+    tgm.columns_.push_back(std::move(col).ValueOrDie());
+  }
+  return tgm;
 }
 
 }  // namespace tgm

@@ -49,6 +49,10 @@ void ForEachTokenMultiplicity(const Tokens& tokens, Fn&& fn) {
 /// \brief The token-group matrix plus group membership.
 class Tgm {
  public:
+  /// An empty matrix (no groups, no columns); the placeholder state a
+  /// snapshot deserialization (persist/snapshot.h) fills in.
+  Tgm() = default;
+
   /// Builds from a partitioning of `db` into `num_groups` groups, storing
   /// columns in the chosen bitmap representation.
   Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
@@ -74,6 +78,10 @@ class Tgm {
 
   /// Group of a set (maintained across AddSet).
   GroupId group_of(SetId id) const { return group_of_[id]; }
+
+  /// The full per-set assignment (what a snapshot persists, and what the
+  /// disk backends feed to DiskLayout::GroupContiguous on reload).
+  const std::vector<GroupId>& group_assignment() const { return group_of_; }
 
   /// \brief Fills `counts[g]` with Σ_{t in Q} M[g, t] (query multiplicity
   /// counted, per Equation 2/4), fusing all query-token columns into the
@@ -130,6 +138,22 @@ class Tgm {
 
   /// Direct bit probe M[g, t] (test/debug; O(log) inside the column).
   bool Test(GroupId g, TokenId t) const;
+
+  /// \brief Serializes the bitmap backend tag plus every column's exact
+  /// container state (the snapshot's TGMC chunk). The partition half of
+  /// the matrix — num_groups + assignment — travels in its own chunk, so
+  /// it is not repeated here.
+  void SerializeColumns(persist::ByteWriter* writer) const;
+
+  /// \brief Rebuilds a matrix from a loaded partition plus serialized
+  /// columns. Validates that every assignment entry is < `num_groups` and
+  /// every column value is < `num_groups` (membership arrays and count
+  /// kernels index by those values); malformed input returns a Status.
+  /// Membership lists are reconstructed in ascending-id order, exactly as
+  /// the building constructor produces them.
+  static Result<Tgm> Deserialize(const std::vector<GroupId>& assignment,
+                                 uint32_t num_groups,
+                                 persist::ByteReader* reader);
 
  private:
   bitmap::BitmapBackend bitmap_backend_;

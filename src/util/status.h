@@ -55,6 +55,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Non-OK status with an explicit code — for wrappers that prepend
+  /// context to a propagated error while preserving its code (`code` must
+  /// not be kOk).
+  static Status FromCode(StatusCode code, std::string msg) {
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

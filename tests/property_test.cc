@@ -6,6 +6,10 @@
 // similarities, order) is a deterministic function of the query, and any
 // kernel or pruning bug that changes an answer fails the diff.
 //
+// A save→load differential leg holds snapshot reloads (persist/) to the
+// same bar: the reopened engine must agree exactly with the engine that
+// was saved, for both les3-family backends and both bitmap backends.
+//
 // The default run sweeps a small matrix (seconds). Set
 // LES3_PROPERTY_SWEEP=full for the extended sweep across more corpus
 // regimes, measures, seeds, and query loads — CMake registers that as the
@@ -13,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -206,6 +211,76 @@ TEST(PropertyTest, AllBackendsMatchBruteForceExactly) {
                                 " q=" + std::to_string(qi));
           }
         }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Save→load differential leg: a reloaded snapshot engine must agree
+// EXACTLY with the engine that was saved — hit ids, similarities, and
+// order, ties included — for both les3-family backends, both bitmap
+// backends, with and without persisted L2P weights, across measures and
+// query loads. The full configuration sweep runs behind the `slow` label
+// with the rest of the extended matrix.
+
+struct SnapshotConfig {
+  std::string backend;
+  bitmap::BitmapBackend bitmap_backend;
+  bool keep_l2p_models;
+};
+
+TEST(PropertyTest, ReloadedSnapshotAgreesExactlyWithOriginal) {
+  std::vector<SnapshotConfig> configs = {
+      {"les3", bitmap::BitmapBackend::kRoaring, true},
+      {"disk_les3", bitmap::BitmapBackend::kBitVector, false},
+  };
+  if (FullSweep()) {
+    configs.push_back({"les3", bitmap::BitmapBackend::kBitVector, false});
+    configs.push_back({"disk_les3", bitmap::BitmapBackend::kRoaring, true});
+  }
+  std::vector<size_t> ks = FullSweep() ? std::vector<size_t>{1, 3, 10, 50}
+                                       : std::vector<size_t>{1, 3, 10};
+  std::vector<double> deltas = FullSweep()
+                                   ? std::vector<double>{0.2, 0.5, 2.0 / 3.0,
+                                                         0.8, 1.0}
+                                   : std::vector<double>{0.25, 0.5, 0.8};
+  size_t snapshot_id = 0;
+  for (auto& regime : MakeRegimes()) {
+    auto db = std::make_shared<SetDatabase>(std::move(regime.db));
+    auto queries = MakeQueries(*db, 61);
+    for (SimilarityMeasure measure : MakeMeasures()) {
+      for (const auto& config : configs) {
+        EngineOptions options = FastOptions(measure);
+        options.bitmap_backend = config.bitmap_backend;
+        options.keep_l2p_models = config.keep_l2p_models;
+        auto original = EngineBuilder::Build(db, config.backend, options);
+        ASSERT_TRUE(original.ok()) << original.status().ToString();
+        std::string label = regime.name + "/" + ToString(measure) + "/" +
+                            config.backend + "+" +
+                            bitmap::ToString(config.bitmap_backend);
+        std::string path = ::testing::TempDir() + "les3_property_" +
+                           std::to_string(snapshot_id++) + ".snap";
+        ASSERT_TRUE(original.value()->Save(path).ok()) << label;
+        auto reloaded = EngineBuilder::Open(path);
+        ASSERT_TRUE(reloaded.ok())
+            << label << ": " << reloaded.status().ToString();
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          const SetRecord& q = queries[qi];
+          for (size_t k : ks) {
+            ExpectExactHits(original.value()->Knn(q, k).hits,
+                            reloaded.value()->Knn(q, k).hits,
+                            label + "/knn k=" + std::to_string(k) +
+                                " q=" + std::to_string(qi));
+          }
+          for (double delta : deltas) {
+            ExpectExactHits(original.value()->Range(q, delta).hits,
+                            reloaded.value()->Range(q, delta).hits,
+                            label + "/range d=" + std::to_string(delta) +
+                                " q=" + std::to_string(qi));
+          }
+        }
+        std::remove(path.c_str());
       }
     }
   }

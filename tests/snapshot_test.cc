@@ -1,0 +1,545 @@
+// Snapshot subsystem tests (persist/): byte-level primitives, exact
+// save→load round-trips through the api layer, and the corruption
+// contract — truncations, bit flips, bad headers, oversized chunk
+// lengths, and semantically invalid payloads must all come back as
+// Status errors, never a crash or an out-of-bounds access (this file
+// also runs in the ASan+UBSan CI lane, which would catch any stray
+// read the Status paths miss).
+
+#include "persist/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine_builder.h"
+#include "datagen/generators.h"
+#include "persist/bytes.h"
+#include "tgm/tgm.h"
+#include "util/random.h"
+
+namespace les3 {
+namespace persist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixtures.
+
+SetDatabase MakeDb(uint32_t num_sets, uint64_t seed) {
+  datagen::ZipfOptions opts;
+  opts.num_sets = num_sets;
+  opts.num_tokens = 200;
+  opts.avg_set_size = 8;
+  opts.zipf_exponent = 0.9;
+  opts.seed = seed;
+  return datagen::GenerateZipf(opts);
+}
+
+api::EngineOptions FastOptions(SimilarityMeasure measure,
+                               bitmap::BitmapBackend bitmap_backend) {
+  api::EngineOptions options;
+  options.measure = measure;
+  options.num_groups = 16;
+  options.cascade.init_groups = 8;  // < num_groups: models do get trained
+  options.cascade.min_group_size = 8;
+  options.cascade.pairs_per_model = 800;
+  options.cascade.seed = 7;
+  options.bitmap_backend = bitmap_backend;
+  return options;
+}
+
+std::vector<SetRecord> MakeQueries(const SetDatabase& db, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SetRecord> queries;
+  for (SetId id : datagen::SampleQueryIds(db, 5, seed)) {
+    queries.push_back(db.set(id));
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<TokenId> tokens;
+    size_t n = 1 + rng.Uniform(10);
+    for (size_t j = 0; j < n; ++j) {
+      tokens.push_back(static_cast<TokenId>(rng.Uniform(db.num_tokens() + 10)));
+    }
+    queries.push_back(SetRecord::FromTokens(std::move(tokens)));
+  }
+  queries.push_back(SetRecord::FromTokens({}));
+  return queries;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "les3_" + name;
+}
+
+void ExpectExactHits(const std::vector<Hit>& expected,
+                     const std::vector<Hit>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].first, actual[i].first) << label << " rank " << i;
+    EXPECT_DOUBLE_EQ(expected[i].second, actual[i].second)
+        << label << " rank " << i;
+  }
+}
+
+void ExpectEnginesAgree(const api::SearchEngine& original,
+                        const api::SearchEngine& reloaded,
+                        const std::vector<SetRecord>& queries,
+                        const std::string& label) {
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (size_t k : {1u, 5u, 100u}) {
+      ExpectExactHits(original.Knn(queries[qi], k).hits,
+                      reloaded.Knn(queries[qi], k).hits,
+                      label + "/knn k=" + std::to_string(k) +
+                          " q=" + std::to_string(qi));
+    }
+    for (double delta : {0.3, 0.6, 0.9}) {
+      ExpectExactHits(original.Range(queries[qi], delta).hits,
+                      reloaded.Range(queries[qi], delta).hits,
+                      label + "/range d=" + std::to_string(delta) +
+                          " q=" + std::to_string(qi));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte primitives.
+
+TEST(BytesTest, Crc32MatchesKnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(BytesTest, RoundTripAndBoundsChecks) {
+  ByteWriter w;
+  w.WriteU8(7);
+  w.WriteU16(0xBEEF);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteF32(1.5f);
+  w.WriteString("hello");
+
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  float f;
+  std::string s;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadF32(&f).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(f, 1.5f);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+  // Reads past the end fail without advancing or touching output.
+  EXPECT_FALSE(r.ReadU8(&u8).ok());
+  EXPECT_FALSE(r.ReadU64(&u64).ok());
+
+  // Little-endian layout is explicit, not host-dependent.
+  EXPECT_EQ(w.data()[1], 0xEF);
+  EXPECT_EQ(w.data()[2], 0xBE);
+}
+
+TEST(BytesTest, StringLengthIsCapped) {
+  ByteWriter w;
+  w.WriteU32(1u << 30);  // claimed length far beyond the buffer
+  ByteReader r(w.data());
+  std::string s;
+  EXPECT_FALSE(r.ReadString(&s).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Round trips through the api layer.
+
+class SnapshotRoundTripTest
+    : public ::testing::TestWithParam<bitmap::BitmapBackend> {};
+
+TEST_P(SnapshotRoundTripTest, MemoryEngineAgreesExactly) {
+  auto db = std::make_shared<SetDatabase>(MakeDb(300, 11));
+  auto queries = MakeQueries(*db, 12);
+  auto options = FastOptions(SimilarityMeasure::kJaccard, GetParam());
+  auto original = api::EngineBuilder::Build(db, "les3", options);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+
+  std::string path =
+      TempPath("roundtrip_" + bitmap::ToString(GetParam()) + ".snap");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+  auto reloaded = api::EngineBuilder::Open(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  EXPECT_NE(reloaded.value()->Describe().find("snapshot=v1"),
+            std::string::npos);
+  EXPECT_EQ(original.value()->IndexBytes(), reloaded.value()->IndexBytes());
+  ExpectEnginesAgree(*original.value(), *reloaded.value(), queries,
+                     bitmap::ToString(GetParam()));
+  std::remove(path.c_str());
+}
+
+TEST_P(SnapshotRoundTripTest, DiskEngineRegeneratesTheSameLayout) {
+  auto db = std::make_shared<SetDatabase>(MakeDb(250, 21));
+  auto queries = MakeQueries(*db, 22);
+  auto options = FastOptions(SimilarityMeasure::kCosine, GetParam());
+  auto original = api::EngineBuilder::Build(db, "disk_les3", options);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+
+  std::string path =
+      TempPath("disk_roundtrip_" + bitmap::ToString(GetParam()) + ".snap");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+  auto reloaded = api::EngineBuilder::Open(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  // Same hits AND the same simulated I/O: seeks/pages depend on the
+  // GroupContiguous extents, so equality means the reloaded assignment
+  // regenerated the identical layout.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto expected = original.value()->Knn(queries[qi], 10);
+    auto actual = reloaded.value()->Knn(queries[qi], 10);
+    ExpectExactHits(expected.hits, actual.hits,
+                    "disk knn q=" + std::to_string(qi));
+    ASSERT_TRUE(expected.io.has_value());
+    ASSERT_TRUE(actual.io.has_value());
+    EXPECT_EQ(expected.io->seeks, actual.io->seeks) << "q=" << qi;
+    EXPECT_EQ(expected.io->pages, actual.io->pages) << "q=" << qi;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SnapshotRoundTripTest,
+                         ::testing::Values(bitmap::BitmapBackend::kRoaring,
+                                           bitmap::BitmapBackend::kBitVector),
+                         [](const auto& info) {
+                           return bitmap::ToString(info.param);
+                         });
+
+TEST(SnapshotTest, ResaveAfterLoadIsByteIdentical) {
+  // Exact container state survives the round trip: a reloaded engine
+  // serializes to the very same bytes.
+  auto db = std::make_shared<SetDatabase>(MakeDb(200, 31));
+  auto options =
+      FastOptions(SimilarityMeasure::kJaccard, bitmap::BitmapBackend::kRoaring);
+  options.keep_l2p_models = true;
+  auto original = api::EngineBuilder::Build(db, "les3", options);
+  ASSERT_TRUE(original.ok());
+
+  std::string path1 = TempPath("resave1.snap");
+  std::string path2 = TempPath("resave2.snap");
+  ASSERT_TRUE(original.value()->Save(path1).ok());
+  auto reloaded = api::EngineBuilder::Open(path1);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_TRUE(reloaded.value()->Save(path2).ok());
+
+  std::vector<uint8_t> bytes1, bytes2;
+  ASSERT_TRUE(ReadFileBytes(path1, &bytes1).ok());
+  ASSERT_TRUE(ReadFileBytes(path2, &bytes2).ok());
+  EXPECT_EQ(bytes1, bytes2);
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(SnapshotTest, L2pModelsPersistAcrossReload) {
+  auto db = std::make_shared<SetDatabase>(MakeDb(300, 41));
+  auto options =
+      FastOptions(SimilarityMeasure::kJaccard, bitmap::BitmapBackend::kRoaring);
+  options.keep_l2p_models = true;
+  auto original = api::EngineBuilder::Build(db, "les3", options);
+  ASSERT_TRUE(original.ok());
+  // init_groups=8 < num_groups=16 over 300 sets: models must be trained.
+  std::string describe = original.value()->Describe();
+  ASSERT_NE(describe.find("l2p_models="), std::string::npos) << describe;
+
+  std::string path = TempPath("l2p.snap");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+  auto reloaded = api::EngineBuilder::Open(path);
+  ASSERT_TRUE(reloaded.ok());
+  // The persisted-model count is part of Describe() and must survive.
+  std::string tail = describe.substr(describe.find("l2p_models="));
+  tail = tail.substr(0, tail.find_first_of(",)"));
+  EXPECT_NE(reloaded.value()->Describe().find(tail), std::string::npos)
+      << reloaded.value()->Describe();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, BackendOverrideOnOpen) {
+  auto db = std::make_shared<SetDatabase>(MakeDb(150, 51));
+  auto options =
+      FastOptions(SimilarityMeasure::kJaccard, bitmap::BitmapBackend::kRoaring);
+  auto original = api::EngineBuilder::Build(db, "les3", options);
+  ASSERT_TRUE(original.ok());
+  std::string path = TempPath("override.snap");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+
+  api::OpenOptions disk_open;
+  disk_open.backend = "disk_les3";
+  auto as_disk = api::EngineBuilder::Open(path, disk_open);
+  ASSERT_TRUE(as_disk.ok()) << as_disk.status().ToString();
+  EXPECT_NE(as_disk.value()->Describe().find("disk_les3("),
+            std::string::npos);
+  auto queries = MakeQueries(*db, 52);
+  ExpectEnginesAgree(*original.value(), *as_disk.value(), queries,
+                     "open-as-disk");
+
+  api::OpenOptions bad_open;
+  bad_open.backend = "brute_force";
+  auto bad = api::EngineBuilder::Open(path, bad_open);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SaveUnsupportedOnNonLes3Backends) {
+  auto db = std::make_shared<SetDatabase>(MakeDb(100, 61));
+  for (const char* backend : {"brute_force", "invidx", "dualtrans"}) {
+    auto engine = api::EngineBuilder::Build(db, backend);
+    ASSERT_TRUE(engine.ok());
+    Status s = engine.value()->Save(TempPath("unsupported.snap"));
+    EXPECT_EQ(s.code(), StatusCode::kNotSupported) << backend;
+  }
+}
+
+TEST(SnapshotTest, MissingFileIsAnError) {
+  auto missing = api::EngineBuilder::Open(TempPath("does_not_exist.snap"));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption robustness. One valid byte buffer, attacked in every way the
+// issue names; DecodeSnapshot must return a Status every time.
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = std::make_shared<SetDatabase>(MakeDb(120, 71));
+    auto options = FastOptions(SimilarityMeasure::kJaccard,
+                               bitmap::BitmapBackend::kRoaring);
+    options.keep_l2p_models = true;  // exercise the L2P chunk too
+    auto engine = api::EngineBuilder::Build(db, "les3", options);
+    ASSERT_TRUE(engine.ok());
+    std::string path = TempPath("corruption_base.snap");
+    ASSERT_TRUE(engine.value()->Save(path).ok());
+    bytes_ = new std::vector<uint8_t>();
+    ASSERT_TRUE(ReadFileBytes(path, bytes_).ok());
+    std::remove(path.c_str());
+    ASSERT_TRUE(DecodeSnapshot(bytes_->data(), bytes_->size()).ok());
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+  }
+
+  static std::vector<uint8_t>* bytes_;
+};
+
+std::vector<uint8_t>* SnapshotCorruptionTest::bytes_ = nullptr;
+
+TEST_F(SnapshotCorruptionTest, EveryTruncationFails) {
+  const auto& bytes = *bytes_;
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto result = DecodeSnapshot(bytes.data(), len);
+    EXPECT_FALSE(result.ok()) << "truncation at " << len << " of "
+                              << bytes.size();
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, EverySingleBitFlipFails) {
+  // One flip per byte (rotating bit position) keeps the sweep quadratic-
+  // free while still touching every header field, length, payload byte,
+  // and checksum.
+  std::vector<uint8_t> corrupted = *bytes_;
+  for (size_t i = 0; i < corrupted.size(); ++i) {
+    uint8_t mask = static_cast<uint8_t>(1u << (i % 8));
+    corrupted[i] ^= mask;
+    auto result = DecodeSnapshot(corrupted.data(), corrupted.size());
+    EXPECT_FALSE(result.ok()) << "bit flip at byte " << i;
+    corrupted[i] ^= mask;
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, BadMagicVersionAndFlags) {
+  std::vector<uint8_t> bad = *bytes_;
+  bad[0] = 'X';
+  auto r = DecodeSnapshot(bad.data(), bad.size());
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+
+  bad = *bytes_;
+  bad[8] = static_cast<uint8_t>(kSnapshotVersion + 1);  // bumped version
+  r = DecodeSnapshot(bad.data(), bad.size());
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+
+  bad = *bytes_;
+  bad[12] = 1;  // reserved flags
+  EXPECT_FALSE(DecodeSnapshot(bad.data(), bad.size()).ok());
+}
+
+TEST_F(SnapshotCorruptionTest, OversizedChunkLengthFails) {
+  // The first chunk header sits right after the 16-byte file header:
+  // u32 type at 16, u64 payload length at 20.
+  std::vector<uint8_t> bad = *bytes_;
+  for (uint8_t b : {0xFF, 0x7F}) {
+    for (size_t i = 20; i < 28; ++i) bad[i] = b;  // absurd 64-bit length
+    auto result = DecodeSnapshot(bad.data(), bad.size());
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("exceeds the file size"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, GarbageAndEmptyInputsFail) {
+  EXPECT_FALSE(DecodeSnapshot(nullptr, 0).ok());
+  std::vector<uint8_t> garbage(1024, 0xAB);
+  EXPECT_FALSE(DecodeSnapshot(garbage.data(), garbage.size()).ok());
+  // A valid header with no chunks at all.
+  ByteWriter w;
+  w.WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.WriteU32(kSnapshotVersion);
+  w.WriteU32(0);
+  EXPECT_FALSE(DecodeSnapshot(w.data().data(), w.data().size()).ok());
+}
+
+TEST_F(SnapshotCorruptionTest, TrailingGarbageAfterEndChunkFails) {
+  std::vector<uint8_t> bad = *bytes_;
+  bad.push_back(0);
+  EXPECT_FALSE(DecodeSnapshot(bad.data(), bad.size()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Semantic validation of the inner payloads, attacked below the CRC layer
+// (crafted buffers, no checksums involved): the deserializers themselves
+// must reject anything that would break the query kernels' invariants.
+
+TEST(SnapshotSemanticTest, TgmRejectsOutOfRangeAssignment) {
+  ByteWriter w;
+  tgm::Tgm tgm(SetDatabase(4), {}, 2);
+  tgm.SerializeColumns(&w);
+  std::vector<GroupId> bad_assignment = {0, 1, 2};  // 2 >= num_groups
+  ByteReader r(w.data());
+  auto result = tgm::Tgm::Deserialize(bad_assignment, 2, &r);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SnapshotSemanticTest, TgmRejectsGroupCountBeyondSetCount) {
+  // Partitionings are dense, so num_groups can never exceed |assignment|;
+  // an attacker-sized group count must be rejected before the membership
+  // allocation, not after.
+  ByteWriter w;
+  tgm::Tgm tgm(SetDatabase(4), {}, 2);
+  tgm.SerializeColumns(&w);
+  std::vector<GroupId> assignment = {0, 1, 0};
+  ByteReader r(w.data());
+  auto result = tgm::Tgm::Deserialize(assignment, 0xFFFFFFFFu, &r);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SnapshotSemanticTest, ColumnValueBeyondGroupCountRejected) {
+  // A column naming group 40 must not load into an 8-group matrix: the
+  // count kernels would write past the counter array.
+  bitmap::BitmapColumn col = bitmap::BitmapColumn::FromSorted(
+      bitmap::BitmapBackend::kRoaring, {1, 3, 40});
+  ByteWriter w;
+  col.Serialize(&w);
+  ByteReader ok_reader(w.data());
+  EXPECT_TRUE(bitmap::BitmapColumn::Deserialize(&ok_reader, 41).ok());
+  ByteReader bad_reader(w.data());
+  auto result = bitmap::BitmapColumn::Deserialize(&bad_reader, 8);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SnapshotSemanticTest, RoaringStructuralInvariantsEnforced) {
+  {
+    // Array values not strictly ascending.
+    ByteWriter w;
+    w.WriteU32(1);            // one container
+    w.WriteU16(0);            // key
+    w.WriteU8(0);             // array tag
+    w.WriteU32(2);            // two values
+    w.WriteU16(5);
+    w.WriteU16(5);            // duplicate
+    ByteReader r(w.data());
+    EXPECT_FALSE(bitmap::Roaring::Deserialize(&r, 1 << 20).ok());
+  }
+  {
+    // Bitset cardinality disagreeing with its popcount.
+    ByteWriter w;
+    w.WriteU32(1);
+    w.WriteU16(0);
+    w.WriteU8(1);             // bitset tag
+    w.WriteU32(7);            // claimed cardinality
+    w.WriteU64(0b11);         // actual popcount 2
+    for (int i = 1; i < 1024; ++i) w.WriteU64(0);
+    ByteReader r(w.data());
+    EXPECT_FALSE(bitmap::Roaring::Deserialize(&r, 1 << 20).ok());
+  }
+  {
+    // Overlapping runs.
+    ByteWriter w;
+    w.WriteU32(1);
+    w.WriteU16(0);
+    w.WriteU8(2);             // run tag
+    w.WriteU32(2);
+    w.WriteU16(0);
+    w.WriteU16(10);           // [0, 10]
+    w.WriteU16(5);
+    w.WriteU16(3);            // [5, 8] overlaps
+    ByteReader r(w.data());
+    EXPECT_FALSE(bitmap::Roaring::Deserialize(&r, 1 << 20).ok());
+  }
+  {
+    // Unknown container tag.
+    ByteWriter w;
+    w.WriteU32(1);
+    w.WriteU16(0);
+    w.WriteU8(9);
+    ByteReader r(w.data());
+    EXPECT_FALSE(bitmap::Roaring::Deserialize(&r, 1 << 20).ok());
+  }
+}
+
+TEST(SnapshotSemanticTest, DenseColumnInvariantsEnforced) {
+  {
+    // Stray bit past the logical size.
+    ByteWriter w;
+    w.WriteU64(10);     // num_bits
+    w.WriteU64(1u << 12);  // bit 12 set, but only bits [0, 10) are legal
+    ByteReader r(w.data());
+    EXPECT_FALSE(bitmap::BitVector::Deserialize(&r, 64).ok());
+  }
+  {
+    // Size beyond the universe bound.
+    ByteWriter w;
+    w.WriteU64(100);
+    for (int i = 0; i < 2; ++i) w.WriteU64(0);
+    ByteReader r(w.data());
+    EXPECT_FALSE(bitmap::BitVector::Deserialize(&r, 32).ok());
+  }
+  {
+    // Column cardinality disagreeing with the bits.
+    ByteWriter w;
+    w.WriteU8(static_cast<uint8_t>(bitmap::BitmapBackend::kBitVector));
+    w.WriteU64(5);      // claimed cardinality
+    w.WriteU64(8);      // num_bits
+    w.WriteU64(0b101);  // actual popcount 2
+    ByteReader r(w.data());
+    EXPECT_FALSE(bitmap::BitmapColumn::Deserialize(&r, 64).ok());
+  }
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace les3

@@ -3,14 +3,25 @@
 // with a TGM rebuilt from scratch over the same final assignment — for
 // both bitmap backends and through both the batched kernels and the
 // per-bit reference path.
+//
+// The snapshot legs extend that to persistence: inserting into a matrix
+// (or engine) reloaded from a snapshot must behave exactly like inserting
+// into the one that was saved — same routing decisions, same final state
+// as a from-scratch rebuild — with and without persisted L2P weights
+// (inserts route through the TGM per Section 6 either way).
 
 #include "tgm/tgm.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "api/engine_builder.h"
 #include "datagen/generators.h"
+#include "persist/bytes.h"
 #include "util/random.h"
 
 namespace les3 {
@@ -112,6 +123,111 @@ TEST_P(TgmUpdateTest, InsertAfterRunOptimizeStaysConsistent) {
     tgm.AddSet(id, db.set(id), SimilarityMeasure::kJaccard);
   }
   ExpectConsistentWithRebuild(tgm, db, queries);
+}
+
+TEST_P(TgmUpdateTest, InsertAfterDeserializeMatchesLiveMatrix) {
+  // Serialize a live matrix, reload it, then feed both the same insert
+  // stream: every routing decision and the final matrix state must match
+  // (and the reloaded matrix must stay consistent with a from-scratch
+  // rebuild, like any other updated matrix).
+  const uint32_t kGroups = 10;
+  SetDatabase db = MakeDb(160, 13);
+  std::vector<GroupId> assignment(db.size());
+  for (SetId i = 0; i < db.size(); ++i) assignment[i] = i % kGroups;
+  Tgm live(db, assignment, kGroups, GetParam());
+  live.RunOptimize();
+
+  persist::ByteWriter writer;
+  live.SerializeColumns(&writer);
+  persist::ByteReader reader(writer.data());
+  auto reloaded =
+      Tgm::Deserialize(live.group_assignment(), kGroups, &reader);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  Tgm restored = std::move(reloaded).ValueOrDie();
+  ASSERT_EQ(restored.num_groups(), live.num_groups());
+  ASSERT_EQ(restored.bitmap_backend(), live.bitmap_backend());
+
+  SetDatabase db_copy = db;  // two databases absorbing the same inserts
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    uint32_t max_token = (i % 5 == 0) ? 150 + 30 * i : 150;
+    SetRecord set = RandomSet(&rng, max_token);
+    SetId live_id = db.AddSet(set);
+    SetId restored_id = db_copy.AddSet(set);
+    ASSERT_EQ(live_id, restored_id);
+    GroupId live_group =
+        live.AddSet(live_id, db.set(live_id), SimilarityMeasure::kJaccard);
+    GroupId restored_group = restored.AddSet(
+        restored_id, db_copy.set(restored_id), SimilarityMeasure::kJaccard);
+    EXPECT_EQ(live_group, restored_group) << "insert " << i;
+  }
+  std::vector<SetRecord> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(RandomSet(&rng, 400));
+  for (const SetRecord& q : queries) {
+    std::vector<uint32_t> live_counts, restored_counts;
+    live.MatchedCounts(q, &live_counts);
+    restored.MatchedCounts(q, &restored_counts);
+    EXPECT_EQ(live_counts, restored_counts);
+  }
+  ExpectConsistentWithRebuild(restored, db_copy, queries);
+}
+
+/// Engine-level insert-after-load: Insert on a reopened snapshot engine
+/// must answer queries exactly like the saved engine absorbing the same
+/// inserts — with and without persisted L2P weights (routing is TGM-based
+/// per Section 6, so the weights must make no behavioral difference).
+TEST_P(TgmUpdateTest, EngineInsertAfterOpenMatchesOriginal) {
+  for (bool keep_l2p_models : {false, true}) {
+    auto db = std::make_shared<SetDatabase>(MakeDb(200, 23));
+    api::EngineOptions options;
+    options.num_groups = 14;
+    options.cascade.init_groups = 7;
+    options.cascade.min_group_size = 8;
+    options.cascade.pairs_per_model = 600;
+    options.cascade.seed = 3;
+    options.bitmap_backend = GetParam();
+    options.keep_l2p_models = keep_l2p_models;
+    auto original = api::EngineBuilder::Build(db, "les3", options);
+    ASSERT_TRUE(original.ok()) << original.status().ToString();
+
+    std::string path = ::testing::TempDir() + "les3_insert_after_load_" +
+                       bitmap::ToString(GetParam()) +
+                       (keep_l2p_models ? "_l2p" : "") + ".snap";
+    ASSERT_TRUE(original.value()->Save(path).ok());
+    auto reloaded = api::EngineBuilder::Open(path);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    std::remove(path.c_str());
+
+    Rng rng(29);
+    for (int i = 0; i < 25; ++i) {
+      uint32_t max_token = (i % 4 == 0) ? 200 + 25 * i : 200;
+      SetRecord set = RandomSet(&rng, max_token);
+      auto id1 = original.value()->Insert(set);
+      auto id2 = reloaded.value()->Insert(set);
+      ASSERT_TRUE(id1.ok());
+      ASSERT_TRUE(id2.ok());
+      EXPECT_EQ(id1.value(), id2.value());
+    }
+    std::vector<SetRecord> queries;
+    for (int i = 0; i < 8; ++i) queries.push_back(RandomSet(&rng, 600));
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto expected = original.value()->Knn(queries[qi], 10);
+      auto actual = reloaded.value()->Knn(queries[qi], 10);
+      ASSERT_EQ(expected.hits.size(), actual.hits.size()) << "q=" << qi;
+      for (size_t i = 0; i < expected.hits.size(); ++i) {
+        EXPECT_EQ(expected.hits[i].first, actual.hits[i].first)
+            << "q=" << qi << " rank " << i
+            << (keep_l2p_models ? " (l2p persisted)" : "");
+        EXPECT_DOUBLE_EQ(expected.hits[i].second, actual.hits[i].second);
+      }
+      auto expected_range = original.value()->Range(queries[qi], 0.4);
+      auto actual_range = reloaded.value()->Range(queries[qi], 0.4);
+      ASSERT_EQ(expected_range.hits.size(), actual_range.hits.size());
+      for (size_t i = 0; i < expected_range.hits.size(); ++i) {
+        EXPECT_EQ(expected_range.hits[i].first, actual_range.hits[i].first);
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TgmUpdateTest,

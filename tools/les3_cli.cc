@@ -5,14 +5,24 @@
 //   les3_cli backends
 //   les3_cli knn      <sets.txt> <k>     "<query tokens>" [backend] [measure] [groups] [bitmap]
 //   les3_cli range    <sets.txt> <delta> "<query tokens>" [backend] [measure] [groups] [bitmap]
+//   les3_cli save     <sets.txt> <snapshot> [backend] [measure] [groups] [bitmap]
+//   les3_cli open     <snapshot> info
+//   les3_cli open     <snapshot> knn   <k>     "<query tokens>" [backend]
+//   les3_cli open     <snapshot> range <delta> "<query tokens>" [backend]
 //
 // <sets.txt>: one set per line, whitespace-separated integer token ids —
 // the format the public benchmarks (KOSARAK, DBLP, ...) ship in.
-// [backend]: any name from `les3_cli backends` (default: les3).
+// <snapshot>: a versioned index snapshot (docs/snapshot_format.md): `save`
+// builds and trains once, `open` reloads with zero partitioning/training.
+// [backend]: any name from `les3_cli backends` (default: les3); for
+// save/open only les3 and disk_les3 apply.
 // [measure]: jaccard (default) | dice | cosine | containment.
 // [groups]:  number of L2P groups (default: the 0.5% |D| heuristic).
 // [bitmap]:  TGM column representation, roaring (default) | bitvector
 //            (les3 / disk_les3 only; see the README trade-off notes).
+//
+// Exit codes: 0 success; 1 runtime error (bad input file, corrupted
+// snapshot, failed build — details on stderr); 2 usage error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +47,20 @@ int Usage() {
                "[roaring|bitvector]\n"
                "  les3_cli range    <sets.txt> <delta> \"<query>\" [backend] "
                "[jaccard|dice|cosine|containment] [groups] "
-               "[roaring|bitvector]\n");
+               "[roaring|bitvector]\n"
+               "  les3_cli save     <sets.txt> <snapshot> [les3|disk_les3] "
+               "[jaccard|dice|cosine|containment] [groups] "
+               "[roaring|bitvector]\n"
+               "  les3_cli open     <snapshot> info\n"
+               "  les3_cli open     <snapshot> knn   <k>     \"<query>\" "
+               "[les3|disk_les3]\n"
+               "  les3_cli open     <snapshot> range <delta> \"<query>\" "
+               "[les3|disk_les3]\n"
+               "\n"
+               "save builds (and trains) an index once and writes it as a\n"
+               "versioned snapshot; open reloads it with zero partitioning\n"
+               "or training work. Exit codes: 0 success, 1 runtime error\n"
+               "(details on stderr), 2 usage error.\n");
   return 2;
 }
 
@@ -47,6 +70,126 @@ Result<SimilarityMeasure> ParseMeasure(const std::string& name) {
   if (name == "cosine") return SimilarityMeasure::kCosine;
   if (name == "containment") return SimilarityMeasure::kContainment;
   return Status::InvalidArgument("unknown measure: " + name);
+}
+
+void PrintResult(const api::QueryResult& result) {
+  for (const auto& [id, sim] : result.hits) {
+    std::printf("%u\t%.6f\n", id, sim);
+  }
+  std::fprintf(stderr,
+               "%zu results in %.2fms (PE %.4f, %llu candidates)\n",
+               result.hits.size(), result.TotalMs(),
+               result.stats.pruning_efficiency,
+               static_cast<unsigned long long>(
+                   result.stats.candidates_verified));
+  if (result.io) {
+    std::fprintf(stderr, "simulated I/O: %.2fms, %llu seeks, %llu pages\n",
+                 result.io->io_ms,
+                 static_cast<unsigned long long>(result.io->seeks),
+                 static_cast<unsigned long long>(result.io->pages));
+  }
+}
+
+/// Parses the optional [measure] [groups] [bitmap] tail of knn / range /
+/// save invocations, starting at argv[first]. Returns false (after
+/// printing the error) on a bad value.
+bool ParseBuildTail(int argc, char** argv, int first,
+                    api::EngineOptions* options) {
+  if (argc > first) {
+    auto measure = ParseMeasure(argv[first]);
+    if (!measure.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   measure.status().ToString().c_str());
+      return false;
+    }
+    options->measure = measure.value();
+  }
+  if (argc > first + 1) {
+    options->num_groups = static_cast<uint32_t>(atoi(argv[first + 1]));
+  }
+  if (argc > first + 2) {
+    auto bitmap = bitmap::ParseBitmapBackend(argv[first + 2]);
+    if (!bitmap.ok()) {
+      std::fprintf(stderr, "error: %s\n", bitmap.status().ToString().c_str());
+      return false;
+    }
+    options->bitmap_backend = bitmap.value();
+  }
+  return true;
+}
+
+int RunSave(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto db = LoadSetsFromText(argv[2]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::string backend = argc > 4 ? argv[4] : "les3";
+  api::EngineOptions options;
+  // Persist the trained cascade too: the snapshot is the full learned
+  // artifact, not just the query-time structures.
+  options.keep_l2p_models = true;
+  if (!ParseBuildTail(argc, argv, 5, &options)) return 1;
+
+  std::fprintf(stderr, "indexing %zu sets...\n", db.value().size());
+  WallTimer build_timer;
+  auto engine = api::EngineBuilder::Build(std::move(db).ValueOrDie(), backend,
+                                          options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  double build_s = build_timer.Seconds();
+  WallTimer save_timer;
+  Status saved = engine.value()->Save(argv[3]);
+  if (!saved.ok()) {
+    // e.g. a non-les3 backend (NotSupported) or an unwritable path.
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "built %s in %.2fs; snapshot written to %s in %.3fs\n",
+               engine.value()->Describe().c_str(), build_s, argv[3],
+               save_timer.Seconds());
+  return 0;
+}
+
+int RunOpen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string sub = argv[3];
+  bool knn = sub == "knn";
+  if (sub != "info" && !knn && sub != "range") return Usage();
+  if (sub != "info" && argc < 6) return Usage();
+
+  api::OpenOptions options;
+  if (sub != "info" && argc > 6) options.backend = argv[6];
+  WallTimer open_timer;
+  auto engine = api::EngineBuilder::Open(argv[2], options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "opened %s in %.3fs (%zu sets, index %llu bytes)\n",
+               engine.value()->Describe().c_str(), open_timer.Seconds(),
+               engine.value()->db().size(),
+               static_cast<unsigned long long>(engine.value()->IndexBytes()));
+  if (sub == "info") return 0;
+
+  auto query = ParseSetLine(argv[5]);
+  if (!query.ok()) {
+    std::fprintf(stderr, "error: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  api::QueryResult result;
+  if (knn) {
+    result = engine.value()->Knn(query.value(),
+                                 static_cast<size_t>(atoll(argv[4])));
+  } else {
+    result = engine.value()->Range(query.value(), atof(argv[4]));
+  }
+  PrintResult(result);
+  return 0;
 }
 
 int RunQuery(int argc, char** argv, bool knn) {
@@ -63,24 +206,7 @@ int RunQuery(int argc, char** argv, bool knn) {
   }
   std::string backend = argc > 5 ? argv[5] : "les3";
   api::EngineOptions options;
-  if (argc > 6) {
-    auto measure = ParseMeasure(argv[6]);
-    if (!measure.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   measure.status().ToString().c_str());
-      return 1;
-    }
-    options.measure = measure.value();
-  }
-  if (argc > 7) options.num_groups = static_cast<uint32_t>(atoi(argv[7]));
-  if (argc > 8) {
-    auto bitmap = bitmap::ParseBitmapBackend(argv[8]);
-    if (!bitmap.ok()) {
-      std::fprintf(stderr, "error: %s\n", bitmap.status().ToString().c_str());
-      return 1;
-    }
-    options.bitmap_backend = bitmap.value();
-  }
+  if (!ParseBuildTail(argc, argv, 6, &options)) return 1;
 
   std::fprintf(stderr, "indexing %zu sets...\n", db.value().size());
   WallTimer build_timer;
@@ -102,21 +228,7 @@ int RunQuery(int argc, char** argv, bool knn) {
     double delta = atof(argv[3]);
     result = engine.value()->Range(query.value(), delta);
   }
-  for (const auto& [id, sim] : result.hits) {
-    std::printf("%u\t%.6f\n", id, sim);
-  }
-  std::fprintf(stderr,
-               "%zu results in %.2fms (PE %.4f, %llu candidates)\n",
-               result.hits.size(), result.TotalMs(),
-               result.stats.pruning_efficiency,
-               static_cast<unsigned long long>(
-                   result.stats.candidates_verified));
-  if (result.io) {
-    std::fprintf(stderr, "simulated I/O: %.2fms, %llu seeks, %llu pages\n",
-                 result.io->io_ms,
-                 static_cast<unsigned long long>(result.io->seeks),
-                 static_cast<unsigned long long>(result.io->pages));
-  }
+  PrintResult(result);
   return 0;
 }
 
@@ -143,5 +255,7 @@ int main(int argc, char** argv) {
   }
   if (command == "knn") return RunQuery(argc, argv, /*knn=*/true);
   if (command == "range") return RunQuery(argc, argv, /*knn=*/false);
+  if (command == "save") return RunSave(argc, argv);
+  if (command == "open") return RunOpen(argc, argv);
   return Usage();
 }
