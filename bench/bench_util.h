@@ -8,10 +8,13 @@
 #ifndef LES3_BENCH_BENCH_UTIL_H_
 #define LES3_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "api/search_engine.h"
 #include "core/database.h"
 #include "datagen/generators.h"
 #include "l2p/cascade.h"
@@ -72,6 +75,45 @@ inline QueryAggregate RunQueries(
   agg.avg_pe /= n;
   agg.avg_candidates /= n;
   return agg;
+}
+
+/// Throughput and latency distribution of one batch-query run; shared by
+/// `les3_cli batch` and bench/shard_scaling.cc.
+struct BatchLatency {
+  size_t queries = 0;
+  double wall_s = 0.0;   // end-to-end batch wall time
+  double qps = 0.0;      // queries / wall_s
+  double p50_ms = 0.0;   // per-query latency percentiles; on the sharded
+  double p95_ms = 0.0;   // engine a query's latency is its slowest shard
+  double p99_ms = 0.0;   // probe (the scatter-gather critical path)
+};
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(std::ceil(p * sorted.size()));
+  if (rank > 0) --rank;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+/// Summarizes a KnnBatch/RangeBatch run: QPS from the batch wall time,
+/// percentiles from each query's own latency (QueryResult::TotalMs).
+inline BatchLatency SummarizeBatch(const std::vector<api::QueryResult>& results,
+                                   double wall_s) {
+  BatchLatency summary;
+  summary.queries = results.size();
+  summary.wall_s = wall_s;
+  if (results.empty()) return summary;
+  summary.qps = wall_s > 0.0 ? results.size() / wall_s : 0.0;
+  std::vector<double> ms;
+  ms.reserve(results.size());
+  for (const auto& r : results) ms.push_back(r.TotalMs());
+  std::sort(ms.begin(), ms.end());
+  summary.p50_ms = PercentileSorted(ms, 0.50);
+  summary.p95_ms = PercentileSorted(ms, 0.95);
+  summary.p99_ms = PercentileSorted(ms, 0.99);
+  return summary;
 }
 
 /// Writes the CSV next to the binary's working directory and announces it.

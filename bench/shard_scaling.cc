@@ -1,0 +1,82 @@
+// Shard scaling — build time and query throughput of the sharded
+// scatter-gather engine vs shard count, on the KOSARAK analog (the
+// dataset whose Figure 7 build time motivates parallel build).
+//
+// For each shard count S in {1, 2, 4, 8}: build a sharded_les3 engine
+// (per-shard L2P training runs concurrently across shards), then run a
+// kNN batch through the striped (query, shard) pool and summarize QPS
+// and per-query latency percentiles with the shared bench helper —
+// exactly what `les3_cli batch` reports.
+//
+// Expected shape: build time improves monotonically with shard count
+// (per-shard training budgets scale with shard size, and shards build
+// concurrently on multi-core machines) while tail latency (p95/p99)
+// drops steeply — each probe scans a fraction of the groups. Batch QPS
+// pays a scatter-gather tax (every query fans out S probe tasks and
+// verifies up to S*k candidates), steepest when cores are scarce — the
+// sharded engine buys build speed, tail latency, and insert-concurrent
+// serving, not raw single-machine batch throughput.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "api/engine_builder.h"
+#include "bench_util.h"
+#include "datagen/analogs.h"
+
+int main() {
+  using namespace les3;
+  const datagen::AnalogSpec& spec = datagen::AnalogSpecByName("KOSARAK");
+  auto db = std::make_shared<SetDatabase>(datagen::GenerateAnalog(spec, 3));
+  std::printf("KOSARAK analog: %zu sets, %u tokens\n", db->size(),
+              db->num_tokens());
+
+  std::vector<SetRecord> queries;
+  for (SetId qid : datagen::SampleQueryIds(*db, 200, /*seed=*/11)) {
+    queries.push_back(db->set(qid));
+  }
+
+  TableReporter table({"shards", "build_s", "build_speedup", "qps", "p50_ms",
+                       "p95_ms", "p99_ms", "index_bytes"});
+  double build_s_1shard = 0.0;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    api::EngineOptions options;
+    options.backend = api::Backend::kShardedLes3;
+    options.num_shards = shards;
+    // Per-shard group count so total groups stay comparable across runs;
+    // init_groups scales with the target (1/8 ratio at every shard count)
+    // so each row trains a comparable cascade — BenchCascade's fixed 128
+    // would exceed small per-shard targets and skip training entirely.
+    options.num_groups = bench::DefaultGroups(db->size() / shards);
+    options.cascade = bench::BenchCascade(options.num_groups);
+    options.cascade.init_groups =
+        std::max(16u, options.num_groups / 8);
+    options.cascade.num_threads = 0;  // resolved per shard by the builder
+
+    WallTimer build_timer;
+    auto engine = api::EngineBuilder::Build(db, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    double build_s = build_timer.Seconds();
+    if (shards == 1) build_s_1shard = build_s;
+
+    WallTimer query_timer;
+    auto results = engine.value()->KnnBatch(queries, 10);
+    bench::BatchLatency summary =
+        bench::SummarizeBatch(results, query_timer.Seconds());
+
+    table.Add(shards, build_s,
+              build_s > 0.0 ? build_s_1shard / build_s : 0.0, summary.qps,
+              summary.p50_ms, summary.p95_ms, summary.p99_ms,
+              engine.value()->IndexBytes());
+    std::printf("shards=%u done (%s)\n", shards,
+                engine.value()->Describe().c_str());
+  }
+  bench::Emit(table, "Shard scaling: build time and QPS vs shard count",
+              "shard_scaling.csv");
+  return 0;
+}

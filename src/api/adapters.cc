@@ -15,6 +15,7 @@
 #include "baselines/invidx.h"
 #include "search/builder.h"
 #include "search/les3_index.h"
+#include "shard/sharded_engine.h"
 #include "storage/disk_search.h"
 
 namespace les3 {
@@ -210,23 +211,32 @@ class BruteForceEngine : public MemoryEngine<baselines::BruteForce> {
 
 std::unique_ptr<SearchEngine> MakeLes3Engine(std::shared_ptr<SetDatabase> db,
                                              const EngineOptions& options) {
-  uint32_t groups = search::ResolveNumGroups(*db, options.num_groups);
-  l2p::CascadeOptions cascade = options.cascade;
-  cascade.keep_models = options.keep_l2p_models;
+  // The single-index engine is the 1-shard special case of the build
+  // path: it goes through the same BuildIndexOverShared the sharded
+  // engine runs once per shard.
+  search::Les3BuildOptions build;
+  build.measure = options.measure;
+  build.num_groups = options.num_groups;
+  build.cascade = options.cascade;
+  build.cascade.keep_models = options.keep_l2p_models;
+  build.bitmap_backend = options.bitmap_backend;
   l2p::CascadeResult cascade_result;
-  auto part = search::PartitionWithL2P(
-      *db, groups, options.measure, cascade,
-      options.keep_l2p_models ? &cascade_result : nullptr);
-  search::Les3Index index(db, part.assignment, part.num_groups,
-                          options.measure, options.bitmap_backend);
+  search::Les3Index index = search::BuildIndexOverShared(
+      db, build, options.keep_l2p_models ? &cascade_result : nullptr);
+  uint32_t groups = index.tgm().num_groups();
   return std::make_unique<Les3Engine>(
       std::move(db), std::move(index),
-      "les3(" + DescribeLes3(options.measure, part.num_groups,
+      "les3(" + DescribeLes3(options.measure, groups,
                              options.bitmap_backend,
                              cascade_result.models.size(),
                              /*from_snapshot=*/false) +
           ")",
       options, std::move(cascade_result.models));
+}
+
+std::unique_ptr<SearchEngine> MakeShardedEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options) {
+  return shard::ShardedEngine::Build(std::move(db), options);
 }
 
 std::unique_ptr<SearchEngine> MakeBruteForceEngine(
@@ -282,6 +292,9 @@ std::unique_ptr<SearchEngine> MakeDiskLes3Engine(
 std::unique_ptr<SearchEngine> OpenSnapshotEngine(
     persist::LoadedSnapshot snapshot, const std::string& backend,
     const OpenOptions& options) {
+  if (backend == "sharded_les3") {
+    return shard::ShardedEngine::FromSnapshot(std::move(snapshot), options);
+  }
   EngineOptions engine_options;
   engine_options.num_threads = options.num_threads;
   std::string describe_tail =

@@ -32,10 +32,13 @@ std::unique_ptr<SearchEngine> MakeDiskInvIdxEngine(
     std::shared_ptr<SetDatabase> db, const EngineOptions& options);
 std::unique_ptr<SearchEngine> MakeDiskDualTransEngine(
     std::shared_ptr<SetDatabase> db, const EngineOptions& options);
+std::unique_ptr<SearchEngine> MakeShardedEngine(
+    std::shared_ptr<SetDatabase> db, const EngineOptions& options);
 
-/// Reconstructs a les3 or disk_les3 engine from a decoded snapshot —
-/// zero partitioning/training work. `backend` must be "les3" or
-/// "disk_les3" (EngineBuilder::Open resolves the default beforehand).
+/// Reconstructs a les3, disk_les3, or sharded_les3 engine from a decoded
+/// snapshot — zero partitioning/training work. `backend` must be one of
+/// those names, already checked against the snapshot version
+/// (EngineBuilder::Open resolves the default and the pairing beforehand).
 std::unique_ptr<SearchEngine> OpenSnapshotEngine(
     persist::LoadedSnapshot snapshot, const std::string& backend,
     const OpenOptions& options);

@@ -28,6 +28,9 @@ Status ValidateOptions(const SetDatabase& db, const EngineOptions& options) {
   if (IsDiskBackend(options.backend) && options.disk.page_bytes == 0) {
     return Status::InvalidArgument("disk.page_bytes must be positive");
   }
+  if (options.backend == Backend::kShardedLes3 && options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -61,6 +64,8 @@ Result<std::unique_ptr<SearchEngine>> EngineBuilder::Build(
       return internal::MakeDiskInvIdxEngine(std::move(db), options);
     case Backend::kDiskDualTrans:
       return internal::MakeDiskDualTransEngine(std::move(db), options);
+    case Backend::kShardedLes3:
+      return internal::MakeShardedEngine(std::move(db), options);
   }
   return Status::Internal("unhandled backend enum value");
 }
@@ -84,15 +89,29 @@ Result<std::unique_ptr<SearchEngine>> EngineBuilder::Open(
     const std::string& path, const OpenOptions& options) {
   auto snapshot = persist::LoadSnapshot(path);
   if (!snapshot.ok()) return snapshot.status();
-  // The snapshot content is shared by the les3 family; an explicit backend
-  // may reopen it memory- or disk-resident, anything else is a caller bug.
+  // A single-index (v1) snapshot is shared by the les3 family — an
+  // explicit backend may reopen it memory- or disk-resident. A sharded
+  // (v2) snapshot reopens only as the sharded engine; its per-shard
+  // indexes are not a single-index artifact.
   std::string backend =
       options.backend.empty() ? snapshot.value().meta.backend
                               : options.backend;
-  if (backend != "les3" && backend != "disk_les3") {
+  if (backend != "les3" && backend != "disk_les3" &&
+      backend != "sharded_les3") {
     return Status::InvalidArgument(
         "snapshots hold a les3-family index; cannot open as \"" + backend +
-        "\" (use \"les3\", \"disk_les3\", or leave the backend empty)");
+        "\" (use \"les3\", \"disk_les3\", \"sharded_les3\", or leave the "
+        "backend empty)");
+  }
+  bool snapshot_sharded =
+      snapshot.value().version == persist::kSnapshotVersionSharded;
+  if (snapshot_sharded != (backend == "sharded_les3")) {
+    return Status::InvalidArgument(
+        snapshot_sharded
+            ? "this is a sharded (v2) snapshot; it reopens only as "
+              "\"sharded_les3\""
+            : "this is a single-index (v1) snapshot; it cannot reopen as "
+              "\"sharded_les3\"");
   }
   if (options.disk.page_bytes == 0) {
     return Status::InvalidArgument("disk.page_bytes must be positive");

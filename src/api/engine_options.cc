@@ -8,6 +8,7 @@ namespace {
 const char* const kBackendNames[] = {
     "les3",      "brute_force",      "invidx",      "dualtrans",
     "disk_les3", "disk_brute_force", "disk_invidx", "disk_dualtrans",
+    "sharded_les3",
 };
 
 constexpr size_t kNumBackends =
@@ -39,7 +40,15 @@ const std::vector<std::string>& BackendNames() {
 }
 
 bool IsDiskBackend(Backend backend) {
-  return static_cast<size_t>(backend) >= static_cast<size_t>(Backend::kDiskLes3);
+  switch (backend) {
+    case Backend::kDiskLes3:
+    case Backend::kDiskBruteForce:
+    case Backend::kDiskInvIdx:
+    case Backend::kDiskDualTrans:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace api

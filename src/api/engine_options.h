@@ -21,8 +21,11 @@ namespace les3 {
 namespace api {
 
 /// Every searcher constructible through EngineBuilder. The memory-resident
-/// four run entirely in RAM; the disk_ variants run the same algorithms
-/// while charging data accesses to the HDD cost model of storage/disk.h.
+/// backends run entirely in RAM; the disk_ variants run the same
+/// algorithms while charging data accesses to the HDD cost model of
+/// storage/disk.h. kShardedLes3 hash-partitions the database across
+/// num_shards independent LES3 indexes (shard/sharded_engine.h) for
+/// parallel build and insert-concurrent serving.
 enum class Backend {
   kLes3,
   kBruteForce,
@@ -32,10 +35,12 @@ enum class Backend {
   kDiskBruteForce,
   kDiskInvIdx,
   kDiskDualTrans,
+  kShardedLes3,
 };
 
 /// Canonical backend name ("les3", "brute_force", "invidx", "dualtrans",
-/// "disk_les3", "disk_brute_force", "disk_invidx", "disk_dualtrans").
+/// "disk_les3", "disk_brute_force", "disk_invidx", "disk_dualtrans",
+/// "sharded_les3").
 std::string ToString(Backend backend);
 
 /// Parses a canonical backend name; InvalidArgument on anything else.
@@ -59,7 +64,15 @@ struct EngineOptions {
   SimilarityMeasure measure = SimilarityMeasure::kJaccard;
 
   /// LES3 group count; 0 means the paper's heuristic max(16, |D| / 200).
+  /// For sharded_les3 this is the PER-SHARD count (0 = heuristic on the
+  /// shard's size).
   uint32_t num_groups = 0;
+
+  /// Shard count (sharded_les3 only): the database is hash-partitioned by
+  /// set id across this many shards, each with its own independently and
+  /// concurrently built LES3 index. Must be >= 1; clamped to |D| so no
+  /// shard starts empty. See docs/sharding.md.
+  uint32_t num_shards = 1;
 
   /// TGM column representation (les3 / disk_les3): compressed Roaring
   /// containers (default) or flat BitVector rows. Reported by Describe()
@@ -97,8 +110,10 @@ struct EngineOptions {
 /// runtime knobs (not construction knobs) apply here.
 struct OpenOptions {
   /// Backend to reopen as: "" uses the backend recorded in the snapshot;
-  /// "les3" / "disk_les3" reopen the same index memory- or disk-resident
-  /// (the two share one snapshot content). Anything else is
+  /// "les3" / "disk_les3" reopen a single-index (v1) snapshot memory- or
+  /// disk-resident (the two share one snapshot content); "sharded_les3"
+  /// reopens a sharded (v2) snapshot. Anything else — including mixing a
+  /// sharded snapshot with a single-index backend or vice versa — is
   /// InvalidArgument.
   std::string backend;
 

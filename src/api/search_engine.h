@@ -10,8 +10,13 @@
 // EngineBuilder (api/engine_builder.h).
 //
 // Thread-safety: Knn/Range are const and safe to call concurrently;
-// KnnBatch/RangeBatch exploit that via util/thread_pool.h. Insert is NOT
-// safe concurrently with queries on the same engine.
+// KnnBatch/RangeBatch exploit that via util/thread_pool.h. Insert's
+// contract is per-backend: on the single-index backends it is NOT safe
+// concurrently with queries on the same engine, while the sharded engine
+// (shard/sharded_engine.h, backend "sharded_les3") guards each shard with
+// a reader-writer lock so Insert IS safe concurrently with queries and
+// with other Inserts — see docs/sharding.md. db() on the sharded engine
+// is the one read that must not race an Insert.
 
 #ifndef LES3_API_SEARCH_ENGINE_H_
 #define LES3_API_SEARCH_ENGINE_H_
@@ -109,10 +114,14 @@ class SearchEngine {
   explicit SearchEngine(size_t batch_threads = 0)
       : batch_threads_(batch_threads) {}
 
- private:
-  /// The batch pool, created on first batch query.
+  /// The engine's pool, created on first use. Subclasses that fan out
+  /// (the sharded engine's scatter and striped batches) share it; tasks
+  /// submitted to it must never submit to it again (ThreadPool is not
+  /// reentrant), which is why such subclasses override the batch methods
+  /// instead of layering them over Knn/Range.
   ThreadPool& pool() const;
 
+ private:
   size_t batch_threads_;
   mutable std::mutex pool_mu_;
   mutable std::unique_ptr<ThreadPool> pool_;

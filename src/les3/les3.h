@@ -50,6 +50,7 @@
 #include "partition/sorted_init.h"
 #include "search/les3_index.h"
 #include "search/query_stats.h"
+#include "shard/sharded_engine.h"
 #include "storage/disk.h"
 #include "storage/disk_search.h"
 #include "storage/disk_store.h"

@@ -33,13 +33,16 @@ void EndChunk(ByteWriter* out, size_t payload_start) {
       Crc32(out->data().data() + payload_start, payload_len));
 }
 
-void EncodeMeta(const SnapshotMeta& meta, ByteWriter* out) {
+void EncodeMeta(const SnapshotMeta& meta, uint32_t version, ByteWriter* out) {
   out->WriteString(meta.backend);
   out->WriteU8(static_cast<uint8_t>(meta.measure));
   out->WriteU8(static_cast<uint8_t>(meta.bitmap_backend));
   out->WriteU32(meta.num_groups);
   out->WriteU64(meta.num_sets);
   out->WriteU32(meta.num_tokens);
+  // The shard count is a v2 addition; v1 META stays byte-identical to what
+  // older builds wrote (the golden test holds the writer to that).
+  if (version >= kSnapshotVersionSharded) out->WriteU32(meta.num_shards);
 }
 
 void EncodeDatabase(const SetDatabase& db, ByteWriter* out) {
@@ -73,7 +76,7 @@ void EncodeModels(const std::vector<l2p::CascadeModelSnapshot>& models,
   }
 }
 
-Status DecodeMeta(ByteReader* reader, SnapshotMeta* meta) {
+Status DecodeMeta(ByteReader* reader, uint32_t version, SnapshotMeta* meta) {
   LES3_RETURN_NOT_OK(reader->ReadString(&meta->backend, kMaxBackendNameLen));
   uint8_t measure = 0, bitmap_backend = 0;
   LES3_RETURN_NOT_OK(reader->ReadU8(&measure));
@@ -92,6 +95,12 @@ Status DecodeMeta(ByteReader* reader, SnapshotMeta* meta) {
   LES3_RETURN_NOT_OK(reader->ReadU32(&meta->num_groups));
   LES3_RETURN_NOT_OK(reader->ReadU64(&meta->num_sets));
   LES3_RETURN_NOT_OK(reader->ReadU32(&meta->num_tokens));
+  if (version >= kSnapshotVersionSharded) {
+    LES3_RETURN_NOT_OK(reader->ReadU32(&meta->num_shards));
+    if (meta->num_shards == 0) {
+      return Status::InvalidArgument("sharded snapshot declares 0 shards");
+    }
+  }
   if (!reader->AtEnd()) {
     return Status::InvalidArgument("trailing bytes in META chunk");
   }
@@ -220,70 +229,37 @@ Status DecodeModels(ByteReader* reader,
   return Status::OK();
 }
 
-}  // namespace
-
-void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
-                    const tgm::Tgm& tgm,
-                    const std::vector<l2p::CascadeModelSnapshot>& models,
-                    ByteWriter* out) {
-  out->WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
-  out->WriteU32(kSnapshotVersion);
-  out->WriteU32(0);  // flags, reserved
-
-  SnapshotMeta filled = meta;
-  filled.num_groups = tgm.num_groups();
-  filled.num_sets = db.size();
-  filled.num_tokens = db.num_tokens();
-
-  size_t start = 0;
-  BeginChunk(ChunkType::kMeta, out, &start);
-  EncodeMeta(filled, out);
-  EndChunk(out, start);
-
-  BeginChunk(ChunkType::kDatabase, out, &start);
-  EncodeDatabase(db, out);
-  EndChunk(out, start);
-
-  BeginChunk(ChunkType::kPartition, out, &start);
-  EncodePartition(tgm, out);
-  EndChunk(out, start);
-
-  BeginChunk(ChunkType::kTgmColumns, out, &start);
-  tgm.SerializeColumns(out);
-  EndChunk(out, start);
-
-  if (!models.empty()) {
-    BeginChunk(ChunkType::kL2pModels, out, &start);
-    EncodeModels(models, out);
-    EndChunk(out, start);
+/// Reads one chunk's framing — type, length (validated against the
+/// remaining file), payload span, and CRC — shared by both version
+/// decoders so every format speaks the same robustness contract.
+Status NextChunk(ByteReader* reader, uint32_t* type, const uint8_t** payload,
+                 uint64_t* payload_len) {
+  if (reader->AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot ends without an END chunk (truncated?)");
   }
-
-  BeginChunk(ChunkType::kEnd, out, &start);
-  EndChunk(out, start);
+  LES3_RETURN_NOT_OK(reader->ReadU32(type));
+  LES3_RETURN_NOT_OK(reader->ReadU64(payload_len));
+  // The payload plus its 4-byte checksum must fit in what remains; an
+  // oversized length field is rejected here, before any use.
+  if (*payload_len > reader->remaining() ||
+      reader->remaining() - *payload_len < 4) {
+    return Status::OutOfRange("chunk length " + std::to_string(*payload_len) +
+                              " exceeds the file size");
+  }
+  LES3_RETURN_NOT_OK(reader->ReadSpan(payload, *payload_len));
+  uint32_t stored_crc = 0;
+  LES3_RETURN_NOT_OK(reader->ReadU32(&stored_crc));
+  if (Crc32(*payload, *payload_len) != stored_crc) {
+    return Status::IOError("checksum mismatch in chunk type " +
+                           std::to_string(*type) + " (corrupted snapshot)");
+  }
+  return Status::OK();
 }
 
-Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size) {
-  ByteReader reader(data, size);
-  char magic[sizeof(kSnapshotMagic)];
-  LES3_RETURN_NOT_OK(reader.ReadBytes(magic, sizeof(magic)));
-  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
-    return Status::InvalidArgument(
-        "not a LES3 snapshot (bad magic; expected \"LES3SNAP\")");
-  }
-  uint32_t version = 0, flags = 0;
-  LES3_RETURN_NOT_OK(reader.ReadU32(&version));
-  LES3_RETURN_NOT_OK(reader.ReadU32(&flags));
-  if (version != kSnapshotVersion) {
-    return Status::InvalidArgument(
-        "unsupported snapshot version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
-        "; re-save the index with a matching build)");
-  }
-  if (flags != 0) {
-    return Status::InvalidArgument("unsupported snapshot flags");
-  }
-
+Result<LoadedSnapshot> DecodeSnapshotV1(ByteReader& reader) {
   LoadedSnapshot snapshot;
+  snapshot.version = kSnapshotVersion;
   bool have_meta = false, have_db = false, have_partition = false,
        have_columns = false, have_models = false, have_end = false;
   SetDatabase db;
@@ -295,28 +271,8 @@ Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size) {
   while (!have_end) {
     uint32_t type = 0;
     uint64_t payload_len = 0;
-    if (reader.AtEnd()) {
-      return Status::InvalidArgument(
-          "snapshot ends without an END chunk (truncated?)");
-    }
-    LES3_RETURN_NOT_OK(reader.ReadU32(&type));
-    LES3_RETURN_NOT_OK(reader.ReadU64(&payload_len));
-    // The payload plus its 4-byte checksum must fit in what remains; an
-    // oversized length field is rejected here, before any use.
-    if (payload_len > reader.remaining() ||
-        reader.remaining() - payload_len < 4) {
-      return Status::OutOfRange("chunk length " +
-                                std::to_string(payload_len) +
-                                " exceeds the file size");
-    }
     const uint8_t* payload = nullptr;
-    LES3_RETURN_NOT_OK(reader.ReadSpan(&payload, payload_len));
-    uint32_t stored_crc = 0;
-    LES3_RETURN_NOT_OK(reader.ReadU32(&stored_crc));
-    if (Crc32(payload, payload_len) != stored_crc) {
-      return Status::IOError("checksum mismatch in chunk type " +
-                             std::to_string(type) + " (corrupted snapshot)");
-    }
+    LES3_RETURN_NOT_OK(NextChunk(&reader, &type, &payload, &payload_len));
     ByteReader chunk(payload, payload_len);
     auto mark_once = [&](bool* seen, const char* name) -> Status {
       if (*seen) {
@@ -329,7 +285,8 @@ Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size) {
     switch (static_cast<ChunkType>(type)) {
       case ChunkType::kMeta:
         LES3_RETURN_NOT_OK(mark_once(&have_meta, "META"));
-        LES3_RETURN_NOT_OK(DecodeMeta(&chunk, &snapshot.meta));
+        LES3_RETURN_NOT_OK(
+            DecodeMeta(&chunk, kSnapshotVersion, &snapshot.meta));
         break;
       case ChunkType::kDatabase:
         LES3_RETURN_NOT_OK(mark_once(&have_db, "DB"));
@@ -414,11 +371,279 @@ Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size) {
   return snapshot;
 }
 
+/// Global set ids of shard `s` under the id-mod-S hash split of a database
+/// of `num_sets` sets: s, s+S, s+2S, ... — so the shard holds exactly
+/// ceil((num_sets - s) / S) sets.
+uint64_t ShardLocalCount(uint64_t num_sets, uint32_t s, uint32_t num_shards) {
+  if (s >= num_sets) return 0;
+  return (num_sets - s + num_shards - 1) / num_shards;
+}
+
+Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
+  LoadedSnapshot snapshot;
+  snapshot.version = kSnapshotVersionSharded;
+  bool have_meta = false, have_db = false, have_end = false;
+  SetDatabase db;
+  // The writer emits one PART immediately followed by that shard's TGMC;
+  // the pending partition bridges the pair.
+  std::vector<GroupId> pending_assignment;
+  uint32_t pending_groups = 0;
+  bool have_pending_part = false;
+
+  while (!have_end) {
+    uint32_t type = 0;
+    uint64_t payload_len = 0;
+    const uint8_t* payload = nullptr;
+    LES3_RETURN_NOT_OK(NextChunk(&reader, &type, &payload, &payload_len));
+    ByteReader chunk(payload, payload_len);
+    switch (static_cast<ChunkType>(type)) {
+      case ChunkType::kMeta:
+        if (have_meta) {
+          return Status::InvalidArgument("duplicate META chunk");
+        }
+        have_meta = true;
+        LES3_RETURN_NOT_OK(
+            DecodeMeta(&chunk, kSnapshotVersionSharded, &snapshot.meta));
+        break;
+      case ChunkType::kDatabase:
+        if (have_db) {
+          return Status::InvalidArgument("duplicate DB chunk");
+        }
+        have_db = true;
+        LES3_RETURN_NOT_OK(DecodeDatabase(&chunk, &db));
+        break;
+      case ChunkType::kPartition:
+        if (have_pending_part) {
+          return Status::InvalidArgument(
+              "PART chunk not followed by its shard's TGMC chunk");
+        }
+        LES3_RETURN_NOT_OK(
+            DecodePartition(&chunk, &pending_groups, &pending_assignment));
+        have_pending_part = true;
+        break;
+      case ChunkType::kTgmColumns: {
+        if (!have_pending_part) {
+          return Status::InvalidArgument(
+              "TGMC chunk without a preceding PART chunk");
+        }
+        auto tgm =
+            tgm::Tgm::Deserialize(pending_assignment, pending_groups, &chunk);
+        if (!tgm.ok()) {
+          return Status::FromCode(
+              tgm.status().code(),
+              "shard " + std::to_string(snapshot.shards.size()) +
+                  " TGMC chunk: " + tgm.status().message());
+        }
+        if (!chunk.AtEnd()) {
+          return Status::InvalidArgument("trailing bytes in TGMC chunk");
+        }
+        ShardSnapshot shard;
+        shard.assignment = std::move(pending_assignment);
+        shard.tgm = std::move(tgm).ValueOrDie();
+        snapshot.shards.push_back(std::move(shard));
+        pending_assignment.clear();
+        have_pending_part = false;
+        break;
+      }
+      case ChunkType::kL2pModels:
+        // The sharded engine does not persist trained cascades (each shard
+        // would need its own); a v2 file carrying one is malformed.
+        return Status::InvalidArgument(
+            "sharded snapshots do not carry L2P chunks");
+      case ChunkType::kEnd:
+        if (payload_len != 0) {
+          return Status::InvalidArgument("END chunk must be empty");
+        }
+        have_end = true;
+        break;
+      default:
+        return Status::InvalidArgument("unknown chunk type " +
+                                       std::to_string(type));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after the END chunk");
+  }
+  if (!have_meta || !have_db || snapshot.shards.empty()) {
+    return Status::InvalidArgument(
+        "snapshot is missing a required chunk (META, DB, PART, TGMC)");
+  }
+  if (have_pending_part) {
+    return Status::InvalidArgument(
+        "PART chunk not followed by its shard's TGMC chunk");
+  }
+
+  // Cross-chunk consistency: META against the DB chunk, the declared shard
+  // count against the PART/TGMC pairs, and every shard's shape against the
+  // deterministic id-mod-S split the engine will re-derive on open.
+  if (snapshot.meta.backend != "sharded_les3") {
+    return Status::InvalidArgument("snapshot backend \"" +
+                                   snapshot.meta.backend +
+                                   "\" is not the sharded engine");
+  }
+  if (db.empty()) {
+    return Status::InvalidArgument("snapshot contains an empty database");
+  }
+  if (snapshot.meta.num_sets != db.size() ||
+      snapshot.meta.num_tokens != db.num_tokens()) {
+    return Status::InvalidArgument(
+        "META shape disagrees with the DB chunk");
+  }
+  if (snapshot.meta.num_shards != snapshot.shards.size()) {
+    return Status::InvalidArgument(
+        "META declares " + std::to_string(snapshot.meta.num_shards) +
+        " shards but the file holds " +
+        std::to_string(snapshot.shards.size()) + " PART/TGMC pairs");
+  }
+  uint64_t total_groups = 0;
+  for (size_t s = 0; s < snapshot.shards.size(); ++s) {
+    const ShardSnapshot& shard = snapshot.shards[s];
+    uint64_t expected = ShardLocalCount(db.size(), static_cast<uint32_t>(s),
+                                        snapshot.meta.num_shards);
+    if (shard.assignment.size() != expected) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " PART covers " +
+          std::to_string(shard.assignment.size()) + " sets; the id-mod-" +
+          std::to_string(snapshot.meta.num_shards) + " split assigns it " +
+          std::to_string(expected));
+    }
+    if (shard.tgm.num_token_columns() > db.num_tokens()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " TGMC chunk has more columns than the token universe");
+    }
+    if (shard.tgm.bitmap_backend() != snapshot.meta.bitmap_backend) {
+      return Status::InvalidArgument(
+          "META bitmap backend disagrees with the TGMC chunk");
+    }
+    total_groups += shard.tgm.num_groups();
+  }
+  if (total_groups != snapshot.meta.num_groups) {
+    return Status::InvalidArgument(
+        "META group count disagrees with the per-shard PART chunks");
+  }
+  snapshot.db = std::make_shared<SetDatabase>(std::move(db));
+  return snapshot;
+}
+
+}  // namespace
+
+void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
+                    const tgm::Tgm& tgm,
+                    const std::vector<l2p::CascadeModelSnapshot>& models,
+                    ByteWriter* out) {
+  out->WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out->WriteU32(kSnapshotVersion);
+  out->WriteU32(0);  // flags, reserved
+
+  SnapshotMeta filled = meta;
+  filled.num_groups = tgm.num_groups();
+  filled.num_sets = db.size();
+  filled.num_tokens = db.num_tokens();
+  filled.num_shards = 1;
+
+  size_t start = 0;
+  BeginChunk(ChunkType::kMeta, out, &start);
+  EncodeMeta(filled, kSnapshotVersion, out);
+  EndChunk(out, start);
+
+  BeginChunk(ChunkType::kDatabase, out, &start);
+  EncodeDatabase(db, out);
+  EndChunk(out, start);
+
+  BeginChunk(ChunkType::kPartition, out, &start);
+  EncodePartition(tgm, out);
+  EndChunk(out, start);
+
+  BeginChunk(ChunkType::kTgmColumns, out, &start);
+  tgm.SerializeColumns(out);
+  EndChunk(out, start);
+
+  if (!models.empty()) {
+    BeginChunk(ChunkType::kL2pModels, out, &start);
+    EncodeModels(models, out);
+    EndChunk(out, start);
+  }
+
+  BeginChunk(ChunkType::kEnd, out, &start);
+  EndChunk(out, start);
+}
+
+void EncodeShardedSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
+                           const std::vector<const tgm::Tgm*>& shard_tgms,
+                           ByteWriter* out) {
+  out->WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out->WriteU32(kSnapshotVersionSharded);
+  out->WriteU32(0);  // flags, reserved
+
+  SnapshotMeta filled = meta;
+  filled.num_sets = db.size();
+  filled.num_tokens = db.num_tokens();
+  filled.num_shards = static_cast<uint32_t>(shard_tgms.size());
+  filled.num_groups = 0;
+  for (const tgm::Tgm* tgm : shard_tgms) filled.num_groups += tgm->num_groups();
+
+  size_t start = 0;
+  BeginChunk(ChunkType::kMeta, out, &start);
+  EncodeMeta(filled, kSnapshotVersionSharded, out);
+  EndChunk(out, start);
+
+  BeginChunk(ChunkType::kDatabase, out, &start);
+  EncodeDatabase(db, out);
+  EndChunk(out, start);
+
+  for (const tgm::Tgm* tgm : shard_tgms) {
+    BeginChunk(ChunkType::kPartition, out, &start);
+    EncodePartition(*tgm, out);
+    EndChunk(out, start);
+
+    BeginChunk(ChunkType::kTgmColumns, out, &start);
+    tgm->SerializeColumns(out);
+    EndChunk(out, start);
+  }
+
+  BeginChunk(ChunkType::kEnd, out, &start);
+  EndChunk(out, start);
+}
+
+Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size) {
+  ByteReader reader(data, size);
+  char magic[sizeof(kSnapshotMagic)];
+  LES3_RETURN_NOT_OK(reader.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "not a LES3 snapshot (bad magic; expected \"LES3SNAP\")");
+  }
+  uint32_t version = 0, flags = 0;
+  LES3_RETURN_NOT_OK(reader.ReadU32(&version));
+  LES3_RETURN_NOT_OK(reader.ReadU32(&flags));
+  if (version < kSnapshotVersion || version > kMaxSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads versions " + std::to_string(kSnapshotVersion) +
+        ".." + std::to_string(kMaxSnapshotVersion) +
+        "; re-save the index with a matching build)");
+  }
+  if (flags != 0) {
+    return Status::InvalidArgument("unsupported snapshot flags");
+  }
+  if (version == kSnapshotVersionSharded) return DecodeSnapshotV2(reader);
+  return DecodeSnapshotV1(reader);
+}
+
 Status SaveSnapshot(const std::string& path, const SnapshotMeta& meta,
                     const SetDatabase& db, const tgm::Tgm& tgm,
                     const std::vector<l2p::CascadeModelSnapshot>& models) {
   ByteWriter writer;
   EncodeSnapshot(meta, db, tgm, models, &writer);
+  return WriteFileBytes(path, writer.data());
+}
+
+Status SaveShardedSnapshot(const std::string& path, const SnapshotMeta& meta,
+                           const SetDatabase& db,
+                           const std::vector<const tgm::Tgm*>& shard_tgms) {
+  ByteWriter writer;
+  EncodeShardedSnapshot(meta, db, shard_tgms, &writer);
   return WriteFileBytes(path, writer.data());
 }
 

@@ -44,10 +44,19 @@ namespace persist {
 inline constexpr char kSnapshotMagic[8] = {'L', 'E', 'S', '3',
                                            'S', 'N', 'A', 'P'};
 
-/// Current format version. Bump on ANY layout change; readers reject files
-/// written by a different version with an explicit error (no silent
+/// Single-index format version. Bump on ANY layout change; readers reject
+/// files written by an unknown version with an explicit error (no silent
 /// best-effort parsing of future formats).
 inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Sharded format version (shard/sharded_engine.h): same chunk framing,
+/// but the META chunk carries a shard count and the PART/TGMC pair repeats
+/// once per shard, in shard order. Version 1 files stay readable — the
+/// header version selects the decode path.
+inline constexpr uint32_t kSnapshotVersionSharded = 2;
+
+/// Highest version this build reads.
+inline constexpr uint32_t kMaxSnapshotVersion = kSnapshotVersionSharded;
 
 /// Chunk identifiers (docs/snapshot_format.md).
 enum class ChunkType : uint32_t {
@@ -61,22 +70,36 @@ enum class ChunkType : uint32_t {
 
 /// \brief Engine-level facts stored in the META chunk.
 struct SnapshotMeta {
-  std::string backend;  // "les3" or "disk_les3"
+  std::string backend;  // "les3", "disk_les3", or "sharded_les3"
   SimilarityMeasure measure = SimilarityMeasure::kJaccard;
   bitmap::BitmapBackend bitmap_backend = bitmap::BitmapBackend::kRoaring;
-  uint32_t num_groups = 0;
+  uint32_t num_groups = 0;   // v2: summed over all shards
   uint64_t num_sets = 0;
   uint32_t num_tokens = 0;
+  uint32_t num_shards = 1;   // encoded (and > 1 only) in v2 files
+};
+
+/// One shard of a v2 snapshot: the shard's partition over its local set
+/// ids plus its TGM, ready to query. Which global ids belong to the shard
+/// is not stored — it is the deterministic hash split (id mod num_shards),
+/// re-derived from the DB chunk on load.
+struct ShardSnapshot {
+  std::vector<GroupId> assignment;  // per local set id
+  tgm::Tgm tgm;
 };
 
 /// \brief Everything LoadSnapshot reconstructs; feeds the api layer's
 /// snapshot engines directly (no partitioning or training involved).
 struct LoadedSnapshot {
+  uint32_t version = kSnapshotVersion;
   SnapshotMeta meta;
   std::shared_ptr<SetDatabase> db;
+  // v1 (single-index) payload:
   std::vector<GroupId> assignment;  // per set; what the PART chunk held
   tgm::Tgm tgm;                     // columns + membership, ready to query
   std::vector<l2p::CascadeModelSnapshot> models;  // empty if not persisted
+  // v2 (sharded) payload: one entry per shard, in shard order.
+  std::vector<ShardSnapshot> shards;
 };
 
 /// Serializes one snapshot into `out` (exposed separately from the file
@@ -88,7 +111,16 @@ void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
                     const std::vector<l2p::CascadeModelSnapshot>& models,
                     ByteWriter* out);
 
-/// Parses and fully validates a snapshot byte buffer.
+/// Serializes a sharded (version 2) snapshot: the global database plus
+/// one PART/TGMC pair per shard, in shard order. `shard_tgms[s]` is shard
+/// s's matrix over its local set ids; `meta.num_shards` must equal
+/// `shard_tgms.size()`. Shape fields are filled from `db` and the shard
+/// matrices, as in EncodeSnapshot.
+void EncodeShardedSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
+                           const std::vector<const tgm::Tgm*>& shard_tgms,
+                           ByteWriter* out);
+
+/// Parses and fully validates a snapshot byte buffer (either version).
 Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size);
 
 /// EncodeSnapshot + atomic-ish file write (write then rename would need a
@@ -96,6 +128,11 @@ Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size);
 Status SaveSnapshot(const std::string& path, const SnapshotMeta& meta,
                     const SetDatabase& db, const tgm::Tgm& tgm,
                     const std::vector<l2p::CascadeModelSnapshot>& models);
+
+/// EncodeShardedSnapshot + file write (same policy as SaveSnapshot).
+Status SaveShardedSnapshot(const std::string& path, const SnapshotMeta& meta,
+                           const SetDatabase& db,
+                           const std::vector<const tgm::Tgm*>& shard_tgms);
 
 /// Reads the file and decodes it; all failure modes return a Status.
 Result<LoadedSnapshot> LoadSnapshot(const std::string& path);

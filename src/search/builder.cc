@@ -27,15 +27,23 @@ partition::PartitionResult PartitionWithL2P(
   return result;
 }
 
+Les3Index BuildIndexOverShared(std::shared_ptr<SetDatabase> db,
+                               const Les3BuildOptions& options,
+                               l2p::CascadeResult* out_cascade) {
+  uint32_t groups = ResolveNumGroups(*db, options.num_groups);
+  auto part = PartitionWithL2P(*db, groups, options.measure, options.cascade,
+                               out_cascade);
+  return Les3Index(std::move(db), part.assignment, part.num_groups,
+                   options.measure, options.bitmap_backend);
+}
+
 Result<Les3Index> BuildLes3Index(SetDatabase db,
                                  const Les3BuildOptions& options) {
   if (db.empty()) {
     return Status::InvalidArgument("cannot index an empty database");
   }
-  uint32_t groups = ResolveNumGroups(db, options.num_groups);
-  auto part = PartitionWithL2P(db, groups, options.measure, options.cascade);
-  return Les3Index(std::move(db), part.assignment, part.num_groups,
-                   options.measure, options.bitmap_backend);
+  return BuildIndexOverShared(std::make_shared<SetDatabase>(std::move(db)),
+                              options);
 }
 
 }  // namespace search

@@ -35,6 +35,19 @@ struct Les3BuildOptions {
   bitmap::BitmapBackend bitmap_backend = bitmap::BitmapBackend::kRoaring;
 };
 
+/// \brief The one L2P-partition-then-index build path.
+///
+/// Runs L2P over `*db` and constructs the index over the shared database.
+/// Both the single-index engines and every shard of the sharded engine
+/// (shard/sharded_engine.h) build through this function — a shard is just
+/// a database slice, so the single-index path is the 1-shard special case.
+/// When `out_cascade` is non-null it receives the cascade result
+/// (including trained model snapshots if options.cascade.keep_models).
+/// `db` must be non-null and non-empty.
+Les3Index BuildIndexOverShared(std::shared_ptr<SetDatabase> db,
+                               const Les3BuildOptions& options,
+                               l2p::CascadeResult* out_cascade = nullptr);
+
 /// \brief Partitions `db` with L2P and builds the search index.
 ///
 /// Fails with InvalidArgument on an empty database.

@@ -1,0 +1,347 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "search/builder.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace shard {
+namespace {
+
+size_t HardwareThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(std::shared_ptr<SetDatabase> db,
+                             size_t num_shards, SimilarityMeasure measure,
+                             bitmap::BitmapBackend bitmap_backend,
+                             size_t num_threads, bool from_snapshot)
+    : api::SearchEngine(num_threads),
+      global_db_(std::move(db)),
+      measure_(measure),
+      bitmap_backend_(bitmap_backend),
+      from_snapshot_(from_snapshot) {
+  auto locals = SplitDb(global_db_, num_shards);
+  shards_.reserve(num_shards);
+  for (auto& local : locals) {
+    auto s = std::make_unique<Shard>();
+    s->db = std::move(local);
+    shards_.push_back(std::move(s));
+  }
+}
+
+std::vector<std::shared_ptr<SetDatabase>> ShardedEngine::SplitDb(
+    const std::shared_ptr<SetDatabase>& db, size_t num_shards) {
+  std::vector<std::shared_ptr<SetDatabase>> locals(num_shards);
+  if (num_shards == 1) {
+    // The 1-shard special case: the slice IS the global database — no
+    // copy, and Insert appends exactly once.
+    locals[0] = db;
+    return locals;
+  }
+  for (auto& local : locals) local = std::make_shared<SetDatabase>();
+  for (SetId gid = 0; gid < db->size(); ++gid) {
+    locals[gid % num_shards]->AddSet(db->set(gid));
+  }
+  return locals;
+}
+
+std::unique_ptr<ShardedEngine> ShardedEngine::Build(
+    std::shared_ptr<SetDatabase> db, const api::EngineOptions& options) {
+  size_t num_shards = options.num_shards == 0 ? 1 : options.num_shards;
+  // Clamp so every shard starts with at least one set (residues 0..S-1
+  // all occur when S <= |D|); insert routing uses the clamped count.
+  if (num_shards > db->size()) num_shards = db->size();
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine(
+      std::move(db), num_shards, options.measure, options.bitmap_backend,
+      options.num_threads, /*from_snapshot=*/false));
+
+  search::Les3BuildOptions build;
+  build.measure = options.measure;
+  build.num_groups = options.num_groups;
+  build.cascade = options.cascade;
+  build.bitmap_backend = options.bitmap_backend;
+  // Sharded snapshots do not carry trained cascades (format v2).
+  build.cascade.keep_models = false;
+  size_t hw = HardwareThreads();
+  if (num_shards > 1 && build.cascade.num_threads == 0) {
+    // Shard-level parallelism replaces cascade-level parallelism: S
+    // concurrent builds each training on hw/S threads keeps the machine
+    // busy without oversubscribing it S-fold.
+    build.cascade.num_threads = std::max<size_t>(1, hw / num_shards);
+  }
+  if (num_shards > 1) {
+    // Constant TOTAL training budget across the fleet: each shard's split
+    // problems involve 1/S of the data, and pruning is insensitive to
+    // sample count beyond a modest threshold (paper Section 7.1), so each
+    // shard's models train on pairs_per_model / S samples (floored, and
+    // never raised above the caller's setting). Together with the
+    // cross-shard parallelism above, this is why sharded build scales:
+    // less work per model AND concurrent shards.
+    size_t floor = std::min<size_t>(2000, build.cascade.pairs_per_model);
+    build.cascade.pairs_per_model =
+        std::max(floor, build.cascade.pairs_per_model / num_shards);
+  }
+
+  if (num_shards == 1) {
+    engine->shards_[0]->index = std::make_unique<search::Les3Index>(
+        search::BuildIndexOverShared(engine->shards_[0]->db, build));
+    return engine;
+  }
+  ThreadPool build_pool(std::min(num_shards, hw));
+  build_pool.ParallelFor(num_shards, [&](size_t s) {
+    engine->shards_[s]->index = std::make_unique<search::Les3Index>(
+        search::BuildIndexOverShared(engine->shards_[s]->db, build));
+  });
+  return engine;
+}
+
+std::unique_ptr<ShardedEngine> ShardedEngine::FromSnapshot(
+    persist::LoadedSnapshot snapshot, const api::OpenOptions& options) {
+  size_t num_shards = snapshot.shards.size();
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine(
+      std::move(snapshot.db), num_shards, snapshot.meta.measure,
+      snapshot.meta.bitmap_backend, options.num_threads,
+      /*from_snapshot=*/true));
+  for (size_t s = 0; s < num_shards; ++s) {
+    engine->shards_[s]->index = std::make_unique<search::Les3Index>(
+        engine->shards_[s]->db, std::move(snapshot.shards[s].tgm),
+        snapshot.meta.measure);
+  }
+  return engine;
+}
+
+ShardedEngine::Probe ShardedEngine::RunProbe(
+    size_t s, const std::function<std::vector<Hit>(
+                  const search::Les3Index&, search::QueryStats*)>& run) const {
+  Probe probe;
+  const Shard& sh = *shards_[s];
+  {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    probe.hits = run(*sh.index, &probe.stats);
+    probe.shard_size = sh.db->size();
+  }
+  const SetId stride = static_cast<SetId>(shards_.size());
+  if (stride > 1) {
+    for (Hit& h : probe.hits) {
+      h.first = h.first * stride + static_cast<SetId>(s);
+    }
+  }
+  return probe;
+}
+
+ShardedEngine::Probe ShardedEngine::ProbeKnn(size_t s, const SetRecord& query,
+                                             size_t k) const {
+  return RunProbe(s,
+                  [&](const search::Les3Index& index,
+                      search::QueryStats* stats) {
+                    return index.Knn(query, k, stats);
+                  });
+}
+
+ShardedEngine::Probe ShardedEngine::ProbeRange(size_t s,
+                                               const SetRecord& query,
+                                               double delta) const {
+  return RunProbe(s,
+                  [&](const search::Les3Index& index,
+                      search::QueryStats* stats) {
+                    return index.Range(query, delta, stats);
+                  });
+}
+
+void ShardedEngine::AccumulateProbe(const Probe& probe,
+                                    search::QueryStats* stats,
+                                    uint64_t* db_size,
+                                    double* critical_path) {
+  stats->candidates_verified += probe.stats.candidates_verified;
+  stats->groups_visited += probe.stats.groups_visited;
+  stats->groups_pruned += probe.stats.groups_pruned;
+  stats->columns_scanned += probe.stats.columns_scanned;
+  *db_size += probe.shard_size;
+  *critical_path = std::max(*critical_path, probe.stats.micros);
+}
+
+api::QueryResult ShardedEngine::MergeKnn(std::vector<Probe> probes,
+                                         size_t k) const {
+  api::QueryResult out;
+  TopKHits best(k);
+  uint64_t db_size = 0;
+  double critical_path = 0.0;
+  for (Probe& p : probes) {
+    // Every global top-k hit is a top-k hit of its own shard (fewer than
+    // k shard-mates beat it under HitOrder), so offering the per-shard
+    // top-k lists to one TopKHits reproduces the exact global answer —
+    // similarity ties resolving toward the smaller GLOBAL id, because the
+    // local-to-global mapping is monotone within a shard.
+    for (const Hit& h : p.hits) best.Offer(h);
+    AccumulateProbe(p, &out.stats, &db_size, &critical_path);
+  }
+  out.hits = best.Take();
+  out.stats.results = out.hits.size();
+  out.stats.pruning_efficiency =
+      search::KnnPruningEfficiency(db_size, out.stats.candidates_verified, k);
+  // Scatter-gather latency is the slowest shard probe; the single-query
+  // entry points overwrite this with the measured wall time.
+  out.stats.micros = critical_path;
+  return out;
+}
+
+api::QueryResult ShardedEngine::MergeRange(std::vector<Probe> probes) const {
+  api::QueryResult out;
+  uint64_t db_size = 0;
+  double critical_path = 0.0;
+  for (Probe& p : probes) {
+    out.hits.insert(out.hits.end(), p.hits.begin(), p.hits.end());
+    AccumulateProbe(p, &out.stats, &db_size, &critical_path);
+  }
+  SortHits(&out.hits);
+  out.stats.results = out.hits.size();
+  out.stats.pruning_efficiency = search::RangePruningEfficiency(
+      db_size, out.stats.candidates_verified, out.stats.results);
+  out.stats.micros = critical_path;
+  return out;
+}
+
+api::QueryResult ShardedEngine::Knn(const SetRecord& query, size_t k) const {
+  WallTimer timer;
+  const size_t num_shards = shards_.size();
+  std::vector<Probe> probes(num_shards);
+  if (num_shards == 1) {
+    probes[0] = ProbeKnn(0, query, k);
+  } else {
+    pool().ParallelFor(num_shards,
+                       [&](size_t s) { probes[s] = ProbeKnn(s, query, k); });
+  }
+  api::QueryResult out = MergeKnn(std::move(probes), k);
+  out.stats.micros = timer.Micros();
+  return out;
+}
+
+api::QueryResult ShardedEngine::Range(const SetRecord& query,
+                                      double delta) const {
+  WallTimer timer;
+  const size_t num_shards = shards_.size();
+  std::vector<Probe> probes(num_shards);
+  if (num_shards == 1) {
+    probes[0] = ProbeRange(0, query, delta);
+  } else {
+    pool().ParallelFor(
+        num_shards, [&](size_t s) { probes[s] = ProbeRange(s, query, delta); });
+  }
+  api::QueryResult out = MergeRange(std::move(probes));
+  out.stats.micros = timer.Micros();
+  return out;
+}
+
+std::vector<api::QueryResult> ShardedEngine::KnnBatch(
+    const std::vector<SetRecord>& queries, size_t k) const {
+  const size_t num_shards = shards_.size();
+  const size_t nq = queries.size();
+  std::vector<api::QueryResult> results(nq);
+  if (nq == 0) return results;
+  // One flat (query, shard) grid on ONE pool. The base-class batch path
+  // would call Knn from inside a pool task, which would Submit to (and
+  // Wait on) the pool it runs on — a deadlock, not just a slowdown.
+  std::vector<Probe> probes(nq * num_shards);
+  pool().ParallelFor(nq * num_shards, [&](size_t t) {
+    probes[t] = ProbeKnn(t % num_shards, queries[t / num_shards], k);
+  });
+  for (size_t q = 0; q < nq; ++q) {
+    std::vector<Probe> per(
+        std::make_move_iterator(probes.begin() + q * num_shards),
+        std::make_move_iterator(probes.begin() + (q + 1) * num_shards));
+    results[q] = MergeKnn(std::move(per), k);
+  }
+  return results;
+}
+
+std::vector<api::QueryResult> ShardedEngine::RangeBatch(
+    const std::vector<SetRecord>& queries, double delta) const {
+  const size_t num_shards = shards_.size();
+  const size_t nq = queries.size();
+  std::vector<api::QueryResult> results(nq);
+  if (nq == 0) return results;
+  std::vector<Probe> probes(nq * num_shards);
+  pool().ParallelFor(nq * num_shards, [&](size_t t) {
+    probes[t] = ProbeRange(t % num_shards, queries[t / num_shards], delta);
+  });
+  for (size_t q = 0; q < nq; ++q) {
+    std::vector<Probe> per(
+        std::make_move_iterator(probes.begin() + q * num_shards),
+        std::make_move_iterator(probes.begin() + (q + 1) * num_shards));
+    results[q] = MergeRange(std::move(per));
+  }
+  return results;
+}
+
+Result<SetId> ShardedEngine::Insert(SetRecord set) {
+  const size_t num_shards = shards_.size();
+  // insert_mu_ pins the global id and the global-db append; the shard's
+  // writer lock covers the index update. Queries take only shard locks
+  // (shared), so they proceed on every shard throughout — including this
+  // one, up to the moment the index mutation begins.
+  std::lock_guard<std::mutex> global_lock(insert_mu_);
+  SetId gid = static_cast<SetId>(global_db_->size());
+  Shard& sh = *shards_[gid % num_shards];
+  std::unique_lock<std::shared_mutex> shard_lock(sh.mu);
+  // With one shard the slice is the global database and the index insert
+  // below is the single append.
+  if (num_shards > 1) global_db_->AddSet(set);
+  SetId local = sh.index->Insert(std::move(set));
+  // The arithmetic mapping stays closed under inserts: the new local id
+  // is exactly gid / num_shards.
+  (void)local;
+  return gid;
+}
+
+Status ShardedEngine::Save(const std::string& path) const {
+  std::lock_guard<std::mutex> global_lock(insert_mu_);
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+  persist::SnapshotMeta meta;
+  meta.backend = "sharded_les3";
+  meta.measure = measure_;
+  meta.bitmap_backend = bitmap_backend_;
+  std::vector<const tgm::Tgm*> tgms;
+  tgms.reserve(shards_.size());
+  for (const auto& sh : shards_) tgms.push_back(&sh->index->tgm());
+  return persist::SaveShardedSnapshot(path, meta, *global_db_, tgms);
+}
+
+uint64_t ShardedEngine::IndexBytes() const {
+  uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    std::shared_lock<std::shared_mutex> lock(sh->mu);
+    total += sh->index->IndexBytes();
+  }
+  return total;
+}
+
+std::string ShardedEngine::Describe() const {
+  std::string s = "sharded_les3(shards=" + std::to_string(shards_.size()) +
+                  ", measure=" + ToString(measure_) +
+                  ", bitmap=" + bitmap::ToString(bitmap_backend_) +
+                  ", groups=[";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i]->mu);
+    if (i > 0) s += ",";
+    s += std::to_string(shards_[i]->index->tgm().num_groups());
+  }
+  s += "]";
+  if (from_snapshot_) {
+    s += ", snapshot=v" + std::to_string(persist::kSnapshotVersionSharded);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace shard
+}  // namespace les3

@@ -1,0 +1,163 @@
+// ShardedEngine — the scatter-gather serving engine: one LES3 index per
+// shard, hash-partitioned by set id, behind the unified SearchEngine API.
+//
+// LES3's build cost is dominated by learning the partitioning (paper
+// Figure 7) and its query cost by probing one monolithic TGM; both are
+// single-index today. Sharding attacks both at once:
+//
+//  - Build: the database is split by `id mod num_shards` and every shard
+//    trains its own L2P cascade and builds its own TGM **in parallel** on
+//    a thread pool, so the Figure 7 bottleneck scales with cores.
+//  - Queries: Knn scatter-gathers — every shard answers its local top-k,
+//    and the per-shard results merge through TopKHits under the canonical
+//    HitOrder, so the global answer is exact (ids, similarities, order,
+//    ties included) even when a shard holds fewer than k sets. Range
+//    concatenates the per-shard exact answers and re-sorts.
+//  - Updates: Insert routes the new set to exactly one shard, taking that
+//    shard's writer lock only — queries on every shard (including the one
+//    being written, via its std::shared_mutex) stay safe concurrently.
+//    This upgrades the engine-wide thread-safety contract: on this
+//    backend, Insert IS safe concurrently with Knn/Range and with other
+//    Inserts.
+//
+// Id mapping is arithmetic, not tabulated: shard s holds the global ids
+// {s, s+S, s+2S, ...} in order, so local id l in shard s is global id
+// l*S + s and a fresh insert (global id = |D|) lands at exactly the next
+// local id of its shard. The mapping therefore survives any number of
+// inserts and is re-derived for free when a snapshot reopens.
+//
+// Snapshots: Save writes format v2 (docs/snapshot_format.md) — the global
+// database plus one PART/TGMC pair per shard — and EngineBuilder::Open
+// reconstructs the engine with zero partitioning or training work.
+
+#ifndef LES3_SHARD_SHARDED_ENGINE_H_
+#define LES3_SHARD_SHARDED_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "api/engine_options.h"
+#include "api/search_engine.h"
+#include "persist/snapshot.h"
+#include "search/les3_index.h"
+
+namespace les3 {
+namespace shard {
+
+class ShardedEngine : public api::SearchEngine {
+ public:
+  /// Splits `db` by id mod num_shards and builds every shard's index in
+  /// parallel. `db` must be non-null and non-empty; options.num_shards
+  /// must be >= 1 (EngineBuilder validates both) and is clamped to the
+  /// database size so no shard starts empty.
+  static std::unique_ptr<ShardedEngine> Build(
+      std::shared_ptr<SetDatabase> db, const api::EngineOptions& options);
+
+  /// Reconstructs the engine from a decoded v2 snapshot — zero
+  /// partitioning or training work; the decoder has already validated
+  /// every shard's shape against the id-mod-S split.
+  static std::unique_ptr<ShardedEngine> FromSnapshot(
+      persist::LoadedSnapshot snapshot, const api::OpenOptions& options);
+
+  /// Exact global kNN by scatter-gather (see file comment). Safe
+  /// concurrently with Insert.
+  api::QueryResult Knn(const SetRecord& query, size_t k) const override;
+
+  /// Exact global range search: per-shard exact answers, concatenated and
+  /// re-sorted under HitOrder. Safe concurrently with Insert.
+  api::QueryResult Range(const SetRecord& query, double delta) const override;
+
+  /// Batch queries stripe (query, shard) probe units across ONE thread
+  /// pool instead of layering a per-query pool over a per-shard pool.
+  std::vector<api::QueryResult> KnnBatch(const std::vector<SetRecord>& queries,
+                                         size_t k) const override;
+  std::vector<api::QueryResult> RangeBatch(
+      const std::vector<SetRecord>& queries, double delta) const override;
+
+  /// Routes the set to shard (new id) mod num_shards, locking only that
+  /// shard for writing. Returns the GLOBAL id. Safe concurrently with
+  /// queries on every shard and with other Inserts.
+  Result<SetId> Insert(SetRecord set) override;
+
+  /// Writes a v2 sharded snapshot. Takes every shard lock, so it is safe
+  /// concurrently with queries and Inserts (they wait).
+  Status Save(const std::string& path) const override;
+
+  uint64_t IndexBytes() const override;
+  std::string Describe() const override;
+
+  /// The global database. NOT safe to read concurrently with Insert
+  /// (queries never touch it; they read the per-shard slices). At 2+
+  /// shards the slices are copies, so set storage is held twice — the
+  /// global view serves db()/Save and the id assignment; see the
+  /// trade-offs section of docs/sharding.md. IndexBytes() reports index
+  /// structures only, as on every backend.
+  const SetDatabase& db() const override { return *global_db_; }
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+ private:
+  /// One shard: its database slice, its index, and its reader-writer lock.
+  /// With a single shard the slice IS the global database (no copy).
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::shared_ptr<SetDatabase> db;
+    std::unique_ptr<search::Les3Index> index;
+  };
+
+  /// What one shard contributes to a query: hits already mapped to global
+  /// ids, the shard's stats, and its current size (for pruning
+  /// efficiency over the whole database).
+  struct Probe {
+    std::vector<Hit> hits;
+    search::QueryStats stats;
+    uint64_t shard_size = 0;
+  };
+
+  ShardedEngine(std::shared_ptr<SetDatabase> db, size_t num_shards,
+                SimilarityMeasure measure,
+                bitmap::BitmapBackend bitmap_backend, size_t num_threads,
+                bool from_snapshot);
+
+  /// Splits the global database into per-shard slices (shared with the
+  /// global database when there is only one shard).
+  static std::vector<std::shared_ptr<SetDatabase>> SplitDb(
+      const std::shared_ptr<SetDatabase>& db, size_t num_shards);
+
+  /// Runs `run` against shard s's index under its reader lock, then maps
+  /// the returned hits to global ids — the one place the locking protocol
+  /// and the id mapping live.
+  Probe RunProbe(size_t s,
+                 const std::function<std::vector<Hit>(
+                     const search::Les3Index&, search::QueryStats*)>& run)
+      const;
+  Probe ProbeKnn(size_t s, const SetRecord& query, size_t k) const;
+  Probe ProbeRange(size_t s, const SetRecord& query, double delta) const;
+
+  /// Sums one probe's counters into `stats` and tracks the whole-database
+  /// size and the slowest probe (the scatter-gather critical path).
+  static void AccumulateProbe(const Probe& probe, search::QueryStats* stats,
+                              uint64_t* db_size, double* critical_path);
+  api::QueryResult MergeKnn(std::vector<Probe> probes, size_t k) const;
+  api::QueryResult MergeRange(std::vector<Probe> probes) const;
+
+  std::shared_ptr<SetDatabase> global_db_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  SimilarityMeasure measure_;
+  bitmap::BitmapBackend bitmap_backend_;
+  bool from_snapshot_;
+  /// Serializes global-id assignment and global_db_ growth across
+  /// concurrent Inserts; always acquired before any shard lock.
+  mutable std::mutex insert_mu_;
+};
+
+}  // namespace shard
+}  // namespace les3
+
+#endif  // LES3_SHARD_SHARDED_ENGINE_H_

@@ -65,16 +65,27 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // Chunked dispatch: one task per worker stride to bound queue churn.
   size_t chunks = std::min(n, num_threads() * 4);
   std::atomic<size_t> next{0};
+  // Completion is tracked per call, not via Wait(): Wait() blocks until
+  // the pool's GLOBAL queue drains, so concurrent ParallelFor callers
+  // (e.g. several scatter-gather queries sharing one engine pool) would
+  // convoy on each other's tasks and every caller's latency would become
+  // the max over all in-flight calls.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t done_chunks = 0;
   for (size_t c = 0; c < chunks; ++c) {
-    Submit([&, n] {
+    Submit([&, n, chunks] {
       for (;;) {
         size_t i = next.fetch_add(1);
-        if (i >= n) return;
+        if (i >= n) break;
         fn(i);
       }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done_chunks == chunks) done_cv.notify_one();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done_chunks == chunks; });
 }
 
 }  // namespace les3

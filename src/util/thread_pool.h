@@ -35,7 +35,9 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool and waits for THIS call's
+  /// work only — concurrent ParallelFor calls on one pool do not convoy
+  /// on each other (unlike Wait(), which blocks on the global queue).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

@@ -87,7 +87,7 @@ class ApiParityTest : public ::testing::Test {
 };
 
 TEST_F(ApiParityTest, AllBackendsConstructibleByName) {
-  ASSERT_EQ(BackendNames().size(), 8u);
+  ASSERT_EQ(BackendNames().size(), 9u);
   for (const auto& name : BackendNames()) {
     ASSERT_NE(engines_[name], nullptr) << name;
     EXPECT_EQ(engines_[name]->Describe().rfind(name + "(", 0), 0u)
@@ -199,7 +199,7 @@ TEST(ApiBatchTest, EmptyBatchIsEmpty) {
 }
 
 TEST(ApiInsertTest, InsertableBackendsAbsorbSets) {
-  for (const std::string& name : {"les3", "brute_force"}) {
+  for (const std::string& name : {"les3", "brute_force", "sharded_les3"}) {
     auto engine = MustBuild(MakeDb(37), name, FastOptions());
     size_t before = engine->db().size();
     SetRecord novel = SetRecord::FromTokens({1, 2, 3, 500, 501});
@@ -228,6 +228,18 @@ TEST(EngineBuilderTest, RejectsUnknownBackend) {
   auto engine = EngineBuilder::Build(MakeDb(43), "les4", {});
   ASSERT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, UnknownBackendStatusListsEveryValidName) {
+  // The error is the documentation: a caller who typos a backend gets the
+  // full menu, not a trip to the source.
+  auto engine = EngineBuilder::Build(MakeDb(43), "les4", {});
+  ASSERT_FALSE(engine.ok());
+  const std::string& message = engine.status().message();
+  for (const auto& name : BackendNames()) {
+    EXPECT_NE(message.find(name), std::string::npos)
+        << "\"" << name << "\" missing from: " << message;
+  }
 }
 
 TEST(EngineBuilderTest, RejectsEmptyDatabase) {

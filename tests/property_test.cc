@@ -159,6 +159,15 @@ std::vector<EngineUnderTest> MakeEngines(std::shared_ptr<SetDatabase> db,
       EXPECT_TRUE(dense.ok()) << name << ": " << dense.status().ToString();
       engines.push_back({name + "+bitvector", std::move(dense).ValueOrDie()});
     }
+    // The sharded engine runs at 1 shard via the plain loop entry above;
+    // a 3-shard variant exercises the scatter-gather merge (global-id
+    // mapping, cross-shard tie-handling, shards holding fewer than k).
+    if (name == "sharded_les3") {
+      options.num_shards = 3;
+      auto sharded = EngineBuilder::Build(db, name, options);
+      EXPECT_TRUE(sharded.ok()) << name << ": " << sharded.status().ToString();
+      engines.push_back({name + "+3shards", std::move(sharded).ValueOrDie()});
+    }
   }
   return engines;
 }

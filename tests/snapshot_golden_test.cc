@@ -110,8 +110,9 @@ TEST(SnapshotGoldenTest, GoldenFileOpensAndAnswersExactly) {
 TEST(SnapshotGoldenTest, BumpedVersionHeaderIsRejectedWithClearError) {
   std::vector<uint8_t> bytes;
   ASSERT_TRUE(ReadFileBytes(GoldenPath(), &bytes).ok());
-  // The u32 version sits right after the 8-byte magic.
-  bytes[8] = static_cast<uint8_t>(kSnapshotVersion + 1);
+  // The u32 version sits right after the 8-byte magic; write one beyond
+  // the newest version this build reads (v2 is valid — sharded).
+  bytes[8] = static_cast<uint8_t>(kMaxSnapshotVersion + 1);
   auto result = DecodeSnapshot(bytes.data(), bytes.size());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);

@@ -374,10 +374,17 @@ TEST_F(SnapshotCorruptionTest, BadMagicVersionAndFlags) {
   EXPECT_NE(r.status().message().find("magic"), std::string::npos);
 
   bad = *bytes_;
-  bad[8] = static_cast<uint8_t>(kSnapshotVersion + 1);  // bumped version
+  // A version beyond anything this build reads.
+  bad[8] = static_cast<uint8_t>(kMaxSnapshotVersion + 1);
   r = DecodeSnapshot(bad.data(), bad.size());
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("version"), std::string::npos);
+
+  // Version 2 exists (sharded snapshots) but this file has a v1 layout:
+  // relabeling the header must fail cleanly, not decode as sharded.
+  bad = *bytes_;
+  bad[8] = static_cast<uint8_t>(kSnapshotVersionSharded);
+  EXPECT_FALSE(DecodeSnapshot(bad.data(), bad.size()).ok());
 
   bad = *bytes_;
   bad[12] = 1;  // reserved flags

@@ -3,23 +3,31 @@
 //
 //   les3_cli stats    <sets.txt>
 //   les3_cli backends
-//   les3_cli knn      <sets.txt> <k>     "<query tokens>" [backend] [measure] [groups] [bitmap]
-//   les3_cli range    <sets.txt> <delta> "<query tokens>" [backend] [measure] [groups] [bitmap]
-//   les3_cli save     <sets.txt> <snapshot> [backend] [measure] [groups] [bitmap]
+//   les3_cli knn      <sets.txt> <k>     "<query tokens>" [backend] [measure] [groups] [bitmap] [shards]
+//   les3_cli range    <sets.txt> <delta> "<query tokens>" [backend] [measure] [groups] [bitmap] [shards]
+//   les3_cli batch    <backend> <sets.txt> <queries.txt> knn   <k>     [measure] [groups] [bitmap] [shards]
+//   les3_cli batch    <backend> <sets.txt> <queries.txt> range <delta> [measure] [groups] [bitmap] [shards]
+//   les3_cli save     <sets.txt> <snapshot> [backend] [measure] [groups] [bitmap] [shards]
 //   les3_cli open     <snapshot> info
 //   les3_cli open     <snapshot> knn   <k>     "<query tokens>" [backend]
 //   les3_cli open     <snapshot> range <delta> "<query tokens>" [backend]
 //
-// <sets.txt>: one set per line, whitespace-separated integer token ids —
-// the format the public benchmarks (KOSARAK, DBLP, ...) ship in.
+// <sets.txt>/<queries.txt>: one set per line, whitespace-separated integer
+// token ids — the format the public benchmarks (KOSARAK, DBLP, ...) ship
+// in. `batch` runs every line of <queries.txt> through KnnBatch/RangeBatch
+// and reports QPS plus p50/p95/p99 per-query latency.
 // <snapshot>: a versioned index snapshot (docs/snapshot_format.md): `save`
 // builds and trains once, `open` reloads with zero partitioning/training.
 // [backend]: any name from `les3_cli backends` (default: les3); for
-// save/open only les3 and disk_les3 apply.
+// save/open only les3, disk_les3, and sharded_les3 apply.
 // [measure]: jaccard (default) | dice | cosine | containment.
-// [groups]:  number of L2P groups (default: the 0.5% |D| heuristic).
+// [groups]:  number of L2P groups (default: the 0.5% |D| heuristic;
+//            per shard on sharded_les3).
 // [bitmap]:  TGM column representation, roaring (default) | bitvector
-//            (les3 / disk_les3 only; see the README trade-off notes).
+//            (les3-family only; see the README trade-off notes).
+// [shards]:  shard count for sharded_les3 (default 1); the database is
+//            hash-partitioned and shards build in parallel
+//            (docs/sharding.md).
 //
 // Exit codes: 0 success; 1 runtime error (bad input file, corrupted
 // snapshot, failed build — details on stderr); 2 usage error.
@@ -29,6 +37,7 @@
 #include <string>
 
 #include "api/engine_builder.h"
+#include "bench_util.h"
 #include "core/stats.h"
 #include "core/text_io.h"
 #include "util/timer.h"
@@ -44,19 +53,25 @@ int Usage() {
                "  les3_cli backends\n"
                "  les3_cli knn      <sets.txt> <k>     \"<query>\" [backend] "
                "[jaccard|dice|cosine|containment] [groups] "
-               "[roaring|bitvector]\n"
+               "[roaring|bitvector] [shards]\n"
                "  les3_cli range    <sets.txt> <delta> \"<query>\" [backend] "
                "[jaccard|dice|cosine|containment] [groups] "
-               "[roaring|bitvector]\n"
-               "  les3_cli save     <sets.txt> <snapshot> [les3|disk_les3] "
+               "[roaring|bitvector] [shards]\n"
+               "  les3_cli batch    <backend> <sets.txt> <queries.txt> "
+               "knn <k> | range <delta>  [measure] [groups] [bitmap] "
+               "[shards]\n"
+               "  les3_cli save     <sets.txt> <snapshot> "
+               "[les3|disk_les3|sharded_les3] "
                "[jaccard|dice|cosine|containment] [groups] "
-               "[roaring|bitvector]\n"
+               "[roaring|bitvector] [shards]\n"
                "  les3_cli open     <snapshot> info\n"
                "  les3_cli open     <snapshot> knn   <k>     \"<query>\" "
-               "[les3|disk_les3]\n"
+               "[les3|disk_les3|sharded_les3]\n"
                "  les3_cli open     <snapshot> range <delta> \"<query>\" "
-               "[les3|disk_les3]\n"
+               "[les3|disk_les3|sharded_les3]\n"
                "\n"
+               "batch runs every line of <queries.txt> through the batch\n"
+               "query path and prints QPS plus p50/p95/p99 latency.\n"
                "save builds (and trains) an index once and writes it as a\n"
                "versioned snapshot; open reloads it with zero partitioning\n"
                "or training work. Exit codes: 0 success, 1 runtime error\n"
@@ -90,9 +105,9 @@ void PrintResult(const api::QueryResult& result) {
   }
 }
 
-/// Parses the optional [measure] [groups] [bitmap] tail of knn / range /
-/// save invocations, starting at argv[first]. Returns false (after
-/// printing the error) on a bad value.
+/// Parses the optional [measure] [groups] [bitmap] [shards] tail of knn /
+/// range / batch / save invocations, starting at argv[first]. Returns
+/// false (after printing the error) on a bad value.
 bool ParseBuildTail(int argc, char** argv, int first,
                     api::EngineOptions* options) {
   if (argc > first) {
@@ -115,7 +130,77 @@ bool ParseBuildTail(int argc, char** argv, int first,
     }
     options->bitmap_backend = bitmap.value();
   }
+  if (argc > first + 3) {
+    int shards = atoi(argv[first + 3]);
+    if (shards < 1) {
+      std::fprintf(stderr, "error: [shards] must be >= 1, got \"%s\"\n",
+                   argv[first + 3]);
+      return false;
+    }
+    options->num_shards = static_cast<uint32_t>(shards);
+  }
   return true;
+}
+
+/// `les3_cli batch <backend> <sets.txt> <queries.txt> knn <k> | range
+/// <delta> [measure] [groups] [bitmap] [shards]` — throughput mode: the
+/// whole query file runs through KnnBatch/RangeBatch and the summary
+/// (QPS, latency percentiles) comes from the shared bench helper.
+int RunBatch(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  std::string mode = argv[5];
+  bool knn = mode == "knn";
+  if (!knn && mode != "range") return Usage();
+
+  auto db = LoadSetsFromText(argv[3]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto query_db = LoadSetsFromText(argv[4]);
+  if (!query_db.ok()) {
+    std::fprintf(stderr, "error: %s\n", query_db.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<SetRecord> queries(query_db.value().sets().begin(),
+                                 query_db.value().sets().end());
+  if (queries.empty()) {
+    std::fprintf(stderr, "error: no queries in %s\n", argv[4]);
+    return 1;
+  }
+
+  api::EngineOptions options;
+  if (!ParseBuildTail(argc, argv, 7, &options)) return 1;
+  std::fprintf(stderr, "indexing %zu sets...\n", db.value().size());
+  WallTimer build_timer;
+  auto engine = api::EngineBuilder::Build(std::move(db).ValueOrDie(), argv[2],
+                                          options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "built %s in %.2fs\n",
+               engine.value()->Describe().c_str(), build_timer.Seconds());
+
+  WallTimer timer;
+  std::vector<api::QueryResult> results;
+  if (knn) {
+    results = engine.value()->KnnBatch(queries,
+                                       static_cast<size_t>(atoll(argv[6])));
+  } else {
+    results = engine.value()->RangeBatch(queries, atof(argv[6]));
+  }
+  bench::BatchLatency summary =
+      bench::SummarizeBatch(results, timer.Seconds());
+  uint64_t total_hits = 0;
+  for (const auto& r : results) total_hits += r.hits.size();
+  std::printf(
+      "%zu %s queries in %.3fs: %.0f QPS, latency p50 %.3fms p95 %.3fms "
+      "p99 %.3fms (%llu hits total)\n",
+      summary.queries, mode.c_str(), summary.wall_s, summary.qps,
+      summary.p50_ms, summary.p95_ms, summary.p99_ms,
+      static_cast<unsigned long long>(total_hits));
+  return 0;
 }
 
 int RunSave(int argc, char** argv) {
@@ -255,6 +340,7 @@ int main(int argc, char** argv) {
   }
   if (command == "knn") return RunQuery(argc, argv, /*knn=*/true);
   if (command == "range") return RunQuery(argc, argv, /*knn=*/false);
+  if (command == "batch") return RunBatch(argc, argv);
   if (command == "save") return RunSave(argc, argv);
   if (command == "open") return RunOpen(argc, argv);
   return Usage();
