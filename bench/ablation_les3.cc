@@ -54,7 +54,7 @@ void AblateInitialization(const SetDatabase& db, uint32_t groups) {
     l2p::CascadeResult cascade = TrainCascade(db, ptr, opts);
     const auto& level = cascade.levels.back();
     search::Les3Index index(db, level.assignment, level.num_groups);
-    auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+    auto agg = bench::RunQueries(db, query_ids, [&](SetView q) {
       search::QueryStats s;
       index.Knn(q, 10, &s);
       return s;
@@ -78,7 +78,7 @@ void AblatePairBudget(const SetDatabase& db, uint32_t groups) {
     l2p::CascadeResult cascade = TrainCascade(db, ptr, opts);
     const auto& level = cascade.levels.back();
     search::Les3Index index(db, level.assignment, level.num_groups);
-    auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+    auto agg = bench::RunQueries(db, query_ids, [&](SetView q) {
       search::QueryStats s;
       index.Knn(q, 10, &s);
       return s;
@@ -97,12 +97,12 @@ void AblateMeasure(const SetDatabase& db,
   for (auto measure : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
                        SimilarityMeasure::kCosine}) {
     search::Les3Index index(db, assignment, groups, measure);
-    auto knn = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+    auto knn = bench::RunQueries(db, query_ids, [&](SetView q) {
       search::QueryStats s;
       index.Knn(q, 10, &s);
       return s;
     });
-    auto range = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+    auto range = bench::RunQueries(db, query_ids, [&](SetView q) {
       search::QueryStats s;
       index.Range(q, 0.7, &s);
       return s;

@@ -61,7 +61,7 @@ struct QueryAggregate {
 /// stats the run reports.
 inline QueryAggregate RunQueries(
     const SetDatabase& db, const std::vector<SetId>& query_ids,
-    const std::function<search::QueryStats(const SetRecord&)>& run) {
+    const std::function<search::QueryStats(SetView)>& run) {
   QueryAggregate agg;
   if (query_ids.empty()) return agg;
   WallTimer timer;

@@ -33,7 +33,7 @@ int main() {
   for (const auto& level : cascade.levels) {
     search::Les3Index index(db, level.assignment, level.num_groups);
     for (size_t k : {1u, 10u, 50u, 100u}) {
-      auto agg = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+      auto agg = bench::RunQueries(db, query_ids, [&](SetView q) {
         search::QueryStats s;
         index.Knn(q, k, &s);
         return s;

@@ -44,13 +44,13 @@ int main() {
       auto engine =
           api::EngineBuilder::Build(db, backend, options).ValueOrDie();
       for (double delta : deltas) {
-        auto agg = bench::RunQueries(*db, query_ids, [&](const SetRecord& q) {
+        auto agg = bench::RunQueries(*db, query_ids, [&](SetView q) {
           return engine->Range(q, delta).stats;
         });
         range_table.Add(spec.name, label, delta, agg.avg_ms, agg.avg_pe);
       }
       for (size_t k : ks) {
-        auto agg = bench::RunQueries(*db, query_ids, [&](const SetRecord& q) {
+        auto agg = bench::RunQueries(*db, query_ids, [&](SetView q) {
           return engine->Knn(q, k).stats;
         });
         knn_table.Add(spec.name, label, static_cast<unsigned long long>(k),

@@ -59,7 +59,7 @@ int main() {
       search::Les3Index updated(base, part.assignment, part.num_groups);
       SetDatabase unioned = base;
       for (size_t i = 0; i < insert_count; ++i) {
-        SetRecord s = incoming.set(static_cast<SetId>(i));
+        SetRecord s(incoming.set(static_cast<SetId>(i)));
         if (open_universe) {
           // Make half the tokens previously unseen (paper protocol).
           std::vector<TokenId> tokens = s.tokens();

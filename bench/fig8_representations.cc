@@ -47,12 +47,12 @@ int main() {
 
     search::QueryStats stats;
     double pe = 0;
-    auto knn = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+    auto knn = bench::RunQueries(db, query_ids, [&](SetView q) {
       search::QueryStats s;
       index.Knn(q, 10, &s);
       return s;
     });
-    auto range = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+    auto range = bench::RunQueries(db, query_ids, [&](SetView q) {
       search::QueryStats s;
       index.Range(q, 0.7, &s);
       return s;

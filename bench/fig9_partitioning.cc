@@ -40,7 +40,7 @@ int main() {
         partition::EstimateGpo(db, result.assignment, result.num_groups,
                                SimilarityMeasure::kJaccard, 500, 7);
     search::Les3Index index(db, result.assignment, result.num_groups);
-    auto knn = bench::RunQueries(db, query_ids, [&](const SetRecord& q) {
+    auto knn = bench::RunQueries(db, query_ids, [&](SetView q) {
       search::QueryStats s;
       index.Knn(q, 10, &s);
       return s;

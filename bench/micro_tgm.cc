@@ -55,7 +55,7 @@ void TgmMatchedCountsBench(benchmark::State& state, bool kernel) {
   std::vector<uint32_t> counts;
   size_t q = 0;
   for (auto _ : state) {
-    const SetRecord& query = db.set(q++ % db.size());
+    SetView query = db.set(q++ % db.size());
     benchmark::DoNotOptimize(
         kernel ? index.MatchedCounts(query, &counts)
                : index.MatchedCountsReference(query, &counts));

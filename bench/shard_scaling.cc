@@ -34,7 +34,7 @@ int main() {
 
   std::vector<SetRecord> queries;
   for (SetId qid : datagen::SampleQueryIds(*db, 200, /*seed=*/11)) {
-    queries.push_back(db->set(qid));
+    queries.emplace_back(db->set(qid));
   }
 
   TableReporter table({"shards", "build_s", "build_speedup", "qps", "p50_ms",

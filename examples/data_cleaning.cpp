@@ -81,7 +81,7 @@ int main() {
   for (size_t p = 0; p < kProbes; ++p) {
     SetId probe = static_cast<SetId>(rng.Uniform(records.size()));
     probe_ids.push_back(probe);
-    probes.push_back(db->set(probe));
+    probes.emplace_back(db->set(probe));
   }
   auto results = engine->RangeBatch(probes, 0.55);
 

@@ -66,7 +66,7 @@ int main() {
   }
 
   // The newly inserted sets are immediately searchable.
-  const SetRecord& last = engine->db().set(engine->db().size() - 1);
+  SetView last = engine->db().set(engine->db().size() - 1);
   auto hits = engine->Knn(last, 3);
   std::printf("\nlast inserted set: top hit similarity %.3f (self)\n",
               hits.hits.empty() ? 0.0 : hits.hits[0].second);

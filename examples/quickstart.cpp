@@ -38,7 +38,7 @@ int main() {
 
   // 3. Query: top-5 most similar sets to set #7, then all sets within
   //    Jaccard 0.6.
-  const SetRecord& query = db->set(7);
+  SetView query = db->set(7);
   auto top5 = engine->Knn(query, 5);
   std::printf("\nkNN(k=5) results (PE %.4f, %llu candidates verified):\n",
               top5.stats.pruning_efficiency,
@@ -66,7 +66,7 @@ int main() {
   // 5. Multi-query workloads parallelize for free with the batch entry
   //    points: results are identical to sequential Knn calls.
   std::vector<SetRecord> queries;
-  for (SetId qid = 0; qid < 64; ++qid) queries.push_back(db->set(qid * 100));
+  for (SetId qid = 0; qid < 64; ++qid) queries.emplace_back(db->set(qid * 100));
   auto batch = engine->KnnBatch(queries, 5);
   std::printf("KnnBatch answered %zu queries, first PE %.4f\n", batch.size(),
               batch[0].stats.pruning_efficiency);

@@ -88,13 +88,13 @@ class MemoryEngine : public SearchEngine {
         index_(std::move(index)),
         describe_(std::move(describe)) {}
 
-  QueryResult Knn(const SetRecord& query, size_t k) const override {
+  QueryResult Knn(SetView query, size_t k) const override {
     search::QueryStats stats;
     auto hits = index_.Knn(query, k, &stats);
     return FromHits(std::move(hits), stats);
   }
 
-  QueryResult Range(const SetRecord& query, double delta) const override {
+  QueryResult Range(SetView query, double delta) const override {
     search::QueryStats stats;
     auto hits = index_.Range(query, delta, &stats);
     return FromHits(std::move(hits), stats);
@@ -123,11 +123,11 @@ class DiskEngine : public SearchEngine {
         index_(std::move(index)),
         describe_(std::move(describe)) {}
 
-  QueryResult Knn(const SetRecord& query, size_t k) const override {
+  QueryResult Knn(SetView query, size_t k) const override {
     return FromDisk(index_.Knn(query, k));
   }
 
-  QueryResult Range(const SetRecord& query, double delta) const override {
+  QueryResult Range(SetView query, double delta) const override {
     return FromDisk(index_.Range(query, delta));
   }
 

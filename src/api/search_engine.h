@@ -72,10 +72,10 @@ class SearchEngine {
   SearchEngine& operator=(const SearchEngine&) = delete;
 
   /// Exact kNN (Definition 2.1): the k most similar sets.
-  virtual QueryResult Knn(const SetRecord& query, size_t k) const = 0;
+  virtual QueryResult Knn(SetView query, size_t k) const = 0;
 
   /// Exact range search (Definition 2.2): all sets with Sim >= delta.
-  virtual QueryResult Range(const SetRecord& query, double delta) const = 0;
+  virtual QueryResult Range(SetView query, double delta) const = 0;
 
   /// Answers every query independently across the engine's thread pool.
   /// results[i] is exactly what Knn(queries[i], k) returns.

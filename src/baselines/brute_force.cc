@@ -8,7 +8,7 @@
 namespace les3 {
 namespace baselines {
 std::vector<Hit> BruteForce::Knn(
-    const SetRecord& query, size_t k, search::QueryStats* stats) const {
+    SetView query, size_t k, search::QueryStats* stats) const {
   WallTimer timer;
   TopKHits best(k);
   for (SetId i = 0; i < db_->size(); ++i) {
@@ -27,7 +27,7 @@ std::vector<Hit> BruteForce::Knn(
 }
 
 std::vector<Hit> BruteForce::Range(
-    const SetRecord& query, double delta, search::QueryStats* stats) const {
+    SetView query, double delta, search::QueryStats* stats) const {
   WallTimer timer;
   std::vector<Hit> out;
   for (SetId i = 0; i < db_->size(); ++i) {

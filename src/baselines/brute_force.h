@@ -23,11 +23,11 @@ class BruteForce {
       : db_(db), measure_(measure) {}
 
   std::vector<Hit> Knn(
-      const SetRecord& query, size_t k,
+      SetView query, size_t k,
       search::QueryStats* stats = nullptr) const;
 
   std::vector<Hit> Range(
-      const SetRecord& query, double delta,
+      SetView query, double delta,
       search::QueryStats* stats = nullptr) const;
 
  private:

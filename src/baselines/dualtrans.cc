@@ -47,7 +47,7 @@ DualTrans::DualTrans(const SetDatabase* db, DualTransOptions options)
   tree_ = std::make_unique<rtree::RTree>(vectors, topts);
 }
 
-std::vector<float> DualTrans::Transform(const SetRecord& s) const {
+std::vector<float> DualTrans::Transform(SetView s) const {
   std::vector<float> vec(options_.dims, 0.0f);
   for (TokenId t : s.tokens()) {
     if (t < bucket_of_.size()) vec[bucket_of_[t]] += 1.0f;
@@ -78,7 +78,7 @@ double DualTrans::MbrUpperBound(const std::vector<float>& qvec,
 }
 
 std::vector<Hit> DualTrans::Knn(
-    const SetRecord& query, size_t k, search::QueryStats* stats) const {
+    SetView query, size_t k, search::QueryStats* stats) const {
   WallTimer timer;
   std::vector<float> qvec = Transform(query);
   uint64_t nodes = 0, scored = 0;
@@ -104,7 +104,7 @@ std::vector<Hit> DualTrans::Knn(
 }
 
 std::vector<Hit> DualTrans::Range(
-    const SetRecord& query, double delta, search::QueryStats* stats) const {
+    SetView query, double delta, search::QueryStats* stats) const {
   WallTimer timer;
   std::vector<float> qvec = Transform(query);
   uint64_t nodes = 0, scored = 0;

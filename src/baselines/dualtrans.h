@@ -39,11 +39,11 @@ class DualTrans {
   DualTrans(const SetDatabase* db, DualTransOptions options = {});
 
   std::vector<Hit> Knn(
-      const SetRecord& query, size_t k,
+      SetView query, size_t k,
       search::QueryStats* stats = nullptr) const;
 
   std::vector<Hit> Range(
-      const SetRecord& query, double delta,
+      SetView query, double delta,
       search::QueryStats* stats = nullptr) const;
 
   /// Index footprint: R-tree + stored vectors + bucket map (Figure 11).
@@ -52,7 +52,7 @@ class DualTrans {
   const rtree::RTree& tree() const { return *tree_; }
 
   /// Transforms a set into its bucket-count vector.
-  std::vector<float> Transform(const SetRecord& s) const;
+  std::vector<float> Transform(SetView s) const;
 
  private:
   /// Similarity upper bound between the query vector and any set vector

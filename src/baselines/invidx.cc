@@ -10,15 +10,6 @@
 
 namespace les3 {
 namespace baselines {
-namespace {
-
-/// Highest similarity any set of size `s` can reach against a query of size
-/// `q` (overlap maxed at min(q, s)); used as the size filter.
-double MaxSimForSize(SimilarityMeasure m, size_t q, size_t s) {
-  return SimilarityFromOverlap(m, std::min(q, s), q, s);
-}
-
-}  // namespace
 
 InvIdx::InvIdx(const SetDatabase* db, InvIdxOptions options)
     : db_(db), options_(options) {
@@ -46,7 +37,7 @@ uint64_t InvIdx::IndexBytes() const {
   return total;
 }
 
-InvIdx::CanonicalQuery InvIdx::Canonicalize(const SetRecord& query) const {
+InvIdx::CanonicalQuery InvIdx::Canonicalize(SetView query) const {
   CanonicalQuery cq;
   const auto& qt = query.tokens();
   size_t i = 0;
@@ -74,7 +65,7 @@ InvIdx::CanonicalQuery InvIdx::Canonicalize(const SetRecord& query) const {
   return sorted;
 }
 
-InvIdx::FilterResult InvIdx::RangeFilter(const SetRecord& query,
+InvIdx::FilterResult InvIdx::RangeFilter(SetView query,
                                          double delta) const {
   FilterResult result;
   CanonicalQuery cq = Canonicalize(query);
@@ -130,7 +121,7 @@ void InvIdx::CollectCandidates(const CanonicalQuery& cq, size_t query_size,
 }
 
 std::vector<Hit> InvIdx::Range(
-    const SetRecord& query, double delta, search::QueryStats* stats) const {
+    SetView query, double delta, search::QueryStats* stats) const {
   WallTimer timer;
   CanonicalQuery canonical = Canonicalize(query);
   std::vector<SetId> candidates;
@@ -154,7 +145,7 @@ std::vector<Hit> InvIdx::Range(
 }
 
 std::vector<Hit> InvIdx::Knn(
-    const SetRecord& query, size_t k, search::QueryStats* stats) const {
+    SetView query, size_t k, search::QueryStats* stats) const {
   WallTimer timer;
   CanonicalQuery canonical = Canonicalize(query);
   std::vector<uint8_t> verified(db_->size(), 0);

@@ -35,11 +35,11 @@ class InvIdx {
   InvIdx(const SetDatabase* db, InvIdxOptions options = {});
 
   std::vector<Hit> Range(
-      const SetRecord& query, double delta,
+      SetView query, double delta,
       search::QueryStats* stats = nullptr) const;
 
   std::vector<Hit> Knn(
-      const SetRecord& query, size_t k,
+      SetView query, size_t k,
       search::QueryStats* stats = nullptr) const;
 
   /// Index footprint: postings + token-rank table (Figure 11).
@@ -55,7 +55,7 @@ class InvIdx {
     std::vector<SetId> candidates;
     std::vector<TokenId> prefix_tokens;
   };
-  FilterResult RangeFilter(const SetRecord& query, double delta) const;
+  FilterResult RangeFilter(SetView query, double delta) const;
 
  private:
   /// Distinct query tokens in ascending global-frequency order, with their
@@ -64,7 +64,7 @@ class InvIdx {
     std::vector<TokenId> tokens;
     std::vector<size_t> multiplicities;
   };
-  CanonicalQuery Canonicalize(const SetRecord& query) const;
+  CanonicalQuery Canonicalize(SetView query) const;
 
   /// Range candidates under the prefix + size filters. Appends distinct set
   /// ids to `out` and, when non-null, the prefix tokens to `prefix_out`.

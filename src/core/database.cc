@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/logging.h"
@@ -10,18 +11,30 @@ namespace {
 constexpr uint32_t kMagic = 0x4C455333;  // "LES3"
 }
 
-SetId SetDatabase::AddSet(SetRecord set) {
+SetId SetDatabase::AddSet(SetView set) {
+#ifndef NDEBUG
+  LES3_CHECK(std::is_sorted(set.begin(), set.end()));
+#endif
+  // Re-establish the CSR sentinel on a moved-from database (its offsets
+  // vector is empty; the {0} default applies only at construction).
+  if (offsets_.empty()) offsets_.push_back(0);
   if (!set.empty() && set.MaxToken() >= num_tokens_) {
     num_tokens_ = set.MaxToken() + 1;
   }
-  sets_.push_back(std::move(set));
-  return static_cast<SetId>(sets_.size() - 1);
-}
-
-uint64_t SetDatabase::TotalTokens() const {
-  uint64_t total = 0;
-  for (const auto& s : sets_) total += s.size();
-  return total;
+  const size_t old_size = arena_.size();
+  const size_t n = set.size();
+  // The source may alias this arena (SplitDb appends views of the global
+  // database); resize can reallocate, so re-derive the source pointer from
+  // its offset afterwards instead of reading through a dangling span.
+  const bool aliased = set.data() >= arena_.data() &&
+                       set.data() < arena_.data() + old_size;
+  const size_t src_offset =
+      aliased ? static_cast<size_t>(set.data() - arena_.data()) : 0;
+  arena_.resize(old_size + n);
+  const TokenId* src = aliased ? arena_.data() + src_offset : set.data();
+  std::copy(src, src + n, arena_.begin() + old_size);
+  offsets_.push_back(arena_.size());
+  return static_cast<SetId>(offsets_.size() - 2);
 }
 
 Status SetDatabase::Save(const std::string& path) const {
@@ -31,13 +44,12 @@ Status SetDatabase::Save(const std::string& path) const {
     return std::fwrite(&v, sizeof(v), 1, f) == 1;
   };
   bool ok = write_u32(kMagic) && write_u32(num_tokens_) &&
-            write_u32(static_cast<uint32_t>(sets_.size()));
-  for (const auto& s : sets_) {
-    if (!ok) break;
+            write_u32(static_cast<uint32_t>(size()));
+  for (SetId i = 0; ok && i < size(); ++i) {
+    SetView s = set(i);
     ok = write_u32(static_cast<uint32_t>(s.size()));
     if (ok && !s.empty()) {
-      ok = std::fwrite(s.tokens().data(), sizeof(TokenId), s.size(), f) ==
-           s.size();
+      ok = std::fwrite(s.data(), sizeof(TokenId), s.size(), f) == s.size();
     }
   }
   std::fclose(f);
@@ -58,18 +70,19 @@ Result<SetDatabase> SetDatabase::Load(const std::string& path) {
     return Status::IOError("bad header: " + path);
   }
   SetDatabase db(num_tokens);
+  std::vector<TokenId> tokens;
   for (uint32_t i = 0; i < num_sets; ++i) {
     uint32_t n = 0;
     if (!read_u32(&n)) {
       std::fclose(f);
       return Status::IOError("truncated set header: " + path);
     }
-    std::vector<TokenId> tokens(n);
+    tokens.resize(n);
     if (n > 0 && std::fread(tokens.data(), sizeof(TokenId), n, f) != n) {
       std::fclose(f);
       return Status::IOError("truncated set payload: " + path);
     }
-    db.AddSet(SetRecord::FromSortedTokens(std::move(tokens)));
+    db.AddSet(SetView(tokens.data(), n));
   }
   std::fclose(f);
   // AddSet may have grown the universe if data disagreed with the header;

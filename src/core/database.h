@@ -12,11 +12,23 @@
 
 namespace les3 {
 
-/// \brief The database D: a dense array of SetRecords over a token universe
-/// [0, num_tokens).
+/// \brief The database D over a token universe [0, num_tokens).
+///
+/// Storage is a CSR token arena: one contiguous TokenId buffer holding
+/// every set's sorted tokens back to back, plus an offsets array (|D|+1
+/// entries). set(id) hands out a SetView span into the arena, so the
+/// verification loops walk one cache-friendly buffer instead of chasing a
+/// heap pointer per candidate. SetRecord remains the ingest type; AddSet
+/// appends its tokens to the arena.
 ///
 /// The universe may grow (open-universe updates, Section 6 of the paper);
 /// AddSet extends it automatically when a set carries unseen token ids.
+///
+/// Lifetime: a SetView returned by set() is invalidated by the next
+/// AddSet (the arena may reallocate). Query paths take views for the
+/// duration of one query only; engines that interleave inserts and
+/// queries (shard/sharded_engine.h) already serialize the two with a
+/// reader-writer lock.
 class SetDatabase {
  public:
   SetDatabase() = default;
@@ -25,20 +37,33 @@ class SetDatabase {
   explicit SetDatabase(uint32_t num_tokens) : num_tokens_(num_tokens) {}
 
   /// Appends a set and returns its id. Extends the token universe when the
-  /// set contains ids >= num_tokens().
-  SetId AddSet(SetRecord set);
+  /// set contains ids >= num_tokens(). Accepts a view into this database's
+  /// own arena (self-append is safe).
+  SetId AddSet(SetView set);
 
-  size_t size() const { return sets_.size(); }
-  bool empty() const { return sets_.empty(); }
+  /// Robust against a moved-from state (whose offsets vector is empty).
+  size_t size() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  bool empty() const { return size() == 0; }
 
-  const SetRecord& set(SetId id) const { return sets_[id]; }
-  const std::vector<SetRecord>& sets() const { return sets_; }
+  /// The tokens of set `id` as a span into the arena. Valid until the next
+  /// AddSet.
+  SetView set(SetId id) const {
+    return SetView(arena_.data() + offsets_[id],
+                   static_cast<size_t>(offsets_[id + 1] - offsets_[id]));
+  }
+
+  /// Size of set `id` without touching its tokens (one offsets read).
+  size_t set_size(SetId id) const {
+    return static_cast<size_t>(offsets_[id + 1] - offsets_[id]);
+  }
 
   /// Size of the token universe |T|.
   uint32_t num_tokens() const { return num_tokens_; }
 
-  /// Total number of tokens over all sets (Σ|S|).
-  uint64_t TotalTokens() const;
+  /// Total number of tokens over all sets (Σ|S|) — the arena length.
+  uint64_t TotalTokens() const { return arena_.size(); }
 
   /// Binary serialization (used to cache generated datasets and to feed the
   /// disk-resident stores).
@@ -46,7 +71,8 @@ class SetDatabase {
   static Result<SetDatabase> Load(const std::string& path);
 
  private:
-  std::vector<SetRecord> sets_;
+  std::vector<TokenId> arena_;      // all sets' tokens, back to back
+  std::vector<uint64_t> offsets_ = {0};  // |D|+1 prefix offsets into arena_
   uint32_t num_tokens_ = 0;
 };
 

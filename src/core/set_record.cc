@@ -22,20 +22,18 @@ SetRecord SetRecord::FromSortedTokens(std::vector<TokenId> tokens) {
   return r;
 }
 
-bool SetRecord::Contains(TokenId t) const {
-  return std::binary_search(tokens_.begin(), tokens_.end(), t);
+bool SetView::Contains(TokenId t) const {
+  return std::binary_search(begin(), end(), t);
 }
 
-size_t SetRecord::OverlapSize(const SetRecord& a, const SetRecord& b) {
+size_t SetView::OverlapSize(SetView a, SetView b) {
   // Linear merge; counts duplicates with multiset semantics because equal
   // elements are consumed pairwise.
   size_t i = 0, j = 0, overlap = 0;
-  const auto& x = a.tokens_;
-  const auto& y = b.tokens_;
-  while (i < x.size() && j < y.size()) {
-    if (x[i] < y[j]) {
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
       ++i;
-    } else if (x[i] > y[j]) {
+    } else if (a[i] > b[j]) {
       ++j;
     } else {
       ++overlap;
@@ -46,10 +44,10 @@ size_t SetRecord::OverlapSize(const SetRecord& a, const SetRecord& b) {
   return overlap;
 }
 
-size_t SetRecord::DistinctCount() const {
+size_t SetView::DistinctCount() const {
   size_t count = 0;
-  for (size_t i = 0; i < tokens_.size(); ++i) {
-    if (i == 0 || tokens_[i] != tokens_[i - 1]) ++count;
+  for (size_t i = 0; i < size_; ++i) {
+    if (i == 0 || data_[i] != data_[i - 1]) ++count;
   }
   return count;
 }

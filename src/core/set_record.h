@@ -1,8 +1,17 @@
 // SetRecord: one (multi)set of tokens, stored as a sorted token array.
+// SetView: a non-owning span over such an array — the type every kernel
+// consumes.
 //
 // The paper's data model allows multisets; duplicates are kept, so the
 // multiset {A, A} is the sorted array [A, A]. Intersection size follows the
 // multiset convention (sum of minimum multiplicities).
+//
+// SetRecord is the ingest/API type (it owns its tokens); SetView is the
+// query/verification type. The database stores all sets in one contiguous
+// CSR token arena (core/database.h) and hands out SetViews into it, so the
+// hot verification loops never chase per-set heap pointers. A SetRecord
+// converts to a SetView implicitly (the string/string_view pattern); the
+// reverse materialization is explicit.
 
 #ifndef LES3_CORE_SET_RECORD_H_
 #define LES3_CORE_SET_RECORD_H_
@@ -14,10 +23,77 @@
 
 namespace les3 {
 
-/// \brief A (multi)set of tokens with sorted storage.
+class SetRecord;
+
+/// \brief A non-owning view of a sorted (multi)set of tokens.
+///
+/// Trivially copyable (pointer + length); pass by value. A view into the
+/// database's arena is invalidated by AddSet (the arena may reallocate), so
+/// views are consumed within a query, never stored across mutations.
+class SetView {
+ public:
+  constexpr SetView() = default;
+  constexpr SetView(const TokenId* data, size_t size)
+      : data_(data), size_(size) {}
+  /// Implicit, like std::string -> std::string_view.
+  SetView(const SetRecord& record);  // NOLINT(runtime/explicit)
+
+  /// Number of tokens including duplicate multiplicity (the |S| of the
+  /// paper's similarity formulas).
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const TokenId* data() const { return data_; }
+  constexpr const TokenId* begin() const { return data_; }
+  constexpr const TokenId* end() const { return data_ + size_; }
+  constexpr TokenId operator[](size_t i) const { return data_[i]; }
+
+  /// The view itself is the token range; lets generic code written against
+  /// SetRecord (`for (TokenId t : s.tokens())`) accept either type.
+  /// Returned BY VALUE: a reference into `*this` would dangle when the
+  /// receiver is itself a temporary (`for (TokenId t : db.set(i).tokens())`
+  /// — range-for lifetime extension does not reach through a member
+  /// function's return).
+  constexpr SetView tokens() const { return *this; }
+
+  /// Largest token id, or 0 for an empty set.
+  constexpr TokenId MaxToken() const { return size_ == 0 ? 0 : data_[size_ - 1]; }
+
+  /// Smallest token id, or 0 for an empty set.
+  constexpr TokenId MinToken() const { return size_ == 0 ? 0 : data_[0]; }
+
+  /// Whether the (multi)set contains at least one occurrence of `t`.
+  bool Contains(TokenId t) const;
+
+  /// Number of distinct tokens.
+  size_t DistinctCount() const;
+
+  /// Multiset intersection size: sum over tokens of min multiplicity.
+  /// Linear merge; the adaptive threshold kernels live in core/verify.h.
+  static size_t OverlapSize(SetView a, SetView b);
+
+  friend bool operator==(SetView a, SetView b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(SetView a, SetView b) { return !(a == b); }
+
+ private:
+  const TokenId* data_ = nullptr;
+  size_t size_ = 0;  // sorted ascending, duplicates allowed
+};
+
+/// \brief A (multi)set of tokens with sorted, owned storage.
 class SetRecord {
  public:
   SetRecord() = default;
+
+  /// Materializes a view into owned storage (explicit: it copies).
+  explicit SetRecord(SetView view)
+      : tokens_(view.begin(), view.end()) {}
 
   /// Builds from arbitrary-order tokens; sorts, keeps duplicates.
   static SetRecord FromTokens(std::vector<TokenId> tokens);
@@ -32,8 +108,11 @@ class SetRecord {
 
   const std::vector<TokenId>& tokens() const { return tokens_; }
 
+  /// The non-owning span over this record's tokens.
+  SetView view() const { return SetView(tokens_.data(), tokens_.size()); }
+
   /// Whether the (multi)set contains at least one occurrence of `t`.
-  bool Contains(TokenId t) const;
+  bool Contains(TokenId t) const { return view().Contains(t); }
 
   /// Largest token id, or 0 for an empty set.
   TokenId MaxToken() const { return tokens_.empty() ? 0 : tokens_.back(); }
@@ -42,10 +121,12 @@ class SetRecord {
   TokenId MinToken() const { return tokens_.empty() ? 0 : tokens_.front(); }
 
   /// Multiset intersection size: sum over tokens of min multiplicity.
-  static size_t OverlapSize(const SetRecord& a, const SetRecord& b);
+  static size_t OverlapSize(const SetRecord& a, const SetRecord& b) {
+    return SetView::OverlapSize(a.view(), b.view());
+  }
 
   /// Number of distinct tokens.
-  size_t DistinctCount() const;
+  size_t DistinctCount() const { return view().DistinctCount(); }
 
   bool operator==(const SetRecord& other) const {
     return tokens_ == other.tokens_;
@@ -54,6 +135,9 @@ class SetRecord {
  private:
   std::vector<TokenId> tokens_;  // sorted ascending, duplicates allowed
 };
+
+inline SetView::SetView(const SetRecord& record)
+    : data_(record.tokens().data()), size_(record.size()) {}
 
 }  // namespace les3
 

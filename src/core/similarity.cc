@@ -36,9 +36,8 @@ double SimilarityFromOverlap(SimilarityMeasure m, size_t overlap,
   return 0.0;
 }
 
-double Similarity(SimilarityMeasure m, const SetRecord& a,
-                  const SetRecord& b) {
-  size_t overlap = SetRecord::OverlapSize(a, b);
+double Similarity(SimilarityMeasure m, SetView a, SetView b) {
+  size_t overlap = SetView::OverlapSize(a, b);
   return SimilarityFromOverlap(m, overlap, a.size(), b.size());
 }
 
@@ -66,6 +65,58 @@ size_t MinOverlapForThreshold(SimilarityMeasure m, size_t query_size,
     if (GroupUpperBound(m, r, query_size) >= threshold) return r;
   }
   return query_size + 1;
+}
+
+double MaxSimForSize(SimilarityMeasure m, size_t query_size, size_t set_size) {
+  return SimilarityFromOverlap(m, std::min(query_size, set_size), query_size,
+                               set_size);
+}
+
+SizeBounds SizeBoundsForThreshold(SimilarityMeasure m, size_t query_size,
+                                  double threshold) {
+  SizeBounds bounds;  // [0, SIZE_MAX]: everything qualifies
+  if (threshold <= 0.0) return bounds;
+  // The exact predicate the window must preserve. MaxSimForSize rises
+  // monotonically on s in [0, |Q|] and falls monotonically on s >= |Q|
+  // (the double expressions stay monotone: the intermediate sums are exact
+  // integers and division/sqrt round monotonically), so both boundaries
+  // binary-search; a cheap linear fix-up keeps the result exact even if a
+  // rounding plateau shifts the crossover by one.
+  auto pass = [&](size_t s) {
+    return MaxSimForSize(m, query_size, s) >= threshold;
+  };
+  if (!pass(query_size)) {
+    // Even |S| = |Q| (best-case similarity 1) fails: threshold > 1.
+    bounds.lo = 1;
+    bounds.hi = 0;
+    return bounds;
+  }
+  if (pass(0)) {
+    bounds.lo = 0;
+  } else {
+    size_t lo = 0, hi = query_size;  // !pass(lo), pass(hi)
+    while (hi - lo > 1) {
+      size_t mid = lo + (hi - lo) / 2;
+      (pass(mid) ? hi : lo) = mid;
+    }
+    bounds.lo = hi;
+    while (bounds.lo > 0 && pass(bounds.lo - 1)) --bounds.lo;
+  }
+  // Set sizes are bounded by the SetId-addressable arena; beyond this the
+  // window is effectively unbounded (containment never bounds above).
+  const size_t kMaxSize = static_cast<size_t>(0xFFFFFFFFu);
+  if (pass(kMaxSize)) {
+    bounds.hi = static_cast<size_t>(-1);
+    return bounds;
+  }
+  size_t lo = query_size, hi = kMaxSize;  // pass(lo), !pass(hi)
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    (pass(mid) ? lo : hi) = mid;
+  }
+  bounds.hi = lo;
+  while (bounds.hi < kMaxSize && pass(bounds.hi + 1)) ++bounds.hi;
+  return bounds;
 }
 
 }  // namespace les3

@@ -9,6 +9,7 @@
 #ifndef LES3_CORE_SIMILARITY_H_
 #define LES3_CORE_SIMILARITY_H_
 
+#include <cstddef>
 #include <string>
 
 #include "core/set_record.h"
@@ -40,7 +41,7 @@ double SimilarityFromOverlap(SimilarityMeasure m, size_t overlap,
                              size_t size_a, size_t size_b);
 
 /// Exact similarity between two (multi)sets; O(|A| + |B|).
-double Similarity(SimilarityMeasure m, const SetRecord& a, const SetRecord& b);
+double Similarity(SimilarityMeasure m, SetView a, SetView b);
 
 /// \brief Group upper bound of Equation (2) generalized per Theorem 3.1.
 ///
@@ -55,6 +56,32 @@ double GroupUpperBound(SimilarityMeasure m, size_t matched, size_t query_size);
 /// GroupUpperBound(m, r, |Q|) >= threshold (|Q|+1 if impossible).
 size_t MinOverlapForThreshold(SimilarityMeasure m, size_t query_size,
                               double threshold);
+
+/// Highest similarity any set of size `s` can reach against a query of
+/// size `q` — the overlap is capped at min(q, s). Evaluated through
+/// SimilarityFromOverlap, the identical expression the verifiers use, so
+/// the comparison against a computed similarity is floating-point safe.
+double MaxSimForSize(SimilarityMeasure m, size_t query_size, size_t set_size);
+
+/// A candidate-size window [lo, hi]: every set whose size falls outside it
+/// is guaranteed below the originating threshold. hi may be SIZE_MAX when
+/// the measure imposes no upper bound (containment).
+struct SizeBounds {
+  size_t lo = 0;
+  size_t hi = static_cast<size_t>(-1);
+  bool Empty() const { return lo > hi; }
+};
+
+/// \brief The length filter: the range of set sizes that can still attain
+/// Sim(Q, S) >= threshold for a query of size `query_size`.
+///
+/// Exact in floating point: s is inside the window iff
+/// MaxSimForSize(m, |Q|, s) >= threshold under the same double arithmetic
+/// the verifiers use, so a set excluded by the window can never pass
+/// verification — ties at the threshold included. Returns an Empty()
+/// window when no size qualifies (threshold > 1).
+SizeBounds SizeBoundsForThreshold(SimilarityMeasure m, size_t query_size,
+                                  double threshold);
 
 }  // namespace les3
 

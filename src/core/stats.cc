@@ -14,7 +14,8 @@ DatasetStats ComputeStats(const SetDatabase& db) {
   size_t min_size = std::numeric_limits<size_t>::max();
   size_t max_size = 0;
   uint64_t total = 0;
-  for (const auto& rec : db.sets()) {
+  for (SetId i = 0; i < db.size(); ++i) {
+    SetView rec = db.set(i);
     min_size = std::min(min_size, rec.size());
     max_size = std::max(max_size, rec.size());
     total += rec.size();

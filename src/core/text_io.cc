@@ -49,7 +49,8 @@ Result<SetDatabase> LoadSetsFromText(const std::string& path) {
 Status SaveSetsToText(const SetDatabase& db, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for write: " + path);
-  for (const auto& s : db.sets()) {
+  for (SetId i = 0; i < db.size(); ++i) {
+    SetView s = db.set(i);
     bool first = true;
     for (TokenId t : s.tokens()) {
       if (!first) out << ' ';

@@ -1,43 +1,163 @@
 #include "core/verify.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace les3 {
 
-VerifyResult VerifyThreshold(SimilarityMeasure measure, const SetRecord& a,
-                             const SetRecord& b, double threshold) {
-  const auto& x = a.tokens();
-  const auto& y = b.tokens();
+namespace {
+
+/// First index >= `from` with v[index] >= t, by exponential probe from
+/// `from` followed by a binary search over the bracketed run.
+size_t GallopLowerBound(SetView v, size_t from, TokenId t) {
+  if (from >= v.size() || v[from] >= t) return from;
+  size_t lo = from;  // v[lo] < t throughout
+  size_t step = 1;
+  while (lo + step < v.size() && v[lo + step] < t) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(lo + step, v.size());  // v[hi] >= t, or hi == size
+  const TokenId* pos = std::lower_bound(v.begin() + lo + 1, v.begin() + hi, t);
+  return static_cast<size_t>(pos - v.begin());
+}
+
+/// Finalizes a kernel run: exact similarity from the accumulated overlap.
+VerifyResult Finish(SimilarityMeasure m, size_t overlap, size_t size_a,
+                    size_t size_b, double threshold) {
   VerifyResult result;
-  if (threshold <= 0.0) {
-    result.similarity = Similarity(measure, a, b);
-    result.passed = true;
-    return result;
-  }
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < x.size() && j < y.size()) {
-    // Best-case final overlap if every remaining token matched.
-    size_t max_overlap =
-        overlap + std::min(x.size() - i, y.size() - j);
-    double best = SimilarityFromOverlap(measure, max_overlap, x.size(),
-                                        y.size());
-    if (best < threshold) {
-      result.similarity = best;  // valid upper bound
-      result.passed = false;
-      return result;
-    }
-    if (x[i] < y[j]) {
-      ++i;
-    } else if (x[i] > y[j]) {
-      ++j;
-    } else {
-      ++overlap;
-      ++i;
-      ++j;
-    }
-  }
-  result.similarity =
-      SimilarityFromOverlap(measure, overlap, x.size(), y.size());
+  result.similarity = SimilarityFromOverlap(m, overlap, size_a, size_b);
   result.passed = result.similarity >= threshold;
   return result;
+}
+
+/// Early-exit result: the best-case similarity is a valid upper bound.
+VerifyResult Abort(SimilarityMeasure m, size_t max_overlap, size_t size_a,
+                   size_t size_b) {
+  VerifyResult result;
+  result.similarity = SimilarityFromOverlap(m, max_overlap, size_a, size_b);
+  result.passed = false;
+  return result;
+}
+
+}  // namespace
+
+size_t MinOverlapForPair(SimilarityMeasure m, size_t size_a, size_t size_b,
+                         double threshold) {
+  if (threshold <= 0.0) return 0;
+  const size_t max_overlap = std::min(size_a, size_b);
+  auto pass = [&](size_t o) {
+    return SimilarityFromOverlap(m, o, size_a, size_b) >= threshold;
+  };
+  // Closed-form estimate of the boundary (solving Sim(o) = threshold for
+  // o), then a linear fix-up against the exact double predicate. The
+  // estimate lands within one or two of the true crossover, and
+  // SimilarityFromOverlap is monotone in the overlap for fixed sizes (the
+  // numerator grows, the denominator shrinks or stays put, and double
+  // division rounds monotonically), so the fix-up loops run O(1) steps and
+  // the result is the exact least sufficient overlap. This runs once per
+  // verified candidate — it must stay a handful of flops, not a binary
+  // search.
+  const double na = static_cast<double>(size_a);
+  const double nb = static_cast<double>(size_b);
+  double estimate = 0.0;
+  switch (m) {
+    case SimilarityMeasure::kJaccard:
+      estimate = threshold * (na + nb) / (1.0 + threshold);
+      break;
+    case SimilarityMeasure::kDice:
+      estimate = threshold * (na + nb) / 2.0;
+      break;
+    case SimilarityMeasure::kCosine:
+      estimate = threshold * std::sqrt(na * nb);
+      break;
+    case SimilarityMeasure::kContainment:
+      estimate = threshold * na;
+      break;
+  }
+  size_t o = estimate <= 0.0 ? 0
+             : estimate >= static_cast<double>(max_overlap)
+                 ? max_overlap
+                 : static_cast<size_t>(estimate);
+  while (o <= max_overlap && !pass(o)) ++o;  // may exit at max_overlap + 1
+  while (o > 0 && pass(o - 1)) --o;
+  return o;
+}
+
+VerifyResult VerifyMerge(SimilarityMeasure m, SetView a, SetView b,
+                         double threshold) {
+  return VerifyMerge(m, a, b, threshold,
+                     MinOverlapForPair(m, a.size(), b.size(), threshold));
+}
+
+VerifyResult VerifyMerge(SimilarityMeasure m, SetView a, SetView b,
+                         double threshold, size_t min_overlap) {
+  const size_t na = a.size(), nb = b.size();
+  size_t i = 0, j = 0, overlap = 0;
+  // Branchless merge core, with the suffix bound — best-case final overlap
+  // if every remaining token matched, against the precomputed requirement —
+  // checked once per block instead of per element. A sparser check only
+  // delays the early exit; the final overlap (and so the answer) is
+  // untouched, and the data-independent inner loop is what lets small-set
+  // verification saturate the pipeline.
+  constexpr size_t kCheckEvery = 8;
+  while (i < na && j < nb) {
+    size_t max_overlap = overlap + std::min(na - i, nb - j);
+    if (max_overlap < min_overlap) return Abort(m, max_overlap, na, nb);
+    for (size_t step = 0; step < kCheckEvery && i < na && j < nb; ++step) {
+      TokenId x = a[i], y = b[j];
+      overlap += static_cast<size_t>(x == y);
+      i += static_cast<size_t>(x <= y);
+      j += static_cast<size_t>(y <= x);
+    }
+  }
+  return Finish(m, overlap, na, nb, threshold);
+}
+
+VerifyResult VerifyGallop(SimilarityMeasure m, SetView a, SetView b,
+                          double threshold) {
+  return VerifyGallop(m, a, b, threshold,
+                      MinOverlapForPair(m, a.size(), b.size(), threshold));
+}
+
+VerifyResult VerifyGallop(SimilarityMeasure m, SetView a, SetView b,
+                          double threshold, size_t min_overlap) {
+  SetView small = a.size() <= b.size() ? a : b;
+  SetView large = a.size() <= b.size() ? b : a;
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < small.size() && j < large.size()) {
+    size_t max_overlap =
+        overlap + std::min(small.size() - i, large.size() - j);
+    if (max_overlap < min_overlap) return Abort(m, max_overlap, a.size(),
+                                                b.size());
+    j = GallopLowerBound(large, j, small[i]);
+    if (j >= large.size()) break;
+    if (large[j] == small[i]) {
+      // Pairwise consumption keeps multiset min-multiplicity semantics:
+      // k duplicates in the small side match at most k in the large side.
+      ++overlap;
+      ++j;
+    }
+    ++i;
+  }
+  return Finish(m, overlap, a.size(), b.size(), threshold);
+}
+
+VerifyResult VerifyThreshold(SimilarityMeasure measure, SetView a, SetView b,
+                             double threshold) {
+  return VerifyThreshold(measure, a, b, threshold,
+                         MinOverlapForPair(measure, a.size(), b.size(),
+                                           threshold));
+}
+
+VerifyResult VerifyThreshold(SimilarityMeasure measure, SetView a, SetView b,
+                             double threshold, size_t min_overlap) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small > 0 && large / small >= kGallopSizeRatio) {
+    return VerifyGallop(measure, a, b, threshold, min_overlap);
+  }
+  return VerifyMerge(measure, a, b, threshold, min_overlap);
 }
 
 }  // namespace les3

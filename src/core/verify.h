@@ -1,12 +1,24 @@
-// Threshold-aware verification with early termination.
+// Threshold-aware verification with early termination — the kernel suite
+// behind every exact candidate check.
 //
 // The verify step computes Sim(Q, S) only to compare it against a threshold
-// (the range δ or the current k-th best). Verification can stop as soon as
-// the remaining tokens cannot lift the overlap high enough: after consuming
-// a prefix of both sorted arrays with `o` matches so far, the final overlap
-// is at most o + min(remaining_a, remaining_b). This is the standard
-// optimization in set-similarity-join verifiers and cuts the dominant cost
-// of low-threshold queries.
+// (the range δ or the current k-th best), so it can stop as soon as the
+// remaining tokens cannot lift the overlap high enough: after consuming a
+// prefix of both sorted arrays with `o` matches, the final overlap is at
+// most o + min(remaining_a, remaining_b). Both kernels reduce that test to
+// one integer comparison by precomputing the least overlap the threshold
+// requires (MinOverlapForPair), instead of evaluating the similarity
+// formula every merge step.
+//
+// Two layouts of the same exact computation:
+//   - VerifyMerge: linear merge; right when |A| and |B| are comparable.
+//   - VerifyGallop: iterate the smaller set, exponential-search the larger;
+//     right when the sizes are skewed (O(|small| log |large|)).
+// VerifyThreshold picks by size ratio (kGallopSizeRatio). All kernels
+// preserve multiset min-multiplicity semantics (equal elements consumed
+// pairwise) and produce bit-identical similarities to
+// Similarity()/SimilarityFromOverlap on the pass path, so tie comparisons
+// downstream are floating-point safe.
 
 #ifndef LES3_CORE_VERIFY_H_
 #define LES3_CORE_VERIFY_H_
@@ -21,13 +33,46 @@ struct VerifyResult {
   double similarity = 0;  // exact when passed; a valid upper bound when not
 };
 
-/// \brief Checks Sim(a, b) >= threshold, stopping early when impossible.
+/// \brief Least multiset overlap o such that
+/// SimilarityFromOverlap(m, o, size_a, size_b) >= threshold, under the
+/// exact double arithmetic of the verifiers; min(size_a, size_b) + 1 when
+/// no attainable overlap suffices. The integer form of the early-exit
+/// bound shared by the kernels and their tests.
+size_t MinOverlapForPair(SimilarityMeasure m, size_t size_a, size_t size_b,
+                         double threshold);
+
+/// Linear-merge kernel; best for similarly-sized operands.
+VerifyResult VerifyMerge(SimilarityMeasure m, SetView a, SetView b,
+                         double threshold);
+
+/// Galloping kernel: walks the smaller operand and exponential-searches the
+/// larger; best for heavily skewed sizes.
+VerifyResult VerifyGallop(SimilarityMeasure m, SetView a, SetView b,
+                          double threshold);
+
+/// Variants taking the pair's MinOverlapForPair value precomputed — the
+/// batch loops of search::CandidateVerifier verify size-sorted candidate
+/// runs, so consecutive pairs share (|a|, |b|, threshold) and the bound is
+/// hoisted out of the per-candidate path.
+VerifyResult VerifyMerge(SimilarityMeasure m, SetView a, SetView b,
+                         double threshold, size_t min_overlap);
+VerifyResult VerifyGallop(SimilarityMeasure m, SetView a, SetView b,
+                          double threshold, size_t min_overlap);
+VerifyResult VerifyThreshold(SimilarityMeasure measure, SetView a, SetView b,
+                             double threshold, size_t min_overlap);
+
+/// Size ratio (larger / smaller) at which VerifyThreshold switches from the
+/// linear merge to the galloping kernel.
+inline constexpr size_t kGallopSizeRatio = 16;
+
+/// \brief Checks Sim(a, b) >= threshold, stopping early when impossible;
+/// dispatches to the kernel fitting the operand sizes.
 ///
 /// When the verification fails early, `similarity` holds an upper bound on
 /// the true similarity (sufficient for all callers, which discard failed
 /// candidates). When it passes, `similarity` is exact.
-VerifyResult VerifyThreshold(SimilarityMeasure measure, const SetRecord& a,
-                             const SetRecord& b, double threshold);
+VerifyResult VerifyThreshold(SimilarityMeasure measure, SetView a, SetView b,
+                             double threshold);
 
 }  // namespace les3
 

@@ -15,7 +15,7 @@ BinaryEncoding::BinaryEncoding(uint64_t num_sets) {
   }
 }
 
-void BinaryEncoding::Embed(SetId id, const SetRecord& /*s*/,
+void BinaryEncoding::Embed(SetId id, SetView /*s*/,
                            float* out) const {
   for (size_t i = 0; i < bits_; ++i) {
     out[i] = static_cast<float>((id >> i) & 1u);

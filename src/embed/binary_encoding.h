@@ -19,7 +19,7 @@ class BinaryEncoding : public SetRepresentation {
   explicit BinaryEncoding(uint64_t num_sets);
 
   size_t dim() const override { return bits_; }
-  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  void Embed(SetId id, SetView s, float* out) const override;
   std::string name() const override { return "BinaryEnc"; }
 
  private:

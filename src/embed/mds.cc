@@ -19,7 +19,7 @@ MdsRepresentation::MdsRepresentation(const SetDatabase& db, MdsOptions opts) {
   auto ids = rng.SampleWithoutReplacement(static_cast<uint32_t>(db.size()),
                                           static_cast<uint32_t>(m));
   landmarks_.reserve(m);
-  for (uint32_t id : ids) landmarks_.push_back(db.set(id));
+  for (uint32_t id : ids) landmarks_.emplace_back(db.set(id));
 
   // Squared Jaccard-distance matrix among landmarks.
   std::vector<double> d2(m * m, 0.0);
@@ -65,7 +65,7 @@ MdsRepresentation::MdsRepresentation(const SetDatabase& db, MdsOptions opts) {
   mean_sq_dist_ = row_mean;
 }
 
-void MdsRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+void MdsRepresentation::Embed(SetId /*id*/, SetView s,
                               float* out) const {
   size_t m = landmarks_.size();
   std::vector<double> delta(m);

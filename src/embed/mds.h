@@ -26,7 +26,7 @@ class MdsRepresentation : public SetRepresentation {
   MdsRepresentation(const SetDatabase& db, MdsOptions opts = {});
 
   size_t dim() const override { return dim_; }
-  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  void Embed(SetId id, SetView s, float* out) const override;
   std::string name() const override { return "MDS"; }
 
  private:

@@ -45,7 +45,8 @@ PcaRepresentation::PcaRepresentation(const SetDatabase& db, PcaOptions opts)
 
   // Token occurrence mean over distinct membership.
   mean_.assign(num_tokens_, 0.0);
-  for (const auto& s : db.sets()) {
+  for (SetId i = 0; i < db.size(); ++i) {
+    SetView s = db.set(i);
     TokenId prev = static_cast<TokenId>(-1);
     for (TokenId t : s.tokens()) {
       if (t != prev) mean_[t] += inv_n;
@@ -70,7 +71,8 @@ PcaRepresentation::PcaRepresentation(const SetDatabase& db, PcaOptions opts)
       const auto& v = components_[k];
       for (uint32_t t = 0; t < num_tokens_; ++t) mean_dot[k] += mean_[t] * v[t];
     }
-    for (const auto& s : db.sets()) {
+    for (SetId i = 0; i < db.size(); ++i) {
+      SetView s = db.set(i);
       std::fill(proj.begin(), proj.end(), 0.0);
       TokenId prev = static_cast<TokenId>(-1);
       for (TokenId t : s.tokens()) {
@@ -104,7 +106,8 @@ PcaRepresentation::PcaRepresentation(const SetDatabase& db, PcaOptions opts)
     }
   }
   // One more pass to estimate variance along each component.
-  for (const auto& s : db.sets()) {
+  for (SetId i = 0; i < db.size(); ++i) {
+    SetView s = db.set(i);
     std::fill(proj.begin(), proj.end(), 0.0);
     TokenId prev = static_cast<TokenId>(-1);
     for (TokenId t : s.tokens()) {
@@ -119,7 +122,7 @@ PcaRepresentation::PcaRepresentation(const SetDatabase& db, PcaOptions opts)
   }
 }
 
-void PcaRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+void PcaRepresentation::Embed(SetId /*id*/, SetView s,
                               float* out) const {
   for (size_t k = 0; k < opts_.dim; ++k) {
     double acc = -component_bias_[k];

@@ -24,7 +24,7 @@ class PcaRepresentation : public SetRepresentation {
   PcaRepresentation(const SetDatabase& db, PcaOptions opts = {});
 
   size_t dim() const override { return opts_.dim; }
-  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  void Embed(SetId id, SetView s, float* out) const override;
   std::string name() const override { return "PCA"; }
 
   /// Explained-variance proxies (Rayleigh quotients of the fitted

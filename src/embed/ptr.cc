@@ -34,7 +34,7 @@ int PtrRepresentation::PathBit(TokenId token, size_t i) const {
   return 1 - static_cast<int>(bit);
 }
 
-void PtrRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+void PtrRepresentation::Embed(SetId /*id*/, SetView s,
                               float* out) const {
   std::memset(out, 0, sizeof(float) * dim());
   for (TokenId t : s.tokens()) {
@@ -47,7 +47,7 @@ void PtrRepresentation::Embed(SetId /*id*/, const SetRecord& s,
   }
 }
 
-void PtrHalfRepresentation::Embed(SetId /*id*/, const SetRecord& s,
+void PtrHalfRepresentation::Embed(SetId /*id*/, SetView s,
                                   float* out) const {
   size_t h = full_.height();
   std::memset(out, 0, sizeof(float) * h);

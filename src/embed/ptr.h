@@ -29,7 +29,7 @@ class PtrRepresentation : public SetRepresentation {
   explicit PtrRepresentation(uint32_t num_tokens);
 
   size_t dim() const override { return 2 * height_; }
-  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  void Embed(SetId id, SetView s, float* out) const override;
   std::string name() const override { return "PTR"; }
 
   /// Tree height h = ceil(log2 max(2, num_tokens)).
@@ -50,7 +50,7 @@ class PtrHalfRepresentation : public SetRepresentation {
   explicit PtrHalfRepresentation(uint32_t num_tokens) : full_(num_tokens) {}
 
   size_t dim() const override { return full_.height(); }
-  void Embed(SetId id, const SetRecord& s, float* out) const override;
+  void Embed(SetId id, SetView s, float* out) const override;
   std::string name() const override { return "PTR-half"; }
 
  private:

@@ -30,7 +30,7 @@ class SetRepresentation {
   /// Writes the representation of set `id` (whose record is `s`) into
   /// `out[0..dim())`. PTR-style encoders ignore `id`; Binary Encoding uses
   /// only `id`.
-  virtual void Embed(SetId id, const SetRecord& s, float* out) const = 0;
+  virtual void Embed(SetId id, SetView s, float* out) const = 0;
 
   /// Short display name ("PTR", "PCA", ...).
   virtual std::string name() const = 0;

@@ -32,6 +32,7 @@
 #include "core/stats.h"
 #include "core/tokenizer.h"
 #include "core/types.h"
+#include "core/verify.h"
 #include "datagen/analogs.h"
 #include "datagen/generators.h"
 #include "embed/binary_encoding.h"
@@ -48,6 +49,7 @@
 #include "partition/par_g.h"
 #include "partition/partitioner.h"
 #include "partition/sorted_init.h"
+#include "search/candidate_verifier.h"
 #include "search/les3_index.h"
 #include "search/query_stats.h"
 #include "shard/sharded_engine.h"

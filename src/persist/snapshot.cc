@@ -48,10 +48,26 @@ void EncodeMeta(const SnapshotMeta& meta, uint32_t version, ByteWriter* out) {
 void EncodeDatabase(const SetDatabase& db, ByteWriter* out) {
   out->WriteU32(db.num_tokens());
   out->WriteU32(static_cast<uint32_t>(db.size()));
-  for (const auto& s : db.sets()) {
+  for (SetId i = 0; i < db.size(); ++i) {
+    SetView s = db.set(i);
     out->WriteU32(static_cast<uint32_t>(s.size()));
-    for (TokenId t : s.tokens()) out->WriteU32(t);
+    for (TokenId t : s) out->WriteU32(t);
   }
+}
+
+/// Set sizes of the slice a local Tgm covers, read off the decoded DB
+/// chunk: all sets for a single-index snapshot, every S-th starting at `s`
+/// for shard s of a v2 snapshot. Tgm::Deserialize uses them to re-derive
+/// the in-memory (size, id) member order — never persisted in the format.
+std::vector<uint32_t> SliceSetSizes(const SetDatabase& db, uint32_t s,
+                                    uint32_t num_shards) {
+  std::vector<uint32_t> sizes;
+  sizes.reserve(db.size() / num_shards + 1);
+  for (uint64_t gid = s; gid < db.size(); gid += num_shards) {
+    sizes.push_back(static_cast<uint32_t>(
+        db.set_size(static_cast<SetId>(gid))));
+  }
+  return sizes;
 }
 
 void EncodePartition(const tgm::Tgm& tgm, ByteWriter* out) {
@@ -350,7 +366,8 @@ Result<LoadedSnapshot> DecodeSnapshotV1(ByteReader& reader) {
   }
 
   ByteReader columns(columns_payload, columns_len);
-  auto tgm = tgm::Tgm::Deserialize(snapshot.assignment, num_groups, &columns);
+  auto tgm = tgm::Tgm::Deserialize(snapshot.assignment, num_groups,
+                                   SliceSetSizes(db, 0, 1), &columns);
   if (!tgm.ok()) {
     return Status::FromCode(tgm.status().code(),
                             "TGMC chunk: " + tgm.status().message());
@@ -385,7 +402,17 @@ Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
   bool have_meta = false, have_db = false, have_end = false;
   SetDatabase db;
   // The writer emits one PART immediately followed by that shard's TGMC;
-  // the pending partition bridges the pair.
+  // the pending partition bridges the pair. Column payloads are only
+  // stashed here (spans into the caller's buffer) — decoding waits until
+  // after the loop, when the DB chunk is certainly available to supply the
+  // set sizes the member order is re-derived from.
+  struct PendingShard {
+    std::vector<GroupId> assignment;
+    uint32_t num_groups = 0;
+    const uint8_t* columns_payload = nullptr;
+    uint64_t columns_len = 0;
+  };
+  std::vector<PendingShard> pending_shards;
   std::vector<GroupId> pending_assignment;
   uint32_t pending_groups = 0;
   bool have_pending_part = false;
@@ -426,21 +453,12 @@ Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
           return Status::InvalidArgument(
               "TGMC chunk without a preceding PART chunk");
         }
-        auto tgm =
-            tgm::Tgm::Deserialize(pending_assignment, pending_groups, &chunk);
-        if (!tgm.ok()) {
-          return Status::FromCode(
-              tgm.status().code(),
-              "shard " + std::to_string(snapshot.shards.size()) +
-                  " TGMC chunk: " + tgm.status().message());
-        }
-        if (!chunk.AtEnd()) {
-          return Status::InvalidArgument("trailing bytes in TGMC chunk");
-        }
-        ShardSnapshot shard;
+        PendingShard shard;
         shard.assignment = std::move(pending_assignment);
-        shard.tgm = std::move(tgm).ValueOrDie();
-        snapshot.shards.push_back(std::move(shard));
+        shard.num_groups = pending_groups;
+        shard.columns_payload = payload;
+        shard.columns_len = payload_len;
+        pending_shards.push_back(std::move(shard));
         pending_assignment.clear();
         have_pending_part = false;
         break;
@@ -464,7 +482,7 @@ Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after the END chunk");
   }
-  if (!have_meta || !have_db || snapshot.shards.empty()) {
+  if (!have_meta || !have_db || pending_shards.empty()) {
     return Status::InvalidArgument(
         "snapshot is missing a required chunk (META, DB, PART, TGMC)");
   }
@@ -489,24 +507,40 @@ Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
     return Status::InvalidArgument(
         "META shape disagrees with the DB chunk");
   }
-  if (snapshot.meta.num_shards != snapshot.shards.size()) {
+  if (snapshot.meta.num_shards != pending_shards.size()) {
     return Status::InvalidArgument(
         "META declares " + std::to_string(snapshot.meta.num_shards) +
         " shards but the file holds " +
-        std::to_string(snapshot.shards.size()) + " PART/TGMC pairs");
+        std::to_string(pending_shards.size()) + " PART/TGMC pairs");
   }
   uint64_t total_groups = 0;
-  for (size_t s = 0; s < snapshot.shards.size(); ++s) {
-    const ShardSnapshot& shard = snapshot.shards[s];
+  for (size_t s = 0; s < pending_shards.size(); ++s) {
+    PendingShard& pending = pending_shards[s];
     uint64_t expected = ShardLocalCount(db.size(), static_cast<uint32_t>(s),
                                         snapshot.meta.num_shards);
-    if (shard.assignment.size() != expected) {
+    if (pending.assignment.size() != expected) {
       return Status::InvalidArgument(
           "shard " + std::to_string(s) + " PART covers " +
-          std::to_string(shard.assignment.size()) + " sets; the id-mod-" +
+          std::to_string(pending.assignment.size()) + " sets; the id-mod-" +
           std::to_string(snapshot.meta.num_shards) + " split assigns it " +
           std::to_string(expected));
     }
+    ByteReader columns(pending.columns_payload, pending.columns_len);
+    auto tgm = tgm::Tgm::Deserialize(
+        pending.assignment, pending.num_groups,
+        SliceSetSizes(db, static_cast<uint32_t>(s), snapshot.meta.num_shards),
+        &columns);
+    if (!tgm.ok()) {
+      return Status::FromCode(tgm.status().code(),
+                              "shard " + std::to_string(s) +
+                                  " TGMC chunk: " + tgm.status().message());
+    }
+    if (!columns.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes in TGMC chunk");
+    }
+    ShardSnapshot shard;
+    shard.assignment = std::move(pending.assignment);
+    shard.tgm = std::move(tgm).ValueOrDie();
     if (shard.tgm.num_token_columns() > db.num_tokens()) {
       return Status::InvalidArgument(
           "shard " + std::to_string(s) +
@@ -517,6 +551,7 @@ Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
           "META bitmap backend disagrees with the TGMC chunk");
     }
     total_groups += shard.tgm.num_groups();
+    snapshot.shards.push_back(std::move(shard));
   }
   if (total_groups != snapshot.meta.num_groups) {
     return Status::InvalidArgument(

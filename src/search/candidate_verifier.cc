@@ -1,0 +1,177 @@
+#include "search/candidate_verifier.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/verify.h"
+#include "util/timer.h"
+
+namespace les3 {
+namespace search {
+
+std::vector<Hit> CandidateVerifier::Knn(SetView query, size_t k,
+                                        QueryStats* stats,
+                                        const GroupVisitFn& on_group) const {
+  WallTimer timer;
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats();
+  if (k == 0) return {};
+
+  // A group with matched count 0 shares no token with the query, so every
+  // member has similarity exactly 0; such groups skip the bound heap
+  // entirely and only backfill the result when it underflows k. The empty
+  // query is the one exception (all counts are 0, yet empty sets have
+  // similarity 1), so it keeps every group as a candidate.
+  uint32_t min_count = query.size() == 0 ? 0 : 1;
+  std::vector<uint32_t> counts;
+  std::vector<GroupId> candidates;
+  stats->columns_scanned =
+      tgm_->MatchedCandidates(query, min_count, &counts, &candidates);
+
+  // Groups in descending bound order. Built as a flat vector heapified in
+  // O(|candidates|) — no per-group push cost for groups that will never be
+  // popped: the loop below stops at the first bound strictly below the
+  // running k-th best (an equal bound may still yield an equal-similarity
+  // hit with a smaller id), and everything still on the heap is pre-skipped
+  // wholesale, counted in groups_pruned without touching a member.
+  using GroupEntry = std::pair<double, GroupId>;
+  std::vector<GroupEntry> heap;
+  heap.reserve(candidates.size());
+  for (GroupId g : candidates) {
+    if (tgm_->group_size(g) == 0) continue;
+    heap.emplace_back(GroupUpperBound(measure_, counts[g], query.size()), g);
+  }
+  std::make_heap(heap.begin(), heap.end());
+
+  TopKHits best(k);
+  // Size window implied by the running k-th best; recomputed only when the
+  // k-th best moves. Until the heap is full no window applies (any
+  // similarity can still enter). The pair-overlap bound is likewise cached
+  // per (member size, threshold) run — members arrive size-sorted.
+  SizeBounds window;
+  double window_threshold = -1.0;
+  bool have_window = false;
+  size_t cached_size = static_cast<size_t>(-1);
+  double cached_threshold = -1.0;
+  size_t cached_min_overlap = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    auto [ub, g] = heap.back();
+    heap.pop_back();
+    if (best.full() && ub < best.WorstSimilarity()) break;
+    tgm::Tgm::MemberWindow w;
+    if (best.full()) {
+      double threshold = best.WorstSimilarity();
+      if (!have_window || threshold != window_threshold) {
+        window = SizeBoundsForThreshold(measure_, query.size(), threshold);
+        window_threshold = threshold;
+        have_window = true;
+      }
+      w = tgm_->MembersInSizeWindow(g, window.lo, window.hi);
+      stats->candidates_size_skipped += w.skipped;
+      if (w.begin == w.end) continue;  // window emptied the group
+    } else {
+      w = tgm_->MembersInSizeWindow(g, 0, static_cast<size_t>(-1));
+    }
+    ++stats->groups_visited;
+    if (on_group) on_group(g);
+    const uint32_t* size = w.sizes;
+    for (const SetId* member = w.begin; member != w.end; ++member, ++size) {
+      SetId s = *member;
+      ++stats->candidates_verified;
+      if (!best.full()) {
+        best.Offer(s, Similarity(measure_, query, db_->set(s)));
+        continue;
+      }
+      // Early-terminating verification against the running k-th best; a
+      // candidate tying the k-th similarity still wins on a smaller id,
+      // which Offer resolves under HitOrder.
+      double threshold = best.WorstSimilarity();
+      if (*size != cached_size || threshold != cached_threshold) {
+        cached_size = *size;
+        cached_threshold = threshold;
+        cached_min_overlap =
+            MinOverlapForPair(measure_, query.size(), cached_size, threshold);
+      }
+      VerifyResult v = VerifyThreshold(measure_, query, db_->set(s),
+                                       threshold, cached_min_overlap);
+      if (v.passed) best.Offer(s, v.similarity);
+    }
+  }
+
+  tgm_->BackfillZeroCountGroups(counts, min_count, &best);
+
+  std::vector<Hit> out = best.Take();
+  stats->groups_pruned = tgm_->num_nonempty_groups() - stats->groups_visited;
+  stats->results = out.size();
+  stats->pruning_efficiency =
+      KnnPruningEfficiency(db_->size(), stats->candidates_verified, k);
+  stats->micros = timer.Micros();
+  return out;
+}
+
+std::vector<Hit> CandidateVerifier::Range(SetView query, double delta,
+                                          QueryStats* stats,
+                                          const GroupVisitFn& on_group) const {
+  WallTimer timer;
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats();
+
+  // Least matched count any δ-result's group must reach; the TGM prunes
+  // groups below it during candidate generation (and short-circuits the
+  // whole scan when the query cannot attain it).
+  size_t min_count = MinOverlapForThreshold(measure_, query.size(), delta);
+  if (min_count > query.size()) {
+    // The threshold is unreachable even by an identical set.
+    stats->micros = timer.Micros();
+    return {};
+  }
+  std::vector<uint32_t> counts;
+  std::vector<GroupId> candidates;
+  stats->columns_scanned = tgm_->MatchedCandidates(
+      query, static_cast<uint32_t>(min_count), &counts, &candidates);
+
+  // The δ-implied length filter, shared by every visited group.
+  SizeBounds window = SizeBoundsForThreshold(measure_, query.size(), delta);
+  std::vector<Hit> out;
+  // Members come in ascending size order, so the pair-overlap bound — a
+  // function of (|Q|, |S|, δ) only — is recomputed once per size run, not
+  // per candidate.
+  size_t cached_size = static_cast<size_t>(-1);
+  size_t cached_min_overlap = 0;
+  for (GroupId g : candidates) {
+    if (tgm_->group_size(g) == 0) continue;
+    // counts[g] >= min_count already implies UB(Q, G_g) >= delta
+    // (GroupUpperBound is monotone in the matched count).
+    tgm::Tgm::MemberWindow w =
+        tgm_->MembersInSizeWindow(g, window.lo, window.hi);
+    stats->candidates_size_skipped += w.skipped;
+    if (w.begin == w.end) continue;  // every member outside the window
+    ++stats->groups_visited;
+    if (on_group) on_group(g);
+    const uint32_t* size = w.sizes;
+    for (const SetId* member = w.begin; member != w.end; ++member, ++size) {
+      ++stats->candidates_verified;
+      if (*size != cached_size) {
+        cached_size = *size;
+        cached_min_overlap =
+            MinOverlapForPair(measure_, query.size(), cached_size, delta);
+      }
+      VerifyResult v = VerifyThreshold(measure_, query, db_->set(*member),
+                                       delta, cached_min_overlap);
+      if (v.passed) out.emplace_back(*member, v.similarity);
+    }
+  }
+  SortHits(&out);
+  stats->groups_pruned = tgm_->num_nonempty_groups() - stats->groups_visited;
+  stats->results = out.size();
+  stats->pruning_efficiency = RangePruningEfficiency(
+      db_->size(), stats->candidates_verified, out.size());
+  stats->micros = timer.Micros();
+  return out;
+}
+
+}  // namespace search
+}  // namespace les3

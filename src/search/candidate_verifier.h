@@ -1,0 +1,78 @@
+// CandidateVerifier — the one cache-resident verification pipeline behind
+// every LES3-family engine (memory, disk, and each shard of the sharded
+// engine).
+//
+// The pipeline per query:
+//   1. Candidate generation: Tgm::MatchedCandidates computes every group's
+//      matched-token count in one fused pass and prunes groups below the
+//      threshold-implied minimum (Theorem 3.1).
+//   2. Group traversal: range queries visit every surviving group; kNN
+//      visits them in descending bound order off a binary heap and stops at
+//      the first bound strictly below the running k-th best (groups never
+//      popped count toward groups_pruned — they are pre-skipped without a
+//      single member touched).
+//   3. Length filter: each visited group's members are ordered by set size
+//      (tgm/tgm.h), so the candidate-size window implied by the threshold
+//      (core/similarity.h SizeBoundsForThreshold — for kNN, the running
+//      k-th best) binary-searches down to the one contiguous run that can
+//      still qualify; everything outside is counted in
+//      QueryStats::candidates_size_skipped.
+//   4. Kernel verification: survivors run through the adaptive
+//      VerifyThreshold kernels (core/verify.h) over SetViews into the
+//      database's CSR token arena — no per-candidate pointer chasing.
+//
+// Exactness: steps 2–4 only ever discard candidates whose best attainable
+// similarity is STRICTLY below the governing threshold under the identical
+// double arithmetic the verifier uses, so results — ties included — match
+// brute force exactly (the property suite holds every backend to this).
+
+#ifndef LES3_SEARCH_CANDIDATE_VERIFIER_H_
+#define LES3_SEARCH_CANDIDATE_VERIFIER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "core/types.h"
+#include "search/query_stats.h"
+#include "tgm/tgm.h"
+
+namespace les3 {
+namespace search {
+
+/// \brief Shared candidate generation + size filter + kernel verification.
+///
+/// A thin view over an index's TGM, database, and measure (cheap to
+/// construct per query); owns no state, so one instance is safe to use
+/// from any number of threads.
+class CandidateVerifier {
+ public:
+  /// Fires once per group whose members are about to be verified — the
+  /// disk engine charges its extent read here. Groups pre-skipped by the
+  /// bound or emptied by the size window never fire.
+  using GroupVisitFn = std::function<void(GroupId)>;
+
+  CandidateVerifier(const tgm::Tgm* tgm, const SetDatabase* db,
+                    SimilarityMeasure measure)
+      : tgm_(tgm), db_(db), measure_(measure) {}
+
+  /// Exact kNN (Definition 2.1). Fills `stats` (ignored when null) and
+  /// returns hits sorted by HitOrder.
+  std::vector<Hit> Knn(SetView query, size_t k, QueryStats* stats,
+                       const GroupVisitFn& on_group = {}) const;
+
+  /// Exact range search (Definition 2.2).
+  std::vector<Hit> Range(SetView query, double delta, QueryStats* stats,
+                         const GroupVisitFn& on_group = {}) const;
+
+ private:
+  const tgm::Tgm* tgm_;
+  const SetDatabase* db_;
+  SimilarityMeasure measure_;
+};
+
+}  // namespace search
+}  // namespace les3
+
+#endif  // LES3_SEARCH_CANDIDATE_VERIFIER_H_

@@ -1,15 +1,10 @@
 #include "search/les3_index.h"
 
-#include "core/verify.h"
-
-#include <algorithm>
-#include <queue>
-
-#include "util/logging.h"
-#include "util/timer.h"
+#include <utility>
 
 namespace les3 {
 namespace search {
+
 Les3Index::Les3Index(SetDatabase db, const std::vector<GroupId>& assignment,
                      uint32_t num_groups, SimilarityMeasure measure,
                      bitmap::BitmapBackend bitmap_backend)
@@ -30,111 +25,20 @@ Les3Index::Les3Index(std::shared_ptr<SetDatabase> db, tgm::Tgm tgm,
                      SimilarityMeasure measure)
     : db_(std::move(db)), tgm_(std::move(tgm)), measure_(measure) {}
 
-std::vector<Hit> Les3Index::Knn(const SetRecord& query, size_t k,
+std::vector<Hit> Les3Index::Knn(SetView query, size_t k,
                                 QueryStats* stats) const {
-  WallTimer timer;
-  QueryStats local;
-  if (stats == nullptr) stats = &local;
-  *stats = QueryStats();
-  if (k == 0) return {};
-
-  // A group with matched count 0 shares no token with the query, so every
-  // member has similarity exactly 0; such groups skip the bound heap
-  // entirely and only backfill the result when it underflows k. The empty
-  // query is the one exception (all counts are 0, yet empty sets have
-  // similarity 1), so it keeps every group as a candidate.
-  uint32_t min_count = query.size() == 0 ? 0 : 1;
-  std::vector<uint32_t> counts;
-  std::vector<GroupId> candidates;
-  stats->columns_scanned =
-      tgm_.MatchedCandidates(query, min_count, &counts, &candidates);
-
-  // Groups in descending bound order; a max-heap lets us stop at the first
-  // bound strictly below the running k-th best similarity (an equal bound
-  // may still yield an equal-similarity hit with a smaller id).
-  using GroupEntry = std::pair<double, GroupId>;
-  std::priority_queue<GroupEntry> groups;
-  for (GroupId g : candidates) {
-    if (tgm_.group_size(g) == 0) continue;
-    groups.push({GroupUpperBound(measure_, counts[g], query.size()), g});
-  }
-
-  TopKHits best(k);
-  while (!groups.empty()) {
-    auto [ub, g] = groups.top();
-    groups.pop();
-    if (best.full() && ub < best.WorstSimilarity()) break;
-    ++stats->groups_visited;
-    for (SetId s : tgm_.group_members(g)) {
-      ++stats->candidates_verified;
-      if (!best.full()) {
-        best.Offer(s, Similarity(measure_, query, db_->set(s)));
-        continue;
-      }
-      // Early-terminating verification against the running k-th best; a
-      // candidate tying the k-th similarity still wins on a smaller id,
-      // which Offer resolves under HitOrder.
-      VerifyResult v =
-          VerifyThreshold(measure_, query, db_->set(s), best.WorstSimilarity());
-      if (v.passed) best.Offer(s, v.similarity);
-    }
-  }
-
-  tgm_.BackfillZeroCountGroups(counts, min_count, &best);
-
-  std::vector<Hit> out = best.Take();
-  stats->groups_pruned = tgm_.num_nonempty_groups() - stats->groups_visited;
-  stats->results = out.size();
-  stats->pruning_efficiency =
-      KnnPruningEfficiency(db_->size(), stats->candidates_verified, k);
-  stats->micros = timer.Micros();
-  return out;
+  return verifier().Knn(query, k, stats);
 }
 
-std::vector<Hit> Les3Index::Range(const SetRecord& query, double delta,
+std::vector<Hit> Les3Index::Range(SetView query, double delta,
                                   QueryStats* stats) const {
-  WallTimer timer;
-  QueryStats local;
-  if (stats == nullptr) stats = &local;
-  *stats = QueryStats();
-
-  // Least matched count any δ-result's group must reach; the TGM prunes
-  // groups below it during candidate generation (and short-circuits the
-  // whole scan when the query cannot attain it).
-  size_t min_count = MinOverlapForThreshold(measure_, query.size(), delta);
-  std::vector<uint32_t> counts;
-  std::vector<GroupId> candidates;
-  if (min_count > query.size()) {
-    // The threshold is unreachable even by an identical set.
-    stats->micros = timer.Micros();
-    return {};
-  }
-  stats->columns_scanned = tgm_.MatchedCandidates(
-      query, static_cast<uint32_t>(min_count), &counts, &candidates);
-
-  std::vector<Hit> out;
-  for (GroupId g : candidates) {
-    if (tgm_.group_size(g) == 0) continue;
-    // counts[g] >= min_count already implies UB(Q, G_g) >= delta
-    // (GroupUpperBound is monotone in the matched count).
-    ++stats->groups_visited;
-    for (SetId s : tgm_.group_members(g)) {
-      ++stats->candidates_verified;
-      VerifyResult v = VerifyThreshold(measure_, query, db_->set(s), delta);
-      if (v.passed) out.emplace_back(s, v.similarity);
-    }
-  }
-  SortHits(&out);
-  stats->groups_pruned = tgm_.num_nonempty_groups() - stats->groups_visited;
-  stats->results = out.size();
-  stats->pruning_efficiency = RangePruningEfficiency(
-      db_->size(), stats->candidates_verified, out.size());
-  stats->micros = timer.Micros();
-  return out;
+  return verifier().Range(query, delta, stats);
 }
 
 SetId Les3Index::Insert(SetRecord set) {
-  SetId id = db_->AddSet(set);  // copy stays valid for the TGM update
+  SetId id = db_->AddSet(set);
+  // The view into the freshly appended arena tail stays valid through the
+  // TGM update (no intervening AddSet).
   tgm_.AddSet(id, db_->set(id), measure_);
   return id;
 }

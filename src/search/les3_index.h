@@ -1,12 +1,14 @@
 // The LES3 search engine: exact kNN and range set-similarity search over a
 // TGM-indexed, group-partitioned database (paper Sections 3 and 6).
 //
-// Query processing is group-at-a-time: the TGM yields an upper bound on the
-// similarity between the query and every set of each group in one pass;
-// groups are then visited in bound order (kNN) or bound-filtered (range),
-// and only surviving groups have their members verified with the exact
-// similarity. Results are exact for every measure satisfying the TGM
-// Applicability Property (Theorem 3.1).
+// Query processing is group-at-a-time and runs entirely through the shared
+// CandidateVerifier pipeline (search/candidate_verifier.h): the TGM yields
+// an upper bound on the similarity between the query and every set of each
+// group in one pass; groups are then visited in bound order (kNN) or
+// bound-filtered (range), each visited group is narrowed to the members
+// whose sizes can still attain the governing threshold, and only those run
+// the adaptive verification kernels. Results are exact for every measure
+// satisfying the TGM Applicability Property (Theorem 3.1).
 
 #ifndef LES3_SEARCH_LES3_INDEX_H_
 #define LES3_SEARCH_LES3_INDEX_H_
@@ -17,6 +19,7 @@
 #include "core/database.h"
 #include "core/similarity.h"
 #include "core/types.h"
+#include "search/candidate_verifier.h"
 #include "search/query_stats.h"
 #include "tgm/tgm.h"
 
@@ -58,12 +61,12 @@ class Les3Index {
 
   /// Exact kNN (Definition 2.1): the k most similar sets, sorted by
   /// descending similarity (ties by ascending id).
-  std::vector<Hit> Knn(const SetRecord& query, size_t k,
+  std::vector<Hit> Knn(SetView query, size_t k,
                        QueryStats* stats = nullptr) const;
 
   /// Exact range search (Definition 2.2): all sets with Sim >= delta,
   /// sorted by descending similarity.
-  std::vector<Hit> Range(const SetRecord& query, double delta,
+  std::vector<Hit> Range(SetView query, double delta,
                          QueryStats* stats = nullptr) const;
 
   /// Inserts a new set (tokens may be previously unseen); returns its id.
@@ -81,6 +84,10 @@ class Les3Index {
   uint64_t IndexBytes() const { return tgm_.MemoryBytes(); }
 
  private:
+  CandidateVerifier verifier() const {
+    return CandidateVerifier(&tgm_, db_.get(), measure_);
+  }
+
   std::shared_ptr<SetDatabase> db_;
   tgm::Tgm tgm_;
   SimilarityMeasure measure_;

@@ -137,7 +137,7 @@ ShardedEngine::Probe ShardedEngine::RunProbe(
   return probe;
 }
 
-ShardedEngine::Probe ShardedEngine::ProbeKnn(size_t s, const SetRecord& query,
+ShardedEngine::Probe ShardedEngine::ProbeKnn(size_t s, SetView query,
                                              size_t k) const {
   return RunProbe(s,
                   [&](const search::Les3Index& index,
@@ -147,7 +147,7 @@ ShardedEngine::Probe ShardedEngine::ProbeKnn(size_t s, const SetRecord& query,
 }
 
 ShardedEngine::Probe ShardedEngine::ProbeRange(size_t s,
-                                               const SetRecord& query,
+                                               SetView query,
                                                double delta) const {
   return RunProbe(s,
                   [&](const search::Les3Index& index,
@@ -161,6 +161,7 @@ void ShardedEngine::AccumulateProbe(const Probe& probe,
                                     uint64_t* db_size,
                                     double* critical_path) {
   stats->candidates_verified += probe.stats.candidates_verified;
+  stats->candidates_size_skipped += probe.stats.candidates_size_skipped;
   stats->groups_visited += probe.stats.groups_visited;
   stats->groups_pruned += probe.stats.groups_pruned;
   stats->columns_scanned += probe.stats.columns_scanned;
@@ -209,7 +210,7 @@ api::QueryResult ShardedEngine::MergeRange(std::vector<Probe> probes) const {
   return out;
 }
 
-api::QueryResult ShardedEngine::Knn(const SetRecord& query, size_t k) const {
+api::QueryResult ShardedEngine::Knn(SetView query, size_t k) const {
   WallTimer timer;
   const size_t num_shards = shards_.size();
   std::vector<Probe> probes(num_shards);
@@ -224,7 +225,7 @@ api::QueryResult ShardedEngine::Knn(const SetRecord& query, size_t k) const {
   return out;
 }
 
-api::QueryResult ShardedEngine::Range(const SetRecord& query,
+api::QueryResult ShardedEngine::Range(SetView query,
                                       double delta) const {
   WallTimer timer;
   const size_t num_shards = shards_.size();

@@ -65,11 +65,11 @@ class ShardedEngine : public api::SearchEngine {
 
   /// Exact global kNN by scatter-gather (see file comment). Safe
   /// concurrently with Insert.
-  api::QueryResult Knn(const SetRecord& query, size_t k) const override;
+  api::QueryResult Knn(SetView query, size_t k) const override;
 
   /// Exact global range search: per-shard exact answers, concatenated and
   /// re-sorted under HitOrder. Safe concurrently with Insert.
-  api::QueryResult Range(const SetRecord& query, double delta) const override;
+  api::QueryResult Range(SetView query, double delta) const override;
 
   /// Batch queries stripe (query, shard) probe units across ONE thread
   /// pool instead of layering a per-query pool over a per-shard pool.
@@ -137,8 +137,8 @@ class ShardedEngine : public api::SearchEngine {
                  const std::function<std::vector<Hit>(
                      const search::Les3Index&, search::QueryStats*)>& run)
       const;
-  Probe ProbeKnn(size_t s, const SetRecord& query, size_t k) const;
-  Probe ProbeRange(size_t s, const SetRecord& query, double delta) const;
+  Probe ProbeKnn(size_t s, SetView query, size_t k) const;
+  Probe ProbeRange(size_t s, SetView query, double delta) const;
 
   /// Sums one probe's counters into `stats` and tracks the whole-database
   /// size and the slowest probe (the scatter-gather critical path).

@@ -1,5 +1,7 @@
 #include "storage/disk_search.h"
 
+#include "search/candidate_verifier.h"
+
 #include <algorithm>
 #include <queue>
 
@@ -41,85 +43,30 @@ DiskLes3::DiskLes3(const SetDatabase* db, tgm::Tgm tgm,
                                           tgm_.num_groups())),
       disk_(disk) {}
 
-DiskQueryResult DiskLes3::Knn(const SetRecord& query, size_t k) const {
-  WallTimer timer;
+DiskQueryResult DiskLes3::Knn(SetView query, size_t k) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
-
-  // As in Les3Index::Knn: zero-count groups share no token with the query,
-  // so their members' similarities are exactly 0 — known without fetching
-  // anything from disk. They skip the bound heap (and the extent reads)
-  // and only backfill the result when it underflows k or ties at 0.
-  uint32_t min_count = query.size() == 0 ? 0 : 1;
-  std::vector<uint32_t> counts;
-  std::vector<GroupId> candidates;
-  result.stats.columns_scanned =
-      tgm_.MatchedCandidates(query, min_count, &counts, &candidates);
-  std::priority_queue<std::pair<double, GroupId>> groups;
-  for (GroupId g : candidates) {
-    if (tgm_.group_size(g) == 0) continue;
-    groups.push({GroupUpperBound(measure_, counts[g], query.size()), g});
-  }
-  TopKHits best(k);
-  while (!groups.empty()) {
-    auto [ub, g] = groups.top();
-    groups.pop();
-    // Strictly-lower bounds only: an equal bound may still yield an
-    // equal-similarity hit with a smaller id (HitOrder tie-handling).
-    if (best.full() && ub < best.WorstSimilarity()) break;
-    ++result.stats.groups_visited;
+  // The shared pipeline (bound-ordered traversal, size window, kernels);
+  // each group whose members get verified costs one seek plus a sequential
+  // read of its contiguous extent. Groups the size window empties are not
+  // fetched at all — the filter saves I/O here, not just CPU.
+  search::CandidateVerifier verifier(&tgm_, db_, measure_);
+  result.hits = verifier.Knn(query, k, &result.stats, [&](GroupId g) {
     const Extent& extent = layout_.group_extent(g);
-    sim.Read(extent.offset, extent.bytes);  // one seek + sequential extent
-    for (SetId s : tgm_.group_members(g)) {
-      ++result.stats.candidates_verified;
-      best.Offer(s, Similarity(measure_, query, db_->set(s)));
-    }
-  }
-  tgm_.BackfillZeroCountGroups(counts, min_count, &best);
-  result.hits = best.Take();
-  result.stats.results = result.hits.size();
-  result.stats.pruning_efficiency = search::KnnPruningEfficiency(
-      db_->size(), result.stats.candidates_verified, k);
-  result.stats.micros = timer.Micros();
+    sim.Read(extent.offset, extent.bytes);
+  });
   FillDiskCounters(sim, &result);
   return result;
 }
 
-DiskQueryResult DiskLes3::Range(const SetRecord& query, double delta) const {
-  WallTimer timer;
+DiskQueryResult DiskLes3::Range(SetView query, double delta) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
-
-  // As in Les3Index::Range: the TGM prunes groups below the least matched
-  // count any δ-result's group must reach (counts[g] >= min_count implies
-  // UB(Q, G_g) >= delta by monotonicity), and the whole scan short-circuits
-  // when the threshold is unreachable even by an identical set.
-  size_t min_count = MinOverlapForThreshold(measure_, query.size(), delta);
-  if (min_count > query.size()) {
-    result.stats.micros = timer.Micros();
-    FillDiskCounters(sim, &result);
-    return result;
-  }
-  std::vector<uint32_t> counts;
-  std::vector<GroupId> candidates;
-  result.stats.columns_scanned = tgm_.MatchedCandidates(
-      query, static_cast<uint32_t>(min_count), &counts, &candidates);
-  for (GroupId g : candidates) {
-    if (tgm_.group_size(g) == 0) continue;
-    ++result.stats.groups_visited;
+  search::CandidateVerifier verifier(&tgm_, db_, measure_);
+  result.hits = verifier.Range(query, delta, &result.stats, [&](GroupId g) {
     const Extent& extent = layout_.group_extent(g);
     sim.Read(extent.offset, extent.bytes);
-    for (SetId s : tgm_.group_members(g)) {
-      double simval = Similarity(measure_, query, db_->set(s));
-      ++result.stats.candidates_verified;
-      if (simval >= delta) result.hits.emplace_back(s, simval);
-    }
-  }
-  SortHits(&result.hits);
-  result.stats.results = result.hits.size();
-  result.stats.pruning_efficiency = search::RangePruningEfficiency(
-      db_->size(), result.stats.candidates_verified, result.hits.size());
-  result.stats.micros = timer.Micros();
+  });
   FillDiskCounters(sim, &result);
   return result;
 }
@@ -134,7 +81,7 @@ DiskBruteForce::DiskBruteForce(const SetDatabase* db,
       layout_(DiskLayout::IdOrdered(*db)),
       disk_(disk) {}
 
-DiskQueryResult DiskBruteForce::Knn(const SetRecord& query, size_t k) const {
+DiskQueryResult DiskBruteForce::Knn(SetView query, size_t k) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
   sim.Read(0, layout_.total_bytes());  // one full sequential scan
@@ -143,7 +90,7 @@ DiskQueryResult DiskBruteForce::Knn(const SetRecord& query, size_t k) const {
   return result;
 }
 
-DiskQueryResult DiskBruteForce::Range(const SetRecord& query,
+DiskQueryResult DiskBruteForce::Range(SetView query,
                                       double delta) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
@@ -188,7 +135,7 @@ void DiskInvIdx::ChargeFilter(const baselines::InvIdx::FilterResult& filter,
   }
 }
 
-DiskQueryResult DiskInvIdx::Range(const SetRecord& query,
+DiskQueryResult DiskInvIdx::Range(SetView query,
                                   double delta) const {
   WallTimer timer;
   DiskQueryResult result;
@@ -209,7 +156,7 @@ DiskQueryResult DiskInvIdx::Range(const SetRecord& query,
   return result;
 }
 
-DiskQueryResult DiskInvIdx::Knn(const SetRecord& query, size_t k) const {
+DiskQueryResult DiskInvIdx::Knn(SetView query, size_t k) const {
   WallTimer timer;
   DiskQueryResult result;
   DiskSimulator sim(disk_);
@@ -282,13 +229,13 @@ DiskQueryResult DiskDualTrans::Charge(
   return result;
 }
 
-DiskQueryResult DiskDualTrans::Knn(const SetRecord& query, size_t k) const {
+DiskQueryResult DiskDualTrans::Knn(SetView query, size_t k) const {
   search::QueryStats stats;
   auto hits = index_.Knn(query, k, &stats);
   return Charge(std::move(hits), stats);
 }
 
-DiskQueryResult DiskDualTrans::Range(const SetRecord& query,
+DiskQueryResult DiskDualTrans::Range(SetView query,
                                      double delta) const {
   search::QueryStats stats;
   auto hits = index_.Range(query, delta, &stats);

@@ -3,7 +3,10 @@
 // All four methods run the same in-memory algorithms as their memory-mode
 // counterparts while charging every data access to a DiskSimulator:
 //   - DiskLes3: TGM in memory (it is tiny); each surviving group costs one
-//     seek plus a sequential read of its contiguous extent.
+//     seek plus a sequential read of its contiguous extent. Queries run
+//     the shared CandidateVerifier pipeline (search/candidate_verifier.h),
+//     so the size window can skip a whole group's extent read when no
+//     member size can attain the threshold.
 //   - DiskBruteForce: one sequential scan of the whole file.
 //   - DiskInvIdx: posting reads for the query prefix plus one random set
 //     read per candidate (candidates sorted by id, so physically adjacent
@@ -57,8 +60,8 @@ class DiskLes3 {
   DiskLes3(const SetDatabase* db, tgm::Tgm tgm, SimilarityMeasure measure,
            DiskOptions disk = {});
 
-  DiskQueryResult Knn(const SetRecord& query, size_t k) const;
-  DiskQueryResult Range(const SetRecord& query, double delta) const;
+  DiskQueryResult Knn(SetView query, size_t k) const;
+  DiskQueryResult Range(SetView query, double delta) const;
 
   uint64_t IndexBytes() const { return tgm_.MemoryBytes(); }
 
@@ -80,8 +83,8 @@ class DiskBruteForce {
   DiskBruteForce(const SetDatabase* db, SimilarityMeasure measure,
                  DiskOptions disk = {});
 
-  DiskQueryResult Knn(const SetRecord& query, size_t k) const;
-  DiskQueryResult Range(const SetRecord& query, double delta) const;
+  DiskQueryResult Knn(SetView query, size_t k) const;
+  DiskQueryResult Range(SetView query, double delta) const;
 
  private:
   const SetDatabase* db_;
@@ -96,8 +99,8 @@ class DiskInvIdx {
   DiskInvIdx(const SetDatabase* db, baselines::InvIdxOptions options,
              DiskOptions disk = {});
 
-  DiskQueryResult Knn(const SetRecord& query, size_t k) const;
-  DiskQueryResult Range(const SetRecord& query, double delta) const;
+  DiskQueryResult Knn(SetView query, size_t k) const;
+  DiskQueryResult Range(SetView query, double delta) const;
 
   uint64_t IndexBytes() const { return index_.IndexBytes(); }
 
@@ -120,8 +123,8 @@ class DiskDualTrans {
   DiskDualTrans(const SetDatabase* db, baselines::DualTransOptions options,
                 DiskOptions disk = {});
 
-  DiskQueryResult Knn(const SetRecord& query, size_t k) const;
-  DiskQueryResult Range(const SetRecord& query, double delta) const;
+  DiskQueryResult Knn(SetView query, size_t k) const;
+  DiskQueryResult Range(SetView query, double delta) const;
 
   uint64_t IndexBytes() const { return index_.IndexBytes(); }
 

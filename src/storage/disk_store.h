@@ -44,7 +44,7 @@ class DiskLayout {
   uint64_t total_bytes() const { return total_bytes_; }
 
   /// Serialized size of one set record.
-  static uint64_t SetBytes(const SetRecord& s) {
+  static uint64_t SetBytes(SetView s) {
     return sizeof(uint32_t) * (1 + s.size());
   }
 

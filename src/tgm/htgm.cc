@@ -57,7 +57,7 @@ Htgm::Htgm(const SetDatabase& db, std::vector<HtgmLevelSpec> specs,
   }
 }
 
-Htgm::WeightedQuery Htgm::Canonicalize(const SetRecord& query) {
+Htgm::WeightedQuery Htgm::Canonicalize(SetView query) {
   WeightedQuery out;
   ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
     out.emplace_back(t, m);
@@ -74,7 +74,7 @@ uint32_t Htgm::Matched(const Node& node, const WeightedQuery& query,
 }
 
 std::vector<Hit> Htgm::Knn(const SetDatabase& db,
-                                                const SetRecord& query,
+                                                SetView query,
                                                 size_t k,
                                                 SimilarityMeasure measure,
                                                 HtgmQueryCost* cost) const {
@@ -120,7 +120,7 @@ std::vector<Hit> Htgm::Knn(const SetDatabase& db,
 }
 
 std::vector<Hit> Htgm::Range(const SetDatabase& db,
-                                                  const SetRecord& query,
+                                                  SetView query,
                                                   double delta,
                                                   SimilarityMeasure measure,
                                                   HtgmQueryCost* cost) const {
@@ -154,7 +154,7 @@ std::vector<Hit> Htgm::Range(const SetDatabase& db,
   return out;
 }
 
-GroupId Htgm::AddSet(SetId id, const SetRecord& set,
+GroupId Htgm::AddSet(SetId id, SetView set,
                      SimilarityMeasure measure) {
   HtgmQueryCost scratch;
   WeightedQuery ws = Canonicalize(set);

@@ -48,13 +48,13 @@ class Htgm {
 
   /// Exact kNN via best-first descent over group upper bounds.
   std::vector<Hit> Knn(const SetDatabase& db,
-                                            const SetRecord& query, size_t k,
+                                            SetView query, size_t k,
                                             SimilarityMeasure measure,
                                             HtgmQueryCost* cost) const;
 
   /// Exact range search.
   std::vector<Hit> Range(const SetDatabase& db,
-                                              const SetRecord& query,
+                                              SetView query,
                                               double delta,
                                               SimilarityMeasure measure,
                                               HtgmQueryCost* cost) const;
@@ -68,7 +68,7 @@ class Htgm {
   /// token bitmaps along the path absorb its tokens (previously unseen
   /// tokens included). `id` must be the set's index in the database used
   /// for searching. Returns the finest-level group it joined.
-  GroupId AddSet(SetId id, const SetRecord& set, SimilarityMeasure measure);
+  GroupId AddSet(SetId id, SetView set, SimilarityMeasure measure);
 
   /// Number of sets under finest-level group `g`.
   size_t GroupSize(GroupId g) const {
@@ -87,7 +87,7 @@ class Htgm {
   /// multiplicity) pairs in ascending token order, so every node probe is
   /// one batched WeightedIntersect instead of a re-deduplicating scan.
   using WeightedQuery = std::vector<std::pair<uint32_t, uint32_t>>;
-  static WeightedQuery Canonicalize(const SetRecord& query);
+  static WeightedQuery Canonicalize(SetView query);
 
   /// Matched-token count of the canonicalized query against a node.
   uint32_t Matched(const Node& node, const WeightedQuery& query,

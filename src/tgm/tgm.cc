@@ -1,6 +1,7 @@
 #include "tgm/tgm.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "bitmap/kernels.h"
 #include "persist/bytes.h"
@@ -8,6 +9,24 @@
 
 namespace les3 {
 namespace tgm {
+
+template <typename SizeFn>
+void Tgm::OrderMembersBySize(const SizeFn& size_of) {
+  member_sizes_.resize(members_.size());
+  for (GroupId g = 0; g < members_.size(); ++g) {
+    auto& ids = members_[g];
+    // Members arrive in ascending id; a stable sort on size alone yields
+    // the canonical (size, id) order.
+    std::stable_sort(ids.begin(), ids.end(), [&](SetId a, SetId b) {
+      return size_of(a) < size_of(b);
+    });
+    auto& sizes = member_sizes_[g];
+    sizes.resize(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      sizes[i] = static_cast<uint32_t>(size_of(ids[i]));
+    }
+  }
+}
 
 Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
          uint32_t num_groups, bitmap::BitmapBackend bitmap_backend)
@@ -19,13 +38,14 @@ Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
     LES3_CHECK_LT(assignment[i], num_groups);
     members_[assignment[i]].push_back(i);
   }
+  OrderMembersBySize([&](SetId id) { return db.set_size(id); });
   for (const auto& m : members_) nonempty_groups_ += !m.empty();
   // Build columns via per-token sorted group lists (bulk build).
   std::vector<std::vector<GroupId>> token_groups(db.num_tokens());
   for (SetId i = 0; i < db.size(); ++i) {
     GroupId g = assignment[i];
     TokenId prev = static_cast<TokenId>(-1);
-    for (TokenId t : db.set(i).tokens()) {
+    for (TokenId t : db.set(i)) {
       if (t == prev) continue;
       prev = t;
       token_groups[t].push_back(g);
@@ -42,8 +62,31 @@ Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
   }
 }
 
-size_t Tgm::MatchedCounts(const SetRecord& query,
-                          std::vector<uint32_t>* counts) const {
+Tgm::MemberWindow Tgm::MembersInSizeWindow(GroupId g, size_t size_lo,
+                                           size_t size_hi) const {
+  const auto& ids = members_[g];
+  const auto& sizes = member_sizes_[g];
+  MemberWindow window;
+  auto first = sizes.begin();
+  if (size_lo > 0xFFFFFFFFu) {
+    first = sizes.end();  // member sizes are 32-bit; nothing can qualify
+  } else if (size_lo > 0) {
+    first = std::lower_bound(sizes.begin(), sizes.end(),
+                             static_cast<uint32_t>(size_lo));
+  }
+  auto last = sizes.end();
+  if (size_hi < 0xFFFFFFFFu) {
+    last = std::upper_bound(first, sizes.end(),
+                            static_cast<uint32_t>(size_hi));
+  }
+  window.begin = ids.data() + (first - sizes.begin());
+  window.end = ids.data() + (last - sizes.begin());
+  window.sizes = sizes.data() + (first - sizes.begin());
+  window.skipped = ids.size() - window.count();
+  return window;
+}
+
+size_t Tgm::MatchedCounts(SetView query, std::vector<uint32_t>* counts) const {
   // One accumulator per thread: its difference array is all-zero between
   // uses and carries no index-specific state, so reusing it only saves the
   // per-query allocation (batch queries run on a thread pool, so this must
@@ -51,7 +94,7 @@ size_t Tgm::MatchedCounts(const SetRecord& query,
   static thread_local bitmap::GroupCountAccumulator acc;
   acc.Reset(num_groups(), counts);
   size_t columns_visited = 0;
-  ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
+  ForEachTokenMultiplicity(query, [&](TokenId t, uint32_t m) {
     if (t >= columns_.size()) return;  // token outside T: M[*, t] = 0
     const bitmap::BitmapColumn& col = columns_[t];
     if (col.Empty()) return;
@@ -62,7 +105,7 @@ size_t Tgm::MatchedCounts(const SetRecord& query,
   return columns_visited;
 }
 
-size_t Tgm::MatchedCandidates(const SetRecord& query, uint32_t min_count,
+size_t Tgm::MatchedCandidates(SetView query, uint32_t min_count,
                               std::vector<uint32_t>* counts,
                               std::vector<GroupId>* candidates) const {
   candidates->clear();
@@ -70,7 +113,7 @@ size_t Tgm::MatchedCandidates(const SetRecord& query, uint32_t min_count,
   // attain min_count, no column scan can produce a candidate.
   if (min_count > 0) {
     uint32_t attainable = 0;
-    ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
+    ForEachTokenMultiplicity(query, [&](TokenId t, uint32_t m) {
       if (t < columns_.size() && !columns_[t].Empty()) attainable += m;
     });
     if (attainable < min_count) {
@@ -99,11 +142,11 @@ void Tgm::BackfillZeroCountGroups(const std::vector<uint32_t>& counts,
   }
 }
 
-size_t Tgm::MatchedCountsReference(const SetRecord& query,
+size_t Tgm::MatchedCountsReference(SetView query,
                                    std::vector<uint32_t>* counts) const {
   counts->assign(num_groups(), 0);
   size_t columns_visited = 0;
-  ForEachTokenMultiplicity(query.tokens(), [&](TokenId t, uint32_t m) {
+  ForEachTokenMultiplicity(query, [&](TokenId t, uint32_t m) {
     if (t >= columns_.size()) return;
     const bitmap::BitmapColumn& col = columns_[t];
     if (col.Empty()) return;
@@ -113,7 +156,7 @@ size_t Tgm::MatchedCountsReference(const SetRecord& query,
   return columns_visited;
 }
 
-size_t Tgm::UpperBounds(const SetRecord& query, SimilarityMeasure measure,
+size_t Tgm::UpperBounds(SetView query, SimilarityMeasure measure,
                         std::vector<double>* ubs) const {
   std::vector<uint32_t> counts;
   size_t visited = MatchedCounts(query, &counts);
@@ -124,8 +167,7 @@ size_t Tgm::UpperBounds(const SetRecord& query, SimilarityMeasure measure,
   return visited;
 }
 
-GroupId Tgm::AddSet(SetId id, const SetRecord& set,
-                    SimilarityMeasure measure) {
+GroupId Tgm::AddSet(SetId id, SetView set, SimilarityMeasure measure) {
   LES3_CHECK_EQ(id, group_of_.size());  // sets must be appended in order
   // Stage 1 (Section 6): find the best group by UB over the known tokens;
   // ties (and the all-new-tokens case) go to the smallest group.
@@ -141,12 +183,20 @@ GroupId Tgm::AddSet(SetId id, const SetRecord& set,
       best = g;
     }
   }
-  // Stage 2: grow columns for unseen tokens and set M[best, t] = 1.
+  // Stage 2: splice the member into its group's (size, id) order — the new
+  // id is the largest, so the slot after the last equal-or-smaller size
+  // preserves the invariant — and set M[best, t] = 1, growing columns for
+  // unseen tokens.
   if (members_[best].empty()) ++nonempty_groups_;
-  members_[best].push_back(id);
+  const uint32_t size = static_cast<uint32_t>(set.size());
+  auto& sizes = member_sizes_[best];
+  size_t pos = std::upper_bound(sizes.begin(), sizes.end(), size) -
+               sizes.begin();
+  sizes.insert(sizes.begin() + pos, size);
+  members_[best].insert(members_[best].begin() + pos, id);
   group_of_.push_back(best);
   TokenId prev = static_cast<TokenId>(-1);
-  for (TokenId t : set.tokens()) {
+  for (TokenId t : set) {
     if (t == prev) continue;
     prev = t;
     if (t >= columns_.size()) {
@@ -170,7 +220,9 @@ uint64_t Tgm::BitmapBytes() const {
 uint64_t Tgm::MemoryBytes() const {
   uint64_t total = BitmapBytes();
   total += group_of_.size() * sizeof(GroupId);
-  for (const auto& m : members_) total += m.size() * sizeof(SetId);
+  for (const auto& m : members_) {
+    total += m.size() * (sizeof(SetId) + sizeof(uint32_t));  // ids + sizes
+  }
   return total;
 }
 
@@ -187,7 +239,9 @@ void Tgm::SerializeColumns(persist::ByteWriter* writer) const {
 
 Result<Tgm> Tgm::Deserialize(const std::vector<GroupId>& assignment,
                              uint32_t num_groups,
+                             const std::vector<uint32_t>& set_sizes,
                              persist::ByteReader* reader) {
+  LES3_CHECK_EQ(set_sizes.size(), assignment.size());
   if (num_groups == 0) {
     return Status::InvalidArgument("snapshot partition has zero groups");
   }
@@ -210,6 +264,7 @@ Result<Tgm> Tgm::Deserialize(const std::vector<GroupId>& assignment,
     }
     tgm.members_[assignment[i]].push_back(i);
   }
+  tgm.OrderMembersBySize([&](SetId id) { return set_sizes[id]; });
   for (const auto& m : tgm.members_) tgm.nonempty_groups_ += !m.empty();
 
   uint8_t backend_tag = 0;

@@ -7,13 +7,20 @@
 // O(n |Q|) for sparse data). Columns live behind BitmapColumn, so one index
 // can choose compressed Roaring storage or flat BitVector rows; either way
 // the query pass runs the container-aware batch kernels of
-// bitmap/kernels.h rather than per-bit iteration. Group membership lists
-// are kept alongside so the search layer can verify candidates
-// group-at-a-time.
+// bitmap/kernels.h rather than per-bit iteration.
+//
+// Group membership lists are kept alongside so the search layer can verify
+// candidates group-at-a-time. Members are ordered by (set size, id) with a
+// parallel size array, so a searcher holding a candidate-size window
+// [lo, hi] (core/similarity.h SizeBoundsForThreshold) binary-searches the
+// window's member run and never touches a token of an out-of-window set.
+// This order is an in-memory property — snapshots persist only the
+// assignment, and the order is re-derived on open.
 //
 // Updates (paper Section 6): AddSet routes a new set to the group with the
 // highest similarity upper bound (ties -> smallest group) and extends the
-// matrix, growing new columns when previously unseen tokens appear.
+// matrix, growing new columns when previously unseen tokens appear and
+// splicing the member into its group's size order.
 
 #ifndef LES3_TGM_TGM_H_
 #define LES3_TGM_TGM_H_
@@ -67,10 +74,29 @@ class Tgm {
   }
   bitmap::BitmapBackend bitmap_backend() const { return bitmap_backend_; }
 
+  /// Members of group `g`, ordered by (set size, id) ascending.
   const std::vector<SetId>& group_members(GroupId g) const {
     return members_[g];
   }
   size_t group_size(GroupId g) const { return members_[g].size(); }
+
+  /// The contiguous run of group `g`'s members whose set sizes fall in
+  /// [lo, hi], plus how many members the window excluded. `sizes` walks in
+  /// lockstep with [begin, end) — ascending, so verification loops can key
+  /// per-size work (e.g. MinOverlapForPair) off size-run boundaries.
+  struct MemberWindow {
+    const SetId* begin = nullptr;
+    const SetId* end = nullptr;
+    const uint32_t* sizes = nullptr;  // parallel to begin
+    size_t skipped = 0;               // members of g outside the window
+    size_t count() const { return static_cast<size_t>(end - begin); }
+  };
+
+  /// \brief Binary-searches group `g`'s size-ordered members for the run
+  /// with set size in [size_lo, size_hi]. O(log |G_g|); no token of an
+  /// excluded member is ever touched.
+  MemberWindow MembersInSizeWindow(GroupId g, size_t size_lo,
+                                   size_t size_hi) const;
 
   /// Number of groups with at least one member (maintained across AddSet,
   /// so the search layer's pruning stats need no per-query group scan).
@@ -87,8 +113,7 @@ class Tgm {
   /// counted, per Equation 2/4), fusing all query-token columns into the
   /// one counter array through the batched kernels. `counts` is resized to
   /// num_groups(). Returns the number of non-empty token columns visited.
-  size_t MatchedCounts(const SetRecord& query,
-                       std::vector<uint32_t>* counts) const;
+  size_t MatchedCounts(SetView query, std::vector<uint32_t>* counts) const;
 
   /// \brief Threshold-aware MatchedCounts: additionally fills `candidates`
   /// with the groups whose count reached `min_count` (ascending GroupId).
@@ -97,7 +122,7 @@ class Tgm {
   /// attainable count (summed multiplicity of query tokens with non-empty
   /// columns) falls below it — and skips hopeless groups during the
   /// harvest. With min_count == 0 every group is a candidate.
-  size_t MatchedCandidates(const SetRecord& query, uint32_t min_count,
+  size_t MatchedCandidates(SetView query, uint32_t min_count,
                            std::vector<uint32_t>* counts,
                            std::vector<GroupId>* candidates) const;
 
@@ -106,25 +131,25 @@ class Tgm {
   /// offered (at similarity 0) when the result underflowed k, or when
   /// similarity-0 hits made the cut and a smaller id might exist among
   /// them (HitOrder tie-handling). No-op when min_count == 0 — nothing was
-  /// pruned. Shared by Les3Index::Knn and DiskLes3::Knn so the subtle
-  /// tie rule lives in one place.
+  /// pruned. Shared by the memory and disk LES3 engines through
+  /// search::CandidateVerifier so the subtle tie rule lives in one place.
   void BackfillZeroCountGroups(const std::vector<uint32_t>& counts,
                                uint32_t min_count, TopKHits* best) const;
 
   /// \brief Reference per-bit implementation of MatchedCounts (the
   /// pre-kernel ForEach loop). Kept as the differential baseline for the
   /// property tests and the micro benches; not used on the query path.
-  size_t MatchedCountsReference(const SetRecord& query,
+  size_t MatchedCountsReference(SetView query,
                                 std::vector<uint32_t>* counts) const;
 
   /// \brief Similarity upper bounds UB(Q, G_g) for all groups.
   /// Returns the number of token columns visited.
-  size_t UpperBounds(const SetRecord& query, SimilarityMeasure measure,
+  size_t UpperBounds(SetView query, SimilarityMeasure measure,
                      std::vector<double>* ubs) const;
 
   /// \brief Inserts a new set (already appended to the caller's database as
   /// `id`) per Section 6; returns the chosen group.
-  GroupId AddSet(SetId id, const SetRecord& set, SimilarityMeasure measure);
+  GroupId AddSet(SetId id, SetView set, SimilarityMeasure measure);
 
   /// Compresses columns with run encoding where beneficial (Roaring
   /// backend only; the dense backend is already fixed-shape).
@@ -133,7 +158,7 @@ class Tgm {
   /// Bytes of the bitmap columns (the "TGM size" of Figure 11).
   uint64_t BitmapBytes() const;
 
-  /// BitmapBytes plus the group membership arrays.
+  /// BitmapBytes plus the group membership arrays (ids and sizes).
   uint64_t MemoryBytes() const;
 
   /// Direct bit probe M[g, t] (test/debug; O(log) inside the column).
@@ -142,23 +167,33 @@ class Tgm {
   /// \brief Serializes the bitmap backend tag plus every column's exact
   /// container state (the snapshot's TGMC chunk). The partition half of
   /// the matrix — num_groups + assignment — travels in its own chunk, so
-  /// it is not repeated here.
+  /// it is not repeated here. Member order is NOT persisted: it is an
+  /// in-memory property re-derived from the set sizes on open.
   void SerializeColumns(persist::ByteWriter* writer) const;
 
   /// \brief Rebuilds a matrix from a loaded partition plus serialized
-  /// columns. Validates that every assignment entry is < `num_groups` and
-  /// every column value is < `num_groups` (membership arrays and count
-  /// kernels index by those values); malformed input returns a Status.
-  /// Membership lists are reconstructed in ascending-id order, exactly as
-  /// the building constructor produces them.
+  /// columns. `set_sizes` holds the database's set sizes parallel to
+  /// `assignment` (the decoder reads them off the already-loaded DB chunk)
+  /// so membership lists come back in the same (size, id) order the
+  /// building constructor produces. Validates that every assignment entry
+  /// is < `num_groups` and every column value is < `num_groups`
+  /// (membership arrays and count kernels index by those values);
+  /// malformed input returns a Status.
   static Result<Tgm> Deserialize(const std::vector<GroupId>& assignment,
                                  uint32_t num_groups,
+                                 const std::vector<uint32_t>& set_sizes,
                                  persist::ByteReader* reader);
 
  private:
+  /// Re-sorts every group's members by (size, id) and (re)builds the
+  /// parallel size arrays; `size_of(id)` returns a set's size.
+  template <typename SizeFn>
+  void OrderMembersBySize(const SizeFn& size_of);
+
   bitmap::BitmapBackend bitmap_backend_;
   std::vector<bitmap::BitmapColumn> columns_;  // per token: groups with it
-  std::vector<std::vector<SetId>> members_;
+  std::vector<std::vector<SetId>> members_;    // per group, (size, id) order
+  std::vector<std::vector<uint32_t>> member_sizes_;  // parallel to members_
   std::vector<GroupId> group_of_;
   uint32_t nonempty_groups_ = 0;
 };

@@ -99,7 +99,7 @@ TEST_F(ApiParityTest, AllBackendsConstructibleByName) {
 TEST_F(ApiParityTest, RangeResultsIdenticalAcrossBackends) {
   const auto& reference = engines_["brute_force"];
   for (SetId qid : {0u, 7u, 50u, 123u, 250u, 399u}) {
-    const SetRecord& query = db_->set(qid);
+    SetView query = db_->set(qid);
     for (double delta : {0.5, 0.8}) {
       auto expected = reference->Range(query, delta);
       EXPECT_GT(expected.hits.size(), 0u);  // the query set itself
@@ -116,7 +116,7 @@ TEST_F(ApiParityTest, RangeResultsIdenticalAcrossBackends) {
 TEST_F(ApiParityTest, KnnResultsIdenticalAcrossBackends) {
   const auto& reference = engines_["brute_force"];
   for (SetId qid : {0u, 7u, 50u, 123u, 250u, 399u}) {
-    const SetRecord& query = db_->set(qid);
+    SetView query = db_->set(qid);
     for (size_t k : {1u, 10u}) {
       auto expected = reference->Knn(query, k);
       ASSERT_EQ(expected.hits.size(), k);
@@ -131,7 +131,7 @@ TEST_F(ApiParityTest, KnnResultsIdenticalAcrossBackends) {
 }
 
 TEST_F(ApiParityTest, StatsAndIoAccountingFilled) {
-  const SetRecord& query = db_->set(3);
+  SetView query = db_->set(3);
   for (const auto& [name, engine] : engines_) {
     auto result = engine->Knn(query, 5);
     EXPECT_GT(result.stats.candidates_verified, 0u) << name;
@@ -165,7 +165,7 @@ TEST(ApiBatchTest, KnnBatchMatchesSequentialKnn) {
   for (const std::string& name : {"les3", "brute_force", "disk_invidx"}) {
     auto engine = MustBuild(db, name, options);
     std::vector<SetRecord> queries;
-    for (SetId qid = 0; qid < 32; ++qid) queries.push_back(db->set(qid * 7));
+    for (SetId qid = 0; qid < 32; ++qid) queries.emplace_back(db->set(qid * 7));
     auto batch = engine->KnnBatch(queries, 10);
     ASSERT_EQ(batch.size(), queries.size()) << name;
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -182,7 +182,7 @@ TEST(ApiBatchTest, RangeBatchMatchesSequentialRange) {
   options.num_threads = 4;
   auto engine = MustBuild(db, "les3", options);
   std::vector<SetRecord> queries;
-  for (SetId qid = 0; qid < 24; ++qid) queries.push_back(db->set(qid * 11));
+  for (SetId qid = 0; qid < 24; ++qid) queries.emplace_back(db->set(qid * 11));
   auto batch = engine->RangeBatch(queries, 0.6);
   ASSERT_EQ(batch.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {

@@ -110,8 +110,7 @@ TEST_P(ConsistencyTest, AllEnginesAgreeOnKnn) {
   Rng rng(17);
   for (size_t k : {1u, 7u, 25u}) {
     for (int q = 0; q < 8; ++q) {
-      const SetRecord& query =
-          db_.set(static_cast<SetId>(rng.Uniform(db_.size())));
+      SetView query = db_.set(static_cast<SetId>(rng.Uniform(db_.size())));
       auto want = brute.Knn(query, k);
       ExpectSimsEqual(les3.Knn(query, k), want);
       ExpectSimsEqual(flat.Knn(db_, query, k, m, nullptr), want);
@@ -139,8 +138,7 @@ TEST_P(ConsistencyTest, AllEnginesAgreeOnRange) {
   Rng rng(19);
   for (double delta : {0.25, 0.5, 0.8}) {
     for (int q = 0; q < 8; ++q) {
-      const SetRecord& query =
-          db_.set(static_cast<SetId>(rng.Uniform(db_.size())));
+      SetView query = db_.set(static_cast<SetId>(rng.Uniform(db_.size())));
       auto want = brute.Range(query, delta);
       ExpectSimsEqual(les3.Range(query, delta), want);
       ExpectSimsEqual(hier.Range(db_, query, delta, m, nullptr), want);
@@ -155,7 +153,7 @@ TEST_P(ConsistencyTest, EnginesAreDeterministic) {
   SimilarityMeasure m = GetParam().measure;
   search::Les3Index a(db_, assignment_, 12, m);
   search::Les3Index b(db_, assignment_, 12, m);
-  const SetRecord& query = db_.set(42);
+  SetView query = db_.set(42);
   auto ha = a.Knn(query, 9);
   auto hb = b.Knn(query, 9);
   ASSERT_EQ(ha.size(), hb.size());

@@ -57,7 +57,8 @@ TEST(GeneratorsTest, UniformTokensWithinUniverse) {
   opts.num_sets = 500;
   opts.num_tokens = 64;
   SetDatabase db = GenerateUniform(opts);
-  for (const auto& s : db.sets()) {
+  for (SetId i = 0; i < db.size(); ++i) {
+    SetView s = db.set(i);
     for (TokenId t : s.tokens()) EXPECT_LT(t, 64u);
   }
 }
@@ -70,7 +71,8 @@ TEST(GeneratorsTest, ZipfPopularTokensDominate) {
   opts.zipf_exponent = 1.0;
   SetDatabase db = GenerateZipf(opts);
   std::vector<int> freq(2000, 0);
-  for (const auto& s : db.sets()) {
+  for (SetId i = 0; i < db.size(); ++i) {
+    SetView s = db.set(i);
     for (TokenId t : s.tokens()) ++freq[t];
   }
   int head = 0, tail = 0;

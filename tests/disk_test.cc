@@ -125,8 +125,7 @@ TEST(DiskSearchTest, AllMethodsAgreeWithMemoryBruteForce) {
   baselines::BruteForce reference(&f.db, measure);
   Rng rng(5);
   for (int q = 0; q < 10; ++q) {
-    const SetRecord& query =
-        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    SetView query = f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
     auto expected_knn = reference.Knn(query, 10);
     auto check_knn = [&](const DiskQueryResult& r) {
       ASSERT_EQ(r.hits.size(), expected_knn.size());
@@ -180,7 +179,7 @@ TEST(DiskSearchTest, Les3SkipsGroupsOnSelectiveQueries) {
   DiskBruteForce brute(&db, SimilarityMeasure::kJaccard);
   double les3_io = 0, brute_io = 0;
   for (int q = 0; q < 20; ++q) {
-    const SetRecord& query = db.set(static_cast<SetId>(q * 31 % db.size()));
+    SetView query = db.set(static_cast<SetId>(q * 31 % db.size()));
     les3_io += les3.Range(query, 0.7).io_ms;
     brute_io += brute.Range(query, 0.7).io_ms;
   }

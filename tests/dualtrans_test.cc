@@ -47,8 +47,7 @@ TEST_P(DualTransMeasureTest, KnnMatchesBruteForce) {
   Rng rng(4);
   for (size_t k : {1u, 10u}) {
     for (int q = 0; q < 15; ++q) {
-      const SetRecord& query =
-          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(db.size())));
       auto got = index.Knn(query, k);
       auto expected = brute.Knn(query, k);
       ASSERT_EQ(got.size(), expected.size());
@@ -68,8 +67,7 @@ TEST_P(DualTransMeasureTest, RangeMatchesBruteForce) {
   Rng rng(6);
   for (double delta : {0.4, 0.7, 0.9}) {
     for (int q = 0; q < 15; ++q) {
-      const SetRecord& query =
-          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(db.size())));
       auto got = index.Range(query, delta);
       auto expected = brute.Range(query, delta);
       ASSERT_EQ(got.size(), expected.size()) << delta;

@@ -133,8 +133,7 @@ TEST(SearchEdgeTest, ManyInsertsRemainExact) {
   }
   baselines::BruteForce brute(&index.db());
   for (int q = 0; q < 20; ++q) {
-    const SetRecord& query =
-        index.db().set(static_cast<SetId>(rng.Uniform(index.db().size())));
+    SetView query = index.db().set(static_cast<SetId>(rng.Uniform(index.db().size())));
     auto got = index.Knn(query, 7);
     auto expected = brute.Knn(query, 7);
     ASSERT_EQ(got.size(), expected.size());

@@ -48,8 +48,7 @@ TEST(HtgmTest, SingleLevelKnnMatchesBruteForce) {
   baselines::BruteForce brute(&f.db);
   Rng rng(2);
   for (int q = 0; q < 25; ++q) {
-    const SetRecord& query =
-        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    SetView query = f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
     auto got = flat.Knn(f.db, query, 5, SimilarityMeasure::kJaccard, nullptr);
     auto expected = brute.Knn(query, 5);
     ASSERT_EQ(got.size(), expected.size());
@@ -66,8 +65,7 @@ TEST(HtgmTest, TwoLevelKnnAndRangeMatchBruteForce) {
   baselines::BruteForce brute(&f.db);
   Rng rng(4);
   for (int q = 0; q < 25; ++q) {
-    const SetRecord& query =
-        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    SetView query = f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
     auto got = h.Knn(f.db, query, 7, SimilarityMeasure::kJaccard, nullptr);
     auto expected = brute.Knn(query, 7);
     ASSERT_EQ(got.size(), expected.size());
@@ -90,8 +88,7 @@ TEST(HtgmTest, CoarsePruningSavesCellsOnDissimilarData) {
   Rng rng(6);
   uint64_t flat_cells = 0, two_cells = 0;
   for (int q = 0; q < 30; ++q) {
-    const SetRecord& query =
-        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    SetView query = f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
     HtgmQueryCost cf, ct;
     flat.Knn(f.db, query, 5, SimilarityMeasure::kJaccard, &cf);
     two.Knn(f.db, query, 5, SimilarityMeasure::kJaccard, &ct);

@@ -90,8 +90,7 @@ TEST(HtgmUpdateTest, ExactAfterManyInserts) {
   }
   baselines::BruteForce brute(&f.db);
   for (int q = 0; q < 15; ++q) {
-    const SetRecord& query =
-        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    SetView query = f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
     auto got = h.Knn(f.db, query, 8, SimilarityMeasure::kJaccard, nullptr);
     auto expected = brute.Knn(query, 8);
     ASSERT_EQ(got.size(), expected.size());
@@ -127,8 +126,7 @@ TEST(HtgmUpdateTest, BitVectorBackendMatchesRoaringAndBruteForce) {
   }
   baselines::BruteForce brute(&f.db);
   for (int q = 0; q < 10; ++q) {
-    const SetRecord& query =
-        f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
+    SetView query = f.db.set(static_cast<SetId>(rng.Uniform(f.db.size())));
     auto expected = brute.Knn(query, 6);
     for (const Htgm* h : {&roaring, &dense}) {
       auto got = h->Knn(f.db, query, 6, SimilarityMeasure::kJaccard, nullptr);

@@ -39,7 +39,7 @@ TEST(IntegrationTest, FullPipelineExactOnAnalogSample) {
   baselines::BruteForce brute(&db);
   auto queries = datagen::SampleQueryIds(db, 25, 2);
   for (SetId qid : queries) {
-    const SetRecord& query = db.set(qid);
+    SetView query = db.set(qid);
     auto got = index.Knn(query, 10);
     auto expected = brute.Knn(query, 10);
     ASSERT_EQ(got.size(), expected.size());
@@ -118,7 +118,7 @@ TEST(IntegrationTest, UpdatesDegradePeOnlyMildly) {
   search::Les3Index updated(std::move(base_copy), part.assignment,
                             part.num_groups);
   for (size_t i = 0; i < insert_count; ++i) {
-    updated.Insert(extra.set(static_cast<SetId>(i)));
+    updated.Insert(SetRecord(extra.set(static_cast<SetId>(i))));
   }
 
   // Rebuild from scratch on the union.

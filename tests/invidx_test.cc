@@ -36,8 +36,7 @@ TEST_P(InvIdxMeasureTest, RangeMatchesBruteForce) {
   Rng rng(2);
   for (double delta : {0.2, 0.5, 0.7, 0.95}) {
     for (int q = 0; q < 15; ++q) {
-      const SetRecord& query =
-          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(db.size())));
       auto got = index.Range(query, delta);
       auto expected = brute.Range(query, delta);
       ASSERT_EQ(got.size(), expected.size())
@@ -59,8 +58,7 @@ TEST_P(InvIdxMeasureTest, KnnMatchesBruteForce) {
   Rng rng(4);
   for (size_t k : {1u, 10u, 40u}) {
     for (int q = 0; q < 10; ++q) {
-      const SetRecord& query =
-          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(db.size())));
       auto got = index.Knn(query, k);
       auto expected = brute.Knn(query, k);
       ASSERT_EQ(got.size(), expected.size());
@@ -87,8 +85,7 @@ TEST(InvIdxTest, FilterCandidatesCoverAllResults) {
   Rng rng(6);
   for (double delta : {0.3, 0.6, 0.8}) {
     for (int q = 0; q < 20; ++q) {
-      const SetRecord& query =
-          db.set(static_cast<SetId>(rng.Uniform(db.size())));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(db.size())));
       auto filter = index.RangeFilter(query, delta);
       std::set<SetId> candidates(filter.candidates.begin(),
                                  filter.candidates.end());
@@ -104,7 +101,7 @@ TEST(InvIdxTest, FilterCandidatesCoverAllResults) {
 TEST(InvIdxTest, HigherThresholdFewerCandidates) {
   SetDatabase db = MakeDb(7);
   InvIdx index(&db);
-  const SetRecord& query = db.set(11);
+  SetView query = db.set(11);
   auto low = index.RangeFilter(query, 0.3);
   auto high = index.RangeFilter(query, 0.9);
   EXPECT_LE(high.candidates.size(), low.candidates.size());
@@ -123,7 +120,9 @@ TEST(InvIdxTest, PostingsSortedAndComplete) {
   }
   // Every distinct (set, token) membership appears exactly once.
   uint64_t expected = 0;
-  for (const auto& s : db.sets()) expected += s.DistinctCount();
+  for (SetId i = 0; i < db.size(); ++i) {
+    expected += db.set(i).DistinctCount();
+  }
   EXPECT_EQ(total, expected);
 }
 

@@ -103,7 +103,7 @@ std::vector<SetRecord> MakeQueries(const SetDatabase& db, uint64_t seed) {
   std::vector<SetRecord> queries;
   size_t sampled = FullSweep() ? 8 : 4;
   for (SetId id : datagen::SampleQueryIds(db, sampled, seed)) {
-    queries.push_back(db.set(id));
+    queries.emplace_back(db.set(id));
   }
   uint32_t universe = db.num_tokens();
   // Random probe sets, including tokens absent from the database.

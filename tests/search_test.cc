@@ -55,7 +55,7 @@ TEST_P(SearchExactnessTest, KnnMatchesBruteForce) {
   Rng rng(3);
   for (size_t k : {1u, 5u, 20u}) {
     for (int q = 0; q < 20; ++q) {
-      const SetRecord& query = db.set(static_cast<SetId>(rng.Uniform(600)));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(600)));
       QueryStats stats;
       auto got = index.Knn(query, k, &stats);
       auto expected = brute.Knn(query, k);
@@ -76,7 +76,7 @@ TEST_P(SearchExactnessTest, RangeMatchesBruteForce) {
   Rng rng(7);
   for (double delta : {0.3, 0.5, 0.7, 0.9}) {
     for (int q = 0; q < 20; ++q) {
-      const SetRecord& query = db.set(static_cast<SetId>(rng.Uniform(600)));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(600)));
       auto got = index.Range(query, delta);
       auto expected = brute.Range(query, delta);
       ASSERT_EQ(got.size(), expected.size()) << "delta " << delta;
@@ -164,7 +164,7 @@ TEST(SearchTest, BetterPartitioningPrunesMore) {
   Les3Index bad(std::move(db2), random, 8);
   uint64_t good_cands = 0, bad_cands = 0;
   for (int q = 0; q < 40; ++q) {
-    const SetRecord& query = good.db().set(static_cast<SetId>(q * 7 % 400));
+    SetView query = good.db().set(static_cast<SetId>(q * 7 % 400));
     QueryStats sg, sb;
     good.Knn(query, 10, &sg);
     bad.Knn(query, 10, &sb);

@@ -55,7 +55,7 @@ TEST(ShardConcurrencyTest, ConcurrentInsertAndQuery) {
   // Query records are snapshotted up front: readers must not touch the
   // (growing) global database while writers run.
   std::vector<SetRecord> queries;
-  for (SetId qid = 0; qid < 24; ++qid) queries.push_back(db->set(qid * 9));
+  for (SetId qid = 0; qid < 24; ++qid) queries.emplace_back(db->set(qid * 9));
 
   auto built = EngineBuilder::Build(db, ShardedOptions(3));
   ASSERT_TRUE(built.ok()) << built.status().ToString();
@@ -107,7 +107,7 @@ TEST(ShardConcurrencyTest, ConcurrentInsertAndQuery) {
   auto reference = EngineBuilder::Build(db, reference_options);
   ASSERT_TRUE(reference.ok());
   for (SetId qid = 0; qid < engine->db().size(); qid += 23) {
-    const SetRecord& q = engine->db().set(qid);
+    SetView q = engine->db().set(qid);
     auto expected = reference.value()->Knn(q, 10);
     auto actual = engine->Knn(q, 10);
     ASSERT_EQ(expected.hits.size(), actual.hits.size()) << "q=" << qid;
@@ -123,7 +123,7 @@ TEST(ShardConcurrencyTest, ConcurrentInsertAndQuery) {
 TEST(ShardConcurrencyTest, ConcurrentBatchQueriesDuringInserts) {
   auto db = MakeDb(52, 180);
   std::vector<SetRecord> queries;
-  for (SetId qid = 0; qid < 16; ++qid) queries.push_back(db->set(qid * 11));
+  for (SetId qid = 0; qid < 16; ++qid) queries.emplace_back(db->set(qid * 11));
 
   auto built = EngineBuilder::Build(db, ShardedOptions(2));
   ASSERT_TRUE(built.ok()) << built.status().ToString();

@@ -71,7 +71,7 @@ TEST(ShardedEngineTest, MatchesBruteForceAcrossShardCounts) {
   for (uint32_t shards : {1u, 3u, 7u}) {
     auto engine = MustBuild(db, FastOptions(shards));
     for (SetId qid : {0u, 13u, 77u, 299u}) {
-      const SetRecord& q = db->set(qid);
+      SetView q = db->set(qid);
       for (size_t k : {1u, 5u, 20u}) {
         ExpectExactHits(reference->Knn(q, k).hits, engine->Knn(q, k).hits,
                         "shards=" + std::to_string(shards) +
@@ -99,7 +99,7 @@ TEST(ShardedEngineTest, GlobalKExactWhenShardsHoldFewerThanK) {
   auto reference = MustBuild(db, reference_options);
   auto engine = MustBuild(db, FastOptions(5));
   for (SetId qid = 0; qid < db->size(); ++qid) {
-    const SetRecord& q = db->set(qid);
+    SetView q = db->set(qid);
     for (size_t k : {3u, 10u, 25u}) {
       ExpectExactHits(reference->Knn(q, k).hits, engine->Knn(q, k).hits,
                       "k=" + std::to_string(k) + " q=" + std::to_string(qid));
@@ -111,7 +111,7 @@ TEST(ShardedEngineTest, BatchMatchesSequential) {
   auto db = MakeDb(7);
   auto engine = MustBuild(db, FastOptions(3));
   std::vector<SetRecord> queries;
-  for (SetId qid = 0; qid < 20; ++qid) queries.push_back(db->set(qid * 11));
+  for (SetId qid = 0; qid < 20; ++qid) queries.emplace_back(db->set(qid * 11));
   auto knn_batch = engine->KnnBatch(queries, 8);
   auto range_batch = engine->RangeBatch(queries, 0.5);
   ASSERT_EQ(knn_batch.size(), queries.size());
@@ -147,7 +147,7 @@ TEST(ShardedEngineTest, InsertRoutesToOneShardAndIsImmediatelyVisible) {
   reference_options.backend = Backend::kBruteForce;
   auto reference = MustBuild(db, reference_options);
   for (SetId qid : {1u, 100u, static_cast<SetId>(before + 3)}) {
-    const SetRecord& q = engine->db().set(qid);
+    SetView q = engine->db().set(qid);
     ExpectExactHits(reference->Knn(q, 10).hits, engine->Knn(q, 10).hits,
                     "post-insert knn q=" + std::to_string(qid));
     ExpectExactHits(reference->Range(q, 0.4).hits, engine->Range(q, 0.4).hits,
@@ -213,7 +213,7 @@ TEST_F(ShardedSnapshotTest, SaveOpenRoundTripAnswersIdentically) {
   EXPECT_EQ(reloaded.value()->IndexBytes(), original->IndexBytes());
 
   for (SetId qid = 0; qid < original->db().size(); qid += 17) {
-    const SetRecord& q = original->db().set(qid);
+    SetView q = original->db().set(qid);
     for (size_t k : {1u, 7u, 40u}) {
       ExpectExactHits(original->Knn(q, k).hits, reloaded.value()->Knn(q, k).hits,
                       "knn k=" + std::to_string(k) +
@@ -265,7 +265,7 @@ TEST_F(ShardedSnapshotTest, OneShardSnapshotRoundTrips) {
   ASSERT_TRUE(original->Save(path).ok());
   auto reloaded = EngineBuilder::Open(path);
   ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
-  const SetRecord& q = db->set(3);
+  SetView q = db->set(3);
   ExpectExactHits(original->Knn(q, 9).hits, reloaded.value()->Knn(q, 9).hits,
                   "one-shard knn");
 }

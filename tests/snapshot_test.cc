@@ -55,7 +55,7 @@ std::vector<SetRecord> MakeQueries(const SetDatabase& db, uint64_t seed) {
   Rng rng(seed);
   std::vector<SetRecord> queries;
   for (SetId id : datagen::SampleQueryIds(db, 5, seed)) {
-    queries.push_back(db.set(id));
+    queries.emplace_back(db.set(id));
   }
   for (int i = 0; i < 3; ++i) {
     std::vector<TokenId> tokens;
@@ -434,7 +434,8 @@ TEST(SnapshotSemanticTest, TgmRejectsOutOfRangeAssignment) {
   tgm.SerializeColumns(&w);
   std::vector<GroupId> bad_assignment = {0, 1, 2};  // 2 >= num_groups
   ByteReader r(w.data());
-  auto result = tgm::Tgm::Deserialize(bad_assignment, 2, &r);
+  auto result =
+      tgm::Tgm::Deserialize(bad_assignment, 2, {1, 1, 1}, &r);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
 }
@@ -448,7 +449,8 @@ TEST(SnapshotSemanticTest, TgmRejectsGroupCountBeyondSetCount) {
   tgm.SerializeColumns(&w);
   std::vector<GroupId> assignment = {0, 1, 0};
   ByteReader r(w.data());
-  auto result = tgm::Tgm::Deserialize(assignment, 0xFFFFFFFFu, &r);
+  auto result =
+      tgm::Tgm::Deserialize(assignment, 0xFFFFFFFFu, {1, 1, 1}, &r);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
 }

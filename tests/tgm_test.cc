@@ -113,7 +113,7 @@ TEST(TgmTest, UpperBoundDominatesAllMembers) {
   for (auto measure : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
                        SimilarityMeasure::kCosine}) {
     for (int q = 0; q < 30; ++q) {
-      const SetRecord& query = db.set(static_cast<SetId>(rng.Uniform(800)));
+      SetView query = db.set(static_cast<SetId>(rng.Uniform(800)));
       std::vector<double> ubs;
       tgm.UpperBounds(query, measure, &ubs);
       for (GroupId g = 0; g < n; ++g) {

@@ -140,8 +140,12 @@ TEST_P(TgmUpdateTest, InsertAfterDeserializeMatchesLiveMatrix) {
   persist::ByteWriter writer;
   live.SerializeColumns(&writer);
   persist::ByteReader reader(writer.data());
-  auto reloaded =
-      Tgm::Deserialize(live.group_assignment(), kGroups, &reader);
+  std::vector<uint32_t> set_sizes(db.size());
+  for (SetId i = 0; i < db.size(); ++i) {
+    set_sizes[i] = static_cast<uint32_t>(db.set_size(i));
+  }
+  auto reloaded = Tgm::Deserialize(live.group_assignment(), kGroups,
+                                   set_sizes, &reader);
   ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
   Tgm restored = std::move(reloaded).ValueOrDie();
   ASSERT_EQ(restored.num_groups(), live.num_groups());

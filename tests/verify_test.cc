@@ -71,6 +71,187 @@ TEST(VerifyTest, ZeroThresholdAlwaysPassesExactly) {
   EXPECT_DOUBLE_EQ(v.similarity, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial kernel cases: both layouts of the verifier (merge and gallop)
+// must agree with the full similarity on the inputs that historically break
+// intersection kernels.
+
+constexpr SimilarityMeasure kAllMeasures[] = {
+    SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+    SimilarityMeasure::kCosine, SimilarityMeasure::kContainment};
+
+void ExpectKernelsExact(const SetRecord& a, const SetRecord& b,
+                        double threshold) {
+  for (auto m : kAllMeasures) {
+    double exact = Similarity(m, a, b);
+    for (int kernel = 0; kernel < 3; ++kernel) {
+      VerifyResult v = kernel == 0 ? VerifyMerge(m, a, b, threshold)
+                       : kernel == 1 ? VerifyGallop(m, a, b, threshold)
+                                     : VerifyThreshold(m, a, b, threshold);
+      EXPECT_EQ(v.passed, exact >= threshold)
+          << ToString(m) << " kernel " << kernel << " thr " << threshold;
+      if (v.passed) {
+        // Bit-identical to Similarity(): both go through the one
+        // SimilarityFromOverlap expression.
+        EXPECT_EQ(v.similarity, exact) << ToString(m) << " kernel " << kernel;
+      } else {
+        EXPECT_GE(v.similarity + 1e-12, exact)
+            << ToString(m) << " kernel " << kernel;
+      }
+    }
+  }
+}
+
+TEST(VerifyKernelsTest, DuplicateHeavyMultisets) {
+  // Multiset min-multiplicity semantics: {7x4, 9x2} vs {7x2, 9x5} overlaps
+  // in min(4,2) + min(2,5) = 4 tokens.
+  SetRecord a = SetRecord::FromTokens({7, 7, 7, 7, 9, 9});
+  SetRecord b = SetRecord::FromTokens({7, 7, 9, 9, 9, 9, 9});
+  EXPECT_EQ(SetRecord::OverlapSize(a, b), 4u);
+  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) ExpectKernelsExact(a, b, t);
+  // All-one-token multisets of different multiplicities.
+  SetRecord c = SetRecord::FromTokens({3, 3, 3, 3, 3, 3, 3, 3});
+  SetRecord d = SetRecord::FromTokens({3, 3});
+  EXPECT_EQ(SetRecord::OverlapSize(c, d), 2u);
+  for (double t : {0.1, 0.5, 0.9}) ExpectKernelsExact(c, d, t);
+}
+
+TEST(VerifyKernelsTest, EmptyAndIdenticalSets) {
+  SetRecord empty;
+  SetRecord some = SetRecord::FromTokens({1, 5, 5, 9});
+  for (double t : {0.0, 0.5, 1.0}) {
+    ExpectKernelsExact(empty, some, t);
+    ExpectKernelsExact(some, empty, t);
+    ExpectKernelsExact(empty, empty, t);   // defined as similarity 1
+    ExpectKernelsExact(some, some, t);     // identical sets: similarity 1
+  }
+  // A threshold above 1 is unattainable even by identical sets.
+  VerifyResult v =
+      VerifyThreshold(SimilarityMeasure::kJaccard, some, some, 1.5);
+  EXPECT_FALSE(v.passed);
+}
+
+TEST(VerifyKernelsTest, MinOverlapForPairIsTheExactBoundary) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t na = rng.Uniform(30);
+    size_t nb = rng.Uniform(30);
+    double t = rng.NextDouble();
+    for (auto m : kAllMeasures) {
+      size_t min_o = MinOverlapForPair(m, na, nb, t);
+      size_t max_o = std::min(na, nb);
+      for (size_t o = 0; o <= max_o; ++o) {
+        EXPECT_EQ(SimilarityFromOverlap(m, o, na, nb) >= t, o >= min_o)
+            << ToString(m) << " na=" << na << " nb=" << nb << " o=" << o
+            << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(VerifyKernelsTest, SizeWindowBoundariesAreExact) {
+  // |S| exactly at lo and hi must stay inside the window; lo-1 and hi+1
+  // must be excluded — under the same doubles the verifier compares with.
+  Rng rng(23);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t q = rng.Uniform(200);
+    double t = 0.05 + 0.95 * rng.NextDouble();
+    for (auto m : kAllMeasures) {
+      SizeBounds w = SizeBoundsForThreshold(m, q, t);
+      if (w.Empty()) {
+        EXPECT_GT(t, 1.0) << ToString(m) << " q=" << q;
+        continue;
+      }
+      EXPECT_GE(MaxSimForSize(m, q, w.lo), t) << ToString(m) << " q=" << q;
+      if (w.lo > 0) {
+        EXPECT_LT(MaxSimForSize(m, q, w.lo - 1), t)
+            << ToString(m) << " q=" << q << " t=" << t;
+      }
+      if (w.hi != static_cast<size_t>(-1)) {
+        EXPECT_GE(MaxSimForSize(m, q, w.hi), t) << ToString(m) << " q=" << q;
+        EXPECT_LT(MaxSimForSize(m, q, w.hi + 1), t)
+            << ToString(m) << " q=" << q << " t=" << t;
+      } else {
+        // Only containment has no upper size bound for t <= 1.
+        EXPECT_EQ(m, SimilarityMeasure::kContainment);
+      }
+    }
+  }
+}
+
+TEST(VerifyKernelsTest, RangeKeepsCandidatesExactlyAtTheWindowBoundaries) {
+  // Query {0,1,2,3}, Jaccard δ = 0.5: the size window is [2, 8]. Sets at
+  // sizes exactly 2 and 8 (both attaining similarity exactly 0.5) must
+  // survive the filter; sizes 1 and 9 must be skipped without
+  // verification — their best case is strictly below δ.
+  SetDatabase db(16);
+  SetId s1 = db.AddSet(SetRecord::FromTokens({0}));                // size 1
+  SetId s2 = db.AddSet(SetRecord::FromTokens({0, 1}));             // size 2
+  SetId s8 = db.AddSet(
+      SetRecord::FromTokens({0, 1, 2, 3, 4, 5, 6, 7}));            // size 8
+  SetId s9 = db.AddSet(
+      SetRecord::FromTokens({0, 1, 2, 3, 4, 5, 6, 7, 8}));         // size 9
+  std::vector<GroupId> assignment(db.size(), 0);
+  search::Les3Index index(db, assignment, 1);
+  SetRecord query = SetRecord::FromTokens({0, 1, 2, 3});
+  search::QueryStats stats;
+  auto hits = index.Range(query, 0.5, &stats);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, s2);
+  EXPECT_DOUBLE_EQ(hits[0].second, 0.5);
+  EXPECT_EQ(hits[1].first, s8);
+  EXPECT_DOUBLE_EQ(hits[1].second, 0.5);
+  // s1 and s9 never reached a kernel.
+  EXPECT_EQ(stats.candidates_size_skipped, 2u);
+  EXPECT_EQ(stats.candidates_verified, 2u);
+  (void)s1;
+  (void)s9;
+}
+
+TEST(VerifyKernelsTest, RandomizedDifferentialAgainstOverlapSize) {
+  // The kernels against the one reference multiset intersection
+  // (SetRecord::OverlapSize): random pairs across size skews and duplicate
+  // densities, random thresholds, all measures, all kernels — including
+  // the precomputed-min-overlap entry points the batch pipeline uses.
+  Rng rng(29);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto make = [&](size_t max_size, uint64_t universe) {
+      std::vector<TokenId> tokens;
+      size_t n = rng.Uniform(max_size + 1);
+      for (size_t i = 0; i < n; ++i) {
+        tokens.push_back(static_cast<TokenId>(rng.Uniform(universe)));
+      }
+      return SetRecord::FromTokens(std::move(tokens));
+    };
+    // Mix size regimes: comparable, skewed (gallop territory), and tiny
+    // universes (duplicate-heavy multisets).
+    SetRecord a = make(trial % 3 == 0 ? 6 : 40, trial % 2 == 0 ? 8 : 64);
+    SetRecord b = make(trial % 3 == 1 ? 200 : 24, trial % 2 == 0 ? 8 : 64);
+    double t = rng.NextDouble();
+    for (auto m : kAllMeasures) {
+      size_t overlap = SetRecord::OverlapSize(a, b);
+      double exact = SimilarityFromOverlap(m, overlap, a.size(), b.size());
+      size_t min_o = MinOverlapForPair(m, a.size(), b.size(), t);
+      for (int kernel = 0; kernel < 4; ++kernel) {
+        VerifyResult v = kernel == 0 ? VerifyMerge(m, a, b, t)
+                         : kernel == 1 ? VerifyGallop(m, a, b, t)
+                         : kernel == 2 ? VerifyThreshold(m, a, b, t)
+                                       : VerifyThreshold(m, a, b, t, min_o);
+        ASSERT_EQ(v.passed, exact >= t)
+            << ToString(m) << " kernel " << kernel << " |a|=" << a.size()
+            << " |b|=" << b.size() << " t=" << t;
+        if (v.passed) {
+          ASSERT_EQ(v.similarity, exact)
+              << ToString(m) << " kernel " << kernel;
+        } else {
+          ASSERT_GE(v.similarity + 1e-12, exact)
+              << ToString(m) << " kernel " << kernel;
+        }
+      }
+    }
+  }
+}
+
 TEST(TextIoTest, ParseSetLine) {
   auto r = ParseSetLine("5 1  12\t3");
   ASSERT_TRUE(r.ok());

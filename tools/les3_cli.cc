@@ -162,8 +162,11 @@ int RunBatch(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", query_db.status().ToString().c_str());
     return 1;
   }
-  std::vector<SetRecord> queries(query_db.value().sets().begin(),
-                                 query_db.value().sets().end());
+  std::vector<SetRecord> queries;
+  queries.reserve(query_db.value().size());
+  for (SetId i = 0; i < query_db.value().size(); ++i) {
+    queries.emplace_back(query_db.value().set(i));
+  }
   if (queries.empty()) {
     std::fprintf(stderr, "error: no queries in %s\n", argv[4]);
     return 1;
@@ -192,14 +195,23 @@ int RunBatch(int argc, char** argv) {
   }
   bench::BatchLatency summary =
       bench::SummarizeBatch(results, timer.Seconds());
-  uint64_t total_hits = 0;
-  for (const auto& r : results) total_hits += r.hits.size();
+  uint64_t total_hits = 0, total_candidates = 0, total_size_skipped = 0;
+  for (const auto& r : results) {
+    total_hits += r.hits.size();
+    total_candidates += r.stats.candidates_verified;
+    total_size_skipped += r.stats.candidates_size_skipped;
+  }
   std::printf(
       "%zu %s queries in %.3fs: %.0f QPS, latency p50 %.3fms p95 %.3fms "
       "p99 %.3fms (%llu hits total)\n",
       summary.queries, mode.c_str(), summary.wall_s, summary.qps,
       summary.p50_ms, summary.p95_ms, summary.p99_ms,
       static_cast<unsigned long long>(total_hits));
+  std::printf(
+      "verification: %llu candidates verified, %llu skipped by the size "
+      "filter\n",
+      static_cast<unsigned long long>(total_candidates),
+      static_cast<unsigned long long>(total_size_skipped));
   return 0;
 }
 
