@@ -10,7 +10,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -97,23 +101,137 @@ inline double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[rank];
 }
 
-/// Summarizes a KnnBatch/RangeBatch run: QPS from the batch wall time,
-/// percentiles from each query's own latency (QueryResult::TotalMs).
-inline BatchLatency SummarizeBatch(const std::vector<api::QueryResult>& results,
-                                   double wall_s) {
+/// Summarizes raw per-query latencies (milliseconds, any order): QPS from
+/// the run's wall time, percentiles from the samples. The latency core of
+/// SummarizeBatch, shared with les3_loadgen whose samples are client-side
+/// round-trip times rather than QueryResult timings.
+inline BatchLatency SummarizeLatencies(std::vector<double> ms, double wall_s) {
   BatchLatency summary;
-  summary.queries = results.size();
+  summary.queries = ms.size();
   summary.wall_s = wall_s;
-  if (results.empty()) return summary;
-  summary.qps = wall_s > 0.0 ? results.size() / wall_s : 0.0;
-  std::vector<double> ms;
-  ms.reserve(results.size());
-  for (const auto& r : results) ms.push_back(r.TotalMs());
+  if (ms.empty()) return summary;
+  summary.qps = wall_s > 0.0 ? ms.size() / wall_s : 0.0;
   std::sort(ms.begin(), ms.end());
   summary.p50_ms = PercentileSorted(ms, 0.50);
   summary.p95_ms = PercentileSorted(ms, 0.95);
   summary.p99_ms = PercentileSorted(ms, 0.99);
   return summary;
+}
+
+/// Summarizes a KnnBatch/RangeBatch run: QPS from the batch wall time,
+/// percentiles from each query's own latency (QueryResult::TotalMs).
+inline BatchLatency SummarizeBatch(const std::vector<api::QueryResult>& results,
+                                   double wall_s) {
+  std::vector<double> ms;
+  ms.reserve(results.size());
+  for (const auto& r : results) ms.push_back(r.TotalMs());
+  return SummarizeLatencies(std::move(ms), wall_s);
+}
+
+/// \brief One row of the shared batch-throughput JSON schema.
+///
+/// `les3_cli batch --json` and `les3_loadgen --json` (BENCH_serve.json)
+/// both emit arrays of this shape, so in-process and over-the-wire runs
+/// plot on one axis. Engine-side verification counters are only available
+/// in-process (the wire protocol returns hits, not QueryStats); rows from
+/// the load generator omit those keys.
+struct BatchReport {
+  std::string tool;   // "les3_cli_batch" | "les3_loadgen"
+  std::string label;  // free-form run description
+  std::string mode;   // "knn" | "range"
+  double param = 0.0; // k or delta
+  size_t clients = 1; // concurrent client threads driving the run
+  BatchLatency latency;
+  uint64_t hits_total = 0;
+  uint64_t errors = 0;  // failed round trips (loadgen only)
+  bool have_engine_stats = false;
+  uint64_t candidates_verified = 0;
+  uint64_t candidates_size_skipped = 0;
+};
+
+/// Renders one report as a JSON object (two-space indent, stable key
+/// order — the schema shared by batch --json and BENCH_serve.json).
+inline std::string BatchReportJson(const BatchReport& report) {
+  std::ostringstream out;
+  auto str = [](const std::string& s) {
+    std::string escaped;
+    for (char c : s) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return '"' + escaped + '"';
+  };
+  char num[64];
+  auto f = [&num](double v) {
+    std::snprintf(num, sizeof(num), "%.6g", v);
+    return std::string(num);
+  };
+  out << "  {\n";
+  out << "    \"tool\": " << str(report.tool) << ",\n";
+  out << "    \"label\": " << str(report.label) << ",\n";
+  out << "    \"mode\": " << str(report.mode) << ",\n";
+  out << "    \"param\": " << f(report.param) << ",\n";
+  out << "    \"clients\": " << report.clients << ",\n";
+  out << "    \"queries\": " << report.latency.queries << ",\n";
+  out << "    \"wall_s\": " << f(report.latency.wall_s) << ",\n";
+  out << "    \"qps\": " << f(report.latency.qps) << ",\n";
+  out << "    \"p50_ms\": " << f(report.latency.p50_ms) << ",\n";
+  out << "    \"p95_ms\": " << f(report.latency.p95_ms) << ",\n";
+  out << "    \"p99_ms\": " << f(report.latency.p99_ms) << ",\n";
+  out << "    \"hits_total\": " << report.hits_total << ",\n";
+  out << "    \"errors\": " << report.errors;
+  if (report.have_engine_stats) {
+    out << ",\n";
+    out << "    \"candidates_verified\": " << report.candidates_verified
+        << ",\n";
+    out << "    \"candidates_size_skipped\": "
+        << report.candidates_size_skipped << "\n";
+  } else {
+    out << "\n";
+  }
+  out << "  }";
+  return out.str();
+}
+
+/// Writes `reports` as a JSON array. With append == true and an existing
+/// array at `path`, the new rows are spliced in before the closing
+/// bracket (how the CI serve smoke accumulates BENCH_serve.json across
+/// loadgen invocations).
+inline Status WriteBatchReports(const std::vector<BatchReport>& reports,
+                                const std::string& path, bool append = false) {
+  std::string prefix = "[\n";
+  if (append) {
+    std::ifstream existing(path);
+    if (existing) {
+      std::ostringstream buf;
+      buf << existing.rdbuf();
+      std::string content = buf.str();
+      size_t bracket = content.find_last_of(']');
+      if (bracket == std::string::npos) {
+        return Status::InvalidArgument(path + " is not a JSON array");
+      }
+      content.erase(bracket);
+      while (!content.empty() &&
+             (content.back() == '\n' || content.back() == ' ')) {
+        content.pop_back();
+      }
+      // An empty existing array needs no separating comma.
+      if (!content.empty()) {
+        prefix = content + (content.back() == '[' ? "\n" : ",\n");
+      }
+    }
+  }
+  std::ostringstream out;
+  out << prefix;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    out << BatchReportJson(reports[i]);
+    out << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IOError("cannot write " + path);
+  file << out.str();
+  return file ? Status::OK() : Status::IOError("short write to " + path);
 }
 
 /// Writes the CSV next to the binary's working directory and announces it.

@@ -91,6 +91,13 @@ class SearchEngine {
   /// database shared with any sibling engines built over it.
   virtual Result<SetId> Insert(SetRecord set);
 
+  /// Whether Insert is safe concurrently with Knn/Range (and with other
+  /// Inserts) on this engine — the sharded engine's upgraded contract.
+  /// Layers that interleave reads and writes on one engine (the network
+  /// server, serve/server.h) key their locking off this: when false they
+  /// serialize Insert against queries themselves.
+  virtual bool SupportsConcurrentInsert() const { return false; }
+
   /// Persists the built index as a versioned snapshot
   /// (docs/snapshot_format.md) that EngineBuilder::Open reloads without
   /// any partitioning or training work. Supported by the les3-family

@@ -60,6 +60,13 @@ void ByteWriter::WriteF32(float v) {
   WriteU32(bits);
 }
 
+void ByteWriter::WriteF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
 void ByteWriter::WriteBytes(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + n);
@@ -113,6 +120,13 @@ Status ByteReader::ReadU64(uint64_t* v) {
 Status ByteReader::ReadF32(float* v) {
   uint32_t bits = 0;
   LES3_RETURN_NOT_OK(ReadU32(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  LES3_RETURN_NOT_OK(ReadU64(&bits));
   std::memcpy(v, &bits, sizeof(bits));
   return Status::OK();
 }

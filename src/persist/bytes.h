@@ -35,6 +35,7 @@ class ByteWriter {
   /// Floats are stored as the little-endian bytes of their IEEE-754 bit
   /// pattern.
   void WriteF32(float v);
+  void WriteF64(double v);
   void WriteBytes(const void* data, size_t n);
   /// u32 length followed by the raw bytes.
   void WriteString(const std::string& s);
@@ -71,6 +72,7 @@ class ByteReader {
   Status ReadU32(uint32_t* v);
   Status ReadU64(uint64_t* v);
   Status ReadF32(float* v);
+  Status ReadF64(double* v);
   Status ReadBytes(void* out, size_t n);
   /// Reads a u32 length then that many bytes; rejects lengths above
   /// `max_len` before touching the payload (no attacker-sized allocations).

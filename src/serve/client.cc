@@ -1,0 +1,246 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace les3 {
+namespace serve {
+
+namespace {
+
+constexpr size_t kReadChunk = 16 * 1024;
+
+}  // namespace
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_seq_(other.next_seq_), in_(std::move(other.in_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_seq_ = other.next_seq_;
+    in_ = std::move(other.in_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               uint32_t timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IOError("connect " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  int enable = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  if (timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+Status Client::SendAll(const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::RecvFrame(std::vector<uint8_t>* payload) {
+  for (;;) {
+    size_t frame_end = 0;
+    bool complete = false;
+    LES3_RETURN_NOT_OK(
+        ExtractFrame(in_.data(), in_.size(), &frame_end, &complete));
+    if (complete) {
+      payload->assign(in_.begin() + 4,
+                      in_.begin() + static_cast<ptrdiff_t>(frame_end));
+      in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(frame_end));
+      return Status::OK();
+    }
+    uint8_t buf[kReadChunk];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("receive timeout");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status Client::Call(const Request& request, Response* response) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  Request to_send = request;
+  to_send.seq = next_seq_++;
+  persist::ByteWriter frame;
+  EncodeRequest(to_send, &frame);
+  Status st = SendAll(frame.data().data(), frame.size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  std::vector<uint8_t> payload;
+  st = RecvFrame(&payload);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  auto decoded = DecodeResponse(payload.data(), payload.size(), to_send.type);
+  if (!decoded.ok()) {
+    Close();
+    return Status::IOError("malformed server reply: " +
+                           decoded.status().message());
+  }
+  if (decoded.value().seq != to_send.seq) {
+    Close();
+    return Status::IOError(
+        "response sequence mismatch: sent " + std::to_string(to_send.seq) +
+        ", got " + std::to_string(decoded.value().seq));
+  }
+  *response = std::move(decoded).ValueOrDie();
+  return Status::OK();
+}
+
+Status StatusFromResponse(const Response& response) {
+  if (response.status == WireStatus::kOk) return Status::OK();
+  return Status::FromCode(CodeFromWireStatus(response.status),
+                          response.message);
+}
+
+Status Client::Ping(uint32_t deadline_ms) {
+  Request request;
+  request.type = MsgType::kPing;
+  request.deadline_ms = deadline_ms;
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  return StatusFromResponse(response);
+}
+
+Result<std::string> Client::Describe() {
+  Request request;
+  request.type = MsgType::kDescribe;
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  LES3_RETURN_NOT_OK(StatusFromResponse(response));
+  return std::move(response.describe);
+}
+
+Result<std::vector<Hit>> Client::Knn(SetView query, size_t k,
+                                     uint32_t deadline_ms) {
+  Request request;
+  request.type = MsgType::kKnn;
+  request.deadline_ms = deadline_ms;
+  request.k = static_cast<uint32_t>(k);
+  request.queries.emplace_back(query);
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  LES3_RETURN_NOT_OK(StatusFromResponse(response));
+  return std::move(response.results[0]);
+}
+
+Result<std::vector<Hit>> Client::Range(SetView query, double delta,
+                                       uint32_t deadline_ms) {
+  Request request;
+  request.type = MsgType::kRange;
+  request.deadline_ms = deadline_ms;
+  request.delta = delta;
+  request.queries.emplace_back(query);
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  LES3_RETURN_NOT_OK(StatusFromResponse(response));
+  return std::move(response.results[0]);
+}
+
+Result<std::vector<std::vector<Hit>>> Client::KnnBatch(
+    const std::vector<SetRecord>& queries, size_t k, uint32_t deadline_ms) {
+  Request request;
+  request.type = MsgType::kKnnBatch;
+  request.deadline_ms = deadline_ms;
+  request.k = static_cast<uint32_t>(k);
+  request.queries = queries;
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  LES3_RETURN_NOT_OK(StatusFromResponse(response));
+  return std::move(response.results);
+}
+
+Result<std::vector<std::vector<Hit>>> Client::RangeBatch(
+    const std::vector<SetRecord>& queries, double delta,
+    uint32_t deadline_ms) {
+  Request request;
+  request.type = MsgType::kRangeBatch;
+  request.deadline_ms = deadline_ms;
+  request.delta = delta;
+  request.queries = queries;
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  LES3_RETURN_NOT_OK(StatusFromResponse(response));
+  return std::move(response.results);
+}
+
+Result<SetId> Client::Insert(const SetRecord& set) {
+  Request request;
+  request.type = MsgType::kInsert;
+  request.queries.push_back(set);
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  LES3_RETURN_NOT_OK(StatusFromResponse(response));
+  return response.inserted_id;
+}
+
+}  // namespace serve
+}  // namespace les3

@@ -1,0 +1,79 @@
+// Client — a small blocking TCP client for the les3_serve wire protocol.
+//
+// One request outstanding at a time (Call assigns sequence numbers and
+// verifies the echo); les3_loadgen opens one Client per load thread. All
+// transport failures surface as IOError; typed server rejections
+// (including kDeadlineExceeded / kOverloaded) come back as the matching
+// les3::Status code via Status::FromCode, so callers branch on code()
+// exactly as they would on a local engine's Status.
+
+#ifndef LES3_SERVE_CLIENT_H_
+#define LES3_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/set_record.h"
+#include "core/types.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace les3 {
+namespace serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port. `timeout_ms` bounds every subsequent send and
+  /// receive (0 = block indefinitely); a timeout surfaces as IOError.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                uint32_t timeout_ms = 0);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  Status Ping(uint32_t deadline_ms = 0);
+  Result<std::string> Describe();
+  Result<std::vector<Hit>> Knn(SetView query, size_t k,
+                               uint32_t deadline_ms = 0);
+  Result<std::vector<Hit>> Range(SetView query, double delta,
+                                 uint32_t deadline_ms = 0);
+  Result<std::vector<std::vector<Hit>>> KnnBatch(
+      const std::vector<SetRecord>& queries, size_t k,
+      uint32_t deadline_ms = 0);
+  Result<std::vector<std::vector<Hit>>> RangeBatch(
+      const std::vector<SetRecord>& queries, double delta,
+      uint32_t deadline_ms = 0);
+  Result<SetId> Insert(const SetRecord& set);
+
+  /// Low-level round trip: sends `request` (seq assigned here) and blocks
+  /// for its reply. OK means a well-formed reply arrived — inspect
+  /// response->status for the server's verdict. IOError on any transport
+  /// or codec failure (the connection is closed; reconnect to continue).
+  Status Call(const Request& request, Response* response);
+
+ private:
+  Status SendAll(const uint8_t* data, size_t size);
+  Status RecvFrame(std::vector<uint8_t>* payload);
+
+  int fd_ = -1;
+  uint32_t next_seq_ = 1;
+  std::vector<uint8_t> in_;  // bytes read past the previous frame
+};
+
+/// Folds a server reply into a Status: OK for kOk, otherwise the matching
+/// StatusCode via Status::FromCode with the server's message.
+Status StatusFromResponse(const Response& response);
+
+}  // namespace serve
+}  // namespace les3
+
+#endif  // LES3_SERVE_CLIENT_H_

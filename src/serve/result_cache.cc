@@ -1,0 +1,155 @@
+#include "serve/result_cache.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace serve {
+
+namespace {
+
+// FNV-1a over the key bytes; only stripes locks, no adversarial concerns.
+size_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendTokens(SetView query, std::string* out) {
+  for (TokenId t : query) {
+    for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(t >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const Options& options)
+    : capacity_bytes_(options.capacity_bytes) {
+  size_t n = RoundUpPow2(options.num_shards == 0 ? 1 : options.num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  per_shard_capacity_ = capacity_bytes_ / n;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+}
+
+std::string ResultCache::KnnKey(SetView query, size_t k) {
+  std::string key;
+  key.reserve(9 + query.size() * 4);
+  key.push_back('K');
+  AppendU64(static_cast<uint64_t>(k), &key);
+  AppendTokens(query, &key);
+  return key;
+}
+
+std::string ResultCache::RangeKey(SetView query, double delta) {
+  std::string key;
+  key.reserve(9 + query.size() * 4);
+  key.push_back('R');
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(delta), "double must be 64-bit");
+  std::memcpy(&bits, &delta, sizeof(bits));
+  AppendU64(bits, &key);
+  AppendTokens(query, &key);
+  return key;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[HashKey(key) & (shards_.size() - 1)];
+}
+
+size_t ResultCache::ChargeOf(const std::string& key, const Value& hits) {
+  // Key bytes + 16 bytes per hit + a flat allowance for the list/map nodes.
+  return key.size() + (hits ? hits->size() * sizeof(Hit) : 0) + 96;
+}
+
+ResultCache::Value ResultCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  if (it->second->epoch != epoch()) {
+    // Epoch-stale: an Insert completed after this entry's query started.
+    // Drop it eagerly so dead entries do not squat on capacity.
+    ++shard.stats.invalidations;
+    ++shard.stats.misses;
+    shard.charged -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->hits;
+}
+
+void ResultCache::Put(const std::string& key, Value hits, uint64_t epoch) {
+  if (epoch != this->epoch()) return;  // already stale, don't store a corpse
+  Shard& shard = ShardFor(key);
+  size_t charge = ChargeOf(key, hits);
+  if (charge > per_shard_capacity_) return;  // would evict the whole shard
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh in place (e.g. two concurrent misses raced to compute).
+    shard.charged -= it->second->charge;
+    it->second->hits = std::move(hits);
+    it->second->epoch = epoch;
+    it->second->charge = charge;
+    shard.charged += charge;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(hits), epoch, charge});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.charged += charge;
+  ++shard.stats.insertions;
+  while (shard.charged > per_shard_capacity_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.charged -= victim.charge;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.invalidations += shard->stats.invalidations;
+  }
+  return total;
+}
+
+size_t ResultCache::charged_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->charged;
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace les3

@@ -1,0 +1,129 @@
+// ResultCache — a sharded LRU cache of Knn/Range hit lists that preserves
+// the engine's exactness guarantee under concurrent Inserts.
+//
+// Keys pack (query type, parameter bits, query tokens) into one byte
+// string; values are immutable shared hit lists, so a hit is served with
+// zero copies while an eviction never invalidates a reply in flight.
+//
+// Exactness argument (the part that matters): the cache carries a global
+// epoch counter. Every completed Insert bumps it; every cached entry
+// records the epoch its query STARTED under, and a lookup only returns an
+// entry whose recorded epoch equals the current one. Two races are worth
+// spelling out:
+//
+//  - Insert completes (engine mutated, epoch bumped) before a lookup: the
+//    entry's epoch is stale, the lookup misses, and the query recomputes
+//    against the post-insert engine. No stale result is ever served.
+//  - A query runs concurrently with an Insert (engine mutated, bump not
+//    yet visible): the computed result is one the engine itself could have
+//    returned for that concurrent interleaving, and it is only served
+//    while the bump is still not visible — i.e. while the Insert is still
+//    concurrent. The moment the bump lands, the entry dies. A result
+//    computed BEFORE the insert can also be cached at the pre-bump epoch;
+//    it too dies at the bump. Either way the cache never widens the set of
+//    answers the bare engine could give.
+//
+// The conservative direction (an entry invalidated although its result
+// happens to still be correct) costs a recompute, never correctness. The
+// differential loopback tests interleave Inserts with cached queries and
+// hold serve-with-cache byte-exact against an uncached engine.
+
+#ifndef LES3_SERVE_RESULT_CACHE_H_
+#define LES3_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/set_record.h"
+#include "core/types.h"
+
+namespace les3 {
+namespace serve {
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Total charged bytes across all shards; entries evict LRU per shard
+    /// once a shard exceeds its capacity_bytes / num_shards slice.
+    size_t capacity_bytes = 64u << 20;
+    /// Lock-striping factor (rounded up to a power of two, min 1).
+    size_t num_shards = 16;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;      // capacity pressure
+    uint64_t invalidations = 0;  // epoch-stale entries dropped on lookup
+  };
+
+  using Value = std::shared_ptr<const std::vector<Hit>>;
+
+  explicit ResultCache(const Options& options);
+
+  /// Packs (type tag, param bits, tokens) into the cache key. k and delta
+  /// are keyed on their exact bit patterns — no two distinct parameters
+  /// ever share an entry.
+  static std::string KnnKey(SetView query, size_t k);
+  static std::string RangeKey(SetView query, double delta);
+
+  /// The epoch to record a query under, read BEFORE running it.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Publishes an Insert: called AFTER the engine mutation completes.
+  /// Every entry recorded under an earlier epoch is dead from here on.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Returns the cached hits, or nullptr on miss. An entry whose epoch is
+  /// stale counts as a miss (and is dropped eagerly).
+  Value Get(const std::string& key);
+
+  /// Inserts `hits` recorded under `epoch` (from epoch(), read before the
+  /// query ran). A no-op if the epoch has already moved on — the result
+  /// may be stale and there is no point storing a dead entry.
+  void Put(const std::string& key, Value hits, uint64_t epoch);
+
+  /// Aggregated over all shards; each counter is individually consistent.
+  Stats stats() const;
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Charged bytes currently held (sum over shards).
+  size_t charged_bytes() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    Value hits;
+    uint64_t epoch = 0;
+    size_t charge = 0;
+  };
+  // LRU list per shard: front = most recent. The map points into the list.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t charged = 0;
+    Stats stats;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  static size_t ChargeOf(const std::string& key, const Value& hits);
+
+  size_t capacity_bytes_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace serve
+}  // namespace les3
+
+#endif  // LES3_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,378 @@
+#include "serve/wire.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace les3 {
+namespace serve {
+
+namespace {
+
+// Longest error message a response may carry. Generous; the bound exists
+// so a corrupt length field cannot demand an attacker-sized allocation.
+constexpr size_t kMaxMessageBytes = 64 * 1024;
+
+bool KnownType(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(MsgType::kPing) &&
+         raw <= static_cast<uint8_t>(MsgType::kInsert);
+}
+
+void EncodeSet(SetView set, persist::ByteWriter* out) {
+  out->WriteU32(static_cast<uint32_t>(set.size()));
+  for (TokenId t : set) out->WriteU32(t);
+}
+
+// Reads one set: u32 count then count sorted token ids. The count is
+// checked against the bytes actually remaining before any allocation.
+Result<SetRecord> DecodeSet(persist::ByteReader* in) {
+  uint32_t count = 0;
+  LES3_RETURN_NOT_OK(in->ReadU32(&count));
+  if (static_cast<size_t>(count) * 4 > in->remaining()) {
+    return Status::InvalidArgument("set token count " + std::to_string(count) +
+                                   " exceeds the frame payload");
+  }
+  std::vector<TokenId> tokens(count);
+  TokenId prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    LES3_RETURN_NOT_OK(in->ReadU32(&tokens[i]));
+    if (i > 0 && tokens[i] < prev) {
+      return Status::InvalidArgument(
+          "set tokens must be sorted non-descending (token " +
+          std::to_string(tokens[i]) + " after " + std::to_string(prev) + ")");
+    }
+    prev = tokens[i];
+  }
+  return SetRecord::FromSortedTokens(std::move(tokens));
+}
+
+void EncodeHits(const std::vector<Hit>& hits, persist::ByteWriter* out) {
+  out->WriteU32(static_cast<uint32_t>(hits.size()));
+  for (const auto& [id, sim] : hits) {
+    out->WriteU32(id);
+    out->WriteF64(sim);
+  }
+}
+
+Result<std::vector<Hit>> DecodeHits(persist::ByteReader* in) {
+  uint32_t count = 0;
+  LES3_RETURN_NOT_OK(in->ReadU32(&count));
+  if (static_cast<size_t>(count) * 12 > in->remaining()) {
+    return Status::InvalidArgument("hit count " + std::to_string(count) +
+                                   " exceeds the frame payload");
+  }
+  std::vector<Hit> hits;
+  hits.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id = 0;
+    double sim = 0.0;
+    LES3_RETURN_NOT_OK(in->ReadU32(&id));
+    LES3_RETURN_NOT_OK(in->ReadF64(&sim));
+    hits.emplace_back(id, sim);
+  }
+  return hits;
+}
+
+// Reads a query count for a batch body, bounded both by the protocol cap
+// and by what could possibly fit in the remaining bytes (each query is at
+// least a u32 token count).
+Result<uint32_t> DecodeBatchCount(persist::ByteReader* in) {
+  uint32_t n = 0;
+  LES3_RETURN_NOT_OK(in->ReadU32(&n));
+  if (n > kMaxBatchQueries) {
+    return Status::InvalidArgument("batch query count " + std::to_string(n) +
+                                   " exceeds the cap of " +
+                                   std::to_string(kMaxBatchQueries));
+  }
+  if (static_cast<size_t>(n) * 4 > in->remaining()) {
+    return Status::InvalidArgument("batch query count " + std::to_string(n) +
+                                   " exceeds the frame payload");
+  }
+  return n;
+}
+
+// Wraps a payload written after a 4-byte placeholder into a frame by
+// patching the length prefix.
+class FramePatcher {
+ public:
+  explicit FramePatcher(persist::ByteWriter* out) : out_(out) {
+    prefix_pos_ = out->size();
+    out->WriteU32(0);
+  }
+  ~FramePatcher() {
+    size_t payload = out_->size() - prefix_pos_ - 4;
+    LES3_CHECK_LE(payload, kMaxFrameBytes);
+    out_->PatchU32(prefix_pos_, static_cast<uint32_t>(payload));
+  }
+
+ private:
+  persist::ByteWriter* out_;
+  size_t prefix_pos_;
+};
+
+}  // namespace
+
+WireStatus WireStatusFromCode(StatusCode code) {
+  // The two enums are value-for-value identical by construction.
+  return static_cast<WireStatus>(static_cast<uint8_t>(code));
+}
+
+StatusCode CodeFromWireStatus(WireStatus status) {
+  return static_cast<StatusCode>(static_cast<uint8_t>(status));
+}
+
+const char* ToString(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "Ok";
+    case WireStatus::kInvalidArgument: return "InvalidArgument";
+    case WireStatus::kNotFound: return "NotFound";
+    case WireStatus::kAlreadyExists: return "AlreadyExists";
+    case WireStatus::kOutOfRange: return "OutOfRange";
+    case WireStatus::kIOError: return "IOError";
+    case WireStatus::kNotSupported: return "NotSupported";
+    case WireStatus::kInternal: return "Internal";
+    case WireStatus::kDeadlineExceeded: return "DeadlineExceeded";
+    case WireStatus::kOverloaded: return "Overloaded";
+  }
+  return "Unknown";
+}
+
+void EncodeRequest(const Request& request, persist::ByteWriter* out) {
+  FramePatcher frame(out);
+  out->WriteU32(request.seq);
+  out->WriteU8(static_cast<uint8_t>(request.type));
+  out->WriteU32(request.deadline_ms);
+  switch (request.type) {
+    case MsgType::kPing:
+    case MsgType::kDescribe:
+      break;
+    case MsgType::kKnn:
+      LES3_CHECK_EQ(request.queries.size(), 1u);
+      out->WriteU32(request.k);
+      EncodeSet(request.queries[0], out);
+      break;
+    case MsgType::kRange:
+      LES3_CHECK_EQ(request.queries.size(), 1u);
+      out->WriteF64(request.delta);
+      EncodeSet(request.queries[0], out);
+      break;
+    case MsgType::kKnnBatch:
+      out->WriteU32(request.k);
+      out->WriteU32(static_cast<uint32_t>(request.queries.size()));
+      for (const auto& q : request.queries) EncodeSet(q, out);
+      break;
+    case MsgType::kRangeBatch:
+      out->WriteF64(request.delta);
+      out->WriteU32(static_cast<uint32_t>(request.queries.size()));
+      for (const auto& q : request.queries) EncodeSet(q, out);
+      break;
+    case MsgType::kInsert:
+      LES3_CHECK_EQ(request.queries.size(), 1u);
+      EncodeSet(request.queries[0], out);
+      break;
+  }
+}
+
+void EncodeResponse(const Response& response, MsgType type,
+                    persist::ByteWriter* out) {
+  FramePatcher frame(out);
+  out->WriteU32(response.seq);
+  out->WriteU8(static_cast<uint8_t>(response.status));
+  if (response.status != WireStatus::kOk) {
+    out->WriteString(response.message);
+    return;
+  }
+  switch (type) {
+    case MsgType::kPing:
+      break;
+    case MsgType::kDescribe:
+      out->WriteString(response.describe);
+      break;
+    case MsgType::kKnn:
+    case MsgType::kRange:
+      LES3_CHECK_EQ(response.results.size(), 1u);
+      EncodeHits(response.results[0], out);
+      break;
+    case MsgType::kKnnBatch:
+    case MsgType::kRangeBatch:
+      out->WriteU32(static_cast<uint32_t>(response.results.size()));
+      for (const auto& hits : response.results) EncodeHits(hits, out);
+      break;
+    case MsgType::kInsert:
+      out->WriteU32(response.inserted_id);
+      break;
+  }
+}
+
+void EncodeErrorResponse(uint32_t seq, WireStatus status,
+                         const std::string& message,
+                         persist::ByteWriter* out) {
+  LES3_CHECK(status != WireStatus::kOk);
+  Response response;
+  response.seq = seq;
+  response.status = status;
+  response.message = message;
+  // The type is irrelevant for a non-OK body; kPing keeps the encoder
+  // honest about not reading result fields.
+  EncodeResponse(response, MsgType::kPing, out);
+}
+
+Status ExtractFrame(const uint8_t* data, size_t size, size_t* frame_end,
+                    bool* complete) {
+  *complete = false;
+  *frame_end = 0;
+  if (size < 4) return Status::OK();  // need the length prefix
+  persist::ByteReader prefix(data, size);
+  uint32_t payload_len = 0;
+  LES3_RETURN_NOT_OK(prefix.ReadU32(&payload_len));
+  if (payload_len == 0) {
+    return Status::InvalidArgument("zero-length frame");
+  }
+  if (payload_len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(payload_len) +
+        " exceeds the cap of " + std::to_string(kMaxFrameBytes));
+  }
+  if (size < 4 + static_cast<size_t>(payload_len)) return Status::OK();
+  *frame_end = 4 + payload_len;
+  *complete = true;
+  return Status::OK();
+}
+
+Result<Request> DecodeRequest(const uint8_t* payload, size_t size) {
+  persist::ByteReader in(payload, size);
+  Request request;
+  LES3_RETURN_NOT_OK(in.ReadU32(&request.seq));
+  uint8_t raw_type = 0;
+  LES3_RETURN_NOT_OK(in.ReadU8(&raw_type));
+  if (!KnownType(raw_type)) {
+    return Status::InvalidArgument("unknown request type " +
+                                   std::to_string(raw_type));
+  }
+  request.type = static_cast<MsgType>(raw_type);
+  LES3_RETURN_NOT_OK(in.ReadU32(&request.deadline_ms));
+
+  switch (request.type) {
+    case MsgType::kPing:
+    case MsgType::kDescribe:
+      break;
+    case MsgType::kKnn: {
+      LES3_RETURN_NOT_OK(in.ReadU32(&request.k));
+      auto set = DecodeSet(&in);
+      if (!set.ok()) return set.status();
+      request.queries.push_back(std::move(set).ValueOrDie());
+      break;
+    }
+    case MsgType::kRange: {
+      LES3_RETURN_NOT_OK(in.ReadF64(&request.delta));
+      if (!std::isfinite(request.delta)) {
+        return Status::InvalidArgument("range delta must be finite");
+      }
+      auto set = DecodeSet(&in);
+      if (!set.ok()) return set.status();
+      request.queries.push_back(std::move(set).ValueOrDie());
+      break;
+    }
+    case MsgType::kKnnBatch: {
+      LES3_RETURN_NOT_OK(in.ReadU32(&request.k));
+      auto n = DecodeBatchCount(&in);
+      if (!n.ok()) return n.status();
+      request.queries.reserve(n.value());
+      for (uint32_t i = 0; i < n.value(); ++i) {
+        auto set = DecodeSet(&in);
+        if (!set.ok()) return set.status();
+        request.queries.push_back(std::move(set).ValueOrDie());
+      }
+      break;
+    }
+    case MsgType::kRangeBatch: {
+      LES3_RETURN_NOT_OK(in.ReadF64(&request.delta));
+      if (!std::isfinite(request.delta)) {
+        return Status::InvalidArgument("range delta must be finite");
+      }
+      auto n = DecodeBatchCount(&in);
+      if (!n.ok()) return n.status();
+      request.queries.reserve(n.value());
+      for (uint32_t i = 0; i < n.value(); ++i) {
+        auto set = DecodeSet(&in);
+        if (!set.ok()) return set.status();
+        request.queries.push_back(std::move(set).ValueOrDie());
+      }
+      break;
+    }
+    case MsgType::kInsert: {
+      auto set = DecodeSet(&in);
+      if (!set.ok()) return set.status();
+      request.queries.push_back(std::move(set).ValueOrDie());
+      break;
+    }
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument(
+        std::to_string(in.remaining()) + " trailing bytes after the request");
+  }
+  return request;
+}
+
+Result<Response> DecodeResponse(const uint8_t* payload, size_t size,
+                                MsgType type) {
+  persist::ByteReader in(payload, size);
+  Response response;
+  LES3_RETURN_NOT_OK(in.ReadU32(&response.seq));
+  uint8_t raw_status = 0;
+  LES3_RETURN_NOT_OK(in.ReadU8(&raw_status));
+  if (raw_status > static_cast<uint8_t>(WireStatus::kOverloaded)) {
+    return Status::InvalidArgument("unknown response status " +
+                                   std::to_string(raw_status));
+  }
+  response.status = static_cast<WireStatus>(raw_status);
+  if (response.status != WireStatus::kOk) {
+    LES3_RETURN_NOT_OK(in.ReadString(&response.message, kMaxMessageBytes));
+    if (!in.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after the error reply");
+    }
+    return response;
+  }
+  switch (type) {
+    case MsgType::kPing:
+      break;
+    case MsgType::kDescribe:
+      LES3_RETURN_NOT_OK(in.ReadString(&response.describe, kMaxMessageBytes));
+      break;
+    case MsgType::kKnn:
+    case MsgType::kRange: {
+      auto hits = DecodeHits(&in);
+      if (!hits.ok()) return hits.status();
+      response.results.push_back(std::move(hits).ValueOrDie());
+      break;
+    }
+    case MsgType::kKnnBatch:
+    case MsgType::kRangeBatch: {
+      uint32_t n = 0;
+      LES3_RETURN_NOT_OK(in.ReadU32(&n));
+      if (static_cast<size_t>(n) * 4 > in.remaining()) {
+        return Status::InvalidArgument("batch result count " +
+                                       std::to_string(n) +
+                                       " exceeds the frame payload");
+      }
+      response.results.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        auto hits = DecodeHits(&in);
+        if (!hits.ok()) return hits.status();
+        response.results.push_back(std::move(hits).ValueOrDie());
+      }
+      break;
+    }
+    case MsgType::kInsert:
+      LES3_RETURN_NOT_OK(in.ReadU32(&response.inserted_id));
+      break;
+  }
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument(
+        std::to_string(in.remaining()) + " trailing bytes after the response");
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace les3

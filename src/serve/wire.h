@@ -1,0 +1,137 @@
+// The les3_serve wire protocol: a small length-prefixed little-endian
+// binary framing with one request and one response shape per message type
+// (docs/serving.md has the byte-level layout).
+//
+// The codec is pure — it maps byte buffers to/from the Request/Response
+// structs and never touches a socket — so the malformed-frame test suite
+// drives every truncation and corruption case without networking, the same
+// way the snapshot corruption suite drives persist/. All multi-byte
+// integers are little-endian via persist::ByteWriter/ByteReader: the
+// bounds-checked reader is the only way network bytes enter the process,
+// so malformed input produces a typed Status, never an out-of-bounds read.
+//
+// Every request carries a client-chosen `seq` echoed verbatim in its
+// response, so pipelined clients can match replies even when the server's
+// executor pool completes them out of order. Responses carry no
+// server-side timing or counters: for a given engine state, the response
+// bytes are a pure function of the request bytes, which is what lets the
+// end-to-end tests demand byte-exact agreement between cached and
+// uncached serving.
+
+#ifndef LES3_SERVE_WIRE_H_
+#define LES3_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/set_record.h"
+#include "core/types.h"
+#include "persist/bytes.h"
+#include "util/status.h"
+
+namespace les3 {
+namespace serve {
+
+/// Hard cap on one frame's payload. A length prefix above this is a
+/// protocol violation: the framer rejects it before any allocation and the
+/// connection closes (there is no way to resynchronize a corrupt length).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Cap on the per-request query count of the batch types.
+inline constexpr uint32_t kMaxBatchQueries = 1u << 16;
+
+/// Request message types. Values are wire bytes — append only.
+enum class MsgType : uint8_t {
+  kPing = 1,       // liveness probe, empty body
+  kDescribe = 2,   // server + engine description string
+  kKnn = 3,        // exact kNN for one query
+  kRange = 4,      // exact range search for one query
+  kKnnBatch = 5,   // kNN for N queries, one shared k
+  kRangeBatch = 6, // range for N queries, one shared delta
+  kInsert = 7,     // insert one set, returns its global id
+};
+
+/// Typed reply status. 0-9 mirror les3::StatusCode value for value
+/// (Status::FromCode round-trips them); the serving layer adds nothing —
+/// deadline and admission rejections are StatusCode codes too.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kNotSupported = 6,
+  kInternal = 7,
+  kDeadlineExceeded = 8,  // request missed its deadline budget
+  kOverloaded = 9,        // fast-rejected by admission control
+};
+
+/// StatusCode <-> WireStatus, value for value.
+WireStatus WireStatusFromCode(StatusCode code);
+StatusCode CodeFromWireStatus(WireStatus status);
+const char* ToString(WireStatus status);
+
+/// \brief One decoded request.
+struct Request {
+  uint32_t seq = 0;          // echoed in the response
+  MsgType type = MsgType::kPing;
+  uint32_t deadline_ms = 0;  // budget from arrival; 0 = unbounded
+  uint32_t k = 0;            // kKnn / kKnnBatch
+  double delta = 0.0;        // kRange / kRangeBatch
+  /// One entry for kKnn/kRange/kInsert, N for the batch types, empty for
+  /// kPing/kDescribe. Tokens are sorted non-descending (the codec rejects
+  /// anything else; multiset duplicates are legal).
+  std::vector<SetRecord> queries;
+};
+
+/// \brief One decoded response.
+struct Response {
+  uint32_t seq = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string message;   // non-OK replies only
+  std::string describe;  // kDescribe
+  SetId inserted_id = 0; // kInsert
+  /// Hit lists: one for kKnn/kRange, N (in request order) for batches.
+  std::vector<std::vector<Hit>> results;
+};
+
+/// Appends one complete request frame (length prefix included) to `out`.
+void EncodeRequest(const Request& request, persist::ByteWriter* out);
+
+/// Appends one complete response frame. `type` selects the OK-body shape
+/// (it is not on the wire; the client knows what it asked).
+void EncodeResponse(const Response& response, MsgType type,
+                    persist::ByteWriter* out);
+
+/// Convenience for the server's error paths: a non-OK response frame.
+void EncodeErrorResponse(uint32_t seq, WireStatus status,
+                         const std::string& message, persist::ByteWriter* out);
+
+/// \brief Scans a connection buffer for one complete frame.
+///
+/// On OK with *complete == true, bytes [4, *frame_end) of `data` are the
+/// payload and the caller consumes *frame_end bytes. With *complete ==
+/// false, more bytes are needed (fewer than a length prefix, or fewer than
+/// the declared payload). A zero or oversized length prefix returns
+/// InvalidArgument: the stream cannot be resynchronized and the connection
+/// must close after an error reply.
+Status ExtractFrame(const uint8_t* data, size_t size, size_t* frame_end,
+                    bool* complete);
+
+/// Decodes one request payload (the bytes after the length prefix).
+/// Rejects unknown types, truncated bodies, token counts that exceed the
+/// payload, out-of-order (descending) tokens, batch counts above
+/// kMaxBatchQueries, non-finite delta, and trailing bytes.
+Result<Request> DecodeRequest(const uint8_t* payload, size_t size);
+
+/// Decodes one response payload; `type` is the request type this reply
+/// answers (selects the OK-body shape).
+Result<Response> DecodeResponse(const uint8_t* payload, size_t size,
+                                MsgType type);
+
+}  // namespace serve
+}  // namespace les3
+
+#endif  // LES3_SERVE_WIRE_H_

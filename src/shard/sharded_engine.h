@@ -83,6 +83,10 @@ class ShardedEngine : public api::SearchEngine {
   /// queries on every shard and with other Inserts.
   Result<SetId> Insert(SetRecord set) override;
 
+  /// The per-shard reader-writer locks make concurrent Insert + query the
+  /// contract on this backend (file comment above).
+  bool SupportsConcurrentInsert() const override { return true; }
+
   /// Writes a v2 sharded snapshot. Takes every shard lock, so it is safe
   /// concurrently with queries and Inserts (they wait).
   Status Save(const std::string& path) const override;

@@ -13,6 +13,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

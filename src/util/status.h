@@ -23,6 +23,10 @@ enum class StatusCode {
   kIOError,
   kNotSupported,
   kInternal,
+  // Serving-layer codes (src/serve): a request that missed its deadline
+  // budget, and a request fast-rejected by admission control.
+  kDeadlineExceeded,
+  kOverloaded,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -54,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
   /// Non-OK status with an explicit code — for wrappers that prepend
   /// context to a propagated error while preserving its code (`code` must

@@ -1,0 +1,186 @@
+// ResultCache unit suite (serve/result_cache.h): key construction, LRU
+// eviction and recency, the epoch invalidation protocol that preserves
+// exactness under Inserts, and stats/capacity accounting. The end-to-end
+// differential leg lives in serve_e2e_test.cc.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/set_record.h"
+#include "serve/result_cache.h"
+
+namespace les3 {
+namespace serve {
+namespace {
+
+ResultCache::Value Hits(std::vector<Hit> hits) {
+  return std::make_shared<const std::vector<Hit>>(std::move(hits));
+}
+
+SetRecord Set(std::vector<TokenId> tokens) {
+  return SetRecord::FromSortedTokens(std::move(tokens));
+}
+
+// A single shard makes LRU order observable deterministically.
+ResultCache::Options SingleShard(size_t capacity) {
+  ResultCache::Options options;
+  options.capacity_bytes = capacity;
+  options.num_shards = 1;
+  return options;
+}
+
+TEST(ServeCache, KeysSeparateTypesParamsAndQueries) {
+  SetRecord a = Set({1, 2, 3});
+  SetRecord b = Set({1, 2, 4});
+  EXPECT_NE(ResultCache::KnnKey(a.view(), 10),
+            ResultCache::KnnKey(a.view(), 11));
+  EXPECT_NE(ResultCache::KnnKey(a.view(), 10),
+            ResultCache::KnnKey(b.view(), 10));
+  EXPECT_NE(ResultCache::RangeKey(a.view(), 0.5),
+            ResultCache::RangeKey(a.view(), 0.6));
+  // A kNN and a range lookup can never share an entry, whatever the
+  // parameter bits happen to be.
+  EXPECT_NE(ResultCache::KnnKey(a.view(), 1),
+            ResultCache::RangeKey(a.view(), 0.0));
+  // Same inputs -> same key (the whole point).
+  EXPECT_EQ(ResultCache::RangeKey(a.view(), 0.5),
+            ResultCache::RangeKey(a.view(), 0.5));
+}
+
+TEST(ServeCache, HitAfterPutMissBefore) {
+  ResultCache cache(SingleShard(1 << 20));
+  std::string key = ResultCache::KnnKey(Set({1, 2}).view(), 5);
+  EXPECT_EQ(cache.Get(key), nullptr);
+  cache.Put(key, Hits({{7, 0.9}}), cache.epoch());
+  ResultCache::Value value = cache.Get(key);
+  ASSERT_NE(value, nullptr);
+  ASSERT_EQ(value->size(), 1u);
+  EXPECT_EQ((*value)[0].first, 7u);
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ServeCache, BumpEpochInvalidatesEverythingOlder) {
+  ResultCache cache(SingleShard(1 << 20));
+  std::string key = ResultCache::KnnKey(Set({1}).view(), 3);
+  cache.Put(key, Hits({{1, 1.0}}), cache.epoch());
+  ASSERT_NE(cache.Get(key), nullptr);
+  cache.BumpEpoch();  // an Insert completed
+  EXPECT_EQ(cache.Get(key), nullptr);  // stale entry must not be served
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  // The entry was dropped eagerly, not just skipped: a fresh Put at the
+  // new epoch serves again.
+  cache.Put(key, Hits({{2, 1.0}}), cache.epoch());
+  ResultCache::Value value = cache.Get(key);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ((*value)[0].first, 2u);
+}
+
+TEST(ServeCache, PutAtStaleEpochIsIgnored) {
+  ResultCache cache(SingleShard(1 << 20));
+  std::string key = ResultCache::RangeKey(Set({1, 9}).view(), 0.7);
+  uint64_t before = cache.epoch();
+  cache.BumpEpoch();  // Insert lands between epoch read and Put
+  cache.Put(key, Hits({{1, 0.8}}), before);
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ServeCache, LruEvictsOldestUnderCapacity) {
+  // Entries charge key bytes + hit bytes + a fixed overhead; a small
+  // capacity holds only a couple of them.
+  ResultCache cache(SingleShard(512));
+  std::vector<std::string> keys;
+  for (TokenId t = 0; t < 8; ++t) {
+    keys.push_back(ResultCache::KnnKey(Set({t}).view(), 1));
+    cache.Put(keys.back(), Hits({{t, 1.0}}), cache.epoch());
+  }
+  EXPECT_LE(cache.charged_bytes(), 512u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The newest entry survived; the oldest was evicted.
+  EXPECT_NE(cache.Get(keys.back()), nullptr);
+  EXPECT_EQ(cache.Get(keys.front()), nullptr);
+}
+
+TEST(ServeCache, GetRefreshesRecency) {
+  ResultCache cache(SingleShard(512));
+  std::string first = ResultCache::KnnKey(Set({100}).view(), 1);
+  cache.Put(first, Hits({{1, 1.0}}), cache.epoch());
+  // Keep touching `first` while filling; it must outlive untouched keys.
+  std::string last;
+  for (TokenId t = 0; t < 6; ++t) {
+    last = ResultCache::KnnKey(Set({t}).view(), 1);
+    cache.Put(last, Hits({{t, 1.0}}), cache.epoch());
+    ASSERT_NE(cache.Get(first), nullptr) << "after put " << t;
+  }
+  EXPECT_NE(cache.Get(first), nullptr);
+}
+
+TEST(ServeCache, OversizedEntryIsNotCached) {
+  ResultCache cache(SingleShard(256));
+  std::vector<Hit> big(1000, {1, 0.5});
+  std::string key = ResultCache::KnnKey(Set({1}).view(), 1000);
+  cache.Put(key, Hits(big), cache.epoch());
+  // Larger than the whole shard slice: storing it would evict everything
+  // and still not fit.
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.charged_bytes(), 0u);
+}
+
+TEST(ServeCache, ValueOutlivesEviction) {
+  // A reply in flight holds the shared_ptr; eviction must not free it.
+  ResultCache cache(SingleShard(512));
+  std::string key = ResultCache::KnnKey(Set({1}).view(), 1);
+  cache.Put(key, Hits({{42, 0.75}}), cache.epoch());
+  ResultCache::Value held = cache.Get(key);
+  ASSERT_NE(held, nullptr);
+  for (TokenId t = 10; t < 30; ++t) {
+    cache.Put(ResultCache::KnnKey(Set({t}).view(), 1), Hits({{t, 1.0}}),
+              cache.epoch());
+  }
+  EXPECT_EQ(cache.Get(key), nullptr);  // evicted from the cache...
+  ASSERT_EQ(held->size(), 1u);         // ...but the held value is intact
+  EXPECT_EQ((*held)[0].first, 42u);
+  EXPECT_DOUBLE_EQ((*held)[0].second, 0.75);
+}
+
+TEST(ServeCache, PutSameKeyRefreshesInPlace) {
+  ResultCache cache(SingleShard(1 << 20));
+  std::string key = ResultCache::KnnKey(Set({5}).view(), 2);
+  cache.Put(key, Hits({{1, 0.1}}), cache.epoch());
+  cache.Put(key, Hits({{2, 0.2}}), cache.epoch());
+  ResultCache::Value value = cache.Get(key);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ((*value)[0].first, 2u);
+  // Refresh replaced the entry rather than double-charging.
+  ResultCache cache2(SingleShard(1 << 20));
+  cache2.Put(key, Hits({{1, 0.1}}), cache2.epoch());
+  size_t single = cache2.charged_bytes();
+  EXPECT_EQ(cache.charged_bytes(), single);
+}
+
+TEST(ServeCache, MultiShardCountsAggregate) {
+  ResultCache::Options options;
+  options.capacity_bytes = 1 << 20;
+  options.num_shards = 16;
+  ResultCache cache(options);
+  for (TokenId t = 0; t < 64; ++t) {
+    std::string key = ResultCache::KnnKey(Set({t}).view(), 1);
+    cache.Put(key, Hits({{t, 1.0}}), cache.epoch());
+    EXPECT_NE(cache.Get(key), nullptr);
+  }
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 64u);
+  EXPECT_EQ(stats.hits, 64u);
+  EXPECT_GT(cache.charged_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace les3

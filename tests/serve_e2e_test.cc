@@ -1,0 +1,611 @@
+// End-to-end loopback suite for the serving front-end (serve/server.h):
+// an in-process Server on an ephemeral port, driven through serve::Client
+// and through raw sockets.
+//
+// The load-bearing property is the differential one: every response must
+// agree byte-for-byte with a direct call on the underlying engine —
+// with the cache cold, warm, disabled, and across interleaved Inserts
+// (the exactness argument of serve/result_cache.h, tested rather than
+// trusted). Responses carry no timing, so hit-exact (ids and similarity
+// bit patterns) equals byte-exact.
+//
+// ServeE2E.ConcurrentClientsAndInserts is the TSan leg: concurrent
+// clients and an inserter hammer one server; the CI TSan lane runs it.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine_builder.h"
+#include "datagen/generators.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace les3 {
+namespace serve {
+namespace {
+
+using api::EngineOptions;
+using api::SearchEngine;
+
+std::shared_ptr<SetDatabase> MakeDb(uint64_t seed, uint32_t num_sets = 400) {
+  datagen::ZipfOptions opts;
+  opts.num_sets = num_sets;
+  opts.num_tokens = 120;
+  opts.avg_set_size = 8;
+  opts.zipf_exponent = 0.8;
+  opts.seed = seed;
+  return std::make_shared<SetDatabase>(datagen::GenerateZipf(opts));
+}
+
+/// Cheap build knobs (api_test.cc's FastOptions) + two shards so the
+/// engine under the server is the production backend.
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.num_groups = 24;
+  options.num_shards = 2;
+  options.cascade.init_groups = 16;
+  options.cascade.min_group_size = 10;
+  options.cascade.pairs_per_model = 2000;
+  options.cascade.seed = 7;
+  return options;
+}
+
+std::shared_ptr<SearchEngine> BuildEngine(uint64_t seed) {
+  auto engine =
+      api::EngineBuilder::Build(MakeDb(seed), "sharded_les3", FastOptions());
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::shared_ptr<SearchEngine>(std::move(engine).ValueOrDie());
+}
+
+/// Byte-exact agreement: same ids, same similarity BIT PATTERNS, same
+/// order (the f64 wire encoding round-trips bits).
+void ExpectExactHits(const std::vector<Hit>& expected,
+                     const std::vector<Hit>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].first, actual[i].first) << label << " rank " << i;
+    EXPECT_EQ(expected[i].second, actual[i].second) << label << " rank " << i;
+  }
+}
+
+std::vector<SetRecord> SampleQueries(const SetDatabase& db, size_t n) {
+  std::vector<SetRecord> queries;
+  size_t stride = db.size() / n;
+  for (size_t i = 0; i < db.size() && queries.size() < n; i += stride) {
+    queries.emplace_back(db.set(static_cast<SetId>(i)));
+  }
+  return queries;
+}
+
+Client MustConnect(uint16_t port, uint32_t timeout_ms = 10000) {
+  auto client = Client::Connect("127.0.0.1", port, timeout_ms);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).ValueOrDie();
+}
+
+/// A raw TCP connection for the malformed-frame and pipelining tests —
+/// sends arbitrary bytes the well-behaved Client cannot produce.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    timeval tv{10, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+  }
+
+  void Send(const void* data, size_t size) {
+    ASSERT_EQ(send(fd_, data, size, MSG_NOSIGNAL),
+              static_cast<ssize_t>(size));
+  }
+  void Send(const persist::ByteWriter& frame) {
+    Send(frame.data().data(), frame.size());
+  }
+
+  /// Reads one response frame (decoded with `type`'s OK-body shape).
+  Result<Response> RecvResponse(MsgType type) {
+    for (;;) {
+      size_t frame_end = 0;
+      bool complete = false;
+      LES3_RETURN_NOT_OK(
+          ExtractFrame(in_.data(), in_.size(), &frame_end, &complete));
+      if (complete) {
+        auto response = DecodeResponse(in_.data() + 4, frame_end - 4, type);
+        in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(frame_end));
+        return response;
+      }
+      uint8_t buf[4096];
+      ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return Status::IOError("connection closed or timed out");
+      in_.insert(in_.end(), buf, buf + n);
+    }
+  }
+
+  /// True when the server closed the connection (clean EOF after any
+  /// buffered bytes are drained).
+  bool ServerClosed() {
+    uint8_t buf[4096];
+    for (;;) {
+      ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout: still open
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<uint8_t> in_;
+};
+
+Request PingRequest(uint32_t seq) {
+  Request request;
+  request.seq = seq;
+  request.type = MsgType::kPing;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+
+class ServeE2ETest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    engine_ = BuildEngine(11);
+    options.port = 0;
+    server_ = std::make_unique<Server>(engine_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::shared_ptr<SearchEngine> engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeE2ETest, PingAndDescribe) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  EXPECT_TRUE(client.Ping().ok());
+  auto describe = client.Describe();
+  ASSERT_TRUE(describe.ok()) << describe.status().ToString();
+  // Engine description plus the serving-layer suffix.
+  EXPECT_NE(describe.value().find("sharded_les3"), std::string::npos);
+  EXPECT_NE(describe.value().find("serve:"), std::string::npos);
+}
+
+TEST_F(ServeE2ETest, KnnMatchesDirectEngineColdAndCached) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  for (const SetRecord& query : SampleQueries(engine_->db(), 10)) {
+    std::vector<Hit> direct = engine_->Knn(query.view(), 10).hits;
+    auto cold = client.Knn(query.view(), 10);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ExpectExactHits(direct, cold.value(), "cold");
+    // Second lookup is served from the cache — still byte-exact.
+    auto warm = client.Knn(query.view(), 10);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    ExpectExactHits(direct, warm.value(), "warm");
+  }
+  ASSERT_NE(server_->cache(), nullptr);
+  EXPECT_GE(server_->cache()->stats().hits, 10u);
+}
+
+TEST_F(ServeE2ETest, RangeMatchesDirectEngineColdAndCached) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  for (const SetRecord& query : SampleQueries(engine_->db(), 10)) {
+    std::vector<Hit> direct = engine_->Range(query.view(), 0.5).hits;
+    auto cold = client.Range(query.view(), 0.5);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ExpectExactHits(direct, cold.value(), "cold");
+    auto warm = client.Range(query.view(), 0.5);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    ExpectExactHits(direct, warm.value(), "warm");
+  }
+}
+
+TEST_F(ServeE2ETest, CacheDisabledMatchesCacheEnabled) {
+  StartServer();  // cache on
+  ServerOptions uncached_options;
+  uncached_options.port = 0;
+  uncached_options.cache_bytes = 0;
+  Server uncached(engine_, uncached_options);
+  ASSERT_TRUE(uncached.Start().ok());
+  EXPECT_EQ(uncached.cache(), nullptr);
+
+  Client cached_client = MustConnect(server_->port());
+  Client uncached_client = MustConnect(uncached.port());
+  for (const SetRecord& query : SampleQueries(engine_->db(), 8)) {
+    for (int pass = 0; pass < 2; ++pass) {
+      auto cached = cached_client.Knn(query.view(), 5);
+      auto plain = uncached_client.Knn(query.view(), 5);
+      ASSERT_TRUE(cached.ok() && plain.ok());
+      ExpectExactHits(plain.value(), cached.value(),
+                      "pass " + std::to_string(pass));
+    }
+  }
+  uncached.Shutdown();
+}
+
+TEST_F(ServeE2ETest, BatchesMatchDirectEngine) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 6);
+  {
+    auto over_wire = client.KnnBatch(queries, 7);
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    std::vector<api::QueryResult> direct = engine_->KnnBatch(queries, 7);
+    ASSERT_EQ(over_wire.value().size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectExactHits(direct[i].hits, over_wire.value()[i],
+                      "knn batch " + std::to_string(i));
+    }
+  }
+  {
+    auto over_wire = client.RangeBatch(queries, 0.6);
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    std::vector<api::QueryResult> direct = engine_->RangeBatch(queries, 0.6);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectExactHits(direct[i].hits, over_wire.value()[i],
+                      "range batch " + std::to_string(i));
+    }
+  }
+}
+
+// The differential the cache's exactness argument is judged by: Inserts
+// interleave with cached queries, and after every mutation the served
+// answer must equal what the engine computes fresh at that moment.
+TEST_F(ServeE2ETest, InterleavedInsertsStayExact) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 4);
+  size_t initial_size = engine_->db().size();
+
+  for (uint32_t round = 0; round < 6; ++round) {
+    // Warm the cache on every query.
+    for (const SetRecord& query : queries) {
+      auto warm = client.Knn(query.view(), 8);
+      ASSERT_TRUE(warm.ok());
+      ExpectExactHits(engine_->Knn(query.view(), 8).hits, warm.value(),
+                      "pre-insert round " + std::to_string(round));
+    }
+    // Insert a set overlapping the queries so answers actually change.
+    SetRecord new_set(queries[round % queries.size()]);
+    auto inserted = client.Insert(new_set);
+    ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+    // Every post-insert answer must reflect the mutation: byte-exact
+    // against a fresh engine computation, never a stale cache entry.
+    for (const SetRecord& query : queries) {
+      auto after = client.Knn(query.view(), 8);
+      ASSERT_TRUE(after.ok());
+      ExpectExactHits(engine_->Knn(query.view(), 8).hits, after.value(),
+                      "post-insert round " + std::to_string(round));
+      auto range_after = client.Range(query.view(), 0.5);
+      ASSERT_TRUE(range_after.ok());
+      ExpectExactHits(engine_->Range(query.view(), 0.5).hits,
+                      range_after.value(),
+                      "post-insert range round " + std::to_string(round));
+    }
+  }
+  EXPECT_EQ(engine_->db().size(), initial_size + 6);
+  ASSERT_NE(server_->cache(), nullptr);
+  // The inserts actually exercised the invalidation path.
+  EXPECT_GE(server_->cache()->stats().invalidations, 1u);
+}
+
+TEST_F(ServeE2ETest, DeadlineExceededInsteadOfExecution) {
+  ServerOptions options;
+  options.executors = 1;
+  // Hold every request past any 1 ms budget before its deadline check.
+  options.before_execute = [](const Request&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  StartServer(options);
+  Client client = MustConnect(server_->port());
+  SetRecord query(engine_->db().set(0));
+  auto hits = client.Knn(query.view(), 5, /*deadline_ms=*/1);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kDeadlineExceeded);
+  // An unbounded request on the same connection still succeeds.
+  auto unbounded = client.Knn(query.view(), 5, /*deadline_ms=*/0);
+  EXPECT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+  EXPECT_GE(server_->counters().deadline_exceeded, 1u);
+  // Batches re-check the budget mid-run.
+  auto batch = client.KnnBatch(SampleQueries(engine_->db(), 4), 5,
+                               /*deadline_ms=*/1);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeE2ETest, AdmissionControlFastRejectsWhenFull) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::atomic<int> held{0};
+
+  ServerOptions options;
+  options.executors = 1;
+  options.max_pending = 1;
+  options.before_execute = [&](const Request& request) {
+    if (request.type != MsgType::kKnn) return;
+    held.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  };
+  StartServer(options);
+
+  SetRecord query(engine_->db().set(0));
+  // Occupy the single executor.
+  std::thread first([&] {
+    Client client = MustConnect(server_->port());
+    auto hits = client.Knn(query.view(), 5);
+    EXPECT_TRUE(hits.ok()) << hits.status().ToString();
+  });
+  while (held.load() == 0) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  // With the executor blocked and the queue bounded at 1, exactly one of
+  // the next two requests is admitted and one is fast-rejected —
+  // whichever order they arrive in.
+  Status results[2];
+  std::thread second([&] {
+    Client client = MustConnect(server_->port());
+    auto hits = client.Knn(query.view(), 5);
+    results[0] = hits.ok() ? Status::OK() : hits.status();
+  });
+  std::thread third([&] {
+    Client client = MustConnect(server_->port());
+    auto hits = client.Knn(query.view(), 5);
+    results[1] = hits.ok() ? Status::OK() : hits.status();
+  });
+  // The rejected one returns without the gate opening: admission control
+  // costs no engine work and no executor.
+  std::thread release([&] {
+    while (server_->counters().overloaded == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+    cv.notify_all();
+  });
+  first.join();
+  second.join();
+  third.join();
+  release.join();
+
+  int ok = 0, overloaded = 0;
+  for (const Status& st : results) {
+    if (st.ok()) ++ok;
+    if (st.code() == StatusCode::kOverloaded) ++overloaded;
+  }
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(overloaded, 1);
+  EXPECT_EQ(server_->counters().overloaded, 1u);
+}
+
+TEST_F(ServeE2ETest, MalformedFramingGetsErrorThenClose) {
+  StartServer();
+  {
+    // Oversized length prefix: typed error reply, then the server closes
+    // (a corrupt length cannot be resynchronized).
+    RawConn conn(server_->port());
+    uint32_t huge = kMaxFrameBytes + 1;
+    conn.Send(&huge, sizeof(huge));
+    auto response = conn.RecvResponse(MsgType::kPing);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, WireStatus::kInvalidArgument);
+    EXPECT_TRUE(conn.ServerClosed());
+  }
+  {
+    // Zero length prefix: same fate.
+    RawConn conn(server_->port());
+    uint32_t zero = 0;
+    conn.Send(&zero, sizeof(zero));
+    auto response = conn.RecvResponse(MsgType::kPing);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, WireStatus::kInvalidArgument);
+    EXPECT_TRUE(conn.ServerClosed());
+  }
+  EXPECT_GE(server_->counters().protocol_errors, 2u);
+  // The server survived both; a fresh connection works.
+  Client client = MustConnect(server_->port());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServeE2ETest, DecodeErrorRepliesTypedAndKeepsConnection) {
+  StartServer();
+  RawConn conn(server_->port());
+  // A well-framed payload whose body is garbage: u32 seq, unknown type
+  // byte 99, then padding.
+  persist::ByteWriter bad;
+  bad.WriteU32(9);  // length prefix
+  bad.WriteU32(123);
+  bad.WriteU8(99);
+  bad.WriteU32(0);
+  conn.Send(bad);
+  auto error = conn.RecvResponse(MsgType::kPing);
+  ASSERT_TRUE(error.ok()) << error.status().ToString();
+  EXPECT_EQ(error.value().status, WireStatus::kInvalidArgument);
+  // The framing is intact, so the connection survives: a valid request
+  // on the same socket succeeds.
+  persist::ByteWriter ping;
+  EncodeRequest(PingRequest(7), &ping);
+  conn.Send(ping);
+  auto pong = conn.RecvResponse(MsgType::kPing);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong.value().status, WireStatus::kOk);
+  EXPECT_EQ(pong.value().seq, 7u);
+}
+
+TEST_F(ServeE2ETest, AbruptDisconnectMidFrameIsHarmless) {
+  StartServer();
+  {
+    RawConn conn(server_->port());
+    uint8_t partial[2] = {0xff, 0x00};  // half a length prefix
+    conn.Send(partial, sizeof(partial));
+  }  // destructor closes mid-frame
+  {
+    // A declared payload that never arrives, then disconnect.
+    RawConn conn(server_->port());
+    uint32_t len = 100;
+    conn.Send(&len, sizeof(len));
+  }
+  Client client = MustConnect(server_->port());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServeE2ETest, PipelinedRequestsMatchBySeq) {
+  StartServer();
+  RawConn conn(server_->port());
+  // Two requests in one write; replies may complete in any order on the
+  // executor pool, the seq echo pairs them up.
+  persist::ByteWriter frames;
+  EncodeRequest(PingRequest(100), &frames);
+  EncodeRequest(PingRequest(101), &frames);
+  conn.Send(frames);
+  auto a = conn.RecvResponse(MsgType::kPing);
+  auto b = conn.RecvResponse(MsgType::kPing);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().seq + b.value().seq, 201u);
+  EXPECT_NE(a.value().seq, b.value().seq);
+}
+
+TEST_F(ServeE2ETest, GracefulShutdownDrainsInFlightRequests) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::atomic<int> held{0};
+
+  ServerOptions options;
+  options.executors = 1;
+  options.before_execute = [&](const Request& request) {
+    if (request.type != MsgType::kKnn) return;
+    held.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  };
+  StartServer(options);
+  uint16_t port = server_->port();
+
+  // An in-flight request, held inside the executor.
+  SetRecord query(engine_->db().set(0));
+  Status in_flight = Status::Internal("no reply");
+  std::vector<Hit> in_flight_hits;
+  std::thread requester([&] {
+    Client client = MustConnect(port);
+    auto hits = client.Knn(query.view(), 5);
+    in_flight = hits.ok() ? Status::OK() : hits.status();
+    if (hits.ok()) in_flight_hits = std::move(hits).ValueOrDie();
+  });
+  while (held.load() == 0) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  // Shutdown must block until the drained request is answered.
+  std::atomic<bool> shutdown_returned{false};
+  std::thread shutdown([&] {
+    server_->Shutdown();
+    shutdown_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(shutdown_returned.load());  // still draining
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+    cv.notify_all();
+  }
+  shutdown.join();
+  requester.join();
+
+  // The in-flight request was answered, correctly, through the drain.
+  ASSERT_TRUE(in_flight.ok()) << in_flight.ToString();
+  ExpectExactHits(engine_->Knn(query.view(), 5).hits, in_flight_hits,
+                  "drained");
+  // And the server is actually gone: new connections fail outright.
+  auto late = Client::Connect("127.0.0.1", port, 1000);
+  if (late.ok()) {
+    EXPECT_FALSE(late.value().Ping().ok());
+  }
+  // Idempotent.
+  server_->Shutdown();
+}
+
+// The TSan leg: concurrent query clients and an inserter on one server,
+// cache enabled, then a final differential against the engine.
+TEST_F(ServeE2ETest, ConcurrentClientsAndInserts) {
+  StartServer();
+  uint16_t port = server_->port();
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 8);
+
+  constexpr int kClients = 4;
+  constexpr int kIters = 40;
+  constexpr int kInserts = 12;
+  std::atomic<uint64_t> failures{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client = MustConnect(port);
+      for (int i = 0; i < kIters; ++i) {
+        const SetRecord& query = queries[(c + i) % queries.size()];
+        if (i % 2 == 0) {
+          if (!client.Knn(query.view(), 5).ok()) failures.fetch_add(1);
+        } else {
+          if (!client.Range(query.view(), 0.6).ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread inserter([&] {
+    Client client = MustConnect(port);
+    for (int i = 0; i < kInserts; ++i) {
+      if (!client.Insert(queries[i % queries.size()]).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  for (auto& thread : clients) thread.join();
+  inserter.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // Quiescent differential: with all inserts applied, served answers
+  // again equal fresh engine computations.
+  Client client = MustConnect(port);
+  for (const SetRecord& query : queries) {
+    auto hits = client.Knn(query.view(), 5);
+    ASSERT_TRUE(hits.ok());
+    ExpectExactHits(engine_->Knn(query.view(), 5).hits, hits.value(),
+                    "quiescent");
+  }
+  Server::Counters counters = server_->counters();
+  EXPECT_EQ(counters.requests_ok,
+            uint64_t{kClients} * kIters + kInserts + queries.size());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace les3

@@ -1,0 +1,413 @@
+// Codec suite for the les3_serve wire protocol (serve/wire.h): round
+// trips for every message type, then the malformed-frame sweep — framing
+// violations, truncation at every byte boundary, corrupted fields —
+// mirroring the snapshot corruption suite. Every malformed input must
+// produce a typed Status (never a crash, hang, or out-of-bounds read;
+// the ASan/UBSan CI lane runs this binary).
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/wire.h"
+
+namespace les3 {
+namespace serve {
+namespace {
+
+SetRecord Set(std::vector<TokenId> tokens) {
+  return SetRecord::FromSortedTokens(std::move(tokens));
+}
+
+// Encodes `request` and returns just the payload (length prefix checked
+// and stripped).
+std::vector<uint8_t> EncodePayload(const Request& request) {
+  persist::ByteWriter out;
+  EncodeRequest(request, &out);
+  size_t frame_end = 0;
+  bool complete = false;
+  EXPECT_TRUE(
+      ExtractFrame(out.data().data(), out.size(), &frame_end, &complete).ok());
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(frame_end, out.size());
+  return std::vector<uint8_t>(out.data().begin() + 4, out.data().end());
+}
+
+std::vector<uint8_t> EncodeResponsePayload(const Response& response,
+                                           MsgType type) {
+  persist::ByteWriter out;
+  EncodeResponse(response, type, &out);
+  return std::vector<uint8_t>(out.data().begin() + 4, out.data().end());
+}
+
+Request KnnRequest() {
+  Request request;
+  request.seq = 42;
+  request.type = MsgType::kKnn;
+  request.deadline_ms = 250;
+  request.k = 10;
+  request.queries.push_back(Set({1, 5, 9, 9, 200000}));
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(ServeProtocol, RoundTripPingAndDescribe) {
+  for (MsgType type : {MsgType::kPing, MsgType::kDescribe}) {
+    Request request;
+    request.seq = 7;
+    request.type = type;
+    request.deadline_ms = 100;
+    std::vector<uint8_t> payload = EncodePayload(request);
+    auto decoded = DecodeRequest(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().seq, 7u);
+    EXPECT_EQ(decoded.value().type, type);
+    EXPECT_EQ(decoded.value().deadline_ms, 100u);
+    EXPECT_TRUE(decoded.value().queries.empty());
+  }
+}
+
+TEST(ServeProtocol, RoundTripKnn) {
+  std::vector<uint8_t> payload = EncodePayload(KnnRequest());
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const Request& request = decoded.value();
+  EXPECT_EQ(request.seq, 42u);
+  EXPECT_EQ(request.type, MsgType::kKnn);
+  EXPECT_EQ(request.k, 10u);
+  ASSERT_EQ(request.queries.size(), 1u);
+  EXPECT_EQ(request.queries[0].tokens(),
+            (std::vector<TokenId>{1, 5, 9, 9, 200000}));
+}
+
+TEST(ServeProtocol, RoundTripRange) {
+  Request request;
+  request.seq = 3;
+  request.type = MsgType::kRange;
+  request.delta = 0.725;
+  request.queries.push_back(Set({2, 4}));
+  std::vector<uint8_t> payload = EncodePayload(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MsgType::kRange);
+  EXPECT_DOUBLE_EQ(decoded.value().delta, 0.725);
+  ASSERT_EQ(decoded.value().queries.size(), 1u);
+  EXPECT_EQ(decoded.value().queries[0].tokens(),
+            (std::vector<TokenId>{2, 4}));
+}
+
+TEST(ServeProtocol, RoundTripBatches) {
+  for (MsgType type : {MsgType::kKnnBatch, MsgType::kRangeBatch}) {
+    Request request;
+    request.seq = 11;
+    request.type = type;
+    request.k = 5;
+    request.delta = 0.5;
+    request.queries.push_back(Set({1, 2, 3}));
+    request.queries.push_back(Set({}));  // the empty set is a legal query
+    request.queries.push_back(Set({7}));
+    std::vector<uint8_t> payload = EncodePayload(request);
+    auto decoded = DecodeRequest(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded.value().queries.size(), 3u);
+    EXPECT_EQ(decoded.value().queries[1].size(), 0u);
+    EXPECT_EQ(decoded.value().queries[2].tokens(),
+              (std::vector<TokenId>{7}));
+  }
+}
+
+TEST(ServeProtocol, RoundTripInsert) {
+  Request request;
+  request.seq = 9;
+  request.type = MsgType::kInsert;
+  request.queries.push_back(Set({10, 20, 30}));
+  std::vector<uint8_t> payload = EncodePayload(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MsgType::kInsert);
+  ASSERT_EQ(decoded.value().queries.size(), 1u);
+}
+
+TEST(ServeProtocol, RoundTripResponses) {
+  {
+    Response response;
+    response.seq = 1;
+    response.results.push_back({{3, 0.9}, {8, 0.5}});
+    std::vector<uint8_t> payload =
+        EncodeResponsePayload(response, MsgType::kKnn);
+    auto decoded = DecodeResponse(payload.data(), payload.size(),
+                                  MsgType::kKnn);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded.value().results.size(), 1u);
+    ASSERT_EQ(decoded.value().results[0].size(), 2u);
+    EXPECT_EQ(decoded.value().results[0][0].first, 3u);
+    EXPECT_DOUBLE_EQ(decoded.value().results[0][0].second, 0.9);
+  }
+  {
+    Response response;
+    response.seq = 2;
+    response.results.push_back({{1, 1.0}});
+    response.results.push_back({});
+    std::vector<uint8_t> payload =
+        EncodeResponsePayload(response, MsgType::kRangeBatch);
+    auto decoded = DecodeResponse(payload.data(), payload.size(),
+                                  MsgType::kRangeBatch);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded.value().results.size(), 2u);
+    EXPECT_TRUE(decoded.value().results[1].empty());
+  }
+  {
+    Response response;
+    response.seq = 5;
+    response.describe = "sharded_les3(...)";
+    std::vector<uint8_t> payload =
+        EncodeResponsePayload(response, MsgType::kDescribe);
+    auto decoded = DecodeResponse(payload.data(), payload.size(),
+                                  MsgType::kDescribe);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().describe, "sharded_les3(...)");
+  }
+  {
+    Response response;
+    response.seq = 6;
+    response.inserted_id = 99000;
+    std::vector<uint8_t> payload =
+        EncodeResponsePayload(response, MsgType::kInsert);
+    auto decoded = DecodeResponse(payload.data(), payload.size(),
+                                  MsgType::kInsert);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().inserted_id, 99000u);
+  }
+}
+
+TEST(ServeProtocol, ErrorResponseDecodesUnderAnyExpectedType) {
+  persist::ByteWriter out;
+  EncodeErrorResponse(17, WireStatus::kOverloaded, "queue full", &out);
+  std::vector<uint8_t> payload(out.data().begin() + 4, out.data().end());
+  for (MsgType type : {MsgType::kPing, MsgType::kKnn, MsgType::kRangeBatch,
+                       MsgType::kInsert}) {
+    auto decoded = DecodeResponse(payload.data(), payload.size(), type);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().seq, 17u);
+    EXPECT_EQ(decoded.value().status, WireStatus::kOverloaded);
+    EXPECT_EQ(decoded.value().message, "queue full");
+    EXPECT_TRUE(decoded.value().results.empty());
+  }
+}
+
+TEST(ServeProtocol, WireStatusMirrorsStatusCode) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kIOError,
+      StatusCode::kNotSupported, StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded, StatusCode::kOverloaded,
+  };
+  for (StatusCode code : codes) {
+    EXPECT_EQ(CodeFromWireStatus(WireStatusFromCode(code)), code);
+  }
+  EXPECT_EQ(WireStatusFromCode(StatusCode::kDeadlineExceeded),
+            WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(WireStatusFromCode(StatusCode::kOverloaded),
+            WireStatus::kOverloaded);
+  // Status::FromCode must round-trip the serving codes too: the client
+  // folds wire rejections back into les3::Status through it.
+  EXPECT_EQ(Status::FromCode(StatusCode::kDeadlineExceeded, "m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::FromCode(StatusCode::kOverloaded, "m").code(),
+            StatusCode::kOverloaded);
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+TEST(ServeProtocol, ExtractFrameWaitsForPrefixAndPayload) {
+  persist::ByteWriter out;
+  EncodeRequest(KnnRequest(), &out);
+  const std::vector<uint8_t>& frame = out.data();
+  // Every strict prefix of the frame is "incomplete", never an error.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    size_t frame_end = 0;
+    bool complete = true;
+    Status st = ExtractFrame(frame.data(), len, &frame_end, &complete);
+    ASSERT_TRUE(st.ok()) << "prefix length " << len << ": " << st.ToString();
+    EXPECT_FALSE(complete) << "prefix length " << len;
+  }
+  size_t frame_end = 0;
+  bool complete = false;
+  ASSERT_TRUE(
+      ExtractFrame(frame.data(), frame.size(), &frame_end, &complete).ok());
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(frame_end, frame.size());
+}
+
+TEST(ServeProtocol, ExtractFrameRejectsZeroLength) {
+  const uint8_t zero[4] = {0, 0, 0, 0};
+  size_t frame_end = 0;
+  bool complete = false;
+  Status st = ExtractFrame(zero, sizeof(zero), &frame_end, &complete);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, ExtractFrameRejectsOversizedLength) {
+  // A length prefix above the cap must be rejected from the prefix alone,
+  // before any payload arrives (no 64 MiB allocation on 4 hostile bytes).
+  uint32_t huge = kMaxFrameBytes + 1;
+  uint8_t prefix[4];
+  std::memcpy(prefix, &huge, sizeof(huge));
+  size_t frame_end = 0;
+  bool complete = false;
+  Status st = ExtractFrame(prefix, sizeof(prefix), &frame_end, &complete);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Truncation sweeps: every strict prefix of a valid payload must decode
+// to a typed error (the full payload consumes every byte, so a prefix
+// always cuts a read short or trips a count check).
+
+TEST(ServeProtocol, RequestTruncationSweep) {
+  Request request;
+  request.seq = 1;
+  request.type = MsgType::kKnnBatch;
+  request.k = 3;
+  request.queries.push_back(Set({1, 2, 3}));
+  request.queries.push_back(Set({4, 5}));
+  std::vector<uint8_t> payload = EncodePayload(request);
+  ASSERT_TRUE(DecodeRequest(payload.data(), payload.size()).ok());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto decoded = DecodeRequest(payload.data(), len);
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len << " decoded";
+  }
+}
+
+TEST(ServeProtocol, ResponseTruncationSweep) {
+  Response response;
+  response.seq = 1;
+  response.results.push_back({{1, 0.5}, {2, 0.25}});
+  response.results.push_back({{9, 1.0}});
+  std::vector<uint8_t> payload =
+      EncodeResponsePayload(response, MsgType::kKnnBatch);
+  ASSERT_TRUE(
+      DecodeResponse(payload.data(), payload.size(), MsgType::kKnnBatch).ok());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto decoded = DecodeResponse(payload.data(), len, MsgType::kKnnBatch);
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len << " decoded";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted fields.
+
+TEST(ServeProtocol, RejectsUnknownRequestType) {
+  std::vector<uint8_t> payload = EncodePayload(KnnRequest());
+  for (uint8_t bad : {uint8_t{0}, uint8_t{8}, uint8_t{200}}) {
+    std::vector<uint8_t> corrupt = payload;
+    corrupt[4] = bad;  // type byte sits after the u32 seq
+    auto decoded = DecodeRequest(corrupt.data(), corrupt.size());
+    ASSERT_FALSE(decoded.ok()) << "type " << int(bad);
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ServeProtocol, RejectsUnknownResponseStatus) {
+  Response response;
+  response.seq = 1;
+  response.results.push_back({});
+  std::vector<uint8_t> payload =
+      EncodeResponsePayload(response, MsgType::kKnn);
+  payload[4] = 10;  // first value past WireStatus::kOverloaded
+  auto decoded = DecodeResponse(payload.data(), payload.size(), MsgType::kKnn);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, RejectsDescendingTokens) {
+  // Hand-encode: the public encoder cannot produce out-of-order tokens
+  // (SetRecord sorts), so corrupt the bytes of a sorted set instead.
+  std::vector<uint8_t> payload = EncodePayload(KnnRequest());
+  // Swap the first two tokens (1 and 5): offsets are seq(4) + type(1) +
+  // deadline(4) + k(4) + count(4) = 17, tokens at 17 and 21.
+  for (int i = 0; i < 4; ++i) std::swap(payload[17 + i], payload[21 + i]);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, DuplicateTokensAreLegal) {
+  Request request = KnnRequest();
+  request.queries[0] = Set({3, 3, 3});
+  std::vector<uint8_t> payload = EncodePayload(request);
+  EXPECT_TRUE(DecodeRequest(payload.data(), payload.size()).ok());
+}
+
+TEST(ServeProtocol, RejectsTrailingBytes) {
+  std::vector<uint8_t> payload = EncodePayload(KnnRequest());
+  payload.push_back(0);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, RejectsSetCountBeyondPayload) {
+  std::vector<uint8_t> payload = EncodePayload(KnnRequest());
+  // Token count field of the single query (offset 13, after seq, type,
+  // deadline, k): claim 2^30 tokens in a payload of a few dozen bytes.
+  uint32_t huge = 1u << 30;
+  std::memcpy(payload.data() + 13, &huge, sizeof(huge));
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, RejectsBatchCountOverCap) {
+  Request request;
+  request.seq = 1;
+  request.type = MsgType::kKnnBatch;
+  request.k = 1;
+  request.queries.push_back(Set({1}));
+  std::vector<uint8_t> payload = EncodePayload(request);
+  // Batch count field at offset 13 (seq, type, deadline, k).
+  uint32_t over = kMaxBatchQueries + 1;
+  std::memcpy(payload.data() + 13, &over, sizeof(over));
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, RejectsNonFiniteDelta) {
+  Request request;
+  request.seq = 1;
+  request.type = MsgType::kRange;
+  request.delta = 0.5;
+  request.queries.push_back(Set({1}));
+  std::vector<uint8_t> payload = EncodePayload(request);
+  double nan = std::nan("");
+  // Delta sits at offset 9 (seq, type, deadline).
+  std::memcpy(payload.data() + 9, &nan, sizeof(nan));
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, HitCountBeyondPayloadRejected) {
+  Response response;
+  response.seq = 1;
+  response.results.push_back({{1, 0.5}});
+  std::vector<uint8_t> payload =
+      EncodeResponsePayload(response, MsgType::kKnn);
+  // Hit count at offset 5 (seq, status byte).
+  uint32_t huge = 1u << 30;
+  std::memcpy(payload.data() + 5, &huge, sizeof(huge));
+  auto decoded = DecodeResponse(payload.data(), payload.size(), MsgType::kKnn);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace les3

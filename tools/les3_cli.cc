@@ -7,6 +7,7 @@
 //   les3_cli range    <sets.txt> <delta> "<query tokens>" [backend] [measure] [groups] [bitmap] [shards]
 //   les3_cli batch    <backend> <sets.txt> <queries.txt> knn   <k>     [measure] [groups] [bitmap] [shards]
 //   les3_cli batch    <backend> <sets.txt> <queries.txt> range <delta> [measure] [groups] [bitmap] [shards]
+//   les3_cli gen      <ANALOG> <sets.txt> <queries.txt> [num_queries]
 //   les3_cli save     <sets.txt> <snapshot> [backend] [measure] [groups] [bitmap] [shards]
 //   les3_cli open     <snapshot> info
 //   les3_cli open     <snapshot> knn   <k>     "<query tokens>" [backend]
@@ -16,6 +17,13 @@
 // token ids — the format the public benchmarks (KOSARAK, DBLP, ...) ship
 // in. `batch` runs every line of <queries.txt> through KnnBatch/RangeBatch
 // and reports QPS plus p50/p95/p99 per-query latency.
+// `batch` also takes --json FILE [--append] [--label S] anywhere on the
+// line: it appends a machine-readable row in the schema shared with
+// les3_loadgen (docs/serving.md), so in-process and over-the-wire runs
+// land in one file.
+// `gen` writes a dataset analog (datagen/analogs.h, e.g. KOSARAK) as
+// <sets.txt> plus an evenly-sampled <queries.txt> (default 200 queries) —
+// the input the serving smoke and perf CI jobs feed to save/les3_serve.
 // <snapshot>: a versioned index snapshot (docs/snapshot_format.md): `save`
 // builds and trains once, `open` reloads with zero partitioning/training.
 // [backend]: any name from `les3_cli backends` (default: les3); for
@@ -36,10 +44,13 @@
 #include <cstdlib>
 #include <string>
 
+#include <vector>
+
 #include "api/engine_builder.h"
 #include "bench_util.h"
 #include "core/stats.h"
 #include "core/text_io.h"
+#include "datagen/analogs.h"
 #include "util/timer.h"
 
 namespace {
@@ -59,7 +70,9 @@ int Usage() {
                "[roaring|bitvector] [shards]\n"
                "  les3_cli batch    <backend> <sets.txt> <queries.txt> "
                "knn <k> | range <delta>  [measure] [groups] [bitmap] "
-               "[shards]\n"
+               "[shards] [--json FILE [--append] [--label S]]\n"
+               "  les3_cli gen      <ANALOG> <sets.txt> <queries.txt> "
+               "[num_queries]\n"
                "  les3_cli save     <sets.txt> <snapshot> "
                "[les3|disk_les3|sharded_les3] "
                "[jaccard|dice|cosine|containment] [groups] "
@@ -142,11 +155,19 @@ bool ParseBuildTail(int argc, char** argv, int first,
   return true;
 }
 
+/// --json FILE [--append] [--label S], stripped from argv before
+/// positional parsing so the flags can sit anywhere on a batch line.
+struct JsonFlags {
+  std::string path;
+  bool append = false;
+  std::string label = "in_process";
+};
+
 /// `les3_cli batch <backend> <sets.txt> <queries.txt> knn <k> | range
 /// <delta> [measure] [groups] [bitmap] [shards]` — throughput mode: the
 /// whole query file runs through KnnBatch/RangeBatch and the summary
 /// (QPS, latency percentiles) comes from the shared bench helper.
-int RunBatch(int argc, char** argv) {
+int RunBatch(int argc, char** argv, const JsonFlags& json) {
   if (argc < 7) return Usage();
   std::string mode = argv[5];
   bool knn = mode == "knn";
@@ -212,6 +233,74 @@ int RunBatch(int argc, char** argv) {
       "filter\n",
       static_cast<unsigned long long>(total_candidates),
       static_cast<unsigned long long>(total_size_skipped));
+
+  if (!json.path.empty()) {
+    bench::BatchReport report;
+    report.tool = "les3_cli_batch";
+    report.label = json.label;
+    report.mode = mode;
+    report.param = atof(argv[6]);  // k and delta both parse as a double
+    report.clients = 1;
+    report.latency = summary;
+    report.hits_total = total_hits;
+    report.have_engine_stats = true;
+    report.candidates_verified = total_candidates;
+    report.candidates_size_skipped = total_size_skipped;
+    Status written =
+        bench::WriteBatchReports({report}, json.path, json.append);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[json] %s\n", json.path.c_str());
+  }
+  return 0;
+}
+
+/// `les3_cli gen <ANALOG> <sets.txt> <queries.txt> [num_queries]` —
+/// materializes a dataset analog as text so scripts (the CI serving jobs)
+/// can feed it to save/batch/les3_serve. Queries are an even sample of
+/// the generated sets (default 200), written in the same format.
+int RunGen(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const datagen::AnalogSpec* spec = nullptr;
+  for (const auto& candidate : datagen::AllAnalogSpecs()) {
+    if (candidate.name == argv[2]) spec = &candidate;
+  }
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown analog \"%s\"; one of:", argv[2]);
+    for (const auto& candidate : datagen::AllAnalogSpecs()) {
+      std::fprintf(stderr, " %s", candidate.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  size_t num_queries = argc > 5 ? static_cast<size_t>(atoll(argv[5])) : 200;
+
+  WallTimer timer;
+  SetDatabase db = datagen::GenerateAnalog(*spec);
+  Status saved = SaveSetsToText(db, argv[3]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  if (num_queries > db.size()) num_queries = db.size();
+  SetDatabase queries(db.num_tokens());
+  size_t stride = num_queries > 0 ? db.size() / num_queries : 1;
+  if (stride == 0) stride = 1;
+  for (size_t i = 0; i < db.size() && queries.size() < num_queries;
+       i += stride) {
+    queries.AddSet(db.set(static_cast<SetId>(i)));
+  }
+  saved = SaveSetsToText(queries, argv[4]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "%s analog: %zu sets -> %s, %zu queries -> %s (%.2fs)\n",
+               spec->name.c_str(), db.size(), argv[3], queries.size(),
+               argv[4], timer.Seconds());
   return 0;
 }
 
@@ -332,6 +421,26 @@ int RunQuery(int argc, char** argv, bool knn) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --json/--append/--label wherever they appear so the positional
+  // grammar of every command stays untouched.
+  JsonFlags json;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json.path = argv[++i];
+    } else if (arg == "--append") {
+      json.append = true;
+    } else if (arg == "--label" && i + 1 < argc) {
+      json.label = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) return Usage();
   std::string command = argv[1];
   if (command == "backends") {
@@ -352,7 +461,8 @@ int main(int argc, char** argv) {
   }
   if (command == "knn") return RunQuery(argc, argv, /*knn=*/true);
   if (command == "range") return RunQuery(argc, argv, /*knn=*/false);
-  if (command == "batch") return RunBatch(argc, argv);
+  if (command == "batch") return RunBatch(argc, argv, json);
+  if (command == "gen") return RunGen(argc, argv);
   if (command == "save") return RunSave(argc, argv);
   if (command == "open") return RunOpen(argc, argv);
   return Usage();

@@ -1,0 +1,296 @@
+// les3_loadgen — load generator for les3_serve: replays a query file
+// (same one-set-per-line format `les3_cli batch` reads) against a running
+// server and reports QPS plus p50/p95/p99 client-side round-trip latency.
+//
+//   les3_loadgen <queries.txt> knn <k> [flags]
+//   les3_loadgen <queries.txt> range <delta> [flags]
+//
+// Flags:
+//   --host A         server address              (default 127.0.0.1)
+//   --port N         server port                 (required)
+//   --threads N      concurrent client threads   (default 1)
+//   --repeat N       passes over the query file per thread (default 1)
+//   --open-qps R     open-loop mode: aggregate send rate R requests/s
+//                    (default: closed loop — each thread sends the next
+//                    request as soon as the previous reply lands)
+//   --deadline-ms N  per-request deadline budget sent on the wire (0=none)
+//   --timeout-ms N   client socket timeout       (default 30000)
+//   --label S        run label for the JSON row  (default "serve")
+//   --json FILE      append a BatchReport row (the schema shared with
+//                    `les3_cli batch --json`) to FILE
+//   --append         splice into an existing JSON array instead of
+//                    truncating FILE
+//
+// In open-loop mode each thread sends on a fixed schedule, so measured
+// latency includes queueing delay when the server falls behind the offered
+// rate (the usual open-loop convention). Exit codes: 0 success, 1 no
+// successful replies or setup failure, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/text_io.h"
+#include "serve/client.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace les3;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: les3_loadgen <queries.txt> knn <k> [flags]\n"
+      "       les3_loadgen <queries.txt> range <delta> [flags]\n"
+      "flags: --host A --port N (required) --threads N --repeat N\n"
+      "       --open-qps R --deadline-ms N --timeout-ms N\n"
+      "       --label S --json FILE --append\n"
+      "Replays the query file against a running les3_serve and reports\n"
+      "QPS plus p50/p95/p99 round-trip latency. Exit codes: 0 success,\n"
+      "1 no successful replies or setup failure, 2 usage error.\n");
+  return 2;
+}
+
+struct Flags {
+  std::string queries_path;
+  bool knn = false;
+  size_t k = 0;
+  double delta = 0.0;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t threads = 1;
+  size_t repeat = 1;
+  double open_qps = 0.0;  // 0 = closed loop
+  uint32_t deadline_ms = 0;
+  uint32_t timeout_ms = 30000;
+  std::string label = "serve";
+  std::string json_path;
+  bool append = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  if (argc < 4) return false;
+  flags->queries_path = argv[1];
+  std::string mode = argv[2];
+  if (mode == "knn") {
+    flags->knn = true;
+    flags->k = static_cast<size_t>(atoll(argv[3]));
+  } else if (mode == "range") {
+    flags->delta = atof(argv[3]);
+  } else {
+    return false;
+  }
+  for (int i = 4; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--append") {
+      flags->append = true;
+    } else if (arg == "--host" && (v = next())) {
+      flags->host = v;
+    } else if (arg == "--port" && (v = next())) {
+      flags->port = static_cast<uint16_t>(atoi(v));
+    } else if (arg == "--threads" && (v = next())) {
+      flags->threads = static_cast<size_t>(atoll(v));
+    } else if (arg == "--repeat" && (v = next())) {
+      flags->repeat = static_cast<size_t>(atoll(v));
+    } else if (arg == "--open-qps" && (v = next())) {
+      flags->open_qps = atof(v);
+    } else if (arg == "--deadline-ms" && (v = next())) {
+      flags->deadline_ms = static_cast<uint32_t>(atoi(v));
+    } else if (arg == "--timeout-ms" && (v = next())) {
+      flags->timeout_ms = static_cast<uint32_t>(atoi(v));
+    } else if (arg == "--label" && (v = next())) {
+      flags->label = v;
+    } else if (arg == "--json" && (v = next())) {
+      flags->json_path = v;
+    } else {
+      std::fprintf(stderr, "error: bad or incomplete flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (flags->port == 0) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return false;
+  }
+  if (flags->threads == 0 || flags->repeat == 0) {
+    std::fprintf(stderr, "error: --threads and --repeat must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+struct ThreadResult {
+  std::vector<double> latencies_ms;
+  uint64_t hits = 0;
+  uint64_t errors = 0;
+};
+
+/// One load thread: `repeat` passes over the query file, starting at an
+/// offset so concurrent threads do not march in lockstep over identical
+/// (and after PR 6, identically cached) queries.
+void RunThread(const Flags& flags, const std::vector<SetRecord>& queries,
+               size_t thread_index, ThreadResult* result) {
+  auto client = serve::Client::Connect(flags.host, flags.port,
+                                       flags.timeout_ms);
+  if (!client.ok()) {
+    std::fprintf(stderr, "thread %zu: %s\n", thread_index,
+                 client.status().ToString().c_str());
+    result->errors = flags.repeat * queries.size();
+    return;
+  }
+  serve::Client conn = std::move(client).ValueOrDie();
+
+  size_t total = flags.repeat * queries.size();
+  result->latencies_ms.reserve(total);
+  // Open loop: this thread's share of the aggregate rate, as a fixed
+  // inter-send interval anchored at the loop start.
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  std::chrono::nanoseconds interval{0};
+  if (flags.open_qps > 0.0) {
+    double per_thread = flags.open_qps / static_cast<double>(flags.threads);
+    interval = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 / per_thread));
+  }
+
+  for (size_t i = 0; i < total; ++i) {
+    if (interval.count() > 0) {
+      std::this_thread::sleep_until(start + interval * i);
+    }
+    const SetRecord& query =
+        queries[(thread_index + i) % queries.size()];
+    WallTimer timer;
+    Result<std::vector<Hit>> hits =
+        flags.knn
+            ? conn.Knn(query.view(), flags.k, flags.deadline_ms)
+            : conn.Range(query.view(), flags.delta, flags.deadline_ms);
+    double ms = timer.Millis();
+    if (hits.ok()) {
+      result->latencies_ms.push_back(ms);
+      result->hits += hits.value().size();
+      continue;
+    }
+    ++result->errors;
+    if (!conn.connected()) {
+      // Transport failure: reconnect and keep going so one hiccup does
+      // not void the rest of the run.
+      auto again = serve::Client::Connect(flags.host, flags.port,
+                                          flags.timeout_ms);
+      if (!again.ok()) {
+        std::fprintf(stderr, "thread %zu: reconnect failed: %s\n",
+                     thread_index, again.status().ToString().c_str());
+        result->errors += total - i - 1;
+        return;
+      }
+      conn = std::move(again).ValueOrDie();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+
+  auto query_db = LoadSetsFromText(flags.queries_path);
+  if (!query_db.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 query_db.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<SetRecord> queries;
+  queries.reserve(query_db.value().size());
+  for (SetId i = 0; i < query_db.value().size(); ++i) {
+    queries.emplace_back(query_db.value().set(i));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "error: no queries in %s\n",
+                 flags.queries_path.c_str());
+    return 1;
+  }
+
+  // Fail fast (and separately from "server overloaded") if nothing is
+  // listening.
+  {
+    auto probe = serve::Client::Connect(flags.host, flags.port,
+                                        flags.timeout_ms);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "error: %s\n", probe.status().ToString().c_str());
+      return 1;
+    }
+    Status ping = probe.value().Ping();
+    if (!ping.ok()) {
+      std::fprintf(stderr, "error: ping failed: %s\n",
+                   ping.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<ThreadResult> per_thread(flags.threads);
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(flags.threads);
+  for (size_t t = 0; t < flags.threads; ++t) {
+    threads.emplace_back(RunThread, std::cref(flags), std::cref(queries), t,
+                         &per_thread[t]);
+  }
+  for (auto& thread : threads) thread.join();
+  double wall_s = wall.Seconds();
+
+  std::vector<double> latencies;
+  uint64_t hits_total = 0, errors = 0;
+  for (const ThreadResult& r : per_thread) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    hits_total += r.hits;
+    errors += r.errors;
+  }
+  bench::BatchLatency summary =
+      bench::SummarizeLatencies(std::move(latencies), wall_s);
+
+  const char* mode = flags.knn ? "knn" : "range";
+  const char* loop = flags.open_qps > 0.0 ? "open" : "closed";
+  std::printf(
+      "%zu %s queries (%zu threads, %s loop) in %.3fs: %.0f QPS, latency "
+      "p50 %.3fms p95 %.3fms p99 %.3fms (%llu hits, %llu errors)\n",
+      summary.queries, mode, flags.threads, loop, summary.wall_s,
+      summary.qps, summary.p50_ms, summary.p95_ms, summary.p99_ms,
+      static_cast<unsigned long long>(hits_total),
+      static_cast<unsigned long long>(errors));
+
+  if (!flags.json_path.empty()) {
+    bench::BatchReport report;
+    report.tool = "les3_loadgen";
+    report.label = flags.label;
+    report.mode = mode;
+    report.param = flags.knn ? static_cast<double>(flags.k) : flags.delta;
+    report.clients = flags.threads;
+    report.latency = summary;
+    report.hits_total = hits_total;
+    report.errors = errors;
+    Status written =
+        bench::WriteBatchReports({report}, flags.json_path, flags.append);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[json] %s\n", flags.json_path.c_str());
+  }
+
+  if (summary.queries == 0) {
+    std::fprintf(stderr, "error: no successful replies\n");
+    return 1;
+  }
+  return 0;
+}

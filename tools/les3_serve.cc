@@ -1,0 +1,212 @@
+// les3_serve — the network serving front-end: loads (or builds) an index
+// and serves the binary wire protocol of docs/serving.md over TCP until
+// SIGINT/SIGTERM, then drains in-flight requests and exits 0.
+//
+//   les3_serve <snapshot> [flags]            serve a saved snapshot
+//   les3_serve <sets.txt> --build [flags]    build first, then serve
+//
+// Flags (all optional):
+//   --host A          listen address            (default 127.0.0.1)
+//   --port N          listen port; 0 = kernel-assigned (default 0)
+//   --io-workers N    epoll event loops         (default 2)
+//   --executors N     engine worker threads     (default: hardware)
+//   --queue N         admission-control bound   (default 256)
+//   --cache-mb N      result-cache budget; 0 disables (default 64)
+//   --backend NAME    open: backend override; build: backend
+//                     (default for --build: sharded_les3)
+//   --shards N        shard count for --build   (default 4)
+//   --groups N        L2P groups per shard for --build (default heuristic)
+//
+// Startup prints exactly one line "listening on port <N>" to stdout so
+// scripts (the CI smoke) can discover a kernel-assigned port. Exit codes:
+// 0 clean shutdown, 1 runtime error (details on stderr), 2 usage error.
+
+#include <signal.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "api/engine_builder.h"
+#include "core/text_io.h"
+#include "serve/server.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace les3;
+
+int g_shutdown_fd = -1;
+
+void HandleSignal(int) {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(g_shutdown_fd, &one, sizeof(one));
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: les3_serve <snapshot> [flags]\n"
+      "       les3_serve <sets.txt> --build [flags]\n"
+      "flags: --host A --port N --io-workers N --executors N --queue N\n"
+      "       --cache-mb N --backend NAME --shards N --groups N\n"
+      "Serves the les3 wire protocol (docs/serving.md) until SIGINT or\n"
+      "SIGTERM, then drains in-flight requests and exits 0.\n"
+      "Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.\n");
+  return 2;
+}
+
+struct Flags {
+  std::string input;
+  bool build = false;
+  std::string backend;
+  uint32_t shards = 4;
+  uint32_t groups = 0;
+  serve::ServerOptions server;
+  size_t cache_mb = 64;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  if (argc < 2) return false;
+  flags->input = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--build") {
+      flags->build = true;
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      flags->server.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      flags->server.port = static_cast<uint16_t>(atoi(v));
+    } else if (arg == "--io-workers") {
+      const char* v = next();
+      if (!v) return false;
+      flags->server.io_workers = static_cast<size_t>(atoll(v));
+    } else if (arg == "--executors") {
+      const char* v = next();
+      if (!v) return false;
+      flags->server.executors = static_cast<size_t>(atoll(v));
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (!v) return false;
+      flags->server.max_pending = static_cast<size_t>(atoll(v));
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (!v) return false;
+      flags->cache_mb = static_cast<size_t>(atoll(v));
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (!v) return false;
+      flags->backend = v;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      flags->shards = static_cast<uint32_t>(atoi(v));
+    } else if (arg == "--groups") {
+      const char* v = next();
+      if (!v) return false;
+      flags->groups = static_cast<uint32_t>(atoi(v));
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+  flags.server.cache_bytes = flags.cache_mb << 20;
+
+  Result<std::unique_ptr<api::SearchEngine>> engine =
+      Status::Internal("unreachable");
+  WallTimer load_timer;
+  if (flags.build) {
+    auto db = LoadSetsFromText(flags.input);
+    if (!db.ok()) {
+      std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    api::EngineOptions options;
+    options.num_shards = flags.shards;
+    options.num_groups = flags.groups;
+    std::string backend =
+        flags.backend.empty() ? "sharded_les3" : flags.backend;
+    std::fprintf(stderr, "building %s over %zu sets...\n", backend.c_str(),
+                 db.value().size());
+    engine = api::EngineBuilder::Build(std::move(db).ValueOrDie(), backend,
+                                       options);
+  } else {
+    api::OpenOptions options;
+    options.backend = flags.backend;
+    engine = api::EngineBuilder::Open(flags.input, options);
+  }
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<api::SearchEngine> shared_engine =
+      std::move(engine).ValueOrDie();
+  std::fprintf(stderr, "%s %s in %.2fs (%zu sets)\n",
+               flags.build ? "built" : "opened",
+               shared_engine->Describe().c_str(), load_timer.Seconds(),
+               shared_engine->db().size());
+
+  g_shutdown_fd = eventfd(0, EFD_CLOEXEC);
+  if (g_shutdown_fd < 0) {
+    std::fprintf(stderr, "error: eventfd: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  serve::Server server(shared_engine, flags.server);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving on %s:%u (io_workers=%zu executors=%zu "
+               "queue=%zu cache=%zuMiB)\n",
+               flags.server.host.c_str(), server.port(),
+               server.options().io_workers, server.options().executors,
+               server.options().max_pending, flags.cache_mb);
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);
+
+  // Park until SIGINT/SIGTERM (the handler writes the eventfd).
+  uint64_t value = 0;
+  while (read(g_shutdown_fd, &value, sizeof(value)) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "shutting down: draining in-flight requests...\n");
+  server.Shutdown();
+  serve::Server::Counters counters = server.counters();
+  std::fprintf(stderr,
+               "served %llu ok, %llu error, %llu overloaded, %llu deadline, "
+               "%llu protocol errors over %llu connections\n",
+               static_cast<unsigned long long>(counters.requests_ok),
+               static_cast<unsigned long long>(counters.requests_error),
+               static_cast<unsigned long long>(counters.overloaded),
+               static_cast<unsigned long long>(counters.deadline_exceeded),
+               static_cast<unsigned long long>(counters.protocol_errors),
+               static_cast<unsigned long long>(counters.connections_accepted));
+  return 0;
+}
