@@ -22,6 +22,11 @@ namespace {
 constexpr size_t kReadChunk = 16 * 1024;
 constexpr int kMaxEpollEvents = 64;
 
+// Decode accumulated input mid-read-burst once this many bytes pile up,
+// so `in` stays bounded (~one max frame) and the output-backlog check
+// sees the replies a long burst generates.
+constexpr size_t kProcessBurstBytes = 256 * 1024;
+
 // Best-effort time budget for flushing replies still buffered when the io
 // workers stop (Shutdown has already drained every admitted request by
 // then, so this only covers a slow reader's last bytes).
@@ -71,6 +76,9 @@ struct Server::Connection {
   std::atomic<uint32_t> inflight{0};
 
   bool epollout_armed = false;  // worker thread only
+  /// Reading stopped because the reply backlog hit the cap; cleared (and
+  /// the socket re-read) by FlushConnection when the backlog drains.
+  bool read_paused = false;  // worker thread only
 };
 
 struct Server::IoWorker {
@@ -356,15 +364,43 @@ void Server::IoLoop(IoWorker* worker) {
 
 void Server::ReadConnection(IoWorker* worker,
                             const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
   uint8_t buf[kReadChunk];
   for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      // A stream declared unresynchronizable is never read or decoded
+      // again: misaligned leftover bytes could decode as valid requests
+      // (including mutating Inserts), and newly admitted work would
+      // defer the pending close indefinitely.
+      if (conn->close_after_flush) {
+        conn->in.clear();
+        return;
+      }
+      if (options_.max_conn_outbuf_bytes > 0 &&
+          conn->out.size() - conn->out_pos >= options_.max_conn_outbuf_bytes) {
+        conn->read_paused = true;
+        return;
+      }
+    }
     ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn->in.insert(conn->in.end(), buf, buf + n);
+      if (conn->in.size() >= kProcessBurstBytes) ProcessInput(worker, conn);
       continue;
     }
-    if (n == 0) {  // orderly peer close
-      CloseConnection(worker, conn);
+    if (n == 0) {
+      // Orderly peer FIN: the client is done sending but may still read
+      // (burst + shutdown(SHUT_WR) is legal). Answer everything already
+      // buffered and close through the flush/inflight gate so no reply
+      // is discarded.
+      ProcessInput(worker, conn);
+      conn->in.clear();  // an incomplete trailing frame can never finish
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        conn->close_after_flush = true;
+      }
+      FlushConnection(worker, conn);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -378,6 +414,13 @@ void Server::ReadConnection(IoWorker* worker,
 void Server::ProcessInput(IoWorker* worker,
                           const std::shared_ptr<Connection>& conn) {
   (void)worker;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->close_after_flush) {
+      conn->in.clear();
+      return;
+    }
+  }
   size_t consumed = 0;
   for (;;) {
     size_t frame_end = 0;
@@ -445,6 +488,7 @@ void Server::FlushConnection(IoWorker* worker,
                              const std::shared_ptr<Connection>& conn) {
   if (conn->closed.load(std::memory_order_acquire)) return;
   bool close_now = false;
+  bool resume_read = false;
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
     while (conn->out_pos < conn->out.size()) {
@@ -483,10 +527,19 @@ void Server::FlushConnection(IoWorker* worker,
       if (conn->close_after_flush &&
           conn->inflight.load(std::memory_order_acquire) == 0) {
         close_now = true;
+      } else if (conn->read_paused && !conn->close_after_flush) {
+        conn->read_paused = false;
+        resume_read = true;
       }
     }
   }
-  if (close_now) CloseConnection(worker, conn);
+  if (close_now) {
+    CloseConnection(worker, conn);
+  } else if (resume_read) {
+    // The paused socket produced no new epoll edges for bytes already in
+    // the kernel buffer; pull them now that the backlog drained.
+    ReadConnection(worker, conn);
+  }
 }
 
 void Server::CloseConnection(IoWorker* worker,
@@ -565,6 +618,9 @@ void Server::Execute(const Work& work) {
   } else {
     Response response = HandleRequest(request, work.arrival);
     response.seq = request.seq;
+    // A result too large for one frame becomes a typed kOutOfRange reply
+    // here, so the counters below match what actually goes on the wire.
+    ClampOversizedResponse(&response, request.type);
     EncodeResponse(response, request.type, &frame);
     std::lock_guard<std::mutex> lock(counters_mu_);
     if (response.status == WireStatus::kOk) {

@@ -17,6 +17,13 @@
 //  - Admission control: decoded requests enter a bounded pending queue;
 //    when it is full (or the server is draining) the io worker replies
 //    kOverloaded immediately — a fast reject that costs no engine work.
+//  - Flow control: a connection whose unsent-reply backlog reaches
+//    max_conn_outbuf_bytes is not read again until the backlog flushes,
+//    so a client that pipelines without reading cannot exhaust memory.
+//    Replies too large for one frame become typed kOutOfRange errors
+//    (ClampOversizedResponse), never an encoder abort. On peer FIN the
+//    buffered requests are still answered and the replies flushed before
+//    the close (burst + shutdown(SHUT_WR) is a legal client pattern).
 //  - Deadline budgets: a request's deadline_ms counts from the moment its
 //    frame was decoded. An executor that pops an already-expired request
 //    replies kDeadlineExceeded instead of running the query, so a backlog
@@ -70,6 +77,12 @@ struct ServerOptions {
 
   /// Admission-control bound on the pending-request queue.
   size_t max_pending = 256;
+
+  /// Per-connection cap on buffered-but-unsent reply bytes. A client that
+  /// pipelines requests while never reading replies stops being read once
+  /// its backlog reaches this (backpressure instead of unbounded memory);
+  /// reading resumes when the backlog flushes. 0 = unlimited.
+  size_t max_conn_outbuf_bytes = 64u << 20;
 
   /// Result-cache budget; 0 disables the cache entirely.
   size_t cache_bytes = 64u << 20;

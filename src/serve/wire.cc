@@ -91,6 +91,15 @@ Result<uint32_t> DecodeBatchCount(persist::ByteReader* in) {
   return n;
 }
 
+std::string OversizeMessage(const Response& response) {
+  size_t hits = 0;
+  for (const auto& list : response.results) hits += list.size();
+  return "result of " + std::to_string(hits) +
+         " hits would exceed the frame cap of " +
+         std::to_string(kMaxFrameBytes) +
+         " bytes; lower k, narrow delta, or split the batch";
+}
+
 // Wraps a payload written after a 4-byte placeholder into a frame by
 // patching the length prefix.
 class FramePatcher {
@@ -173,8 +182,49 @@ void EncodeRequest(const Request& request, persist::ByteWriter* out) {
   }
 }
 
+size_t EncodedOkPayloadSize(const Response& response, MsgType type) {
+  size_t size = 5;  // u32 seq + u8 status
+  switch (type) {
+    case MsgType::kPing:
+      break;
+    case MsgType::kDescribe:
+      size += 4 + response.describe.size();
+      break;
+    case MsgType::kKnn:
+    case MsgType::kRange:
+      size += 4;
+      if (!response.results.empty()) size += response.results[0].size() * 12;
+      break;
+    case MsgType::kKnnBatch:
+    case MsgType::kRangeBatch:
+      size += 4;
+      for (const auto& hits : response.results) size += 4 + hits.size() * 12;
+      break;
+    case MsgType::kInsert:
+      size += 4;
+      break;
+  }
+  return size;
+}
+
+void ClampOversizedResponse(Response* response, MsgType type) {
+  if (response->status != WireStatus::kOk) return;
+  if (EncodedOkPayloadSize(*response, type) <= kMaxFrameBytes) return;
+  Response clamped;
+  clamped.seq = response->seq;
+  clamped.status = WireStatus::kOutOfRange;
+  clamped.message = OversizeMessage(*response);
+  *response = std::move(clamped);
+}
+
 void EncodeResponse(const Response& response, MsgType type,
                     persist::ByteWriter* out) {
+  if (response.status == WireStatus::kOk &&
+      EncodedOkPayloadSize(response, type) > kMaxFrameBytes) {
+    EncodeErrorResponse(response.seq, WireStatus::kOutOfRange,
+                        OversizeMessage(response), out);
+    return;
+  }
   FramePatcher frame(out);
   out->WriteU32(response.seq);
   out->WriteU8(static_cast<uint8_t>(response.status));
@@ -258,6 +308,11 @@ Result<Request> DecodeRequest(const uint8_t* payload, size_t size) {
       break;
     case MsgType::kKnn: {
       LES3_RETURN_NOT_OK(in.ReadU32(&request.k));
+      if (request.k > kMaxKnnK) {
+        return Status::InvalidArgument("k " + std::to_string(request.k) +
+                                       " exceeds the cap of " +
+                                       std::to_string(kMaxKnnK));
+      }
       auto set = DecodeSet(&in);
       if (!set.ok()) return set.status();
       request.queries.push_back(std::move(set).ValueOrDie());
@@ -275,6 +330,11 @@ Result<Request> DecodeRequest(const uint8_t* payload, size_t size) {
     }
     case MsgType::kKnnBatch: {
       LES3_RETURN_NOT_OK(in.ReadU32(&request.k));
+      if (request.k > kMaxKnnK) {
+        return Status::InvalidArgument("k " + std::to_string(request.k) +
+                                       " exceeds the cap of " +
+                                       std::to_string(kMaxKnnK));
+      }
       auto n = DecodeBatchCount(&in);
       if (!n.ok()) return n.status();
       request.queries.reserve(n.value());

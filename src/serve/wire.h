@@ -41,6 +41,11 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 /// Cap on the per-request query count of the batch types.
 inline constexpr uint32_t kMaxBatchQueries = 1u << 16;
 
+/// Cap on the `k` of kKnn/kKnnBatch. Keeps any single-query reply far
+/// below kMaxFrameBytes; the decoder rejects a larger k with
+/// InvalidArgument before the engine sees it.
+inline constexpr uint32_t kMaxKnnK = 1u << 20;
+
 /// Request message types. Values are wire bytes — append only.
 enum class MsgType : uint8_t {
   kPing = 1,       // liveness probe, empty body
@@ -101,9 +106,22 @@ struct Response {
 void EncodeRequest(const Request& request, persist::ByteWriter* out);
 
 /// Appends one complete response frame. `type` selects the OK-body shape
-/// (it is not on the wire; the client knows what it asked).
+/// (it is not on the wire; the client knows what it asked). An OK
+/// response whose payload would exceed kMaxFrameBytes is encoded as a
+/// kOutOfRange error frame instead — an oversized result (huge k, very
+/// wide Range, big batch) can never abort the encoder.
 void EncodeResponse(const Response& response, MsgType type,
                     persist::ByteWriter* out);
+
+/// Payload size EncodeResponse would produce for an OK response.
+size_t EncodedOkPayloadSize(const Response& response, MsgType type);
+
+/// Replaces an OK response whose encoded payload would exceed
+/// kMaxFrameBytes with a kOutOfRange error carrying an explanatory
+/// message; no-op otherwise. The server applies this before counting a
+/// reply so its counters match the wire (EncodeResponse also converts,
+/// as a backstop for other callers).
+void ClampOversizedResponse(Response* response, MsgType type);
 
 /// Convenience for the server's error paths: a non-OK response frame.
 void EncodeErrorResponse(uint32_t seq, WireStatus status,
@@ -123,7 +141,8 @@ Status ExtractFrame(const uint8_t* data, size_t size, size_t* frame_end,
 /// Decodes one request payload (the bytes after the length prefix).
 /// Rejects unknown types, truncated bodies, token counts that exceed the
 /// payload, out-of-order (descending) tokens, batch counts above
-/// kMaxBatchQueries, non-finite delta, and trailing bytes.
+/// kMaxBatchQueries, k above kMaxKnnK, non-finite delta, and trailing
+/// bytes.
 Result<Request> DecodeRequest(const uint8_t* payload, size_t size);
 
 /// Decodes one response payload; `type` is the request type this reply

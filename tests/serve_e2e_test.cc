@@ -103,8 +103,14 @@ Client MustConnect(uint16_t port, uint32_t timeout_ms = 10000) {
 /// sends arbitrary bytes the well-behaved Client cannot produce.
 class RawConn {
  public:
-  explicit RawConn(uint16_t port) {
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF before connect — the flow-control
+  /// test uses it so server replies back up instead of vanishing into
+  /// kernel buffers.
+  explicit RawConn(uint16_t port, int rcvbuf = 0) {
     fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (rcvbuf > 0) {
+      setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr;
     std::memset(&addr, 0, sizeof(addr));
     addr.sin_family = AF_INET;
@@ -129,6 +135,23 @@ class RawConn {
   void Send(const persist::ByteWriter& frame) {
     Send(frame.data().data(), frame.size());
   }
+
+  /// Like Send but tolerates partial writes — for buffers larger than
+  /// the socket buffers (the sender may block while the server applies
+  /// read backpressure; a concurrent reader keeps it live).
+  void SendLoop(const persist::ByteWriter& frames) {
+    const uint8_t* p = frames.data().data();
+    size_t left = frames.size();
+    while (left > 0) {
+      ssize_t n = send(fd_, p, left, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+  }
+
+  /// Half-close: FIN the write side, keep reading replies.
+  void ShutdownWrite() { shutdown(fd_, SHUT_WR); }
 
   /// Reads one response frame (decoded with `type`'s OK-body shape).
   Result<Response> RecvResponse(MsgType type) {
@@ -493,6 +516,75 @@ TEST_F(ServeE2ETest, PipelinedRequestsMatchBySeq) {
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a.value().seq + b.value().seq, 201u);
   EXPECT_NE(a.value().seq, b.value().seq);
+}
+
+TEST_F(ServeE2ETest, KnnKAboveCapRejectedTyped) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  SetRecord query(engine_->db().set(0));
+  auto hits = client.Knn(query.view(), static_cast<size_t>(kMaxKnnK) + 1);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kInvalidArgument);
+  // A body rejection, not a framing one: the connection survives.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// Burst + shutdown(SHUT_WR) is a legal client pattern: every request
+// sent before the FIN must still be answered, the replies flushed, and
+// only then the connection closed.
+TEST_F(ServeE2ETest, PeerFinAfterBurstStillGetsReplies) {
+  StartServer();
+  RawConn conn(server_->port());
+  constexpr uint32_t kBurst = 8;
+  persist::ByteWriter frames;
+  for (uint32_t i = 0; i < kBurst; ++i) {
+    EncodeRequest(PingRequest(100 + i), &frames);
+  }
+  conn.Send(frames);
+  conn.ShutdownWrite();
+  std::vector<bool> seen(kBurst, false);
+  for (uint32_t i = 0; i < kBurst; ++i) {
+    auto response = conn.RecvResponse(MsgType::kPing);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, WireStatus::kOk);
+    uint32_t seq = response.value().seq;
+    ASSERT_GE(seq, 100u);
+    ASSERT_LT(seq, 100u + kBurst);
+    EXPECT_FALSE(seen[seq - 100]);
+    seen[seq - 100] = true;
+  }
+  EXPECT_TRUE(conn.ServerClosed());
+}
+
+// A client that pipelines thousands of requests while reading slowly
+// must not grow the server's per-connection buffers without bound: the
+// tiny outbuf cap pauses reads under backlog, flushing resumes them, and
+// every single request is still answered (liveness under backpressure).
+TEST_F(ServeE2ETest, OutputBufferCapBackpressureAnswersEverything) {
+  ServerOptions options;
+  options.max_conn_outbuf_bytes = 16 * 1024;
+  options.max_pending = 1u << 16;  // admission never rejects this test
+  StartServer(options);
+  RawConn conn(server_->port(), /*rcvbuf=*/4096);
+  constexpr uint32_t kCount = 40000;
+  persist::ByteWriter frames;
+  for (uint32_t i = 0; i < kCount; ++i) EncodeRequest(PingRequest(i), &frames);
+  // The sender may block mid-stream while the server applies
+  // backpressure; the main thread reads concurrently so it drains.
+  std::thread sender([&] { conn.SendLoop(frames); });
+  std::vector<bool> seen(kCount, false);
+  uint32_t ok = 0;
+  for (uint32_t i = 0; i < kCount; ++i) {
+    auto response = conn.RecvResponse(MsgType::kPing);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response.value().status, WireStatus::kOk);
+    ASSERT_LT(response.value().seq, kCount);
+    ASSERT_FALSE(seen[response.value().seq]);
+    seen[response.value().seq] = true;
+    ++ok;
+  }
+  sender.join();
+  EXPECT_EQ(ok, kCount);
 }
 
 TEST_F(ServeE2ETest, GracefulShutdownDrainsInFlightRequests) {

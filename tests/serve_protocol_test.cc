@@ -394,6 +394,87 @@ TEST(ServeProtocol, RejectsNonFiniteDelta) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ServeProtocol, RejectsKAboveCap) {
+  for (MsgType type : {MsgType::kKnn, MsgType::kKnnBatch}) {
+    Request request;
+    request.seq = 1;
+    request.type = type;
+    request.k = kMaxKnnK + 1;
+    request.queries.push_back(Set({1}));
+    std::vector<uint8_t> payload = EncodePayload(request);
+    auto decoded = DecodeRequest(payload.data(), payload.size());
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  // kMaxKnnK itself is legal.
+  Request request = KnnRequest();
+  request.k = kMaxKnnK;
+  std::vector<uint8_t> payload = EncodePayload(request);
+  EXPECT_TRUE(DecodeRequest(payload.data(), payload.size()).ok());
+}
+
+TEST(ServeProtocol, EncodedOkPayloadSizeMatchesEncoder) {
+  Response response;
+  response.seq = 9;
+  response.describe = "engine description";
+  response.inserted_id = 77;
+  // The single-result shape (kKnn/kRange demands exactly one list).
+  response.results.push_back({{1, 0.5}, {2, 0.25}});
+  for (MsgType type : {MsgType::kPing, MsgType::kDescribe, MsgType::kKnn,
+                       MsgType::kRange, MsgType::kInsert}) {
+    std::vector<uint8_t> payload = EncodeResponsePayload(response, type);
+    EXPECT_EQ(EncodedOkPayloadSize(response, type), payload.size())
+        << "type " << static_cast<int>(type);
+  }
+  // The batch shape, including an empty hit list.
+  response.results.push_back({});
+  response.results.push_back({{3, 1.0}});
+  for (MsgType type : {MsgType::kKnnBatch, MsgType::kRangeBatch}) {
+    std::vector<uint8_t> payload = EncodeResponsePayload(response, type);
+    EXPECT_EQ(EncodedOkPayloadSize(response, type), payload.size())
+        << "type " << static_cast<int>(type);
+  }
+}
+
+// A well-formed request whose OK result would not fit one frame (~5.6M
+// hits) must come back as a typed kOutOfRange error, never an encoder
+// abort — the remote-crash guard for huge-k Knn / wide Range / big
+// batches.
+TEST(ServeProtocol, OversizedOkResponseBecomesOutOfRange) {
+  Response response;
+  response.seq = 31337;
+  response.results.emplace_back();
+  response.results[0].assign(kMaxFrameBytes / 12 + 1, Hit{1, 0.5});
+  ASSERT_GT(EncodedOkPayloadSize(response, MsgType::kKnn), kMaxFrameBytes);
+
+  persist::ByteWriter out;
+  EncodeResponse(response, MsgType::kKnn, &out);
+  size_t frame_end = 0;
+  bool complete = false;
+  ASSERT_TRUE(
+      ExtractFrame(out.data().data(), out.size(), &frame_end, &complete).ok());
+  ASSERT_TRUE(complete);
+  auto decoded = DecodeResponse(out.data().data() + 4, frame_end - 4,
+                                MsgType::kKnn);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().seq, 31337u);
+  EXPECT_EQ(decoded.value().status, WireStatus::kOutOfRange);
+  EXPECT_FALSE(decoded.value().message.empty());
+
+  // ClampOversizedResponse (the server-side path) agrees.
+  ClampOversizedResponse(&response, MsgType::kKnn);
+  EXPECT_EQ(response.status, WireStatus::kOutOfRange);
+  EXPECT_TRUE(response.results.empty());
+
+  // And leaves a small response untouched.
+  Response small;
+  small.seq = 2;
+  small.results.push_back({{1, 0.5}});
+  ClampOversizedResponse(&small, MsgType::kKnn);
+  EXPECT_EQ(small.status, WireStatus::kOk);
+  EXPECT_EQ(small.results.size(), 1u);
+}
+
 TEST(ServeProtocol, HitCountBeyondPayloadRejected) {
   Response response;
   response.seq = 1;
