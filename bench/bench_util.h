@@ -86,7 +86,10 @@ inline QueryAggregate RunQueries(
 struct BatchLatency {
   size_t queries = 0;
   double wall_s = 0.0;   // end-to-end batch wall time
-  double qps = 0.0;      // queries / wall_s
+  double qps = 0.0;      // queries / wall_s; when the clock reports a zero
+                         // wall time (sub-resolution runs), estimated from
+                         // the per-query latency sum instead — never
+                         // silently 0 for a run that answered queries
   double p50_ms = 0.0;   // per-query latency percentiles; on the sharded
   double p95_ms = 0.0;   // engine a query's latency is its slowest shard
   double p99_ms = 0.0;   // probe (the scatter-gather critical path)
@@ -110,7 +113,21 @@ inline BatchLatency SummarizeLatencies(std::vector<double> ms, double wall_s) {
   summary.queries = ms.size();
   summary.wall_s = wall_s;
   if (ms.empty()) return summary;
-  summary.qps = wall_s > 0.0 ? ms.size() / wall_s : 0.0;
+  if (wall_s > 0.0) {  // NaN wall time also falls through to the fallback
+    summary.qps = ms.size() / wall_s;
+  } else {
+    // A very fast run can complete inside one clock tick, leaving
+    // wall_s == 0. Reporting qps = 0 for such a run inverts its meaning
+    // (the fastest run would plot as the slowest), so fall back to the
+    // serial-latency estimate: queries per summed per-query time. With a
+    // zero latency sum as well, there is no timing signal at all and the
+    // field stays 0.
+    double sum_ms = 0.0;
+    for (double m : ms) {
+      if (std::isfinite(m) && m > 0.0) sum_ms += m;
+    }
+    if (sum_ms > 0.0) summary.qps = ms.size() / (sum_ms / 1000.0);
+  }
   std::sort(ms.begin(), ms.end());
   summary.p50_ms = PercentileSorted(ms, 0.50);
   summary.p95_ms = PercentileSorted(ms, 0.95);

@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bitmap/bitvector.h"
 #include "bitmap/kernels.h"
 #include "bitmap/roaring.h"
+#include "core/simd_dispatch.h"
 #include "util/random.h"
 
 namespace les3 {
@@ -169,8 +172,63 @@ void BM_BitVectorAndCount(benchmark::State& state) {
 }
 BENCHMARK(BM_BitVectorAndCount)->Arg(1 << 14)->Arg(1 << 20);
 
+// ---------------------------------------------------------------------------
+// Per-dispatch-level rows for the bitset word-scan accumulate kernel: the
+// same AccumulateWords entry point pinned to each SIMD tier the machine
+// supports, in set bits per second, at the densities the level dispatch
+// cares about (the vector paths only engage above their popcount cutoff).
+
+void AccumulateWordsAtLevel(benchmark::State& state, simd::Level level,
+                            double density) {
+  constexpr size_t kNumWords = 1024;  // one 64Ki-bit bitset container
+  Rng rng(static_cast<uint64_t>(density * 977) + 11);
+  std::vector<uint64_t> words(kNumWords, 0);
+  uint64_t set_bits = 0;
+  for (uint64_t& w : words) {
+    for (int b = 0; b < 64; ++b) {
+      if (rng.Uniform(1000) < static_cast<uint64_t>(density * 1000)) {
+        w |= uint64_t{1} << b;
+      }
+    }
+    set_bits += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  std::vector<uint32_t> counts(kNumWords * 64, 0);
+  simd::SetLevelForTesting(level);
+  for (auto _ : state) {
+    AccumulateWords(words.data(), words.size(), /*base=*/0, counts.data(),
+                    /*weight=*/2, counts.size());
+    benchmark::DoNotOptimize(counts.data());
+  }
+  simd::ClearLevelForTesting();
+  state.SetItemsProcessed(state.iterations() * set_bits);  // bits/sec
+}
+
+/// Registered at runtime because the level list depends on the machine:
+/// one row per (supported level x bit density), named
+/// BM_AccumulateWordsLevel/<level>/density_pct:<d>.
+void RegisterLevelBenchmarks() {
+  for (simd::Level level : simd::SupportedLevels()) {
+    for (int density_pct : {50, 90, 10}) {
+      std::string name = std::string("BM_AccumulateWordsLevel/") +
+                         simd::LevelName(level) +
+                         "/density_pct:" + std::to_string(density_pct);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [level, density_pct](benchmark::State& state) {
+            AccumulateWordsAtLevel(state, level, density_pct / 100.0);
+          });
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bitmap
 }  // namespace les3
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  les3::bitmap::RegisterLevelBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,9 +13,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "core/simd_dispatch.h"
 #include "core/verify.h"
+#include "core/verify_simd.h"
 #include "datagen/zipf.h"
 #include "util/random.h"
 
@@ -149,7 +152,84 @@ BENCHMARK(BM_VerifyMerge) VERIFY_ARGS;
 BENCHMARK(BM_VerifyGallop) VERIFY_ARGS;
 BENCHMARK(BM_VerifyScalar) VERIFY_ARGS;
 
+// ---------------------------------------------------------------------------
+// Per-dispatch-level rows (the BENCH_verify_simd.json payload): the same
+// VerifyMerge entry point pinned to each SIMD tier this machine supports,
+// so scalar vs avx2 vs avx512 pairs/sec compare directly. The pools here
+// use DISTINCT tokens (sampled without replacement): the Zipf pools above
+// are duplicate-heavy multisets, which the vector kernels deliberately
+// route through the scalar duplicate fallback — real corpora are sets,
+// and these rows measure the vector fast path those corpora take.
+
+PairPool MakeDistinctPool(size_t base_size, size_t ratio) {
+  constexpr size_t kPairs = 512;
+  const size_t large_size = base_size * ratio;
+  // Universe 4x the large side: overlap is common but partial.
+  const uint32_t universe = static_cast<uint32_t>(large_size * 4);
+  Rng rng(base_size * 40503u + ratio * 2654435761u);
+  PairPool pool;
+  auto draw = [&](size_t n) {
+    std::vector<uint32_t> vals = rng.SampleWithoutReplacement(
+        universe, static_cast<uint32_t>(n));
+    std::sort(vals.begin(), vals.end());
+    return std::vector<TokenId>(vals.begin(), vals.end());
+  };
+  for (size_t p = 0; p < kPairs; ++p) {
+    pool.small.push_back(draw(base_size));
+    pool.large.push_back(draw(large_size));
+    pool.thresholds.push_back(
+        0.8 * MaxSimForSize(SimilarityMeasure::kJaccard, base_size,
+                            large_size));
+  }
+  return pool;
+}
+
+void VerifyMergeAtLevel(benchmark::State& state, simd::Level level,
+                        size_t base_size, size_t ratio) {
+  PairPool pool = MakeDistinctPool(base_size, ratio);
+  simd::SetLevelForTesting(level);
+  for (auto _ : state) {
+    size_t p = pool.next++ % pool.small.size();
+    SetView a(pool.small[p].data(), pool.small[p].size());
+    SetView b(pool.large[p].data(), pool.large[p].size());
+    VerifyResult v = VerifyMerge(SimilarityMeasure::kJaccard, a, b,
+                                 pool.thresholds[p]);
+    benchmark::DoNotOptimize(v);
+  }
+  simd::ClearLevelForTesting();
+  state.SetItemsProcessed(state.iterations());  // pairs/sec
+}
+
+/// Registered at runtime because the level list depends on the machine:
+/// one row per (supported level x operand shape), named
+/// BM_VerifyMergeLevel/<level>/base:<n>/ratio:<r>.
+void RegisterLevelBenchmarks() {
+  struct Shape {
+    size_t base, ratio;
+  };
+  for (simd::Level level : simd::SupportedLevels()) {
+    for (Shape shape : {Shape{64, 1}, Shape{256, 1}, Shape{64, 4},
+                        Shape{16, 1}}) {
+      std::string name = std::string("BM_VerifyMergeLevel/") +
+                         simd::LevelName(level) +
+                         "/base:" + std::to_string(shape.base) +
+                         "/ratio:" + std::to_string(shape.ratio);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [level, shape](benchmark::State& state) {
+            VerifyMergeAtLevel(state, level, shape.base, shape.ratio);
+          });
+    }
+  }
+}
+
 }  // namespace
 }  // namespace les3
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  les3::RegisterLevelBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -94,17 +94,17 @@ class MemoryEngine : public SearchEngine {
     return FromHits(std::move(hits), stats);
   }
 
-  QueryResult Range(SetView query, double delta) const override {
-    search::QueryStats stats;
-    auto hits = index_.Range(query, delta, &stats);
-    return FromHits(std::move(hits), stats);
-  }
-
   uint64_t IndexBytes() const override { return IndexBytesOf(index_); }
   std::string Describe() const override { return describe_; }
   const SetDatabase& db() const override { return *db_; }
 
  protected:
+  QueryResult RangeImpl(SetView query, double delta) const override {
+    search::QueryStats stats;
+    auto hits = index_.Range(query, delta, &stats);
+    return FromHits(std::move(hits), stats);
+  }
+
   std::shared_ptr<SetDatabase> db_;
   Index index_;
   std::string describe_;
@@ -127,15 +127,15 @@ class DiskEngine : public SearchEngine {
     return FromDisk(index_.Knn(query, k));
   }
 
-  QueryResult Range(SetView query, double delta) const override {
-    return FromDisk(index_.Range(query, delta));
-  }
-
   uint64_t IndexBytes() const override { return IndexBytesOf(index_); }
   std::string Describe() const override { return describe_; }
   const SetDatabase& db() const override { return *db_; }
 
  protected:
+  QueryResult RangeImpl(SetView query, double delta) const override {
+    return FromDisk(index_.Range(query, delta));
+  }
+
   std::shared_ptr<SetDatabase> db_;
   Index index_;
   std::string describe_;

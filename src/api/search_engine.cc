@@ -1,7 +1,20 @@
 #include "api/search_engine.h"
 
+#include <cmath>
+
 namespace les3 {
 namespace api {
+
+namespace {
+
+QueryResult NonFiniteDeltaResult(double delta) {
+  QueryResult result;
+  result.status = Status::InvalidArgument(
+      "range delta must be finite, got " + std::to_string(delta));
+  return result;
+}
+
+}  // namespace
 
 ThreadPool& SearchEngine::pool() const {
   std::lock_guard<std::mutex> lock(pool_mu_);
@@ -18,12 +31,27 @@ std::vector<QueryResult> SearchEngine::KnnBatch(
   return results;
 }
 
+QueryResult SearchEngine::Range(SetView query, double delta) const {
+  if (!std::isfinite(delta)) return NonFiniteDeltaResult(delta);
+  return RangeImpl(query, delta);
+}
+
 std::vector<QueryResult> SearchEngine::RangeBatch(
+    const std::vector<SetRecord>& queries, double delta) const {
+  if (!std::isfinite(delta)) {
+    return std::vector<QueryResult>(queries.size(),
+                                    NonFiniteDeltaResult(delta));
+  }
+  return RangeBatchImpl(queries, delta);
+}
+
+std::vector<QueryResult> SearchEngine::RangeBatchImpl(
     const std::vector<SetRecord>& queries, double delta) const {
   std::vector<QueryResult> results(queries.size());
   if (queries.empty()) return results;
-  pool().ParallelFor(queries.size(),
-                     [&](size_t i) { results[i] = Range(queries[i], delta); });
+  pool().ParallelFor(queries.size(), [&](size_t i) {
+    results[i] = RangeImpl(queries[i], delta);
+  });
   return results;
 }
 

@@ -51,6 +51,11 @@ struct QueryResult {
   search::QueryStats stats;   // candidates / PE / CPU micros
   std::optional<DiskIoStats> io;  // engaged only on disk backends
 
+  /// OK for every answered query. Non-OK (with empty hits) when the
+  /// request itself was rejected before reaching the backend — e.g.
+  /// Range with a non-finite delta returns InvalidArgument.
+  Status status = Status::OK();
+
   /// End-to-end latency: CPU time plus simulated I/O time (if any) — the
   /// quantity Figures 12 and 13 report.
   double TotalMs() const {
@@ -75,7 +80,11 @@ class SearchEngine {
   virtual QueryResult Knn(SetView query, size_t k) const = 0;
 
   /// Exact range search (Definition 2.2): all sets with Sim >= delta.
-  virtual QueryResult Range(SetView query, double delta) const = 0;
+  /// Non-virtual template method: validates the request (a non-finite
+  /// delta yields an InvalidArgument QueryResult — letting NaN reach the
+  /// kernels' double->size_t threshold cast would be undefined behavior)
+  /// and then dispatches to the backend's RangeImpl.
+  QueryResult Range(SetView query, double delta) const;
 
   /// Answers every query independently across the engine's thread pool.
   /// results[i] is exactly what Knn(queries[i], k) returns.
@@ -83,8 +92,10 @@ class SearchEngine {
       const std::vector<SetRecord>& queries, size_t k) const;
 
   /// Batch counterpart of Range; results[i] == Range(queries[i], delta).
-  virtual std::vector<QueryResult> RangeBatch(
-      const std::vector<SetRecord>& queries, double delta) const;
+  /// Validates delta once up front (same contract as Range), then
+  /// dispatches to RangeBatchImpl.
+  std::vector<QueryResult> RangeBatch(const std::vector<SetRecord>& queries,
+                                      double delta) const;
 
   /// Inserts a set into the database and index, returning its id. Backends
   /// whose index cannot absorb inserts return NotSupported. Mutates the
@@ -120,6 +131,16 @@ class SearchEngine {
   /// concurrency).
   explicit SearchEngine(size_t batch_threads = 0)
       : batch_threads_(batch_threads) {}
+
+  /// Backend range search; delta is guaranteed finite here (the public
+  /// Range validated it).
+  virtual QueryResult RangeImpl(SetView query, double delta) const = 0;
+
+  /// Backend batch range search; the base implementation fans RangeImpl
+  /// out across pool(). Subclasses with a smarter multi-query plan (the
+  /// sharded engine's striped batches) override this.
+  virtual std::vector<QueryResult> RangeBatchImpl(
+      const std::vector<SetRecord>& queries, double delta) const;
 
   /// The engine's pool, created on first use. Subclasses that fan out
   /// (the sharded engine's scatter and striped batches) share it; tasks

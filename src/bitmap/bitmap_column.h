@@ -85,10 +85,13 @@ class BitmapColumn {
     }
   }
 
-  /// Direct-array variant; `counts` must cover the value universe.
-  void AccumulateInto(uint32_t* counts, uint32_t weight) const {
+  /// Direct-array variant; `counts` has `counts_size` entries and must
+  /// cover the value universe (the size bounds the vectorized kernels'
+  /// whole-word writes, see bitmap/kernels.h).
+  void AccumulateInto(uint32_t* counts, size_t counts_size,
+                      uint32_t weight) const {
     if (const auto* r = std::get_if<Roaring>(&rep_)) {
-      r->AccumulateInto(counts, weight);
+      r->AccumulateInto(counts, counts_size, weight);
     } else {
       std::get<Dense>(rep_).bits.AccumulateInto(counts, weight);
     }

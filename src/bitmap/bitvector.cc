@@ -33,7 +33,11 @@ uint64_t BitVector::AndCount(const BitVector& other) const {
 }
 
 void BitVector::AccumulateInto(uint32_t* counts, uint32_t weight) const {
-  AccumulateWords(words_.data(), words_.size(), /*base=*/0, counts, weight);
+  // The counter array covers the value universe, i.e. num_bits_ entries —
+  // the vectorized kernel needs that limit to keep its whole-word
+  // read-modify-writes inside the array on the final partial word.
+  AccumulateWords(words_.data(), words_.size(), /*base=*/0, counts, weight,
+                  /*counts_size=*/num_bits_);
 }
 
 void BitVector::Serialize(persist::ByteWriter* writer) const {

@@ -25,26 +25,64 @@
 #include <cstdint>
 #include <vector>
 
+#include "bitmap/kernels_simd.h"
+#include "core/simd_dispatch.h"
+
 namespace les3 {
 namespace bitmap {
+
+/// \brief Scalar word-scan accumulation kernel: one ctz + clear-lowest per
+/// set bit. Exported for the forced-path differential tests; production
+/// code calls the dispatching AccumulateWords below.
+inline void AccumulateWordsScalar(const uint64_t* words, size_t num_words,
+                                  uint32_t base, uint32_t* counts,
+                                  uint32_t weight) {
+  for (size_t w = 0; w < num_words; ++w) {
+    if (words[w] != 0) {
+      AccumulateWordBits(words[w], base + (static_cast<uint32_t>(w) << 6),
+                         counts, weight);
+    }
+  }
+}
 
 /// \brief Word-scan accumulation kernel shared by the dense BitVector and
 /// the Roaring bitset container: adds `weight` to `counts[base + i]` for
 /// every set bit i of `words[0 .. num_words)`. One pass over the words,
-/// direct adds, no per-value callback.
+/// direct adds, no per-value callback. Dispatches on the active SIMD level
+/// (core/simd_dispatch.h); `counts_size` is the number of addressable
+/// entries of `counts` — the vector kernels read-modify-write the full
+/// 64-counter span of a dense word and need to know where the array ends
+/// (words whose span crosses it take the per-bit path, so results are
+/// identical at every level).
 inline void AccumulateWords(const uint64_t* words, size_t num_words,
-                            uint32_t base, uint32_t* counts,
-                            uint32_t weight) {
-  for (size_t w = 0; w < num_words; ++w) {
-    uint64_t bits = words[w];
-    if (bits == 0) continue;
-    uint32_t word_base = base + (static_cast<uint32_t>(w) << 6);
-    do {
-      counts[word_base + static_cast<uint32_t>(__builtin_ctzll(bits))] +=
-          weight;
-      bits &= bits - 1;
-    } while (bits);
+                            uint32_t base, uint32_t* counts, uint32_t weight,
+                            size_t counts_size) {
+  switch (simd::ActiveLevel()) {
+    case simd::Level::kAvx512:
+      AccumulateWordsAvx512(words, num_words, base, counts, weight,
+                            counts_size);
+      return;
+    case simd::Level::kAvx2:
+      AccumulateWordsAvx2(words, num_words, base, counts, weight,
+                          counts_size);
+      return;
+    case simd::Level::kScalar:
+      break;
   }
+  AccumulateWordsScalar(words, num_words, base, counts, weight);
+}
+
+/// \brief Bulk-add for a sorted, duplicate-free array of 16-bit offsets
+/// (the Roaring array-container shape): adds `weight` to counts[base + v]
+/// for every value. AVX-512 uses gather/scatter; the other levels run the
+/// scalar loop (AVX2 has no scatter).
+inline void ArrayAccumulate(const uint16_t* values, size_t n, uint32_t base,
+                            uint32_t* counts, uint32_t weight) {
+  if (simd::ActiveLevel() == simd::Level::kAvx512) {
+    ArrayAccumulateAvx512(values, n, base, counts, weight);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) counts[base + values[i]] += weight;
 }
 
 /// \brief Weighted group-counter array with an O(1)-per-run side channel.

@@ -1,0 +1,70 @@
+// SIMD specializations of the batched accumulation kernels
+// (bitmap/kernels.h), with runtime dispatch (core/simd_dispatch.h).
+//
+// Two kernel families:
+//
+//   - AccumulateWords (bitset word scan): the scalar kernel extracts one
+//     set bit at a time (ctz + clear-lowest) and does a dependent add per
+//     bit. The vector kernels instead treat a dense word as 64 unconditional
+//     lanes: expand the word's bits into a 0/weight vector and add it onto
+//     the counter array 8 (AVX2) or 16 (AVX-512, using the word's bits
+//     directly as the write mask) lanes at a time. That read-modify-writes
+//     the full 64-counter span of the word, so it is only taken when the
+//     span fits inside the counter array (`counts_size`) and the word is
+//     dense enough to beat the per-bit loop; sparse words and boundary
+//     words keep the scalar path. Results are identical: lanes whose bit
+//     is clear receive +0 (AVX2) or are write-masked out (AVX-512).
+//
+//   - ArrayAccumulate (array-container bulk add): scattered counter
+//     increments at sorted, duplicate-free 16-bit offsets. AVX2 has no
+//     scatter, so only the AVX-512 tier vectorizes it (gather + add +
+//     scatter, conflict-free because the offsets are strictly increasing).
+//
+// The per-level entries are exported for the forced-path tests and
+// bench/micro_bitmap.cc; production code calls the dispatching forms in
+// bitmap/kernels.h.
+
+#ifndef LES3_BITMAP_KERNELS_SIMD_H_
+#define LES3_BITMAP_KERNELS_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/simd_dispatch.h"
+
+namespace les3 {
+namespace bitmap {
+
+/// Per-bit scalar sink for one word: adds `weight` at word_base + bit
+/// index for every set bit. Shared by the scalar kernel and the sparse /
+/// boundary fallback inside the vector kernels.
+inline void AccumulateWordBits(uint64_t bits, uint32_t word_base,
+                               uint32_t* counts, uint32_t weight) {
+  while (bits != 0) {
+    counts[word_base + static_cast<uint32_t>(__builtin_ctzll(bits))] +=
+        weight;
+    bits &= bits - 1;
+  }
+}
+
+/// Defined in kernels_simd_avx2.cc / kernels_simd_avx512.cc (scalar
+/// forwarding stubs when built without the instruction set — unreachable
+/// through dispatch but callable from tests). `counts_size` is the number
+/// of addressable entries of `counts`; vectorized word spans that would
+/// cross it fall back to the per-bit path.
+void AccumulateWordsAvx2(const uint64_t* words, size_t num_words,
+                         uint32_t base, uint32_t* counts, uint32_t weight,
+                         size_t counts_size);
+void AccumulateWordsAvx512(const uint64_t* words, size_t num_words,
+                           uint32_t base, uint32_t* counts, uint32_t weight,
+                           size_t counts_size);
+
+/// Bulk-add for a sorted, duplicate-free array container: adds `weight`
+/// to counts[base + v] for every value. AVX-512 gather/scatter tier.
+void ArrayAccumulateAvx512(const uint16_t* values, size_t n, uint32_t base,
+                           uint32_t* counts, uint32_t weight);
+
+}  // namespace bitmap
+}  // namespace les3
+
+#endif  // LES3_BITMAP_KERNELS_SIMD_H_

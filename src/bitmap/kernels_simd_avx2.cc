@@ -1,0 +1,72 @@
+// AVX2 specialization of the bitset word-scan accumulate. Compiled with
+// -mavx2 per file (CMakeLists.txt); without the flag it degrades to a
+// scalar forwarding stub and reports nothing — dispatch never reaches it
+// because core/simd_dispatch.cc keys off the verify TU's kAvx2Compiled.
+
+#include "bitmap/kernels_simd.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace les3 {
+namespace bitmap {
+
+#if defined(__AVX2__)
+
+void AccumulateWordsAvx2(const uint64_t* words, size_t num_words,
+                         uint32_t base, uint32_t* counts, uint32_t weight,
+                         size_t counts_size) {
+  // Dense words are expanded bit -> lane one byte (8 counters) at a time:
+  // broadcast the byte, AND with each lane's selector bit, compare-equal
+  // to turn set bits into all-ones lanes, mask the weight, add. Clear
+  // lanes receive +0, so the unconditional 8-wide read-modify-write is
+  // exact — but it touches all 64 counters of the word, so it is gated on
+  // the span being in bounds. Below the density cutoff the per-bit scalar
+  // loop wins (fewer dependent adds than 8 vector RMWs).
+  constexpr int kDenseCutoff = 8;
+  const __m256i vweight = _mm256_set1_epi32(static_cast<int>(weight));
+  const __m256i kBitSel = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  for (size_t w = 0; w < num_words; ++w) {
+    const uint64_t bits = words[w];
+    if (bits == 0) continue;
+    const uint32_t word_base = base + (static_cast<uint32_t>(w) << 6);
+    if (__builtin_popcountll(bits) < kDenseCutoff ||
+        static_cast<size_t>(word_base) + 64 > counts_size) {
+      AccumulateWordBits(bits, word_base, counts, weight);
+      continue;
+    }
+    for (int k = 0; k < 8; ++k) {
+      const uint32_t byte = static_cast<uint32_t>(bits >> (8 * k)) & 0xFFu;
+      if (byte == 0) continue;
+      const __m256i sel = _mm256_and_si256(
+          _mm256_set1_epi32(static_cast<int>(byte)), kBitSel);
+      const __m256i add = _mm256_and_si256(
+          _mm256_cmpeq_epi32(sel, kBitSel), vweight);
+      uint32_t* p = counts + word_base + 8 * k;
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(p),
+          _mm256_add_epi32(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), add));
+    }
+  }
+}
+
+#else  // !defined(__AVX2__)
+
+void AccumulateWordsAvx2(const uint64_t* words, size_t num_words,
+                         uint32_t base, uint32_t* counts, uint32_t weight,
+                         size_t counts_size) {
+  (void)counts_size;
+  for (size_t w = 0; w < num_words; ++w) {
+    if (words[w] != 0) {
+      AccumulateWordBits(words[w], base + (static_cast<uint32_t>(w) << 6),
+                         counts, weight);
+    }
+  }
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace bitmap
+}  // namespace les3

@@ -1,0 +1,94 @@
+// AVX-512 specializations of the accumulation kernels. Compiled with
+// -mavx512f -mavx512bw per file (CMakeLists.txt); without the flags both
+// entries degrade to scalar forwarding stubs (unreachable through
+// dispatch, still callable from tests).
+
+#include "bitmap/kernels_simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#define LES3_HAVE_AVX512_TU 1
+#endif
+
+namespace les3 {
+namespace bitmap {
+
+#if defined(LES3_HAVE_AVX512_TU)
+
+void AccumulateWordsAvx512(const uint64_t* words, size_t num_words,
+                           uint32_t base, uint32_t* counts, uint32_t weight,
+                           size_t counts_size) {
+  // Each 16-bit slice of the word is a ready-made write mask: a masked
+  // add touches exactly the counters whose bit is set, four vector ops
+  // per dense word. Same in-bounds gate as the AVX2 tier (the loads span
+  // all 64 counters of the word), and a lower density cutoff — the
+  // masked add costs nothing per clear bit.
+  constexpr int kDenseCutoff = 4;
+  const __m512i vweight = _mm512_set1_epi32(static_cast<int>(weight));
+  for (size_t w = 0; w < num_words; ++w) {
+    const uint64_t bits = words[w];
+    if (bits == 0) continue;
+    const uint32_t word_base = base + (static_cast<uint32_t>(w) << 6);
+    if (__builtin_popcountll(bits) < kDenseCutoff ||
+        static_cast<size_t>(word_base) + 64 > counts_size) {
+      AccumulateWordBits(bits, word_base, counts, weight);
+      continue;
+    }
+    for (int k = 0; k < 4; ++k) {
+      const __mmask16 m = static_cast<__mmask16>(bits >> (16 * k));
+      if (m == 0) continue;
+      uint32_t* p = counts + word_base + 16 * k;
+      const __m512i cur = _mm512_loadu_si512(p);
+      _mm512_storeu_si512(p, _mm512_mask_add_epi32(cur, m, cur, vweight));
+    }
+  }
+}
+
+void ArrayAccumulateAvx512(const uint16_t* values, size_t n, uint32_t base,
+                           uint32_t* counts, uint32_t weight) {
+  // Gather / add / scatter 16 counters at a time. Array-container values
+  // are strictly increasing, so the 16 gather indices are pairwise
+  // distinct and the scatter has no intra-vector write conflicts. The
+  // hardware treats indices as signed 32-bit, so bases within 2^16 of the
+  // signed boundary take the scalar loop (group ids never get near that
+  // in practice, but the kernel must not depend on it).
+  if (base > static_cast<uint32_t>(INT32_MAX) - 0x10000u) {
+    for (size_t i = 0; i < n; ++i) counts[base + values[i]] += weight;
+    return;
+  }
+  const __m512i vbase = _mm512_set1_epi32(static_cast<int>(base));
+  const __m512i vweight = _mm512_set1_epi32(static_cast<int>(weight));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i idx = _mm512_add_epi32(
+        _mm512_cvtepu16_epi32(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(values + i))),
+        vbase);
+    // Full-mask gather with an explicit zero source: the plain gather
+    // intrinsic routes through _mm512_undefined_epi32 and trips GCC's
+    // maybe-uninitialized warning.
+    const __m512i cur = _mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), static_cast<__mmask16>(0xFFFF), idx, counts,
+        4);
+    _mm512_i32scatter_epi32(counts, idx, _mm512_add_epi32(cur, vweight), 4);
+  }
+  for (; i < n; ++i) counts[base + values[i]] += weight;
+}
+
+#else  // !LES3_HAVE_AVX512_TU
+
+void AccumulateWordsAvx512(const uint64_t* words, size_t num_words,
+                           uint32_t base, uint32_t* counts, uint32_t weight,
+                           size_t counts_size) {
+  AccumulateWordsAvx2(words, num_words, base, counts, weight, counts_size);
+}
+
+void ArrayAccumulateAvx512(const uint16_t* values, size_t n, uint32_t base,
+                           uint32_t* counts, uint32_t weight) {
+  for (size_t i = 0; i < n; ++i) counts[base + values[i]] += weight;
+}
+
+#endif  // LES3_HAVE_AVX512_TU
+
+}  // namespace bitmap
+}  // namespace les3

@@ -288,14 +288,17 @@ namespace {
 template <typename RunFn>
 void AccumulateContainers(const std::vector<uint16_t>& keys,
                           const std::vector<Container>& containers,
-                          uint32_t* counts, uint32_t weight, RunFn&& run_fn) {
+                          uint32_t* counts, size_t counts_size,
+                          uint32_t weight, RunFn&& run_fn) {
   for (size_t i = 0; i < keys.size(); ++i) {
     uint32_t base = static_cast<uint32_t>(keys[i]) << 16;
     const Container& c = containers[i];
     if (const auto* a = std::get_if<ArrayContainer>(&c)) {
-      for (uint16_t v : a->values) counts[base + v] += weight;
+      ArrayAccumulate(a->values.data(), a->values.size(), base, counts,
+                      weight);
     } else if (const auto* b = std::get_if<BitsetContainer>(&c)) {
-      AccumulateWords(b->words.data(), b->words.size(), base, counts, weight);
+      AccumulateWords(b->words.data(), b->words.size(), base, counts, weight,
+                      counts_size);
     } else {
       for (const auto& r : std::get<RunContainer>(c).runs) run_fn(base, r);
     }
@@ -306,16 +309,18 @@ void AccumulateContainers(const std::vector<uint16_t>& keys,
 
 void Roaring::AccumulateInto(GroupCountAccumulator& acc,
                              uint32_t weight) const {
-  AccumulateContainers(keys_, containers_, acc.counts(), weight,
+  AccumulateContainers(keys_, containers_, acc.counts(), acc.num_groups(),
+                       weight,
                        [&](uint32_t base, const RunContainer::Run& r) {
                          acc.AddRange(base + r.start,
                                       base + r.start + r.length, weight);
                        });
 }
 
-void Roaring::AccumulateInto(uint32_t* counts, uint32_t weight) const {
+void Roaring::AccumulateInto(uint32_t* counts, size_t counts_size,
+                             uint32_t weight) const {
   AccumulateContainers(
-      keys_, containers_, counts, weight,
+      keys_, containers_, counts, counts_size, weight,
       [&](uint32_t base, const RunContainer::Run& r) {
         // Counted loop, not `v <= last`: a run ending at value 0xFFFFFFFF
         // would wrap the inclusive bound and never terminate.

@@ -87,10 +87,12 @@ class Roaring {
   /// be < acc.num_groups().
   void AccumulateInto(GroupCountAccumulator& acc, uint32_t weight) const;
 
-  /// Same kernel writing directly into a counter array (`counts` must have
-  /// at least max-value+1 entries); runs add per element. Prefer the
-  /// accumulator overload when folding several columns.
-  void AccumulateInto(uint32_t* counts, uint32_t weight) const;
+  /// Same kernel writing directly into a counter array of `counts_size`
+  /// entries (at least max-value+1); runs add per element. The size bounds
+  /// the vectorized bitset kernel's whole-word writes (bitmap/kernels.h).
+  /// Prefer the accumulator overload when folding several columns.
+  void AccumulateInto(uint32_t* counts, size_t counts_size,
+                      uint32_t weight) const;
 
   /// \brief Sum of weights of the (value, weight) probes contained in this
   /// bitmap. `probes` must be sorted ascending by value; the kernel

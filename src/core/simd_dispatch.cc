@@ -1,0 +1,85 @@
+#include "core/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace les3 {
+namespace simd {
+
+// Defined in the per-level translation units (verify_simd_avx2.cc,
+// verify_simd_avx512.cc): true when that TU was compiled with its
+// instruction set enabled. On non-x86 builds (or with LES3_ENABLE_SIMD
+// off) the TUs compile to stubs and report false, so detection can never
+// select a level whose kernels do not exist in the binary.
+extern const bool kAvx2Compiled;
+extern const bool kAvx512Compiled;
+
+namespace {
+
+Level DetectHardware() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_cpu_init();
+  if (kAvx512Compiled && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return Level::kAvx512;
+  }
+  if (kAvx2Compiled && __builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+// -1 = no override; otherwise the int value of the forced Level.
+std::atomic<int> g_test_override{-1};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Level DetectedLevel() {
+  static const Level detected = DetectHardware();
+  return detected;
+}
+
+Level LevelFromEnvironment() {
+  const char* force = std::getenv("LES3_FORCE_SCALAR");
+  if (force != nullptr && force[0] == '1' && force[1] == '\0') {
+    return Level::kScalar;
+  }
+  return DetectedLevel();
+}
+
+Level ActiveLevel() {
+  int forced = g_test_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  // The environment is read once: kernels must not change behavior
+  // mid-process because a test mutated the env after startup.
+  static const Level env_level = LevelFromEnvironment();
+  return env_level;
+}
+
+void SetLevelForTesting(Level level) {
+  if (level > DetectedLevel()) level = DetectedLevel();
+  g_test_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ClearLevelForTesting() {
+  g_test_override.store(-1, std::memory_order_relaxed);
+}
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels;
+  for (int l = 0; l <= static_cast<int>(DetectedLevel()); ++l) {
+    levels.push_back(static_cast<Level>(l));
+  }
+  return levels;
+}
+
+}  // namespace simd
+}  // namespace les3

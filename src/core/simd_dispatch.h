@@ -1,0 +1,70 @@
+// Runtime SIMD dispatch for the hot kernels (core/verify_simd.h,
+// bitmap/kernels_simd.h).
+//
+// The library ships one binary that runs on baseline x86-64: the AVX2 and
+// AVX-512 kernel translation units are compiled with per-file -m flags
+// (CMakeLists.txt), and every call site routes through ActiveLevel(), which
+// is the minimum of what the build enabled and what the CPU reports. A
+// level is only ever selected when both hold, so no illegal instruction can
+// be reached on older hardware — and on non-x86 targets the dispatch
+// degrades to the scalar kernels with zero overhead beyond one relaxed
+// atomic load.
+//
+// Escape hatches:
+//   - LES3_FORCE_SCALAR=1 in the environment pins the process to the
+//     scalar kernels (the differential CI lane runs the whole suite this
+//     way so both code paths stay green).
+//   - SetLevelForTesting lets tests and the micro-benches iterate every
+//     supported level in one process; it clamps to DetectedLevel() so a
+//     test can never force an instruction set the CPU lacks.
+
+#ifndef LES3_CORE_SIMD_DISPATCH_H_
+#define LES3_CORE_SIMD_DISPATCH_H_
+
+#include <vector>
+
+namespace les3 {
+namespace simd {
+
+/// Instruction-set tiers the kernels are specialized for, in strictly
+/// increasing capability order (a level implies all lower ones).
+enum class Level : int {
+  kScalar = 0,  // portable C++, always available
+  kAvx2 = 1,    // 8-lane epi32 (requires AVX2)
+  kAvx512 = 2,  // 16-lane epi32 + mask registers (requires AVX512F+BW)
+};
+
+/// Canonical lowercase name ("scalar", "avx2", "avx512").
+const char* LevelName(Level level);
+
+/// Highest level both compiled into this binary and supported by the
+/// running CPU. Computed once per process.
+Level DetectedLevel();
+
+/// The level the kernels dispatch on: the test override if set, else the
+/// environment-derived default (DetectedLevel() unless LES3_FORCE_SCALAR=1
+/// pins it to scalar). Hot paths call this per kernel invocation — it is
+/// one relaxed atomic load.
+Level ActiveLevel();
+
+/// Pins dispatch to `level` for the current process, clamped to
+/// DetectedLevel(); the forced-path test suites and the per-level
+/// micro-benches use this to cover every tier in one run.
+void SetLevelForTesting(Level level);
+
+/// Removes the test override; dispatch returns to the environment default.
+void ClearLevelForTesting();
+
+/// Every level from kScalar up to DetectedLevel(), ascending — the
+/// iteration space of the forced-path differential tests.
+std::vector<Level> SupportedLevels();
+
+/// Re-reads LES3_FORCE_SCALAR and reports the level the environment would
+/// pick (ignoring any test override). Exposed so tests can exercise the
+/// env parsing without depending on process-wide call order.
+Level LevelFromEnvironment();
+
+}  // namespace simd
+}  // namespace les3
+
+#endif  // LES3_CORE_SIMD_DISPATCH_H_

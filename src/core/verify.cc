@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/verify_simd.h"
+
 namespace les3 {
 
 namespace {
 
 /// First index >= `from` with v[index] >= t, by exponential probe from
-/// `from` followed by a binary search over the bracketed run.
+/// `from` followed by a lower-bound search over the bracketed run — the
+/// finishing search dispatches to the active SIMD level (verify_simd.h).
 size_t GallopLowerBound(SetView v, size_t from, TokenId t) {
   if (from >= v.size() || v[from] >= t) return from;
   size_t lo = from;  // v[lo] < t throughout
@@ -18,8 +21,7 @@ size_t GallopLowerBound(SetView v, size_t from, TokenId t) {
     step <<= 1;
   }
   size_t hi = std::min(lo + step, v.size());  // v[hi] >= t, or hi == size
-  const TokenId* pos = std::lower_bound(v.begin() + lo + 1, v.begin() + hi, t);
-  return static_cast<size_t>(pos - v.begin());
+  return simd::LowerBound(v, lo + 1, hi, t);
 }
 
 /// Finalizes a kernel run: exact similarity from the accumulated overlap.
@@ -46,6 +48,12 @@ size_t MinOverlapForPair(SimilarityMeasure m, size_t size_a, size_t size_b,
                          double threshold) {
   if (threshold <= 0.0) return 0;
   const size_t max_overlap = std::min(size_a, size_b);
+  // NaN fails every comparison (including the `<= 0.0` gate above), and
+  // +inf exceeds every reachable similarity; for both, no overlap can
+  // pass, and letting a non-finite estimate reach the double->size_t cast
+  // below would be undefined behavior. max_overlap + 1 is the canonical
+  // "unsatisfiable" value (the fix-up loop exits there too).
+  if (!std::isfinite(threshold)) return max_overlap + 1;
   auto pass = [&](size_t o) {
     return SimilarityFromOverlap(m, o, size_a, size_b) >= threshold;
   };
@@ -92,26 +100,15 @@ VerifyResult VerifyMerge(SimilarityMeasure m, SetView a, SetView b,
 
 VerifyResult VerifyMerge(SimilarityMeasure m, SetView a, SetView b,
                          double threshold, size_t min_overlap) {
-  const size_t na = a.size(), nb = b.size();
-  size_t i = 0, j = 0, overlap = 0;
-  // Branchless merge core, with the suffix bound — best-case final overlap
-  // if every remaining token matched, against the precomputed requirement —
-  // checked once per block instead of per element. A sparser check only
-  // delays the early exit; the final overlap (and so the answer) is
-  // untouched, and the data-independent inner loop is what lets small-set
-  // verification saturate the pipeline.
-  constexpr size_t kCheckEvery = 8;
-  while (i < na && j < nb) {
-    size_t max_overlap = overlap + std::min(na - i, nb - j);
-    if (max_overlap < min_overlap) return Abort(m, max_overlap, na, nb);
-    for (size_t step = 0; step < kCheckEvery && i < na && j < nb; ++step) {
-      TokenId x = a[i], y = b[j];
-      overlap += static_cast<size_t>(x == y);
-      i += static_cast<size_t>(x <= y);
-      j += static_cast<size_t>(y <= x);
-    }
-  }
-  return Finish(m, overlap, na, nb, threshold);
+  // The intersection count runs in core/verify_simd.h: a vectorized
+  // all-pairs block compare on AVX2/AVX-512 hardware, the branchless
+  // scalar merge otherwise — identical overlap either way, with the
+  // suffix bound (best-case final overlap against the precomputed
+  // requirement) checked once per block. A sparser check only delays the
+  // early exit; the final overlap (and so the answer) is untouched.
+  simd::CountResult r = simd::IntersectCount(a, b, min_overlap);
+  if (r.aborted) return Abort(m, r.value, a.size(), b.size());
+  return Finish(m, r.value, a.size(), b.size(), threshold);
 }
 
 VerifyResult VerifyGallop(SimilarityMeasure m, SetView a, SetView b,

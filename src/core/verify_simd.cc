@@ -1,0 +1,38 @@
+#include "core/verify_simd.h"
+
+#include <algorithm>
+
+namespace les3 {
+namespace simd {
+
+CountResult IntersectCountScalar(SetView a, SetView b, size_t min_overlap) {
+  return detail::ScalarMergeFrom(a.data(), a.size(), b.data(), b.size(),
+                                 /*i=*/0, /*j=*/0, /*overlap=*/0,
+                                 min_overlap);
+}
+
+CountResult IntersectCount(SetView a, SetView b, size_t min_overlap) {
+  switch (ActiveLevel()) {
+    case Level::kAvx512: return IntersectCountAvx512(a, b, min_overlap);
+    case Level::kAvx2: return IntersectCountAvx2(a, b, min_overlap);
+    case Level::kScalar: break;
+  }
+  return IntersectCountScalar(a, b, min_overlap);
+}
+
+size_t LowerBoundScalar(SetView v, size_t lo, size_t hi, TokenId t) {
+  const TokenId* pos = std::lower_bound(v.begin() + lo, v.begin() + hi, t);
+  return static_cast<size_t>(pos - v.begin());
+}
+
+size_t LowerBound(SetView v, size_t lo, size_t hi, TokenId t) {
+  switch (ActiveLevel()) {
+    case Level::kAvx512: return LowerBoundAvx512(v, lo, hi, t);
+    case Level::kAvx2: return LowerBoundAvx2(v, lo, hi, t);
+    case Level::kScalar: break;
+  }
+  return LowerBoundScalar(v, lo, hi, t);
+}
+
+}  // namespace simd
+}  // namespace les3

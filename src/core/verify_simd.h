@@ -1,0 +1,107 @@
+// SIMD sorted-set intersection kernels behind the verify suite
+// (core/verify.h), with runtime dispatch (core/simd_dispatch.h).
+//
+// The verify hot loop is an early-exiting multiset intersection count. The
+// vector kernels process W-lane blocks (W = 8 for AVX2, 16 for AVX-512)
+// with the classic all-pairs rotation compare: load one block from each
+// side, compare block A against every lane rotation of block B, OR the
+// equality masks, popcount the matched A lanes, then advance whichever
+// block's last element is smaller (both on a tie). That compare is exact
+// for strictly increasing windows but would overcount duplicates (an A
+// value with multiplicity 3 matches a single B occurrence three times), so
+// each iteration first probes both windows for adjacent equal elements —
+// one unaligned load at +1 and a compare — and routes duplicate-bearing
+// windows through up to W steps of the pairwise-consuming scalar merge.
+// The min-overlap early exit (see MinOverlapForPair) is checked once per
+// vector block; a coarser check only delays the exit and never changes the
+// final overlap.
+//
+// The per-level entry points are exported alongside the dispatching ones
+// so the forced-path differential tests and bench/micro_verify.cc can pin
+// a kernel directly; production code calls the dispatching form.
+
+#ifndef LES3_CORE_VERIFY_SIMD_H_
+#define LES3_CORE_VERIFY_SIMD_H_
+
+#include <cstddef>
+
+#include "core/set_record.h"
+#include "core/simd_dispatch.h"
+
+namespace les3 {
+namespace simd {
+
+/// Outcome of an early-exiting intersection count.
+struct CountResult {
+  /// The exact multiset overlap when !aborted; when aborted, the
+  /// best-case final overlap at the exit point (a valid upper bound on
+  /// the true overlap, which is what the verify Abort path reports).
+  size_t value = 0;
+  /// True when the kernel exited early because even matching every
+  /// remaining token could not reach `min_overlap`.
+  bool aborted = false;
+};
+
+/// Multiset intersection count (sum of min multiplicities) with the
+/// min-overlap early exit, dispatched on ActiveLevel(). Exact for every
+/// input, duplicates included.
+CountResult IntersectCount(SetView a, SetView b, size_t min_overlap);
+
+/// Per-level kernels. The AVX entries fall back to scalar when their
+/// translation unit was built without the instruction set (they are then
+/// unreachable through dispatch, but tests may still call them).
+CountResult IntersectCountScalar(SetView a, SetView b, size_t min_overlap);
+CountResult IntersectCountAvx2(SetView a, SetView b, size_t min_overlap);
+CountResult IntersectCountAvx512(SetView a, SetView b, size_t min_overlap);
+
+/// First index in [lo, hi) with v[index] >= t (hi if none), dispatched on
+/// ActiveLevel(). The vector forms binary-search down to a small window
+/// and finish with an unsigned 32-bit compare scan — the probe
+/// VerifyGallop runs once per small-side element.
+size_t LowerBound(SetView v, size_t lo, size_t hi, TokenId t);
+
+size_t LowerBoundScalar(SetView v, size_t lo, size_t hi, TokenId t);
+size_t LowerBoundAvx2(SetView v, size_t lo, size_t hi, TokenId t);
+size_t LowerBoundAvx512(SetView v, size_t lo, size_t hi, TokenId t);
+
+namespace detail {
+
+/// One pairwise-consuming scalar merge step (the reference multiset
+/// semantics): advances past equal tokens on both sides, counting one
+/// match. Shared by the scalar kernel and the duplicate-window fallback
+/// of the vector kernels.
+inline void ScalarSteps(const TokenId* a, size_t na, const TokenId* b,
+                        size_t nb, size_t steps, size_t* i, size_t* j,
+                        size_t* overlap) {
+  for (size_t s = 0; s < steps && *i < na && *j < nb; ++s) {
+    TokenId x = a[*i], y = b[*j];
+    *overlap += static_cast<size_t>(x == y);
+    *i += static_cast<size_t>(x <= y);
+    *j += static_cast<size_t>(y <= x);
+  }
+}
+
+/// The branchless scalar merge from position (i, j), bound-checked once
+/// per 8-element block — both the scalar kernel (from 0, 0) and every
+/// vector kernel's tail run through this one implementation.
+inline CountResult ScalarMergeFrom(const TokenId* a, size_t na,
+                                   const TokenId* b, size_t nb, size_t i,
+                                   size_t j, size_t overlap,
+                                   size_t min_overlap) {
+  constexpr size_t kCheckEvery = 8;
+  while (i < na && j < nb) {
+    size_t remaining_a = na - i, remaining_b = nb - j;
+    size_t bound =
+        overlap + (remaining_a < remaining_b ? remaining_a : remaining_b);
+    if (bound < min_overlap) return {bound, true};
+    ScalarSteps(a, na, b, nb, kCheckEvery, &i, &j, &overlap);
+  }
+  return {overlap, false};
+}
+
+}  // namespace detail
+
+}  // namespace simd
+}  // namespace les3
+
+#endif  // LES3_CORE_VERIFY_SIMD_H_

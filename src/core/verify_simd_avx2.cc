@@ -1,0 +1,124 @@
+// AVX2 specializations of the verify intersection kernels. This file is
+// compiled with -mavx2 (CMakeLists.txt sets the flag per file, so the rest
+// of the binary stays runnable on baseline x86-64); when the flag is
+// absent — non-x86 target or LES3_ENABLE_SIMD=OFF — it compiles to scalar
+// forwarding stubs and reports kAvx2Compiled = false, which keeps the
+// dispatch from ever selecting this level.
+
+#include "core/verify_simd.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace les3 {
+namespace simd {
+
+#if defined(__AVX2__)
+
+extern const bool kAvx2Compiled = true;
+
+CountResult IntersectCountAvx2(SetView a_view, SetView b_view,
+                               size_t min_overlap) {
+  const TokenId* a = a_view.data();
+  const TokenId* b = b_view.data();
+  const size_t na = a_view.size(), nb = b_view.size();
+  // Lane index rotation for the all-pairs compare: vb -> [b1..b7, b0].
+  const __m256i kRotate = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  size_t i = 0, j = 0, overlap = 0;
+  // The vector loop needs 9 readable elements per side: the 8-lane match
+  // window plus one more for the adjacent-duplicate probe at offset +1.
+  while (i + 8 < na && j + 8 < nb) {
+    size_t remaining_a = na - i, remaining_b = nb - j;
+    size_t bound =
+        overlap + (remaining_a < remaining_b ? remaining_a : remaining_b);
+    if (bound < min_overlap) return {bound, true};
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    // Strict-increase probe over a[i..i+8] and b[j..j+8]. Any adjacent
+    // equal pair means a value with multiplicity > 1 touches a window; the
+    // all-pairs compare below would overcount it, so such windows take up
+    // to 8 steps of the pairwise-consuming scalar merge instead. The probe
+    // includes the element one past each window, so a duplicate can never
+    // straddle a block-advance boundary undetected.
+    const __m256i dup = _mm256_or_si256(
+        _mm256_cmpeq_epi32(
+            va, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 1))),
+        _mm256_cmpeq_epi32(
+            vb, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j + 1))));
+    if (!_mm256_testz_si256(dup, dup)) {
+      detail::ScalarSteps(a, na, b, nb, 8, &i, &j, &overlap);
+      continue;
+    }
+    // All-pairs equality: va against vb and its 7 lane rotations. With
+    // both windows strictly increasing, each common value matches in
+    // exactly one (A-lane, rotation) pair, so the popcount of the matched
+    // A lanes is the exact window intersection — and the advance rule
+    // (drop the block whose last element is smaller, both on a tie) makes
+    // every matching pair co-resident exactly once across iterations.
+    __m256i rot = vb;
+    __m256i found = _mm256_cmpeq_epi32(va, rot);
+    for (int r = 1; r < 8; ++r) {
+      rot = _mm256_permutevar8x32_epi32(rot, kRotate);
+      found = _mm256_or_si256(found, _mm256_cmpeq_epi32(va, rot));
+    }
+    overlap += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(found)))));
+    const TokenId a_max = a[i + 7], b_max = b[j + 7];
+    if (a_max <= b_max) i += 8;
+    if (b_max <= a_max) j += 8;
+  }
+  return detail::ScalarMergeFrom(a, na, b, nb, i, j, overlap, min_overlap);
+}
+
+size_t LowerBoundAvx2(SetView v, size_t lo, size_t hi, TokenId t) {
+  if (lo >= hi) return hi;
+  // Binary-narrow large ranges, then scan the last few blocks 8 lanes at
+  // a time. AVX2 has no unsigned compare, so both sides are biased by
+  // 0x80000000 to make the signed compare order-preserving over uint32.
+  constexpr size_t kScanWindow = 32;
+  while (hi - lo > kScanWindow) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (v[mid] < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const __m256i kBias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i vt = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(t)), kBias);
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v.data() + i)),
+        kBias);
+    // Lanes with v[lane] < t; the first zero bit is the answer.
+    unsigned below = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(vt, x))));
+    if (below != 0xFFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~below & 0xFFu));
+    }
+  }
+  while (i < hi && v[i] < t) ++i;
+  return i;
+}
+
+#else  // !defined(__AVX2__)
+
+extern const bool kAvx2Compiled = false;
+
+CountResult IntersectCountAvx2(SetView a, SetView b, size_t min_overlap) {
+  return IntersectCountScalar(a, b, min_overlap);
+}
+
+size_t LowerBoundAvx2(SetView v, size_t lo, size_t hi, TokenId t) {
+  return LowerBoundScalar(v, lo, hi, t);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace simd
+}  // namespace les3

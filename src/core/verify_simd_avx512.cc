@@ -1,0 +1,101 @@
+// AVX-512 specializations of the verify intersection kernels: the same
+// algorithm as the AVX2 tier at 16 lanes, with equality results landing
+// directly in mask registers (no movemask round trip) and native unsigned
+// compares for the lower-bound scan. Compiled with -mavx512f -mavx512bw
+// per file (CMakeLists.txt); without the flags it degrades to scalar
+// stubs and reports kAvx512Compiled = false.
+
+#include "core/verify_simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#define LES3_HAVE_AVX512_TU 1
+#endif
+
+namespace les3 {
+namespace simd {
+
+#if defined(LES3_HAVE_AVX512_TU)
+
+extern const bool kAvx512Compiled = true;
+
+CountResult IntersectCountAvx512(SetView a_view, SetView b_view,
+                                 size_t min_overlap) {
+  const TokenId* a = a_view.data();
+  const TokenId* b = b_view.data();
+  const size_t na = a_view.size(), nb = b_view.size();
+  const __m512i kRotate = _mm512_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                            11, 12, 13, 14, 15, 0);
+  size_t i = 0, j = 0, overlap = 0;
+  // 17 readable elements per side: the 16-lane window + the duplicate
+  // probe at offset +1 (see the AVX2 kernel for the algorithm notes).
+  while (i + 16 < na && j + 16 < nb) {
+    size_t remaining_a = na - i, remaining_b = nb - j;
+    size_t bound =
+        overlap + (remaining_a < remaining_b ? remaining_a : remaining_b);
+    if (bound < min_overlap) return {bound, true};
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + j);
+    const __mmask16 dup =
+        _mm512_cmpeq_epi32_mask(va, _mm512_loadu_si512(a + i + 1)) |
+        _mm512_cmpeq_epi32_mask(vb, _mm512_loadu_si512(b + j + 1));
+    if (dup != 0) {
+      detail::ScalarSteps(a, na, b, nb, 16, &i, &j, &overlap);
+      continue;
+    }
+    __m512i rot = vb;
+    __mmask16 found = _mm512_cmpeq_epi32_mask(va, rot);
+    for (int r = 1; r < 16; ++r) {
+      rot = _mm512_permutexvar_epi32(kRotate, rot);
+      found |= _mm512_cmpeq_epi32_mask(va, rot);
+    }
+    overlap += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(found)));
+    const TokenId a_max = a[i + 15], b_max = b[j + 15];
+    if (a_max <= b_max) i += 16;
+    if (b_max <= a_max) j += 16;
+  }
+  return detail::ScalarMergeFrom(a, na, b, nb, i, j, overlap, min_overlap);
+}
+
+size_t LowerBoundAvx512(SetView v, size_t lo, size_t hi, TokenId t) {
+  if (lo >= hi) return hi;
+  constexpr size_t kScanWindow = 64;
+  while (hi - lo > kScanWindow) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (v[mid] < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const __m512i vt = _mm512_set1_epi32(static_cast<int>(t));
+  size_t i = lo;
+  for (; i + 16 <= hi; i += 16) {
+    const __m512i x = _mm512_loadu_si512(v.data() + i);
+    const __mmask16 below = _mm512_cmplt_epu32_mask(x, vt);
+    if (below != 0xFFFFu) {
+      return i + static_cast<size_t>(
+                     __builtin_ctz(~static_cast<unsigned>(below) & 0xFFFFu));
+    }
+  }
+  while (i < hi && v[i] < t) ++i;
+  return i;
+}
+
+#else  // !LES3_HAVE_AVX512_TU
+
+extern const bool kAvx512Compiled = false;
+
+CountResult IntersectCountAvx512(SetView a, SetView b, size_t min_overlap) {
+  return IntersectCountScalar(a, b, min_overlap);
+}
+
+size_t LowerBoundAvx512(SetView v, size_t lo, size_t hi, TokenId t) {
+  return LowerBoundScalar(v, lo, hi, t);
+}
+
+#endif  // LES3_HAVE_AVX512_TU
+
+}  // namespace simd
+}  // namespace les3

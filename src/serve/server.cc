@@ -149,8 +149,18 @@ Status Server::Start() {
     listen_fd_ = -1;
     return st;
   }
+  // port_ is how port-0 callers learn the kernel-assigned port; reporting
+  // garbage from an uninitialized sockaddr would send them connecting to
+  // the wrong endpoint, so a failed lookup fails Start.
   socklen_t addr_len = sizeof(addr);
-  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+      0) {
+    Status st =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
   port_ = ntohs(addr.sin_port);
 
   acceptor_wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);

@@ -225,8 +225,8 @@ api::QueryResult ShardedEngine::Knn(SetView query, size_t k) const {
   return out;
 }
 
-api::QueryResult ShardedEngine::Range(SetView query,
-                                      double delta) const {
+api::QueryResult ShardedEngine::RangeImpl(SetView query,
+                                          double delta) const {
   WallTimer timer;
   const size_t num_shards = shards_.size();
   std::vector<Probe> probes(num_shards);
@@ -263,7 +263,7 @@ std::vector<api::QueryResult> ShardedEngine::KnnBatch(
   return results;
 }
 
-std::vector<api::QueryResult> ShardedEngine::RangeBatch(
+std::vector<api::QueryResult> ShardedEngine::RangeBatchImpl(
     const std::vector<SetRecord>& queries, double delta) const {
   const size_t num_shards = shards_.size();
   const size_t nq = queries.size();

@@ -67,16 +67,10 @@ class ShardedEngine : public api::SearchEngine {
   /// concurrently with Insert.
   api::QueryResult Knn(SetView query, size_t k) const override;
 
-  /// Exact global range search: per-shard exact answers, concatenated and
-  /// re-sorted under HitOrder. Safe concurrently with Insert.
-  api::QueryResult Range(SetView query, double delta) const override;
-
   /// Batch queries stripe (query, shard) probe units across ONE thread
   /// pool instead of layering a per-query pool over a per-shard pool.
   std::vector<api::QueryResult> KnnBatch(const std::vector<SetRecord>& queries,
                                          size_t k) const override;
-  std::vector<api::QueryResult> RangeBatch(
-      const std::vector<SetRecord>& queries, double delta) const override;
 
   /// Routes the set to shard (new id) mod num_shards, locking only that
   /// shard for writing. Returns the GLOBAL id. Safe concurrently with
@@ -105,6 +99,17 @@ class ShardedEngine : public api::SearchEngine {
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
+
+ protected:
+  /// Exact global range search: per-shard exact answers, concatenated and
+  /// re-sorted under HitOrder. Safe concurrently with Insert. (Backend
+  /// hook of the validating api::SearchEngine::Range template method.)
+  api::QueryResult RangeImpl(SetView query, double delta) const override;
+
+  /// Stripes (query, shard) probe units across ONE thread pool, like
+  /// KnnBatch.
+  std::vector<api::QueryResult> RangeBatchImpl(
+      const std::vector<SetRecord>& queries, double delta) const override;
 
  private:
   /// One shard: its database slice, its index, and its reader-writer lock.

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <memory>
 
@@ -196,6 +197,35 @@ TEST(ApiBatchTest, EmptyBatchIsEmpty) {
   auto engine = MustBuild(MakeDb(31), "brute_force", {});
   EXPECT_TRUE(engine->KnnBatch({}, 5).empty());
   EXPECT_TRUE(engine->RangeBatch({}, 0.5).empty());
+}
+
+TEST(ApiValidationTest, NonFiniteRangeDeltaIsInvalidArgument) {
+  // The validating Range/RangeBatch boundary: NaN and ±inf must be
+  // rejected before any backend (and its threshold arithmetic) runs, on
+  // every backend, including the sharded engine's overridden batch path.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  auto db = MakeDb(47);
+  std::vector<SetRecord> queries = {SetRecord(db->set(0)),
+                                    SetRecord(db->set(1))};
+  for (const std::string& name : {"les3", "brute_force", "sharded_les3",
+                                  "disk_les3"}) {
+    auto engine = MustBuild(db, name, FastOptions());
+    for (double bad : {kNan, kInf, -kInf}) {
+      QueryResult single = engine->Range(db->set(0), bad);
+      EXPECT_EQ(single.status.code(), StatusCode::kInvalidArgument)
+          << name << " delta=" << bad;
+      EXPECT_TRUE(single.hits.empty()) << name;
+      auto batch = engine->RangeBatch(queries, bad);
+      ASSERT_EQ(batch.size(), queries.size()) << name;
+      for (const auto& r : batch) {
+        EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument) << name;
+        EXPECT_TRUE(r.hits.empty()) << name;
+      }
+    }
+    // A plain finite query reports OK through the same field.
+    EXPECT_TRUE(engine->Range(db->set(0), 0.5).status.ok()) << name;
+  }
 }
 
 TEST(ApiInsertTest, InsertableBackendsAbsorbSets) {

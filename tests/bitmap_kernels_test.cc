@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "bitmap/kernels.h"
+#include "bitmap/kernels_simd.h"
+#include "core/simd_dispatch.h"
 #include "util/random.h"
 
 namespace les3 {
@@ -18,6 +20,18 @@ namespace bitmap {
 namespace {
 
 constexpr uint32_t kUniverse = 3000;  // one chunk, bitset-capable
+
+/// Runs `fn` once pinned to each dispatch level this machine supports
+/// (always at least scalar), restoring normal dispatch afterwards.
+template <typename Fn>
+void ForEachDispatchLevel(Fn&& fn) {
+  for (simd::Level level : simd::SupportedLevels()) {
+    SCOPED_TRACE(std::string("dispatch level ") + simd::LevelName(level));
+    simd::SetLevelForTesting(level);
+    fn();
+  }
+  simd::ClearLevelForTesting();
+}
 
 /// Value layouts that force each Roaring container kind within kUniverse.
 std::vector<uint32_t> ArrayValues() {
@@ -56,20 +70,95 @@ class BitmapColumnBackendTest
     : public ::testing::TestWithParam<BitmapBackend> {};
 
 TEST_P(BitmapColumnBackendTest, AccumulateMatchesForEachPerKind) {
-  for (const auto& values : {ArrayValues(), DenseValues(), RunValues()}) {
-    uint32_t n = values.back() + 1;
-    BitmapColumn col = BitmapColumn::FromSorted(GetParam(), values);
-    if (GetParam() == BitmapBackend::kRoaring) col.RunOptimize();
-    // Accumulator path (runs go through the difference array).
-    std::vector<uint32_t> counts;
-    GroupCountAccumulator acc(n, &counts);
-    col.AccumulateInto(acc, 3);
-    acc.Finish();
-    EXPECT_EQ(counts, ReferenceCounts(col, n, 3));
-    // Direct-array path.
-    std::vector<uint32_t> direct(n, 0);
-    col.AccumulateInto(direct.data(), 3);
-    EXPECT_EQ(direct, ReferenceCounts(col, n, 3));
+  ForEachDispatchLevel([this] {
+    for (const auto& values : {ArrayValues(), DenseValues(), RunValues()}) {
+      uint32_t n = values.back() + 1;
+      BitmapColumn col = BitmapColumn::FromSorted(GetParam(), values);
+      if (GetParam() == BitmapBackend::kRoaring) col.RunOptimize();
+      // Accumulator path (runs go through the difference array).
+      std::vector<uint32_t> counts;
+      GroupCountAccumulator acc(n, &counts);
+      col.AccumulateInto(acc, 3);
+      acc.Finish();
+      EXPECT_EQ(counts, ReferenceCounts(col, n, 3));
+      // Direct-array path.
+      std::vector<uint32_t> direct(n, 0);
+      col.AccumulateInto(direct.data(), direct.size(), 3);
+      EXPECT_EQ(direct, ReferenceCounts(col, n, 3));
+    }
+  });
+}
+
+TEST(AccumulateWordsTest, VectorTiersMatchScalarAtEveryBoundary) {
+  // The vector kernels read-modify-write whole 64-counter word spans; the
+  // dangerous inputs are counter arrays that end mid-word, density around
+  // the vectorization cutoff, and bits at lane boundaries. Differential
+  // against the scalar kernel over random words at every dispatch level,
+  // with counts_size swept across the last word.
+  Rng rng(53);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t num_words = 1 + rng.Uniform(8);
+    std::vector<uint64_t> words(num_words);
+    for (auto& w : words) {
+      switch (rng.Uniform(4)) {
+        case 0: w = 0; break;                        // empty
+        case 1: w = rng.Next(); break;               // ~50% density
+        case 2: w = rng.Next() & rng.Next() & rng.Next(); break;  // sparse
+        default: w = ~uint64_t{0}; break;            // full
+      }
+    }
+    const uint32_t base = static_cast<uint32_t>(rng.Uniform(3)) * 64;
+    const uint32_t weight = 1 + static_cast<uint32_t>(rng.Uniform(5));
+    // Sweep the array end across the final word (and give slack past it).
+    for (size_t tail : {size_t{0}, size_t{1}, size_t{17}, size_t{63},
+                        size_t{64}, size_t{130}}) {
+      const size_t counts_size = base + (num_words - 1) * 64 + tail;
+      // Drop bits the scalar kernel would write out of bounds — the
+      // contract (bitvector.cc enforces it structurally) is that no set
+      // bit maps past the counter array.
+      std::vector<uint64_t> clipped = words;
+      for (size_t w = 0; w < num_words; ++w) {
+        for (int bit = 0; bit < 64; ++bit) {
+          if (base + w * 64 + bit >= counts_size) {
+            clipped[w] &= ~(uint64_t{1} << bit);
+          }
+        }
+      }
+      std::vector<uint32_t> expected(counts_size, 0);
+      AccumulateWordsScalar(clipped.data(), num_words, base, expected.data(),
+                            weight);
+      ForEachDispatchLevel([&] {
+        std::vector<uint32_t> counts(counts_size, 0);
+        AccumulateWords(clipped.data(), num_words, base, counts.data(),
+                        weight, counts_size);
+        ASSERT_EQ(counts, expected)
+            << "words=" << num_words << " base=" << base << " tail=" << tail;
+      });
+    }
+  }
+}
+
+TEST(ArrayAccumulateTest, VectorTierMatchesScalarEveryLength) {
+  // Array-container bulk add: every length through 2x the gather width,
+  // random strictly-increasing uint16 values, at every dispatch level.
+  Rng rng(59);
+  for (size_t len = 0; len <= 33; ++len) {
+    std::set<uint16_t> unique;
+    while (unique.size() < len) {
+      unique.insert(static_cast<uint16_t>(rng.Uniform(1u << 16)));
+    }
+    std::vector<uint16_t> values(unique.begin(), unique.end());
+    const uint32_t base = static_cast<uint32_t>(rng.Uniform(2)) << 16;
+    const uint32_t weight = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    const size_t counts_size = base + (1u << 16);
+    std::vector<uint32_t> expected(counts_size, 0);
+    for (uint16_t v : values) expected[base + v] += weight;
+    ForEachDispatchLevel([&] {
+      std::vector<uint32_t> counts(counts_size, 0);
+      ArrayAccumulate(values.data(), values.size(), base, counts.data(),
+                      weight);
+      ASSERT_EQ(counts, expected) << "len=" << len << " base=" << base;
+    });
   }
 }
 

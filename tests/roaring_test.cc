@@ -315,7 +315,8 @@ TEST(RoaringTest, AccumulateIntoAcrossAllKinds) {
   // The direct-array kernel must agree as well.
   std::vector<uint32_t> direct(1u << 16, 0);
   for (int kind = 0; kind < 3; ++kind) {
-    fixtures[kind].bitmap.AccumulateInto(direct.data(), kind + 1);
+    fixtures[kind].bitmap.AccumulateInto(direct.data(), direct.size(),
+                                         kind + 1);
   }
   EXPECT_EQ(direct, expected);
 }

@@ -1,0 +1,61 @@
+// Tests for the runtime SIMD dispatch layer: level naming, the
+// environment escape hatch, the test override and its hardware clamp, and
+// the supported-level enumeration the forced-path suites iterate.
+
+#include "core/simd_dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace les3 {
+namespace simd {
+namespace {
+
+TEST(SimdDispatchTest, LevelNamesAreCanonical) {
+  EXPECT_STREQ(LevelName(Level::kScalar), "scalar");
+  EXPECT_STREQ(LevelName(Level::kAvx2), "avx2");
+  EXPECT_STREQ(LevelName(Level::kAvx512), "avx512");
+}
+
+TEST(SimdDispatchTest, SupportedLevelsStartAtScalarAndEndAtDetected) {
+  std::vector<Level> levels = SupportedLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  EXPECT_EQ(levels.back(), DetectedLevel());
+  for (size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(levels[i]),
+              static_cast<int>(levels[i - 1]) + 1);
+  }
+}
+
+TEST(SimdDispatchTest, TestOverrideIsClampedToHardware) {
+  // Forcing a level the CPU (or build) lacks must degrade, never let an
+  // illegal instruction become reachable.
+  SetLevelForTesting(Level::kAvx512);
+  EXPECT_LE(static_cast<int>(ActiveLevel()),
+            static_cast<int>(DetectedLevel()));
+  SetLevelForTesting(Level::kScalar);
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  ClearLevelForTesting();
+  EXPECT_LE(static_cast<int>(ActiveLevel()),
+            static_cast<int>(DetectedLevel()));
+}
+
+TEST(SimdDispatchTest, ForceScalarEnvironmentPinsToScalar) {
+  // LevelFromEnvironment re-reads the variable on every call (unlike
+  // ActiveLevel's one-time cache), so the parsing is testable in-process.
+  ASSERT_EQ(setenv("LES3_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  EXPECT_EQ(LevelFromEnvironment(), Level::kScalar);
+  // Only the exact string "1" opts in.
+  ASSERT_EQ(setenv("LES3_FORCE_SCALAR", "0", 1), 0);
+  EXPECT_EQ(LevelFromEnvironment(), DetectedLevel());
+  ASSERT_EQ(setenv("LES3_FORCE_SCALAR", "yes", 1), 0);
+  EXPECT_EQ(LevelFromEnvironment(), DetectedLevel());
+  ASSERT_EQ(unsetenv("LES3_FORCE_SCALAR"), 0);
+  EXPECT_EQ(LevelFromEnvironment(), DetectedLevel());
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace les3

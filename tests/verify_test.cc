@@ -3,17 +3,34 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
+#include "core/simd_dispatch.h"
 #include "core/text_io.h"
 #include "core/verify.h"
+#include "core/verify_simd.h"
 #include "datagen/generators.h"
 #include "search/builder.h"
 #include "util/random.h"
 
 namespace les3 {
 namespace {
+
+/// Runs `fn` once pinned to each dispatch level this machine supports
+/// (always at least scalar), restoring normal dispatch afterwards — the
+/// forced-path harness of the SIMD differential tests.
+template <typename Fn>
+void ForEachDispatchLevel(Fn&& fn) {
+  for (simd::Level level : simd::SupportedLevels()) {
+    SCOPED_TRACE(std::string("dispatch level ") + simd::LevelName(level));
+    simd::SetLevelForTesting(level);
+    fn();
+  }
+  simd::ClearLevelForTesting();
+}
 
 TEST(VerifyTest, ExactWhenPassing) {
   SetRecord a = SetRecord::FromTokens({1, 2, 3, 4});
@@ -103,32 +120,145 @@ void ExpectKernelsExact(const SetRecord& a, const SetRecord& b,
 }
 
 TEST(VerifyKernelsTest, DuplicateHeavyMultisets) {
-  // Multiset min-multiplicity semantics: {7x4, 9x2} vs {7x2, 9x5} overlaps
-  // in min(4,2) + min(2,5) = 4 tokens.
-  SetRecord a = SetRecord::FromTokens({7, 7, 7, 7, 9, 9});
-  SetRecord b = SetRecord::FromTokens({7, 7, 9, 9, 9, 9, 9});
-  EXPECT_EQ(SetRecord::OverlapSize(a, b), 4u);
-  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) ExpectKernelsExact(a, b, t);
-  // All-one-token multisets of different multiplicities.
-  SetRecord c = SetRecord::FromTokens({3, 3, 3, 3, 3, 3, 3, 3});
-  SetRecord d = SetRecord::FromTokens({3, 3});
-  EXPECT_EQ(SetRecord::OverlapSize(c, d), 2u);
-  for (double t : {0.1, 0.5, 0.9}) ExpectKernelsExact(c, d, t);
+  ForEachDispatchLevel([] {
+    // Multiset min-multiplicity semantics: {7x4, 9x2} vs {7x2, 9x5}
+    // overlaps in min(4,2) + min(2,5) = 4 tokens.
+    SetRecord a = SetRecord::FromTokens({7, 7, 7, 7, 9, 9});
+    SetRecord b = SetRecord::FromTokens({7, 7, 9, 9, 9, 9, 9});
+    EXPECT_EQ(SetRecord::OverlapSize(a, b), 4u);
+    for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) ExpectKernelsExact(a, b, t);
+    // All-one-token multisets of different multiplicities.
+    SetRecord c = SetRecord::FromTokens({3, 3, 3, 3, 3, 3, 3, 3});
+    SetRecord d = SetRecord::FromTokens({3, 3});
+    EXPECT_EQ(SetRecord::OverlapSize(c, d), 2u);
+    for (double t : {0.1, 0.5, 0.9}) ExpectKernelsExact(c, d, t);
+    // Long duplicate-heavy multisets (past the vector width, so the
+    // duplicate-window fallback actually engages at the AVX tiers).
+    std::vector<TokenId> e_toks, f_toks;
+    for (int i = 0; i < 64; ++i) e_toks.push_back(static_cast<TokenId>(i / 4));
+    for (int i = 0; i < 48; ++i) f_toks.push_back(static_cast<TokenId>(i / 3));
+    SetRecord e = SetRecord::FromTokens(std::move(e_toks));
+    SetRecord f = SetRecord::FromTokens(std::move(f_toks));
+    for (double t : {0.0, 0.3, 0.7, 1.0}) ExpectKernelsExact(e, f, t);
+  });
 }
 
 TEST(VerifyKernelsTest, EmptyAndIdenticalSets) {
-  SetRecord empty;
-  SetRecord some = SetRecord::FromTokens({1, 5, 5, 9});
-  for (double t : {0.0, 0.5, 1.0}) {
-    ExpectKernelsExact(empty, some, t);
-    ExpectKernelsExact(some, empty, t);
-    ExpectKernelsExact(empty, empty, t);   // defined as similarity 1
-    ExpectKernelsExact(some, some, t);     // identical sets: similarity 1
+  ForEachDispatchLevel([] {
+    SetRecord empty;
+    SetRecord some = SetRecord::FromTokens({1, 5, 5, 9});
+    for (double t : {0.0, 0.5, 1.0}) {
+      ExpectKernelsExact(empty, some, t);
+      ExpectKernelsExact(some, empty, t);
+      ExpectKernelsExact(empty, empty, t);   // defined as similarity 1
+      ExpectKernelsExact(some, some, t);     // identical sets: similarity 1
+    }
+    // A threshold above 1 is unattainable even by identical sets.
+    VerifyResult v =
+        VerifyThreshold(SimilarityMeasure::kJaccard, some, some, 1.5);
+    EXPECT_FALSE(v.passed);
+  });
+}
+
+TEST(VerifyKernelsTest, NonFiniteThresholdIsRejectedNotCast) {
+  // Regression: a NaN threshold used to fall through MinOverlapForPair's
+  // closed-form estimate into a double -> size_t cast (undefined
+  // behavior; this test runs under the UBSan CI lane). NaN and +inf are
+  // unsatisfiable — the canonical max_overlap + 1 — while -inf passes
+  // everything, like any threshold <= 0.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  SetRecord a = SetRecord::FromTokens({1, 2, 3, 4});
+  SetRecord b = SetRecord::FromTokens({2, 3, 4, 5});
+  for (auto m : kAllMeasures) {
+    EXPECT_EQ(MinOverlapForPair(m, 4, 4, kNan), 5u) << ToString(m);
+    EXPECT_EQ(MinOverlapForPair(m, 4, 4, kInf), 5u) << ToString(m);
+    EXPECT_EQ(MinOverlapForPair(m, 4, 4, -kInf), 0u) << ToString(m);
+    EXPECT_EQ(MinOverlapForPair(m, 0, 9, kNan), 1u) << ToString(m);
+    for (double t : {kNan, kInf}) {
+      EXPECT_FALSE(VerifyThreshold(m, a, b, t).passed) << ToString(m);
+      EXPECT_FALSE(VerifyMerge(m, a, b, t).passed) << ToString(m);
+      EXPECT_FALSE(VerifyGallop(m, a, b, t).passed) << ToString(m);
+    }
+    EXPECT_TRUE(VerifyThreshold(m, a, b, -kInf).passed) << ToString(m);
   }
-  // A threshold above 1 is unattainable even by identical sets.
-  VerifyResult v =
-      VerifyThreshold(SimilarityMeasure::kJaccard, some, some, 1.5);
-  EXPECT_FALSE(v.passed);
+}
+
+TEST(SimdKernelsTest, IntersectCountUnalignedOffsetsAndEveryTailLength) {
+  // Every operand length 0 .. 2x the widest vector (16 lanes), both sides,
+  // with each view offset from its allocation start so the vector loads
+  // are genuinely unaligned — differential against the reference multiset
+  // intersection, at every dispatch level, with and without an early-exit
+  // requirement.
+  Rng rng(41);
+  constexpr size_t kMaxLen = 32;
+  for (size_t offset : {size_t{0}, size_t{1}, size_t{3}}) {
+    std::vector<std::vector<TokenId>> bufs_a(kMaxLen + 1), bufs_b(kMaxLen + 1);
+    auto fill = [&](std::vector<TokenId>* buf, size_t len) {
+      std::vector<TokenId> tokens;
+      for (size_t i = 0; i < len; ++i) {
+        // Universe ~1.5x the length: overlaps and duplicates are common.
+        tokens.push_back(static_cast<TokenId>(rng.Uniform(3 + len * 3 / 2)));
+      }
+      std::sort(tokens.begin(), tokens.end());
+      buf->assign(offset, TokenId{0});  // pad to shift alignment
+      buf->insert(buf->end(), tokens.begin(), tokens.end());
+    };
+    for (size_t n = 0; n <= kMaxLen; ++n) {
+      fill(&bufs_a[n], n);
+      fill(&bufs_b[n], n);
+    }
+    for (size_t la = 0; la <= kMaxLen; ++la) {
+      for (size_t lb = 0; lb <= kMaxLen; ++lb) {
+        SetView a(bufs_a[la].data() + offset, la);
+        SetView b(bufs_b[lb].data() + offset, lb);
+        const size_t exact = SetView::OverlapSize(a, b);
+        const size_t min_o = rng.Uniform(std::min(la, lb) + 2);
+        ForEachDispatchLevel([&] {
+          simd::CountResult free_run = simd::IntersectCount(a, b, 0);
+          ASSERT_FALSE(free_run.aborted);
+          ASSERT_EQ(free_run.value, exact)
+              << "la=" << la << " lb=" << lb << " offset=" << offset;
+          simd::CountResult gated = simd::IntersectCount(a, b, min_o);
+          if (gated.aborted) {
+            // Abort is only legal when the requirement is truly
+            // unreachable, and the reported value is an upper bound.
+            ASSERT_LT(gated.value, min_o) << "la=" << la << " lb=" << lb;
+            ASSERT_GE(gated.value, exact) << "la=" << la << " lb=" << lb;
+          } else {
+            ASSERT_EQ(gated.value, exact) << "la=" << la << " lb=" << lb;
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, LowerBoundMatchesScalarEverywhere) {
+  Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = rng.Uniform(150);
+    std::vector<TokenId> sorted;
+    for (size_t i = 0; i < n; ++i) {
+      sorted.push_back(static_cast<TokenId>(rng.Uniform(1 + n * 2)));
+    }
+    // Occasionally include extreme token values so the unsigned-compare
+    // bias trick is exercised at the top of the uint32 range.
+    if (trial % 7 == 0 && n > 0) sorted.back() = 0xFFFFFFFEu;
+    std::sort(sorted.begin(), sorted.end());
+    SetView v(sorted.data(), sorted.size());
+    for (int probe = 0; probe < 20; ++probe) {
+      size_t lo = rng.Uniform(n + 1);
+      size_t hi = lo + rng.Uniform(n + 1 - lo);
+      TokenId t = probe % 5 == 0 ? 0xFFFFFFFFu
+                                 : static_cast<TokenId>(rng.Uniform(1 + n * 2));
+      const size_t expected = simd::LowerBoundScalar(v, lo, hi, t);
+      ForEachDispatchLevel([&] {
+        ASSERT_EQ(simd::LowerBound(v, lo, hi, t), expected)
+            << "n=" << n << " lo=" << lo << " hi=" << hi << " t=" << t;
+      });
+    }
+  }
 }
 
 TEST(VerifyKernelsTest, MinOverlapForPairIsTheExactBoundary) {
@@ -208,12 +338,12 @@ TEST(VerifyKernelsTest, RangeKeepsCandidatesExactlyAtTheWindowBoundaries) {
   (void)s9;
 }
 
-TEST(VerifyKernelsTest, RandomizedDifferentialAgainstOverlapSize) {
+void RunRandomizedDifferential(uint64_t seed) {
   // The kernels against the one reference multiset intersection
   // (SetRecord::OverlapSize): random pairs across size skews and duplicate
   // densities, random thresholds, all measures, all kernels — including
   // the precomputed-min-overlap entry points the batch pipeline uses.
-  Rng rng(29);
+  Rng rng(seed);
   for (int trial = 0; trial < 2000; ++trial) {
     auto make = [&](size_t max_size, uint64_t universe) {
       std::vector<TokenId> tokens;
@@ -250,6 +380,14 @@ TEST(VerifyKernelsTest, RandomizedDifferentialAgainstOverlapSize) {
       }
     }
   }
+}
+
+TEST(VerifyKernelsTest, RandomizedDifferentialAgainstOverlapSize) {
+  // The full 2000-trial differential once per dispatch level, each with
+  // its own seed, so the AVX tiers see their own random corpus rather
+  // than replaying the scalar one.
+  uint64_t seed = 29;
+  ForEachDispatchLevel([&] { RunRandomizedDifferential(seed++); });
 }
 
 TEST(TextIoTest, ParseSetLine) {
