@@ -1,0 +1,198 @@
+// Mutation drift and self-healing maintenance (docs/mutability.md).
+//
+// Starting from a Zipf corpus with an L2P partitioning, a churn phase
+// deletes a third of the sets and streams in replacements drawn from a
+// SHIFTED Zipf distribution (the hot tokens move half a universe over, a
+// workload-drift analog). Deletes leave stale column bits; the shifted
+// inserts pile onto whichever groups best match the new hot tokens. Both
+// effects degrade pruning efficiency and QPS while answers stay exact.
+//
+// The bench measures the same fixed kNN workload in three states —
+// baseline, drifted, healed (maintenance cycles run to convergence) —
+// and reports PE, QPS, and latency per state, plus what the maintenance
+// pass did. Expected shape: "healed" recovers most of the PE/QPS lost
+// between "baseline" and "drifted".
+//
+// Output: an aligned table, drift_maintenance.csv, and (for the CI
+// perf-smoke artifact) BENCH_mutability.json rows in the shared
+// BatchReport schema (argv[1] overrides the JSON path).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/generators.h"
+#include "l2p/l2p.h"
+#include "search/les3_index.h"
+#include "search/maintenance.h"
+
+namespace les3 {
+namespace {
+
+struct PhaseStats {
+  double pe = 0;          // mean kNN pruning efficiency
+  bench::BatchLatency latency;
+  uint64_t verified = 0;  // total candidates verified
+  uint64_t hits = 0;
+};
+
+PhaseStats MeasurePhase(const search::Les3Index& index,
+                        const std::vector<SetRecord>& queries, size_t k) {
+  PhaseStats out;
+  std::vector<double> ms;
+  ms.reserve(queries.size());
+  auto wall_start = std::chrono::steady_clock::now();
+  for (const SetRecord& q : queries) {
+    search::QueryStats stats;
+    auto t0 = std::chrono::steady_clock::now();
+    auto hits = index.Knn(q.view(), k, &stats);
+    auto t1 = std::chrono::steady_clock::now();
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    out.pe += stats.pruning_efficiency;
+    out.verified += stats.candidates_verified;
+    out.hits += hits.size();
+  }
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  out.pe /= static_cast<double>(queries.size());
+  out.latency = bench::SummarizeLatencies(std::move(ms), wall_s);
+  return out;
+}
+
+bench::BatchReport MakeReport(const std::string& label,
+                              const PhaseStats& stats, size_t k) {
+  bench::BatchReport report;
+  report.tool = "bench_drift_maintenance";
+  report.label = label;
+  report.mode = "knn";
+  report.param = static_cast<double>(k);
+  report.latency = stats.latency;
+  report.hits_total = stats.hits;
+  report.have_engine_stats = true;
+  report.candidates_verified = stats.verified;
+  return report;
+}
+
+}  // namespace
+}  // namespace les3
+
+int main(int argc, char** argv) {
+  using namespace les3;
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_mutability.json";
+
+  constexpr uint32_t kSets = 20000;
+  constexpr uint32_t kTokens = 2000;
+  constexpr size_t kQueries = 200;
+  constexpr size_t kK = 10;
+
+  datagen::ZipfOptions base_opts;
+  base_opts.num_sets = kSets;
+  base_opts.num_tokens = kTokens;
+  base_opts.avg_set_size = 8;
+  base_opts.zipf_exponent = 0.9;
+  base_opts.seed = 3;
+  SetDatabase base = datagen::GenerateZipf(base_opts);
+
+  // The incoming (post-shift) population: same shape, hot tokens moved
+  // half a universe over.
+  datagen::ZipfOptions shifted_opts = base_opts;
+  shifted_opts.seed = 4;
+  SetDatabase incoming = datagen::GenerateZipf(shifted_opts);
+  constexpr TokenId kShift = kTokens / 2;
+
+  uint32_t groups = bench::DefaultGroups(kSets);
+  l2p::L2PPartitioner l2p(bench::BenchCascade(groups));
+  auto part = l2p.Partition(base, groups);
+  search::Les3Index index(std::move(base), part.assignment, part.num_groups);
+
+  // Fixed workload: the same queries probe all three states (sampled
+  // before churn so none of them is a deleted id's view).
+  std::vector<SetRecord> queries;
+  for (SetId qid : datagen::SampleQueryIds(index.db(), kQueries, 7)) {
+    queries.emplace_back(index.db().set(qid));
+  }
+
+  TableReporter table({"state", "pe", "qps", "p50_ms", "p95_ms", "live",
+                       "groups", "dirt"});
+  std::vector<bench::BatchReport> reports;
+  auto record = [&](const std::string& state, const PhaseStats& stats) {
+    table.Add(state, stats.pe, stats.latency.qps, stats.latency.p50_ms,
+              stats.latency.p95_ms,
+              static_cast<unsigned long long>(index.db().num_live()),
+              index.tgm().num_groups(),
+              static_cast<unsigned long long>(index.tgm().TotalDirt()));
+    reports.push_back(MakeReport(state, stats, kK));
+  };
+
+  record("baseline", MeasurePhase(index, queries, kK));
+
+  // Churn: delete a third of the original sets, update another sixth to
+  // shifted content, insert a third's worth of shifted newcomers.
+  size_t deletes = 0, updates = 0, inserts = 0;
+  for (SetId id = 0; id < kSets; id += 3) {
+    if (index.Delete(id)) ++deletes;
+  }
+  for (SetId id = 1; id < kSets; id += 6) {
+    SetRecord moved(incoming.set(id));
+    std::vector<TokenId> tokens = moved.tokens();
+    for (TokenId& t : tokens) t = (t + kShift) % kTokens;
+    if (index.Update(id, SetRecord::FromTokens(std::move(tokens)))) {
+      ++updates;
+    }
+  }
+  for (SetId id = 0; id < kSets / 3; ++id) {
+    SetRecord fresh(incoming.set(kSets - 1 - id));
+    std::vector<TokenId> tokens = fresh.tokens();
+    for (TokenId& t : tokens) t = (t + kShift) % kTokens;
+    index.Insert(SetRecord::FromTokens(std::move(tokens)));
+    ++inserts;
+  }
+  std::printf("churn: %zu deletes, %zu updates, %zu inserts (%u -> %zu live)\n",
+              deletes, updates, inserts, kSets, index.db().num_live());
+
+  record("drifted", MeasurePhase(index, queries, kK));
+
+  // Maintenance to convergence: bounded cycles, exactly what the
+  // background thread would do across many wakes.
+  search::MaintenanceOptions options;
+  options.max_ops_per_cycle = 8;
+  search::GroupActivity activity(index.tgm().num_groups());
+  // Seed activity with the drifted workload so recomputes heal the
+  // groups these queries actually touch first.
+  for (const SetRecord& q : queries) {
+    index.Knn(q.view(), kK, nullptr,
+              [&](GroupId g, size_t c) { activity.Observe(g, c); });
+  }
+  auto heal_start = std::chrono::steady_clock::now();
+  search::MaintenanceReport total;
+  size_t cycles = 0;
+  for (; cycles < 100000; ++cycles) {
+    search::MaintenanceReport report =
+        search::MaintainIndexOnce(&index, options, &activity);
+    if (report.splits + report.recomputes == 0) break;
+    total += report;
+  }
+  double heal_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - heal_start)
+                      .count();
+  std::printf(
+      "maintenance: %zu cycles, %zu splits, %zu recomputes, %zu bits "
+      "dropped, %.3f s\n",
+      cycles, total.splits, total.recomputes, total.bits_dropped, heal_s);
+
+  record("healed", MeasurePhase(index, queries, kK));
+
+  bench::Emit(table, "Drift + self-healing maintenance (kNN, k=10)",
+              "drift_maintenance.csv");
+  Status st = bench::WriteBatchReports(reports, json_path);
+  if (st.ok()) {
+    std::printf("  [json] %s\n", json_path.c_str());
+  } else {
+    std::printf("  [json] failed: %s\n", st.ToString().c_str());
+  }
+  return 0;
+}

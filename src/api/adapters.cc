@@ -42,6 +42,16 @@ std::string DescribeMeasure(const EngineOptions& options) {
   return "measure=" + ToString(options.measure);
 }
 
+/// Appends the live/deleted population to a describe string once holes
+/// exist (Describe() must not count tombstoned ids as data; without holes
+/// the string is unchanged, so describe-sensitive callers see no churn).
+std::string AppendPopulation(const std::string& describe,
+                             const SetDatabase& db) {
+  if (db.num_deleted() == 0) return describe;
+  return describe + " [live=" + std::to_string(db.num_live()) +
+         ", deleted=" + std::to_string(db.num_deleted()) + "]";
+}
+
 /// Shared describe tail for the les3-family engines: group count, bitmap
 /// backend, persisted-model count, and snapshot provenance.
 std::string DescribeLes3(SimilarityMeasure measure, uint32_t groups,
@@ -159,6 +169,27 @@ class Les3Engine : public MemoryEngine<search::Les3Index> {
     return index_.Insert(std::move(set));
   }
 
+  Status Delete(SetId id) override {
+    if (!index_.Delete(id)) {
+      return Status::NotFound("no live set with id " + std::to_string(id));
+    }
+    return Status::OK();
+  }
+
+  Status Update(SetId id, SetRecord set) override {
+    if (!index_.Update(id, std::move(set))) {
+      return Status::NotFound("no live set with id " + std::to_string(id));
+    }
+    return Status::OK();
+  }
+
+  /// The static describe string plus the current live/deleted counts —
+  /// mutation makes the population dynamic, so Describe() reports it at
+  /// call time instead of freezing construction-time numbers.
+  std::string Describe() const override {
+    return AppendPopulation(describe_, *db_);
+  }
+
   Status Save(const std::string& path) const override {
     persist::SnapshotMeta meta;
     meta.backend = "les3";
@@ -197,13 +228,33 @@ class DiskLes3Engine : public DiskEngine<storage::DiskLes3> {
   std::vector<l2p::CascadeModelSnapshot> l2p_models_;
 };
 
-/// A scan has no index to maintain, so inserts are just appends.
+/// A scan has no index to maintain, so mutations are pure database edits
+/// (the scan skips tombstoned ids). This keeps brute force usable as the
+/// mutation oracle of the differential property suite.
 class BruteForceEngine : public MemoryEngine<baselines::BruteForce> {
  public:
   using MemoryEngine::MemoryEngine;
 
   Result<SetId> Insert(SetRecord set) override {
     return db_->AddSet(std::move(set));
+  }
+
+  Status Delete(SetId id) override {
+    if (!db_->DeleteSet(id)) {
+      return Status::NotFound("no live set with id " + std::to_string(id));
+    }
+    return Status::OK();
+  }
+
+  Status Update(SetId id, SetRecord set) override {
+    if (!db_->ReplaceSet(id, std::move(set))) {
+      return Status::NotFound("no live set with id " + std::to_string(id));
+    }
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return AppendPopulation(describe_, *db_);
   }
 };
 

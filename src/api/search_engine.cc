@@ -59,6 +59,22 @@ Result<SetId> SearchEngine::Insert(SetRecord) {
   return Status::NotSupported(Describe() + " does not support inserts");
 }
 
+Status SearchEngine::Delete(SetId) {
+  return Status::NotSupported(Describe() + " does not support deletes");
+}
+
+Status SearchEngine::Update(SetId, SetRecord) {
+  return Status::NotSupported(Describe() + " does not support updates");
+}
+
+std::shared_ptr<const SetDatabase> SearchEngine::StableDb() const {
+  // Non-owning alias of the live database: engines on the default
+  // (serialized-mutation) contract need no copy, because the caller must
+  // already keep mutations off this engine while reading. The sharded
+  // engine overrides this with a locked copy.
+  return std::shared_ptr<const SetDatabase>(std::shared_ptr<void>(), &db());
+}
+
 Status SearchEngine::Save(const std::string&) const {
   return Status::NotSupported(Describe() + " does not support snapshots");
 }

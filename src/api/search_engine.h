@@ -10,13 +10,16 @@
 // EngineBuilder (api/engine_builder.h).
 //
 // Thread-safety: Knn/Range are const and safe to call concurrently;
-// KnnBatch/RangeBatch exploit that via util/thread_pool.h. Insert's
-// contract is per-backend: on the single-index backends it is NOT safe
-// concurrently with queries on the same engine, while the sharded engine
-// (shard/sharded_engine.h, backend "sharded_les3") guards each shard with
-// a reader-writer lock so Insert IS safe concurrently with queries and
-// with other Inserts — see docs/sharding.md. db() on the sharded engine
-// is the one read that must not race an Insert.
+// KnnBatch/RangeBatch exploit that via util/thread_pool.h. The mutating
+// ops (Insert/Delete/Update) share one per-backend contract: on the
+// single-index backends they are NOT safe concurrently with queries on
+// the same engine, while the sharded engine (shard/sharded_engine.h,
+// backend "sharded_les3") guards each shard with a reader-writer lock so
+// every mutating op IS safe concurrently with queries and with other
+// mutations — see docs/sharding.md and docs/mutability.md. db() returns a
+// bare reference and therefore inherits the single-index contract even on
+// the sharded engine; use StableDb() wherever mutations may run
+// concurrently.
 
 #ifndef LES3_API_SEARCH_ENGINE_H_
 #define LES3_API_SEARCH_ENGINE_H_
@@ -102,11 +105,23 @@ class SearchEngine {
   /// database shared with any sibling engines built over it.
   virtual Result<SetId> Insert(SetRecord set);
 
-  /// Whether Insert is safe concurrently with Knn/Range (and with other
-  /// Inserts) on this engine — the sharded engine's upgraded contract.
-  /// Layers that interleave reads and writes on one engine (the network
-  /// server, serve/server.h) key their locking off this: when false they
-  /// serialize Insert against queries themselves.
+  /// Deletes set `id` from the database and index. The id is tombstoned,
+  /// never reused, and can no longer appear in any result (including the
+  /// kNN zero-similarity backfill). NotFound when `id` is out of range or
+  /// already deleted; NotSupported on backends without mutation support.
+  virtual Status Delete(SetId id);
+
+  /// Replaces set `id` with new content, keeping the same id (the index
+  /// re-routes it as a Section 6 insertion). NotFound when `id` is out of
+  /// range or deleted; NotSupported on backends without mutation support.
+  virtual Status Update(SetId id, SetRecord set);
+
+  /// Whether the mutating ops (Insert/Delete/Update) are safe concurrently
+  /// with Knn/Range (and with each other) on this engine — the sharded
+  /// engine's upgraded contract. Layers that interleave reads and writes
+  /// on one engine (the network server, serve/server.h) key their locking
+  /// off this: when false they serialize mutations against queries
+  /// themselves.
   virtual bool SupportsConcurrentInsert() const { return false; }
 
   /// Persists the built index as a versioned snapshot
@@ -123,8 +138,19 @@ class SearchEngine {
   /// One-line human-readable description: backend name + active knobs.
   virtual std::string Describe() const = 0;
 
-  /// The database this engine searches.
+  /// The database this engine searches. NOT safe concurrently with the
+  /// mutating ops, even on engines whose SupportsConcurrentInsert() is
+  /// true — the reference bypasses their locks. Use StableDb() there.
   virtual const SetDatabase& db() const = 0;
+
+  /// A database view that is safe to read while mutations run. On engines
+  /// without concurrent-mutation support this aliases the live database
+  /// (no copy — the caller already must not mutate concurrently, per the
+  /// contract above); the sharded engine overrides it to return a private
+  /// copy taken under its locks, a consistent point-in-time snapshot that
+  /// later mutations never touch (O(|D|) per call — a tooling/inspection
+  /// path, not a query path).
+  virtual std::shared_ptr<const SetDatabase> StableDb() const;
 
  protected:
   /// `batch_threads` sizes the lazily created batch pool (0 = hardware

@@ -12,15 +12,16 @@ std::vector<Hit> BruteForce::Knn(
   WallTimer timer;
   TopKHits best(k);
   for (SetId i = 0; i < db_->size(); ++i) {
+    if (db_->is_deleted(i)) continue;  // tombstoned ids are not searchable
     best.Offer(i, Similarity(measure_, query, db_->set(i)));
   }
   std::vector<Hit> out = best.Take();
   if (stats != nullptr) {
     *stats = search::QueryStats();
-    stats->candidates_verified = db_->size();
+    stats->candidates_verified = db_->num_live();
     stats->results = out.size();
     stats->pruning_efficiency =
-        search::KnnPruningEfficiency(db_->size(), db_->size(), k);
+        search::KnnPruningEfficiency(db_->num_live(), db_->num_live(), k);
     stats->micros = timer.Micros();
   }
   return out;
@@ -31,16 +32,17 @@ std::vector<Hit> BruteForce::Range(
   WallTimer timer;
   std::vector<Hit> out;
   for (SetId i = 0; i < db_->size(); ++i) {
+    if (db_->is_deleted(i)) continue;  // tombstoned ids are not searchable
     double sim = Similarity(measure_, query, db_->set(i));
     if (sim >= delta) out.emplace_back(i, sim);
   }
   SortHits(&out);
   if (stats != nullptr) {
     *stats = search::QueryStats();
-    stats->candidates_verified = db_->size();
+    stats->candidates_verified = db_->num_live();
     stats->results = out.size();
-    stats->pruning_efficiency =
-        search::RangePruningEfficiency(db_->size(), db_->size(), out.size());
+    stats->pruning_efficiency = search::RangePruningEfficiency(
+        db_->num_live(), db_->num_live(), out.size());
     stats->micros = timer.Micros();
   }
   return out;

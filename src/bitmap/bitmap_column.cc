@@ -45,6 +45,15 @@ void BitmapColumn::Add(uint32_t value) {
   }
 }
 
+bool BitmapColumn::Remove(uint32_t value) {
+  if (auto* r = std::get_if<Roaring>(&rep_)) return r->Remove(value);
+  Dense& d = std::get<Dense>(rep_);
+  if (value >= d.bits.size() || !d.bits.Get(value)) return false;
+  d.bits.Clear(value);
+  --d.cardinality;
+  return true;
+}
+
 bool BitmapColumn::Contains(uint32_t value) const {
   if (const auto* r = std::get_if<Roaring>(&rep_)) return r->Contains(value);
   const Dense& d = std::get<Dense>(rep_);

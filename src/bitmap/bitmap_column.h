@@ -61,6 +61,11 @@ class BitmapColumn {
   /// universe as needed.
   void Add(uint32_t value);
 
+  /// Removes `value`; returns whether it was present. Used by the group
+  /// maintenance path (tgm::Tgm::RecomputeGroupColumns) to drop stale
+  /// bits left behind by Delete/Update.
+  bool Remove(uint32_t value);
+
   bool Contains(uint32_t value) const;
 
   uint64_t Cardinality() const {

@@ -247,6 +247,58 @@ void Roaring::Add(uint32_t value) {
   }
 }
 
+bool Roaring::Remove(uint32_t value) {
+  uint16_t key = static_cast<uint16_t>(value >> 16);
+  uint16_t low = static_cast<uint16_t>(value & 0xFFFF);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return false;
+  size_t idx = static_cast<size_t>(it - keys_.begin());
+  Container& c = containers_[idx];
+  bool now_empty = false;
+  if (auto* a = std::get_if<ArrayContainer>(&c)) {
+    auto vit = std::lower_bound(a->values.begin(), a->values.end(), low);
+    if (vit == a->values.end() || *vit != low) return false;
+    a->values.erase(vit);
+    now_empty = a->values.empty();
+  } else if (auto* b = std::get_if<BitsetContainer>(&c)) {
+    uint64_t mask = 1ULL << (low & 63);
+    if (!(b->words[low >> 6] & mask)) return false;
+    b->words[low >> 6] &= ~mask;
+    --b->cardinality;
+    now_empty = b->cardinality == 0;
+  } else {
+    auto& runs = std::get<RunContainer>(c).runs;
+    // Last run with start <= low.
+    auto rit = std::upper_bound(
+        runs.begin(), runs.end(), low,
+        [](uint16_t v, const RunContainer::Run& r) { return v < r.start; });
+    if (rit == runs.begin()) return false;
+    --rit;
+    uint32_t end = static_cast<uint32_t>(rit->start) + rit->length;
+    if (low > end) return false;
+    if (rit->length == 0) {
+      runs.erase(rit);
+    } else if (low == rit->start) {
+      ++rit->start;
+      --rit->length;
+    } else if (low == end) {
+      --rit->length;
+    } else {
+      // Split [start, end] into [start, low-1] and [low+1, end].
+      RunContainer::Run tail{static_cast<uint16_t>(low + 1),
+                             static_cast<uint16_t>(end - low - 1)};
+      rit->length = static_cast<uint16_t>(low - 1 - rit->start);
+      runs.insert(rit + 1, tail);
+    }
+    now_empty = runs.empty();
+  }
+  if (now_empty) {
+    keys_.erase(keys_.begin() + idx);
+    containers_.erase(containers_.begin() + idx);
+  }
+  return true;
+}
+
 bool Roaring::Contains(uint32_t value) const {
   const Container* c = FindContainer(static_cast<uint16_t>(value >> 16));
   if (c == nullptr) return false;

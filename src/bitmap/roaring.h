@@ -71,6 +71,13 @@ class Roaring {
   /// Inserts `value` (no-op if present).
   void Add(uint32_t value);
 
+  /// Removes `value`; returns whether it was present. A container left
+  /// empty is dropped (Empty() tests keys_, and Deserialize rejects empty
+  /// containers, so none may linger). A bitset whose cardinality falls
+  /// back under the array threshold stays a bitset — mirroring Add, which
+  /// never converts downward — and remains a legal serialized form.
+  bool Remove(uint32_t value);
+
   bool Contains(uint32_t value) const;
 
   uint64_t Cardinality() const;

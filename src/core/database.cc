@@ -9,32 +9,62 @@ namespace les3 {
 
 namespace {
 constexpr uint32_t kMagic = 0x4C455333;  // "LES3"
+
+// Copies `set` to the arena tail, handling the self-aliasing case (the
+// source may be a view into this same arena, which resize can reallocate).
+// Returns the start offset of the appended span.
+uint64_t AppendToArena(std::vector<TokenId>* arena, SetView set) {
+  const size_t old_size = arena->size();
+  const size_t n = set.size();
+  const bool aliased = set.data() >= arena->data() &&
+                       set.data() < arena->data() + old_size;
+  const size_t src_offset =
+      aliased ? static_cast<size_t>(set.data() - arena->data()) : 0;
+  arena->resize(old_size + n);
+  const TokenId* src = aliased ? arena->data() + src_offset : set.data();
+  std::copy(src, src + n, arena->begin() + old_size);
+  return old_size;
 }
+}  // namespace
 
 SetId SetDatabase::AddSet(SetView set) {
 #ifndef NDEBUG
   LES3_CHECK(std::is_sorted(set.begin(), set.end()));
 #endif
-  // Re-establish the CSR sentinel on a moved-from database (its offsets
-  // vector is empty; the {0} default applies only at construction).
-  if (offsets_.empty()) offsets_.push_back(0);
   if (!set.empty() && set.MaxToken() >= num_tokens_) {
     num_tokens_ = set.MaxToken() + 1;
   }
-  const size_t old_size = arena_.size();
-  const size_t n = set.size();
-  // The source may alias this arena (SplitDb appends views of the global
-  // database); resize can reallocate, so re-derive the source pointer from
-  // its offset afterwards instead of reading through a dangling span.
-  const bool aliased = set.data() >= arena_.data() &&
-                       set.data() < arena_.data() + old_size;
-  const size_t src_offset =
-      aliased ? static_cast<size_t>(set.data() - arena_.data()) : 0;
-  arena_.resize(old_size + n);
-  const TokenId* src = aliased ? arena_.data() + src_offset : set.data();
-  std::copy(src, src + n, arena_.begin() + old_size);
-  offsets_.push_back(arena_.size());
-  return static_cast<SetId>(offsets_.size() - 2);
+  const uint64_t start = AppendToArena(&arena_, set);
+  starts_.push_back(start);
+  lengths_.push_back(static_cast<uint32_t>(set.size()));
+  deleted_.push_back(0);
+  live_tokens_ += set.size();
+  return static_cast<SetId>(starts_.size() - 1);
+}
+
+bool SetDatabase::DeleteSet(SetId id) {
+  if (id >= size() || deleted_[id]) return false;
+  live_tokens_ -= lengths_[id];
+  lengths_[id] = 0;
+  deleted_[id] = 1;
+  ++num_deleted_;
+  return true;
+}
+
+bool SetDatabase::ReplaceSet(SetId id, SetView set) {
+  if (id >= size() || deleted_[id]) return false;
+#ifndef NDEBUG
+  LES3_CHECK(std::is_sorted(set.begin(), set.end()));
+#endif
+  if (!set.empty() && set.MaxToken() >= num_tokens_) {
+    num_tokens_ = set.MaxToken() + 1;
+  }
+  live_tokens_ -= lengths_[id];
+  const uint64_t start = AppendToArena(&arena_, set);
+  starts_[id] = start;
+  lengths_[id] = static_cast<uint32_t>(set.size());
+  live_tokens_ += set.size();
+  return true;
 }
 
 Status SetDatabase::Save(const std::string& path) const {

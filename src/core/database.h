@@ -14,20 +14,34 @@ namespace les3 {
 
 /// \brief The database D over a token universe [0, num_tokens).
 ///
-/// Storage is a CSR token arena: one contiguous TokenId buffer holding
-/// every set's sorted tokens back to back, plus an offsets array (|D|+1
-/// entries). set(id) hands out a SetView span into the arena, so the
-/// verification loops walk one cache-friendly buffer instead of chasing a
-/// heap pointer per candidate. SetRecord remains the ingest type; AddSet
-/// appends its tokens to the arena.
+/// Storage is a token arena: one contiguous TokenId buffer holding every
+/// set's sorted tokens, plus per-set (start, length) spans. set(id) hands
+/// out a SetView span into the arena, so the verification loops walk one
+/// cache-friendly buffer instead of chasing a heap pointer per candidate.
+/// SetRecord remains the ingest type; AddSet appends its tokens to the
+/// arena.
+///
+/// Spans are explicit (rather than CSR prefix offsets) so a single set can
+/// be repointed in place: ReplaceSet appends the new tokens at the arena
+/// tail and redirects one span, and DeleteSet empties one span. The bytes
+/// a replaced or deleted set used to occupy become arena garbage —
+/// GarbageTokens() reports how much — reclaimed when the index is
+/// compacted on snapshot save (docs/mutability.md).
+///
+/// Ids are stable: DeleteSet leaves a hole (is_deleted(id) == true) and
+/// ids are never reused, so external references — TGM membership, shard
+/// routing arithmetic, results already returned to clients — stay valid.
+/// size() is the id-space size including holes; num_live() counts only
+/// live sets.
 ///
 /// The universe may grow (open-universe updates, Section 6 of the paper);
-/// AddSet extends it automatically when a set carries unseen token ids.
+/// AddSet/ReplaceSet extend it automatically when a set carries unseen
+/// token ids.
 ///
 /// Lifetime: a SetView returned by set() is invalidated by the next
-/// AddSet (the arena may reallocate). Query paths take views for the
-/// duration of one query only; engines that interleave inserts and
-/// queries (shard/sharded_engine.h) already serialize the two with a
+/// AddSet/ReplaceSet (the arena may reallocate). Query paths take views
+/// for the duration of one query only; engines that interleave mutations
+/// and queries (shard/sharded_engine.h) already serialize the two with a
 /// reader-writer lock.
 class SetDatabase {
  public:
@@ -41,38 +55,60 @@ class SetDatabase {
   /// own arena (self-append is safe).
   SetId AddSet(SetView set);
 
-  /// Robust against a moved-from state (whose offsets vector is empty).
-  size_t size() const {
-    return offsets_.empty() ? 0 : offsets_.size() - 1;
-  }
+  /// Tombstones set `id`: its view becomes empty, num_live() drops, and the
+  /// id is never reused. Idempotent. Returns false when `id` is out of
+  /// range or already deleted.
+  bool DeleteSet(SetId id);
+
+  /// Replaces the tokens of live set `id` in place (same id, new content).
+  /// The new tokens go to the arena tail; the old span becomes garbage.
+  /// Accepts a view into this database's own arena. Returns false when
+  /// `id` is out of range or deleted (Update of a deleted id is an error
+  /// at the engine layer, not a resurrection).
+  bool ReplaceSet(SetId id, SetView set);
+
+  /// Id-space size |D| including deleted holes (ids are stable).
+  size_t size() const { return starts_.size(); }
   bool empty() const { return size() == 0; }
 
-  /// The tokens of set `id` as a span into the arena. Valid until the next
-  /// AddSet.
+  /// Number of live (non-deleted) sets.
+  size_t num_live() const { return size() - num_deleted_; }
+  size_t num_deleted() const { return num_deleted_; }
+  bool is_deleted(SetId id) const { return deleted_[id] != 0; }
+
+  /// The tokens of set `id` as a span into the arena (empty for a deleted
+  /// set). Valid until the next AddSet/ReplaceSet.
   SetView set(SetId id) const {
-    return SetView(arena_.data() + offsets_[id],
-                   static_cast<size_t>(offsets_[id + 1] - offsets_[id]));
+    return SetView(arena_.data() + starts_[id], lengths_[id]);
   }
 
-  /// Size of set `id` without touching its tokens (one offsets read).
-  size_t set_size(SetId id) const {
-    return static_cast<size_t>(offsets_[id + 1] - offsets_[id]);
-  }
+  /// Size of set `id` without touching its tokens (0 for a deleted set).
+  size_t set_size(SetId id) const { return lengths_[id]; }
 
   /// Size of the token universe |T|.
   uint32_t num_tokens() const { return num_tokens_; }
 
-  /// Total number of tokens over all sets (Σ|S|) — the arena length.
-  uint64_t TotalTokens() const { return arena_.size(); }
+  /// Total number of tokens over all live sets (Σ|S|).
+  uint64_t TotalTokens() const { return live_tokens_; }
+
+  /// Arena bytes no longer referenced by any live span (left behind by
+  /// DeleteSet/ReplaceSet; dropped when the index compacts on save).
+  uint64_t GarbageTokens() const { return arena_.size() - live_tokens_; }
 
   /// Binary serialization (used to cache generated datasets and to feed the
-  /// disk-resident stores).
+  /// disk-resident stores). Deleted sets are written as empty; the format
+  /// does not carry tombstones — engine snapshots (persist/snapshot.h)
+  /// persist those via the partition's kInvalidGroup sentinel instead.
   Status Save(const std::string& path) const;
   static Result<SetDatabase> Load(const std::string& path);
 
  private:
-  std::vector<TokenId> arena_;      // all sets' tokens, back to back
-  std::vector<uint64_t> offsets_ = {0};  // |D|+1 prefix offsets into arena_
+  std::vector<TokenId> arena_;      // all sets' tokens
+  std::vector<uint64_t> starts_;    // per-set span start into arena_
+  std::vector<uint32_t> lengths_;   // per-set span length
+  std::vector<uint8_t> deleted_;    // per-set tombstone flag
+  uint64_t live_tokens_ = 0;        // Σ lengths_ over live sets
+  size_t num_deleted_ = 0;
   uint32_t num_tokens_ = 0;
 };
 

@@ -48,6 +48,10 @@ void EncodeMeta(const SnapshotMeta& meta, uint32_t version, ByteWriter* out) {
 void EncodeDatabase(const SetDatabase& db, ByteWriter* out) {
   out->WriteU32(db.num_tokens());
   out->WriteU32(static_cast<uint32_t>(db.size()));
+  // Tombstoned ids serialize as zero-token entries (their views are
+  // empty), so arena garbage is physically dropped here — this IS the
+  // database half of save-time compaction. Which zero-token entries are
+  // tombstones is recorded by the PART chunk's kInvalidGroup sentinels.
   for (SetId i = 0; i < db.size(); ++i) {
     SetView s = db.set(i);
     out->WriteU32(static_cast<uint32_t>(s.size()));
@@ -165,7 +169,8 @@ Status DecodeDatabase(ByteReader* reader, SetDatabase* db) {
   return Status::OK();
 }
 
-Status DecodePartition(ByteReader* reader, uint32_t* num_groups,
+Status DecodePartition(ByteReader* reader, bool allow_tombstones,
+                       uint32_t* num_groups,
                        std::vector<GroupId>* assignment) {
   uint32_t num_sets = 0;
   LES3_RETURN_NOT_OK(reader->ReadU32(num_groups));
@@ -177,7 +182,14 @@ Status DecodePartition(ByteReader* reader, uint32_t* num_groups,
   assignment->resize(num_sets);
   for (uint32_t i = 0; i < num_sets; ++i) {
     LES3_RETURN_NOT_OK(reader->ReadU32(&(*assignment)[i]));
-    // Range-checked again (against num_groups) in Tgm::Deserialize.
+    // A kInvalidGroup sentinel marks a tombstoned id and is only legal
+    // when the header flag announced tombstones; everything else is
+    // range-checked (against num_groups) in Tgm::Deserialize.
+    if ((*assignment)[i] == kInvalidGroup && !allow_tombstones) {
+      return Status::InvalidArgument(
+          "PART entry " + std::to_string(i) +
+          " is a tombstone sentinel but the header tombstone flag is unset");
+    }
   }
   if (!reader->AtEnd()) {
     return Status::InvalidArgument("trailing bytes in PART chunk");
@@ -273,7 +285,8 @@ Status NextChunk(ByteReader* reader, uint32_t* type, const uint8_t** payload,
   return Status::OK();
 }
 
-Result<LoadedSnapshot> DecodeSnapshotV1(ByteReader& reader) {
+Result<LoadedSnapshot> DecodeSnapshotV1(ByteReader& reader,
+                                        bool allow_tombstones) {
   LoadedSnapshot snapshot;
   snapshot.version = kSnapshotVersion;
   bool have_meta = false, have_db = false, have_partition = false,
@@ -310,8 +323,8 @@ Result<LoadedSnapshot> DecodeSnapshotV1(ByteReader& reader) {
         break;
       case ChunkType::kPartition:
         LES3_RETURN_NOT_OK(mark_once(&have_partition, "PART"));
-        LES3_RETURN_NOT_OK(
-            DecodePartition(&chunk, &num_groups, &snapshot.assignment));
+        LES3_RETURN_NOT_OK(DecodePartition(&chunk, allow_tombstones,
+                                           &num_groups, &snapshot.assignment));
         break;
       case ChunkType::kTgmColumns:
         LES3_RETURN_NOT_OK(mark_once(&have_columns, "TGMC"));
@@ -364,6 +377,17 @@ Result<LoadedSnapshot> DecodeSnapshotV1(ByteReader& reader) {
     return Status::InvalidArgument(
         "META/PART shape disagrees with the DB chunk");
   }
+  // Restore tombstones: the PART sentinel is the authority for which ids
+  // are deleted; the writer already dropped their tokens, and a sentinel
+  // entry that still carries tokens means the file was stitched together.
+  for (SetId i = 0; i < db.size(); ++i) {
+    if (snapshot.assignment[i] != kInvalidGroup) continue;
+    if (db.set_size(i) != 0) {
+      return Status::InvalidArgument(
+          "tombstoned set " + std::to_string(i) + " carries tokens");
+    }
+    db.DeleteSet(i);
+  }
 
   ByteReader columns(columns_payload, columns_len);
   auto tgm = tgm::Tgm::Deserialize(snapshot.assignment, num_groups,
@@ -396,7 +420,8 @@ uint64_t ShardLocalCount(uint64_t num_sets, uint32_t s, uint32_t num_shards) {
   return (num_sets - s + num_shards - 1) / num_shards;
 }
 
-Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
+Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader,
+                                        bool allow_tombstones) {
   LoadedSnapshot snapshot;
   snapshot.version = kSnapshotVersionSharded;
   bool have_meta = false, have_db = false, have_end = false;
@@ -444,8 +469,9 @@ Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
           return Status::InvalidArgument(
               "PART chunk not followed by its shard's TGMC chunk");
         }
-        LES3_RETURN_NOT_OK(
-            DecodePartition(&chunk, &pending_groups, &pending_assignment));
+        LES3_RETURN_NOT_OK(DecodePartition(&chunk, allow_tombstones,
+                                           &pending_groups,
+                                           &pending_assignment));
         have_pending_part = true;
         break;
       case ChunkType::kTgmColumns: {
@@ -525,6 +551,18 @@ Result<LoadedSnapshot> DecodeSnapshotV2(ByteReader& reader) {
           std::to_string(snapshot.meta.num_shards) + " split assigns it " +
           std::to_string(expected));
     }
+    // Restore tombstones, mapping shard-local index l to global id
+    // l*S + s (same rules as the single-index decoder).
+    for (size_t l = 0; l < pending.assignment.size(); ++l) {
+      if (pending.assignment[l] != kInvalidGroup) continue;
+      const SetId gid = static_cast<SetId>(
+          l * snapshot.meta.num_shards + s);
+      if (db.set_size(gid) != 0) {
+        return Status::InvalidArgument(
+            "tombstoned set " + std::to_string(gid) + " carries tokens");
+      }
+      db.DeleteSet(gid);
+    }
     ByteReader columns(pending.columns_payload, pending.columns_len);
     auto tgm = tgm::Tgm::Deserialize(
         pending.assignment, pending.num_groups,
@@ -569,7 +607,7 @@ void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
                     ByteWriter* out) {
   out->WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
   out->WriteU32(kSnapshotVersion);
-  out->WriteU32(0);  // flags, reserved
+  out->WriteU32(db.num_deleted() > 0 ? kSnapshotFlagTombstones : 0u);
 
   SnapshotMeta filled = meta;
   filled.num_groups = tgm.num_groups();
@@ -591,7 +629,15 @@ void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
   EndChunk(out, start);
 
   BeginChunk(ChunkType::kTgmColumns, out, &start);
-  tgm.SerializeColumns(out);
+  // Save-time column compaction: once mutations have left stale bits or
+  // tombstones behind, write exact recomputed columns instead of the live
+  // container state. A never-mutated index keeps the exact-container path
+  // (and stays byte-identical to what older builds wrote).
+  if (tgm.TotalDirt() > 0 || db.num_deleted() > 0) {
+    tgm.SerializeCompactedColumns(db, out);
+  } else {
+    tgm.SerializeColumns(out);
+  }
   EndChunk(out, start);
 
   if (!models.empty()) {
@@ -606,10 +652,11 @@ void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
 
 void EncodeShardedSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
                            const std::vector<const tgm::Tgm*>& shard_tgms,
+                           const std::vector<const SetDatabase*>& shard_dbs,
                            ByteWriter* out) {
   out->WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
   out->WriteU32(kSnapshotVersionSharded);
-  out->WriteU32(0);  // flags, reserved
+  out->WriteU32(db.num_deleted() > 0 ? kSnapshotFlagTombstones : 0u);
 
   SnapshotMeta filled = meta;
   filled.num_sets = db.size();
@@ -627,13 +674,21 @@ void EncodeShardedSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
   EncodeDatabase(db, out);
   EndChunk(out, start);
 
-  for (const tgm::Tgm* tgm : shard_tgms) {
+  for (size_t s = 0; s < shard_tgms.size(); ++s) {
+    const tgm::Tgm* tgm = shard_tgms[s];
     BeginChunk(ChunkType::kPartition, out, &start);
     EncodePartition(*tgm, out);
     EndChunk(out, start);
 
     BeginChunk(ChunkType::kTgmColumns, out, &start);
-    tgm->SerializeColumns(out);
+    // Same compaction rule as EncodeSnapshot, per shard against its own
+    // local slice (the compactor walks local member ids).
+    const SetDatabase& local = *shard_dbs[s];
+    if (tgm->TotalDirt() > 0 || local.num_deleted() > 0) {
+      tgm->SerializeCompactedColumns(local, out);
+    } else {
+      tgm->SerializeColumns(out);
+    }
     EndChunk(out, start);
   }
 
@@ -659,11 +714,14 @@ Result<LoadedSnapshot> DecodeSnapshot(const void* data, size_t size) {
         ".." + std::to_string(kMaxSnapshotVersion) +
         "; re-save the index with a matching build)");
   }
-  if (flags != 0) {
+  if ((flags & ~kSnapshotFlagTombstones) != 0) {
     return Status::InvalidArgument("unsupported snapshot flags");
   }
-  if (version == kSnapshotVersionSharded) return DecodeSnapshotV2(reader);
-  return DecodeSnapshotV1(reader);
+  const bool tombstones = (flags & kSnapshotFlagTombstones) != 0;
+  if (version == kSnapshotVersionSharded) {
+    return DecodeSnapshotV2(reader, tombstones);
+  }
+  return DecodeSnapshotV1(reader, tombstones);
 }
 
 Status SaveSnapshot(const std::string& path, const SnapshotMeta& meta,
@@ -676,9 +734,10 @@ Status SaveSnapshot(const std::string& path, const SnapshotMeta& meta,
 
 Status SaveShardedSnapshot(const std::string& path, const SnapshotMeta& meta,
                            const SetDatabase& db,
-                           const std::vector<const tgm::Tgm*>& shard_tgms) {
+                           const std::vector<const tgm::Tgm*>& shard_tgms,
+                           const std::vector<const SetDatabase*>& shard_dbs) {
   ByteWriter writer;
-  EncodeShardedSnapshot(meta, db, shard_tgms, &writer);
+  EncodeShardedSnapshot(meta, db, shard_tgms, shard_dbs, &writer);
   return WriteFileBytes(path, writer.data());
 }
 

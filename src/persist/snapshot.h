@@ -58,6 +58,17 @@ inline constexpr uint32_t kSnapshotVersionSharded = 2;
 /// Highest version this build reads.
 inline constexpr uint32_t kMaxSnapshotVersion = kSnapshotVersionSharded;
 
+/// Header flag bit: the snapshot may contain tombstoned (deleted) ids —
+/// kInvalidGroup sentinels in PART chunks and zero-token entries in the
+/// DB chunk (docs/snapshot_format.md, "Tombstones"). The deliberate
+/// format choice for mutability: version numbers keep meaning layout
+/// (1 = single index, 2 = sharded), deletions set this orthogonal flag,
+/// and a database that never saw a delete produces a byte-identical
+/// flagless file (the golden test holds the writer to that). Builds
+/// predating the flag reject flagged files outright ("unsupported
+/// snapshot flags") instead of resurrecting tombstones.
+inline constexpr uint32_t kSnapshotFlagTombstones = 1;
+
 /// Chunk identifiers (docs/snapshot_format.md).
 enum class ChunkType : uint32_t {
   kEnd = 0,         // terminator, empty payload, required last
@@ -113,11 +124,14 @@ void EncodeSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
 
 /// Serializes a sharded (version 2) snapshot: the global database plus
 /// one PART/TGMC pair per shard, in shard order. `shard_tgms[s]` is shard
-/// s's matrix over its local set ids; `meta.num_shards` must equal
+/// s's matrix over its local set ids and `shard_dbs[s]` the local slice
+/// it indexes (needed for save-time column compaction; with one shard the
+/// slice is the global database). `meta.num_shards` must equal
 /// `shard_tgms.size()`. Shape fields are filled from `db` and the shard
 /// matrices, as in EncodeSnapshot.
 void EncodeShardedSnapshot(const SnapshotMeta& meta, const SetDatabase& db,
                            const std::vector<const tgm::Tgm*>& shard_tgms,
+                           const std::vector<const SetDatabase*>& shard_dbs,
                            ByteWriter* out);
 
 /// Parses and fully validates a snapshot byte buffer (either version).
@@ -132,7 +146,8 @@ Status SaveSnapshot(const std::string& path, const SnapshotMeta& meta,
 /// EncodeShardedSnapshot + file write (same policy as SaveSnapshot).
 Status SaveShardedSnapshot(const std::string& path, const SnapshotMeta& meta,
                            const SetDatabase& db,
-                           const std::vector<const tgm::Tgm*>& shard_tgms);
+                           const std::vector<const tgm::Tgm*>& shard_tgms,
+                           const std::vector<const SetDatabase*>& shard_dbs);
 
 /// Reads the file and decodes it; all failure modes return a Status.
 Result<LoadedSnapshot> LoadSnapshot(const std::string& path);

@@ -75,7 +75,7 @@ std::vector<Hit> CandidateVerifier::Knn(SetView query, size_t k,
       w = tgm_->MembersInSizeWindow(g, 0, static_cast<size_t>(-1));
     }
     ++stats->groups_visited;
-    if (on_group) on_group(g);
+    if (on_group) on_group(g, w.count());
     const uint32_t* size = w.sizes;
     for (const SetId* member = w.begin; member != w.end; ++member, ++size) {
       SetId s = *member;
@@ -105,8 +105,10 @@ std::vector<Hit> CandidateVerifier::Knn(SetView query, size_t k,
   std::vector<Hit> out = best.Take();
   stats->groups_pruned = tgm_->num_nonempty_groups() - stats->groups_visited;
   stats->results = out.size();
+  // Deleted ids are not searchable, so efficiency is against the live
+  // population, not the id space.
   stats->pruning_efficiency =
-      KnnPruningEfficiency(db_->size(), stats->candidates_verified, k);
+      KnnPruningEfficiency(db_->num_live(), stats->candidates_verified, k);
   stats->micros = timer.Micros();
   return out;
 }
@@ -150,7 +152,7 @@ std::vector<Hit> CandidateVerifier::Range(SetView query, double delta,
     stats->candidates_size_skipped += w.skipped;
     if (w.begin == w.end) continue;  // every member outside the window
     ++stats->groups_visited;
-    if (on_group) on_group(g);
+    if (on_group) on_group(g, w.count());
     const uint32_t* size = w.sizes;
     for (const SetId* member = w.begin; member != w.end; ++member, ++size) {
       ++stats->candidates_verified;
@@ -168,7 +170,7 @@ std::vector<Hit> CandidateVerifier::Range(SetView query, double delta,
   stats->groups_pruned = tgm_->num_nonempty_groups() - stats->groups_visited;
   stats->results = out.size();
   stats->pruning_efficiency = RangePruningEfficiency(
-      db_->size(), stats->candidates_verified, out.size());
+      db_->num_live(), stats->candidates_verified, out.size());
   stats->micros = timer.Micros();
   return out;
 }

@@ -48,10 +48,12 @@ namespace search {
 /// from any number of threads.
 class CandidateVerifier {
  public:
-  /// Fires once per group whose members are about to be verified — the
-  /// disk engine charges its extent read here. Groups pre-skipped by the
-  /// bound or emptied by the size window never fire.
-  using GroupVisitFn = std::function<void(GroupId)>;
+  /// Fires once per group whose members are about to be verified, with the
+  /// number of candidates the size window let through — the disk engine
+  /// charges its extent read here, and the maintenance layer
+  /// (search/maintenance.h) accumulates per-group activity. Groups
+  /// pre-skipped by the bound or emptied by the size window never fire.
+  using GroupVisitFn = std::function<void(GroupId, size_t candidates)>;
 
   CandidateVerifier(const tgm::Tgm* tgm, const SetDatabase* db,
                     SimilarityMeasure measure)

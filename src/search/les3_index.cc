@@ -25,14 +25,16 @@ Les3Index::Les3Index(std::shared_ptr<SetDatabase> db, tgm::Tgm tgm,
                      SimilarityMeasure measure)
     : db_(std::move(db)), tgm_(std::move(tgm)), measure_(measure) {}
 
-std::vector<Hit> Les3Index::Knn(SetView query, size_t k,
-                                QueryStats* stats) const {
-  return verifier().Knn(query, k, stats);
+std::vector<Hit> Les3Index::Knn(
+    SetView query, size_t k, QueryStats* stats,
+    const CandidateVerifier::GroupVisitFn& on_group) const {
+  return verifier().Knn(query, k, stats, on_group);
 }
 
-std::vector<Hit> Les3Index::Range(SetView query, double delta,
-                                  QueryStats* stats) const {
-  return verifier().Range(query, delta, stats);
+std::vector<Hit> Les3Index::Range(
+    SetView query, double delta, QueryStats* stats,
+    const CandidateVerifier::GroupVisitFn& on_group) const {
+  return verifier().Range(query, delta, stats, on_group);
 }
 
 SetId Les3Index::Insert(SetRecord set) {
@@ -41,6 +43,26 @@ SetId Les3Index::Insert(SetRecord set) {
   // TGM update (no intervening AddSet).
   tgm_.AddSet(id, db_->set(id), measure_);
   return id;
+}
+
+bool Les3Index::Delete(SetId id) {
+  if (id >= db_->size() || db_->is_deleted(id)) return false;
+  // The TGM member run is keyed by (size, id); read the size before the
+  // database entry is tombstoned to zero.
+  const uint32_t size = static_cast<uint32_t>(db_->set_size(id));
+  bool removed = tgm_.RemoveSet(id, size);
+  bool deleted = db_->DeleteSet(id);
+  return removed && deleted;
+}
+
+bool Les3Index::Update(SetId id, SetRecord set) {
+  if (id >= db_->size() || db_->is_deleted(id)) return false;
+  const uint32_t size = static_cast<uint32_t>(db_->set_size(id));
+  if (!tgm_.RemoveSet(id, size)) return false;
+  db_->ReplaceSet(id, set);
+  // As with Insert, the fresh arena-tail view survives the TGM update.
+  tgm_.ReinsertSet(id, db_->set(id), measure_);
+  return true;
 }
 
 }  // namespace search

@@ -60,21 +60,40 @@ class Les3Index {
             SimilarityMeasure measure);
 
   /// Exact kNN (Definition 2.1): the k most similar sets, sorted by
-  /// descending similarity (ties by ascending id).
-  std::vector<Hit> Knn(SetView query, size_t k,
-                       QueryStats* stats = nullptr) const;
+  /// descending similarity (ties by ascending id). `on_group` (optional)
+  /// observes visited groups — see CandidateVerifier::GroupVisitFn.
+  std::vector<Hit> Knn(SetView query, size_t k, QueryStats* stats = nullptr,
+                       const CandidateVerifier::GroupVisitFn& on_group = {})
+      const;
 
   /// Exact range search (Definition 2.2): all sets with Sim >= delta,
   /// sorted by descending similarity.
   std::vector<Hit> Range(SetView query, double delta,
-                         QueryStats* stats = nullptr) const;
+                         QueryStats* stats = nullptr,
+                         const CandidateVerifier::GroupVisitFn& on_group = {})
+      const;
 
   /// Inserts a new set (tokens may be previously unseen); returns its id.
   SetId Insert(SetRecord set);
 
+  /// Deletes set `id`: the member is erased from its TGM group and the
+  /// database entry tombstoned (the id is never reused). Returns false
+  /// when `id` is out of range or already deleted.
+  bool Delete(SetId id);
+
+  /// Replaces set `id` with new content, keeping the id: the member is
+  /// re-routed through Section 6 insertion (possibly to a different
+  /// group). Returns false when `id` is out of range or deleted.
+  bool Update(SetId id, SetRecord set);
+
   const SetDatabase& db() const { return *db_; }
   const std::shared_ptr<SetDatabase>& shared_db() const { return db_; }
   const tgm::Tgm& tgm() const { return tgm_; }
+
+  /// Mutable matrix access for the maintenance layer
+  /// (search/maintenance.h) only; the caller must hold whatever lock
+  /// guards this index against concurrent queries.
+  tgm::Tgm* mutable_tgm() { return &tgm_; }
   SimilarityMeasure measure() const { return measure_; }
   bitmap::BitmapBackend bitmap_backend() const {
     return tgm_.bitmap_backend();

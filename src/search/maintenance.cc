@@ -1,0 +1,120 @@
+#include "search/maintenance.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace les3 {
+namespace search {
+
+void GroupActivity::Grow(size_t num_groups) {
+  if (num_groups <= size_) return;
+  auto grown = std::make_unique<std::atomic<uint64_t>[]>(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    grown[g].store(g < size_ ? counts_[g].load(std::memory_order_relaxed) : 0,
+                   std::memory_order_relaxed);
+  }
+  counts_ = std::move(grown);
+  size_ = num_groups;
+}
+
+void GroupActivity::Decay() {
+  for (size_t g = 0; g < size_; ++g) {
+    counts_[g].store(counts_[g].load(std::memory_order_relaxed) / 2,
+                     std::memory_order_relaxed);
+  }
+}
+
+MaintenanceReport MaintainIndexOnce(Les3Index* index,
+                                    const MaintenanceOptions& options,
+                                    GroupActivity* activity) {
+  MaintenanceReport report;
+  tgm::Tgm* tgm = index->mutable_tgm();
+  const SetDatabase& db = index->db();
+  const uint32_t before_split = tgm->num_groups();
+  if (before_split == 0) return report;
+  size_t ops = 0;
+
+  // Splits first: a split both halves verification cost immediately and
+  // creates exact columns for the new group, so it is the higher-value op.
+  // The mean is over non-empty groups — empty ones hold no live members
+  // and would drag the threshold toward zero.
+  if (tgm->num_nonempty_groups() > 0) {
+    const double mean_live =
+        static_cast<double>(db.num_live()) / tgm->num_nonempty_groups();
+    const double split_above =
+        std::max(options.overgrown_factor * mean_live,
+                 static_cast<double>(options.min_split_size));
+    for (GroupId g = 0; g < before_split && ops < options.max_ops_per_cycle;
+         ++g) {
+      if (static_cast<double>(tgm->group_size(g)) <= split_above) continue;
+      if (tgm->SplitGroup(g, db) != kInvalidGroup) {
+        ++report.splits;
+        ++ops;
+      }
+    }
+  }
+
+  // Column recomputes for the dirtiest groups, hottest first: stale bits
+  // only hurt on groups queries actually admit, so observed activity
+  // breaks ties among the eligible.
+  std::vector<std::pair<uint64_t, GroupId>> dirty;
+  for (GroupId g = 0; g < tgm->num_groups(); ++g) {
+    const uint32_t dirt = tgm->group_dirt(g);
+    if (dirt == 0) continue;
+    if (static_cast<double>(dirt) <=
+        options.dirt_ratio * static_cast<double>(tgm->group_size(g) + 1)) {
+      continue;
+    }
+    const uint64_t score = activity != nullptr ? activity->Score(g) : 0;
+    dirty.emplace_back(score, g);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [score, g] : dirty) {
+    if (ops >= options.max_ops_per_cycle) break;
+    (void)score;
+    report.bits_dropped += tgm->RecomputeGroupColumns(g, db);
+    ++report.recomputes;
+    ++ops;
+  }
+
+  if (activity != nullptr) {
+    activity->Grow(tgm->num_groups());
+    activity->Decay();
+  }
+  return report;
+}
+
+MaintenanceThread::MaintenanceThread(Cycle cycle,
+                                     std::chrono::milliseconds interval)
+    : cycle_(std::move(cycle)), interval_(interval) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MaintenanceThread::~MaintenanceThread() { Stop(); }
+
+void MaintenanceThread::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MaintenanceThread::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    MaintenanceReport report = cycle_();
+    splits_.fetch_add(report.splits, std::memory_order_relaxed);
+    recomputes_.fetch_add(report.recomputes, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace search
+}  // namespace les3

@@ -242,5 +242,24 @@ Result<SetId> Client::Insert(const SetRecord& set) {
   return response.inserted_id;
 }
 
+Status Client::Delete(SetId id) {
+  Request request;
+  request.type = MsgType::kDelete;
+  request.target_id = id;
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  return StatusFromResponse(response);
+}
+
+Status Client::Update(SetId id, const SetRecord& set) {
+  Request request;
+  request.type = MsgType::kUpdate;
+  request.target_id = id;
+  request.queries.push_back(set);
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  return StatusFromResponse(response);
+}
+
 }  // namespace serve
 }  // namespace les3

@@ -53,6 +53,11 @@ class Client {
       const std::vector<SetRecord>& queries, double delta,
       uint32_t deadline_ms = 0);
   Result<SetId> Insert(const SetRecord& set);
+  /// Tombstones set `id` on the server (NotFound if absent or already
+  /// deleted).
+  Status Delete(SetId id);
+  /// Replaces set `id`'s content, keeping the id.
+  Status Update(SetId id, const SetRecord& set);
 
   /// Low-level round trip: sends `request` (seq assigned here) and blocks
   /// for its reply. OK means a well-formed reply arrived — inspect

@@ -1,12 +1,14 @@
 // ResultCache — a sharded LRU cache of Knn/Range hit lists that preserves
-// the engine's exactness guarantee under concurrent Inserts.
+// the engine's exactness guarantee under concurrent mutations
+// (Insert/Delete/Update).
 //
 // Keys pack (query type, parameter bits, query tokens) into one byte
 // string; values are immutable shared hit lists, so a hit is served with
 // zero copies while an eviction never invalidates a reply in flight.
 //
 // Exactness argument (the part that matters): the cache carries a global
-// epoch counter. Every completed Insert bumps it; every cached entry
+// epoch counter. Every completed mutation — Insert, Delete, or Update —
+// bumps it; every cached entry
 // records the epoch its query STARTED under, and a lookup only returns an
 // entry whose recorded epoch equals the current one. Two races are worth
 // spelling out:
@@ -23,9 +25,13 @@
 //    it too dies at the bump. Either way the cache never widens the set of
 //    answers the bare engine could give.
 //
+// The same argument applies verbatim to Delete and Update: both bump the
+// epoch after the engine mutation completes, so a hit list containing a
+// tombstoned id dies the moment the delete's bump lands.
+//
 // The conservative direction (an entry invalidated although its result
 // happens to still be correct) costs a recompute, never correctness. The
-// differential loopback tests interleave Inserts with cached queries and
+// differential loopback tests interleave mutations with cached queries and
 // hold serve-with-cache byte-exact against an uncached engine.
 
 #ifndef LES3_SERVE_RESULT_CACHE_H_

@@ -778,6 +778,40 @@ Response Server::HandleRequest(
       }
       break;
     }
+    case MsgType::kDelete: {
+      // Same locking and epoch protocol as kInsert: every mutation that
+      // changes answers must make stale cache entries unreachable.
+      Status deleted = [&]() -> Status {
+        if (engine_concurrent_insert_) {
+          return engine_->Delete(request.target_id);
+        }
+        std::unique_lock<std::shared_mutex> lock(engine_mu_);
+        return engine_->Delete(request.target_id);
+      }();
+      if (deleted.ok()) {
+        if (cache_) cache_->BumpEpoch();
+      } else {
+        response.status = WireStatusFromCode(deleted.code());
+        response.message = deleted.message();
+      }
+      break;
+    }
+    case MsgType::kUpdate: {
+      Status updated = [&]() -> Status {
+        if (engine_concurrent_insert_) {
+          return engine_->Update(request.target_id, request.queries[0]);
+        }
+        std::unique_lock<std::shared_mutex> lock(engine_mu_);
+        return engine_->Update(request.target_id, request.queries[0]);
+      }();
+      if (updated.ok()) {
+        if (cache_) cache_->BumpEpoch();
+      } else {
+        response.status = WireStatusFromCode(updated.code());
+        response.message = updated.message();
+      }
+      break;
+    }
   }
   return response;
 }

@@ -31,10 +31,11 @@
 //    re-check the budget between queries.
 //  - Result cache: Knn/Range answers are served from a sharded LRU
 //    (serve/result_cache.h) whose global epoch is bumped after every
-//    completed Insert — exactness is preserved, never approximated.
+//    completed mutation (Insert/Delete/Update) — exactness is preserved,
+//    never approximated.
 //  - Engines without the concurrent-insert contract
 //    (SearchEngine::SupportsConcurrentInsert() == false) are guarded by a
-//    reader-writer lock here: queries share, Insert excludes.
+//    reader-writer lock here: queries share, mutations exclude.
 //  - Graceful shutdown: Shutdown() (wired to SIGINT/SIGTERM by the
 //    binary) stops accepting, fast-rejects requests decoded from then on,
 //    drains everything already admitted, flushes every reply, then joins

@@ -15,7 +15,7 @@ constexpr size_t kMaxMessageBytes = 64 * 1024;
 
 bool KnownType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kPing) &&
-         raw <= static_cast<uint8_t>(MsgType::kInsert);
+         raw <= static_cast<uint8_t>(MsgType::kUpdate);
 }
 
 void EncodeSet(SetView set, persist::ByteWriter* out) {
@@ -179,6 +179,14 @@ void EncodeRequest(const Request& request, persist::ByteWriter* out) {
       LES3_CHECK_EQ(request.queries.size(), 1u);
       EncodeSet(request.queries[0], out);
       break;
+    case MsgType::kDelete:
+      out->WriteU32(request.target_id);
+      break;
+    case MsgType::kUpdate:
+      LES3_CHECK_EQ(request.queries.size(), 1u);
+      out->WriteU32(request.target_id);
+      EncodeSet(request.queries[0], out);
+      break;
   }
 }
 
@@ -203,6 +211,9 @@ size_t EncodedOkPayloadSize(const Response& response, MsgType type) {
     case MsgType::kInsert:
       size += 4;
       break;
+    case MsgType::kDelete:
+    case MsgType::kUpdate:
+      break;  // an OK mutation reply is just seq + status
   }
   return size;
 }
@@ -250,6 +261,9 @@ void EncodeResponse(const Response& response, MsgType type,
       break;
     case MsgType::kInsert:
       out->WriteU32(response.inserted_id);
+      break;
+    case MsgType::kDelete:
+    case MsgType::kUpdate:
       break;
   }
 }
@@ -366,6 +380,16 @@ Result<Request> DecodeRequest(const uint8_t* payload, size_t size) {
       request.queries.push_back(std::move(set).ValueOrDie());
       break;
     }
+    case MsgType::kDelete:
+      LES3_RETURN_NOT_OK(in.ReadU32(&request.target_id));
+      break;
+    case MsgType::kUpdate: {
+      LES3_RETURN_NOT_OK(in.ReadU32(&request.target_id));
+      auto set = DecodeSet(&in);
+      if (!set.ok()) return set.status();
+      request.queries.push_back(std::move(set).ValueOrDie());
+      break;
+    }
   }
   if (!in.AtEnd()) {
     return Status::InvalidArgument(
@@ -425,6 +449,9 @@ Result<Response> DecodeResponse(const uint8_t* payload, size_t size,
     }
     case MsgType::kInsert:
       LES3_RETURN_NOT_OK(in.ReadU32(&response.inserted_id));
+      break;
+    case MsgType::kDelete:
+    case MsgType::kUpdate:
       break;
   }
   if (!in.AtEnd()) {

@@ -55,6 +55,8 @@ enum class MsgType : uint8_t {
   kKnnBatch = 5,   // kNN for N queries, one shared k
   kRangeBatch = 6, // range for N queries, one shared delta
   kInsert = 7,     // insert one set, returns its global id
+  kDelete = 8,     // tombstone one set by id
+  kUpdate = 9,     // replace one set's content, keeping its id
 };
 
 /// Typed reply status. 0-9 mirror les3::StatusCode value for value
@@ -85,9 +87,10 @@ struct Request {
   uint32_t deadline_ms = 0;  // budget from arrival; 0 = unbounded
   uint32_t k = 0;            // kKnn / kKnnBatch
   double delta = 0.0;        // kRange / kRangeBatch
-  /// One entry for kKnn/kRange/kInsert, N for the batch types, empty for
-  /// kPing/kDescribe. Tokens are sorted non-descending (the codec rejects
-  /// anything else; multiset duplicates are legal).
+  SetId target_id = 0;       // kDelete / kUpdate: the set being mutated
+  /// One entry for kKnn/kRange/kInsert/kUpdate, N for the batch types,
+  /// empty for kPing/kDescribe/kDelete. Tokens are sorted non-descending
+  /// (the codec rejects anything else; multiset duplicates are legal).
   std::vector<SetRecord> queries;
 };
 

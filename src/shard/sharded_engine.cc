@@ -30,10 +30,14 @@ ShardedEngine::ShardedEngine(std::shared_ptr<SetDatabase> db,
       from_snapshot_(from_snapshot) {
   auto locals = SplitDb(global_db_, num_shards);
   shards_.reserve(num_shards);
+  activities_.reserve(num_shards);
   for (auto& local : locals) {
     auto s = std::make_unique<Shard>();
     s->db = std::move(local);
     shards_.push_back(std::move(s));
+    // Grown to the shard's group count once its index exists; the vector
+    // itself is never resized again, so queries index it lock-free.
+    activities_.push_back(std::make_unique<search::GroupActivity>());
   }
 }
 
@@ -48,7 +52,11 @@ std::vector<std::shared_ptr<SetDatabase>> ShardedEngine::SplitDb(
   }
   for (auto& local : locals) local = std::make_shared<SetDatabase>();
   for (SetId gid = 0; gid < db->size(); ++gid) {
-    locals[gid % num_shards]->AddSet(db->set(gid));
+    SetId local = locals[gid % num_shards]->AddSet(db->set(gid));
+    // Tombstones survive the split (a reopened flagged snapshot): the
+    // deleted entry occupies its local id so the arithmetic mapping
+    // holds, and the slice's live count matches its share of the global.
+    if (db->is_deleted(gid)) locals[gid % num_shards]->DeleteSet(local);
   }
   return locals;
 }
@@ -93,12 +101,14 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Build(
   if (num_shards == 1) {
     engine->shards_[0]->index = std::make_unique<search::Les3Index>(
         search::BuildIndexOverShared(engine->shards_[0]->db, build));
+    engine->activities_[0]->Grow(engine->shards_[0]->index->tgm().num_groups());
     return engine;
   }
   ThreadPool build_pool(std::min(num_shards, hw));
   build_pool.ParallelFor(num_shards, [&](size_t s) {
     engine->shards_[s]->index = std::make_unique<search::Les3Index>(
         search::BuildIndexOverShared(engine->shards_[s]->db, build));
+    engine->activities_[s]->Grow(engine->shards_[s]->index->tgm().num_groups());
   });
   return engine;
 }
@@ -114,6 +124,7 @@ std::unique_ptr<ShardedEngine> ShardedEngine::FromSnapshot(
     engine->shards_[s]->index = std::make_unique<search::Les3Index>(
         engine->shards_[s]->db, std::move(snapshot.shards[s].tgm),
         snapshot.meta.measure);
+    engine->activities_[s]->Grow(engine->shards_[s]->index->tgm().num_groups());
   }
   return engine;
 }
@@ -139,10 +150,16 @@ ShardedEngine::Probe ShardedEngine::RunProbe(
 
 ShardedEngine::Probe ShardedEngine::ProbeKnn(size_t s, SetView query,
                                              size_t k) const {
+  // The group-visit hook feeds the maintenance priorities: relaxed
+  // atomic adds under the shard reader lock, contention-free with other
+  // probes.
   return RunProbe(s,
                   [&](const search::Les3Index& index,
                       search::QueryStats* stats) {
-                    return index.Knn(query, k, stats);
+                    return index.Knn(query, k, stats,
+                                     [this, s](GroupId g, size_t candidates) {
+                                       activities_[s]->Observe(g, candidates);
+                                     });
                   });
 }
 
@@ -152,7 +169,10 @@ ShardedEngine::Probe ShardedEngine::ProbeRange(size_t s,
   return RunProbe(s,
                   [&](const search::Les3Index& index,
                       search::QueryStats* stats) {
-                    return index.Range(query, delta, stats);
+                    return index.Range(query, delta, stats,
+                                       [this, s](GroupId g, size_t candidates) {
+                                         activities_[s]->Observe(g, candidates);
+                                       });
                   });
 }
 
@@ -302,6 +322,89 @@ Result<SetId> ShardedEngine::Insert(SetRecord set) {
   return gid;
 }
 
+Status ShardedEngine::Delete(SetId id) {
+  const size_t num_shards = shards_.size();
+  // Same protocol as Insert: insert_mu_ serializes global-db mutation
+  // and the validity check, the shard writer lock covers the index.
+  std::lock_guard<std::mutex> global_lock(insert_mu_);
+  if (id >= global_db_->size() || global_db_->is_deleted(id)) {
+    return Status::NotFound("no live set with id " + std::to_string(id));
+  }
+  Shard& sh = *shards_[id % num_shards];
+  std::unique_lock<std::shared_mutex> shard_lock(sh.mu);
+  if (num_shards == 1) {
+    // The slice IS the global database; the index delete tombstones both.
+    if (!sh.index->Delete(id)) {
+      return Status::Internal("shard delete failed for id " +
+                              std::to_string(id));
+    }
+    return Status::OK();
+  }
+  if (!sh.index->Delete(id / num_shards)) {
+    return Status::Internal("shard delete failed for id " +
+                            std::to_string(id));
+  }
+  global_db_->DeleteSet(id);
+  return Status::OK();
+}
+
+Status ShardedEngine::Update(SetId id, SetRecord set) {
+  const size_t num_shards = shards_.size();
+  std::lock_guard<std::mutex> global_lock(insert_mu_);
+  if (id >= global_db_->size() || global_db_->is_deleted(id)) {
+    return Status::NotFound("no live set with id " + std::to_string(id));
+  }
+  Shard& sh = *shards_[id % num_shards];
+  std::unique_lock<std::shared_mutex> shard_lock(sh.mu);
+  if (num_shards > 1) global_db_->ReplaceSet(id, set);
+  const SetId local = num_shards == 1 ? id : id / num_shards;
+  if (!sh.index->Update(local, std::move(set))) {
+    return Status::Internal("shard update failed for id " +
+                            std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const SetDatabase> ShardedEngine::StableDb() const {
+  // Every mutating op holds insert_mu_ while it touches global_db_, so a
+  // copy taken under it is a consistent point-in-time view. O(|D|), by
+  // design — the race-free read path trades a copy for zero overhead on
+  // the mutation path.
+  std::lock_guard<std::mutex> global_lock(insert_mu_);
+  return std::make_shared<const SetDatabase>(*global_db_);
+}
+
+void ShardedEngine::StartMaintenance(
+    const search::MaintenanceOptions& options) {
+  if (maintenance_ != nullptr) return;
+  maintenance_options_ = options;
+  maintenance_ = std::make_unique<search::MaintenanceThread>(
+      [this] {
+        // One shard per wake, round-robin: the writer-lock critical
+        // section stays bounded and queries on other shards never wait.
+        const size_t s =
+            maintenance_cursor_.fetch_add(1, std::memory_order_relaxed) %
+            shards_.size();
+        return MaintainShard(s);
+      },
+      options.interval);
+}
+
+void ShardedEngine::StopMaintenance() { maintenance_.reset(); }
+
+search::MaintenanceReport ShardedEngine::MaintainNow() {
+  search::MaintenanceReport total;
+  for (size_t s = 0; s < shards_.size(); ++s) total += MaintainShard(s);
+  return total;
+}
+
+search::MaintenanceReport ShardedEngine::MaintainShard(size_t s) {
+  Shard& sh = *shards_[s];
+  std::unique_lock<std::shared_mutex> lock(sh.mu);
+  return search::MaintainIndexOnce(sh.index.get(), maintenance_options_,
+                                   activities_[s].get());
+}
+
 Status ShardedEngine::Save(const std::string& path) const {
   std::lock_guard<std::mutex> global_lock(insert_mu_);
   std::vector<std::shared_lock<std::shared_mutex>> locks;
@@ -312,9 +415,14 @@ Status ShardedEngine::Save(const std::string& path) const {
   meta.measure = measure_;
   meta.bitmap_backend = bitmap_backend_;
   std::vector<const tgm::Tgm*> tgms;
+  std::vector<const SetDatabase*> dbs;
   tgms.reserve(shards_.size());
-  for (const auto& sh : shards_) tgms.push_back(&sh->index->tgm());
-  return persist::SaveShardedSnapshot(path, meta, *global_db_, tgms);
+  dbs.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    tgms.push_back(&sh->index->tgm());
+    dbs.push_back(sh->db.get());
+  }
+  return persist::SaveShardedSnapshot(path, meta, *global_db_, tgms, dbs);
 }
 
 uint64_t ShardedEngine::IndexBytes() const {
@@ -341,6 +449,16 @@ std::string ShardedEngine::Describe() const {
     s += ", snapshot=v" + std::to_string(persist::kSnapshotVersionSharded);
   }
   s += ")";
+  {
+    // Population counters live in the global database; insert_mu_ is the
+    // lock that guards it (taken after the shard locks above are
+    // released, so there is no ordering inversion).
+    std::lock_guard<std::mutex> global_lock(insert_mu_);
+    if (global_db_->num_deleted() > 0) {
+      s += " [live=" + std::to_string(global_db_->num_live()) +
+           ", deleted=" + std::to_string(global_db_->num_deleted()) + "]";
+    }
+  }
   return s;
 }
 

@@ -13,12 +13,18 @@
 //    HitOrder, so the global answer is exact (ids, similarities, order,
 //    ties included) even when a shard holds fewer than k sets. Range
 //    concatenates the per-shard exact answers and re-sorts.
-//  - Updates: Insert routes the new set to exactly one shard, taking that
-//    shard's writer lock only — queries on every shard (including the one
-//    being written, via its std::shared_mutex) stay safe concurrently.
-//    This upgrades the engine-wide thread-safety contract: on this
-//    backend, Insert IS safe concurrently with Knn/Range and with other
-//    Inserts.
+//  - Mutations: Insert/Delete/Update route to exactly one shard, taking
+//    that shard's writer lock only — queries on every shard (including
+//    the one being written, via its std::shared_mutex) stay safe
+//    concurrently. This upgrades the engine-wide thread-safety contract:
+//    on this backend, every mutating op IS safe concurrently with
+//    Knn/Range and with other mutations.
+//  - Self-healing: an optional background maintenance thread
+//    (search/maintenance.h) rotates across shards, splitting overgrown
+//    groups and dropping the stale column bits deletes leave behind, so
+//    pruning quality stays bounded under sustained mutation without a
+//    rebuild. Queries feed it per-group activity through the verifier's
+//    group-visit hook.
 //
 // Id mapping is arithmetic, not tabulated: shard s holds the global ids
 // {s, s+S, s+2S, ...} in order, so local id l in shard s is global id
@@ -33,6 +39,7 @@
 #ifndef LES3_SHARD_SHARDED_ENGINE_H_
 #define LES3_SHARD_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -44,6 +51,7 @@
 #include "api/search_engine.h"
 #include "persist/snapshot.h"
 #include "search/les3_index.h"
+#include "search/maintenance.h"
 
 namespace les3 {
 namespace shard {
@@ -77,9 +85,31 @@ class ShardedEngine : public api::SearchEngine {
   /// queries on every shard and with other Inserts.
   Result<SetId> Insert(SetRecord set) override;
 
-  /// The per-shard reader-writer locks make concurrent Insert + query the
-  /// contract on this backend (file comment above).
+  /// Tombstones global id `id` in its shard (writer lock on that shard
+  /// only) and in the global database. Same concurrency contract as
+  /// Insert: safe with queries everywhere and with other mutations.
+  Status Delete(SetId id) override;
+
+  /// Replaces global id `id` in place, re-routing it through Section 6
+  /// insertion inside its shard. Same concurrency contract as Insert.
+  Status Update(SetId id, SetRecord set) override;
+
+  /// The per-shard reader-writer locks make concurrent mutation + query
+  /// the contract on this backend (file comment above).
   bool SupportsConcurrentInsert() const override { return true; }
+
+  /// Starts the background maintenance thread (no-op if already running).
+  /// Each wake maintains ONE shard (round-robin) under that shard's
+  /// writer lock, so a cycle never stalls queries on other shards.
+  void StartMaintenance(const search::MaintenanceOptions& options);
+
+  /// Stops and joins the maintenance thread; idempotent.
+  void StopMaintenance();
+
+  /// Runs one synchronous maintenance cycle over EVERY shard — the
+  /// deterministic entry point for tests and benchmarks. Safe while the
+  /// background thread runs (shard locks serialize the cycles).
+  search::MaintenanceReport MaintainNow();
 
   /// Writes a v2 sharded snapshot. Takes every shard lock, so it is safe
   /// concurrently with queries and Inserts (they wait).
@@ -88,13 +118,20 @@ class ShardedEngine : public api::SearchEngine {
   uint64_t IndexBytes() const override;
   std::string Describe() const override;
 
-  /// The global database. NOT safe to read concurrently with Insert
-  /// (queries never touch it; they read the per-shard slices). At 2+
-  /// shards the slices are copies, so set storage is held twice — the
-  /// global view serves db()/Save and the id assignment; see the
-  /// trade-offs section of docs/sharding.md. IndexBytes() reports index
-  /// structures only, as on every backend.
+  /// The global database. NOT safe to read concurrently with mutations
+  /// (queries never touch it; they read the per-shard slices) — use
+  /// StableDb() when writers may be live. At 2+ shards the slices are
+  /// copies, so set storage is held twice — the global view serves
+  /// db()/Save and the id assignment; see the trade-offs section of
+  /// docs/sharding.md. IndexBytes() reports index structures only, as on
+  /// every backend.
   const SetDatabase& db() const override { return *global_db_; }
+
+  /// Race-free database view: a deep copy of the global database taken
+  /// under the mutation lock (O(|D|) — every mutating op holds insert_mu_,
+  /// so the copy observes a consistent prefix). This is the supported way
+  /// to read the database while Insert/Delete/Update run concurrently.
+  std::shared_ptr<const SetDatabase> StableDb() const override;
 
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
@@ -156,14 +193,28 @@ class ShardedEngine : public api::SearchEngine {
   api::QueryResult MergeKnn(std::vector<Probe> probes, size_t k) const;
   api::QueryResult MergeRange(std::vector<Probe> probes) const;
 
+  /// One bounded maintenance cycle on shard `s`, under its writer lock.
+  search::MaintenanceReport MaintainShard(size_t s);
+
   std::shared_ptr<SetDatabase> global_db_;
   std::vector<std::unique_ptr<Shard>> shards_;
   SimilarityMeasure measure_;
   bitmap::BitmapBackend bitmap_backend_;
   bool from_snapshot_;
-  /// Serializes global-id assignment and global_db_ growth across
-  /// concurrent Inserts; always acquired before any shard lock.
+  /// Serializes global-id assignment and global_db_ mutation across
+  /// concurrent Insert/Delete/Update (and StableDb copies); always
+  /// acquired before any shard lock.
   mutable std::mutex insert_mu_;
+  /// Per-shard query-activity counters (sized with shards_, never
+  /// resized) feeding maintenance priorities; written from queries under
+  /// the shard reader lock via relaxed atomics.
+  std::vector<std::unique_ptr<search::GroupActivity>> activities_;
+  search::MaintenanceOptions maintenance_options_;
+  /// Round-robin shard cursor for the background thread.
+  std::atomic<size_t> maintenance_cursor_{0};
+  /// Declared last so it is destroyed (and joined) before the shards it
+  /// walks. StopMaintenance() in the destructor path makes this explicit.
+  std::unique_ptr<search::MaintenanceThread> maintenance_;
 };
 
 }  // namespace shard

@@ -51,7 +51,7 @@ DiskQueryResult DiskLes3::Knn(SetView query, size_t k) const {
   // read of its contiguous extent. Groups the size window empties are not
   // fetched at all — the filter saves I/O here, not just CPU.
   search::CandidateVerifier verifier(&tgm_, db_, measure_);
-  result.hits = verifier.Knn(query, k, &result.stats, [&](GroupId g) {
+  result.hits = verifier.Knn(query, k, &result.stats, [&](GroupId g, size_t) {
     const Extent& extent = layout_.group_extent(g);
     sim.Read(extent.offset, extent.bytes);
   });
@@ -63,7 +63,7 @@ DiskQueryResult DiskLes3::Range(SetView query, double delta) const {
   DiskQueryResult result;
   DiskSimulator sim(disk_);
   search::CandidateVerifier verifier(&tgm_, db_, measure_);
-  result.hits = verifier.Range(query, delta, &result.stats, [&](GroupId g) {
+  result.hits = verifier.Range(query, delta, &result.stats, [&](GroupId g, size_t) {
     const Extent& extent = layout_.group_extent(g);
     sim.Read(extent.offset, extent.bytes);
   });

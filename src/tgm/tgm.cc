@@ -40,6 +40,7 @@ Tgm::Tgm(const SetDatabase& db, const std::vector<GroupId>& assignment,
   }
   OrderMembersBySize([&](SetId id) { return db.set_size(id); });
   for (const auto& m : members_) nonempty_groups_ += !m.empty();
+  group_dirt_.assign(num_groups, 0);
   // Build columns via per-token sorted group lists (bulk build).
   std::vector<std::vector<GroupId>> token_groups(db.num_tokens());
   for (SetId i = 0; i < db.size(); ++i) {
@@ -167,8 +168,7 @@ size_t Tgm::UpperBounds(SetView query, SimilarityMeasure measure,
   return visited;
 }
 
-GroupId Tgm::AddSet(SetId id, SetView set, SimilarityMeasure measure) {
-  LES3_CHECK_EQ(id, group_of_.size());  // sets must be appended in order
+GroupId Tgm::RouteBestGroup(SetView set, SimilarityMeasure measure) const {
   // Stage 1 (Section 6): find the best group by UB over the known tokens;
   // ties (and the all-new-tokens case) go to the smallest group.
   std::vector<uint32_t> counts;
@@ -183,18 +183,27 @@ GroupId Tgm::AddSet(SetId id, SetView set, SimilarityMeasure measure) {
       best = g;
     }
   }
-  // Stage 2: splice the member into its group's (size, id) order — the new
-  // id is the largest, so the slot after the last equal-or-smaller size
-  // preserves the invariant — and set M[best, t] = 1, growing columns for
-  // unseen tokens.
-  if (members_[best].empty()) ++nonempty_groups_;
-  const uint32_t size = static_cast<uint32_t>(set.size());
-  auto& sizes = member_sizes_[best];
-  size_t pos = std::upper_bound(sizes.begin(), sizes.end(), size) -
-               sizes.begin();
+  return best;
+}
+
+void Tgm::InsertMember(GroupId g, SetId id, uint32_t size) {
+  if (members_[g].empty()) ++nonempty_groups_;
+  auto& sizes = member_sizes_[g];
+  auto& ids = members_[g];
+  // Splice at the exact (size, id) position: within an equal-size run ids
+  // are ascending, so bound the run first, then the id slot inside it.
+  size_t lo = static_cast<size_t>(
+      std::lower_bound(sizes.begin(), sizes.end(), size) - sizes.begin());
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(sizes.begin() + lo, sizes.end(), size) -
+      sizes.begin());
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(ids.begin() + lo, ids.begin() + hi, id) - ids.begin());
   sizes.insert(sizes.begin() + pos, size);
-  members_[best].insert(members_[best].begin() + pos, id);
-  group_of_.push_back(best);
+  ids.insert(ids.begin() + pos, id);
+}
+
+void Tgm::AddColumnBits(GroupId g, SetView set) {
   TokenId prev = static_cast<TokenId>(-1);
   for (TokenId t : set) {
     if (t == prev) continue;
@@ -202,9 +211,85 @@ GroupId Tgm::AddSet(SetId id, SetView set, SimilarityMeasure measure) {
     if (t >= columns_.size()) {
       columns_.resize(t + 1, bitmap::BitmapColumn(bitmap_backend_));
     }
-    columns_[t].Add(best);
+    columns_[t].Add(g);
   }
+}
+
+GroupId Tgm::AddSet(SetId id, SetView set, SimilarityMeasure measure) {
+  LES3_CHECK_EQ(id, group_of_.size());  // new ids are appended in order
+  group_of_.push_back(kInvalidGroup);
+  return ReinsertSet(id, set, measure);
+}
+
+GroupId Tgm::ReinsertSet(SetId id, SetView set, SimilarityMeasure measure) {
+  LES3_CHECK_LT(id, group_of_.size());
+  LES3_CHECK_EQ(group_of_[id], kInvalidGroup);  // must be removed first
+  GroupId best = RouteBestGroup(set, measure);
+  InsertMember(best, id, static_cast<uint32_t>(set.size()));
+  group_of_[id] = best;
+  AddColumnBits(best, set);
   return best;
+}
+
+bool Tgm::RemoveSet(SetId id, uint32_t size) {
+  if (id >= group_of_.size() || group_of_[id] == kInvalidGroup) return false;
+  const GroupId g = group_of_[id];
+  auto& sizes = member_sizes_[g];
+  auto& ids = members_[g];
+  size_t lo = static_cast<size_t>(
+      std::lower_bound(sizes.begin(), sizes.end(), size) - sizes.begin());
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(sizes.begin() + lo, sizes.end(), size) -
+      sizes.begin());
+  auto idit = std::lower_bound(ids.begin() + lo, ids.begin() + hi, id);
+  if (idit == ids.begin() + hi || *idit != id) {
+    return false;  // caller passed a stale size; refuse rather than corrupt
+  }
+  size_t pos = static_cast<size_t>(idit - ids.begin());
+  ids.erase(idit);
+  sizes.erase(sizes.begin() + pos);
+  group_of_[id] = kInvalidGroup;
+  if (ids.empty()) --nonempty_groups_;
+  ++group_dirt_[g];
+  return true;
+}
+
+GroupId Tgm::SplitGroup(GroupId g, const SetDatabase& db) {
+  if (members_[g].size() < 2) return kInvalidGroup;
+  const size_t mid = members_[g].size() / 2;
+  const GroupId g2 = num_groups();
+  // emplace_back may reallocate members_/member_sizes_; index afterwards.
+  members_.emplace_back(members_[g].begin() + mid, members_[g].end());
+  member_sizes_.emplace_back(member_sizes_[g].begin() + mid,
+                             member_sizes_[g].end());
+  group_dirt_.push_back(0);
+  members_[g].resize(mid);
+  member_sizes_[g].resize(mid);
+  ++nonempty_groups_;  // both halves are non-empty (1 <= mid < old size)
+  for (size_t i = 0; i < members_[g2].size(); ++i) {
+    const SetId id = members_[g2][i];
+    group_of_[id] = g2;
+    AddColumnBits(g2, db.set(id));
+  }
+  // The source group's bits for tokens exclusive to the moved members are
+  // now stale; charge them so maintenance recomputes g eventually.
+  group_dirt_[g] += static_cast<uint32_t>(members_[g2].size());
+  return g2;
+}
+
+size_t Tgm::RecomputeGroupColumns(GroupId g, const SetDatabase& db) {
+  // Exact token set of the group's live members. Every member token was
+  // added to a column at insert time, so t < columns_.size() throughout.
+  std::vector<uint8_t> needed(columns_.size(), 0);
+  for (SetId id : members_[g]) {
+    for (TokenId t : db.set(id)) needed[t] = 1;
+  }
+  size_t dropped = 0;
+  for (TokenId t = 0; t < columns_.size(); ++t) {
+    if (!needed[t]) dropped += columns_[t].Remove(g);
+  }
+  group_dirt_[g] = 0;
+  return dropped;
 }
 
 void Tgm::RunOptimize() {
@@ -237,6 +322,36 @@ void Tgm::SerializeColumns(persist::ByteWriter* writer) const {
   for (const auto& col : columns_) col.Serialize(writer);
 }
 
+void Tgm::SerializeCompactedColumns(const SetDatabase& db,
+                                    persist::ByteWriter* writer) const {
+  // Same bulk build as the constructor, driven off the live membership:
+  // deleted ids are absent from members_, so their tokens contribute no
+  // bits and every stale bit is dropped from the serialized form.
+  std::vector<std::vector<GroupId>> token_groups(db.num_tokens());
+  for (GroupId g = 0; g < members_.size(); ++g) {
+    for (SetId id : members_[g]) {
+      TokenId prev = static_cast<TokenId>(-1);
+      for (TokenId t : db.set(id)) {
+        if (t == prev) continue;
+        prev = t;
+        token_groups[t].push_back(g);
+      }
+    }
+  }
+  writer->WriteU8(static_cast<uint8_t>(bitmap_backend_));
+  writer->WriteU32(static_cast<uint32_t>(token_groups.size()));
+  for (auto& groups : token_groups) {
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    bitmap::BitmapColumn col = bitmap::BitmapColumn::FromSorted(
+        bitmap_backend_, std::vector<uint32_t>(groups.begin(), groups.end()));
+    col.RunOptimize();  // the build pipeline run-optimizes; keep parity
+    col.Serialize(writer);
+    groups.clear();
+    groups.shrink_to_fit();
+  }
+}
+
 Result<Tgm> Tgm::Deserialize(const std::vector<GroupId>& assignment,
                              uint32_t num_groups,
                              const std::vector<uint32_t>& set_sizes,
@@ -257,6 +372,7 @@ Result<Tgm> Tgm::Deserialize(const std::vector<GroupId>& assignment,
   tgm.members_.resize(num_groups);
   tgm.group_of_ = assignment;
   for (SetId i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == kInvalidGroup) continue;  // tombstoned id (v3)
     if (assignment[i] >= num_groups) {
       return Status::OutOfRange(
           "assignment entry " + std::to_string(assignment[i]) +
@@ -266,6 +382,7 @@ Result<Tgm> Tgm::Deserialize(const std::vector<GroupId>& assignment,
   }
   tgm.OrderMembersBySize([&](SetId id) { return set_sizes[id]; });
   for (const auto& m : tgm.members_) tgm.nonempty_groups_ += !m.empty();
+  tgm.group_dirt_.assign(num_groups, 0);
 
   uint8_t backend_tag = 0;
   LES3_RETURN_NOT_OK(reader->ReadU8(&backend_tag));

@@ -21,6 +21,17 @@
 // highest similarity upper bound (ties -> smallest group) and extends the
 // matrix, growing new columns when previously unseen tokens appear and
 // splicing the member into its group's size order.
+//
+// Mutation (docs/mutability.md): RemoveSet physically erases the member
+// from its group's run — so verification, MatchedCandidates harvesting and
+// the zero-count backfill can never see (or resurrect) a deleted id — and
+// parks group_of_[id] at kInvalidGroup. Column bits are NOT cleared on the
+// mutation path: a stale bit only over-approximates a group's matched
+// count, which keeps every upper bound admissible (exactness is
+// unaffected; only pruning quality degrades). Each group's stale-bit debt
+// is tracked in a dirt counter; the maintenance layer
+// (search/maintenance.h) calls RecomputeGroupColumns / SplitGroup to pay
+// it down incrementally, and snapshot save compacts all columns at once.
 
 #ifndef LES3_TGM_TGM_H_
 #define LES3_TGM_TGM_H_
@@ -151,6 +162,50 @@ class Tgm {
   /// `id`) per Section 6; returns the chosen group.
   GroupId AddSet(SetId id, SetView set, SimilarityMeasure measure);
 
+  /// \brief Removes set `id` from its group. `size` is the set's size at
+  /// insert time (the caller reads db.set_size(id) before tombstoning the
+  /// database entry); it keys the O(log |G|) binary search into the
+  /// (size, id)-ordered member run. group_of(id) becomes kInvalidGroup and
+  /// the group's dirt counter is charged one stale-bit debt. Returns false
+  /// when `id` is unknown or already removed.
+  bool RemoveSet(SetId id, uint32_t size);
+
+  /// \brief Re-routes a previously removed id with new content (Update
+  /// keeps the id stable). Requires group_of(id) == kInvalidGroup. Same
+  /// Section 6 routing as AddSet; the member is spliced at its exact
+  /// (size, id) position since a reinserted id need not be the largest.
+  GroupId ReinsertSet(SetId id, SetView set, SimilarityMeasure measure);
+
+  /// Stale-bit debt of group `g`: members removed (or moved out by a
+  /// split) since its columns were last recomputed. Monotone between
+  /// RecomputeGroupColumns calls; the maintenance policy triggers on the
+  /// ratio of dirt to live size.
+  uint32_t group_dirt(GroupId g) const { return group_dirt_[g]; }
+
+  /// Total stale-bit debt across groups. Zero means the in-memory columns
+  /// are exact (no bit without a live member behind it), so snapshot save
+  /// can serialize them as-is instead of compacting.
+  uint64_t TotalDirt() const {
+    uint64_t total = 0;
+    for (uint32_t d : group_dirt_) total += d;
+    return total;
+  }
+
+  /// \brief Splits group `g` at its size median: the upper half of the
+  /// (size, id)-ordered member run moves to a new group appended at
+  /// num_groups(). Column bits for the new group are built from the moved
+  /// members' tokens (read from `db`); the source group's bits for those
+  /// tokens become stale debt. Both halves stay (size, id)-ordered.
+  /// Returns the new group id, or kInvalidGroup when |G_g| < 2.
+  GroupId SplitGroup(GroupId g, const SetDatabase& db);
+
+  /// \brief Drops group `g`'s stale column bits: recomputes the exact
+  /// token set of its live members from `db` and removes the bit g from
+  /// every column not in it. O(num_token_columns) — a background
+  /// maintenance cost, never on the query path. Resets the dirt counter.
+  /// Returns the number of bits dropped.
+  size_t RecomputeGroupColumns(GroupId g, const SetDatabase& db);
+
   /// Compresses columns with run encoding where beneficial (Roaring
   /// backend only; the dense backend is already fixed-shape).
   void RunOptimize();
@@ -175,14 +230,24 @@ class Tgm {
   /// columns. `set_sizes` holds the database's set sizes parallel to
   /// `assignment` (the decoder reads them off the already-loaded DB chunk)
   /// so membership lists come back in the same (size, id) order the
-  /// building constructor produces. Validates that every assignment entry
-  /// is < `num_groups` and every column value is < `num_groups`
-  /// (membership arrays and count kernels index by those values);
-  /// malformed input returns a Status.
+  /// building constructor produces. A kInvalidGroup entry is a tombstoned
+  /// id (tombstone-flagged snapshots persist holes that way) and joins no
+  /// group; every
+  /// other assignment entry must be < `num_groups`, and every column value
+  /// must be < `num_groups` (membership arrays and count kernels index by
+  /// those values); malformed input returns a Status.
   static Result<Tgm> Deserialize(const std::vector<GroupId>& assignment,
                                  uint32_t num_groups,
                                  const std::vector<uint32_t>& set_sizes,
                                  persist::ByteReader* reader);
+
+  /// \brief SerializeColumns variant for save-time compaction: serializes
+  /// columns rebuilt from the live members only — exactly what a fresh
+  /// build over the same live assignment would produce, with every stale
+  /// bit dropped — without mutating this matrix. The column count is
+  /// db.num_tokens(), matching the building constructor.
+  void SerializeCompactedColumns(const SetDatabase& db,
+                                 persist::ByteWriter* writer) const;
 
  private:
   /// Re-sorts every group's members by (size, id) and (re)builds the
@@ -190,11 +255,22 @@ class Tgm {
   template <typename SizeFn>
   void OrderMembersBySize(const SizeFn& size_of);
 
+  /// Section 6 stage 1: best group by UB (ties -> smallest group).
+  GroupId RouteBestGroup(SetView set, SimilarityMeasure measure) const;
+
+  /// Splices (id, size) at its (size, id) position in group g's run.
+  void InsertMember(GroupId g, SetId id, uint32_t size);
+
+  /// Sets M[g, t] = 1 for every distinct token of `set`, growing columns
+  /// for unseen tokens.
+  void AddColumnBits(GroupId g, SetView set);
+
   bitmap::BitmapBackend bitmap_backend_;
   std::vector<bitmap::BitmapColumn> columns_;  // per token: groups with it
   std::vector<std::vector<SetId>> members_;    // per group, (size, id) order
   std::vector<std::vector<uint32_t>> member_sizes_;  // parallel to members_
   std::vector<GroupId> group_of_;
+  std::vector<uint32_t> group_dirt_;  // per group, stale-bit debt
   uint32_t nonempty_groups_ = 0;
 };
 

@@ -295,6 +295,195 @@ TEST(PropertyTest, ReloadedSnapshotAgreesExactlyWithOriginal) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Mutation leg: any deterministic interleaving of Insert / Delete / Update
+// / Knn / Range must keep every mutable backend in exact agreement — ids,
+// similarities, order, ties — with the brute-force oracle replaying the
+// SAME mutation sequence. Each engine owns a private copy of the corpus
+// (mutations must not leak across engines through a shared database), and
+// after the interleaving the mutated engines are saved (compaction +
+// tombstone flag) and reopened, and the reopened engines are held to the
+// same oracle.
+
+struct MutableEngine {
+  std::string label;
+  std::unique_ptr<SearchEngine> engine;
+};
+
+std::vector<MutableEngine> MakeMutableEngines(const SetDatabase& base,
+                                              SimilarityMeasure measure) {
+  std::vector<MutableEngine> engines;
+  auto add = [&](const std::string& label, const std::string& backend,
+                 EngineOptions options) {
+    auto built = EngineBuilder::Build(std::make_shared<SetDatabase>(base),
+                                      backend, options);
+    EXPECT_TRUE(built.ok()) << label << ": " << built.status().ToString();
+    if (built.ok()) engines.push_back({label, std::move(built).ValueOrDie()});
+  };
+  add("les3", "les3", FastOptions(measure));
+  {
+    EngineOptions dense = FastOptions(measure);
+    dense.bitmap_backend = bitmap::BitmapBackend::kBitVector;
+    add("les3+bitvector", "les3", dense);
+  }
+  {
+    EngineOptions sharded = FastOptions(measure);
+    sharded.num_shards = 3;
+    add("sharded_les3+3shards", "sharded_les3", sharded);
+  }
+  return engines;
+}
+
+TEST(PropertyTest, MutationInterleavingsMatchBruteForceExactly) {
+  const size_t num_ops = FullSweep() ? 200 : 90;
+  std::vector<size_t> ks = {1, 3, 10};
+  std::vector<double> deltas = {0.25, 0.5, 0.8};
+  size_t snapshot_id = 0;
+  for (auto& regime : MakeRegimes()) {
+    SetDatabase base = std::move(regime.db);
+    const uint32_t universe = base.num_tokens();
+    for (SimilarityMeasure measure : MakeMeasures()) {
+      auto oracle = EngineBuilder::Build(std::make_shared<SetDatabase>(base),
+                                         "brute_force", FastOptions(measure));
+      ASSERT_TRUE(oracle.ok());
+      std::vector<MutableEngine> engines = MakeMutableEngines(base, measure);
+      ASSERT_EQ(engines.size(), 3u);
+
+      Rng rng(91 + static_cast<uint64_t>(measure));
+      auto random_set = [&](size_t min_tokens) {
+        std::vector<TokenId> tokens;
+        size_t n = min_tokens + rng.Uniform(10);
+        for (size_t j = 0; j < n; ++j) {
+          tokens.push_back(static_cast<TokenId>(rng.Uniform(universe + 10)));
+        }
+        return SetRecord::FromTokens(std::move(tokens));
+      };
+      auto check_queries = [&](const std::string& when) {
+        std::vector<SetRecord> queries;
+        for (int i = 0; i < 4; ++i) queries.push_back(random_set(1));
+        queries.push_back(SetRecord::FromTokens({}));
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          const SetRecord& q = queries[qi];
+          for (size_t k : ks) {
+            auto expected = oracle.value()->Knn(q, k);
+            for (const auto& e : engines) {
+              ExpectExactHits(expected.hits, e.engine->Knn(q, k).hits,
+                              regime.name + "/" + ToString(measure) + "/" +
+                                  e.label + "/" + when +
+                                  "/knn k=" + std::to_string(k) +
+                                  " q=" + std::to_string(qi));
+            }
+          }
+          for (double delta : deltas) {
+            auto expected = oracle.value()->Range(q, delta);
+            for (const auto& e : engines) {
+              ExpectExactHits(expected.hits,
+                              e.engine->Range(q, delta).hits,
+                              regime.name + "/" + ToString(measure) + "/" +
+                                  e.label + "/" + when +
+                                  "/range d=" + std::to_string(delta) +
+                                  " q=" + std::to_string(qi));
+            }
+          }
+        }
+      };
+
+      for (size_t op = 0; op < num_ops; ++op) {
+        const uint32_t kind = rng.Uniform(5);
+        const std::string at = "op" + std::to_string(op);
+        if (kind == 0) {
+          SetRecord novel = random_set(1);
+          auto expected_id = oracle.value()->Insert(novel);
+          ASSERT_TRUE(expected_id.ok());
+          for (const auto& e : engines) {
+            auto id = e.engine->Insert(novel);
+            ASSERT_TRUE(id.ok()) << e.label << " " << at;
+            // Ids are assigned identically (append-only id space).
+            EXPECT_EQ(expected_id.value(), id.value()) << e.label << " " << at;
+          }
+        } else if (kind == 1) {
+          // Random target: sometimes live, sometimes already tombstoned —
+          // every engine must agree on the verdict, not just the data.
+          SetId target =
+              static_cast<SetId>(rng.Uniform(oracle.value()->db().size() + 3));
+          const bool expected_ok = oracle.value()->Delete(target).ok();
+          for (const auto& e : engines) {
+            EXPECT_EQ(expected_ok, e.engine->Delete(target).ok())
+                << e.label << " " << at << " id=" << target;
+          }
+        } else if (kind == 2) {
+          SetId target =
+              static_cast<SetId>(rng.Uniform(oracle.value()->db().size() + 3));
+          SetRecord fresh = random_set(1);
+          const bool expected_ok = oracle.value()->Update(target, fresh).ok();
+          for (const auto& e : engines) {
+            EXPECT_EQ(expected_ok, e.engine->Update(target, fresh).ok())
+                << e.label << " " << at << " id=" << target;
+          }
+        } else if (kind == 3) {
+          SetRecord q = random_set(1);
+          size_t k = 1 + rng.Uniform(8);
+          auto expected = oracle.value()->Knn(q, k);
+          for (const auto& e : engines) {
+            ExpectExactHits(expected.hits, e.engine->Knn(q, k).hits,
+                            e.label + "/" + at + "/knn");
+          }
+        } else {
+          SetRecord q = random_set(1);
+          double delta = deltas[rng.Uniform(deltas.size())];
+          auto expected = oracle.value()->Range(q, delta);
+          for (const auto& e : engines) {
+            ExpectExactHits(expected.hits, e.engine->Range(q, delta).hits,
+                            e.label + "/" + at + "/range");
+          }
+        }
+        if (::testing::Test::HasFatalFailure() || ::testing::Test::HasFailure())
+          return;  // one diff explains more than a thousand cascading ones
+      }
+      ASSERT_GT(oracle.value()->db().num_deleted(), 0u)
+          << "mutation sequence never tombstoned anything — weak test";
+      check_queries("quiesced");
+
+      // Compact-then-Open: the saved file physically drops tombstone
+      // payloads and stale column bits, and the reopened engine must
+      // still answer exactly like the live oracle.
+      for (const auto& e : engines) {
+        std::string path = ::testing::TempDir() + "les3_mutprop_" +
+                           std::to_string(snapshot_id++) + ".snap";
+        ASSERT_TRUE(e.engine->Save(path).ok()) << e.label;
+        auto reloaded = EngineBuilder::Open(path);
+        ASSERT_TRUE(reloaded.ok())
+            << e.label << ": " << reloaded.status().ToString();
+        EXPECT_EQ(reloaded.value()->db().num_deleted(),
+                  oracle.value()->db().num_deleted())
+            << e.label;
+        Rng qrng(7);
+        for (int i = 0; i < 6; ++i) {
+          std::vector<TokenId> tokens;
+          size_t n = 1 + qrng.Uniform(10);
+          for (size_t j = 0; j < n; ++j) {
+            tokens.push_back(static_cast<TokenId>(qrng.Uniform(universe + 10)));
+          }
+          SetRecord q = SetRecord::FromTokens(std::move(tokens));
+          for (size_t k : ks) {
+            ExpectExactHits(oracle.value()->Knn(q, k).hits,
+                            reloaded.value()->Knn(q, k).hits,
+                            e.label + "/reopened knn k=" + std::to_string(k));
+          }
+          for (double delta : deltas) {
+            ExpectExactHits(
+                oracle.value()->Range(q, delta).hits,
+                reloaded.value()->Range(q, delta).hits,
+                e.label + "/reopened range d=" + std::to_string(delta));
+          }
+        }
+        std::remove(path.c_str());
+      }
+      if (!FullSweep()) break;  // one measure per regime in the fast lane
+    }
+  }
+}
+
 /// k larger than the database must return everything, in HitOrder, on
 /// every backend (the all-ties tail is where ordering bugs hide).
 TEST(PropertyTest, OverlongKnnReturnsWholeDatabaseInOrder) {

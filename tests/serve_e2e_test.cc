@@ -341,6 +341,145 @@ TEST_F(ServeE2ETest, InterleavedInsertsStayExact) {
   EXPECT_GE(server_->cache()->stats().invalidations, 1u);
 }
 
+// Satellite of the mutability work: Delete and Update over the wire must
+// invalidate the result cache exactly like Insert — every post-mutation
+// answer is byte-exact against a fresh engine computation, and a
+// tombstoned id never reappears from a stale cache entry.
+TEST_F(ServeE2ETest, InterleavedMutationsStayExact) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 4);
+
+  for (uint32_t round = 0; round < 4; ++round) {
+    // Warm the cache on every query.
+    for (const SetRecord& query : queries) {
+      auto warm = client.Knn(query.view(), 8);
+      ASSERT_TRUE(warm.ok());
+      ExpectExactHits(engine_->Knn(query.view(), 8).hits, warm.value(),
+                      "warm round " + std::to_string(round));
+    }
+    // Delete the current top hit of one query: the cached answer for
+    // that query is now wrong and must not be served.
+    const SetRecord& victim_query = queries[round % queries.size()];
+    auto top = client.Knn(victim_query.view(), 1);
+    ASSERT_TRUE(top.ok());
+    ASSERT_FALSE(top.value().empty());
+    const SetId victim = top.value()[0].first;
+    ASSERT_TRUE(client.Delete(victim).ok());
+    // Double delete is a typed NotFound, not a transport error.
+    Status again = client.Delete(victim);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.code(), StatusCode::kNotFound);
+
+    for (const SetRecord& query : queries) {
+      auto after = client.Knn(query.view(), 8);
+      ASSERT_TRUE(after.ok());
+      ExpectExactHits(engine_->Knn(query.view(), 8).hits, after.value(),
+                      "post-delete round " + std::to_string(round));
+      for (const Hit& hit : after.value()) EXPECT_NE(hit.first, victim);
+      auto range_after = client.Range(query.view(), 0.5);
+      ASSERT_TRUE(range_after.ok());
+      ExpectExactHits(engine_->Range(query.view(), 0.5).hits,
+                      range_after.value(),
+                      "post-delete range round " + std::to_string(round));
+    }
+
+    // Update another live set to exactly one query's content: it must
+    // surface at similarity 1 on the next (uncached) answer.
+    SetId updated = 0;
+    while (engine_->db().is_deleted(updated)) ++updated;
+    ASSERT_TRUE(client.Update(updated, victim_query).ok());
+    auto post_update = client.Knn(victim_query.view(), 8);
+    ASSERT_TRUE(post_update.ok());
+    ExpectExactHits(engine_->Knn(victim_query.view(), 8).hits,
+                    post_update.value(),
+                    "post-update round " + std::to_string(round));
+    bool found = false;
+    for (const Hit& hit : post_update.value()) {
+      if (hit.first == updated) {
+        found = true;
+        EXPECT_DOUBLE_EQ(hit.second, 1.0);
+      }
+    }
+    EXPECT_TRUE(found) << "updated set missing from its own query";
+
+    // Updating a deleted id is a typed NotFound.
+    Status dead_update = client.Update(victim, victim_query);
+    ASSERT_FALSE(dead_update.ok());
+    EXPECT_EQ(dead_update.code(), StatusCode::kNotFound);
+  }
+
+  EXPECT_GT(engine_->db().num_deleted(), 0u);
+  ASSERT_NE(server_->cache(), nullptr);
+  // Every successful mutation bumped the epoch (failed ones must not).
+  EXPECT_GE(server_->cache()->stats().invalidations, 8u);
+}
+
+// The mutation TSan leg (the served half of the mutation soak):
+// concurrent query clients against one mutator running inserts, deletes,
+// and updates on disjoint deterministic id ranges, then a quiescent
+// differential against the engine.
+TEST_F(ServeE2ETest, ConcurrentClientsAndMutations) {
+  StartServer();
+  uint16_t port = server_->port();
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 8);
+
+  constexpr int kClients = 3;
+  constexpr int kIters = 30;
+  constexpr int kMutations = 36;
+  std::atomic<uint64_t> failures{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client = MustConnect(port);
+      for (int i = 0; i < kIters; ++i) {
+        const SetRecord& query = queries[(c + i) % queries.size()];
+        if (i % 2 == 0) {
+          if (!client.Knn(query.view(), 5).ok()) failures.fetch_add(1);
+        } else {
+          if (!client.Range(query.view(), 0.6).ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread mutator([&] {
+    Client client = MustConnect(port);
+    for (int i = 0; i < kMutations; ++i) {
+      Status st = Status::OK();
+      switch (i % 3) {
+        case 0: {
+          auto id = client.Insert(queries[i % queries.size()]);
+          st = id.ok() ? Status::OK() : id.status();
+          break;
+        }
+        case 1:
+          // Distinct ids per iteration: every delete targets a live set.
+          st = client.Delete(static_cast<SetId>(3 * (i / 3)));
+          break;
+        default:
+          st = client.Update(static_cast<SetId>(100 + 3 * (i / 3)),
+                             queries[i % queries.size()]);
+      }
+      if (!st.ok()) failures.fetch_add(1);
+    }
+  });
+  for (auto& thread : clients) thread.join();
+  mutator.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(engine_->db().num_deleted(), uint64_t{kMutations} / 3);
+
+  // Quiescent differential: served answers equal fresh computations over
+  // the mutated database.
+  Client client = MustConnect(port);
+  for (const SetRecord& query : queries) {
+    auto hits = client.Knn(query.view(), 5);
+    ASSERT_TRUE(hits.ok());
+    ExpectExactHits(engine_->Knn(query.view(), 5).hits, hits.value(),
+                    "quiescent");
+  }
+}
+
 TEST_F(ServeE2ETest, DeadlineExceededInsteadOfExecution) {
   ServerOptions options;
   options.executors = 1;

@@ -132,6 +132,64 @@ TEST(ServeProtocol, RoundTripInsert) {
   ASSERT_EQ(decoded.value().queries.size(), 1u);
 }
 
+TEST(ServeProtocol, RoundTripDelete) {
+  Request request;
+  request.seq = 13;
+  request.type = MsgType::kDelete;
+  request.target_id = 77777;
+  std::vector<uint8_t> payload = EncodePayload(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MsgType::kDelete);
+  EXPECT_EQ(decoded.value().target_id, 77777u);
+  EXPECT_TRUE(decoded.value().queries.empty());
+  // Truncation never decodes.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(payload.data(), len).ok())
+        << "prefix length " << len << " decoded";
+  }
+}
+
+TEST(ServeProtocol, RoundTripUpdate) {
+  Request request;
+  request.seq = 14;
+  request.type = MsgType::kUpdate;
+  request.target_id = 42;
+  request.queries.push_back(Set({3, 9, 9, 50000}));
+  std::vector<uint8_t> payload = EncodePayload(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MsgType::kUpdate);
+  EXPECT_EQ(decoded.value().target_id, 42u);
+  ASSERT_EQ(decoded.value().queries.size(), 1u);
+  EXPECT_EQ(decoded.value().queries[0].tokens(),
+            (std::vector<TokenId>{3, 9, 9, 50000}));
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(payload.data(), len).ok())
+        << "prefix length " << len << " decoded";
+  }
+}
+
+TEST(ServeProtocol, MutationOkResponsesCarryNoBody) {
+  // A successful Delete/Update reply is seq + status only; the encoder's
+  // size accounting and the decoder must agree on the empty body.
+  for (MsgType type : {MsgType::kDelete, MsgType::kUpdate}) {
+    Response response;
+    response.seq = 21;
+    std::vector<uint8_t> payload = EncodeResponsePayload(response, type);
+    EXPECT_EQ(payload.size(), 4u + 1u);  // seq + status byte
+    auto decoded = DecodeResponse(payload.data(), payload.size(), type);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().seq, 21u);
+    EXPECT_EQ(decoded.value().status, WireStatus::kOk);
+    // Trailing bytes after the empty body are rejected.
+    std::vector<uint8_t> oversized = payload;
+    oversized.push_back(0);
+    EXPECT_FALSE(
+        DecodeResponse(oversized.data(), oversized.size(), type).ok());
+  }
+}
+
 TEST(ServeProtocol, RoundTripResponses) {
   {
     Response response;
@@ -305,7 +363,7 @@ TEST(ServeProtocol, ResponseTruncationSweep) {
 
 TEST(ServeProtocol, RejectsUnknownRequestType) {
   std::vector<uint8_t> payload = EncodePayload(KnnRequest());
-  for (uint8_t bad : {uint8_t{0}, uint8_t{8}, uint8_t{200}}) {
+  for (uint8_t bad : {uint8_t{0}, uint8_t{10}, uint8_t{200}}) {
     std::vector<uint8_t> corrupt = payload;
     corrupt[4] = bad;  // type byte sits after the u32 seq
     auto decoded = DecodeRequest(corrupt.data(), corrupt.size());

@@ -299,11 +299,28 @@ TEST_F(ShardedSnapshotTest, ShardCountMismatchRejected) {
   auto loaded = persist::DecodeSnapshot(bytes.data(), bytes.size());
   ASSERT_TRUE(loaded.ok());
   persist::SnapshotMeta meta = loaded.value().meta;
+  const SetDatabase& global = *loaded.value().db;
+  // Rebuild the id-mod-S local slices the encoder compacts columns
+  // against (the snapshot under test is clean, so no holes to mirror).
+  std::vector<SetDatabase> locals;
+  for (size_t s = 0; s < loaded.value().shards.size(); ++s) {
+    SetDatabase local(global.num_tokens());
+    for (SetId id = static_cast<SetId>(s); id < global.size();
+         id += static_cast<SetId>(loaded.value().shards.size())) {
+      local.AddSet(global.set(id));
+    }
+    locals.push_back(std::move(local));
+  }
   std::vector<const tgm::Tgm*> tgms;
-  for (const auto& s : loaded.value().shards) tgms.push_back(&s.tgm);
+  std::vector<const SetDatabase*> local_dbs;
+  for (size_t s = 0; s < loaded.value().shards.size(); ++s) {
+    tgms.push_back(&loaded.value().shards[s].tgm);
+    local_dbs.push_back(&locals[s]);
+  }
   tgms.pop_back();  // claim 2 shards' worth of chunks for a 3-shard split
+  local_dbs.pop_back();
   persist::ByteWriter writer;
-  persist::EncodeShardedSnapshot(meta, *loaded.value().db, tgms, &writer);
+  persist::EncodeShardedSnapshot(meta, global, tgms, local_dbs, &writer);
   auto result =
       persist::DecodeSnapshot(writer.data().data(), writer.data().size());
   ASSERT_FALSE(result.ok());

@@ -386,9 +386,24 @@ TEST_F(SnapshotCorruptionTest, BadMagicVersionAndFlags) {
   bad[8] = static_cast<uint8_t>(kSnapshotVersionSharded);
   EXPECT_FALSE(DecodeSnapshot(bad.data(), bad.size()).ok());
 
+  // Flag bit 0 (kSnapshotFlagTombstones) is known: it promises only that
+  // tombstone sentinels MAY appear, so setting it on a clean file still
+  // decodes — and must not invent any deletions.
   bad = *bytes_;
-  bad[12] = 1;  // reserved flags
-  EXPECT_FALSE(DecodeSnapshot(bad.data(), bad.size()).ok());
+  bad[12] = 1;
+  auto flagged = DecodeSnapshot(bad.data(), bad.size());
+  ASSERT_TRUE(flagged.ok()) << flagged.status().ToString();
+  EXPECT_EQ(flagged.value().db->num_deleted(), 0u);
+
+  // Any other flag bit is from a future format: reject, never guess.
+  for (uint8_t unknown : {uint8_t{2}, uint8_t{3}, uint8_t{0x80}}) {
+    bad = *bytes_;
+    bad[12] = unknown;
+    auto r2 = DecodeSnapshot(bad.data(), bad.size());
+    ASSERT_FALSE(r2.ok()) << "flags " << int(unknown);
+    EXPECT_NE(r2.status().message().find("flag"), std::string::npos)
+        << r2.status().ToString();
+  }
 }
 
 TEST_F(SnapshotCorruptionTest, OversizedChunkLengthFails) {
@@ -547,6 +562,190 @@ TEST(SnapshotSemanticTest, DenseColumnInvariantsEnforced) {
     ByteReader r(w.data());
     EXPECT_FALSE(bitmap::BitmapColumn::Deserialize(&r, 64).ok());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Tombstone persistence (docs/snapshot_format.md, "Tombstones"): deleted
+// ids travel as kInvalidGroup sentinels in PART under header flag bit 0,
+// columns are compacted at save, and the two validation edges — sentinel
+// without the flag, sentinel whose DB entry still carries tokens — are
+// rejected.
+
+uint32_t ReadU32At(const std::vector<uint8_t>& bytes, size_t off) {
+  return static_cast<uint32_t>(bytes[off]) |
+         static_cast<uint32_t>(bytes[off + 1]) << 8 |
+         static_cast<uint32_t>(bytes[off + 2]) << 16 |
+         static_cast<uint32_t>(bytes[off + 3]) << 24;
+}
+
+void WriteU32At(std::vector<uint8_t>* bytes, size_t off, uint32_t v) {
+  (*bytes)[off] = static_cast<uint8_t>(v);
+  (*bytes)[off + 1] = static_cast<uint8_t>(v >> 8);
+  (*bytes)[off + 2] = static_cast<uint8_t>(v >> 16);
+  (*bytes)[off + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+/// Payload offset and length of the first chunk of `type` (16-byte file
+/// header, then type u32 + length u64 + payload + crc u32 per chunk).
+bool FindChunk(const std::vector<uint8_t>& bytes, ChunkType type,
+               size_t* payload_off, size_t* payload_len) {
+  size_t off = 16;
+  while (off + 12 <= bytes.size()) {
+    uint32_t chunk_type = ReadU32At(bytes, off);
+    uint64_t len = static_cast<uint64_t>(ReadU32At(bytes, off + 4)) |
+                   static_cast<uint64_t>(ReadU32At(bytes, off + 8)) << 32;
+    if (chunk_type == static_cast<uint32_t>(type)) {
+      *payload_off = off + 12;
+      *payload_len = static_cast<size_t>(len);
+      return true;
+    }
+    if (chunk_type == static_cast<uint32_t>(ChunkType::kEnd)) return false;
+    off += 12 + static_cast<size_t>(len) + 4;
+  }
+  return false;
+}
+
+/// Recomputes the CRC that trails the chunk at `payload_off`.
+void FixChunkCrc(std::vector<uint8_t>* bytes, size_t payload_off,
+                 size_t payload_len) {
+  WriteU32At(bytes, payload_off + payload_len,
+             Crc32(bytes->data() + payload_off, payload_len));
+}
+
+std::unique_ptr<api::SearchEngine> BuildMutatedEngine(
+    const std::string& backend, uint32_t num_shards) {
+  auto db = std::make_shared<SetDatabase>(MakeDb(150, 83));
+  auto options =
+      FastOptions(SimilarityMeasure::kJaccard, bitmap::BitmapBackend::kRoaring);
+  options.num_shards = num_shards;
+  auto built = api::EngineBuilder::Build(db, backend, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  if (!built.ok()) return nullptr;
+  std::unique_ptr<api::SearchEngine> engine = std::move(built).ValueOrDie();
+  for (SetId id = 1; id < 150; id += 13) {
+    EXPECT_TRUE(
+        engine->Update(id, SetRecord::FromTokens({5, 9, 300 + id})).ok());
+  }
+  // Updates first, then deletes: id 66 gets both (update then tombstone).
+  for (SetId id = 0; id < 150; id += 11) {
+    EXPECT_TRUE(engine->Delete(id).ok());
+  }
+  return engine;
+}
+
+class SnapshotTombstoneTest : public ::testing::TestWithParam<
+                                  std::pair<const char*, uint32_t>> {};
+
+TEST_P(SnapshotTombstoneTest, FlaggedCompactedRoundTrip) {
+  const auto [backend, num_shards] = GetParam();
+  auto engine = BuildMutatedEngine(backend, num_shards);
+  ASSERT_NE(engine, nullptr);
+
+  std::string path1 = TempPath(std::string("tomb1_") + backend + ".snap");
+  std::string path2 = TempPath(std::string("tomb2_") + backend + ".snap");
+  ASSERT_TRUE(engine->Save(path1).ok());
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path1, &bytes).ok());
+  EXPECT_EQ(ReadU32At(bytes, 12), kSnapshotFlagTombstones);
+
+  auto reloaded = api::EngineBuilder::Open(path1);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value()->db().num_deleted(), engine->db().num_deleted());
+  EXPECT_EQ(reloaded.value()->db().size(), engine->db().size());
+  for (const SetRecord& query : MakeQueries(engine->db(), 59)) {
+    ExpectExactHits(engine->Knn(query.view(), 10).hits,
+                    reloaded.value()->Knn(query.view(), 10).hits,
+                    "reloaded knn");
+    ExpectExactHits(engine->Range(query.view(), 0.4).hits,
+                    reloaded.value()->Range(query.view(), 0.4).hits,
+                    "reloaded range");
+  }
+
+  // Compaction is a fixed point: the reloaded engine re-saves to the
+  // very same bytes (tombstones and all).
+  ASSERT_TRUE(reloaded.value()->Save(path2).ok());
+  std::vector<uint8_t> bytes2;
+  ASSERT_TRUE(ReadFileBytes(path2, &bytes2).ok());
+  EXPECT_EQ(bytes, bytes2);
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SnapshotTombstoneTest,
+    ::testing::Values(std::make_pair("les3", 1u),
+                      std::make_pair("sharded_les3", 3u)),
+    [](const auto& info) { return std::string(info.param.first); });
+
+TEST(SnapshotTombstoneTest, CleanSaveStaysFlagless) {
+  // A database that never saw a delete writes a flagless file — the
+  // byte-compatibility guarantee the golden test pins across builds.
+  auto db = std::make_shared<SetDatabase>(MakeDb(80, 97));
+  auto built = api::EngineBuilder::Build(
+      db, "les3",
+      FastOptions(SimilarityMeasure::kJaccard,
+                  bitmap::BitmapBackend::kRoaring));
+  ASSERT_TRUE(built.ok());
+  // Inserts mutate, but leave no holes and no dirt: still flagless.
+  ASSERT_TRUE(built.value()->Insert(SetRecord::FromTokens({1, 2, 3})).ok());
+  std::string path = TempPath("tomb_clean.snap");
+  ASSERT_TRUE(built.value()->Save(path).ok());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  EXPECT_EQ(ReadU32At(bytes, 12), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTombstoneTest, SentinelWithoutFlagRejected) {
+  auto engine = BuildMutatedEngine("les3", 1);
+  ASSERT_NE(engine, nullptr);
+  std::string path = TempPath("tomb_noflag.snap");
+  ASSERT_TRUE(engine->Save(path).ok());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  std::remove(path.c_str());
+  ASSERT_EQ(ReadU32At(bytes, 12), kSnapshotFlagTombstones);
+
+  // Clear the flag: the PART sentinels are now format violations — a
+  // build that predates tombstones must never load this file silently.
+  WriteU32At(&bytes, 12, 0);
+  auto result = DecodeSnapshot(bytes.data(), bytes.size());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("flag"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(SnapshotTombstoneTest, TombstonedSetWithTokensRejected) {
+  // Stitch a hostile file: take a clean snapshot, set the tombstone
+  // flag, and park a live set's assignment at the sentinel. Its DB entry
+  // still carries tokens, which the loader must treat as corruption
+  // (a real writer empties the span before writing the sentinel).
+  auto db = std::make_shared<SetDatabase>(MakeDb(80, 101));
+  auto built = api::EngineBuilder::Build(
+      db, "les3",
+      FastOptions(SimilarityMeasure::kJaccard,
+                  bitmap::BitmapBackend::kRoaring));
+  ASSERT_TRUE(built.ok());
+  std::string path = TempPath("tomb_stitched.snap");
+  ASSERT_TRUE(built.value()->Save(path).ok());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  std::remove(path.c_str());
+
+  WriteU32At(&bytes, 12, kSnapshotFlagTombstones);
+  size_t part_off = 0, part_len = 0;
+  ASSERT_TRUE(FindChunk(bytes, ChunkType::kPartition, &part_off, &part_len));
+  // PART payload: num_groups u32, count u32, then one u32 per set.
+  ASSERT_EQ(ReadU32At(bytes, part_off + 4), 80u);
+  WriteU32At(&bytes, part_off + 8 + 4 * 7, kInvalidGroup);  // live set 7
+  FixChunkCrc(&bytes, part_off, part_len);
+
+  auto result = DecodeSnapshot(bytes.data(), bytes.size());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("carries tokens"),
+            std::string::npos)
+      << result.status().ToString();
 }
 
 }  // namespace
