@@ -8,6 +8,7 @@
 
 #include "api/adapters.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "baselines/brute_force.h"
@@ -185,9 +186,41 @@ class Les3Engine : public MemoryEngine<search::Les3Index> {
 
   /// The static describe string plus the current live/deleted counts —
   /// mutation makes the population dynamic, so Describe() reports it at
-  /// call time instead of freezing construction-time numbers.
+  /// call time instead of freezing construction-time numbers. Once
+  /// mutation has left debt behind, the dirt counters (stale column bits)
+  /// and arena garbage tokens are appended too, so the memory the index
+  /// reports is attributable.
   std::string Describe() const override {
-    return AppendPopulation(describe_, *db_);
+    std::string s = AppendPopulation(describe_, *db_);
+    uint64_t dirt = index_.tgm().TotalDirt();
+    uint64_t garbage = db_->GarbageTokens();
+    if (dirt != 0 || garbage != 0) {
+      s += " [dirt=" + std::to_string(dirt) +
+           ", garbage_tokens=" + std::to_string(garbage) + "]";
+    }
+    return s;
+  }
+
+  /// One bounded maintenance cycle. Same concurrency contract as the
+  /// other mutating ops on this backend: not safe concurrently with
+  /// queries (the server serializes it behind its engine lock).
+  Result<search::MaintenanceReport> MaintainNow() override {
+    return search::MaintainIndexOnce(&index_, search::MaintenanceOptions());
+  }
+
+  /// Batched queries run the column-major batched probe: the batch is cut
+  /// into chunks and each chunk executes one fused Les3Index::KnnBatch /
+  /// RangeBatch call on a pool thread — one column walk per (chunk,
+  /// column) instead of per (query, column). Chunking keeps the Q x groups
+  /// scratch matrix cache-resident and the pool busy on large batches.
+  std::vector<QueryResult> KnnBatch(const std::vector<SetRecord>& queries,
+                                    size_t k) const override {
+    return ChunkedBatch(queries,
+                        [&](const SetView* views, size_t n,
+                            std::vector<std::vector<Hit>>* hits,
+                            std::vector<search::QueryStats>* stats) {
+                          index_.KnnBatch(views, n, k, hits, stats);
+                        });
   }
 
   Status Save(const std::string& path) const override {
@@ -199,7 +232,47 @@ class Les3Engine : public MemoryEngine<search::Les3Index> {
                                  l2p_models_);
   }
 
+ protected:
+  std::vector<QueryResult> RangeBatchImpl(
+      const std::vector<SetRecord>& queries, double delta) const override {
+    return ChunkedBatch(queries,
+                        [&](const SetView* views, size_t n,
+                            std::vector<std::vector<Hit>>* hits,
+                            std::vector<search::QueryStats>* stats) {
+                          index_.RangeBatch(views, n, delta, hits, stats);
+                        });
+  }
+
  private:
+  /// Queries per fused probe. Large enough to amortize the shared column
+  /// walk, small enough that the counts matrix (chunk x groups x 4 bytes)
+  /// stays in cache and chunks spread across the pool.
+  static constexpr size_t kBatchChunk = 64;
+
+  template <typename RunChunk>
+  std::vector<QueryResult> ChunkedBatch(const std::vector<SetRecord>& queries,
+                                        const RunChunk& run_chunk) const {
+    std::vector<QueryResult> results(queries.size());
+    if (queries.empty()) return results;
+    const size_t num_chunks =
+        (queries.size() + kBatchChunk - 1) / kBatchChunk;
+    pool().ParallelFor(num_chunks, [&](size_t c) {
+      const size_t begin = c * kBatchChunk;
+      const size_t end = std::min(begin + kBatchChunk, queries.size());
+      std::vector<SetView> views;
+      views.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) views.push_back(queries[i].view());
+      std::vector<std::vector<Hit>> hits;
+      std::vector<search::QueryStats> stats;
+      run_chunk(views.data(), views.size(), &hits, &stats);
+      for (size_t i = begin; i < end; ++i) {
+        results[i].hits = std::move(hits[i - begin]);
+        results[i].stats = stats[i - begin];
+      }
+    });
+    return results;
+  }
+
   std::vector<l2p::CascadeModelSnapshot> l2p_models_;
 };
 

@@ -67,6 +67,11 @@ Status SearchEngine::Update(SetId, SetRecord) {
   return Status::NotSupported(Describe() + " does not support updates");
 }
 
+Result<search::MaintenanceReport> SearchEngine::MaintainNow() {
+  return Status::NotSupported(Describe() +
+                              " does not support on-demand maintenance");
+}
+
 std::shared_ptr<const SetDatabase> SearchEngine::StableDb() const {
   // Non-owning alias of the live database: engines on the default
   // (serialized-mutation) contract need no copy, because the caller must

@@ -33,6 +33,7 @@
 #include "core/database.h"
 #include "core/set_record.h"
 #include "core/types.h"
+#include "search/maintenance.h"
 #include "search/query_stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -115,6 +116,13 @@ class SearchEngine {
   /// re-routes it as a Section 6 insertion). NotFound when `id` is out of
   /// range or deleted; NotSupported on backends without mutation support.
   virtual Status Update(SetId id, SetRecord set);
+
+  /// Runs one synchronous maintenance pass (docs/mutability.md): pays down
+  /// stale-bit debt and splits overgrown groups, returning the ops
+  /// counters. Exactness-preserving — answers before and after are
+  /// identical. NotSupported on backends without self-healing maintenance;
+  /// the sharded engine overrides it (one bounded cycle per shard).
+  virtual Result<search::MaintenanceReport> MaintainNow();
 
   /// Whether the mutating ops (Insert/Delete/Update) are safe concurrently
   /// with Knn/Range (and with each other) on this engine — the sharded

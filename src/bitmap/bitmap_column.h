@@ -90,6 +90,22 @@ class BitmapColumn {
     }
   }
 
+  /// Fan-out variant for batched probes (see bitmap/kernels.h): decodes
+  /// this column once and adds subs[i].weight into row subs[i].query of
+  /// the batch accumulator for every value. Each row's arithmetic matches
+  /// the single-query AccumulateInto exactly.
+  void AccumulateIntoBatch(BatchGroupCountAccumulator& acc,
+                           const QueryWeight* subs, size_t num_subs) const {
+    if (const auto* r = std::get_if<Roaring>(&rep_)) {
+      r->AccumulateIntoBatch(acc, subs, num_subs);
+    } else {
+      const BitVector& bits = std::get<Dense>(rep_).bits;
+      for (size_t s = 0; s < num_subs; ++s) {
+        bits.AccumulateInto(acc.row(subs[s].query), subs[s].weight);
+      }
+    }
+  }
+
   /// Direct-array variant; `counts` has `counts_size` entries and must
   /// cover the value universe (the size bounds the vectorized kernels'
   /// whole-word writes, see bitmap/kernels.h).

@@ -153,6 +153,101 @@ class GroupCountAccumulator {
   bool has_ranges_ = false;
 };
 
+/// \brief One subscriber of a shared column walk: query row `query` wants
+/// this column's groups added with weight `weight` (the query's token
+/// multiplicity).
+struct QueryWeight {
+  uint32_t query;
+  uint32_t weight;
+};
+
+/// \brief Q-row variant of GroupCountAccumulator for batched probes.
+///
+/// Binds a row-major Q x num_groups counter matrix; each row follows the
+/// single-query accumulator's semantics exactly (same kernels, same
+/// difference-array fold), so row q of a batch equals what a solo
+/// GroupCountAccumulator run over query q's columns would produce. The
+/// batch walk decodes each referenced column once and fans it out to every
+/// subscribing row.
+class BatchGroupCountAccumulator {
+ public:
+  /// An unbound accumulator; call Reset before use (thread_local-friendly,
+  /// like GroupCountAccumulator).
+  BatchGroupCountAccumulator() = default;
+
+  /// Binds to `counts`, resizing it to num_queries * num_groups zeros.
+  /// `counts` must outlive the accumulator.
+  void Reset(uint32_t num_queries, uint32_t num_groups,
+             std::vector<uint32_t>* counts) {
+    counts_ = counts;
+    counts_->assign(static_cast<size_t>(num_queries) * num_groups, 0);
+    // Same abandoned-binding discipline as GroupCountAccumulator::Reset:
+    // Finish re-zeroes folded entries, so the difference matrix is only
+    // dirty if a prior binding was dropped after AddRange without Finish.
+    if (has_ranges_) std::fill(diff_.begin(), diff_.end(), 0);
+    size_t diff_needed =
+        static_cast<size_t>(num_queries) * (static_cast<size_t>(num_groups) + 1);
+    if (diff_.size() < diff_needed) diff_.resize(diff_needed, 0);
+    if (row_has_ranges_.size() < num_queries) {
+      row_has_ranges_.resize(num_queries, 0);
+    }
+    std::fill(row_has_ranges_.begin(),
+              row_has_ranges_.begin() + num_queries, 0);
+    num_queries_ = num_queries;
+    num_groups_ = num_groups;
+    has_ranges_ = false;
+  }
+
+  uint32_t num_queries() const { return num_queries_; }
+  uint32_t num_groups() const { return num_groups_; }
+
+  /// Query q's counter row (num_groups entries); the direct target for the
+  /// array and bitset kernels.
+  uint32_t* row(uint32_t q) {
+    return counts_->data() + static_cast<size_t>(q) * num_groups_;
+  }
+
+  /// Adds `weight` to every group in [first, last] inclusive of query q's
+  /// row, in O(1).
+  void AddRange(uint32_t q, uint32_t first, uint32_t last, uint32_t weight) {
+    uint32_t* d =
+        diff_.data() + static_cast<size_t>(q) * (num_groups_ + size_t{1});
+    d[first] += weight;
+    d[last + 1] -= weight;  // unsigned wrap-around is intentional
+    row_has_ranges_[q] = 1;
+    has_ranges_ = true;
+  }
+
+  /// Folds pending ranges of every dirty row into its counters, re-zeroing
+  /// the difference matrix. Call once per Reset, before reading counts.
+  void Finish() {
+    if (!has_ranges_) return;
+    for (uint32_t q = 0; q < num_queries_; ++q) {
+      if (!row_has_ranges_[q]) continue;
+      row_has_ranges_[q] = 0;
+      uint32_t* d =
+          diff_.data() + static_cast<size_t>(q) * (num_groups_ + size_t{1});
+      uint32_t running = 0;
+      uint32_t* c = row(q);
+      for (uint32_t g = 0; g < num_groups_; ++g) {
+        running += d[g];
+        d[g] = 0;
+        c[g] += running;
+      }
+      d[num_groups_] = 0;  // AddRange(.., num_groups - 1, ..) writes here
+    }
+    has_ranges_ = false;
+  }
+
+ private:
+  std::vector<uint32_t>* counts_ = nullptr;
+  std::vector<uint32_t> diff_;  // num_queries rows of num_groups + 1
+  std::vector<uint8_t> row_has_ranges_;
+  uint32_t num_queries_ = 0;
+  uint32_t num_groups_ = 0;
+  bool has_ranges_ = false;
+};
+
 }  // namespace bitmap
 }  // namespace les3
 

@@ -384,6 +384,38 @@ void Roaring::AccumulateInto(uint32_t* counts, size_t counts_size,
       });
 }
 
+void Roaring::AccumulateIntoBatch(BatchGroupCountAccumulator& acc,
+                                  const QueryWeight* subs,
+                                  size_t num_subs) const {
+  // Container-outer, subscriber-inner: each container's payload is decoded
+  // (or its word span streamed) once per subscriber but resolved from the
+  // variant only once, and stays cache-hot across the fan-out. Each row
+  // sees the exact per-container kernel sequence of the solo walk.
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    uint32_t base = static_cast<uint32_t>(keys_[i]) << 16;
+    const Container& c = containers_[i];
+    if (const auto* a = std::get_if<ArrayContainer>(&c)) {
+      for (size_t s = 0; s < num_subs; ++s) {
+        ArrayAccumulate(a->values.data(), a->values.size(), base,
+                        acc.row(subs[s].query), subs[s].weight);
+      }
+    } else if (const auto* b = std::get_if<BitsetContainer>(&c)) {
+      for (size_t s = 0; s < num_subs; ++s) {
+        AccumulateWords(b->words.data(), b->words.size(), base,
+                        acc.row(subs[s].query), subs[s].weight,
+                        acc.num_groups());
+      }
+    } else {
+      for (const auto& r : std::get<RunContainer>(c).runs) {
+        for (size_t s = 0; s < num_subs; ++s) {
+          acc.AddRange(subs[s].query, base + r.start,
+                       base + r.start + r.length, subs[s].weight);
+        }
+      }
+    }
+  }
+}
+
 uint64_t Roaring::WeightedIntersect(
     const std::pair<uint32_t, uint32_t>* probes, size_t n) const {
   uint64_t total = 0;

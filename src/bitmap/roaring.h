@@ -32,6 +32,8 @@ class ByteReader;
 namespace bitmap {
 
 class GroupCountAccumulator;
+class BatchGroupCountAccumulator;
+struct QueryWeight;
 
 namespace internal {
 
@@ -100,6 +102,15 @@ class Roaring {
   /// Prefer the accumulator overload when folding several columns.
   void AccumulateInto(uint32_t* counts, size_t counts_size,
                       uint32_t weight) const;
+
+  /// \brief Fan-out accumulation for batched probes: decodes each container
+  /// once and replays it into every subscriber's counter row with that
+  /// subscriber's weight (subs[i].weight times into row subs[i].query).
+  /// Per-row arithmetic is identical to AccumulateInto(acc, weight), so
+  /// each row stays byte-exact versus a solo walk. Every value must be
+  /// < acc.num_groups(); every subs[i].query < acc.num_queries().
+  void AccumulateIntoBatch(BatchGroupCountAccumulator& acc,
+                           const QueryWeight* subs, size_t num_subs) const;
 
   /// \brief Sum of weights of the (value, weight) probes contained in this
   /// bitmap. `probes` must be sorted ascending by value; the kernel

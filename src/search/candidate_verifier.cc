@@ -9,26 +9,10 @@
 namespace les3 {
 namespace search {
 
-std::vector<Hit> CandidateVerifier::Knn(SetView query, size_t k,
-                                        QueryStats* stats,
-                                        const GroupVisitFn& on_group) const {
-  WallTimer timer;
-  QueryStats local;
-  if (stats == nullptr) stats = &local;
-  *stats = QueryStats();
-  if (k == 0) return {};
-
-  // A group with matched count 0 shares no token with the query, so every
-  // member has similarity exactly 0; such groups skip the bound heap
-  // entirely and only backfill the result when it underflows k. The empty
-  // query is the one exception (all counts are 0, yet empty sets have
-  // similarity 1), so it keeps every group as a candidate.
-  uint32_t min_count = query.size() == 0 ? 0 : 1;
-  std::vector<uint32_t> counts;
-  std::vector<GroupId> candidates;
-  stats->columns_scanned =
-      tgm_->MatchedCandidates(query, min_count, &counts, &candidates);
-
+std::vector<Hit> CandidateVerifier::KnnFromCounts(
+    SetView query, size_t k, uint32_t min_count, const uint32_t* counts,
+    const std::vector<GroupId>& candidates, QueryStats* stats,
+    const GroupVisitFn& on_group) const {
   // Groups in descending bound order. Built as a flat vector heapified in
   // O(|candidates|) — no per-group push cost for groups that will never be
   // popped: the loop below stops at the first bound strictly below the
@@ -109,32 +93,39 @@ std::vector<Hit> CandidateVerifier::Knn(SetView query, size_t k,
   // population, not the id space.
   stats->pruning_efficiency =
       KnnPruningEfficiency(db_->num_live(), stats->candidates_verified, k);
-  stats->micros = timer.Micros();
   return out;
 }
 
-std::vector<Hit> CandidateVerifier::Range(SetView query, double delta,
-                                          QueryStats* stats,
-                                          const GroupVisitFn& on_group) const {
+std::vector<Hit> CandidateVerifier::Knn(SetView query, size_t k,
+                                        QueryStats* stats,
+                                        const GroupVisitFn& on_group) const {
   WallTimer timer;
   QueryStats local;
   if (stats == nullptr) stats = &local;
   *stats = QueryStats();
+  if (k == 0) return {};
 
-  // Least matched count any δ-result's group must reach; the TGM prunes
-  // groups below it during candidate generation (and short-circuits the
-  // whole scan when the query cannot attain it).
-  size_t min_count = MinOverlapForThreshold(measure_, query.size(), delta);
-  if (min_count > query.size()) {
-    // The threshold is unreachable even by an identical set.
-    stats->micros = timer.Micros();
-    return {};
-  }
+  // A group with matched count 0 shares no token with the query, so every
+  // member has similarity exactly 0; such groups skip the bound heap
+  // entirely and only backfill the result when it underflows k. The empty
+  // query is the one exception (all counts are 0, yet empty sets have
+  // similarity 1), so it keeps every group as a candidate.
+  uint32_t min_count = query.size() == 0 ? 0 : 1;
   std::vector<uint32_t> counts;
   std::vector<GroupId> candidates;
-  stats->columns_scanned = tgm_->MatchedCandidates(
-      query, static_cast<uint32_t>(min_count), &counts, &candidates);
+  stats->columns_scanned =
+      tgm_->MatchedCandidates(query, min_count, &counts, &candidates);
 
+  std::vector<Hit> out =
+      KnnFromCounts(query, k, min_count, counts.data(), candidates, stats,
+                    on_group);
+  stats->micros = timer.Micros();
+  return out;
+}
+
+std::vector<Hit> CandidateVerifier::RangeFromCounts(
+    SetView query, double delta, const std::vector<GroupId>& candidates,
+    QueryStats* stats, const GroupVisitFn& on_group) const {
   // The δ-implied length filter, shared by every visited group.
   SizeBounds window = SizeBoundsForThreshold(measure_, query.size(), delta);
   std::vector<Hit> out;
@@ -171,8 +162,118 @@ std::vector<Hit> CandidateVerifier::Range(SetView query, double delta,
   stats->results = out.size();
   stats->pruning_efficiency = RangePruningEfficiency(
       db_->num_live(), stats->candidates_verified, out.size());
+  return out;
+}
+
+std::vector<Hit> CandidateVerifier::Range(SetView query, double delta,
+                                          QueryStats* stats,
+                                          const GroupVisitFn& on_group) const {
+  WallTimer timer;
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats();
+
+  // Least matched count any δ-result's group must reach; the TGM prunes
+  // groups below it during candidate generation (and short-circuits the
+  // whole scan when the query cannot attain it).
+  size_t min_count = MinOverlapForThreshold(measure_, query.size(), delta);
+  if (min_count > query.size()) {
+    // The threshold is unreachable even by an identical set.
+    stats->micros = timer.Micros();
+    return {};
+  }
+  std::vector<uint32_t> counts;
+  std::vector<GroupId> candidates;
+  stats->columns_scanned = tgm_->MatchedCandidates(
+      query, static_cast<uint32_t>(min_count), &counts, &candidates);
+
+  std::vector<Hit> out =
+      RangeFromCounts(query, delta, candidates, stats, on_group);
   stats->micros = timer.Micros();
   return out;
+}
+
+void CandidateVerifier::KnnBatch(const SetView* queries, size_t num_queries,
+                                 size_t k, std::vector<std::vector<Hit>>* hits,
+                                 std::vector<QueryStats>* stats,
+                                 const GroupVisitFn& on_group) const {
+  hits->assign(num_queries, {});
+  stats->assign(num_queries, QueryStats());
+  if (num_queries == 0 || k == 0) return;  // Knn(k == 0) returns {} with
+                                           // untouched stats
+
+  WallTimer probe_timer;
+  std::vector<uint32_t> min_counts(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    min_counts[q] = queries[q].size() == 0 ? 0 : 1;
+  }
+  std::vector<uint32_t> counts;
+  std::vector<std::vector<GroupId>> candidates;
+  std::vector<size_t> columns_visited;
+  tgm_->MatchedCandidatesBatch(queries, num_queries, min_counts.data(),
+                               &counts, &candidates, &columns_visited);
+  // The shared probe's cost is attributed evenly: it ran once for all Q
+  // queries, and no per-query split of a fused column walk is meaningful.
+  const double probe_share = probe_timer.Micros() / num_queries;
+
+  const uint32_t num_groups = tgm_->num_groups();
+  for (size_t q = 0; q < num_queries; ++q) {
+    WallTimer timer;
+    QueryStats& qstats = (*stats)[q];
+    qstats.columns_scanned = columns_visited[q];
+    (*hits)[q] = KnnFromCounts(
+        queries[q], k, min_counts[q],
+        counts.data() + q * static_cast<size_t>(num_groups), candidates[q],
+        &qstats, on_group);
+    qstats.micros = probe_share + timer.Micros();
+  }
+}
+
+void CandidateVerifier::RangeBatch(const SetView* queries, size_t num_queries,
+                                   double delta,
+                                   std::vector<std::vector<Hit>>* hits,
+                                   std::vector<QueryStats>* stats,
+                                   const GroupVisitFn& on_group) const {
+  hits->assign(num_queries, {});
+  stats->assign(num_queries, QueryStats());
+  if (num_queries == 0) return;
+
+  WallTimer probe_timer;
+  // Per-query thresholds. A query whose threshold is unreachable even by
+  // an identical set skips probe and traversal entirely (the solo early
+  // return); its min_count still rides along as |Q| + 1, which the batch
+  // probe's attainable check rejects for free (attainable <= |Q|).
+  std::vector<uint32_t> min_counts(num_queries);
+  std::vector<uint8_t> unreachable(num_queries, 0);
+  for (size_t q = 0; q < num_queries; ++q) {
+    size_t min_count =
+        MinOverlapForThreshold(measure_, queries[q].size(), delta);
+    if (min_count > queries[q].size()) {
+      unreachable[q] = 1;
+      min_count = queries[q].size() + 1;
+    }
+    min_counts[q] = static_cast<uint32_t>(
+        std::min(min_count, static_cast<size_t>(UINT32_MAX)));
+  }
+  std::vector<uint32_t> counts;
+  std::vector<std::vector<GroupId>> candidates;
+  std::vector<size_t> columns_visited;
+  tgm_->MatchedCandidatesBatch(queries, num_queries, min_counts.data(),
+                               &counts, &candidates, &columns_visited);
+  const double probe_share = probe_timer.Micros() / num_queries;
+
+  for (size_t q = 0; q < num_queries; ++q) {
+    WallTimer timer;
+    QueryStats& qstats = (*stats)[q];
+    if (unreachable[q]) {
+      qstats.micros = probe_share + timer.Micros();
+      continue;
+    }
+    qstats.columns_scanned = columns_visited[q];
+    (*hits)[q] = RangeFromCounts(queries[q], delta, candidates[q], &qstats,
+                                 on_group);
+    qstats.micros = probe_share + timer.Micros();
+  }
 }
 
 }  // namespace search

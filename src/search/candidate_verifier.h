@@ -68,7 +68,41 @@ class CandidateVerifier {
   std::vector<Hit> Range(SetView query, double delta, QueryStats* stats,
                          const GroupVisitFn& on_group = {}) const;
 
+  /// \brief Batched exact kNN: one shared column-major TGM probe
+  /// (Tgm::MatchedCandidatesBatch) for the whole batch, then each query's
+  /// traversal unchanged over its own counter row, so hits[q] and stats[q]
+  /// are byte-identical to a solo Knn(queries[q], k) — micros aside: the
+  /// shared probe's wall time is split evenly across the batch and each
+  /// query adds its own traversal time.
+  void KnnBatch(const SetView* queries, size_t num_queries, size_t k,
+                std::vector<std::vector<Hit>>* hits,
+                std::vector<QueryStats>* stats,
+                const GroupVisitFn& on_group = {}) const;
+
+  /// Batched exact range search; same exactness contract as KnnBatch.
+  void RangeBatch(const SetView* queries, size_t num_queries, double delta,
+                  std::vector<std::vector<Hit>>* hits,
+                  std::vector<QueryStats>* stats,
+                  const GroupVisitFn& on_group = {}) const;
+
  private:
+  /// Steps 2-4 of the pipeline for one kNN query, off an already-computed
+  /// counter array (one row of a batch matrix, or a solo probe's counts).
+  /// Fills every stats field except columns_scanned and micros (the
+  /// caller's probe owns those).
+  std::vector<Hit> KnnFromCounts(SetView query, size_t k, uint32_t min_count,
+                                 const uint32_t* counts,
+                                 const std::vector<GroupId>& candidates,
+                                 QueryStats* stats,
+                                 const GroupVisitFn& on_group) const;
+
+  /// Range-query counterpart of KnnFromCounts (the min-count pruning is
+  /// already folded into `candidates`, so no counter row is needed).
+  std::vector<Hit> RangeFromCounts(SetView query, double delta,
+                                   const std::vector<GroupId>& candidates,
+                                   QueryStats* stats,
+                                   const GroupVisitFn& on_group) const;
+
   const tgm::Tgm* tgm_;
   const SetDatabase* db_;
   SimilarityMeasure measure_;

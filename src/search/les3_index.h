@@ -73,6 +73,24 @@ class Les3Index {
                          const CandidateVerifier::GroupVisitFn& on_group = {})
       const;
 
+  /// \brief Batched exact kNN: one shared column-major TGM probe for all
+  /// queries (CandidateVerifier::KnnBatch), hits[q]/stats[q] byte-identical
+  /// to a solo Knn(queries[q], k) call.
+  void KnnBatch(const SetView* queries, size_t num_queries, size_t k,
+                std::vector<std::vector<Hit>>* hits,
+                std::vector<QueryStats>* stats,
+                const CandidateVerifier::GroupVisitFn& on_group = {}) const {
+    verifier().KnnBatch(queries, num_queries, k, hits, stats, on_group);
+  }
+
+  /// Batched exact range search; same exactness contract as KnnBatch.
+  void RangeBatch(const SetView* queries, size_t num_queries, double delta,
+                  std::vector<std::vector<Hit>>* hits,
+                  std::vector<QueryStats>* stats,
+                  const CandidateVerifier::GroupVisitFn& on_group = {}) const {
+    verifier().RangeBatch(queries, num_queries, delta, hits, stats, on_group);
+  }
+
   /// Inserts a new set (tokens may be previously unseen); returns its id.
   SetId Insert(SetRecord set);
 
@@ -99,8 +117,15 @@ class Les3Index {
     return tgm_.bitmap_backend();
   }
 
-  /// Index footprint (TGM bitmaps + group membership).
-  uint64_t IndexBytes() const { return tgm_.MemoryBytes(); }
+  /// Index footprint (TGM bitmaps + group membership), tombstone-aware:
+  /// tokens of deleted sets still resident in the arena (SetDatabase
+  /// tombstoning is logical) are charged too, so Describe/fig11 memory
+  /// numbers stay honest after Delete/Update. Stale column bits need no
+  /// extra charge — they are physically present in the bitmaps and already
+  /// counted by MemoryBytes; their debt is surfaced via TotalDirt().
+  uint64_t IndexBytes() const {
+    return tgm_.MemoryBytes() + db_->GarbageTokens() * sizeof(TokenId);
+  }
 
  private:
   CandidateVerifier verifier() const {

@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <unordered_map>
 #include <utility>
 
 namespace les3 {
@@ -155,6 +156,60 @@ Status Client::Call(const Request& request, Response* response) {
   return Status::OK();
 }
 
+Status Client::CallPipelined(const std::vector<Request>& requests,
+                             std::vector<Response>* responses) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  responses->assign(requests.size(), Response{});
+  if (requests.empty()) return Status::OK();
+  persist::ByteWriter frames;
+  std::unordered_map<uint32_t, size_t> by_seq;
+  std::vector<MsgType> types(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Request to_send = requests[i];
+    to_send.seq = next_seq_++;
+    by_seq.emplace(to_send.seq, i);
+    types[i] = to_send.type;
+    EncodeRequest(to_send, &frames);
+  }
+  Status st = SendAll(frames.data().data(), frames.size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  std::vector<uint8_t> payload;
+  for (size_t remaining = requests.size(); remaining > 0; --remaining) {
+    st = RecvFrame(&payload);
+    if (!st.ok()) {
+      Close();
+      return st;
+    }
+    if (payload.size() < 4) {
+      Close();
+      return Status::IOError("malformed server reply: truncated header");
+    }
+    uint32_t seq = static_cast<uint32_t>(payload[0]) |
+                   (static_cast<uint32_t>(payload[1]) << 8) |
+                   (static_cast<uint32_t>(payload[2]) << 16) |
+                   (static_cast<uint32_t>(payload[3]) << 24);
+    auto it = by_seq.find(seq);
+    if (it == by_seq.end()) {
+      Close();
+      return Status::IOError("response sequence " + std::to_string(seq) +
+                             " matches no outstanding request");
+    }
+    size_t index = it->second;
+    by_seq.erase(it);
+    auto decoded = DecodeResponse(payload.data(), payload.size(), types[index]);
+    if (!decoded.ok()) {
+      Close();
+      return Status::IOError("malformed server reply: " +
+                             decoded.status().message());
+    }
+    (*responses)[index] = std::move(decoded).ValueOrDie();
+  }
+  return Status::OK();
+}
+
 Status StatusFromResponse(const Response& response) {
   if (response.status == WireStatus::kOk) return Status::OK();
   return Status::FromCode(CodeFromWireStatus(response.status),
@@ -259,6 +314,19 @@ Status Client::Update(SetId id, const SetRecord& set) {
   Response response;
   LES3_RETURN_NOT_OK(Call(request, &response));
   return StatusFromResponse(response);
+}
+
+Result<search::MaintenanceReport> Client::MaintainNow() {
+  Request request;
+  request.type = MsgType::kMaintainNow;
+  Response response;
+  LES3_RETURN_NOT_OK(Call(request, &response));
+  LES3_RETURN_NOT_OK(StatusFromResponse(response));
+  search::MaintenanceReport report;
+  report.splits = static_cast<size_t>(response.maintenance_splits);
+  report.recomputes = static_cast<size_t>(response.maintenance_recomputes);
+  report.bits_dropped = static_cast<size_t>(response.maintenance_bits_dropped);
+  return report;
 }
 
 }  // namespace serve

@@ -16,6 +16,7 @@
 
 #include "core/set_record.h"
 #include "core/types.h"
+#include "search/maintenance.h"
 #include "serve/wire.h"
 #include "util/status.h"
 
@@ -58,12 +59,23 @@ class Client {
   Status Delete(SetId id);
   /// Replaces set `id`'s content, keeping the id.
   Status Update(SetId id, const SetRecord& set);
+  /// Runs one synchronous maintenance cycle on the server's engine and
+  /// returns its ops counters (kMaintainNow admin verb).
+  Result<search::MaintenanceReport> MaintainNow();
 
   /// Low-level round trip: sends `request` (seq assigned here) and blocks
   /// for its reply. OK means a well-formed reply arrived — inspect
   /// response->status for the server's verdict. IOError on any transport
   /// or codec failure (the connection is closed; reconnect to continue).
   Status Call(const Request& request, Response* response);
+
+  /// Pipelined round trip: sends every request back to back in ONE write
+  /// (seqs assigned here), then blocks until all replies arrive.
+  /// (*responses)[i] answers requests[i] — replies are matched by seq, so
+  /// the server completing them out of order (executor pool, coalescing)
+  /// is fine. IOError closes the connection, as with Call.
+  Status CallPipelined(const std::vector<Request>& requests,
+                       std::vector<Response>* responses);
 
  private:
   Status SendAll(const uint8_t* data, size_t size);

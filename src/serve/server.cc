@@ -590,20 +590,48 @@ bool Server::TryEnqueue(Work work) {
 
 void Server::ExecutorLoop() {
   for (;;) {
-    Work work;
+    std::vector<Work> group;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
                      [this] { return executors_stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and nothing left
-      work = std::move(queue_.front());
+      group.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      ++active_requests_;
+      // Coalescing: drain further pending single-query requests that can
+      // ride the same engine batch call (same type, equal k / bit-identical
+      // delta). Skipping incompatible entries is legal — replies are
+      // matched by seq, and the executor pool already completes requests
+      // out of order.
+      const Request& head = group.front().request;
+      if (options_.batch_window > 1 &&
+          (head.type == MsgType::kKnn || head.type == MsgType::kRange)) {
+        for (auto it = queue_.begin();
+             it != queue_.end() && group.size() < options_.batch_window;) {
+          const Request& r = it->request;
+          bool compatible =
+              r.type == head.type &&
+              (head.type == MsgType::kKnn
+                   ? r.k == head.k
+                   : std::memcmp(&r.delta, &head.delta, sizeof(double)) == 0);
+          if (compatible) {
+            group.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      active_requests_ += group.size();
     }
-    Execute(work);
+    if (group.size() == 1) {
+      Execute(group.front());
+    } else {
+      ExecuteBatch(&group);
+    }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      --active_requests_;
+      active_requests_ -= group.size();
       if (queue_.empty() && active_requests_ == 0) drain_cv_.notify_all();
     }
   }
@@ -647,6 +675,112 @@ void Server::Execute(const Work& work) {
   SubmitReply(work.conn, frame);
   work.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
   SignalEventFd(workers_[work.conn->worker_index]->wake_fd);
+}
+
+void Server::ExecuteBatch(std::vector<Work>* group) {
+  const size_t n = group->size();
+  const Request& head = group->front().request;
+  const bool is_knn = head.type == MsgType::kKnn;
+
+  // Per-request prologue first, in queue order, so instrumentation and
+  // doomed requests behave exactly as on the solo path.
+  if (options_.before_execute) {
+    for (const Work& work : *group) options_.before_execute(work.request);
+  }
+
+  auto reply = [this](const Work& work, const persist::ByteWriter& frame) {
+    // Same ordering contract as Execute: bytes, inflight decrement, wake.
+    SubmitReply(work.conn, frame);
+    work.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    SignalEventFd(workers_[work.conn->worker_index]->wake_fd);
+  };
+
+  std::vector<uint8_t> done(n, 0);
+  auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    const Work& work = (*group)[i];
+    const Request& request = work.request;
+    if (request.deadline_ms > 0 &&
+        now - work.arrival >= std::chrono::milliseconds(request.deadline_ms)) {
+      persist::ByteWriter frame;
+      EncodeErrorResponse(
+          request.seq, WireStatus::kDeadlineExceeded,
+          "deadline of " + std::to_string(request.deadline_ms) +
+              "ms expired before execution",
+          &frame);
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.deadline_exceeded;
+      }
+      reply(work, frame);
+      done[i] = 1;
+    }
+  }
+
+  // Cache phase: peel off the hits, collect the misses. The epoch is read
+  // BEFORE the engine runs (same protocol as CachedKnn/CachedRange) so a
+  // concurrent mutation invalidates what this batch writes back.
+  std::vector<std::string> keys(n);
+  std::vector<std::vector<Hit>> hits(n);
+  std::vector<size_t> miss;
+  for (size_t i = 0; i < n; ++i) {
+    if (done[i]) continue;
+    SetView query = (*group)[i].request.queries[0].view();
+    if (cache_ != nullptr) {
+      keys[i] = is_knn ? ResultCache::KnnKey(query, head.k)
+                       : ResultCache::RangeKey(query, head.delta);
+      if (auto cached = cache_->Get(keys[i])) {
+        hits[i] = *cached;
+        continue;
+      }
+    }
+    miss.push_back(i);
+  }
+  if (!miss.empty()) {
+    uint64_t epoch = cache_ != nullptr ? cache_->epoch() : 0;
+    std::vector<SetRecord> queries;
+    queries.reserve(miss.size());
+    for (size_t i : miss) queries.push_back((*group)[i].request.queries[0]);
+    std::vector<api::QueryResult> answers;
+    if (engine_concurrent_insert_) {
+      answers = is_knn ? engine_->KnnBatch(queries, head.k)
+                       : engine_->RangeBatch(queries, head.delta);
+    } else {
+      std::shared_lock<std::shared_mutex> lock(engine_mu_);
+      answers = is_knn ? engine_->KnnBatch(queries, head.k)
+                       : engine_->RangeBatch(queries, head.delta);
+    }
+    for (size_t j = 0; j < miss.size(); ++j) {
+      size_t i = miss[j];
+      if (cache_ != nullptr) {
+        cache_->Put(keys[i],
+                    std::make_shared<const std::vector<Hit>>(answers[j].hits),
+                    epoch);
+      }
+      hits[i] = std::move(answers[j].hits);
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (done[i]) continue;
+    const Work& work = (*group)[i];
+    Response response;
+    response.seq = work.request.seq;
+    response.status = WireStatus::kOk;
+    response.results.push_back(std::move(hits[i]));
+    ClampOversizedResponse(&response, work.request.type);
+    persist::ByteWriter frame;
+    EncodeResponse(response, work.request.type, &frame);
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      if (response.status == WireStatus::kOk) {
+        ++counters_.requests_ok;
+      } else {
+        ++counters_.requests_error;
+      }
+    }
+    reply(work, frame);
+  }
 }
 
 std::vector<Hit> Server::CachedKnn(SetView query, size_t k) {
@@ -695,11 +829,6 @@ Response Server::HandleRequest(
     const Request& request, std::chrono::steady_clock::time_point arrival) {
   Response response;
   response.status = WireStatus::kOk;
-  auto batch_expired = [&]() {
-    return request.deadline_ms > 0 &&
-           std::chrono::steady_clock::now() - arrival >=
-               std::chrono::milliseconds(request.deadline_ms);
-  };
   switch (request.type) {
     case MsgType::kPing:
       break;
@@ -732,32 +861,8 @@ Response Server::HandleRequest(
           CachedRange(request.queries[0].view(), request.delta));
       break;
     case MsgType::kKnnBatch:
-      response.results.reserve(request.queries.size());
-      for (const auto& query : request.queries) {
-        if (batch_expired()) {
-          response = Response{};
-          response.status = WireStatus::kDeadlineExceeded;
-          response.message = "deadline of " +
-                             std::to_string(request.deadline_ms) +
-                             "ms expired mid-batch";
-          return response;
-        }
-        response.results.push_back(CachedKnn(query.view(), request.k));
-      }
-      break;
     case MsgType::kRangeBatch:
-      response.results.reserve(request.queries.size());
-      for (const auto& query : request.queries) {
-        if (batch_expired()) {
-          response = Response{};
-          response.status = WireStatus::kDeadlineExceeded;
-          response.message = "deadline of " +
-                             std::to_string(request.deadline_ms) +
-                             "ms expired mid-batch";
-          return response;
-        }
-        response.results.push_back(CachedRange(query.view(), request.delta));
-      }
+      HandleWireBatch(request, arrival, &response);
       break;
     case MsgType::kInsert: {
       Result<SetId> inserted = [&]() -> Result<SetId> {
@@ -812,8 +917,92 @@ Response Server::HandleRequest(
       }
       break;
     }
+    case MsgType::kMaintainNow: {
+      // Maintenance rewrites index internals, so on engines without the
+      // concurrent-mutation contract it excludes queries like any write.
+      Result<search::MaintenanceReport> report =
+          [&]() -> Result<search::MaintenanceReport> {
+        if (engine_concurrent_insert_) return engine_->MaintainNow();
+        std::unique_lock<std::shared_mutex> lock(engine_mu_);
+        return engine_->MaintainNow();
+      }();
+      if (report.ok()) {
+        // No cache epoch bump: maintenance is exactness-preserving, so
+        // every cached answer stays correct.
+        response.maintenance_splits = report.value().splits;
+        response.maintenance_recomputes = report.value().recomputes;
+        response.maintenance_bits_dropped = report.value().bits_dropped;
+      } else {
+        response.status = WireStatusFromCode(report.status().code());
+        response.message = report.status().message();
+      }
+      break;
+    }
   }
   return response;
+}
+
+void Server::HandleWireBatch(const Request& request,
+                             std::chrono::steady_clock::time_point arrival,
+                             Response* response) {
+  const bool is_knn = request.type == MsgType::kKnnBatch;
+  const size_t n = request.queries.size();
+  auto expired = [&]() {
+    return request.deadline_ms > 0 &&
+           std::chrono::steady_clock::now() - arrival >=
+               std::chrono::milliseconds(request.deadline_ms);
+  };
+  auto deadline_response = [&]() {
+    *response = Response{};
+    response->status = WireStatus::kDeadlineExceeded;
+    response->message = "deadline of " + std::to_string(request.deadline_ms) +
+                        "ms expired mid-batch";
+  };
+  response->results.resize(n);
+  std::vector<std::string> keys(n);
+  std::vector<size_t> miss;
+  for (size_t i = 0; i < n; ++i) {
+    SetView query = request.queries[i].view();
+    if (cache_ != nullptr) {
+      keys[i] = is_knn ? ResultCache::KnnKey(query, request.k)
+                       : ResultCache::RangeKey(query, request.delta);
+      if (auto cached = cache_->Get(keys[i])) {
+        response->results[i] = *cached;
+        continue;
+      }
+    }
+    miss.push_back(i);
+  }
+  if (miss.empty()) return;
+  // The budget is re-checked once between the cache phase and the engine
+  // call (the fused probe is all-or-nothing, so there is no per-query
+  // point to check at). Expiry still voids the WHOLE response.
+  if (expired()) {
+    deadline_response();
+    return;
+  }
+  uint64_t epoch = cache_ != nullptr ? cache_->epoch() : 0;
+  std::vector<SetRecord> queries;
+  queries.reserve(miss.size());
+  for (size_t i : miss) queries.push_back(request.queries[i]);
+  std::vector<api::QueryResult> answers;
+  if (engine_concurrent_insert_) {
+    answers = is_knn ? engine_->KnnBatch(queries, request.k)
+                     : engine_->RangeBatch(queries, request.delta);
+  } else {
+    std::shared_lock<std::shared_mutex> lock(engine_mu_);
+    answers = is_knn ? engine_->KnnBatch(queries, request.k)
+                     : engine_->RangeBatch(queries, request.delta);
+  }
+  for (size_t j = 0; j < miss.size(); ++j) {
+    size_t i = miss[j];
+    if (cache_ != nullptr) {
+      cache_->Put(keys[i],
+                  std::make_shared<const std::vector<Hit>>(answers[j].hits),
+                  epoch);
+    }
+    response->results[i] = std::move(answers[j].hits);
+  }
 }
 
 }  // namespace serve

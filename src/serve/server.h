@@ -89,6 +89,16 @@ struct ServerOptions {
   size_t cache_bytes = 64u << 20;
   size_t cache_shards = 16;
 
+  /// Executor coalescing window. An executor that pops a single-query
+  /// kKnn/kRange request may drain up to batch_window-1 more COMPATIBLE
+  /// pending requests (same type; equal k / bit-identical delta) from the
+  /// queue and answer the whole group through ONE engine batch call — the
+  /// batched column probe amortizes the TGM walk across the group.
+  /// Replies stay per-request (each keeps its seq, deadline, cache entry,
+  /// and counters) and are byte-identical to sequential execution. 1
+  /// disables coalescing.
+  size_t batch_window = 1;
+
   /// Test instrumentation. `before_execute` runs in the executor after a
   /// request is popped and BEFORE its deadline check — the deadline and
   /// overload tests use it to hold executors deterministically. Never set
@@ -170,8 +180,20 @@ class Server {
   bool TryEnqueue(Work work);
 
   void Execute(const Work& work);
+  /// Answers a coalesced group of compatible kKnn/kRange requests through
+  /// one engine batch call (see ServerOptions::batch_window). Each
+  /// member's deadline, cache entry, counters, and reply are handled
+  /// individually, exactly as Execute would.
+  void ExecuteBatch(std::vector<Work>* group);
   Response HandleRequest(const Request& request,
                          std::chrono::steady_clock::time_point arrival);
+  /// Answers a kKnnBatch/kRangeBatch body: cache hits peel off per query,
+  /// the misses run as ONE engine KnnBatch/RangeBatch, each miss's answer
+  /// is cached. Deadline expiry turns the whole response into
+  /// kDeadlineExceeded, as the sequential loop did.
+  void HandleWireBatch(const Request& request,
+                       std::chrono::steady_clock::time_point arrival,
+                       Response* response);
   /// One Knn/Range through the cache; `hits` receives a shared list.
   std::vector<Hit> CachedKnn(SetView query, size_t k);
   std::vector<Hit> CachedRange(SetView query, double delta);

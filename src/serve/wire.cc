@@ -15,7 +15,7 @@ constexpr size_t kMaxMessageBytes = 64 * 1024;
 
 bool KnownType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kPing) &&
-         raw <= static_cast<uint8_t>(MsgType::kUpdate);
+         raw <= static_cast<uint8_t>(MsgType::kMaintainNow);
 }
 
 void EncodeSet(SetView set, persist::ByteWriter* out) {
@@ -187,6 +187,8 @@ void EncodeRequest(const Request& request, persist::ByteWriter* out) {
       out->WriteU32(request.target_id);
       EncodeSet(request.queries[0], out);
       break;
+    case MsgType::kMaintainNow:
+      break;  // admin verb, empty body
   }
 }
 
@@ -214,6 +216,9 @@ size_t EncodedOkPayloadSize(const Response& response, MsgType type) {
     case MsgType::kDelete:
     case MsgType::kUpdate:
       break;  // an OK mutation reply is just seq + status
+    case MsgType::kMaintainNow:
+      size += 24;  // three u64 ops counters
+      break;
   }
   return size;
 }
@@ -264,6 +269,11 @@ void EncodeResponse(const Response& response, MsgType type,
       break;
     case MsgType::kDelete:
     case MsgType::kUpdate:
+      break;
+    case MsgType::kMaintainNow:
+      out->WriteU64(response.maintenance_splits);
+      out->WriteU64(response.maintenance_recomputes);
+      out->WriteU64(response.maintenance_bits_dropped);
       break;
   }
 }
@@ -390,6 +400,8 @@ Result<Request> DecodeRequest(const uint8_t* payload, size_t size) {
       request.queries.push_back(std::move(set).ValueOrDie());
       break;
     }
+    case MsgType::kMaintainNow:
+      break;
   }
   if (!in.AtEnd()) {
     return Status::InvalidArgument(
@@ -452,6 +464,11 @@ Result<Response> DecodeResponse(const uint8_t* payload, size_t size,
       break;
     case MsgType::kDelete:
     case MsgType::kUpdate:
+      break;
+    case MsgType::kMaintainNow:
+      LES3_RETURN_NOT_OK(in.ReadU64(&response.maintenance_splits));
+      LES3_RETURN_NOT_OK(in.ReadU64(&response.maintenance_recomputes));
+      LES3_RETURN_NOT_OK(in.ReadU64(&response.maintenance_bits_dropped));
       break;
   }
   if (!in.AtEnd()) {

@@ -57,6 +57,7 @@ enum class MsgType : uint8_t {
   kInsert = 7,     // insert one set, returns its global id
   kDelete = 8,     // tombstone one set by id
   kUpdate = 9,     // replace one set's content, keeping its id
+  kMaintainNow = 10,  // run one synchronous maintenance cycle, empty body
 };
 
 /// Typed reply status. 0-9 mirror les3::StatusCode value for value
@@ -101,6 +102,12 @@ struct Response {
   std::string message;   // non-OK replies only
   std::string describe;  // kDescribe
   SetId inserted_id = 0; // kInsert
+  /// kMaintainNow: the cycle's ops counters (search::MaintenanceReport
+  /// on the wire). Maintenance is exactness-preserving, so these are the
+  /// only observable outcome of the verb.
+  uint64_t maintenance_splits = 0;
+  uint64_t maintenance_recomputes = 0;
+  uint64_t maintenance_bits_dropped = 0;
   /// Hit lists: one for kKnn/kRange, N (in request order) for batches.
   std::vector<std::vector<Hit>> results;
 };

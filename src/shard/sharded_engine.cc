@@ -17,6 +17,11 @@ size_t HardwareThreads() {
   return hw == 0 ? 4 : hw;
 }
 
+/// Queries per (chunk, shard) sub-batch probe. Large enough that the
+/// fused column walk amortizes, small enough that the per-chunk counts
+/// matrix stays cache-resident and chunks spread across the pool.
+constexpr size_t kBatchChunk = 64;
+
 }  // namespace
 
 ShardedEngine::ShardedEngine(std::shared_ptr<SetDatabase> db,
@@ -261,18 +266,87 @@ api::QueryResult ShardedEngine::RangeImpl(SetView query,
   return out;
 }
 
+void ShardedEngine::BatchProbeKnn(size_t s, const SetView* queries, size_t nq,
+                                  size_t k, Probe* out, size_t stride) const {
+  std::vector<std::vector<Hit>> hits;
+  std::vector<search::QueryStats> stats;
+  uint64_t shard_size = 0;
+  const Shard& sh = *shards_[s];
+  {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    sh.index->KnnBatch(queries, nq, k, &hits, &stats,
+                       [this, s](GroupId g, size_t candidates) {
+                         activities_[s]->Observe(g, candidates);
+                       });
+    shard_size = sh.db->size();
+  }
+  const SetId id_stride = static_cast<SetId>(shards_.size());
+  for (size_t q = 0; q < nq; ++q) {
+    Probe& p = out[q * stride];
+    p.hits = std::move(hits[q]);
+    p.stats = stats[q];
+    p.shard_size = shard_size;
+    if (id_stride > 1) {
+      for (Hit& h : p.hits) {
+        h.first = h.first * id_stride + static_cast<SetId>(s);
+      }
+    }
+  }
+}
+
+void ShardedEngine::BatchProbeRange(size_t s, const SetView* queries,
+                                    size_t nq, double delta, Probe* out,
+                                    size_t stride) const {
+  std::vector<std::vector<Hit>> hits;
+  std::vector<search::QueryStats> stats;
+  uint64_t shard_size = 0;
+  const Shard& sh = *shards_[s];
+  {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    sh.index->RangeBatch(queries, nq, delta, &hits, &stats,
+                         [this, s](GroupId g, size_t candidates) {
+                           activities_[s]->Observe(g, candidates);
+                         });
+    shard_size = sh.db->size();
+  }
+  const SetId id_stride = static_cast<SetId>(shards_.size());
+  for (size_t q = 0; q < nq; ++q) {
+    Probe& p = out[q * stride];
+    p.hits = std::move(hits[q]);
+    p.stats = stats[q];
+    p.shard_size = shard_size;
+    if (id_stride > 1) {
+      for (Hit& h : p.hits) {
+        h.first = h.first * id_stride + static_cast<SetId>(s);
+      }
+    }
+  }
+}
+
 std::vector<api::QueryResult> ShardedEngine::KnnBatch(
     const std::vector<SetRecord>& queries, size_t k) const {
   const size_t num_shards = shards_.size();
   const size_t nq = queries.size();
   std::vector<api::QueryResult> results(nq);
   if (nq == 0) return results;
-  // One flat (query, shard) grid on ONE pool. The base-class batch path
+  // One flat (chunk, shard) grid on ONE pool — the base-class batch path
   // would call Knn from inside a pool task, which would Submit to (and
-  // Wait on) the pool it runs on — a deadlock, not just a slowdown.
+  // Wait on) the pool it runs on: a deadlock, not just a slowdown. Each
+  // task is one fused batched probe (one column walk per chunk), the
+  // tentpole's whole point; each shard still sees every chunk, so the
+  // grid keeps all cores busy even on few-shard engines.
+  std::vector<SetView> views;
+  views.reserve(nq);
+  for (const SetRecord& q : queries) views.push_back(q.view());
+  const size_t num_chunks = (nq + kBatchChunk - 1) / kBatchChunk;
   std::vector<Probe> probes(nq * num_shards);
-  pool().ParallelFor(nq * num_shards, [&](size_t t) {
-    probes[t] = ProbeKnn(t % num_shards, queries[t / num_shards], k);
+  pool().ParallelFor(num_chunks * num_shards, [&](size_t t) {
+    const size_t c = t / num_shards;
+    const size_t s = t % num_shards;
+    const size_t begin = c * kBatchChunk;
+    const size_t n = std::min(kBatchChunk, nq - begin);
+    BatchProbeKnn(s, views.data() + begin, n, k,
+                  &probes[begin * num_shards + s], num_shards);
   });
   for (size_t q = 0; q < nq; ++q) {
     std::vector<Probe> per(
@@ -289,9 +363,18 @@ std::vector<api::QueryResult> ShardedEngine::RangeBatchImpl(
   const size_t nq = queries.size();
   std::vector<api::QueryResult> results(nq);
   if (nq == 0) return results;
+  std::vector<SetView> views;
+  views.reserve(nq);
+  for (const SetRecord& q : queries) views.push_back(q.view());
+  const size_t num_chunks = (nq + kBatchChunk - 1) / kBatchChunk;
   std::vector<Probe> probes(nq * num_shards);
-  pool().ParallelFor(nq * num_shards, [&](size_t t) {
-    probes[t] = ProbeRange(t % num_shards, queries[t / num_shards], delta);
+  pool().ParallelFor(num_chunks * num_shards, [&](size_t t) {
+    const size_t c = t / num_shards;
+    const size_t s = t % num_shards;
+    const size_t begin = c * kBatchChunk;
+    const size_t n = std::min(kBatchChunk, nq - begin);
+    BatchProbeRange(s, views.data() + begin, n, delta,
+                    &probes[begin * num_shards + s], num_shards);
   });
   for (size_t q = 0; q < nq; ++q) {
     std::vector<Probe> per(
@@ -392,7 +475,7 @@ void ShardedEngine::StartMaintenance(
 
 void ShardedEngine::StopMaintenance() { maintenance_.reset(); }
 
-search::MaintenanceReport ShardedEngine::MaintainNow() {
+Result<search::MaintenanceReport> ShardedEngine::MaintainNow() {
   search::MaintenanceReport total;
   for (size_t s = 0; s < shards_.size(); ++s) total += MaintainShard(s);
   return total;
@@ -439,10 +522,12 @@ std::string ShardedEngine::Describe() const {
                   ", measure=" + ToString(measure_) +
                   ", bitmap=" + bitmap::ToString(bitmap_backend_) +
                   ", groups=[";
+  uint64_t dirt = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
     std::shared_lock<std::shared_mutex> lock(shards_[i]->mu);
     if (i > 0) s += ",";
     s += std::to_string(shards_[i]->index->tgm().num_groups());
+    dirt += shards_[i]->index->tgm().TotalDirt();
   }
   s += "]";
   if (from_snapshot_) {
@@ -457,6 +542,14 @@ std::string ShardedEngine::Describe() const {
     if (global_db_->num_deleted() > 0) {
       s += " [live=" + std::to_string(global_db_->num_live()) +
            ", deleted=" + std::to_string(global_db_->num_deleted()) + "]";
+    }
+    // Mutation debt, when any exists: stale column bits awaiting
+    // maintenance and arena tokens of tombstoned sets (both counted in
+    // IndexBytes / memory reporting, attributed here).
+    uint64_t garbage = global_db_->GarbageTokens();
+    if (dirt != 0 || garbage != 0) {
+      s += " [dirt=" + std::to_string(dirt) +
+           ", garbage_tokens=" + std::to_string(garbage) + "]";
     }
   }
   return s;

@@ -75,8 +75,12 @@ class ShardedEngine : public api::SearchEngine {
   /// concurrently with Insert.
   api::QueryResult Knn(SetView query, size_t k) const override;
 
-  /// Batch queries stripe (query, shard) probe units across ONE thread
-  /// pool instead of layering a per-query pool over a per-shard pool.
+  /// Batch queries stripe (chunk, shard) sub-batches across ONE thread
+  /// pool: the batch is cut into fixed-size chunks and each shard answers
+  /// a whole chunk in one fused Les3Index::KnnBatch call under a single
+  /// reader-lock acquisition — one batched column probe per (shard,
+  /// chunk) instead of one task per (query, shard). Results are merged
+  /// per query exactly as the single-query scatter-gather does.
   std::vector<api::QueryResult> KnnBatch(const std::vector<SetRecord>& queries,
                                          size_t k) const override;
 
@@ -107,9 +111,10 @@ class ShardedEngine : public api::SearchEngine {
   void StopMaintenance();
 
   /// Runs one synchronous maintenance cycle over EVERY shard — the
-  /// deterministic entry point for tests and benchmarks. Safe while the
-  /// background thread runs (shard locks serialize the cycles).
-  search::MaintenanceReport MaintainNow();
+  /// deterministic entry point for tests, benchmarks, and the serve
+  /// admin verb (kMaintainNow). Safe while the background thread runs
+  /// (shard locks serialize the cycles). Never fails on this backend.
+  Result<search::MaintenanceReport> MaintainNow() override;
 
   /// Writes a v2 sharded snapshot. Takes every shard lock, so it is safe
   /// concurrently with queries and Inserts (they wait).
@@ -143,7 +148,7 @@ class ShardedEngine : public api::SearchEngine {
   /// hook of the validating api::SearchEngine::Range template method.)
   api::QueryResult RangeImpl(SetView query, double delta) const override;
 
-  /// Stripes (query, shard) probe units across ONE thread pool, like
+  /// Stripes (chunk, shard) sub-batches across ONE thread pool, like
   /// KnnBatch.
   std::vector<api::QueryResult> RangeBatchImpl(
       const std::vector<SetRecord>& queries, double delta) const override;
@@ -185,6 +190,15 @@ class ShardedEngine : public api::SearchEngine {
       const;
   Probe ProbeKnn(size_t s, SetView query, size_t k) const;
   Probe ProbeRange(size_t s, SetView query, double delta) const;
+
+  /// \brief One fused sub-batch probe: shard `s` answers all `nq` queries
+  /// through the index's batched pipeline under ONE reader-lock
+  /// acquisition, writing query q's probe (hits mapped to global ids) to
+  /// out[q * stride]. Byte-identical per query to ProbeKnn/ProbeRange.
+  void BatchProbeKnn(size_t s, const SetView* queries, size_t nq, size_t k,
+                     Probe* out, size_t stride) const;
+  void BatchProbeRange(size_t s, const SetView* queries, size_t nq,
+                       double delta, Probe* out, size_t stride) const;
 
   /// Sums one probe's counters into `stats` and tracks the whole-database
   /// size and the slowest probe (the scatter-gather critical path).

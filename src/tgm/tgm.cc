@@ -133,11 +133,114 @@ size_t Tgm::MatchedCandidates(SetView query, uint32_t min_count,
   return visited;
 }
 
+namespace {
+
+/// One entry of the inverted batch plan: query `query` wants column
+/// `token` folded into its row with weight `weight`.
+struct TokenSubscriber {
+  TokenId token;
+  uint32_t query;
+  uint32_t weight;
+};
+
+}  // namespace
+
+size_t Tgm::MatchedCandidatesBatch(
+    const SetView* queries, size_t num_queries, const uint32_t* min_counts,
+    std::vector<uint32_t>* counts, std::vector<std::vector<GroupId>>* candidates,
+    std::vector<size_t>* columns_visited) const {
+  // Thread-local scratch mirrors MatchedCounts: the plan, fan-out buffer
+  // and accumulator carry no index-specific state between uses, so reuse
+  // only amortizes allocations across batches on pool threads.
+  static thread_local bitmap::BatchGroupCountAccumulator acc;
+  static thread_local std::vector<TokenSubscriber> plan;
+  static thread_local std::vector<bitmap::QueryWeight> fan;
+
+  const uint32_t nq = static_cast<uint32_t>(num_queries);
+  columns_visited->assign(num_queries, 0);
+
+  // Invert: per query, the same canonicalization loop as the solo path.
+  // Queries whose attainable count cannot reach their threshold subscribe
+  // to nothing (the solo short-circuit), leaving an all-zero row.
+  plan.clear();
+  for (uint32_t q = 0; q < nq; ++q) {
+    if (min_counts != nullptr && min_counts[q] > 0) {
+      uint32_t attainable = 0;
+      ForEachTokenMultiplicity(queries[q], [&](TokenId t, uint32_t m) {
+        if (t < columns_.size() && !columns_[t].Empty()) attainable += m;
+      });
+      if (attainable < min_counts[q]) continue;
+    }
+    ForEachTokenMultiplicity(queries[q], [&](TokenId t, uint32_t m) {
+      if (t >= columns_.size()) return;  // token outside T: M[*, t] = 0
+      if (columns_[t].Empty()) return;
+      plan.push_back({t, q, m});
+      ++(*columns_visited)[q];
+    });
+  }
+  // Group subscribers by column; query order within a column keeps each
+  // row's kernel sequence identical to its solo walk (the sums are exact
+  // integers, so any order would do — identical order just makes the
+  // byte-exactness argument trivial).
+  std::sort(plan.begin(), plan.end(),
+            [](const TokenSubscriber& a, const TokenSubscriber& b) {
+              return a.token != b.token ? a.token < b.token
+                                        : a.query < b.query;
+            });
+
+  acc.Reset(nq, num_groups(), counts);
+  size_t distinct_columns = 0;
+  size_t i = 0;
+  while (i < plan.size()) {
+    const TokenId t = plan[i].token;
+    fan.clear();
+    do {
+      fan.push_back({plan[i].query, plan[i].weight});
+      ++i;
+    } while (i < plan.size() && plan[i].token == t);
+    ++distinct_columns;
+    columns_[t].AccumulateIntoBatch(acc, fan.data(), fan.size());
+  }
+  acc.Finish();
+
+  if (candidates != nullptr) {
+    candidates->assign(num_queries, {});
+    const uint32_t* rows = counts->data();
+    for (uint32_t q = 0; q < nq; ++q) {
+      const uint32_t min_count = min_counts != nullptr ? min_counts[q] : 0;
+      const uint32_t* row = rows + static_cast<size_t>(q) * num_groups();
+      // Hopeless queries harvested nothing on the solo path either: their
+      // short-circuit returns before the harvest loop. (With min_count > 0,
+      // zero columns visited can only mean the attainable check failed.)
+      if (min_count > 0 && (*columns_visited)[q] == 0) continue;
+      auto& out = (*candidates)[q];
+      out.reserve(num_groups());
+      for (GroupId g = 0; g < num_groups(); ++g) {
+        if (row[g] >= min_count) out.push_back(g);
+      }
+    }
+  }
+  return distinct_columns;
+}
+
+size_t Tgm::MatchedCountsBatch(const SetView* queries, size_t num_queries,
+                               std::vector<uint32_t>* counts,
+                               std::vector<size_t>* columns_visited) const {
+  return MatchedCandidatesBatch(queries, num_queries, /*min_counts=*/nullptr,
+                                counts, /*candidates=*/nullptr,
+                                columns_visited);
+}
+
 void Tgm::BackfillZeroCountGroups(const std::vector<uint32_t>& counts,
                                   uint32_t min_count, TopKHits* best) const {
+  BackfillZeroCountGroups(counts.data(), min_count, best);
+}
+
+void Tgm::BackfillZeroCountGroups(const uint32_t* counts, uint32_t min_count,
+                                  TopKHits* best) const {
   if (min_count == 0) return;  // nothing was pruned
   if (best->full() && best->WorstSimilarity() > 0.0) return;
-  for (GroupId g = 0; g < counts.size(); ++g) {
+  for (GroupId g = 0; g < num_groups(); ++g) {
     if (counts[g] != 0 || members_[g].empty()) continue;
     for (SetId s : members_[g]) best->Offer(s, 0.0);
   }

@@ -137,6 +137,31 @@ class Tgm {
                            std::vector<uint32_t>* counts,
                            std::vector<GroupId>* candidates) const;
 
+  /// \brief Batched MatchedCounts over `num_queries` canonicalized queries:
+  /// inverts the batch into a token -> subscriber plan and walks each
+  /// referenced column once, fanning its decoded containers out to every
+  /// subscribing query's counter row. `counts` is resized to
+  /// num_queries * num_groups() (row-major; row q is query q's counter
+  /// array, byte-identical to a solo MatchedCounts run).
+  /// `columns_visited` is resized to the per-query non-empty column counts
+  /// (the solo MatchedCounts return values). Returns the number of
+  /// *distinct* columns walked — the work the batch actually did.
+  size_t MatchedCountsBatch(const SetView* queries, size_t num_queries,
+                            std::vector<uint32_t>* counts,
+                            std::vector<size_t>* columns_visited) const;
+
+  /// \brief Batched MatchedCandidates: per-query thresholds in
+  /// `min_counts[0 .. num_queries)`. Queries whose attainable count falls
+  /// below their threshold are excluded from the shared walk entirely
+  /// (zero counter row, empty candidate list, columns_visited 0 — exactly
+  /// the solo short-circuit). `candidates[q]` gets query q's qualifying
+  /// groups ascending. Returns the number of distinct columns walked.
+  size_t MatchedCandidatesBatch(const SetView* queries, size_t num_queries,
+                                const uint32_t* min_counts,
+                                std::vector<uint32_t>* counts,
+                                std::vector<std::vector<GroupId>>* candidates,
+                                std::vector<size_t>* columns_visited) const;
+
   /// \brief kNN backfill for the zero-count groups MatchedCandidates
   /// pruned: their members all have similarity exactly 0, so they are only
   /// offered (at similarity 0) when the result underflowed k, or when
@@ -146,6 +171,11 @@ class Tgm {
   /// search::CandidateVerifier so the subtle tie rule lives in one place.
   void BackfillZeroCountGroups(const std::vector<uint32_t>& counts,
                                uint32_t min_count, TopKHits* best) const;
+
+  /// Pointer variant over one row of a batch counts matrix (`counts` has
+  /// num_groups() entries).
+  void BackfillZeroCountGroups(const uint32_t* counts, uint32_t min_count,
+                               TopKHits* best) const;
 
   /// \brief Reference per-bit implementation of MatchedCounts (the
   /// pre-kernel ForEach loop). Kept as the differential baseline for the

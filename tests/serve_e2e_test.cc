@@ -837,6 +837,197 @@ TEST_F(ServeE2ETest, ConcurrentClientsAndInserts) {
             uint64_t{kClients} * kIters + kInserts + queries.size());
 }
 
+// Executor coalescing (ServerOptions::batch_window): a pipelined burst of
+// compatible and INcompatible requests, executed by one deliberately slow
+// executor so the pending queue actually fills and groups form. Every
+// reply must be byte-exact against a direct engine call and match its
+// request by seq — coalescing must be invisible in the answers.
+TEST_F(ServeE2ETest, CoalescedServingStaysExact) {
+  ServerOptions options;
+  options.batch_window = 8;
+  options.executors = 1;
+  options.cache_bytes = 0;  // every request reaches the engine batch path
+  options.before_execute = [](const Request&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  StartServer(options);
+  Client client = MustConnect(server_->port());
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 10);
+
+  std::vector<Request> burst;
+  for (size_t i = 0; i < 40; ++i) {
+    Request request;
+    request.queries.push_back(queries[i % queries.size()]);
+    switch (i % 4) {
+      case 0:
+        request.type = MsgType::kKnn;
+        request.k = 5;
+        break;
+      case 1:
+        request.type = MsgType::kKnn;
+        request.k = 9;  // incompatible k: must never share a group with k=5
+        break;
+      case 2:
+        request.type = MsgType::kRange;
+        request.delta = 0.5;
+        break;
+      default:
+        request.type = MsgType::kRange;
+        request.delta = 0.7;
+        break;
+    }
+    burst.push_back(std::move(request));
+  }
+  std::vector<Response> replies;
+  Status st = client.CallPipelined(burst, &replies);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(replies.size(), burst.size());
+  for (size_t i = 0; i < burst.size(); ++i) {
+    ASSERT_EQ(replies[i].status, WireStatus::kOk) << replies[i].message;
+    SetView query = burst[i].queries[0].view();
+    std::vector<Hit> direct = burst[i].type == MsgType::kKnn
+                                  ? engine_->Knn(query, burst[i].k).hits
+                                  : engine_->Range(query, burst[i].delta).hits;
+    ExpectExactHits(direct, replies[i].results[0],
+                    "coalesced i=" + std::to_string(i));
+  }
+}
+
+// Coalescing under concurrent mutations — the TSan leg for the batched
+// serving path: pipelining clients keep the queue populated while a
+// mutator inserts/deletes/updates, so engine batch calls, cache fills,
+// epoch bumps, and coalesced grouping all race. Replies must stay
+// well-formed throughout and exact once quiescent.
+TEST_F(ServeE2ETest, CoalescedServingWithConcurrentMutations) {
+  ServerOptions options;
+  options.batch_window = 6;
+  options.executors = 2;
+  StartServer(options);
+  uint16_t port = server_->port();
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 8);
+
+  constexpr int kClients = 3;
+  constexpr int kRounds = 12;
+  constexpr size_t kPipeline = 10;
+  std::atomic<uint64_t> failures{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client = MustConnect(port);
+      std::vector<Request> burst;
+      std::vector<Response> replies;
+      for (int round = 0; round < kRounds; ++round) {
+        burst.clear();
+        for (size_t j = 0; j < kPipeline; ++j) {
+          Request request;
+          request.type = (j % 2 == 0) ? MsgType::kKnn : MsgType::kRange;
+          request.k = 5;
+          request.delta = 0.6;
+          request.queries.push_back(queries[(c + round + j) % queries.size()]);
+          burst.push_back(std::move(request));
+        }
+        if (!client.CallPipelined(burst, &replies).ok()) {
+          failures.fetch_add(kPipeline);
+          continue;
+        }
+        for (const Response& reply : replies) {
+          if (reply.status != WireStatus::kOk) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread mutator([&] {
+    Client client = MustConnect(port);
+    for (int i = 0; i < 30; ++i) {
+      Status st = Status::OK();
+      switch (i % 3) {
+        case 0: {
+          auto id = client.Insert(queries[i % queries.size()]);
+          st = id.ok() ? Status::OK() : id.status();
+          break;
+        }
+        case 1:
+          st = client.Delete(static_cast<SetId>(5 * (i / 3)));
+          break;
+        default:
+          st = client.Update(static_cast<SetId>(150 + 5 * (i / 3)),
+                             queries[i % queries.size()]);
+      }
+      if (!st.ok()) failures.fetch_add(1);
+    }
+  });
+  for (auto& thread : clients) thread.join();
+  mutator.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  Client client = MustConnect(port);
+  for (const SetRecord& query : queries) {
+    auto hits = client.Knn(query.view(), 5);
+    ASSERT_TRUE(hits.ok());
+    ExpectExactHits(engine_->Knn(query.view(), 5).hits, hits.value(),
+                    "quiescent coalesced");
+  }
+}
+
+// The kMaintainNow admin verb: runs a synchronous maintenance cycle on
+// the serving engine, returns its ops counters, and preserves every
+// answer — including ones already sitting in the result cache (no epoch
+// bump: maintenance is exactness-preserving).
+TEST_F(ServeE2ETest, MaintainNowOverWire) {
+  StartServer();
+  Client client = MustConnect(server_->port());
+  std::vector<SetRecord> queries = SampleQueries(engine_->db(), 6);
+
+  // Tombstone some sets so maintenance has stale bits to pay down.
+  for (SetId id = 0; id < 30; id += 2) {
+    ASSERT_TRUE(client.Delete(id).ok());
+  }
+  // Warm the cache and pin the expected answers.
+  std::vector<std::vector<Hit>> before;
+  for (const SetRecord& query : queries) {
+    auto hits = client.Knn(query.view(), 6);
+    ASSERT_TRUE(hits.ok());
+    before.push_back(std::move(hits).ValueOrDie());
+  }
+  ASSERT_NE(server_->cache(), nullptr);
+  uint64_t epoch_before = server_->cache()->epoch();
+
+  auto report = client.MaintainNow();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().bits_dropped, 0u);  // the tombstones' dirt
+
+  // No invalidation, and the (cached) answers are still the exact ones.
+  EXPECT_EQ(server_->cache()->epoch(), epoch_before);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto hits = client.Knn(queries[i].view(), 6);
+    ASSERT_TRUE(hits.ok());
+    ExpectExactHits(before[i], hits.value(),
+                    "post-maintenance q=" + std::to_string(i));
+    ExpectExactHits(engine_->Knn(queries[i].view(), 6).hits, hits.value(),
+                    "post-maintenance fresh q=" + std::to_string(i));
+  }
+}
+
+// Backends without self-healing maintenance answer the verb with a typed
+// NotSupported, not a protocol error.
+TEST_F(ServeE2ETest, MaintainNowNotSupportedTyped) {
+  auto engine = api::EngineBuilder::Build(MakeDb(12), "brute_force",
+                                          FastOptions());
+  ASSERT_TRUE(engine.ok());
+  std::shared_ptr<SearchEngine> shared(std::move(engine).ValueOrDie());
+  ServerOptions options;
+  options.port = 0;
+  Server server(shared, options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MustConnect(server.port());
+  auto report = client.MaintainNow();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotSupported);
+  // The connection survives a typed rejection.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace les3

@@ -170,6 +170,43 @@ TEST(ServeProtocol, RoundTripUpdate) {
   }
 }
 
+TEST(ServeProtocol, RoundTripMaintainNow) {
+  Request request;
+  request.seq = 15;
+  request.type = MsgType::kMaintainNow;
+  std::vector<uint8_t> payload = EncodePayload(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MsgType::kMaintainNow);
+  EXPECT_TRUE(decoded.value().queries.empty());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(payload.data(), len).ok())
+        << "prefix length " << len << " decoded";
+  }
+
+  // The OK reply carries the three u64 ops counters, nothing else.
+  Response response;
+  response.seq = 15;
+  response.maintenance_splits = 3;
+  response.maintenance_recomputes = 9;
+  response.maintenance_bits_dropped = 12345678901234ull;
+  std::vector<uint8_t> reply =
+      EncodeResponsePayload(response, MsgType::kMaintainNow);
+  EXPECT_EQ(EncodedOkPayloadSize(response, MsgType::kMaintainNow),
+            reply.size());
+  auto round = DecodeResponse(reply.data(), reply.size(),
+                              MsgType::kMaintainNow);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round.value().maintenance_splits, 3u);
+  EXPECT_EQ(round.value().maintenance_recomputes, 9u);
+  EXPECT_EQ(round.value().maintenance_bits_dropped, 12345678901234ull);
+  for (size_t len = 0; len < reply.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeResponse(reply.data(), len, MsgType::kMaintainNow).ok())
+        << "prefix length " << len << " decoded";
+  }
+}
+
 TEST(ServeProtocol, MutationOkResponsesCarryNoBody) {
   // A successful Delete/Update reply is seq + status only; the encoder's
   // size accounting and the decoder must agree on the empty body.
@@ -363,7 +400,7 @@ TEST(ServeProtocol, ResponseTruncationSweep) {
 
 TEST(ServeProtocol, RejectsUnknownRequestType) {
   std::vector<uint8_t> payload = EncodePayload(KnnRequest());
-  for (uint8_t bad : {uint8_t{0}, uint8_t{10}, uint8_t{200}}) {
+  for (uint8_t bad : {uint8_t{0}, uint8_t{11}, uint8_t{200}}) {
     std::vector<uint8_t> corrupt = payload;
     corrupt[4] = bad;  // type byte sits after the u32 seq
     auto decoded = DecodeRequest(corrupt.data(), corrupt.size());

@@ -301,8 +301,9 @@ TEST(ShardConcurrencyTest, MutationSoakWithMaintenanceStaysExact) {
 
   // One synchronous full pass: quiesced, so the report is deterministic
   // evidence the engine still had (or no longer has) debt to pay.
-  search::MaintenanceReport report = sharded->MaintainNow();
-  (void)report;  // content depends on how much the background thread won
+  Result<search::MaintenanceReport> report = sharded->MaintainNow();
+  ASSERT_TRUE(report.ok());  // content depends on how much the background
+                             // thread won
 
   // The healed engine answers exactly like brute force over the survivor
   // database (tombstones skipped), including similarity ties.
@@ -322,6 +323,96 @@ TEST(ShardConcurrencyTest, MutationSoakWithMaintenanceStaysExact) {
           << "q=" << qid << " rank " << i;
       EXPECT_DOUBLE_EQ(expected.hits[i].second, actual.hits[i].second)
           << "q=" << qid << " rank " << i;
+    }
+  }
+}
+
+// The batched probe pipeline under fire — the TSan leg for the fused
+// (chunk, shard) sub-batches: KnnBatch/RangeBatch stripe whole chunks
+// through each shard's index under one reader lock while writers mutate
+// shards and the background maintenance thread splits/heals them. The
+// thread_local probe scratch, the per-shard activity counters, and the
+// striped lock acquisitions all race here. Once quiesced, batch answers
+// must equal solo answers bit for bit.
+TEST(ShardConcurrencyTest, BatchedProbesDuringMutationSoak) {
+  constexpr uint32_t kInitialSets = 200;
+  auto db = MakeDb(55, kInitialSets);
+  std::vector<SetRecord> queries;
+  for (SetId qid = 0; qid < 80; ++qid) {
+    queries.emplace_back(db->set((qid * 7) % kInitialSets));
+  }
+  queries.emplace_back();  // one empty row rides every batch
+
+  auto built = EngineBuilder::Build(db, ShardedOptions(3));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  SearchEngine* engine = built.value().get();
+  auto* sharded = dynamic_cast<shard::ShardedEngine*>(engine);
+  ASSERT_NE(sharded, nullptr);
+
+  search::MaintenanceOptions maintenance;
+  maintenance.interval = std::chrono::milliseconds(1);
+  maintenance.dirt_ratio = 0.0;
+  maintenance.min_split_size = 8;
+  sharded->StartMaintenance(maintenance);
+
+  std::atomic<bool> writers_done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 120; ++i) {
+      const SetId target = static_cast<SetId>((i * 13) % kInitialSets);
+      switch (i % 4) {
+        case 0:
+        case 1:
+          (void)engine->Insert(SetRecord::FromTokens(
+              {static_cast<TokenId>(30 + i % 40),
+               static_cast<TokenId>(3 + (i % 9))}));
+          break;
+        case 2:
+          (void)engine->Delete(target);
+          break;
+        default:
+          (void)engine->Update(target,
+                               SetRecord::FromTokens(
+                                   {static_cast<TokenId>(i % 60),
+                                    static_cast<TokenId>(61 + i % 10)}));
+      }
+    }
+    writers_done.store(true);
+  });
+  // Batches large enough to cross the 64-query chunk boundary, so several
+  // (chunk, shard) sub-batches are in flight per call.
+  while (!writers_done.load()) {
+    auto batch = engine->KnnBatch(queries, 6);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (const auto& result : batch) ASSERT_LE(result.hits.size(), 6u);
+    auto ranges = engine->RangeBatch(queries, 0.4);
+    ASSERT_EQ(ranges.size(), queries.size());
+    for (const auto& result : ranges) {
+      ASSERT_EQ(result.stats.results, result.hits.size());
+    }
+  }
+  writer.join();
+  sharded->StopMaintenance();
+
+  // Quiesced differential: the fused pipeline and the solo path walk the
+  // same healed index and must agree exactly.
+  auto batch = engine->KnnBatch(queries, 6);
+  auto ranges = engine->RangeBatch(queries, 0.4);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo_knn = engine->Knn(queries[i].view(), 6);
+    ASSERT_EQ(solo_knn.hits.size(), batch[i].hits.size()) << "q=" << i;
+    for (size_t r = 0; r < solo_knn.hits.size(); ++r) {
+      EXPECT_EQ(solo_knn.hits[r].first, batch[i].hits[r].first)
+          << "q=" << i << " rank " << r;
+      EXPECT_EQ(solo_knn.hits[r].second, batch[i].hits[r].second)
+          << "q=" << i << " rank " << r;
+    }
+    auto solo_range = engine->Range(queries[i].view(), 0.4);
+    ASSERT_EQ(solo_range.hits.size(), ranges[i].hits.size()) << "q=" << i;
+    for (size_t r = 0; r < solo_range.hits.size(); ++r) {
+      EXPECT_EQ(solo_range.hits[r].first, ranges[i].hits[r].first)
+          << "q=" << i << " rank " << r;
+      EXPECT_EQ(solo_range.hits[r].second, ranges[i].hits[r].second)
+          << "q=" << i << " rank " << r;
     }
   }
 }

@@ -13,6 +13,10 @@
 //   --open-qps R     open-loop mode: aggregate send rate R requests/s
 //                    (default: closed loop — each thread sends the next
 //                    request as soon as the previous reply lands)
+//   --batch N        pipeline N single-query requests per round trip
+//                    (one write, N replies) — keeps the server's pending
+//                    queue populated so its executor coalescing
+//                    (--batch-window) has groups to drain (default 1)
 //   --deadline-ms N  per-request deadline budget sent on the wire (0=none)
 //   --timeout-ms N   client socket timeout       (default 30000)
 //   --label S        run label for the JSON row  (default "serve")
@@ -50,7 +54,7 @@ int Usage() {
       "usage: les3_loadgen <queries.txt> knn <k> [flags]\n"
       "       les3_loadgen <queries.txt> range <delta> [flags]\n"
       "flags: --host A --port N (required) --threads N --repeat N\n"
-      "       --open-qps R --deadline-ms N --timeout-ms N\n"
+      "       --open-qps R --batch N --deadline-ms N --timeout-ms N\n"
       "       --label S --json FILE --append\n"
       "Replays the query file against a running les3_serve and reports\n"
       "QPS plus p50/p95/p99 round-trip latency. Exit codes: 0 success,\n"
@@ -67,6 +71,7 @@ struct Flags {
   uint16_t port = 0;
   size_t threads = 1;
   size_t repeat = 1;
+  size_t batch = 1;       // requests pipelined per round trip
   double open_qps = 0.0;  // 0 = closed loop
   uint32_t deadline_ms = 0;
   uint32_t timeout_ms = 30000;
@@ -103,6 +108,9 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->threads = static_cast<size_t>(atoll(v));
     } else if (arg == "--repeat" && (v = next())) {
       flags->repeat = static_cast<size_t>(atoll(v));
+    } else if (arg == "--batch" && (v = next())) {
+      flags->batch = static_cast<size_t>(atoll(v));
+      if (flags->batch == 0) flags->batch = 1;
     } else if (arg == "--open-qps" && (v = next())) {
       flags->open_qps = atof(v);
     } else if (arg == "--deadline-ms" && (v = next())) {
@@ -163,6 +171,65 @@ void RunThread(const Flags& flags, const std::vector<SetRecord>& queries,
         static_cast<int64_t>(1e9 / per_thread));
   }
 
+  auto reconnect = [&](size_t next_i) -> bool {
+    // Transport failure: reconnect and keep going so one hiccup does
+    // not void the rest of the run.
+    auto again = serve::Client::Connect(flags.host, flags.port,
+                                        flags.timeout_ms);
+    if (!again.ok()) {
+      std::fprintf(stderr, "thread %zu: reconnect failed: %s\n",
+                   thread_index, again.status().ToString().c_str());
+      result->errors += total - next_i;
+      return false;
+    }
+    conn = std::move(again).ValueOrDie();
+    return true;
+  };
+
+  if (flags.batch > 1) {
+    // Pipelined mode: groups of single-query requests share one write and
+    // one wait. Each request in a group is charged the group's round trip
+    // (its reply cannot land later than that).
+    std::vector<serve::Request> group;
+    std::vector<serve::Response> replies;
+    for (size_t i = 0; i < total;) {
+      size_t n = std::min(flags.batch, total - i);
+      if (interval.count() > 0) {
+        std::this_thread::sleep_until(start + interval * i);
+      }
+      group.clear();
+      for (size_t j = 0; j < n; ++j) {
+        serve::Request request;
+        request.type = flags.knn ? serve::MsgType::kKnn
+                                 : serve::MsgType::kRange;
+        request.deadline_ms = flags.deadline_ms;
+        request.k = static_cast<uint32_t>(flags.k);
+        request.delta = flags.delta;
+        request.queries.push_back(
+            queries[(thread_index + i + j) % queries.size()]);
+        group.push_back(std::move(request));
+      }
+      WallTimer timer;
+      Status st = conn.CallPipelined(group, &replies);
+      double ms = timer.Millis();
+      if (st.ok()) {
+        for (const serve::Response& reply : replies) {
+          if (reply.status == serve::WireStatus::kOk) {
+            result->latencies_ms.push_back(ms);
+            result->hits += reply.results[0].size();
+          } else {
+            ++result->errors;
+          }
+        }
+      } else {
+        result->errors += n;
+        if (!conn.connected() && !reconnect(i + n)) return;
+      }
+      i += n;
+    }
+    return;
+  }
+
   for (size_t i = 0; i < total; ++i) {
     if (interval.count() > 0) {
       std::this_thread::sleep_until(start + interval * i);
@@ -181,19 +248,7 @@ void RunThread(const Flags& flags, const std::vector<SetRecord>& queries,
       continue;
     }
     ++result->errors;
-    if (!conn.connected()) {
-      // Transport failure: reconnect and keep going so one hiccup does
-      // not void the rest of the run.
-      auto again = serve::Client::Connect(flags.host, flags.port,
-                                          flags.timeout_ms);
-      if (!again.ok()) {
-        std::fprintf(stderr, "thread %zu: reconnect failed: %s\n",
-                     thread_index, again.status().ToString().c_str());
-        result->errors += total - i - 1;
-        return;
-      }
-      conn = std::move(again).ValueOrDie();
-    }
+    if (!conn.connected() && !reconnect(i + 1)) return;
   }
 }
 
@@ -260,11 +315,12 @@ int main(int argc, char** argv) {
       bench::SummarizeLatencies(std::move(latencies), wall_s);
 
   const char* mode = flags.knn ? "knn" : "range";
-  const char* loop = flags.open_qps > 0.0 ? "open" : "closed";
+  std::string loop = flags.open_qps > 0.0 ? "open" : "closed";
+  if (flags.batch > 1) loop += ", batch " + std::to_string(flags.batch);
   std::printf(
       "%zu %s queries (%zu threads, %s loop) in %.3fs: %.0f QPS, latency "
       "p50 %.3fms p95 %.3fms p99 %.3fms (%llu hits, %llu errors)\n",
-      summary.queries, mode, flags.threads, loop, summary.wall_s,
+      summary.queries, mode, flags.threads, loop.c_str(), summary.wall_s,
       summary.qps, summary.p50_ms, summary.p95_ms, summary.p99_ms,
       static_cast<unsigned long long>(hits_total),
       static_cast<unsigned long long>(errors));

@@ -11,6 +11,9 @@
 //   --io-workers N    epoll event loops         (default 2)
 //   --executors N     engine worker threads     (default: hardware)
 //   --queue N         admission-control bound   (default 256)
+//   --batch-window N  executor coalescing: answer up to N compatible
+//                     pending Knn/Range requests through one engine
+//                     batch call; 1 disables (default 16)
 //   --cache-mb N      result-cache budget; 0 disables (default 64)
 //   --backend NAME    open: backend override; build: backend
 //                     (default for --build: sharded_les3)
@@ -54,7 +57,8 @@ int Usage() {
       "usage: les3_serve <snapshot> [flags]\n"
       "       les3_serve <sets.txt> --build [flags]\n"
       "flags: --host A --port N --io-workers N --executors N --queue N\n"
-      "       --cache-mb N --backend NAME --shards N --groups N\n"
+      "       --batch-window N --cache-mb N --backend NAME --shards N\n"
+      "       --groups N\n"
       "Serves the les3 wire protocol (docs/serving.md) until SIGINT or\n"
       "SIGTERM, then drains in-flight requests and exits 0.\n"
       "Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.\n");
@@ -69,6 +73,12 @@ struct Flags {
   uint32_t groups = 0;
   serve::ServerOptions server;
   size_t cache_mb = 64;
+
+  Flags() {
+    // The binary defaults coalescing ON (the library default stays 1 so
+    // embedded/test servers are sequential unless asked).
+    server.batch_window = 16;
+  }
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -101,6 +111,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       const char* v = next();
       if (!v) return false;
       flags->server.max_pending = static_cast<size_t>(atoll(v));
+    } else if (arg == "--batch-window") {
+      const char* v = next();
+      if (!v) return false;
+      flags->server.batch_window = static_cast<size_t>(atoll(v));
+      if (flags->server.batch_window == 0) flags->server.batch_window = 1;
     } else if (arg == "--cache-mb") {
       const char* v = next();
       if (!v) return false;
@@ -185,10 +200,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "serving on %s:%u (io_workers=%zu executors=%zu "
-               "queue=%zu cache=%zuMiB)\n",
+               "queue=%zu batch_window=%zu cache=%zuMiB)\n",
                flags.server.host.c_str(), server.port(),
                server.options().io_workers, server.options().executors,
-               server.options().max_pending, flags.cache_mb);
+               server.options().max_pending, server.options().batch_window,
+               flags.cache_mb);
   std::printf("listening on port %u\n", server.port());
   std::fflush(stdout);
 
